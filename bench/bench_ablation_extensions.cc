@@ -1,0 +1,200 @@
+// Ablations of the extension features (DESIGN.md's "design choices" list):
+//
+// (1) Gavel objective family (§5.2): the same solver machinery pointed at
+//     max-min fairness, finish-time fairness, total JCT, and throughput —
+//     each objective should win its own metric.
+// (2) Hoard-style prefetching [58]: warming queued jobs' datasets with
+//     leftover egress vs cold starts.
+// (3) Shared-pool eviction policy: Alluxio-LRU vs Alluxio-LFU vs SiloD's
+//     uniform quotas under epoch scans.
+// (4) Irregular-job partitioning (§6): a mixed regular+curriculum cluster
+//     under the partitioned scheduler vs pretending every job is regular.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/partition.h"
+#include "src/sched/gavel.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+namespace {
+
+void ObjectiveFamily() {
+  std::printf("=== A3.1: Gavel objective family (96-GPU trace) ===\n");
+  const Trace trace = TraceGenerator(Trace96Options()).Generate();
+  Table table({"objective", "avg JCT (min)", "makespan (min)", "avg fairness",
+               "avg throughput (GB/s)"});
+  for (const GavelObjective objective :
+       {GavelObjective::kMaxMinFairness, GavelObjective::kFinishTimeFairness,
+        GavelObjective::kMinTotalJct, GavelObjective::kMaxThroughput}) {
+    SchedulerOptions options;
+    options.gavel_objective = objective;
+    const SimResult r = Run(trace, SchedulerKind::kGavel, CacheSystem::kSiloD,
+                            Cluster96Config(), EngineKind::kFlow, options);
+    table.AddRow({GavelObjectiveName(objective), Fmt(r.AvgJctMinutes()),
+                  Fmt(r.MakespanMinutes()), Fmt(r.AvgFairness(), 3),
+                  Fmt(r.total_throughput.TimeAverage(0, r.makespan) / 1e9, 2)});
+  }
+  table.Print();
+  std::printf("Expected: min-total-jct lowest JCT; the fairness objectives highest\n"
+              "fairness; differences bounded because progressive filling keeps every\n"
+              "objective Pareto-efficient.\n\n");
+}
+
+void Prefetching() {
+  std::printf("=== A3.2: Hoard-style prefetching of queued jobs' datasets ===\n");
+  // Hoard needs BOTH leftover egress bandwidth and unallocated cache space:
+  // SiloD's greedy allocator hands the whole pool to running jobs, so with a
+  // scarce pool there is nowhere to prefetch into.  Sweep both dimensions.
+  Table table({"scenario", "JCT cold (min)", "JCT prefetch (min)", "improvement"});
+  auto run_pair = [&](const char* label, const Trace& trace, SimConfig sim) {
+    sim.prefetch_waiting = false;
+    const double cold =
+        Run(trace, SchedulerKind::kFifo, CacheSystem::kSiloD, sim).AvgJctSeconds();
+    sim.prefetch_waiting = true;
+    const double warm =
+        Run(trace, SchedulerKind::kFifo, CacheSystem::kSiloD, sim).AvgJctSeconds();
+    table.AddRow({label, Fmt(cold / 60), Fmt(warm / 60),
+                  Fmt((1.0 - warm / cold) * 100, 1) + "%"});
+  };
+
+  // Saturated 96-GPU cluster: the greedy allocator over-commits the pool, so
+  // there is no unallocated space to warm.
+  run_pair("96 GPUs, saturated, 7.2 TB pool",
+           TraceGenerator(Trace96Options()).Generate(), Cluster96Config());
+
+  // GPU-bound queue with pool and egress slack: 16 single-GPU ResNet-50 jobs
+  // on 1.36 TB datasets queue behind 8 GPUs; the 24 TB pool holds every
+  // dataset, so Hoard warms the waiting jobs' data and removes their cold
+  // epochs entirely.
+  {
+    const ModelZoo zoo;
+    Trace trace;
+    for (int i = 0; i < 16; ++i) {
+      const DatasetId d = trace.catalog.Add("img" + std::to_string(i), TB(1.36), MB(64));
+      JobSpec job = MakeJob(static_cast<JobId>(i), zoo, "ResNet-50", 1, d, 1.0,
+                            /*submit=*/i * 60.0);
+      job.total_bytes = 6 * TB(1.36);
+      trace.jobs.push_back(job);
+    }
+    SimConfig sim;
+    sim.resources.total_gpus = 8;
+    sim.resources.total_cache = TB(24);
+    sim.resources.remote_io = MBps(400);
+    sim.resources.num_servers = 2;
+    run_pair("8 GPUs, queued jobs, 24 TB pool", trace, sim);
+  }
+  table.Print();
+  std::printf("Expected: no effect while the running jobs' working set over-commits the\n"
+              "pool (the greedy allocator leaves no space to warm); gains appear under\n"
+              "moderate load with pool slack — 'orthogonal when there is redundant\n"
+              "remote IO' (§8), and equally dependent on redundant cache.\n\n");
+}
+
+void EvictionPolicies() {
+  std::printf("=== A3.3: shared-pool eviction policy under epoch scans ===\n");
+  const Trace trace = MakeMicrobenchmarkTrace();
+  const SimConfig sim = MicroClusterConfig();
+  Table table({"cache system", "avg JCT (min)", "vs SiloD"});
+  double base = 0;
+  for (const CacheSystem cache :
+       {CacheSystem::kSiloD, CacheSystem::kAlluxio, CacheSystem::kAlluxioLfu}) {
+    const SimResult r = Run(trace, SchedulerKind::kFifo, cache, sim, EngineKind::kFine);
+    if (cache == CacheSystem::kSiloD) {
+      base = r.AvgJctSeconds();
+    }
+    table.AddRow({CacheSystemName(cache), Fmt(r.AvgJctMinutes()),
+                  Fmt(r.AvgJctSeconds() / base, 2) + "x"});
+  }
+  table.Print();
+  std::printf("Expected: LFU thrashes like LRU — under exactly-once epochs all\n"
+              "frequencies rise in lockstep, so neither recency nor frequency helps;\n"
+              "only uniform caching's never-evict discipline avoids the churn.\n\n");
+}
+
+void Partitioning() {
+  std::printf("=== A3.4: regular/irregular partitioning (§6) on a mixed cluster ===\n");
+  const ModelZoo zoo;
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    const DatasetId d = trace.catalog.Add("img" + std::to_string(i), GB(130), MB(64));
+    JobSpec job = MakeJob(static_cast<JobId>(trace.jobs.size()), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 8 * GB(130);
+    trace.jobs.push_back(job);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const DatasetId d = trace.catalog.Add("sorted" + std::to_string(i), GB(130), MB(64));
+    JobSpec job = MakeJob(static_cast<JobId>(trace.jobs.size()), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 8 * GB(130);
+    job.curriculum = true;
+    job.regular = false;
+    job.curriculum_params.step = 300;
+    trace.jobs.push_back(job);
+  }
+  SimConfig sim;
+  sim.resources.total_gpus = 8;
+  sim.resources.total_cache = GB(500);
+  sim.resources.remote_io = MBps(200);
+  sim.resources.num_servers = 2;
+
+  ExperimentConfig config;
+  config.sim = sim;
+  config.engine = EngineKind::kFine;
+  const SimResult partitioned = RunExperimentWith(
+      trace,
+      std::make_shared<PartitionedScheduler>(
+          MakeScheduler(SchedulerKind::kGavel, CacheSystem::kSiloD),
+          MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD)),
+      config);
+
+  // The naive alternative: feed every job to the SiloD-aware scheduler as if
+  // it satisfied the uniform-access assumption.
+  Trace naive = trace;
+  for (JobSpec& job : naive.jobs) {
+    job.regular = true;
+  }
+  config.scheduler = SchedulerKind::kGavel;
+  config.cache = CacheSystem::kSiloD;
+  const SimResult unpartitioned = RunExperiment(naive, config);
+
+  Table table({"configuration", "avg JCT (min)", "makespan (min)", "fairness"});
+  table.AddRow({"partitioned (SiloD | fallback)", Fmt(partitioned.AvgJctMinutes()),
+                Fmt(partitioned.MakespanMinutes()), Fmt(partitioned.AvgFairness(), 2)});
+  table.AddRow({"naive (all jobs as regular)", Fmt(unpartitioned.AvgJctMinutes()),
+                Fmt(unpartitioned.MakespanMinutes()), Fmt(unpartitioned.AvgFairness(), 2)});
+  table.Print();
+  std::printf("Expected: comparable headline numbers (curriculum's pacing function keeps\n"
+              "the throughput estimator approximately valid, §7.4), with partitioning\n"
+              "guarding the regular jobs' allocations against mis-estimation.\n");
+}
+
+}  // namespace
+
+void Preemption() {
+  std::printf("=== A3.5: SRTF preemption (SJF vs preemptive SJF, flow engine) ===\n");
+  const Trace trace = TraceGenerator(Trace96Options()).Generate();
+  Table table({"policy", "avg JCT (min)", "median JCT (min)", "makespan (min)"});
+  for (const bool preemptive : {false, true}) {
+    SchedulerOptions options;
+    options.preemptive_sjf = preemptive;
+    const SimResult r = Run(trace, SchedulerKind::kSjf, CacheSystem::kSiloD, Cluster96Config(),
+                            EngineKind::kFlow, options);
+    table.AddRow({preemptive ? "SRTF (preemptive, 30 s resume penalty)" : "SJF (run-to-finish)",
+                  Fmt(r.AvgJctMinutes()), Fmt(r.JctSamplesMinutes().Median()),
+                  Fmt(r.MakespanMinutes())});
+  }
+  table.Print();
+  std::printf("Expected: preemption lets short arrivals cut ahead of long running jobs,\n"
+              "reducing average and median JCT at a small makespan cost (resume\n"
+              "penalties are pure overhead for the cluster).\n");
+}
+
+int main() {
+  ObjectiveFamily();
+  Prefetching();
+  EvictionPolicies();
+  Partitioning();
+  Preemption();
+  return 0;
+}

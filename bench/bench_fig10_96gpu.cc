@@ -1,0 +1,45 @@
+// Fig. 10: the 96-GPU cluster experiment under FIFO — average JCT, makespan
+// and the JCT distribution for SiloD vs the three baseline cache systems.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 10a: 96-GPU cluster, FIFO — avg JCT and makespan ===\n");
+  const Trace trace = TraceGenerator(Trace96Options()).Generate();
+  const SimConfig sim = Cluster96Config();
+
+  std::vector<std::pair<std::string, SimResult>> results;
+  double silod_jct = 0;
+  double silod_mk = 0;
+  Table table({"system", "avg JCT (min)", "makespan (min)", "JCT vs SiloD", "makespan vs SiloD"});
+  for (const CacheSystem cache : AllCacheSystems()) {
+    const SimResult r = Run(trace, SchedulerKind::kFifo, cache, sim);
+    if (cache == CacheSystem::kSiloD) {
+      silod_jct = r.AvgJctSeconds();
+      silod_mk = r.makespan;
+    }
+    table.AddRow({CacheSystemName(cache), Fmt(r.AvgJctMinutes()), Fmt(r.MakespanMinutes()),
+                  Fmt(r.AvgJctSeconds() / silod_jct, 2) + "x",
+                  Fmt(r.makespan / silod_mk, 2) + "x"});
+    results.emplace_back(CacheSystemName(cache), r);
+  }
+  table.Print();
+  std::printf("\nPaper reference: SiloD improves avg JCT by up to 2.16x and makespan by up\n"
+              "to 2.07x over the baselines at this scale.\n");
+
+  std::printf("\n=== Fig. 10b: JCT distribution (percentiles, minutes) ===\n");
+  Table cdf({"system", "p10", "p25", "p50", "p75", "p90", "p99"});
+  for (const auto& [name, r] : results) {
+    const SampleSet jct = r.JctSamplesMinutes();
+    cdf.AddRow({name, Fmt(jct.Percentile(10)), Fmt(jct.Percentile(25)), Fmt(jct.Percentile(50)),
+                Fmt(jct.Percentile(75)), Fmt(jct.Percentile(90)), Fmt(jct.Percentile(99))});
+  }
+  cdf.Print();
+  std::printf("\nExpected shape: SiloD's CDF dominates (is left of) every baseline —\n"
+              "the gains come from cluster efficiency, not from sacrificing job classes.\n");
+  return 0;
+}

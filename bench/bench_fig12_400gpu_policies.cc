@@ -1,0 +1,54 @@
+// Fig. 12: the 400-GPU large-scale simulation — average JCT and makespan of
+// {FIFO, SJF, Gavel} x {SiloD, Alluxio, CoorDL, Quiver}.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 12: 400-GPU simulation, three schedulers x four cache systems ===\n");
+  const Trace trace = TraceGenerator(Trace400Options()).Generate();
+  const SimConfig sim = Cluster400Config();
+
+  std::map<SchedulerKind, std::map<CacheSystem, SimResult>> results;
+  for (const SchedulerKind scheduler : AllSchedulers()) {
+    for (const CacheSystem cache : AllCacheSystems()) {
+      results[scheduler][cache] = Run(trace, scheduler, cache, sim);
+    }
+  }
+
+  std::printf("\n--- Fig. 12a: average JCT (minutes; xN = slowdown vs SiloD) ---\n");
+  Table jct({"scheduler", "SiloD", "Alluxio", "CoorDL", "Quiver"});
+  for (const SchedulerKind scheduler : AllSchedulers()) {
+    const double base = results[scheduler][CacheSystem::kSiloD].AvgJctSeconds();
+    std::vector<std::string> row{SchedulerKindName(scheduler)};
+    for (const CacheSystem cache : AllCacheSystems()) {
+      const SimResult& r = results[scheduler][cache];
+      row.push_back(Fmt(r.AvgJctMinutes()) + " (" + Fmt(r.AvgJctSeconds() / base, 2) + "x)");
+    }
+    jct.AddRow(std::move(row));
+  }
+  jct.Print();
+
+  std::printf("\n--- Fig. 12b: makespan (minutes; xN = slowdown vs SiloD) ---\n");
+  Table mk({"scheduler", "SiloD", "Alluxio", "CoorDL", "Quiver"});
+  for (const SchedulerKind scheduler : AllSchedulers()) {
+    const double base = results[scheduler][CacheSystem::kSiloD].makespan;
+    std::vector<std::string> row{SchedulerKindName(scheduler)};
+    for (const CacheSystem cache : AllCacheSystems()) {
+      const SimResult& r = results[scheduler][cache];
+      row.push_back(Fmt(r.MakespanMinutes()) + " (" + Fmt(r.makespan / base, 2) + "x)");
+    }
+    mk.AddRow(std::move(row));
+  }
+  mk.Print();
+
+  std::printf("\nPaper reference: SiloD best in every cell; JCT gains up to 7.4x (vs CoorDL\n"
+              "under SJF), makespan up to 2.57x; SiloD beats even the DL-aware Quiver by up\n"
+              "to 1.25x JCT / 1.31x makespan.  The co-designed SJF and Gavel exploit cache\n"
+              "efficiency beyond what FIFO's greedy allocation alone achieves.\n");
+  return 0;
+}

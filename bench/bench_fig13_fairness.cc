@@ -1,0 +1,51 @@
+// Fig. 13 + §7.2 ablation: the max-min fairness ratio over time under the
+// Gavel scheduler for the four cache systems, the time-averaged fairness,
+// and the effect of disabling SiloD's remote-IO allocation (cache-only).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 13: fairness ratio over time, 400-GPU cluster, Gavel ===\n");
+  const Trace trace = TraceGenerator(Trace400Options()).Generate();
+  const SimConfig sim = Cluster400Config();
+
+  double silod_fairness = 0;
+  Table table({"system", "avg fairness ratio", "vs SiloD"});
+  for (const CacheSystem cache : AllCacheSystems()) {
+    const SimResult r = Run(trace, SchedulerKind::kGavel, cache, sim);
+    std::printf("\n--- %s ---\n", CacheSystemName(cache));
+    PrintSeries("Fairness ratio (min over jobs of actual/equal-share):", r.fairness_ratio, 1.0,
+                12);
+    const double avg = r.AvgFairness();
+    if (cache == CacheSystem::kSiloD) {
+      silod_fairness = avg;
+    }
+    table.AddRow({CacheSystemName(cache), Fmt(avg, 3), Fmt(silod_fairness / avg, 2) + "x"});
+  }
+  std::printf("\n--- Average fairness ---\n");
+  table.Print();
+  std::printf("\nPaper reference: SiloD 2.56 vs CoorDL 1.51, Alluxio 1.39, Quiver 1.35 —\n"
+              "up to 1.89x.  (The paper's ratio can exceed 1 because Gavel also reassigns\n"
+              "GPU time; with gang-scheduled GPUs ours is bounded by ~1.)\n");
+
+  std::printf("\n=== §7.2 ablation: disable remote-IO allocation (cache-only SiloD) ===\n");
+  SchedulerOptions cache_only;
+  cache_only.manage_remote_io = false;
+  const SimResult ablated =
+      Run(trace, SchedulerKind::kGavel, CacheSystem::kSiloD, sim, EngineKind::kFlow, cache_only);
+  const SimResult full =
+      Run(trace, SchedulerKind::kGavel, CacheSystem::kSiloD, sim);
+  Table ab({"variant", "avg JCT (min)", "makespan (min)", "avg fairness"});
+  ab.AddRow({"SiloD (cache + remote IO)", Fmt(full.AvgJctMinutes()), Fmt(full.MakespanMinutes()),
+             Fmt(full.AvgFairness(), 3)});
+  ab.AddRow({"SiloD (cache only, fair-share IO)", Fmt(ablated.AvgJctMinutes()),
+             Fmt(ablated.MakespanMinutes()), Fmt(ablated.AvgFairness(), 3)});
+  ab.Print();
+  std::printf("\nPaper reference: JCT and makespan change <2%% but average fairness degrades\n"
+              "by 31%% — controlling both resources matters for instantaneous fairness.\n");
+  return 0;
+}

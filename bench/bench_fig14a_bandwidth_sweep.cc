@@ -1,0 +1,29 @@
+// Fig. 14a: impact of the remote bandwidth — average JCT of FIFO-SiloD vs
+// FIFO-Alluxio as the egress limit grows from 4 to 12 GB/s.  With enough
+// bandwidth, remote IO stops being the bottleneck and the two systems
+// converge; SiloD matters exactly when egress is scarce.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 14a: average JCT vs remote bandwidth (FIFO, 400 GPUs) ===\n");
+  const Trace trace = TraceGenerator(Trace400Options()).Generate();
+
+  Table table({"bandwidth (GB/s)", "SiloD JCT (min)", "Alluxio JCT (min)", "Alluxio/SiloD"});
+  for (const double gbps : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+    SimConfig sim = Cluster400Config();
+    sim.resources.remote_io = GBps(gbps);
+    const SimResult silod = Run(trace, SchedulerKind::kFifo, CacheSystem::kSiloD, sim);
+    const SimResult alluxio = Run(trace, SchedulerKind::kFifo, CacheSystem::kAlluxio, sim);
+    table.AddRow({Fmt(gbps, 0), Fmt(silod.AvgJctMinutes()), Fmt(alluxio.AvgJctMinutes()),
+                  Fmt(alluxio.AvgJctSeconds() / silod.AvgJctSeconds(), 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nPaper reference: large gap at 4 GB/s shrinking monotonically; by 10 GB/s\n"
+              "even Alluxio's LRU has no remote-IO bottleneck and both systems match.\n");
+  return 0;
+}

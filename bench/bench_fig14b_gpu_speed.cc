@@ -1,0 +1,29 @@
+// Fig. 14b: impact of GPU speed — JCT gain of Gavel-SiloD over Gavel-Quiver
+// (the best-performing baseline) as GPU speed scales 1x/2x/4x.  Faster GPUs
+// raise every job's IO demand, pushing more jobs into the IO-bottleneck
+// regime where joint allocation wins.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 14b: JCT gain over Quiver vs GPU speed (Gavel, 400 GPUs) ===\n");
+  Table table({"GPU speed", "SiloD JCT (min)", "Quiver JCT (min)", "gain (Quiver/SiloD)"});
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    const Trace trace =
+        TraceGenerator(Trace400Options(/*share_fraction=*/0.0, scale)).Generate();
+    const SimConfig sim = Cluster400Config();
+    const SimResult silod = Run(trace, SchedulerKind::kGavel, CacheSystem::kSiloD, sim);
+    const SimResult quiver = Run(trace, SchedulerKind::kGavel, CacheSystem::kQuiver, sim);
+    table.AddRow({Fmt(scale, 0) + "x", Fmt(silod.AvgJctMinutes()), Fmt(quiver.AvgJctMinutes()),
+                  Fmt(quiver.AvgJctSeconds() / silod.AvgJctSeconds(), 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nPaper reference: the gain grows with GPU speed, reaching 2.17x at 4x —\n"
+              "Quiver's greedy allocation starves some IO-bound jobs while SiloD\n"
+              "re-balances cache toward them to preserve max-min fairness.\n");
+  return 0;
+}

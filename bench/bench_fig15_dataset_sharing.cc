@@ -1,0 +1,34 @@
+// Fig. 15: benefit of dataset sharing — average JCT of the three SiloD
+// schedulers as the fraction of jobs reading shared canonical datasets grows
+// from 0 to 100%.  Cache is charged once per dataset (§6), so sharing raises
+// effective cache capacity and removes remote IO.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 15: impact of dataset sharing (400 GPUs, SiloD) ===\n");
+  Table table({"% sharing", "FIFO-SiloD (min)", "SJF-SiloD (min)", "Gavel-SiloD (min)"});
+  std::map<SchedulerKind, double> base;
+  for (const double share : {0.0, 0.25, 0.50, 1.0}) {
+    const Trace trace = TraceGenerator(Trace400Options(share)).Generate();
+    std::vector<std::string> row{Fmt(share * 100, 0)};
+    for (const SchedulerKind scheduler : AllSchedulers()) {
+      const SimResult r = Run(trace, scheduler, CacheSystem::kSiloD, Cluster400Config());
+      if (share == 0.0) {
+        base[scheduler] = r.AvgJctSeconds();
+      }
+      row.push_back(Fmt(r.AvgJctMinutes()) + " (-" +
+                    Fmt((1.0 - r.AvgJctSeconds() / base[scheduler]) * 100, 1) + "%)");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\nPaper reference: full sharing improves JCT by ~22%% for SJF and Gavel but\n"
+              "only ~6.9%% for FIFO, whose greedy allocation is already near the optimum of\n"
+              "its fixed scheduling order.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 3: aggregate throughput of the distributed cache as the cluster grows
+// from 1 to 50 servers, with every server's jobs demanding 1923 MB/s
+// (ResNet-50 on 8 A100s) and datasets spread evenly across all caches.  The
+// claim: peer reads over the storage fabric sustain near-local throughput, so
+// a cluster-wide cache pool is viable (§2.1).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/storage/fabric.h"
+
+using namespace silod;
+
+int main() {
+  std::printf("=== Fig. 3: distributed cache read scaling (1923 MB/s per server) ===\n");
+  const BytesPerSec demand = MBps(1923);
+  Table table({"servers", "linear scaling (GB/s)", "local read (GB/s)", "peer read (GB/s)",
+               "peer/linear"});
+  StorageFabric fabric{FabricConfig{}};
+  for (int n : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) {
+    const double linear = static_cast<double>(demand) * n;
+    const double local = fabric.LocalOnlyThroughput(n, demand);
+    const double peer = fabric.ClusterCacheThroughput(n, demand);
+    table.AddRow({std::to_string(n), Fmt(linear / 1e9), Fmt(local / 1e9), Fmt(peer / 1e9),
+                  Fmt(peer / linear, 3)});
+  }
+  table.Print();
+  std::printf("\nPaper reference: at 50 servers both local and peer reads track the\n"
+              "no-data-bottleneck line — the fabric, not the disks, is never the binding\n"
+              "constraint at these demands.\n");
+
+  std::printf("\n=== Sensitivity: a 10 GbE storage fabric instead of 100 GbE ===\n");
+  FabricConfig slow;
+  slow.nic_bw = Gbps(10);
+  StorageFabric slow_fabric{slow};
+  Table table2({"servers", "peer read (GB/s)", "peer/linear"});
+  for (int n : {1, 10, 25, 50}) {
+    const double linear = static_cast<double>(demand) * n;
+    const double peer = slow_fabric.ClusterCacheThroughput(n, demand);
+    table2.AddRow({std::to_string(n), Fmt(peer / 1e9), Fmt(peer / linear, 3)});
+  }
+  table2.Print();
+  return 0;
+}

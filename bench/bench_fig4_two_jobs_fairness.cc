@@ -1,0 +1,55 @@
+// Fig. 4: two 1-GPU ResNet-50 jobs on 1.36 TB ImageNet-22k copies; 1.4 TB of
+// cache; a 50 MB/s per-job provider cap on remote IO.  Quiver gives all cache
+// to Job-0 (114 vs ~52 MB/s); the optimal max-min fair policy splits cache
+// and remote IO so both run at ~107 MB/s.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/estimator/ioperf.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d0 = trace.catalog.Add("imagenet22k-0", TB(1.36), kDefaultBlockSize);
+  const DatasetId d1 = trace.catalog.Add("imagenet22k-1", TB(1.36), kDefaultBlockSize);
+  const Seconds dur = 4.0 * 1.36e12 / MBps(114);
+  trace.jobs.push_back(MakeJob(0, zoo, "ResNet-50", 1, d0, dur, 0));
+  trace.jobs.push_back(MakeJob(1, zoo, "ResNet-50", 1, d1, dur, 0));
+
+  SimConfig sim;
+  sim.resources.total_gpus = 2;
+  sim.resources.total_cache = TB(1.4);
+  sim.resources.remote_io = MBps(100);
+  sim.resources.per_job_remote_cap = MBps(50);
+  sim.resources.num_servers = 1;
+  sim.reschedule_period = Minutes(10);
+
+  std::printf("=== Fig. 4: Quiver vs max-min fairness on two ResNet-50 jobs ===\n");
+  Table table({"policy", "Job-0 steady (MB/s)", "Job-1 steady (MB/s)", "Job-0 JCT (min)",
+               "Job-1 JCT (min)"});
+  for (const CacheSystem cache : {CacheSystem::kQuiver, CacheSystem::kSiloD}) {
+    const SimResult result = Run(trace, SchedulerKind::kGavel, cache, sim);
+    // Steady-state speed: exclude the shared cold first epoch (both systems
+    // fill caches during it) by measuring the whole-job average after it.
+    std::vector<std::string> row{cache == CacheSystem::kQuiver ? "Quiver (cache hoarding)"
+                                                               : "SiloD (max-min co-design)"};
+    const double cold = 1.36e12 / MBps(50);
+    for (const JobResult& j : result.jobs) {
+      const double steady_bytes = static_cast<double>(trace.jobs[j.id].total_bytes) - 1.36e12;
+      row.push_back(Fmt(ToMBps(steady_bytes / (j.Jct() - cold))));
+    }
+    for (const JobResult& j : result.jobs) {
+      row.push_back(Fmt(j.Jct() / 60.0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\nPaper reference: Quiver 114 vs 52 MB/s; optimal max-min 107 / 107 MB/s.\n");
+  std::printf("Closed form: full cache -> 114; 50 MB/s cap alone -> ~51.5;\n"
+              "half cache + 50 MB/s -> %.1f MB/s.\n",
+              ToMBps(SiloDPerfThroughput(MBps(114), MBps(50), TB(0.7), TB(1.36))));
+  return 0;
+}

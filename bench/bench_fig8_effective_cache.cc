@@ -1,0 +1,33 @@
+// Fig. 8: effective vs allocated cache over time (§6, "delayed
+// effectiveness").  Newly cached items do not serve hits until the next
+// epoch; the paper observes that on average over 91.7% of cached data is
+// effective, so ignoring the delay in the estimator is safe.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  std::printf("=== Fig. 8: effective / allocated cache over time (96-GPU trace) ===\n");
+  const Trace trace = TraceGenerator(Trace96Options()).Generate();
+  const SimResult result =
+      Run(trace, SchedulerKind::kFifo, CacheSystem::kSiloD, Cluster96Config());
+
+  PrintSeries("Effective fraction of allocated cache:", result.effective_cache_ratio, 100.0,
+              14);
+  // Average over the busy portion of the run (until the queue drains the
+  // arrivals; the idle tail has few jobs and a trivially effective cache).
+  Seconds busy_end = 0;
+  for (const JobSpec& j : trace.jobs) {
+    busy_end = std::max(busy_end, j.submit_time);
+  }
+  busy_end *= 2;
+  const double avg = result.effective_cache_ratio.TimeAverage(0, busy_end) * 100.0;
+  const double overall = result.effective_cache_ratio.TimeAverage(0, result.makespan) * 100.0;
+  std::printf("\nAverage effective fraction: %.1f%% (busy window), %.1f%% (whole run)\n", avg,
+              overall);
+  std::printf("Paper reference: over 91.7%% of cached data effective on average.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2: training speed and IO demand of ResNet-50 on ImageNet, plus the
+// per-model ideal IO demands the rest of the evaluation builds on (Fig. 6
+// caption) and the Table 1 / Fig. 1 survey data that motivates the paper.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/model_zoo.h"
+
+using namespace silod;
+
+int main() {
+  std::printf("=== Table 2: IO demand of ResNet-50 on ImageNet (per profiled V100) ===\n");
+  const ModelZoo zoo;
+  Table t2({"GPUs", "IO demand (MB/s)", "scaling vs 1 GPU"});
+  const ModelProfile& resnet = zoo.GetModel("ResNet-50");
+  for (int gpus : {1, 2, 4, 8}) {
+    const BytesPerSec io = ModelZoo::ScaledIdealIo(resnet, gpus);
+    t2.AddRow({std::to_string(gpus), Fmt(ToMBps(io)),
+               Fmt(io / ModelZoo::ScaledIdealIo(resnet, 1), 2) + "x"});
+  }
+  t2.Print();
+  std::printf("Paper reference: 1xV100 = 114 MB/s, 8xV100 = 888 MB/s (7.79x).\n\n");
+
+  std::printf("=== Model zoo: profiled ideal IO demand f* (Fig. 6 caption) ===\n");
+  Table zoo_table({"model", "f* (MB/s, 1 V100)", "step data (MB)", "source"});
+  for (const ModelProfile& m : zoo.models()) {
+    zoo_table.AddRow({m.model, Fmt(ToMBps(m.ideal_io_per_gpu)), Fmt(ToMB(m.step_data_size)),
+                      m.profiled_in_paper ? "paper" : "estimated"});
+  }
+  zoo_table.Print();
+
+  std::printf("\n=== Table 4: datasets ===\n");
+  Table datasets({"dataset", "size"});
+  for (const NamedDataset& d : zoo.datasets()) {
+    datasets.AddRow({d.name, Fmt(ToTB(d.size), 2) + " TB"});
+  }
+  datasets.Print();
+
+  std::printf("\n=== Fig. 1 context: Table 5 egress limits by cluster scale ===\n");
+  Table egress({"cluster", "remote IO limit"});
+  for (int gpus : {8, 96, 400, 1900}) {
+    egress.AddRow({std::to_string(gpus) + " GPUs",
+                   Fmt(ToGbps(RemoteIoLimitForCluster(gpus)), 1) + " Gbps"});
+  }
+  egress.Print();
+  return 0;
+}

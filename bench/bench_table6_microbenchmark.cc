@@ -1,0 +1,49 @@
+// Table 6 + Fig. 9: the 8-V100 micro-benchmark (§7.1.1).
+//
+// Five jobs — two ResNet-50 and two EfficientNetB1 on distinct 1.3 TB image
+// datasets plus one 4-GPU BERT job on a 20.9 TB web corpus — share 2 TB of
+// cache and a 1.6 Gbps (200 MB/s) egress limit under FIFO.  Table 6 reports
+// average JCT and makespan for SiloD / CoorDL / Alluxio / Quiver on the real
+// cluster, the accelerated-K80 cluster, and the simulator; here the fine
+// (mini-batch) engine plays the role of the real cluster and the flow engine
+// the role of the simulator, with the relative error between them printed as
+// the fidelity columns.  Fig. 9's total-throughput timeline follows.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+int main() {
+  const Trace trace = MakeMicrobenchmarkTrace();
+  const SimConfig sim = MicroClusterConfig();
+
+  std::printf("=== Table 6: 8-V100 micro-benchmark, FIFO ===\n");
+  Table table({"system", "avg JCT (min)", "makespan (min)", "JCT err (flow vs fine)",
+               "makespan err"});
+  std::vector<std::pair<std::string, SimResult>> fine_results;
+  for (const CacheSystem cache : AllCacheSystems()) {
+    const SimResult fine = Run(trace, SchedulerKind::kFifo, cache, sim, EngineKind::kFine);
+    const SimResult flow = Run(trace, SchedulerKind::kFifo, cache, sim, EngineKind::kFlow);
+    const double jct_err =
+        std::abs(flow.AvgJctSeconds() - fine.AvgJctSeconds()) / fine.AvgJctSeconds();
+    const double mk_err = std::abs(flow.makespan - fine.makespan) / fine.makespan;
+    table.AddRow({CacheSystemName(cache), Fmt(fine.AvgJctMinutes()), Fmt(fine.MakespanMinutes()),
+                  Fmt(jct_err * 100, 1) + "%", Fmt(mk_err * 100, 1) + "%"});
+    fine_results.emplace_back(CacheSystemName(cache), fine);
+  }
+  table.Print();
+  std::printf("\nPaper reference (real V100): SiloD 3366/3807, CoorDL 4278/4870,\n"
+              "Alluxio 4378/5080, Quiver 3609/3933 (min); simulator errors <= 3.2%% JCT,\n"
+              "4.4%% makespan.  Expected shape: SiloD < Quiver < CoorDL ~ Alluxio.\n");
+
+  std::printf("\n=== Fig. 9: total job throughput over time (MB/s) ===\n");
+  for (const auto& [name, result] : fine_results) {
+    PrintSeries(name.c_str(), result.total_throughput, 1.0 / 1e6, 14);
+  }
+  std::printf("\nExpected shape: identical until the first epoch completes (~460 min at\n"
+              "200 MB/s over 5 jobs), then SiloD rises to the no-bottleneck optimum while\n"
+              "CoorDL wastes cache on BERT and Alluxio thrashes.\n");
+  return 0;
+}

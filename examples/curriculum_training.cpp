@@ -1,0 +1,79 @@
+// Irregular jobs and partitioning (§6, §7.4): a cluster mixing regular
+// epoch-based jobs with curriculum-learning jobs, scheduled by a
+// PartitionedScheduler — SiloDPerf drives the regular partition while the
+// irregular partition falls back to FIFO + greedy with fair sharing inside.
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/core/partition.h"
+#include "src/core/system.h"
+#include "src/workload/curriculum.h"
+
+using namespace silod;
+
+namespace {
+
+Trace MixedTrace() {
+  const ModelZoo zoo;
+  Trace trace;
+  // Three regular image-classification jobs.
+  for (int i = 0; i < 3; ++i) {
+    const DatasetId d = trace.catalog.Add("img" + std::to_string(i), GB(143), MB(64));
+    JobSpec job = MakeJob(static_cast<JobId>(trace.jobs.size()), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 8 * GB(143);
+    trace.jobs.push_back(job);
+  }
+  // Two curriculum-learning jobs: difficulty-sorted data, exponential pacing,
+  // no epoch structure — SiloD's uniform-access assumption does not hold.
+  for (int i = 0; i < 2; ++i) {
+    const DatasetId d = trace.catalog.Add("sorted" + std::to_string(i), GB(143), MB(64));
+    JobSpec job = MakeJob(static_cast<JobId>(trace.jobs.size()), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 8 * GB(143);
+    job.curriculum = true;
+    job.regular = false;
+    job.curriculum_params.starting_percent = 0.04;
+    job.curriculum_params.alpha = 1.9;
+    job.curriculum_params.step = 300;
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Mixed regular + curriculum cluster under a partitioned scheduler\n\n");
+  const Trace trace = MixedTrace();
+
+  SimConfig sim;
+  sim.resources.total_gpus = 8;
+  sim.resources.total_cache = GB(400);
+  sim.resources.remote_io = MBps(120);
+  sim.resources.num_servers = 2;
+  sim.reschedule_period = Minutes(10);
+
+  // The §6 construction: SiloD-aware Gavel for regular jobs, plain
+  // FIFO+greedy for the irregular partition.
+  auto partitioned = std::make_shared<PartitionedScheduler>(
+      MakeScheduler(SchedulerKind::kGavel, CacheSystem::kSiloD),
+      MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD));
+  std::printf("Scheduler: %s\n\n", partitioned->name().c_str());
+
+  ExperimentConfig config;
+  config.sim = sim;
+  config.engine = EngineKind::kFine;
+  const SimResult result = RunExperimentWith(trace, partitioned, config);
+
+  Table table({"job", "type", "JCT (min)"});
+  for (const JobResult& j : result.jobs) {
+    const JobSpec& spec = trace.jobs[static_cast<std::size_t>(j.id)];
+    table.AddRow({spec.name, spec.regular ? "regular (epoch shuffled)" : "curriculum (paced)",
+                  Fmt(j.Jct() / 60.0)});
+  }
+  table.Print();
+  std::printf("\nAvg JCT %.1f min, makespan %.1f min.\n", result.AvgJctMinutes(),
+              result.MakespanMinutes());
+  std::printf("The regular jobs keep their closed-form allocations; the curriculum jobs\n"
+              "share their own partition without contaminating the estimator (§6).\n");
+  return 0;
+}

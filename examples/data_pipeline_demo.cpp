@@ -1,0 +1,66 @@
+// The real data plane, end to end in wall-clock time: an in-memory "cloud
+// store" with an egress token bucket serves a multi-threaded prefetching
+// pipeline (the FUSE-client + loader analogue of Fig. 5/7) through a uniform
+// cache.  Every payload is checksum-verified; the second epoch's hit ratio
+// demonstrates c/d uniform caching for real, not in simulation.
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/storage/data_pipeline.h"
+#include "src/storage/inmem_remote.h"
+
+using namespace silod;
+
+int main() {
+  // A deliberately small dataset so the demo runs in ~2 seconds: 32 MB in
+  // 128 blocks of 256 KB, egress-limited to 64 MB/s.
+  const Dataset dataset = MakeDataset(0, "demo-dataset", MB(32), KB(256));
+  InMemRemoteStore remote(MBps(64), MB(4));
+
+  PipelineOptions options;
+  options.prefetch_threads = 3;
+  options.prefetch_depth = 8;
+  options.cache_capacity = MB(16);  // Half the dataset: expect a 50% hit ratio.
+  DataPipeline pipeline(&remote, dataset, options);
+
+  std::printf("Streaming %lld blocks/epoch of %s through the pipeline\n",
+              static_cast<long long>(dataset.num_blocks), dataset.name.c_str());
+  std::printf("(egress 64 MB/s, cache %0.f%% of dataset, %d prefetch threads)\n\n",
+              100.0 * options.cache_capacity / dataset.size, options.prefetch_threads);
+
+  Table table({"epoch", "duration (s)", "hits", "misses", "hit ratio", "stall (s)"});
+  PipelineStats prev;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    const auto start = std::chrono::steady_clock::now();
+    pipeline.StartEpoch();
+    std::int64_t verified = 0;
+    for (std::int64_t i = 0; i < dataset.num_blocks; ++i) {
+      const auto [block, payload] = pipeline.NextBlock();
+      if (InMemRemoteStore::Checksum(payload) ==
+          InMemRemoteStore::ExpectedChecksum(dataset.id, block, dataset.BlockBytes(block))) {
+        ++verified;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const PipelineStats stats = pipeline.stats();
+    const std::int64_t hits = stats.cache_hits - prev.cache_hits;
+    const std::int64_t misses = stats.cache_misses - prev.cache_misses;
+    table.AddRow({std::to_string(epoch), Fmt(seconds, 2), std::to_string(hits),
+                  std::to_string(misses),
+                  Fmt(100.0 * hits / (hits + misses), 1) + "%",
+                  Fmt(stats.consumer_stall_seconds - prev.consumer_stall_seconds, 2)});
+    if (verified != dataset.num_blocks) {
+      std::printf("CHECKSUM FAILURES: %lld blocks corrupt!\n",
+                  static_cast<long long>(dataset.num_blocks - verified));
+      return 1;
+    }
+    prev = stats;
+  }
+  table.Print();
+  std::printf("\nAll payloads checksum-verified.  Epoch 1 is cold; epochs 2+ hit at the\n"
+              "uniform-caching ratio c/d = 50%% and run ~2x faster — Eq. 4 in the flesh.\n");
+  return 0;
+}

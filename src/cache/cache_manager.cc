@@ -1,0 +1,210 @@
+#include "src/cache/cache_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+CacheManager::CacheManager(Bytes total_capacity, std::uint64_t seed)
+    : total_capacity_(total_capacity), rng_(seed) {
+  SILOD_CHECK(total_capacity >= 0) << "negative cache capacity";
+}
+
+Bytes CacheManager::total_cached() const {
+  Bytes total = 0;
+  for (const auto& [id, state] : datasets_) {
+    total += state.used;
+  }
+  return total;
+}
+
+CacheManager::DatasetState& CacheManager::GetOrCreate(const Dataset& dataset) {
+  auto it = datasets_.find(dataset.id);
+  if (it == datasets_.end()) {
+    DatasetState state;
+    state.dataset = dataset;
+    it = datasets_.emplace(dataset.id, std::move(state)).first;
+  }
+  return it->second;
+}
+
+Status CacheManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
+  if (cache_size < 0) {
+    return Status::InvalidArgument("negative cache allocation");
+  }
+  DatasetState& state = GetOrCreate(dataset);
+  const Bytes delta = cache_size - state.quota;
+  if (total_allocated_ + delta > total_capacity_) {
+    return Status::ResourceExhausted("cache pool over-committed");
+  }
+  total_allocated_ += delta;
+  state.quota = cache_size;
+  // Shrinking below occupancy evicts uniformly at random (§6).  Candidates
+  // are collected and shuffled once so large shrinks stay O(n).
+  if (state.used > state.quota) {
+    std::vector<std::int64_t> resident;
+    resident.reserve(state.blocks.size());
+    for (const auto& [block, gen] : state.blocks) {
+      resident.push_back(block);
+    }
+    rng_.Shuffle(resident);
+    for (std::int64_t block : resident) {
+      if (state.used <= state.quota) {
+        break;
+      }
+      state.used -= state.dataset.BlockBytes(block);
+      state.blocks.erase(block);
+    }
+  }
+  return Status::Ok();
+}
+
+Bytes CacheManager::Allocation(DatasetId dataset) const {
+  auto it = datasets_.find(dataset);
+  return it == datasets_.end() ? 0 : it->second.quota;
+}
+
+void CacheManager::ReleaseDataset(DatasetId dataset) {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return;
+  }
+  total_allocated_ -= it->second.quota;
+  datasets_.erase(it);
+}
+
+bool CacheManager::AccessBlock(const Dataset& dataset, std::int64_t block) {
+  DatasetState& state = GetOrCreate(dataset);
+  if (state.blocks.count(block) > 0) {
+    return true;
+  }
+  // Miss: the caller fetches remotely; admit under uniform caching.
+  const Bytes bytes = state.dataset.BlockBytes(block);
+  if (state.used + bytes <= state.quota) {
+    state.blocks.emplace(block, ++generation_);
+    state.used += bytes;
+  }
+  return false;
+}
+
+bool CacheManager::WouldAdmit(const Dataset& dataset, std::int64_t block) const {
+  auto it = datasets_.find(dataset.id);
+  if (it == datasets_.end()) {
+    return false;
+  }
+  const DatasetState& state = it->second;
+  if (state.blocks.count(block) > 0) {
+    return false;  // Already resident.
+  }
+  return state.used + dataset.BlockBytes(block) <= state.quota;
+}
+
+Status CacheManager::AdmitBlock(const Dataset& dataset, std::int64_t block) {
+  DatasetState& state = GetOrCreate(dataset);
+  if (state.blocks.count(block) > 0) {
+    return Status::AlreadyExists("block already cached");
+  }
+  const Bytes bytes = state.dataset.BlockBytes(block);
+  if (state.used + bytes > state.quota) {
+    return Status::ResourceExhausted("dataset quota full");
+  }
+  state.blocks.emplace(block, ++generation_);
+  state.used += bytes;
+  return Status::Ok();
+}
+
+Bytes CacheManager::CachedBytes(DatasetId dataset) const {
+  auto it = datasets_.find(dataset);
+  return it == datasets_.end() ? 0 : it->second.used;
+}
+
+bool CacheManager::IsCached(DatasetId dataset, std::int64_t block) const {
+  auto it = datasets_.find(dataset);
+  return it != datasets_.end() && it->second.blocks.count(block) > 0;
+}
+
+std::vector<std::int64_t> CacheManager::CachedBlocks(DatasetId dataset) const {
+  std::vector<std::int64_t> blocks;
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return blocks;
+  }
+  blocks.reserve(it->second.blocks.size());
+  for (const auto& [block, gen] : it->second.blocks) {
+    blocks.push_back(block);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+Status CacheManager::RestoreCachedBlocks(const Dataset& dataset,
+                                         const std::vector<std::int64_t>& blocks) {
+  DatasetState& state = GetOrCreate(dataset);
+  for (const std::int64_t block : blocks) {
+    if (block < 0 || block >= dataset.num_blocks) {
+      return Status::InvalidArgument("restored block out of range");
+    }
+    if (state.blocks.count(block) > 0) {
+      continue;
+    }
+    const Bytes bytes = dataset.BlockBytes(block);
+    if (state.used + bytes > state.quota) {
+      continue;  // Shrunken allocation: surplus disk content is not re-admitted.
+    }
+    state.blocks.emplace(block, ++generation_);
+    state.used += bytes;
+  }
+  return Status::Ok();
+}
+
+void CacheManager::RegisterJob(JobId job, const Dataset& dataset) {
+  SILOD_CHECK(jobs_.count(job) == 0) << "job " << job << " already registered";
+  GetOrCreate(dataset);
+  JobState state;
+  state.dataset = dataset.id;
+  state.accessed = DynamicBitset(static_cast<std::size_t>(dataset.num_blocks));
+  state.epoch_generation = generation_;
+  jobs_.emplace(job, std::move(state));
+}
+
+void CacheManager::UnregisterJob(JobId job) { jobs_.erase(job); }
+
+void CacheManager::StartJobEpoch(JobId job) {
+  auto it = jobs_.find(job);
+  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
+  it->second.accessed.ClearAll();
+  it->second.epoch_generation = generation_;
+}
+
+bool CacheManager::MarkJobAccess(JobId job, std::int64_t block) {
+  auto it = jobs_.find(job);
+  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
+  return it->second.accessed.Set(static_cast<std::size_t>(block));
+}
+
+std::int64_t CacheManager::RemainingBlocks(JobId job) const {
+  auto it = jobs_.find(job);
+  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
+  const auto& bits = it->second.accessed;
+  return static_cast<std::int64_t>(bits.size() - bits.Count());
+}
+
+Bytes CacheManager::EffectiveBytes(JobId job) const {
+  auto it = jobs_.find(job);
+  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
+  auto ds = datasets_.find(it->second.dataset);
+  if (ds == datasets_.end()) {
+    return 0;
+  }
+  Bytes effective = 0;
+  for (const auto& [block, gen] : ds->second.blocks) {
+    if (gen <= it->second.epoch_generation) {
+      effective += ds->second.dataset.BlockBytes(block);
+    }
+  }
+  return effective;
+}
+
+}  // namespace silod

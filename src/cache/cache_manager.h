@@ -1,0 +1,111 @@
+// CacheManager: the enforcement half of the SiloD Data Manager (§6).
+//
+// The scheduler allocates cache to *datasets* and remote IO to *jobs*
+// (Table 3); this class enforces the cache side at item granularity:
+//   - per-dataset uniform caches sized by allocateCacheSize, carved out of
+//     the cluster-wide pool;
+//   - shrinking an allocation evicts that dataset's items uniformly at
+//     random, preserving the uniform access property;
+//   - delayed effectiveness (§6): items cached during a job's current epoch
+//     are not re-read until the next epoch, so per-job effectiveness is
+//     tracked by comparing each cached item's insertion generation with the
+//     generation at which the job's epoch started;
+//   - per-job access bitsets expose the instantaneous remote-IO demand
+//     (which blocks of the epoch remain, and how many will miss).
+#ifndef SILOD_SRC_CACHE_CACHE_MANAGER_H_
+#define SILOD_SRC_CACHE_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/bitset.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/workload/dataset.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+class CacheManager {
+ public:
+  CacheManager(Bytes total_capacity, std::uint64_t seed = 7);
+
+  Bytes total_capacity() const { return total_capacity_; }
+  Bytes total_allocated() const { return total_allocated_; }
+  Bytes total_cached() const;
+
+  // --- Allocation API (Table 3) -------------------------------------------
+  // Sets a dataset's cache quota.  Fails if the sum of quotas would exceed
+  // the pool.  Shrinking below current occupancy evicts randomly.
+  Status AllocateCacheSize(const Dataset& dataset, Bytes cache_size);
+  Bytes Allocation(DatasetId dataset) const;
+  // Releases the dataset's quota and evicts its items.
+  void ReleaseDataset(DatasetId dataset);
+
+  // --- Item path (driven by the fine engine / data pipeline) ---------------
+  // Records a read of `block`.  Returns true on hit.  On miss the caller
+  // fetches remotely and the manager admits the block under uniform caching.
+  bool AccessBlock(const Dataset& dataset, std::int64_t block);
+  Bytes CachedBytes(DatasetId dataset) const;
+  bool IsCached(DatasetId dataset, std::int64_t block) const;
+
+  // Split admission path for callers layering extra constraints (the
+  // distributed cache gates on per-server capacity): WouldAdmit checks the
+  // dataset quota only; AdmitBlock inserts unconditionally-checked.
+  bool WouldAdmit(const Dataset& dataset, std::int64_t block) const;
+  Status AdmitBlock(const Dataset& dataset, std::int64_t block);
+
+  // --- Crash recovery (§6) --------------------------------------------------
+  // The resident blocks of a dataset (sorted), for snapshotting.
+  std::vector<std::int64_t> CachedBlocks(DatasetId dataset) const;
+  // Re-inserts surviving blocks after a restart (cache content lives on local
+  // disk and survives crashes).  Blocks beyond the quota are dropped, which
+  // matches uniform caching's behaviour for a shrunken allocation.
+  Status RestoreCachedBlocks(const Dataset& dataset, const std::vector<std::int64_t>& blocks);
+
+  // --- Job epoch tracking (§6) ---------------------------------------------
+  void RegisterJob(JobId job, const Dataset& dataset);
+  void UnregisterJob(JobId job);
+  // Starts the job's next epoch: clears its access bitset and snapshots the
+  // insertion generation, after which newly cached items are "ineffective"
+  // for this job until the following epoch.
+  void StartJobEpoch(JobId job);
+  // Records that `job` consumed `block` this epoch (returns false if it was
+  // already marked — callers feed each block once per epoch).
+  bool MarkJobAccess(JobId job, std::int64_t block);
+  // Blocks of the job's dataset not yet consumed this epoch.
+  std::int64_t RemainingBlocks(JobId job) const;
+
+  // Bytes of the job's dataset that are cached AND were cached before the
+  // job's current epoch began — the effective cache size of §6 / Fig. 8.
+  Bytes EffectiveBytes(JobId job) const;
+
+ private:
+  struct DatasetState {
+    Dataset dataset;
+    Bytes quota = 0;
+    Bytes used = 0;
+    // block -> insertion generation.
+    std::unordered_map<std::int64_t, std::uint64_t> blocks;
+  };
+  struct JobState {
+    DatasetId dataset = kInvalidDataset;
+    std::uint64_t epoch_generation = 0;
+    DynamicBitset accessed;
+  };
+
+  DatasetState& GetOrCreate(const Dataset& dataset);
+
+  Bytes total_capacity_;
+  Bytes total_allocated_ = 0;
+  std::uint64_t generation_ = 0;
+  Rng rng_;
+  std::map<DatasetId, DatasetState> datasets_;
+  std::map<JobId, JobState> jobs_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CACHE_CACHE_MANAGER_H_

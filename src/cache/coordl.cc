@@ -1,0 +1,13 @@
+#include "src/cache/coordl.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+Bytes CoorDlStaticCache(const JobSpec& job, Bytes total_cache, int total_gpus) {
+  SILOD_CHECK(total_gpus > 0) << "cluster has no GPUs";
+  SILOD_CHECK(total_cache >= 0) << "negative cache";
+  return total_cache * job.num_gpus / total_gpus;
+}
+
+}  // namespace silod

@@ -1,0 +1,26 @@
+// CoorDL's caching model [50], as characterized in §2.1/§7.
+//
+// CoorDL is a data-loading library: each job caches uniformly but
+// *independently*, inside its own VM's local storage.  The cache is statically
+// partitioned by VM — a job's share is the local disk of the GPUs it occupies
+// (e.g. 368 GB per V100 on Azure) regardless of how much its dataset would
+// benefit.  In the §7.1.1 micro-benchmark this hands half the 2 TB pool to
+// the 4-GPU BERT job whose 20.9 TB corpus barely benefits.
+//
+// We model the static partition as (cluster cache) * (job GPUs / cluster
+// GPUs), which reproduces both the per-V100 slice and the BERT waste.
+#ifndef SILOD_SRC_CACHE_COORDL_H_
+#define SILOD_SRC_CACHE_COORDL_H_
+
+#include "src/common/units.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+// The private cache slice CoorDL statically grants `job` in a cluster with
+// `total_cache` bytes across `total_gpus` GPUs.
+Bytes CoorDlStaticCache(const JobSpec& job, Bytes total_cache, int total_gpus);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CACHE_COORDL_H_

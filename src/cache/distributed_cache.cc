@@ -1,0 +1,80 @@
+#include "src/cache/distributed_cache.h"
+
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+DistributedCache::DistributedCache(int num_servers, Bytes per_server_capacity,
+                                   std::uint64_t seed)
+    : aggregate_(per_server_capacity * num_servers, seed),
+      placement_(num_servers, /*virtual_nodes=*/128, seed ^ 0xD15C),
+      per_server_capacity_(per_server_capacity),
+      server_used_(static_cast<std::size_t>(num_servers), 0) {
+  SILOD_CHECK(num_servers >= 1) << "need at least one server";
+  SILOD_CHECK(per_server_capacity >= 0) << "negative server capacity";
+}
+
+Status DistributedCache::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
+  const Status st = aggregate_.AllocateCacheSize(dataset, cache_size);
+  if (!st.ok()) {
+    return st;
+  }
+  // A shrink may have evicted blocks inside the aggregate manager; rebuild
+  // this dataset's contribution to the per-server usage from what survived.
+  std::vector<Bytes> surviving(server_used_.size(), 0);
+  for (const std::int64_t block : aggregate_.CachedBlocks(dataset.id)) {
+    const int server = placement_.ServerFor(dataset.id, block);
+    surviving[static_cast<std::size_t>(server)] += dataset.BlockBytes(block);
+  }
+  // Subtract the dataset's previous per-server footprint and add the new one.
+  auto it = per_dataset_server_bytes_.find(dataset.id);
+  if (it != per_dataset_server_bytes_.end()) {
+    for (std::size_t s = 0; s < server_used_.size(); ++s) {
+      server_used_[s] -= it->second[s];
+    }
+  }
+  for (std::size_t s = 0; s < server_used_.size(); ++s) {
+    server_used_[s] += surviving[s];
+  }
+  per_dataset_server_bytes_[dataset.id] = std::move(surviving);
+  return Status::Ok();
+}
+
+bool DistributedCache::AccessBlock(const Dataset& dataset, std::int64_t block) {
+  if (aggregate_.IsCached(dataset.id, block)) {
+    return true;
+  }
+  // Miss: admit iff the dataset quota AND the placed server have room.
+  if (!aggregate_.WouldAdmit(dataset, block)) {
+    return false;
+  }
+  ++admissions_;
+  const int server = placement_.ServerFor(dataset.id, block);
+  const Bytes bytes = dataset.BlockBytes(block);
+  if (server_used_[static_cast<std::size_t>(server)] + bytes > per_server_capacity_) {
+    ++server_rejections_;
+    return false;
+  }
+  const Status st = aggregate_.AdmitBlock(dataset, block);
+  SILOD_CHECK(st.ok()) << "gated admission failed: " << st.ToString();
+  server_used_[static_cast<std::size_t>(server)] += bytes;
+  auto it = per_dataset_server_bytes_.find(dataset.id);
+  if (it == per_dataset_server_bytes_.end()) {
+    it = per_dataset_server_bytes_
+             .emplace(dataset.id, std::vector<Bytes>(server_used_.size(), 0))
+             .first;
+  }
+  it->second[static_cast<std::size_t>(server)] += bytes;
+  return false;
+}
+
+double DistributedCache::ServerRejectRate() const {
+  if (admissions_ == 0) {
+    return 0;
+  }
+  return static_cast<double>(server_rejections_) / static_cast<double>(admissions_);
+}
+
+}  // namespace silod

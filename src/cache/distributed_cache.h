@@ -1,0 +1,70 @@
+// DistributedCache: the cluster cache pool with per-server enforcement.
+//
+// CacheManager treats the pool as one aggregate capacity; in the real
+// deployment the pool is the union of every server's local disk (§2.1), so a
+// block can only be cached if the *server it hashes to* has room.  This
+// wrapper adds that constraint: blocks are placed with consistent hashing
+// (storage/placement.h), each server enforces its own capacity, and the
+// dataset-quota uniform-caching semantics of CacheManager apply on top.
+//
+// With an even spread the per-server constraint costs little (a few percent
+// of nominal capacity lost to imbalance); the tests quantify exactly that,
+// which is the quantitative footing for treating the pool as one capacity in
+// the schedulers and engines.
+#ifndef SILOD_SRC_CACHE_DISTRIBUTED_CACHE_H_
+#define SILOD_SRC_CACHE_DISTRIBUTED_CACHE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/cache/cache_manager.h"
+#include "src/storage/placement.h"
+
+namespace silod {
+
+class DistributedCache {
+ public:
+  DistributedCache(int num_servers, Bytes per_server_capacity, std::uint64_t seed = 7);
+
+  int num_servers() const { return static_cast<int>(server_used_.size()); }
+  Bytes per_server_capacity() const { return per_server_capacity_; }
+  Bytes total_capacity() const {
+    return per_server_capacity_ * static_cast<Bytes>(server_used_.size());
+  }
+
+  // Dataset-quota API, mirroring CacheManager (Table 3's allocateCacheSize).
+  Status AllocateCacheSize(const Dataset& dataset, Bytes cache_size);
+  Bytes Allocation(DatasetId dataset) const { return aggregate_.Allocation(dataset); }
+
+  // Records a read; on a miss the block is admitted iff both the dataset's
+  // quota and the target server have room.  Returns true on hit.
+  bool AccessBlock(const Dataset& dataset, std::int64_t block);
+
+  bool IsCached(DatasetId dataset, std::int64_t block) const {
+    return aggregate_.IsCached(dataset, block);
+  }
+  Bytes CachedBytes(DatasetId dataset) const { return aggregate_.CachedBytes(dataset); }
+
+  // Per-server occupancy (for balance diagnostics and tests).
+  const std::vector<Bytes>& server_used() const { return server_used_; }
+  Bytes server_used(int server) const { return server_used_[static_cast<std::size_t>(server)]; }
+
+  // Fraction of admission attempts rejected solely by a full server while the
+  // dataset quota still had room — the imbalance overhead.
+  double ServerRejectRate() const;
+
+ private:
+  CacheManager aggregate_;
+  BlockPlacement placement_;
+  Bytes per_server_capacity_;
+  std::vector<Bytes> server_used_;
+  // Each dataset's footprint per server; lets a quota shrink rebuild the
+  // per-server usage without touching other datasets.
+  std::map<DatasetId, std::vector<Bytes>> per_dataset_server_bytes_;
+  std::int64_t admissions_ = 0;
+  std::int64_t server_rejections_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CACHE_DISTRIBUTED_CACHE_H_

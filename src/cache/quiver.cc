@@ -1,0 +1,32 @@
+#include "src/cache/quiver.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+std::map<DatasetId, Bytes> QuiverAllocate(const std::vector<QuiverCandidate>& candidates,
+                                          Bytes total_cache) {
+  SILOD_CHECK(total_cache >= 0) << "negative cache capacity";
+  std::vector<QuiverCandidate> order = candidates;
+  std::sort(order.begin(), order.end(), [](const QuiverCandidate& a, const QuiverCandidate& b) {
+    if (a.measured_benefit != b.measured_benefit) {
+      return a.measured_benefit > b.measured_benefit;
+    }
+    return a.dataset < b.dataset;
+  });
+
+  std::map<DatasetId, Bytes> alloc;
+  Bytes remaining = total_cache;
+  for (const QuiverCandidate& c : order) {
+    SILOD_CHECK(c.size > 0) << "dataset size must be positive";
+    if (c.size <= remaining) {
+      alloc[c.dataset] = c.size;  // Whole dataset or nothing.
+      remaining -= c.size;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace silod

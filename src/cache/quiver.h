@@ -1,0 +1,38 @@
+// Quiver's cache-allocation policy [44], as characterized in §7.
+//
+// Quiver preferentially assigns cache to the datasets with the highest
+// benefit-to-cost ratio, with two properties SiloD improves upon:
+//   - whole-dataset caching only: "jobs do not benefit from Quiver if it
+//     cannot entirely fit into the cache", so a dataset that does not fit in
+//     the remaining pool is skipped and that space may go unused (§7.1.1:
+//     0.7 TB wasted in the micro-benchmark);
+//   - online profiling: the benefit estimate comes from observed latencies
+//     and fluctuates with IO contention, destabilizing the ranking and
+//     occasionally evicting a still-useful dataset (§7.1.2).
+#ifndef SILOD_SRC_CACHE_QUIVER_H_
+#define SILOD_SRC_CACHE_QUIVER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/dataset.h"
+
+namespace silod {
+
+struct QuiverCandidate {
+  DatasetId dataset = kInvalidDataset;
+  Bytes size = 0;
+  // Benefit-per-byte as measured by Quiver's online profiler (for us: the
+  // true cache efficiency perturbed by OnlineBenefitProfiler noise).
+  double measured_benefit = 0;
+};
+
+// Ranks candidates by measured benefit (per byte) and caches whole datasets
+// greedily; datasets that do not fit whole in the remaining space get nothing.
+std::map<DatasetId, Bytes> QuiverAllocate(const std::vector<QuiverCandidate>& candidates,
+                                          Bytes total_cache);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CACHE_QUIVER_H_

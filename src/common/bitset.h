@@ -1,0 +1,79 @@
+// DynamicBitset: a fixed-size-at-construction bitset with popcount support.
+//
+// The SiloD data manager keeps one bitset per (job, dataset) pair to track
+// which items the job has already accessed in the current epoch (§6,
+// "delayed effectiveness"), so the sets can hold millions of bits and need a
+// fast Count().
+#ifndef SILOD_SRC_COMMON_BITSET_H_
+#define SILOD_SRC_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    SILOD_CHECK(i < size_) << "bit index " << i << " out of range " << size_;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Sets bit i; returns true iff the bit was previously clear.
+  bool Set(std::size_t i) {
+    SILOD_CHECK(i < size_) << "bit index " << i << " out of range " << size_;
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool was_clear = (words_[i >> 6] & mask) == 0;
+    words_[i >> 6] |= mask;
+    count_ += was_clear ? 1 : 0;
+    return was_clear;
+  }
+
+  // Clears bit i; returns true iff the bit was previously set.
+  bool Reset(std::size_t i) {
+    SILOD_CHECK(i < size_) << "bit index " << i << " out of range " << size_;
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool was_set = (words_[i >> 6] & mask) != 0;
+    words_[i >> 6] &= ~mask;
+    count_ -= was_set ? 1 : 0;
+    return was_set;
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+    count_ = 0;
+  }
+
+  // Number of set bits.  O(1): maintained incrementally.
+  std::size_t Count() const { return count_; }
+
+  // Recomputes the popcount from the raw words; used in tests to validate the
+  // incremental counter.
+  std::size_t RecountSlow() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) {
+      n += static_cast<std::size_t>(std::popcount(w));
+    }
+    return n;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_BITSET_H_

@@ -1,0 +1,76 @@
+// Lightweight leveled logging and assertion macros.
+//
+//   SILOD_LOG(INFO) << "scheduled " << n << " jobs";
+//   SILOD_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// Log output goes to stderr.  The minimum level is configurable at runtime via
+// SetMinLogLevel (benchmarks silence INFO; tests assert on behaviour, not logs).
+// SILOD_CHECK aborts on failure: it guards programming errors, not runtime
+// conditions (those use Status).
+#ifndef SILOD_SRC_COMMON_LOGGING_H_
+#define SILOD_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace silod {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+const char* LogLevelName(LogLevel level);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+}  // namespace silod
+
+#define SILOD_LOG(severity)                                                         \
+  (::silod::LogLevel::k##severity < ::silod::MinLogLevel())                         \
+      ? (void)0                                                                     \
+      : ::silod::log_internal::Voidify() &                                          \
+            ::silod::log_internal::LogMessage(::silod::LogLevel::k##severity,       \
+                                              __FILE__, __LINE__)                   \
+                .stream()
+
+#define SILOD_CHECK(cond)                                                           \
+  (cond) ? (void)0                                                                  \
+         : ::silod::log_internal::Voidify() &                                       \
+               ::silod::log_internal::LogMessage(::silod::LogLevel::kFatal,         \
+                                                 __FILE__, __LINE__)                \
+                   .stream()                                                        \
+               << "Check failed: " #cond " "
+
+namespace silod::log_internal {
+
+// Helper so the macros expand to a void expression regardless of branch.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace silod::log_internal
+
+#endif  // SILOD_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in SiloD (trace generation, shuffled epochs,
+// profiling noise) draws from an explicitly seeded Rng so that simulations are
+// reproducible bit-for-bit across runs and platforms.  We implement
+// xoshiro256** seeded through SplitMix64 rather than relying on
+// std::mt19937 + distribution objects, whose outputs are not specified to be
+// identical across standard library implementations.
+#ifndef SILOD_SRC_COMMON_RNG_H_
+#define SILOD_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace silod {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5157D00DULL);
+
+  // Uniform bits in [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t NextBelow(std::uint64_t n);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Log-normal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Forks an independent stream; deterministic function of this stream's state.
+  Rng Fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_RNG_H_

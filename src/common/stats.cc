@@ -1,0 +1,148 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  SILOD_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac = points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    const std::size_t idx =
+        std::min(static_cast<std::size_t>(frac * static_cast<double>(samples_.size() - 1) + 0.5),
+                 samples_.size() - 1);
+    out.emplace_back(samples_[idx],
+                     static_cast<double>(idx + 1) / static_cast<double>(samples_.size()));
+  }
+  return out;
+}
+
+void TimeSeries::Record(Seconds t, double value) {
+  SILOD_CHECK(points_.empty() || t >= points_.back().first)
+      << "TimeSeries recordings must be time-ordered: " << t << " < " << points_.back().first;
+  if (!points_.empty() && points_.back().first == t) {
+    points_.back().second = value;
+    return;
+  }
+  points_.emplace_back(t, value);
+}
+
+double TimeSeries::ValueAt(Seconds t) const {
+  if (points_.empty() || t < points_.front().first) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](Seconds lhs, const auto& p) { return lhs < p.first; });
+  return std::prev(it)->second;
+}
+
+double TimeSeries::TimeAverage(Seconds from, Seconds to) const {
+  if (points_.empty() || to <= from) {
+    return 0.0;
+  }
+  double integral = 0.0;
+  Seconds cursor = from;
+  double value = ValueAt(from);
+  auto it = std::upper_bound(points_.begin(), points_.end(), from,
+                             [](Seconds lhs, const auto& p) { return lhs < p.first; });
+  for (; it != points_.end() && it->first < to; ++it) {
+    integral += value * (it->first - cursor);
+    cursor = it->first;
+    value = it->second;
+  }
+  integral += value * (to - cursor);
+  return integral / (to - from);
+}
+
+std::vector<std::pair<Seconds, double>> TimeSeries::Downsample(std::size_t max_points) const {
+  std::vector<std::pair<Seconds, double>> out;
+  if (points_.empty() || max_points == 0) {
+    return out;
+  }
+  if (points_.size() <= max_points) {
+    return points_;
+  }
+  const Seconds start = points_.front().first;
+  const Seconds end = points_.back().first;
+  out.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const Seconds t =
+        start + (end - start) * static_cast<double>(i) / static_cast<double>(max_points - 1);
+    out.emplace_back(t, ValueAt(t));
+  }
+  return out;
+}
+
+}  // namespace silod

@@ -1,0 +1,77 @@
+// Fixed-width console table printing for examples and benchmark harnesses.
+//
+//   Table t({"system", "avg JCT (min)", "makespan (min)"});
+//   t.AddRow({"SiloD", Fmt(3366.0), Fmt(3807.0)});
+//   t.Print();
+#ifndef SILOD_SRC_COMMON_TABLE_H_
+#define SILOD_SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace silod {
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) {
+        rule += "+";
+      }
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, width);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) {
+        line += "|";
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_TABLE_H_

@@ -1,0 +1,74 @@
+#include "src/core/data_manager.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+DataManager::DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed)
+    : cache_(cache_capacity, seed), remote_(egress_limit) {}
+
+Status DataManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
+  return cache_.AllocateCacheSize(dataset, cache_size);
+}
+
+Status DataManager::AllocateRemoteIo(JobId job, BytesPerSec io_speed) {
+  if (job < 0) {
+    return Status::InvalidArgument("invalid job id");
+  }
+  if (io_speed < 0) {
+    return Status::InvalidArgument("negative remote IO allocation");
+  }
+  remote_.SetJobThrottle(job, io_speed);
+  return Status::Ok();
+}
+
+Status DataManager::ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& catalog) {
+  if (plan.cache_model != CacheModelKind::kDatasetQuota) {
+    return Status::FailedPrecondition("DataManager enforces dataset-quota plans only");
+  }
+  // Shrinks first so reshuffled allocations never transiently over-commit.
+  for (const bool shrink_pass : {true, false}) {
+    for (const auto& dataset : catalog.all()) {
+      const auto it = plan.dataset_cache.find(dataset.id);
+      const Bytes quota = it == plan.dataset_cache.end() ? 0 : it->second;
+      const Bytes current = cache_.Allocation(dataset.id);
+      if (quota == current || (quota < current) != shrink_pass) {
+        continue;
+      }
+      const Status st = cache_.AllocateCacheSize(dataset, quota);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  }
+  for (const auto& [job, alloc] : plan.jobs) {
+    if (!alloc.running) {
+      continue;
+    }
+    if (plan.manages_remote_io && !std::isinf(alloc.remote_io)) {
+      remote_.SetJobThrottle(job, alloc.remote_io);
+    } else {
+      remote_.ClearJobThrottle(job);
+    }
+  }
+  return Status::Ok();
+}
+
+DataManager::ReadResult DataManager::ReadBlock(JobId job, const Dataset& dataset,
+                                               std::int64_t block) {
+  ReadResult result;
+  result.hit = cache_.AccessBlock(dataset, block);
+  if (!result.hit) {
+    const BytesPerSec throttle = remote_.JobThrottle(job);
+    const BytesPerSec rate = std::isinf(throttle)
+                                 ? remote_.egress_limit()
+                                 : std::min(throttle, remote_.egress_limit());
+    SILOD_CHECK(rate > 0) << "job " << job << " throttled to zero with a cache miss";
+    result.remote_seconds = static_cast<double>(dataset.BlockBytes(block)) / rate;
+  }
+  return result;
+}
+
+}  // namespace silod

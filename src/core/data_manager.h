@@ -1,0 +1,54 @@
+// SiloD Data Manager (§6, Fig. 7): the storage-layer component that exposes
+// the Table 3 allocation APIs to the scheduler and enforces them —
+// per-dataset uniform-cache quotas through CacheManager, per-job remote-IO
+// throttles through RemoteStore.  The simulation engines drive the same
+// machinery internally; this facade is the public, programmable surface the
+// examples use, and the unit under test for the allocation-API contract.
+#ifndef SILOD_SRC_CORE_DATA_MANAGER_H_
+#define SILOD_SRC_CORE_DATA_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/cache/cache_manager.h"
+#include "src/sched/allocation.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+
+class DataManager {
+ public:
+  DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed = 7);
+
+  // --- Table 3 allocation APIs --------------------------------------------
+  // void allocateCacheSize(dataset_uri, cache_size)
+  Status AllocateCacheSize(const Dataset& dataset, Bytes cache_size);
+  // void allocateRemoteIO(job_id, io_speed)
+  Status AllocateRemoteIo(JobId job, BytesPerSec io_speed);
+
+  // Applies a whole scheduler plan (quota-model plans only; shared-LRU and
+  // per-job models are enforced elsewhere).
+  Status ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& catalog);
+
+  // --- Read path (virtual time) --------------------------------------------
+  struct ReadResult {
+    bool hit = false;
+    // Time the read occupies the remote link (0 for hits); the caller owns
+    // overlapping this with compute.
+    Seconds remote_seconds = 0;
+  };
+  // One block read by `job`; enforces uniform caching and the job's throttle.
+  ReadResult ReadBlock(JobId job, const Dataset& dataset, std::int64_t block);
+
+  CacheManager& cache() { return cache_; }
+  const CacheManager& cache() const { return cache_; }
+  RemoteStore& remote() { return remote_; }
+  const RemoteStore& remote() const { return remote_; }
+
+ private:
+  CacheManager cache_;
+  RemoteStore remote_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CORE_DATA_MANAGER_H_

@@ -1,0 +1,104 @@
+#include "src/core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+PartitionSplit SplitResources(const Snapshot& snapshot) {
+  int regular_demand = 0;
+  int irregular_demand = 0;
+  for (const JobView& view : snapshot.jobs) {
+    (view.spec->regular ? regular_demand : irregular_demand) += view.spec->num_gpus;
+  }
+  PartitionSplit split;
+  if (irregular_demand == 0) {
+    split.regular = snapshot.resources;
+    split.regular_fraction = 1.0;
+    return split;
+  }
+  const double total = static_cast<double>(regular_demand + irregular_demand);
+  // Keep both partitions viable even under extreme demand skew.
+  double frac = total > 0 ? static_cast<double>(regular_demand) / total : 0.5;
+  frac = std::clamp(frac, 0.1, 0.9);
+  split.regular_fraction = frac;
+
+  split.regular = snapshot.resources;
+  split.irregular = snapshot.resources;
+  split.regular.total_gpus = static_cast<int>(std::lround(snapshot.resources.total_gpus * frac));
+  split.irregular.total_gpus = snapshot.resources.total_gpus - split.regular.total_gpus;
+  split.regular.total_cache = static_cast<Bytes>(snapshot.resources.total_cache * frac);
+  split.irregular.total_cache = snapshot.resources.total_cache - split.regular.total_cache;
+  split.regular.remote_io = snapshot.resources.remote_io * frac;
+  split.irregular.remote_io = snapshot.resources.remote_io - split.regular.remote_io;
+  return split;
+}
+
+PartitionedScheduler::PartitionedScheduler(std::shared_ptr<Scheduler> regular,
+                                           std::shared_ptr<Scheduler> fallback)
+    : regular_(std::move(regular)), fallback_(std::move(fallback)) {
+  SILOD_CHECK(regular_ != nullptr && fallback_ != nullptr) << "both schedulers required";
+}
+
+std::string PartitionedScheduler::name() const {
+  return "partitioned(" + regular_->name() + " | " + fallback_->name() + ")";
+}
+
+AllocationPlan PartitionedScheduler::Schedule(const Snapshot& snapshot) {
+  Snapshot regular = snapshot;
+  Snapshot irregular = snapshot;
+  regular.jobs.clear();
+  irregular.jobs.clear();
+  for (const JobView& view : snapshot.jobs) {
+    (view.spec->regular ? regular.jobs : irregular.jobs).push_back(view);
+  }
+  if (irregular.jobs.empty()) {
+    return regular_->Schedule(snapshot);
+  }
+  if (regular.jobs.empty()) {
+    return fallback_->Schedule(snapshot);
+  }
+
+  const PartitionSplit split = SplitResources(snapshot);
+  regular.resources = split.regular;
+  irregular.resources = split.irregular;
+
+  AllocationPlan plan_r = regular_->Schedule(regular);
+  const AllocationPlan plan_i = fallback_->Schedule(irregular);
+  SILOD_CHECK(plan_r.cache_model == plan_i.cache_model)
+      << "partitions must agree on the cache model (" << CacheModelKindName(plan_r.cache_model)
+      << " vs " << CacheModelKindName(plan_i.cache_model) << ")";
+
+  // Merge: job sets are disjoint; dataset allocations may overlap if a
+  // dataset is read from both partitions — the larger quota wins.
+  for (const auto& [job, alloc] : plan_i.jobs) {
+    plan_r.jobs[job] = alloc;
+  }
+  for (const auto& [dataset, bytes] : plan_i.dataset_cache) {
+    Bytes& slot = plan_r.dataset_cache[dataset];
+    slot = std::max(slot, bytes);
+  }
+  plan_r.manages_remote_io = plan_r.manages_remote_io || plan_i.manages_remote_io;
+  // The irregular partition shares its remote IO fairly inside the partition:
+  // pin unthrottled irregular jobs to an equal slice so the merged plan still
+  // isolates the partitions' egress budgets.
+  int irregular_running = 0;
+  for (const auto& [job, alloc] : plan_i.jobs) {
+    if (alloc.running) {
+      ++irregular_running;
+    }
+  }
+  if (plan_r.manages_remote_io && irregular_running > 0) {
+    const BytesPerSec slice = split.irregular.remote_io / irregular_running;
+    for (const auto& [job, alloc] : plan_i.jobs) {
+      if (alloc.running && std::isinf(alloc.remote_io)) {
+        plan_r.jobs[job].remote_io = slice;
+      }
+    }
+  }
+  return plan_r;
+}
+
+}  // namespace silod

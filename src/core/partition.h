@@ -1,0 +1,46 @@
+// Regular / irregular job partitioning (§6, "Handling irregular data access").
+//
+// SiloD's estimator assumes (1) exactly-once-per-epoch uniform access and
+// (2) a pipelined loader.  Jobs violating these (e.g. curriculum learning)
+// are placed in a separate partition: cache and remote IO are split between
+// the two partitions in proportion to GPU demand, the regular partition is
+// scheduled with SiloDPerf, and the irregular partition falls back to the
+// original scheduler and estimator with fair sharing inside.
+#ifndef SILOD_SRC_CORE_PARTITION_H_
+#define SILOD_SRC_CORE_PARTITION_H_
+
+#include <memory>
+
+#include "src/sched/policy.h"
+
+namespace silod {
+
+struct PartitionSplit {
+  ClusterResources regular;
+  ClusterResources irregular;
+  // Fraction of storage resources given to the regular partition.
+  double regular_fraction = 1.0;
+};
+
+// Splits storage resources proportionally to the GPU demand of regular vs
+// irregular jobs currently in the system (each partition keeps the full GPU
+// pool view it needs; GPUs themselves are partitioned by demand too).
+PartitionSplit SplitResources(const Snapshot& snapshot);
+
+class PartitionedScheduler : public Scheduler {
+ public:
+  // `regular` schedules the SiloD-assumption-satisfying jobs; `fallback`
+  // schedules the rest within the second partition.
+  PartitionedScheduler(std::shared_ptr<Scheduler> regular, std::shared_ptr<Scheduler> fallback);
+
+  AllocationPlan Schedule(const Snapshot& snapshot) override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<Scheduler> regular_;
+  std::shared_ptr<Scheduler> fallback_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CORE_PARTITION_H_

@@ -1,0 +1,122 @@
+#include "src/core/recovery.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace silod {
+
+DataManagerSnapshot CaptureSnapshot(const DataManager& manager, const DatasetCatalog& catalog) {
+  DataManagerSnapshot snapshot;
+  for (const Dataset& dataset : catalog.all()) {
+    const Bytes quota = manager.cache().Allocation(dataset.id);
+    if (quota > 0) {
+      snapshot.cache_allocations[dataset.id] = quota;
+    }
+    std::vector<std::int64_t> blocks = manager.cache().CachedBlocks(dataset.id);
+    if (!blocks.empty()) {
+      snapshot.cached_blocks[dataset.id] = std::move(blocks);
+    }
+  }
+  for (const auto& [job, rate] : manager.remote().Throttles()) {
+    snapshot.io_allocations[job] = rate;
+  }
+  return snapshot;
+}
+
+Status RestoreDataManager(const DataManagerSnapshot& snapshot, const DatasetCatalog& catalog,
+                          DataManager* manager) {
+  if (manager == nullptr) {
+    return Status::InvalidArgument("null manager");
+  }
+  // Allocations first (the pod annotations), then disk contents under them.
+  for (const auto& [dataset_id, quota] : snapshot.cache_allocations) {
+    const Status st = manager->AllocateCacheSize(catalog.Get(dataset_id), quota);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  for (const auto& [job, rate] : snapshot.io_allocations) {
+    const Status st = manager->AllocateRemoteIo(job, rate);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  for (const auto& [dataset_id, blocks] : snapshot.cached_blocks) {
+    const Status st = manager->cache().RestoreCachedBlocks(catalog.Get(dataset_id), blocks);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string SnapshotToText(const DataManagerSnapshot& snapshot) {
+  std::string out = "silod-snapshot-v1\n";
+  char buf[64];
+  for (const auto& [dataset, quota] : snapshot.cache_allocations) {
+    std::snprintf(buf, sizeof(buf), "cache %d %" PRId64 "\n", dataset, quota);
+    out += buf;
+  }
+  for (const auto& [job, rate] : snapshot.io_allocations) {
+    std::snprintf(buf, sizeof(buf), "io %d %.6f\n", job, rate);
+    out += buf;
+  }
+  for (const auto& [dataset, blocks] : snapshot.cached_blocks) {
+    std::snprintf(buf, sizeof(buf), "blocks %d", dataset);
+    out += buf;
+    for (const std::int64_t block : blocks) {
+      std::snprintf(buf, sizeof(buf), " %" PRId64, block);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<DataManagerSnapshot> SnapshotFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "silod-snapshot-v1") {
+    return Status::InvalidArgument("bad snapshot header");
+  }
+  DataManagerSnapshot snapshot;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "cache") {
+      DatasetId dataset;
+      Bytes quota;
+      if (!(fields >> dataset >> quota)) {
+        return Status::InvalidArgument("bad cache line: " + line);
+      }
+      snapshot.cache_allocations[dataset] = quota;
+    } else if (kind == "io") {
+      JobId job;
+      BytesPerSec rate;
+      if (!(fields >> job >> rate)) {
+        return Status::InvalidArgument("bad io line: " + line);
+      }
+      snapshot.io_allocations[job] = rate;
+    } else if (kind == "blocks") {
+      DatasetId dataset;
+      if (!(fields >> dataset)) {
+        return Status::InvalidArgument("bad blocks line: " + line);
+      }
+      std::vector<std::int64_t>& blocks = snapshot.cached_blocks[dataset];
+      std::int64_t block;
+      while (fields >> block) {
+        blocks.push_back(block);
+      }
+    } else {
+      return Status::InvalidArgument("unknown snapshot record: " + kind);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace silod

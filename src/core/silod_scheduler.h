@@ -1,0 +1,48 @@
+// Algorithm 1: composing scheduling policies with cache systems.
+//
+// SiloD's framework is "any performance-aware scheduler + the SiloDPerf
+// estimator + storage in totalResource".  This factory builds every
+// (scheduler, cache system) pair evaluated in §7:
+//
+//               SiloD                     Alluxio / CoorDL / Quiver
+//   FIFO   greedy Alg. 2 storage       independent cache, fair-share IO
+//   SJF    Eq. 7 score + Alg. 2        Eq. 6 score (compute-only estimator)
+//   Gavel  Eq. 9 solver                Eq. 8 with compute-only estimator
+#ifndef SILOD_SRC_CORE_SILOD_SCHEDULER_H_
+#define SILOD_SRC_CORE_SILOD_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sched/gavel.h"
+#include "src/sched/policy.h"
+
+namespace silod {
+
+enum class SchedulerKind { kFifo, kSjf, kGavel };
+enum class CacheSystem { kSiloD, kAlluxio, kAlluxioLfu, kCoorDl, kQuiver };
+
+const char* SchedulerKindName(SchedulerKind kind);
+const char* CacheSystemName(CacheSystem system);
+
+struct SchedulerOptions {
+  // §7.2 ablation: SiloD allocates cache but leaves remote IO to the
+  // provider's fair share.
+  bool manage_remote_io = true;
+  // Objective for the Gavel scheduler's SiloD variant (§5.2: the extension
+  // supports every objective Gavel does).
+  GavelObjective gavel_objective = GavelObjective::kMaxMinFairness;
+  // SRTF: the SJF scheduler preempts running jobs for lower-score arrivals.
+  // Only the flow engine executes preemptive plans.
+  bool preemptive_sjf = false;
+  // Relative noise of Quiver's online benefit profiling.
+  double quiver_profiling_noise = 0.25;
+  std::uint64_t seed = 11;
+};
+
+std::shared_ptr<Scheduler> MakeScheduler(SchedulerKind kind, CacheSystem system,
+                                         const SchedulerOptions& options = {});
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CORE_SILOD_SCHEDULER_H_

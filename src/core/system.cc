@@ -1,0 +1,33 @@
+#include "src/core/system.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+std::string ExperimentConfig::Name() const {
+  return std::string(SchedulerKindName(scheduler)) + "-" + CacheSystemName(cache);
+}
+
+SimResult RunExperiment(const Trace& trace, const ExperimentConfig& config) {
+  return RunExperimentWith(
+      trace, MakeScheduler(config.scheduler, config.cache, config.scheduler_options), config);
+}
+
+SimResult RunExperimentWith(const Trace& trace, std::shared_ptr<Scheduler> scheduler,
+                            const ExperimentConfig& config) {
+  SILOD_CHECK(scheduler != nullptr) << "scheduler required";
+  switch (config.engine) {
+    case EngineKind::kFlow: {
+      FlowEngine engine(&trace, std::move(scheduler), config.sim);
+      return engine.Run();
+    }
+    case EngineKind::kFine: {
+      FineEngine engine(&trace, std::move(scheduler), config.sim, config.fine);
+      return engine.Run();
+    }
+  }
+  SILOD_CHECK(false) << "unreachable engine kind";
+  return SimResult{};
+}
+
+}  // namespace silod

@@ -1,0 +1,46 @@
+// SiloDSystem: the one-call experiment API.
+//
+// Wires a workload trace, a (scheduler, cache system) pair and a cluster
+// configuration to a simulation engine and returns the paper's metrics.
+// Everything in bench/ and most examples go through RunExperiment.
+#ifndef SILOD_SRC_CORE_SYSTEM_H_
+#define SILOD_SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/silod_scheduler.h"
+#include "src/sim/cluster.h"
+#include "src/sim/fine_engine.h"
+#include "src/sim/flow_engine.h"
+#include "src/sim/metrics.h"
+#include "src/workload/trace_gen.h"
+
+namespace silod {
+
+enum class EngineKind {
+  kFlow,  // Piecewise-constant rates; for large clusters / long traces.
+  kFine,  // Mini-batch DES; for micro-benchmarks and cache-dynamics studies.
+};
+
+struct ExperimentConfig {
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  CacheSystem cache = CacheSystem::kSiloD;
+  SchedulerOptions scheduler_options;
+  SimConfig sim;
+  EngineKind engine = EngineKind::kFlow;
+  FineEngineOptions fine;
+
+  std::string Name() const;
+};
+
+// Runs one experiment end to end.
+SimResult RunExperiment(const Trace& trace, const ExperimentConfig& config);
+
+// Same, but with a caller-provided scheduler (e.g. a PartitionedScheduler).
+SimResult RunExperimentWith(const Trace& trace, std::shared_ptr<Scheduler> scheduler,
+                            const ExperimentConfig& config);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CORE_SYSTEM_H_

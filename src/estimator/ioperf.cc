@@ -1,0 +1,54 @@
+#include "src/estimator/ioperf.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+namespace {
+
+double MissRatio(Bytes cache, Bytes dataset) {
+  SILOD_CHECK(dataset > 0) << "dataset size must be positive";
+  SILOD_CHECK(cache >= 0) << "cache size must be nonnegative";
+  const double hit = std::min(1.0, static_cast<double>(cache) / static_cast<double>(dataset));
+  return 1.0 - hit;
+}
+
+}  // namespace
+
+BytesPerSec RemoteIoDemand(BytesPerSec f, Bytes cache, Bytes dataset) {
+  SILOD_CHECK(f >= 0) << "negative loading rate";
+  return f * MissRatio(cache, dataset);
+}
+
+BytesPerSec IoThroughput(BytesPerSec remote_io, Bytes cache, Bytes dataset) {
+  SILOD_CHECK(remote_io >= 0) << "negative remote IO allocation";
+  const double miss = MissRatio(cache, dataset);
+  if (miss <= 0.0) {
+    return kUnlimitedRate;
+  }
+  return remote_io / miss;
+}
+
+BytesPerSec SiloDPerfThroughput(BytesPerSec ideal, BytesPerSec remote_io, Bytes cache,
+                                Bytes dataset) {
+  SILOD_CHECK(ideal >= 0) << "negative ideal throughput";
+  return std::min(ideal, IoThroughput(remote_io, cache, dataset));
+}
+
+double CacheEfficiency(BytesPerSec ideal, Bytes dataset) {
+  SILOD_CHECK(dataset > 0) << "dataset size must be positive";
+  SILOD_CHECK(ideal >= 0) << "negative ideal throughput";
+  return ideal / static_cast<double>(dataset);
+}
+
+double CacheEfficiencyMBpsPerGB(BytesPerSec ideal, Bytes dataset) {
+  return ToMBps(ideal) / ToGB(dataset);
+}
+
+BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset) {
+  SILOD_CHECK(target >= 0) << "negative target throughput";
+  return target * MissRatio(cache, dataset);
+}
+
+}  // namespace silod

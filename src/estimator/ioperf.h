@@ -1,0 +1,45 @@
+// IOPerf: the closed-form analytic model of §4.
+//
+// For a training job with ideal (compute-bound) throughput f*, dataset size d,
+// cache allocation c and remote-IO allocation b:
+//
+//   Eq. 2:  remote IO demand      b(f)   = f * (1 - c/d)
+//   Eq. 3:  IO throughput         IOPerf = b / (1 - c/d)
+//   Eq. 4:  end-to-end throughput SiloDPerf = min(f*, b / (1 - c/d))
+//   Eq. 5:  cache efficiency      -db/dc = f* / d
+//
+// All throughputs are bytes of training data per second.  When c >= d the
+// dataset is fully cached and IO throughput is unbounded (the local fabric is
+// modelled separately); SiloDPerf then equals f*.
+#ifndef SILOD_SRC_ESTIMATOR_IOPERF_H_
+#define SILOD_SRC_ESTIMATOR_IOPERF_H_
+
+#include "src/common/units.h"
+
+namespace silod {
+
+// Eq. 2: remote IO consumed when loading at rate f with cache c over dataset d.
+BytesPerSec RemoteIoDemand(BytesPerSec f, Bytes cache, Bytes dataset);
+
+// Eq. 3: data-loading throughput achievable with remote-IO allocation b and
+// cache c over dataset d.  Returns kUnlimitedRate when c >= d.
+BytesPerSec IoThroughput(BytesPerSec remote_io, Bytes cache, Bytes dataset);
+
+// Eq. 4: end-to-end training throughput.
+BytesPerSec SiloDPerfThroughput(BytesPerSec ideal, BytesPerSec remote_io, Bytes cache,
+                                Bytes dataset);
+
+// Eq. 5: remote IO saved per byte of cache (units 1/s).  Multiply by
+// kGB/kMB via CacheEfficiencyMBpsPerGB for the Fig. 6 presentation.
+double CacheEfficiency(BytesPerSec ideal, Bytes dataset);
+
+// Fig. 6 units: MB/s of remote IO saved per GB of cache.
+double CacheEfficiencyMBpsPerGB(BytesPerSec ideal, Bytes dataset);
+
+// Minimum remote-IO allocation needed to sustain end-to-end throughput
+// `target` (<= ideal) with cache c over dataset d.  Inverse of Eq. 3.
+BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_ESTIMATOR_IOPERF_H_

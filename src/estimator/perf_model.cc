@@ -1,0 +1,39 @@
+#include "src/estimator/perf_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+
+namespace silod {
+
+BytesPerSec ComputeEstimator::Estimate(const JobSpec& job, const ResourceVector& r) const {
+  if (r.gpus <= 0) {
+    return 0;
+  }
+  // Jobs are gang-scheduled: they run with their full GPU demand or not at
+  // all, so holding any GPUs means the profiled f* applies.
+  SILOD_CHECK(r.gpus == job.num_gpus)
+      << "gang scheduling violated: job wants " << job.num_gpus << ", got " << r.gpus;
+  return job.ideal_io;
+}
+
+SiloDEstimator::SiloDEstimator(std::shared_ptr<const PerfEstimator> base,
+                               const DatasetCatalog* catalog)
+    : base_(std::move(base)), catalog_(catalog) {
+  SILOD_CHECK(base_ != nullptr) << "base estimator required";
+  SILOD_CHECK(catalog_ != nullptr) << "dataset catalog required";
+}
+
+BytesPerSec SiloDEstimator::Estimate(const JobSpec& job, const ResourceVector& r) const {
+  const BytesPerSec compute = base_->Estimate(job, r);
+  if (compute <= 0) {
+    return 0;
+  }
+  const Dataset& dataset = catalog_->Get(job.dataset);
+  return std::min(compute, IoThroughput(r.remote_io, r.cache, dataset.size));
+}
+
+std::string SiloDEstimator::name() const { return "silod(" + base_->name() + ")"; }
+
+}  // namespace silod

@@ -1,0 +1,66 @@
+// Performance estimators (Algorithm 1).
+//
+// Every performance-aware DL scheduler consults an estimator perf(j, R) that
+// predicts job j's throughput under resource vector R.  Existing schedulers'
+// estimators only see compute (ComputeEstimator returns the profiled f*).
+// SiloD wraps any such estimator:
+//
+//   SiloDPerf(j, R) = min(perf(j, R), IOPerf(j, R))          (Alg. 1, line 5)
+//
+// so policies transparently account for the cache and remote-IO dimensions
+// of R while preserving their original objectives.
+#ifndef SILOD_SRC_ESTIMATOR_PERF_MODEL_H_
+#define SILOD_SRC_ESTIMATOR_PERF_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/workload/dataset.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+// The resource vector R of Algorithm 1: compute plus the two storage
+// dimensions SiloD promotes to first-class resources.
+struct ResourceVector {
+  int gpus = 0;
+  Bytes cache = 0;
+  BytesPerSec remote_io = 0;
+};
+
+class PerfEstimator {
+ public:
+  virtual ~PerfEstimator() = default;
+
+  // Predicted training throughput (bytes of data consumed per second) of
+  // `job` under allocation `r`.  Returns 0 when the job holds no GPUs.
+  virtual BytesPerSec Estimate(const JobSpec& job, const ResourceVector& r) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The compute-only estimator existing schedulers use: the profiled ideal
+// throughput f*, oblivious to cache and remote IO.
+class ComputeEstimator : public PerfEstimator {
+ public:
+  BytesPerSec Estimate(const JobSpec& job, const ResourceVector& r) const override;
+  std::string name() const override { return "compute-only"; }
+};
+
+// Algorithm 1's enhanced estimator: min(base, IOPerf).  Needs dataset sizes.
+class SiloDEstimator : public PerfEstimator {
+ public:
+  SiloDEstimator(std::shared_ptr<const PerfEstimator> base, const DatasetCatalog* catalog);
+
+  BytesPerSec Estimate(const JobSpec& job, const ResourceVector& r) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const PerfEstimator> base_;
+  const DatasetCatalog* catalog_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_ESTIMATOR_PERF_MODEL_H_

@@ -1,0 +1,230 @@
+#include "src/rt/rt_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace silod {
+namespace {
+
+void SleepSeconds(double s) {
+  if (s > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+  }
+}
+
+}  // namespace
+
+RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
+                     ClusterResources resources, RtOptions options)
+    : trace_(trace), scheduler_(std::move(scheduler)), resources_(resources), options_(options),
+      remote_(resources.remote_io, /*burst=*/MB(8)),
+      manager_(resources.total_cache, resources.remote_io) {
+  SILOD_CHECK(trace_ != nullptr) << "trace required";
+  SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
+  SILOD_CHECK(!trace_->jobs.empty()) << "empty trace";
+  int gpu_demand = 0;
+  for (const JobSpec& spec : trace_->jobs) {
+    gpu_demand += spec.num_gpus;
+  }
+  SILOD_CHECK(gpu_demand <= resources.total_gpus)
+      << "RtCluster runs all jobs concurrently; GPU demand " << gpu_demand << " exceeds "
+      << resources.total_gpus;
+  for (const Dataset& dataset : trace_->catalog.all()) {
+    remote_.RegisterDataset(dataset);
+  }
+  for (const JobSpec& spec : trace_->jobs) {
+    auto job = std::make_unique<RtJob>();
+    job->spec = &spec;
+    const Dataset& d = trace_->catalog.Get(spec.dataset);
+    job->blocks_total =
+        std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
+    job->throttle = std::make_unique<TokenBucket>(kUnlimitedRate, MB(8));
+    jobs_.push_back(std::move(job));
+  }
+}
+
+Seconds RtCluster::WallNow() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+}
+
+void RtCluster::LoaderLoop(RtJob& job) {
+  const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
+  Rng rng(0x10AD ^ static_cast<std::uint64_t>(job.spec->id));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.num_blocks));
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  rng.Shuffle(order);
+  std::size_t position = 0;
+
+  for (std::int64_t fetched = 0; fetched < job.blocks_total && !stopping_.load(); ++fetched) {
+    // Epoch boundary: reshuffle (exactly-once-per-epoch access, §2.2).
+    if (position == order.size()) {
+      rng.Shuffle(order);
+      position = 0;
+    }
+    const std::int64_t block = order[position++];
+
+    // Pipeline back-pressure.
+    {
+      std::unique_lock<std::mutex> lock(job.mu);
+      job.cv.wait(lock, [&] {
+        return stopping_.load() || job.staged < options_.pipeline_depth;
+      });
+      if (stopping_.load()) {
+        return;
+      }
+    }
+
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      hit = manager_.cache().AccessBlock(dataset, block);
+    }
+    const Bytes bytes = dataset.BlockBytes(block);
+    if (hit) {
+      job.hits.fetch_add(1);
+      SleepSeconds(static_cast<double>(bytes) / options_.fabric_rate);
+    } else {
+      job.misses.fetch_add(1);
+      // The FUSE client's per-job throttle, then the account-level egress
+      // bucket inside the remote store (which also sleeps).
+      Seconds wait = 0;
+      {
+        std::lock_guard<std::mutex> lock(job.throttle_mu);
+        const Seconds now = WallNow();
+        const Seconds admit = job.throttle->TimeToAdmit(bytes, now);
+        job.throttle->Consume(bytes, admit);
+        wait = admit - now;
+      }
+      SleepSeconds(wait);
+      remote_.ReadBlock(dataset.id, block);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      ++job.staged;
+    }
+    job.cv.notify_all();
+  }
+}
+
+void RtCluster::TrainerLoop(RtJob& job) {
+  const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
+  const double block_compute =
+      static_cast<double>(dataset.block_size) / job.spec->ideal_io;
+  job.start = WallNow();
+  for (std::int64_t done = 0; done < job.blocks_total && !stopping_.load(); ++done) {
+    {
+      std::unique_lock<std::mutex> lock(job.mu);
+      job.cv.wait(lock, [&] { return stopping_.load() || job.staged > 0; });
+      if (stopping_.load() && job.staged == 0) {
+        return;
+      }
+      --job.staged;
+      ++job.consumed;
+    }
+    job.cv.notify_all();
+    // The paper's GPU-acceleration sleep: compute replaced by its profiled
+    // duration.
+    SleepSeconds(block_compute);
+    job.blocks_done.fetch_add(1);
+  }
+  job.finish = WallNow();
+  unfinished_.fetch_sub(1);
+}
+
+void RtCluster::SchedulerLoop() {
+  while (!stopping_.load() && unfinished_.load() > 0) {
+    // Snapshot progress.
+    Snapshot snap;
+    snap.now = WallNow();
+    snap.resources = resources_;
+    snap.catalog = &trace_->catalog;
+    for (const auto& job : jobs_) {
+      if (job->blocks_done.load() >= job->blocks_total) {
+        continue;
+      }
+      JobView view;
+      view.spec = job->spec;
+      const Dataset& d = trace_->catalog.Get(job->spec->dataset);
+      view.remaining_bytes = (job->blocks_total - job->blocks_done.load()) * d.block_size;
+      view.running = true;
+      {
+        std::lock_guard<std::mutex> lock(manager_mu_);
+        view.effective_cache = manager_.cache().CachedBytes(d.id);
+      }
+      snap.jobs.push_back(view);
+    }
+    if (!snap.jobs.empty()) {
+      const AllocationPlan plan = scheduler_->Schedule(snap);
+      if (plan.cache_model == CacheModelKind::kDatasetQuota) {
+        std::lock_guard<std::mutex> lock(manager_mu_);
+        const Status st = manager_.ApplyPlan(plan, trace_->catalog);
+        SILOD_CHECK(st.ok()) << "plan enforcement failed: " << st.ToString();
+      }
+      for (const auto& job : jobs_) {
+        const JobAllocation& alloc = plan.Get(job->spec->id);
+        const BytesPerSec rate =
+            plan.manages_remote_io && alloc.running && alloc.remote_io > 0 ? alloc.remote_io
+                                                                           : kUnlimitedRate;
+        std::lock_guard<std::mutex> lock(job->throttle_mu);
+        job->throttle->SetRate(rate, std::max(WallNow(), 0.0));
+      }
+    }
+    SleepSeconds(options_.reschedule_period);
+  }
+}
+
+RtResult RtCluster::Run() {
+  wall_start_ = std::chrono::steady_clock::now();
+  unfinished_.store(static_cast<int>(jobs_.size()));
+
+  std::thread scheduler_thread([this] { SchedulerLoop(); });
+  for (auto& job : jobs_) {
+    job->loader = std::thread([this, &job] { LoaderLoop(*job); });
+    job->trainer = std::thread([this, &job] { TrainerLoop(*job); });
+  }
+
+  RtResult result;
+  while (unfinished_.load() > 0) {
+    if (WallNow() > options_.max_wall_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    SleepSeconds(0.01);
+  }
+  stopping_.store(true);
+  for (auto& job : jobs_) {
+    job->cv.notify_all();
+  }
+  for (auto& job : jobs_) {
+    if (job->loader.joinable()) {
+      job->loader.join();
+    }
+    if (job->trainer.joinable()) {
+      job->trainer.join();
+    }
+  }
+  if (scheduler_thread.joinable()) {
+    scheduler_thread.join();
+  }
+
+  for (const auto& job : jobs_) {
+    RtJobResult r;
+    r.id = job->spec->id;
+    r.start = job->start;
+    r.finish = job->finish;
+    r.cache_hits = job->hits.load();
+    r.cache_misses = job->misses.load();
+    result.jobs.push_back(r);
+    result.makespan = std::max(result.makespan, r.finish);
+  }
+  std::sort(result.jobs.begin(), result.jobs.end(),
+            [](const RtJobResult& a, const RtJobResult& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace silod

@@ -1,0 +1,123 @@
+// The real-time mini-cluster: the paper's "GPU acceleration" methodology
+// (§7, "GPU Acceleration") as an executable runtime.
+//
+// The paper evaluates on K80 GPUs that run the full data pipeline but replace
+// the forward/backward passes with sleep(profiled V100 duration).  RtCluster
+// is that idea with the GPUs removed entirely: every job is a pair of real
+// threads —
+//   - a loader that walks shuffled epochs, reads blocks through the shared
+//     DataManager (uniform caching, §2.2) and the in-memory remote store
+//     (egress token bucket), throttled to the job's remote-IO allocation by
+//     its own wall-clock token bucket (the FUSE client of §6);
+//   - a trainer that consumes staged blocks and sleeps block_bytes / f* per
+//     block (the profiled compute time);
+// plus a scheduler thread that periodically snapshots progress and applies a
+// fresh AllocationPlan (quotas + throttles), exactly like the SiloD control
+// loop in Fig. 7.
+//
+// Workloads are scaled down (tiny datasets, seconds of wall time) but every
+// mechanism is the real one: concurrency, contention, throttling, caching.
+#ifndef SILOD_SRC_RT_RT_CLUSTER_H_
+#define SILOD_SRC_RT_RT_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/data_manager.h"
+#include "src/sched/policy.h"
+#include "src/storage/inmem_remote.h"
+#include "src/storage/token_bucket.h"
+#include "src/workload/trace_gen.h"
+
+namespace silod {
+
+struct RtOptions {
+  // Blocks the loader may stage ahead of the trainer.
+  int pipeline_depth = 4;
+  // Wall-clock rescheduling period.
+  Seconds reschedule_period = 0.25;
+  // Service rate for cache hits (the storage fabric).
+  BytesPerSec fabric_rate = GBps(3.2);
+  // Safety timeout: Run() aborts (returns error results) past this.
+  Seconds max_wall_seconds = 120;
+};
+
+struct RtJobResult {
+  JobId id = kInvalidJob;
+  Seconds start = 0;   // Wall seconds from Run() begin.
+  Seconds finish = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+
+  Seconds Runtime() const { return finish - start; }
+};
+
+struct RtResult {
+  std::vector<RtJobResult> jobs;
+  Seconds makespan = 0;
+  bool timed_out = false;
+};
+
+class RtCluster {
+ public:
+  // The trace's jobs all start at t = 0 (wall submit times are not modelled;
+  // this runtime targets micro-benchmark-style workloads).  `scheduler` must
+  // produce dataset-quota plans (SiloD / Quiver style).
+  RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
+            ClusterResources resources, RtOptions options = {});
+
+  // Runs every job to completion on real threads; blocking.
+  RtResult Run();
+
+ private:
+  struct RtJob {
+    const JobSpec* spec = nullptr;
+    // Wall-clock remote-IO limiter; throttle_mu serializes the loader's
+    // reservations against the scheduler's SetRate (TokenBucket requires a
+    // monotone clock, so every operation reads the wall clock under the
+    // lock).
+    std::unique_ptr<TokenBucket> throttle;
+    std::mutex throttle_mu;
+    std::mutex mu;
+    std::atomic<std::int64_t> blocks_done{0};
+    std::int64_t blocks_total = 0;
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+    Seconds start = 0;
+    Seconds finish = 0;
+    std::thread loader;
+    std::thread trainer;
+
+    // Staged-block handoff (loader -> trainer): a counting baton.
+    std::condition_variable cv;
+    std::int64_t staged = 0;    // Blocks fetched but not yet consumed.
+    std::int64_t consumed = 0;  // Blocks the trainer has finished.
+  };
+
+  void LoaderLoop(RtJob& job);
+  void TrainerLoop(RtJob& job);
+  void SchedulerLoop();
+  Seconds WallNow() const;
+
+  const Trace* trace_;
+  std::shared_ptr<Scheduler> scheduler_;
+  ClusterResources resources_;
+  RtOptions options_;
+
+  InMemRemoteStore remote_;
+  DataManager manager_;
+  std::mutex manager_mu_;  // DataManager is not internally synchronized.
+
+  std::vector<std::unique_ptr<RtJob>> jobs_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> unfinished_{0};
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_RT_RT_CLUSTER_H_

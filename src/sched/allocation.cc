@@ -1,0 +1,82 @@
+#include "src/sched/allocation.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+const char* CacheModelKindName(CacheModelKind kind) {
+  switch (kind) {
+    case CacheModelKind::kDatasetQuota:
+      return "dataset-quota";
+    case CacheModelKind::kSharedLru:
+      return "shared-lru";
+    case CacheModelKind::kSharedLfu:
+      return "shared-lfu";
+    case CacheModelKind::kPerJobStatic:
+      return "per-job-static";
+  }
+  return "unknown";
+}
+
+int AllocationPlan::GpusUsed() const {
+  int total = 0;
+  for (const auto& [id, alloc] : jobs) {
+    if (alloc.running) {
+      total += alloc.gpus;
+    }
+  }
+  return total;
+}
+
+Bytes AllocationPlan::DatasetCacheTotal() const {
+  Bytes total = 0;
+  for (const auto& [id, bytes] : dataset_cache) {
+    total += bytes;
+  }
+  return total;
+}
+
+const JobAllocation& AllocationPlan::Get(JobId job) const {
+  static const JobAllocation kEmpty;
+  auto it = jobs.find(job);
+  return it == jobs.end() ? kEmpty : it->second;
+}
+
+bool AllocationPlan::IsRunning(JobId job) const { return Get(job).running; }
+
+Status AllocationPlan::Validate(const ClusterResources& resources) const {
+  if (GpusUsed() > resources.total_gpus) {
+    return Status::ResourceExhausted("GPU over-commit: " + std::to_string(GpusUsed()) + " > " +
+                                     std::to_string(resources.total_gpus));
+  }
+  Bytes cache = DatasetCacheTotal();
+  for (const auto& [id, alloc] : jobs) {
+    if (!alloc.running &&
+        (alloc.gpus > 0 || alloc.private_cache > 0 ||
+         (manages_remote_io && !std::isinf(alloc.remote_io) && alloc.remote_io > 0))) {
+      return Status::FailedPrecondition("resources allocated to non-running job " +
+                                        std::to_string(id));
+    }
+    cache += alloc.private_cache;
+  }
+  if (cache > resources.total_cache) {
+    return Status::ResourceExhausted("cache over-commit");
+  }
+  if (manages_remote_io) {
+    BytesPerSec io = 0;
+    for (const auto& [id, alloc] : jobs) {
+      if (alloc.running && !std::isinf(alloc.remote_io)) {
+        io += alloc.remote_io;
+      }
+    }
+    // Tolerate rounding from the solvers.
+    if (io > resources.remote_io * (1.0 + 1e-9) + 1.0) {
+      return Status::ResourceExhausted("remote IO over-commit");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace silod

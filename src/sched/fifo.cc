@@ -1,0 +1,30 @@
+#include "src/sched/fifo.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+FifoScheduler::FifoScheduler(std::shared_ptr<StoragePolicy> storage)
+    : storage_(std::move(storage)) {
+  SILOD_CHECK(storage_ != nullptr) << "storage policy required";
+}
+
+std::string FifoScheduler::name() const { return "fifo+" + storage_->name(); }
+
+AllocationPlan FifoScheduler::Schedule(const Snapshot& snapshot) {
+  std::vector<std::size_t> order(snapshot.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return snapshot.jobs[a].spec->submit_time < snapshot.jobs[b].spec->submit_time;
+  });
+
+  AllocationPlan plan;
+  AdmitByOrder(snapshot, order, &plan);
+  storage_->AllocateStorage(snapshot, &plan);
+  return plan;
+}
+
+}  // namespace silod

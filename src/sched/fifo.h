@@ -1,0 +1,27 @@
+// FIFO scheduling (§5.3 / §7): jobs acquire GPUs in arrival order (with
+// backfill); the storage policy decides cache and remote IO independently of
+// the order.  FIFO is the paper's example of a scheduler that is not
+// performance-aware — SiloD pairs it with the greedy policy of Algorithm 2.
+#ifndef SILOD_SRC_SCHED_FIFO_H_
+#define SILOD_SRC_SCHED_FIFO_H_
+
+#include <memory>
+
+#include "src/sched/policy.h"
+
+namespace silod {
+
+class FifoScheduler : public Scheduler {
+ public:
+  explicit FifoScheduler(std::shared_ptr<StoragePolicy> storage);
+
+  AllocationPlan Schedule(const Snapshot& snapshot) override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<StoragePolicy> storage_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_FIFO_H_

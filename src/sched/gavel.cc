@@ -1,0 +1,428 @@
+#include "src/sched/gavel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/cache/analytic.h"
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+namespace {
+
+struct RunningJob {
+  const JobView* view = nullptr;
+  BytesPerSec base = 0;  // Normalizer of the fairness ratio.
+};
+
+// Fractional-knapsack feasibility oracle: can every job sustain target[i]?
+// On success fills dataset cache quotas and required per-job remote IO.
+bool TargetsFeasible(const Snapshot& snapshot, const std::vector<RunningJob>& jobs,
+                     const std::vector<BytesPerSec>& targets,
+                     std::map<DatasetId, Bytes>* dataset_cache,
+                     std::vector<BytesPerSec>* required_io) {
+  dataset_cache->clear();
+  required_io->assign(jobs.size(), 0);
+
+  // Phase 1 — mandatory cache: the provider's per-job cap means job j can
+  // sustain T_j only if its dataset holds at least d (1 - cap / T_j) bytes of
+  // cache.  With sharing, a dataset's floor is the max over its jobs.
+  const BytesPerSec cap = snapshot.resources.per_job_remote_cap;
+  std::map<DatasetId, Bytes> floor;
+  std::map<DatasetId, double> saving_rate;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
+    saving_rate[d.id] += targets[i] / static_cast<double>(d.size);
+    if (std::isfinite(cap) && targets[i] > cap) {
+      const double frac = 1.0 - cap / targets[i];
+      const Bytes need = static_cast<Bytes>(frac * static_cast<double>(d.size)) + 1;
+      Bytes& slot = floor[d.id];
+      slot = std::max(slot, std::min(need, d.size));
+    }
+  }
+  Bytes remaining = snapshot.resources.total_cache;
+  for (const auto& [dataset_id, need] : floor) {
+    (*dataset_cache)[dataset_id] = need;
+    remaining -= need;
+  }
+  if (remaining < 0) {
+    return false;  // Cannot even satisfy the per-job caps.
+  }
+
+  // Phase 2 — fractional knapsack on the rest: a byte of cache on dataset D
+  // saves sum_{j on D} T_j / d of remote IO.
+  std::vector<std::pair<DatasetId, double>> order(saving_rate.begin(), saving_rate.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  for (const auto& [dataset_id, rate] : order) {
+    if (remaining <= 0) {
+      break;
+    }
+    Bytes& slot = (*dataset_cache)[dataset_id];
+    const Bytes grant = std::min(snapshot.catalog->Get(dataset_id).size - slot, remaining);
+    slot += grant;
+    remaining -= grant;
+  }
+
+  BytesPerSec total_io = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
+    auto it = dataset_cache->find(d.id);
+    const Bytes cache = it == dataset_cache->end() ? 0 : it->second;
+    (*required_io)[i] = RequiredRemoteIo(targets[i], cache, d.size);
+    if ((*required_io)[i] > cap * (1.0 + 1e-12)) {
+      return false;  // The provider's per-job cap binds before the account cap.
+    }
+    total_io += (*required_io)[i];
+  }
+  return total_io <= snapshot.resources.remote_io * (1.0 + 1e-12);
+}
+
+// The normalizer of the fairness ratio for each objective: equal-share
+// throughput for Eq. 8/9 max-min fairness, the exclusive-cluster rate f* for
+// finish-time fairness.
+BytesPerSec FairnessBase(GavelObjective objective, const JobSpec& job, const Snapshot& snapshot,
+                         int num_sharers) {
+  BytesPerSec base = objective == GavelObjective::kFinishTimeFairness
+                         ? job.ideal_io
+                         : EqualShareThroughput(job, snapshot, num_sharers);
+  if (base <= 0) {
+    base = job.ideal_io * 1e-9;  // Keep the ratio's denominator positive.
+  }
+  return base;
+}
+
+GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan,
+                            GavelObjective objective) {
+  GavelSolution solution;
+  std::vector<RunningJob> jobs;
+  for (const JobView& view : snapshot.jobs) {
+    if (plan.IsRunning(view.spec->id)) {
+      jobs.push_back(RunningJob{&view, 0});
+    }
+  }
+  if (jobs.empty()) {
+    return solution;
+  }
+  const int n = static_cast<int>(jobs.size());
+  for (RunningJob& j : jobs) {
+    j.base = FairnessBase(objective, *j.view->spec, snapshot, n);
+  }
+
+  auto targets_at = [&](double rho) {
+    std::vector<BytesPerSec> t(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      t[i] = std::min(rho * jobs[i].base, jobs[i].view->spec->ideal_io);
+    }
+    return t;
+  };
+
+  std::map<DatasetId, Bytes> cache;
+  std::vector<BytesPerSec> required;
+
+  // Upper bound: the ratio at which every job is compute-bound.
+  double hi = 1.0;
+  for (const RunningJob& j : jobs) {
+    hi = std::max(hi, j.view->spec->ideal_io / j.base);
+  }
+  double lo = 0.0;
+  if (TargetsFeasible(snapshot, jobs, targets_at(hi), &cache, &required)) {
+    lo = hi;  // Everyone reaches f*.
+  } else {
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (TargetsFeasible(snapshot, jobs, targets_at(mid), &cache, &required)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  const double rho = lo;
+  std::vector<BytesPerSec> targets = targets_at(rho);
+  const bool ok = TargetsFeasible(snapshot, jobs, targets, &cache, &required);
+  SILOD_CHECK(ok) << "bisection lower bound must be feasible";
+
+  // Progressive filling: hand leftover egress bandwidth to jobs that still
+  // have headroom toward f*, max-min over the extra demand.
+  BytesPerSec used = 0;
+  for (BytesPerSec b : required) {
+    used += b;
+  }
+  const BytesPerSec leftover = std::max(0.0, snapshot.resources.remote_io - used);
+  std::vector<BytesPerSec> extra_demand(jobs.size(), 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
+    auto it = cache.find(d.id);
+    const Bytes c = it == cache.end() ? 0 : it->second;
+    const BytesPerSec max_b = std::min(RemoteIoDemand(jobs[i].view->spec->ideal_io, c, d.size),
+                                       snapshot.resources.per_job_remote_cap);
+    extra_demand[i] = std::max(0.0, max_b - required[i]);
+  }
+  const std::vector<BytesPerSec> extra = MaxMinShare(extra_demand, leftover);
+
+  solution.fairness_ratio = rho;
+  solution.dataset_cache = std::move(cache);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobId id = jobs[i].view->spec->id;
+    solution.remote_io[id] = required[i] + extra[i];
+    const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
+    auto it = solution.dataset_cache.find(d.id);
+    const Bytes c = it == solution.dataset_cache.end() ? 0 : it->second;
+    solution.target[id] =
+        SiloDPerfThroughput(jobs[i].view->spec->ideal_io, solution.remote_io[id], c, d.size);
+  }
+  return solution;
+}
+
+}  // namespace
+
+const char* GavelObjectiveName(GavelObjective objective) {
+  switch (objective) {
+    case GavelObjective::kMaxMinFairness:
+      return "max-min-fairness";
+    case GavelObjective::kFinishTimeFairness:
+      return "finish-time-fairness";
+    case GavelObjective::kMinTotalJct:
+      return "min-total-jct";
+    case GavelObjective::kMaxThroughput:
+      return "max-throughput";
+  }
+  return "unknown";
+}
+
+BytesPerSec EqualShareThroughput(const JobSpec& job, const Snapshot& snapshot, int num_sharers) {
+  SILOD_CHECK(num_sharers >= 1) << "at least one sharer";
+  SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
+  const Dataset& d = snapshot.catalog->Get(job.dataset);
+  const Bytes cache_eq = snapshot.resources.total_cache / num_sharers;
+  const BytesPerSec io_eq = std::min(snapshot.resources.remote_io / num_sharers,
+                                     snapshot.resources.per_job_remote_cap);
+  return SiloDPerfThroughput(job.ideal_io, io_eq, std::min(cache_eq, d.size), d.size);
+}
+
+GavelSolution SolveMaxMinFairness(const Snapshot& snapshot, const AllocationPlan& plan) {
+  return SolveFairness(snapshot, plan, GavelObjective::kMaxMinFairness);
+}
+
+GavelScheduler::GavelScheduler(std::shared_ptr<StoragePolicy> storage, bool silod_aware,
+                               bool manage_remote_io, GavelObjective objective)
+    : storage_(std::move(storage)), silod_aware_(silod_aware),
+      manage_remote_io_(manage_remote_io), objective_(objective) {
+  SILOD_CHECK(silod_aware_ || storage_ != nullptr)
+      << "vanilla Gavel needs an independent storage policy";
+}
+
+std::string GavelScheduler::name() const {
+  std::string base;
+  if (silod_aware_) {
+    base = manage_remote_io_ ? "gavel-silod" : "gavel-silod-cache-only";
+  } else {
+    base = "gavel+" + storage_->name();
+  }
+  if (objective_ != GavelObjective::kMaxMinFairness) {
+    base += std::string("[") + GavelObjectiveName(objective_) + "]";
+  }
+  return base;
+}
+
+void GavelScheduler::AllocateFairShare(const Snapshot& snapshot, AllocationPlan& plan) {
+  const GavelSolution solution = SolveFairness(snapshot, plan, objective_);
+  plan.dataset_cache = solution.dataset_cache;
+  if (!manage_remote_io_) {
+    return;
+  }
+  // Throttles are solved over the *effective* cache (§6): the steady-state
+  // solver's b_j would starve a job whose planned cache has not filled yet
+  // (a fully-cached target implies b = 0, but a cold job needs IO both to
+  // train and to fill that cache).  We bisect the same ratio over each job's
+  // current achievable throughput min(f*, b/(1 - eff/d)); as caches fill,
+  // this converges to the steady-state solution.
+  std::vector<JobId> ids;
+  std::vector<BytesPerSec> base;
+  std::vector<Bytes> effective;
+  std::vector<Bytes> dsize;
+  std::vector<BytesPerSec> ideal;
+  int n_running = 0;
+  for (const JobView& view : snapshot.jobs) {
+    if (plan.IsRunning(view.spec->id)) {
+      ++n_running;
+    }
+  }
+  for (const JobView& view : snapshot.jobs) {
+    if (!plan.IsRunning(view.spec->id)) {
+      continue;
+    }
+    const Dataset& d = snapshot.catalog->Get(view.spec->dataset);
+    ids.push_back(view.spec->id);
+    base.push_back(FairnessBase(objective_, *view.spec, snapshot, std::max(1, n_running)));
+    effective.push_back(view.effective_cache);
+    dsize.push_back(d.size);
+    ideal.push_back(view.spec->ideal_io);
+  }
+  const BytesPerSec cap = snapshot.resources.per_job_remote_cap;
+  auto need_at = [&](double rho, std::size_t i) {
+    const BytesPerSec target = std::min(rho * base[i], ideal[i]);
+    return std::min(RemoteIoDemand(target, effective[i], dsize[i]), cap);
+  };
+  auto total_need = [&](double rho) {
+    BytesPerSec sum = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      sum += need_at(rho, i);
+    }
+    return sum;
+  };
+  double lo = 0;
+  double hi = 1.0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    hi = std::max(hi, ideal[i] / base[i]);
+  }
+  if (total_need(hi) <= snapshot.resources.remote_io) {
+    lo = hi;
+  } else {
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (total_need(mid) <= snapshot.resources.remote_io) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  std::vector<BytesPerSec> grant(ids.size());
+  std::vector<BytesPerSec> residual(ids.size());
+  BytesPerSec used = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    grant[i] = need_at(lo, i);
+    used += grant[i];
+    const BytesPerSec max_b = std::min(RemoteIoDemand(ideal[i], effective[i], dsize[i]), cap);
+    residual[i] = std::max(0.0, max_b - grant[i]);
+  }
+  const std::vector<BytesPerSec> topup =
+      MaxMinShare(residual, std::max(0.0, snapshot.resources.remote_io - used));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    plan.jobs[ids[i]].remote_io = grant[i] + topup[i];
+  }
+}
+
+void GavelScheduler::AllocateGreedyObjective(const Snapshot& snapshot, AllocationPlan& plan) {
+  struct Entry {
+    const JobView* view = nullptr;
+    double remaining_time = 0;  // remaining / f*.
+  };
+  std::vector<Entry> jobs;
+  for (const JobView& view : snapshot.jobs) {
+    if (!plan.IsRunning(view.spec->id)) {
+      continue;
+    }
+    Entry e;
+    e.view = &view;
+    e.remaining_time =
+        std::max(1.0, static_cast<double>(view.remaining_bytes) / view.spec->ideal_io);
+    jobs.push_back(e);
+  }
+  if (jobs.empty()) {
+    return;
+  }
+
+  // Cache: rank datasets by their marginal value for the objective —
+  // remote-IO saving per byte (Alg. 2) for max-throughput, the same divided
+  // by the sharing jobs' remaining time for total JCT (a byte that speeds a
+  // nearly-done job buys more completion per second).
+  std::map<DatasetId, double> weight;
+  for (const Entry& e : jobs) {
+    const Dataset& d = snapshot.catalog->Get(e.view->spec->dataset);
+    double w = CacheEfficiency(e.view->spec->ideal_io, d.size);
+    if (objective_ == GavelObjective::kMinTotalJct) {
+      w /= e.remaining_time;
+    }
+    weight[d.id] += w;
+  }
+  std::vector<std::pair<DatasetId, double>> order(weight.begin(), weight.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  Bytes remaining = snapshot.resources.total_cache;
+  for (const auto& [dataset_id, w] : order) {
+    if (remaining <= 0) {
+      break;
+    }
+    const Bytes grant = std::min(snapshot.catalog->Get(dataset_id).size, remaining);
+    plan.dataset_cache[dataset_id] = grant;
+    remaining -= grant;
+  }
+
+  if (!manage_remote_io_) {
+    return;
+  }
+  // Remote IO: grant instantaneous demands in objective order — best IO-to-
+  // throughput conversion first (max-throughput), shortest remaining first
+  // (total JCT, SRPT) — each job up to min(demand, per-job cap).
+  std::sort(jobs.begin(), jobs.end(), [&](const Entry& a, const Entry& b) {
+    if (objective_ == GavelObjective::kMinTotalJct) {
+      return a.remaining_time < b.remaining_time;
+    }
+    const Dataset& da = snapshot.catalog->Get(a.view->spec->dataset);
+    const Dataset& db = snapshot.catalog->Get(b.view->spec->dataset);
+    auto planned = [&](const Dataset& d) {
+      auto it = plan.dataset_cache.find(d.id);
+      const Bytes c = it == plan.dataset_cache.end() ? 0 : it->second;
+      return UniformHitRatio(c, d.size);
+    };
+    return planned(da) > planned(db);
+  });
+  BytesPerSec pool = snapshot.resources.remote_io;
+  for (const Entry& e : jobs) {
+    const Dataset& d = snapshot.catalog->Get(e.view->spec->dataset);
+    const BytesPerSec demand =
+        std::min(RemoteIoDemand(e.view->spec->ideal_io, e.view->effective_cache, d.size),
+                 snapshot.resources.per_job_remote_cap);
+    const BytesPerSec grant = std::min(demand, pool);
+    plan.jobs[e.view->spec->id].remote_io = grant;
+    pool -= grant;
+  }
+}
+
+AllocationPlan GavelScheduler::Schedule(const Snapshot& snapshot) {
+  // GPU admission: with gang-scheduled fixed GPU demands, max-min over GPU
+  // time reduces to arrival order among waiting jobs (running jobs are not
+  // preempted).
+  std::vector<std::size_t> order(snapshot.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return snapshot.jobs[a].spec->submit_time < snapshot.jobs[b].spec->submit_time;
+  });
+
+  AllocationPlan plan;
+  AdmitByOrder(snapshot, order, &plan);
+
+  if (!silod_aware_) {
+    storage_->AllocateStorage(snapshot, &plan);
+    return plan;
+  }
+
+  plan.cache_model = CacheModelKind::kDatasetQuota;
+  plan.manages_remote_io = manage_remote_io_;
+  switch (objective_) {
+    case GavelObjective::kMaxMinFairness:
+    case GavelObjective::kFinishTimeFairness:
+      AllocateFairShare(snapshot, plan);
+      break;
+    case GavelObjective::kMinTotalJct:
+    case GavelObjective::kMaxThroughput:
+      AllocateGreedyObjective(snapshot, plan);
+      break;
+  }
+  return plan;
+}
+
+}  // namespace silod

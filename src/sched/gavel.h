@@ -1,0 +1,89 @@
+// Gavel's max-min fairness policy (§5.2, Eq. 8/9).
+//
+// Gavel maximizes the minimum, over jobs, of perf(j, R[j]) / perf(j, R_equal)
+// subject to Sum(R) <= totalResource.  The SiloD variant replaces perf with
+// SiloDPerf and adds cache and remote IO as resource dimensions (Eq. 9).
+//
+// Exploiting the structure of SiloDPerf, the program is solved exactly:
+//   - bisection on the fairness ratio rho;
+//   - the feasibility oracle for a set of target throughputs T_j is a
+//     fractional knapsack: a byte of cache on dataset D saves
+//     sum_{j on D} T_j / d bytes/s of remote IO, so cache goes to datasets in
+//     descending saving rate, and the targets are feasible iff the residual
+//     remote-IO demands fit the egress limit;
+//   - leftover remote IO after the optimum is distributed max-min over the
+//     jobs' remaining headroom (progressive filling), preserving fairness.
+//
+// The vanilla variant (compute-only estimator) sees every job at ratio 1
+// regardless of allocation — the over-estimation the paper criticizes — so
+// GPU admission degenerates to arrival order and storage falls to the
+// attached baseline policy.
+#ifndef SILOD_SRC_SCHED_GAVEL_H_
+#define SILOD_SRC_SCHED_GAVEL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace silod {
+
+// Gavel generalizes a family of objectives behind one interface (§5.2 notes
+// the SiloD extension "can support all other objectives supported by Gavel");
+// we implement the four the Gavel paper headlines:
+enum class GavelObjective {
+  // Eq. 8/9: maximize min_j perf(j, R_j) / perf(j, R_equal).
+  kMaxMinFairness,
+  // Themis-style finish-time fairness: maximize min_j perf(j, R_j) / f*_j —
+  // the job whose progress lags its exclusive-cluster rate the most.
+  kFinishTimeFairness,
+  // Minimize total JCT: SRPT-flavoured — storage flows to the jobs with the
+  // least remaining work per unit of throughput.
+  kMinTotalJct,
+  // Maximize aggregate training throughput: remote IO goes to the jobs that
+  // convert it best (highest 1 / (1 - c/d)).
+  kMaxThroughput,
+};
+
+const char* GavelObjectiveName(GavelObjective objective);
+
+// Throughput job j would get under the equal division of storage resources
+// among `num_sharers` running jobs (the denominator of Eq. 8).
+BytesPerSec EqualShareThroughput(const JobSpec& job, const Snapshot& snapshot, int num_sharers);
+
+struct GavelSolution {
+  double fairness_ratio = 0;                  // The achieved min ratio rho*.
+  std::map<DatasetId, Bytes> dataset_cache;   // Cache per dataset.
+  std::map<JobId, BytesPerSec> remote_io;     // Throttle per running job.
+  std::map<JobId, BytesPerSec> target;        // Planned steady throughput.
+};
+
+// Solves Eq. 9 for the jobs marked running in `plan`.
+GavelSolution SolveMaxMinFairness(const Snapshot& snapshot, const AllocationPlan& plan);
+
+class GavelScheduler : public Scheduler {
+ public:
+  // `silod_aware` selects SiloDPerf (Eq. 9) vs the compute-only estimator
+  // (Eq. 8); in the latter case `storage` supplies the independent cache
+  // system.  `manage_remote_io=false` is the §7.2 ablation.
+  GavelScheduler(std::shared_ptr<StoragePolicy> storage, bool silod_aware,
+                 bool manage_remote_io = true,
+                 GavelObjective objective = GavelObjective::kMaxMinFairness);
+
+  AllocationPlan Schedule(const Snapshot& snapshot) override;
+  std::string name() const override;
+
+ private:
+  void AllocateFairShare(const Snapshot& snapshot, AllocationPlan& plan);
+  void AllocateGreedyObjective(const Snapshot& snapshot, AllocationPlan& plan);
+
+  std::shared_ptr<StoragePolicy> storage_;
+  bool silod_aware_;
+  bool manage_remote_io_;
+  GavelObjective objective_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_GAVEL_H_

@@ -1,0 +1,93 @@
+#include "src/sched/greedy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+
+std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
+                                                 const AllocationPlan& plan) {
+  SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
+  // Dataset-level cache efficiency: sum of f*/d over running jobs sharing the
+  // dataset (§6, "the cache efficiency is defined at dataset-level").
+  std::map<DatasetId, double> efficiency;
+  for (const JobView& view : snapshot.jobs) {
+    if (!plan.IsRunning(view.spec->id)) {
+      continue;
+    }
+    const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+    efficiency[dataset.id] += CacheEfficiency(view.spec->ideal_io, dataset.size);
+  }
+
+  std::vector<std::pair<DatasetId, double>> order(efficiency.begin(), efficiency.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;  // Deterministic tie-break.
+  });
+
+  std::map<DatasetId, Bytes> alloc;
+  Bytes remaining = snapshot.resources.total_cache;
+  for (const auto& [dataset_id, eff] : order) {
+    if (remaining <= 0) {
+      break;
+    }
+    const Bytes want = snapshot.catalog->Get(dataset_id).size;
+    const Bytes grant = std::min(want, remaining);
+    alloc[dataset_id] = grant;
+    remaining -= grant;
+  }
+  return alloc;
+}
+
+std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
+                                              const AllocationPlan& plan) {
+  std::vector<JobId> ids;
+  std::vector<BytesPerSec> demands;
+  for (const JobView& view : snapshot.jobs) {
+    if (!plan.IsRunning(view.spec->id)) {
+      continue;
+    }
+    const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+    // Instantaneous demand: the cache allocation only saves IO once filled
+    // and effective (§6), so throttles track the *effective* cache; as the
+    // quota fills across epochs, rescheduling shrinks the throttle toward the
+    // steady-state b = f* (1 - c/d).
+    ids.push_back(view.spec->id);
+    demands.push_back(RemoteIoDemand(view.spec->ideal_io, view.effective_cache, dataset.size));
+  }
+  const std::vector<BytesPerSec> caps(demands.size(), snapshot.resources.per_job_remote_cap);
+  const std::vector<BytesPerSec> rates =
+      MaxMinShare(demands, caps, snapshot.resources.remote_io);
+  std::map<JobId, BytesPerSec> out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out[ids[i]] = rates[i];
+  }
+  return out;
+}
+
+SiloDGreedyStorage::SiloDGreedyStorage(bool manage_remote_io)
+    : manage_remote_io_(manage_remote_io) {}
+
+std::string SiloDGreedyStorage::name() const {
+  return manage_remote_io_ ? "silod-greedy" : "silod-greedy-cache-only";
+}
+
+void SiloDGreedyStorage::AllocateStorage(const Snapshot& snapshot, AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  plan->cache_model = CacheModelKind::kDatasetQuota;
+  plan->dataset_cache = GreedyCacheAllocation(snapshot, *plan);
+  plan->manages_remote_io = manage_remote_io_;
+  if (manage_remote_io_) {
+    const auto io = AllocateRemoteIo(snapshot, *plan);
+    for (const auto& [job, rate] : io) {
+      plan->jobs[job].remote_io = rate;
+    }
+  }
+}
+
+}  // namespace silod

@@ -1,0 +1,50 @@
+// Algorithm 2: the greedy cache-allocation policy (§5.3).
+//
+// For schedulers that are not performance-aware (FIFO), SiloD cannot change
+// the scheduling order, but it can still exploit heterogeneous cache
+// efficiency: datasets are cached whole-or-partially in descending order of
+// cache efficiency (Eq. 5, summed over the jobs sharing the dataset, §6)
+// until the pool is exhausted.  Unlike Quiver, partial caching is allowed —
+// Eq. 4 shows a job benefits from any cached fraction.
+//
+// The companion remote-IO step throttles jobs to a max-min share of the
+// egress limit over their residual demands b_j = f*_j (1 - c/d_j).
+#ifndef SILOD_SRC_SCHED_GREEDY_H_
+#define SILOD_SRC_SCHED_GREEDY_H_
+
+#include <map>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace silod {
+
+// Algorithm 2.  Only jobs marked running in `plan` contribute demand.
+// Returns per-dataset cache sizes summing to <= resources.total_cache.
+std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
+                                                 const AllocationPlan& plan);
+
+// Computes every running job's instantaneous remote-IO demand (using its
+// effective cache, §6) and grants max-min shares of the egress limit.
+std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
+                                              const AllocationPlan& plan);
+
+// The composed SiloD storage policy for order-based schedulers.
+class SiloDGreedyStorage : public StoragePolicy {
+ public:
+  // `manage_remote_io=false` reproduces the §7.2 ablation (cache-only SiloD,
+  // provider fair-share remote IO).
+  explicit SiloDGreedyStorage(bool manage_remote_io = true);
+
+  void AllocateStorage(const Snapshot& snapshot, AllocationPlan* plan) override;
+  CacheModelKind cache_model() const override { return CacheModelKind::kDatasetQuota; }
+  bool manages_remote_io() const override { return manage_remote_io_; }
+  std::string name() const override;
+
+ private:
+  bool manage_remote_io_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_GREEDY_H_

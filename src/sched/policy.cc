@@ -1,0 +1,56 @@
+#include "src/sched/policy.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+void AdmitByOrder(const Snapshot& snapshot, const std::vector<std::size_t>& order,
+                  AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  SILOD_CHECK(order.size() == snapshot.jobs.size()) << "order must cover every job";
+  int free_gpus = snapshot.resources.total_gpus;
+
+  // Running jobs are never preempted: account for their GPUs first.
+  for (const JobView& view : snapshot.jobs) {
+    if (view.running) {
+      JobAllocation& alloc = plan->jobs[view.spec->id];
+      alloc.running = true;
+      alloc.gpus = view.spec->num_gpus;
+      free_gpus -= view.spec->num_gpus;
+    }
+  }
+  SILOD_CHECK(free_gpus >= 0) << "running jobs exceed cluster GPUs";
+
+  for (std::size_t idx : order) {
+    const JobView& view = snapshot.jobs[idx];
+    if (view.running) {
+      continue;
+    }
+    if (view.spec->num_gpus <= free_gpus) {
+      JobAllocation& alloc = plan->jobs[view.spec->id];
+      alloc.running = true;
+      alloc.gpus = view.spec->num_gpus;
+      free_gpus -= view.spec->num_gpus;
+    }
+    // Jobs that do not fit are skipped (backfill); strict head-of-line
+    // blocking would idle GPUs that the paper's schedulers use.
+  }
+}
+
+void AdmitByOrderPreemptive(const Snapshot& snapshot, const std::vector<std::size_t>& order,
+                            AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  SILOD_CHECK(order.size() == snapshot.jobs.size()) << "order must cover every job";
+  int free_gpus = snapshot.resources.total_gpus;
+  for (std::size_t idx : order) {
+    const JobView& view = snapshot.jobs[idx];
+    if (view.spec->num_gpus <= free_gpus) {
+      JobAllocation& alloc = plan->jobs[view.spec->id];
+      alloc.running = true;
+      alloc.gpus = view.spec->num_gpus;
+      free_gpus -= view.spec->num_gpus;
+    }
+  }
+}
+
+}  // namespace silod

@@ -1,0 +1,79 @@
+// Scheduler and storage-policy interfaces (Algorithm 1's Policy.Schedule).
+//
+// A Scheduler maps a cluster Snapshot to an AllocationPlan.  Schedulers own
+// the GPU decision (which jobs run) and delegate the storage decision to a
+// StoragePolicy — which for SiloD variants is co-designed (greedy Alg. 2 or
+// the Gavel solver using SiloDPerf) and for baselines reproduces how the
+// independent cache system behaves (Alluxio / CoorDL / Quiver).
+#ifndef SILOD_SRC_SCHED_POLICY_H_
+#define SILOD_SRC_SCHED_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sched/allocation.h"
+#include "src/workload/dataset.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+// The scheduler's view of one job at a scheduling instant.
+struct JobView {
+  const JobSpec* spec = nullptr;
+  Bytes remaining_bytes = 0;
+  // Whether the job held GPUs before this round (schedulers avoid preempting
+  // running jobs: DL cluster schedulers in this family are non-preemptive).
+  bool running = false;
+  // Bytes of the job's dataset that are cached and effective for its current
+  // epoch (§6): lets policies compute the *instantaneous* remote-IO demand
+  // f* (1 - effective/d) instead of the steady-state one — during the first
+  // epoch the cache is still filling and demand is higher.
+  Bytes effective_cache = 0;
+};
+
+struct Snapshot {
+  Seconds now = 0;
+  std::vector<JobView> jobs;
+  ClusterResources resources;
+  const DatasetCatalog* catalog = nullptr;
+};
+
+class StoragePolicy {
+ public:
+  virtual ~StoragePolicy() = default;
+
+  // Fills plan->dataset_cache / private caches / remote-IO throttles for the
+  // jobs marked running in `plan`.  Called after the GPU decision.
+  virtual void AllocateStorage(const Snapshot& snapshot, AllocationPlan* plan) = 0;
+
+  virtual CacheModelKind cache_model() const = 0;
+  virtual bool manages_remote_io() const = 0;
+  virtual std::string name() const = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual AllocationPlan Schedule(const Snapshot& snapshot) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Gang-admits jobs in the given preference order (indices into
+// snapshot.jobs): running jobs keep their GPUs (no preemption), waiting jobs
+// are admitted while GPUs remain; jobs that do not fit are skipped so later
+// smaller jobs may backfill.  Marks admitted jobs running in `plan`.
+void AdmitByOrder(const Snapshot& snapshot, const std::vector<std::size_t>& order,
+                  AllocationPlan* plan);
+
+// Preemptive variant: admits strictly in preference order regardless of who
+// currently holds GPUs; running jobs outside the admitted prefix are
+// suspended (their plan entry stays non-running).  Used by SRTF-style
+// policies; only the flow engine supports executing such plans.
+void AdmitByOrderPreemptive(const Snapshot& snapshot, const std::vector<std::size_t>& order,
+                            AllocationPlan* plan);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_POLICY_H_

@@ -1,0 +1,85 @@
+#include "src/sched/sjf.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+
+namespace silod {
+
+double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode) {
+  const JobSpec& job = *view.spec;
+  const double w_gpu = 1.0 / std::max(1, snapshot.resources.total_gpus);
+  const double work = static_cast<double>(view.remaining_bytes);
+  const double gpu_term = w_gpu * job.num_gpus;
+
+  if (mode == SjfScoreMode::kComputeOnly) {
+    // Vanilla multi-resource SJF: duration predicted with f* alone.
+    return gpu_term * work / job.ideal_io;
+  }
+
+  SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required for SiloD scoring";
+  const Dataset& dataset = snapshot.catalog->Get(job.dataset);
+  const double w_cache =
+      snapshot.resources.total_cache > 0
+          ? 1.0 / static_cast<double>(snapshot.resources.total_cache)
+          : 0.0;
+  const double w_io = snapshot.resources.remote_io > 0 ? 1.0 / snapshot.resources.remote_io : 0.0;
+
+  // For any cache choice c the job should target its ideal throughput f*
+  // (raising throughput only shrinks the duration factor), which needs
+  // b = f* (1 - c/d).  The resulting score is linear in c, so the optimum is
+  // at an endpoint of [0, min(d, C)].
+  double best = std::numeric_limits<double>::infinity();
+  const Bytes c_hi = std::min(dataset.size, snapshot.resources.total_cache);
+  for (const Bytes c : {Bytes{0}, c_hi}) {
+    const BytesPerSec b = RemoteIoDemand(job.ideal_io, c, dataset.size);
+    const double footprint = gpu_term + w_cache * static_cast<double>(c) + w_io * b;
+    const double score = footprint * work / job.ideal_io;
+    best = std::min(best, score);
+  }
+  return best;
+}
+
+SjfScheduler::SjfScheduler(std::shared_ptr<StoragePolicy> storage, SjfScoreMode mode,
+                           bool preemptive)
+    : storage_(std::move(storage)), mode_(mode), preemptive_(preemptive) {
+  SILOD_CHECK(storage_ != nullptr) << "storage policy required";
+}
+
+std::string SjfScheduler::name() const {
+  std::string name = std::string(mode_ == SjfScoreMode::kSiloD ? "sjf-silod+" : "sjf+") +
+                     storage_->name();
+  if (preemptive_) {
+    name = "srtf" + name.substr(3);
+  }
+  return name;
+}
+
+AllocationPlan SjfScheduler::Schedule(const Snapshot& snapshot) {
+  std::vector<double> scores(snapshot.jobs.size());
+  for (std::size_t i = 0; i < snapshot.jobs.size(); ++i) {
+    scores[i] = SjfScore(snapshot.jobs[i], snapshot, mode_);
+  }
+  std::vector<std::size_t> order(snapshot.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] < scores[b];
+    }
+    return snapshot.jobs[a].spec->submit_time < snapshot.jobs[b].spec->submit_time;
+  });
+
+  AllocationPlan plan;
+  if (preemptive_) {
+    AdmitByOrderPreemptive(snapshot, order, &plan);
+  } else {
+    AdmitByOrder(snapshot, order, &plan);
+  }
+  storage_->AllocateStorage(snapshot, &plan);
+  return plan;
+}
+
+}  // namespace silod

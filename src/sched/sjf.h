@@ -1,0 +1,50 @@
+// Multi-resource Shortest-Job-First (§5.1, Eq. 6/7), unifying Tetris [30] and
+// Tiresias [34]: each job's score is its weighted resource footprint times its
+// predicted duration,
+//
+//   score = min_R  sum_t w_t R_t * (numSteps * stepDataSize / perf(j, R)),
+//   w_t = 1 / totalResource[t],
+//
+// and jobs are served in ascending score order.  The vanilla variant scores
+// with the compute-only estimator over R = (GPUs); the SiloD variant adds
+// cache and remote IO to R and scores with SiloDPerf (Eq. 7).  Because the
+// score is linear in the cache allocation at fixed throughput, the inner
+// minimization is exact over the candidate endpoints {0, min(d, C)}.
+#ifndef SILOD_SRC_SCHED_SJF_H_
+#define SILOD_SRC_SCHED_SJF_H_
+
+#include <memory>
+
+#include "src/sched/policy.h"
+
+namespace silod {
+
+enum class SjfScoreMode {
+  kComputeOnly,  // Vanilla: perf(j, R) = f*, R = GPUs.
+  kSiloD,        // Eq. 7: SiloDPerf over (GPUs, cache, remote IO).
+};
+
+// The Eq. 6/7 score for one job (exposed for tests and diagnostics).
+double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode);
+
+class SjfScheduler : public Scheduler {
+ public:
+  // `preemptive=true` turns the policy into SRTF (Tiresias-style): a newly
+  // arrived job with a lower score suspends a running one.  Preemptive plans
+  // are only executable by the flow engine, which models a
+  // checkpoint/restore penalty on resume.
+  SjfScheduler(std::shared_ptr<StoragePolicy> storage, SjfScoreMode mode,
+               bool preemptive = false);
+
+  AllocationPlan Schedule(const Snapshot& snapshot) override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<StoragePolicy> storage_;
+  SjfScoreMode mode_;
+  bool preemptive_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_SJF_H_

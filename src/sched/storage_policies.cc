@@ -1,0 +1,67 @@
+#include "src/sched/storage_policies.h"
+
+#include <vector>
+
+#include "src/cache/coordl.h"
+#include "src/cache/quiver.h"
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+
+namespace silod {
+
+void AlluxioStorage::AllocateStorage(const Snapshot& /*snapshot*/, AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  plan->cache_model = cache_model();
+  plan->manages_remote_io = false;
+  // The shared pool self-organizes; nothing to allocate.
+}
+
+void CoorDlStorage::AllocateStorage(const Snapshot& snapshot, AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  plan->cache_model = CacheModelKind::kPerJobStatic;
+  plan->manages_remote_io = false;
+  for (const JobView& view : snapshot.jobs) {
+    auto it = plan->jobs.find(view.spec->id);
+    if (it == plan->jobs.end() || !it->second.running) {
+      continue;
+    }
+    it->second.private_cache = CoorDlStaticCache(*view.spec, snapshot.resources.total_cache,
+                                                 snapshot.resources.total_gpus);
+  }
+}
+
+QuiverStorage::QuiverStorage(double profiling_noise, std::uint64_t seed)
+    : profiler_(profiling_noise, seed) {}
+
+void QuiverStorage::AllocateStorage(const Snapshot& snapshot, AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
+  SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
+  plan->cache_model = CacheModelKind::kDatasetQuota;
+  plan->manages_remote_io = false;
+
+  // Benefit-to-cost per dataset: the true cache efficiency (summed across the
+  // jobs reading it) as seen through noisy online latency profiling.
+  std::map<DatasetId, double> true_benefit;
+  for (const JobView& view : snapshot.jobs) {
+    if (!plan->IsRunning(view.spec->id)) {
+      continue;
+    }
+    const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+    true_benefit[dataset.id] += CacheEfficiency(view.spec->ideal_io, dataset.size);
+  }
+  std::vector<QuiverCandidate> candidates;
+  for (const auto& [dataset_id, benefit] : true_benefit) {
+    QuiverCandidate c;
+    c.dataset = dataset_id;
+    c.size = snapshot.catalog->Get(dataset_id).size;
+    c.measured_benefit = profiler_.MeasureBenefit(benefit);
+    if (last_allocation_.count(dataset_id) > 0) {
+      c.measured_benefit *= kRetentionBonus;
+    }
+    candidates.push_back(c);
+  }
+  plan->dataset_cache = QuiverAllocate(candidates, snapshot.resources.total_cache);
+  last_allocation_ = plan->dataset_cache;
+}
+
+}  // namespace silod

@@ -1,0 +1,43 @@
+// Simulation-wide cluster configuration.
+#ifndef SILOD_SRC_SIM_CLUSTER_H_
+#define SILOD_SRC_SIM_CLUSTER_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/sched/allocation.h"
+#include "src/storage/fabric.h"
+
+namespace silod {
+
+struct SimConfig {
+  ClusterResources resources;
+  // How often the scheduler re-evaluates allocations between job events.
+  Seconds reschedule_period = Minutes(10);
+  // Fabric serving cache hits (fine engine); peers read near local speed.
+  FabricConfig fabric;
+  // Hoard-style prefetching ([58], §8): leftover egress bandwidth warms the
+  // datasets of queued jobs into *unallocated* cache, in queue order, so jobs
+  // start with an effective cache instead of a cold first epoch.  Prefetched
+  // data is opportunistic: it is evicted first whenever the scheduler's
+  // quota allocations need the space.  Flow engine only.
+  bool prefetch_waiting = false;
+  // Work-time lost when a preempted job resumes (checkpoint restore,
+  // pipeline refill).  Charged by the flow engine for plans produced by
+  // preemptive schedulers (SRTF); the fine engine rejects such plans.
+  Seconds preempt_resume_penalty = 30.0;
+  std::uint64_t seed = 42;
+  // Hard stop for runaway simulations (fails loudly rather than hanging).
+  Seconds max_time = Days(365);
+};
+
+// The paper's evaluated cluster scales (Table 5): GPUs, per-scale remote IO
+// limit and a cache pool (1 TB SSD per 4-GPU server in the micro-benchmark;
+// proportional at larger scales).
+SimConfig MicrobenchmarkCluster();   // 8 V100, 2 TB cache, 1.6 Gbps.
+SimConfig Cluster96();               // 96 GPUs, 8 Gbps.
+SimConfig Cluster400();              // 400 GPUs, 32 Gbps.
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SIM_CLUSTER_H_

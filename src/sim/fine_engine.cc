@@ -1,0 +1,456 @@
+#include "src/sim/fine_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/sched/gavel.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+constexpr double kByteEps = 1.0;  // Sub-byte residue counts as complete.
+
+}  // namespace
+
+FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
+                       SimConfig config, FineEngineOptions options)
+    : trace_(trace), scheduler_(std::move(scheduler)), config_(config), options_(options),
+      cache_manager_(config.resources.total_cache, config.seed ^ 0xCACE),
+      rng_(config.seed) {
+  SILOD_CHECK(trace_ != nullptr) << "trace required";
+  SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
+  SILOD_CHECK(options_.prefetch_window >= 1) << "prefetch window must be >= 1";
+
+  const StorageFabric fabric{config_.fabric};
+  fabric_rate_ = fabric.PerServerCacheReadRate(config_.resources.num_servers);
+
+  jobs_.resize(trace_->jobs.size());
+  for (const JobSpec& spec : trace_->jobs) {
+    SILOD_CHECK(spec.id >= 0 && static_cast<std::size_t>(spec.id) < jobs_.size())
+        << "job ids must be dense";
+    JobState& s = jobs_[static_cast<std::size_t>(spec.id)];
+    s.spec = &spec;
+    const Dataset& d = trace_->catalog.Get(spec.dataset);
+    s.blocks_total =
+        std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
+    s.rng = Rng(config_.seed ^ (0x9E37ULL * static_cast<std::uint64_t>(spec.id) + 1));
+    metrics_.OnSubmit(spec);
+  }
+}
+
+Snapshot FineEngine::BuildSnapshot(Seconds now) {
+  Snapshot snap;
+  snap.now = now;
+  snap.resources = config_.resources;
+  snap.catalog = &trace_->catalog;
+  for (JobState& s : jobs_) {
+    if (!s.arrived || s.finished) {
+      continue;
+    }
+    JobView view;
+    view.spec = s.spec;
+    const Bytes block = trace_->catalog.Get(s.spec->dataset).block_size;
+    view.remaining_bytes = (s.blocks_total - s.blocks_fetched) * block;
+    view.running = s.running;
+    view.effective_cache = EffectiveBytesFor(s);
+    snap.jobs.push_back(view);
+  }
+  return snap;
+}
+
+Bytes FineEngine::EffectiveBytesFor(const JobState& s) {
+  if (!s.running) {
+    return 0;
+  }
+  switch (plan_.cache_model) {
+    case CacheModelKind::kDatasetQuota:
+      return cache_manager_.EffectiveBytes(s.spec->id);
+    case CacheModelKind::kPerJobStatic:
+      // Private cache contents are effective from the next epoch; the epoch
+      // boundary is where callers re-read this, so current occupancy is the
+      // right proxy once an epoch completed.
+      return s.epochs_done > 0 && s.private_cache ? s.private_cache->used_bytes() : 0;
+    case CacheModelKind::kSharedLru:
+    case CacheModelKind::kSharedLfu:
+      return 0;  // No per-job attribution in a shared pool.
+  }
+  return 0;
+}
+
+void FineEngine::Reschedule(Seconds now) {
+  const Snapshot snap = BuildSnapshot(now);
+  if (snap.jobs.empty()) {
+    plan_ = AllocationPlan{};
+    return;
+  }
+  plan_ = scheduler_->Schedule(snap);
+  const Status valid = plan_.Validate(config_.resources);
+  SILOD_CHECK(valid.ok()) << "invalid plan from " << scheduler_->name() << ": "
+                          << valid.ToString();
+
+  if (shared_pool_ == nullptr) {
+    if (plan_.cache_model == CacheModelKind::kSharedLru) {
+      shared_pool_ = std::make_unique<LruItemCache>(config_.resources.total_cache);
+    } else if (plan_.cache_model == CacheModelKind::kSharedLfu) {
+      shared_pool_ = std::make_unique<LfuItemCache>(config_.resources.total_cache);
+    }
+  }
+
+  // Enforce dataset quotas (shrink evicts uniformly at random).  Shrinks are
+  // applied before grows so reshuffled allocations never transiently
+  // over-commit the pool.
+  if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+    for (const bool shrink_pass : {true, false}) {
+      for (const auto& dataset : trace_->catalog.all()) {
+        const auto it = plan_.dataset_cache.find(dataset.id);
+        const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
+        const Bytes current = cache_manager_.Allocation(dataset.id);
+        if (quota == current || (quota < current) != shrink_pass) {
+          continue;
+        }
+        const Status st = cache_manager_.AllocateCacheSize(dataset, quota);
+        SILOD_CHECK(st.ok()) << "cache allocation failed: " << st.ToString();
+      }
+    }
+  }
+
+  for (JobState& s : jobs_) {
+    if (!s.arrived || s.finished) {
+      continue;
+    }
+    const JobAllocation& alloc = plan_.Get(s.spec->id);
+    s.throttle = plan_.manages_remote_io ? alloc.remote_io : kUnlimitedRate;
+    SILOD_CHECK(alloc.running || !s.running)
+        << "the fine engine does not execute preemptive plans (job " << s.spec->id
+        << " was suspended); use the flow engine for SRTF";
+    if (alloc.running && !s.running) {
+      s.running = true;
+      metrics_.OnStart(s.spec->id, now);
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+        cache_manager_.RegisterJob(s.spec->id, d);
+      } else if (plan_.cache_model == CacheModelKind::kPerJobStatic) {
+        s.private_cache = std::make_unique<UniformItemCache>(alloc.private_cache);
+      }
+      if (s.spec->curriculum) {
+        s.sampler.emplace(ExponentialPacing(s.spec->curriculum_params, d.num_blocks),
+                          s.rng.Fork());
+      }
+      BeginEpoch(s);
+      s.compute_finish = now;
+      StartNextFetch(s, now);
+    }
+  }
+}
+
+void FineEngine::BeginEpoch(JobState& s) {
+  if (s.spec->curriculum) {
+    return;  // Curriculum jobs have no epoch structure (§7.4).
+  }
+  const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+  s.order.resize(static_cast<std::size_t>(d.num_blocks));
+  std::iota(s.order.begin(), s.order.end(), std::int64_t{0});
+  s.rng.Shuffle(s.order);
+  s.epoch_index = 0;
+  if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+    cache_manager_.StartJobEpoch(s.spec->id);
+  }
+}
+
+std::int64_t FineEngine::NextBlock(JobState& s) {
+  if (s.spec->curriculum) {
+    return s.sampler->Sample(s.iteration++);
+  }
+  if (s.epoch_index == static_cast<std::int64_t>(s.order.size())) {
+    ++s.epochs_done;
+    BeginEpoch(s);
+  }
+  return s.order[static_cast<std::size_t>(s.epoch_index++)];
+}
+
+bool FineEngine::CacheAccess(JobState& s, std::int64_t block) {
+  const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+  switch (plan_.cache_model) {
+    case CacheModelKind::kDatasetQuota: {
+      if (!s.spec->curriculum) {
+        cache_manager_.MarkJobAccess(s.spec->id, block);
+      }
+      // AccessBlock admits on miss internally.
+      return cache_manager_.AccessBlock(d, block);
+    }
+    case CacheModelKind::kSharedLru:
+    case CacheModelKind::kSharedLfu: {
+      const ItemKey key{d.id, block};
+      if (shared_pool_->Access(key)) {
+        return true;
+      }
+      shared_pool_->Admit(key, d.BlockBytes(block));
+      return false;
+    }
+    case CacheModelKind::kPerJobStatic: {
+      const ItemKey key{d.id, block};
+      if (s.private_cache->Access(key)) {
+        return true;
+      }
+      s.private_cache->Admit(key, d.BlockBytes(block));
+      return false;
+    }
+  }
+  return false;
+}
+
+void FineEngine::StartNextFetch(JobState& s, Seconds now) {
+  SILOD_CHECK(s.running && !s.finished) << "fetch for inactive job";
+  if (s.blocks_fetched >= s.blocks_total) {
+    s.phase = Phase::kDraining;
+    return;
+  }
+  const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+  const double block_compute = static_cast<double>(d.block_size) / s.spec->ideal_io;
+
+  // Prefetch gating: the staged-but-unconsumed buffer may hold at most
+  // `prefetch_window` blocks worth of compute.  The microsecond of slack
+  // absorbs floating-point residue at the unblock instant (without it the
+  // gate can re-arm forever on a 1-ulp overshoot).
+  const double buffer_ahead = s.compute_finish - now;
+  const double window = options_.prefetch_window * block_compute;
+  if (buffer_ahead > window + 1e-6) {
+    s.phase = Phase::kBlocked;
+    s.unblock_time = std::max(now, s.compute_finish - window);
+    return;
+  }
+
+  const std::int64_t block = NextBlock(s);
+  s.current_block = block;
+  const Bytes bytes = d.BlockBytes(block);
+  if (CacheAccess(s, block)) {
+    s.phase = Phase::kHitFetch;
+    s.hit_finish = now + static_cast<double>(bytes) / fabric_rate_;
+  } else {
+    s.phase = Phase::kMissFetch;
+    s.fetch_remaining = static_cast<double>(bytes);
+  }
+}
+
+void FineEngine::OnFetchComplete(JobState& s, Seconds now) {
+  const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+  const Bytes bytes = d.BlockBytes(s.current_block);
+  if (s.phase == Phase::kMissFetch) {
+    CacheAdmit(s, s.current_block);
+  }
+  s.compute_finish = std::max(s.compute_finish, now) + static_cast<double>(bytes) / s.spec->ideal_io;
+  ++s.blocks_fetched;
+  s.current_block = -1;
+  StartNextFetch(s, now);
+}
+
+void FineEngine::CacheAdmit(JobState& s, std::int64_t block) {
+  // Admission already happened inside CacheAccess for every model (uniform
+  // quota admission is part of CacheManager::AccessBlock; LRU/private caches
+  // admit on miss).  Kept as a separate hook for clarity and future policies.
+  (void)s;
+  (void)block;
+}
+
+void FineEngine::RecomputeFlows(Seconds now) {
+  (void)now;
+  std::vector<JobState*> flows;
+  std::vector<BytesPerSec> demands;
+  std::vector<BytesPerSec> caps;
+  for (JobState& s : jobs_) {
+    if (s.running && !s.finished && s.phase == Phase::kMissFetch) {
+      flows.push_back(&s);
+      demands.push_back(kUnlimitedRate);
+      caps.push_back(std::min(s.throttle, config_.resources.per_job_remote_cap));
+    }
+  }
+  const std::vector<BytesPerSec> rates =
+      MaxMinShare(demands, caps, config_.resources.remote_io);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i]->flow_rate = rates[i];
+  }
+}
+
+void FineEngine::RecordMetrics(Seconds now) {
+  BytesPerSec total = 0;
+  BytesPerSec ideal = 0;
+  BytesPerSec io = 0;
+  double fairness = std::numeric_limits<double>::infinity();
+  double eff_num = 0;
+  double eff_den = 0;
+  int n_running = 0;
+  for (const JobState& s : jobs_) {
+    if (s.running && !s.finished) {
+      ++n_running;
+    }
+  }
+  Snapshot snap = BuildSnapshot(now);
+  for (JobState& s : jobs_) {
+    if (!s.running || s.finished) {
+      continue;
+    }
+    // Instantaneous consumption: f* while the compute pipeline has data.
+    const BytesPerSec rate = s.compute_finish > now + kTimeEps ? s.spec->ideal_io : 0;
+    total += rate;
+    ideal += s.spec->ideal_io;
+    if (s.phase == Phase::kMissFetch) {
+      io += s.flow_rate;
+    }
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, snap, std::max(1, n_running));
+    if (eq > 0) {
+      fairness = std::min(fairness, rate / eq);
+    }
+    const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+    double quota = 0;
+    if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+      quota = static_cast<double>(std::min(cache_manager_.Allocation(d.id), d.size));
+    } else if (plan_.cache_model == CacheModelKind::kPerJobStatic && s.private_cache) {
+      quota = static_cast<double>(std::min(s.private_cache->capacity(), d.size));
+    }
+    eff_num += std::min(static_cast<double>(EffectiveBytesFor(s)), quota);
+    eff_den += quota;
+  }
+  if (!std::isfinite(fairness)) {
+    fairness = 0;
+  }
+  metrics_.OnRates(now, total, ideal, io, fairness, eff_den > 0 ? eff_num / eff_den : 1.0);
+}
+
+SimResult FineEngine::Run() {
+  std::vector<JobId> arrivals;
+  for (const JobSpec& spec : trace_->jobs) {
+    arrivals.push_back(spec.id);
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [&](JobId a, JobId b) {
+    return trace_->jobs[static_cast<std::size_t>(a)].submit_time <
+           trace_->jobs[static_cast<std::size_t>(b)].submit_time;
+  });
+
+  Seconds t = trace_->jobs[static_cast<std::size_t>(arrivals.front())].submit_time;
+  std::size_t next_arrival = 0;
+  Seconds next_tick = t + config_.reschedule_period;
+  Seconds next_sample = t;
+  bool need_resched = true;
+  std::uint64_t steps = 0;
+
+  while (!metrics_.AllFinished()) {
+    SILOD_CHECK(++steps < 2'000'000'000ULL) << "fine engine step limit exceeded";
+    SILOD_CHECK(t <= config_.max_time) << "simulation exceeded max_time at t=" << t;
+
+    while (next_arrival < arrivals.size()) {
+      const JobSpec& spec = trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])];
+      if (spec.submit_time > t + kTimeEps) {
+        break;
+      }
+      jobs_[static_cast<std::size_t>(spec.id)].arrived = true;
+      ++next_arrival;
+      need_resched = true;
+    }
+    if (need_resched) {
+      Reschedule(t);
+      need_resched = false;
+    }
+    RecomputeFlows(t);
+    if (t + kTimeEps >= next_sample) {
+      RecordMetrics(t);
+      next_sample = t + options_.sample_period;
+    }
+
+    // Next event time.
+    Seconds dt = kInfiniteTime;
+    if (next_arrival < arrivals.size()) {
+      dt = std::min(dt, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])]
+                                .submit_time -
+                            t);
+    }
+    dt = std::min(dt, next_tick - t);
+    dt = std::min(dt, next_sample - t);
+    for (const JobState& s : jobs_) {
+      if (!s.running || s.finished) {
+        continue;
+      }
+      switch (s.phase) {
+        case Phase::kMissFetch:
+          if (s.flow_rate > 0) {
+            dt = std::min(dt, s.fetch_remaining / s.flow_rate);
+          }
+          break;
+        case Phase::kHitFetch:
+          dt = std::min(dt, s.hit_finish - t);
+          break;
+        case Phase::kBlocked:
+          dt = std::min(dt, s.unblock_time - t);
+          break;
+        case Phase::kDraining:
+          dt = std::min(dt, s.compute_finish - t);
+          break;
+        case Phase::kIdle:
+          break;
+      }
+    }
+    SILOD_CHECK(std::isfinite(dt)) << "fine engine stalled at t=" << t;
+    dt = std::max(dt, 0.0);
+
+    // Advance fluid flows.
+    for (JobState& s : jobs_) {
+      if (s.running && !s.finished && s.phase == Phase::kMissFetch) {
+        s.fetch_remaining = std::max(0.0, s.fetch_remaining - s.flow_rate * dt);
+      }
+    }
+    t += dt;
+
+    if (t + kTimeEps >= next_tick) {
+      next_tick += config_.reschedule_period;
+      need_resched = true;
+    }
+
+    // Fire matured per-job events.
+    for (JobState& s : jobs_) {
+      if (!s.running || s.finished) {
+        continue;
+      }
+      switch (s.phase) {
+        case Phase::kMissFetch:
+          if (s.fetch_remaining <= kByteEps) {
+            OnFetchComplete(s, t);
+          }
+          break;
+        case Phase::kHitFetch:
+          if (t + kTimeEps >= s.hit_finish) {
+            OnFetchComplete(s, t);
+          }
+          break;
+        case Phase::kBlocked:
+          if (t + kTimeEps >= s.unblock_time) {
+            // Re-enter the fetch path with the drained buffer.
+            s.phase = Phase::kIdle;
+            StartNextFetch(s, t);
+          }
+          break;
+        case Phase::kDraining:
+          if (t + kTimeEps >= s.compute_finish) {
+            s.finished = true;
+            s.running = false;
+            s.phase = Phase::kIdle;
+            metrics_.OnFinish(s.spec->id, t);
+            if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+              cache_manager_.UnregisterJob(s.spec->id);
+            }
+            need_resched = true;
+          }
+          break;
+        case Phase::kIdle:
+          break;
+      }
+    }
+  }
+  RecordMetrics(t);
+  return metrics_.Finalize();
+}
+
+}  // namespace silod

@@ -1,0 +1,510 @@
+#include "src/sim/flow_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/cache/analytic.h"
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+#include "src/sched/gavel.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+namespace {
+
+constexpr double kEps = 1e-6;           // Bytes-scale tolerance.
+constexpr double kTimeEps = 1e-9;       // Seconds-scale tolerance.
+constexpr int kSharedLruIterations = 8;
+
+}  // namespace
+
+FlowEngine::FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
+                       SimConfig config)
+    : trace_(trace), scheduler_(std::move(scheduler)), config_(config) {
+  SILOD_CHECK(trace_ != nullptr) << "trace required";
+  SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
+  SILOD_CHECK(!trace_->jobs.empty()) << "empty trace";
+
+  jobs_.resize(trace_->jobs.size());
+  for (const JobSpec& spec : trace_->jobs) {
+    SILOD_CHECK(spec.id >= 0 && static_cast<std::size_t>(spec.id) < jobs_.size())
+        << "job ids must be dense";
+    JobState& s = jobs_[static_cast<std::size_t>(spec.id)];
+    s.spec = &spec;
+    s.remaining = static_cast<double>(spec.total_bytes);
+    metrics_.OnSubmit(spec);
+    SILOD_CHECK(spec.num_gpus <= config_.resources.total_gpus)
+        << "job " << spec.id << " demands more GPUs than the cluster has";
+  }
+  datasets_.resize(trace_->catalog.size());
+}
+
+Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
+  Snapshot snap;
+  snap.now = now;
+  snap.resources = config_.resources;
+  snap.catalog = &trace_->catalog;
+  for (const JobState& s : jobs_) {
+    if (!s.arrived || s.finished) {
+      continue;
+    }
+    JobView view;
+    view.spec = s.spec;
+    view.remaining_bytes = static_cast<Bytes>(std::max(0.0, s.remaining));
+    view.running = s.running;
+    view.effective_cache = static_cast<Bytes>(s.effective);
+    snap.jobs.push_back(view);
+  }
+  return snap;
+}
+
+void FlowEngine::Reschedule(Seconds now) {
+  const Snapshot snap = BuildSnapshot(now);
+  if (snap.jobs.empty()) {
+    plan_ = AllocationPlan{};
+    return;
+  }
+  plan_ = scheduler_->Schedule(snap);
+  const Status valid = plan_.Validate(config_.resources);
+  SILOD_CHECK(valid.ok()) << "invalid plan from " << scheduler_->name() << ": "
+                          << valid.ToString();
+
+  // Apply dataset quotas; shrinking evicts uniformly at random, which removes
+  // effective and ineffective items in proportion.  With Hoard prefetching,
+  // unallocated ("opportunistic") cache contents survive as long as the pool
+  // has room; they are evicted first when quotas need the space.
+  auto shrink_to = [&](std::size_t d, double limit) {
+    DatasetState& ds = datasets_[d];
+    if (ds.cached <= limit) {
+      return;
+    }
+    const double keep = ds.cached > 0 ? limit / ds.cached : 0.0;
+    for (JobState& s : jobs_) {
+      if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
+        s.effective *= keep;
+      }
+    }
+    ds.cached = limit;
+  };
+  Bytes total_quota = 0;
+  for (std::size_t d = 0; d < datasets_.size(); ++d) {
+    const auto it = plan_.dataset_cache.find(static_cast<DatasetId>(d));
+    const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
+    DatasetState& ds = datasets_[d];
+    if (!(config_.prefetch_waiting && quota == 0)) {
+      shrink_to(d, static_cast<double>(quota));
+    }
+    ds.quota = quota;
+    total_quota += quota;
+  }
+  if (config_.prefetch_waiting) {
+    // Evict opportunistic data (largest holdings first) until quotas plus
+    // opportunistic contents fit the pool.
+    double opportunistic = 0;
+    std::vector<std::size_t> holders;
+    for (std::size_t d = 0; d < datasets_.size(); ++d) {
+      if (datasets_[d].quota == 0 && datasets_[d].cached > 0) {
+        opportunistic += datasets_[d].cached;
+        holders.push_back(d);
+      }
+    }
+    double budget = static_cast<double>(config_.resources.total_cache - total_quota);
+    if (opportunistic > budget) {
+      std::sort(holders.begin(), holders.end(), [&](std::size_t a, std::size_t b) {
+        return datasets_[a].cached > datasets_[b].cached;
+      });
+      for (std::size_t d : holders) {
+        if (opportunistic <= budget) {
+          break;
+        }
+        const double excess = opportunistic - budget;
+        const double drop = std::min(excess, datasets_[d].cached);
+        shrink_to(d, datasets_[d].cached - drop);
+        opportunistic -= drop;
+      }
+    }
+  }
+
+  for (JobState& s : jobs_) {
+    if (!s.arrived || s.finished) {
+      continue;
+    }
+    const JobAllocation& alloc = plan_.Get(s.spec->id);
+    if (!alloc.running && s.running) {
+      // Preemption (SRTF plans): suspend in place — progress, epoch position
+      // and cache effectiveness survive; the resume penalty is charged below.
+      s.running = false;
+      s.rate = 0;
+      s.io_rate = 0;
+      continue;
+    }
+    if (alloc.running && !s.running) {
+      s.running = true;
+      metrics_.OnStart(s.spec->id, now);
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      if (!s.started) {
+        s.started = true;
+        s.epoch_pos = 0;
+        switch (plan_.cache_model) {
+          case CacheModelKind::kDatasetQuota:
+            // Items cached by earlier jobs predate this job's first epoch and
+            // are immediately effective for it.
+            s.effective = std::min(datasets_[static_cast<std::size_t>(d.id)].cached,
+                                   static_cast<double>(d.size));
+            break;
+          case CacheModelKind::kPerJobStatic:
+          case CacheModelKind::kSharedLru:
+          case CacheModelKind::kSharedLfu:
+            s.effective = 0;
+            break;
+        }
+      } else {
+        // Resume after preemption: checkpoint restore and pipeline refill
+        // cost work-time, charged as extra bytes at the job's ideal rate.
+        s.remaining += config_.preempt_resume_penalty * s.spec->ideal_io;
+      }
+    }
+    if (plan_.cache_model == CacheModelKind::kPerJobStatic && s.running) {
+      s.private_quota = alloc.private_cache;
+      if (s.private_cached > static_cast<double>(s.private_quota)) {
+        const double keep = s.private_cached > 0
+                                ? static_cast<double>(s.private_quota) / s.private_cached
+                                : 0.0;
+        s.effective *= keep;
+        s.private_cached = static_cast<double>(s.private_quota);
+      }
+    }
+  }
+}
+
+void FlowEngine::ComputeRates(Seconds now) {
+  (void)now;
+  std::vector<JobState*> running;
+  for (JobState& s : jobs_) {
+    s.rate = 0;
+    s.io_rate = 0;
+    if (s.running && !s.finished) {
+      running.push_back(&s);
+    }
+  }
+  for (DatasetState& ds : datasets_) {
+    ds.fill_rate = 0;
+    ds.fill_limit = 0;
+  }
+  prefetch_rate_ = 0;
+  if (running.empty() && !config_.prefetch_waiting) {
+    return;
+  }
+
+  const std::size_t n = running.size();
+  std::vector<double> miss(n);
+
+  if (plan_.cache_model == CacheModelKind::kSharedLru ||
+      plan_.cache_model == CacheModelKind::kSharedLfu) {
+    // Fixed point between loading rates and the shared-pool hit ratios.  LFU
+    // degenerates to the same scan dynamics under exactly-once epochs, so the
+    // two policies share the fluid model.
+    std::vector<BytesPerSec> rates(n);
+    std::vector<Bytes> sizes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = running[i]->spec->ideal_io;
+      sizes[i] = trace_->catalog.Get(running[i]->spec->dataset).size;
+    }
+    std::vector<BytesPerSec> granted(n, 0);
+    for (int iter = 0; iter < kSharedLruIterations; ++iter) {
+      const SharedLruResult lru =
+          SharedLruModel(rates, sizes, config_.resources.total_cache);
+      std::vector<BytesPerSec> demand(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double h = running[i]->warm ? lru.hit_ratio[i] : 0.0;
+        miss[i] = 1.0 - h;
+        demand[i] = running[i]->spec->ideal_io * miss[i];
+      }
+      granted = MaxMinShare(demand,
+                            std::vector<BytesPerSec>(n, config_.resources.per_job_remote_cap),
+                            config_.resources.remote_io);
+      for (std::size_t i = 0; i < n; ++i) {
+        rates[i] = miss[i] > kEps
+                       ? std::min(running[i]->spec->ideal_io, granted[i] / miss[i])
+                       : running[i]->spec->ideal_io;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      running[i]->rate = rates[i];
+      running[i]->io_rate = rates[i] * miss[i];
+      // Track the LRU-resident share as the job's "effective" cache for
+      // reporting; epoch boundaries refresh it too.
+      running[i]->effective = rates[i] > 0 && running[i]->warm
+                                  ? (1.0 - miss[i]) * static_cast<double>(sizes[i])
+                                  : 0.0;
+    }
+    return;
+  }
+
+  // Quota-based models (SiloD, Quiver) and CoorDL's private static caches.
+  std::vector<BytesPerSec> demand(n);
+  std::vector<BytesPerSec> caps(n, config_.resources.per_job_remote_cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobState& s = *running[i];
+    const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+    const double hit =
+        std::min(1.0, std::max(0.0, s.effective / static_cast<double>(d.size)));
+    miss[i] = 1.0 - hit;
+    demand[i] = s.spec->ideal_io * miss[i];
+    if (plan_.manages_remote_io) {
+      caps[i] = std::min(caps[i], plan_.Get(s.spec->id).remote_io);
+    }
+  }
+  const std::vector<BytesPerSec> granted =
+      MaxMinShare(demand, caps, config_.resources.remote_io);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    JobState& s = *running[i];
+    s.io_rate = granted[i];
+    s.rate = miss[i] > kEps ? std::min(s.spec->ideal_io, granted[i] / miss[i])
+                            : s.spec->ideal_io;
+
+    // Cache fill: missed fetches are admitted until the quota is reached.
+    if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      DatasetState& ds = datasets_[static_cast<std::size_t>(d.id)];
+      ds.fill_limit = std::min(static_cast<double>(ds.quota), static_cast<double>(d.size));
+      if (ds.cached < ds.fill_limit - kEps) {
+        ds.fill_rate += s.io_rate;
+      }
+    }
+    // Per-job static (CoorDL) fill is handled in the advance step via io_rate.
+  }
+
+  // Hoard mode: pour leftover egress into the head-of-queue waiting job's
+  // dataset, filling unallocated cache space.
+  if (config_.prefetch_waiting && plan_.cache_model == CacheModelKind::kDatasetQuota) {
+    BytesPerSec used = 0;
+    for (const JobState* s : running) {
+      used += s->io_rate;
+    }
+    const BytesPerSec leftover = std::max(0.0, config_.resources.remote_io - used);
+    if (leftover > 0) {
+      double occupied = 0;
+      for (const DatasetState& ds : datasets_) {
+        occupied += std::max(ds.cached, static_cast<double>(ds.quota));
+      }
+      const double pool_space =
+          std::max(0.0, static_cast<double>(config_.resources.total_cache) - occupied);
+      if (pool_space > kEps) {
+        const JobState* head = nullptr;
+        for (const JobState& s : jobs_) {
+          if (!s.arrived || s.finished || s.running) {
+            continue;
+          }
+          const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+          const DatasetState& ds = datasets_[static_cast<std::size_t>(d.id)];
+          if (ds.cached + kEps < static_cast<double>(d.size) &&
+              (head == nullptr || s.spec->submit_time < head->spec->submit_time)) {
+            head = &s;
+          }
+        }
+        if (head != nullptr) {
+          const Dataset& d = trace_->catalog.Get(head->spec->dataset);
+          DatasetState& ds = datasets_[static_cast<std::size_t>(d.id)];
+          ds.fill_limit = std::max(ds.fill_limit,
+                                   std::min(static_cast<double>(d.size), ds.cached + pool_space));
+          ds.fill_rate += leftover;
+          prefetch_rate_ = leftover;
+        }
+      }
+    }
+  }
+}
+
+void FlowEngine::RecordMetrics(Seconds now) {
+  BytesPerSec total = 0;
+  BytesPerSec ideal = 0;
+  BytesPerSec io = 0;
+  double fairness = std::numeric_limits<double>::infinity();
+  double eff_num = 0;
+  double eff_den = 0;
+  int n_running = 0;
+  for (const JobState& s : jobs_) {
+    if (s.running && !s.finished) {
+      ++n_running;
+    }
+  }
+  const Snapshot snap = BuildSnapshot(now);
+  for (const JobState& s : jobs_) {
+    if (!s.running || s.finished) {
+      continue;
+    }
+    total += s.rate;
+    ideal += s.spec->ideal_io;
+    io += s.io_rate;
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, snap, std::max(1, n_running));
+    if (eq > 0) {
+      fairness = std::min(fairness, s.rate / eq);
+    }
+    const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+    double quota = 0;
+    switch (plan_.cache_model) {
+      case CacheModelKind::kDatasetQuota:
+        quota = static_cast<double>(
+            std::min(datasets_[static_cast<std::size_t>(d.id)].quota, d.size));
+        break;
+      case CacheModelKind::kPerJobStatic:
+        quota = static_cast<double>(std::min(s.private_quota, d.size));
+        break;
+      case CacheModelKind::kSharedLru:
+      case CacheModelKind::kSharedLfu:
+        quota = 0;  // No explicit allocation to compare against.
+        break;
+    }
+    eff_num += std::min(s.effective, quota);
+    eff_den += quota;
+  }
+  if (!std::isfinite(fairness)) {
+    fairness = 0;
+  }
+  io += prefetch_rate_;
+  metrics_.OnRates(now, total, ideal, io, fairness, eff_den > 0 ? eff_num / eff_den : 1.0);
+}
+
+SimResult FlowEngine::Run() {
+  // Arrival order.
+  std::vector<JobId> arrivals;
+  for (const JobSpec& spec : trace_->jobs) {
+    arrivals.push_back(spec.id);
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [&](JobId a, JobId b) {
+    return trace_->jobs[static_cast<std::size_t>(a)].submit_time <
+           trace_->jobs[static_cast<std::size_t>(b)].submit_time;
+  });
+
+  Seconds t = 0;
+  std::size_t next_arrival = 0;
+  Seconds next_tick = config_.reschedule_period;
+  bool need_resched = true;
+  std::uint64_t steps = 0;
+
+  // Jump to the first arrival.
+  if (next_arrival < arrivals.size()) {
+    t = std::max(t, trace_->jobs[static_cast<std::size_t>(arrivals[0])].submit_time);
+  }
+
+  while (!metrics_.AllFinished()) {
+    SILOD_CHECK(++steps < 100'000'000ULL) << "flow engine step limit exceeded";
+    SILOD_CHECK(t <= config_.max_time) << "simulation exceeded max_time at t=" << t;
+
+    // Process arrivals at the current time.
+    while (next_arrival < arrivals.size()) {
+      const JobSpec& spec = trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])];
+      if (spec.submit_time > t + kTimeEps) {
+        break;
+      }
+      jobs_[static_cast<std::size_t>(spec.id)].arrived = true;
+      ++next_arrival;
+      need_resched = true;
+    }
+
+    if (need_resched) {
+      Reschedule(t);
+      need_resched = false;
+    }
+    ComputeRates(t);
+    RecordMetrics(t);
+
+    // Time to the next event.
+    Seconds dt = kInfiniteTime;
+    if (next_arrival < arrivals.size()) {
+      dt = std::min(dt, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])]
+                                .submit_time -
+                            t);
+    }
+    dt = std::min(dt, next_tick - t);
+    for (const JobState& s : jobs_) {
+      if (!s.running || s.finished || s.rate <= 0) {
+        continue;
+      }
+      dt = std::min(dt, s.remaining / s.rate);
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      const double epoch_left = static_cast<double>(d.size) - s.epoch_pos;
+      if (epoch_left > kEps) {
+        dt = std::min(dt, epoch_left / s.rate);
+      }
+    }
+    SILOD_CHECK(std::isfinite(dt)) << "simulation stalled at t=" << t << " with "
+                                   << metrics_.finished_count() << " jobs finished";
+    dt = std::max(dt, 0.0);
+
+    // Advance.
+    for (JobState& s : jobs_) {
+      if (!s.running || s.finished) {
+        continue;
+      }
+      const double delta = s.rate * dt;
+      s.remaining -= delta;
+      s.epoch_pos += delta;
+      if (plan_.cache_model == CacheModelKind::kPerJobStatic) {
+        const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+        const double limit = std::min(static_cast<double>(s.private_quota),
+                                      static_cast<double>(d.size));
+        s.private_cached = std::min(limit, s.private_cached + s.io_rate * dt);
+      }
+    }
+    for (DatasetState& ds : datasets_) {
+      if (ds.fill_rate > 0 && ds.cached < ds.fill_limit) {
+        ds.cached = std::min(ds.fill_limit, ds.cached + ds.fill_rate * dt);
+      }
+    }
+    t += dt;
+
+    if (t + kTimeEps >= next_tick) {
+      next_tick += config_.reschedule_period;
+      need_resched = true;
+    }
+
+    // Epoch boundaries and completions.
+    for (JobState& s : jobs_) {
+      if (!s.running || s.finished) {
+        continue;
+      }
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      if (s.remaining <= kEps) {
+        s.finished = true;
+        s.running = false;
+        s.remaining = 0;
+        metrics_.OnFinish(s.spec->id, t);
+        need_resched = true;
+        continue;
+      }
+      if (s.epoch_pos + kEps >= static_cast<double>(d.size)) {
+        s.epoch_pos = 0;
+        const double old_effective = s.effective;
+        const bool was_cold = !s.warm;
+        s.warm = true;
+        switch (plan_.cache_model) {
+          case CacheModelKind::kDatasetQuota:
+            s.effective = std::min(datasets_[static_cast<std::size_t>(d.id)].cached,
+                                   static_cast<double>(d.size));
+            break;
+          case CacheModelKind::kPerJobStatic:
+            s.effective = s.private_cached;
+            break;
+          case CacheModelKind::kSharedLru:
+          case CacheModelKind::kSharedLfu:
+            break;  // Effective tracked inside the rate fixed point.
+        }
+        // Re-run the scheduler only when the boundary materially changed the
+        // job's cache effectiveness (first warm epoch or >1% of the dataset);
+        // steady-state boundaries would otherwise trigger O(jobs) reschedules
+        // per epoch across the cluster.  Rates are refreshed either way.
+        if (was_cold ||
+            std::abs(s.effective - old_effective) > 0.01 * static_cast<double>(d.size)) {
+          need_resched = true;
+        }
+      }
+    }
+  }
+  return metrics_.Finalize();
+}
+
+}  // namespace silod

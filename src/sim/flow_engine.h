@@ -1,0 +1,74 @@
+// FlowEngine: piecewise-constant-rate cluster simulation.
+//
+// Between events (arrival, completion, epoch boundary, reschedule tick) every
+// running job progresses at a constant rate derived from the closed-form
+// models: SiloDPerf for dataset-quota caches, the per-job static model for
+// CoorDL, and the shared-LRU fluid model for Alluxio.  Cache fill and delayed
+// effectiveness (§6) are integrated analytically: a dataset's cache fills at
+// the rate of its jobs' miss traffic, and a job's *effective* cache is
+// snapshotted at each of its epoch boundaries.
+//
+// This is the engine for the 400-GPU / 4-week experiments (§7.2); its
+// fidelity against the mini-batch FineEngine is itself an experiment
+// (Table 6's simulation columns).
+#ifndef SILOD_SRC_SIM_FLOW_ENGINE_H_
+#define SILOD_SRC_SIM_FLOW_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sched/policy.h"
+#include "src/sim/cluster.h"
+#include "src/sim/metrics.h"
+#include "src/workload/trace_gen.h"
+
+namespace silod {
+
+class FlowEngine {
+ public:
+  FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler, SimConfig config);
+
+  SimResult Run();
+
+ private:
+  struct JobState {
+    const JobSpec* spec = nullptr;
+    double remaining = 0;        // Bytes left to train.
+    double epoch_pos = 0;        // Bytes into the current epoch.
+    double effective = 0;        // Effective cache bytes for the current epoch.
+    double private_cached = 0;   // CoorDL private-cache fill.
+    Bytes private_quota = 0;
+    bool arrived = false;
+    bool running = false;
+    bool started = false;  // Ever held GPUs (distinguishes start from resume).
+    bool finished = false;
+    bool warm = false;           // Completed at least one epoch.
+    BytesPerSec rate = 0;        // Current end-to-end throughput.
+    BytesPerSec io_rate = 0;     // Current egress consumption.
+  };
+  struct DatasetState {
+    Bytes quota = 0;
+    double cached = 0;      // Filled bytes (may exceed quota only transiently).
+    double fill_rate = 0;
+    double fill_limit = 0;  // Cap `cached` may fill to during this step.
+  };
+
+  Snapshot BuildSnapshot(Seconds now) const;
+  void Reschedule(Seconds now);
+  void ComputeRates(Seconds now);
+  void RecordMetrics(Seconds now);
+
+  const Trace* trace_;
+  std::shared_ptr<Scheduler> scheduler_;
+  SimConfig config_;
+  double prefetch_rate_ = 0;  // Leftover-egress prefetch traffic (Hoard mode).
+
+  std::vector<JobState> jobs_;          // Indexed by JobId.
+  std::vector<DatasetState> datasets_;  // Indexed by DatasetId.
+  AllocationPlan plan_;
+  MetricsCollector metrics_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SIM_FLOW_ENGINE_H_

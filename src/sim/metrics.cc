@@ -1,0 +1,79 @@
+#include "src/sim/metrics.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+double SimResult::AvgJctSeconds() const {
+  if (jobs.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (const JobResult& j : jobs) {
+    SILOD_CHECK(j.finish_time >= 0) << "job " << j.id << " never finished";
+    sum += j.Jct();
+  }
+  return sum / static_cast<double>(jobs.size());
+}
+
+SampleSet SimResult::JctSamplesMinutes() const {
+  SampleSet set;
+  for (const JobResult& j : jobs) {
+    set.Add(j.Jct() / 60.0);
+  }
+  return set;
+}
+
+double SimResult::AvgFairness() const {
+  if (fairness_ratio.empty() || makespan <= 0) {
+    return 0;
+  }
+  return fairness_ratio.TimeAverage(0, makespan);
+}
+
+void MetricsCollector::OnSubmit(const JobSpec& job) {
+  if (static_cast<std::size_t>(job.id) >= jobs_.size()) {
+    jobs_.resize(static_cast<std::size_t>(job.id) + 1);
+  }
+  JobResult& r = jobs_[static_cast<std::size_t>(job.id)];
+  r.id = job.id;
+  r.submit_time = job.submit_time;
+}
+
+void MetricsCollector::OnStart(JobId job, Seconds t) {
+  SILOD_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size()) << "unknown job " << job;
+  JobResult& r = jobs_[static_cast<std::size_t>(job)];
+  if (r.first_start_time < 0) {
+    r.first_start_time = t;
+  }
+}
+
+void MetricsCollector::OnFinish(JobId job, Seconds t) {
+  SILOD_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size()) << "unknown job " << job;
+  JobResult& r = jobs_[static_cast<std::size_t>(job)];
+  SILOD_CHECK(r.finish_time < 0) << "job " << job << " finished twice";
+  r.finish_time = t;
+  ++finished_;
+  last_finish_ = std::max(last_finish_, t);
+}
+
+void MetricsCollector::OnRates(Seconds t, BytesPerSec total, BytesPerSec ideal,
+                               BytesPerSec remote_io, double fairness,
+                               double effective_cache_ratio) {
+  series_.total_throughput.Record(t, total);
+  series_.ideal_throughput.Record(t, ideal);
+  series_.remote_io_usage.Record(t, remote_io);
+  series_.fairness_ratio.Record(t, fairness);
+  series_.effective_cache_ratio.Record(t, effective_cache_ratio);
+}
+
+bool MetricsCollector::AllFinished() const { return finished_ == jobs_.size(); }
+
+SimResult MetricsCollector::Finalize() const {
+  SimResult result = series_;
+  result.jobs = jobs_;
+  result.makespan = last_finish_;
+  return result;
+}
+
+}  // namespace silod

@@ -1,0 +1,70 @@
+// Simulation metrics: the quantities the paper's evaluation reports.
+//
+//   - per-job JCT and its distribution (Fig. 10b);
+//   - average JCT and makespan (Table 6, Fig. 10a, Fig. 12);
+//   - total / ideal throughput and remote-IO usage over time (Fig. 9, 11);
+//   - the Gavel fairness ratio over time (Fig. 13);
+//   - effective vs allocated cache over time (Fig. 8).
+#ifndef SILOD_SRC_SIM_METRICS_H_
+#define SILOD_SRC_SIM_METRICS_H_
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+struct JobResult {
+  JobId id = kInvalidJob;
+  Seconds submit_time = 0;
+  Seconds first_start_time = -1;
+  Seconds finish_time = -1;
+
+  Seconds Jct() const { return finish_time - submit_time; }
+};
+
+struct SimResult {
+  std::vector<JobResult> jobs;
+  Seconds makespan = 0;
+
+  TimeSeries total_throughput;       // Sum of running jobs' actual rates.
+  TimeSeries ideal_throughput;       // Sum of running jobs' f*.
+  TimeSeries remote_io_usage;        // Aggregate egress consumption.
+  TimeSeries fairness_ratio;         // min_j actual / equal-share (Eq. 8 value).
+  TimeSeries effective_cache_ratio;  // Effective / allocated cache (Fig. 8).
+
+  double AvgJctSeconds() const;
+  double AvgJctMinutes() const { return AvgJctSeconds() / 60.0; }
+  double MakespanMinutes() const { return makespan / 60.0; }
+  SampleSet JctSamplesMinutes() const;
+  // Time-averaged fairness ratio over the whole run.
+  double AvgFairness() const;
+};
+
+// Incremental collector driven by the engines.
+class MetricsCollector {
+ public:
+  void OnSubmit(const JobSpec& job);
+  void OnStart(JobId job, Seconds t);
+  void OnFinish(JobId job, Seconds t);
+
+  // Rate snapshot valid from time t until the next call.
+  void OnRates(Seconds t, BytesPerSec total, BytesPerSec ideal, BytesPerSec remote_io,
+               double fairness, double effective_cache_ratio);
+
+  SimResult Finalize() const;
+  bool AllFinished() const;
+  std::size_t finished_count() const { return finished_; }
+
+ private:
+  std::vector<JobResult> jobs_;  // Indexed by JobId.
+  std::size_t finished_ = 0;
+  Seconds last_finish_ = 0;
+  SimResult series_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SIM_METRICS_H_

@@ -1,0 +1,140 @@
+#include "src/storage/data_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace silod {
+namespace {
+
+Seconds WallSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DataPipeline::DataPipeline(InMemRemoteStore* remote, Dataset dataset, PipelineOptions options)
+    : remote_(remote), dataset_(std::move(dataset)), options_(options),
+      rng_(options.shuffle_seed) {
+  SILOD_CHECK(remote != nullptr) << "remote store required";
+  SILOD_CHECK(options.prefetch_threads >= 1) << "need at least one prefetcher";
+  SILOD_CHECK(options.prefetch_depth >= 1) << "prefetch depth must be positive";
+  remote_->RegisterDataset(dataset_);
+  workers_.reserve(static_cast<std::size_t>(options.prefetch_threads));
+  for (int i = 0; i < options.prefetch_threads; ++i) {
+    workers_.emplace_back([this] { PrefetchLoop(); });
+  }
+}
+
+DataPipeline::~DataPipeline() { StopWorkers(); }
+
+void DataPipeline::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void DataPipeline::StartEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SILOD_CHECK(order_.empty() || next_to_consume_ == dataset_.num_blocks)
+      << "StartEpoch called mid-epoch";
+  order_.resize(static_cast<std::size_t>(dataset_.num_blocks));
+  std::iota(order_.begin(), order_.end(), std::int64_t{0});
+  rng_.Shuffle(order_);
+  next_to_fetch_ = 0;
+  next_to_consume_ = 0;
+  staged_.clear();
+  work_cv_.notify_all();
+}
+
+bool DataPipeline::EpochDone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !order_.empty() && next_to_consume_ == dataset_.num_blocks;
+}
+
+void DataPipeline::PrefetchLoop() {
+  for (;;) {
+    std::int64_t position = -1;
+    std::int64_t block = -1;
+    bool hit = false;
+    std::vector<std::uint8_t> payload;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ ||
+               (!order_.empty() && next_to_fetch_ < dataset_.num_blocks &&
+                next_to_fetch_ < next_to_consume_ + options_.prefetch_depth);
+      });
+      if (stopping_) {
+        return;
+      }
+      position = next_to_fetch_++;
+      block = order_[static_cast<std::size_t>(position)];
+      auto it = cache_.find(block);
+      if (it != cache_.end()) {
+        hit = true;
+        payload = it->second;
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+      }
+    }
+
+    if (!hit) {
+      // Remote read happens outside the lock: it sleeps to model egress
+      // throttling and must not serialize other prefetchers.
+      payload = remote_->ReadBlock(dataset_.id, block);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!hit && cached_bytes_ + static_cast<Bytes>(payload.size()) <= options_.cache_capacity) {
+        // Uniform caching: admit until the allocation is full, never evict.
+        cached_bytes_ += static_cast<Bytes>(payload.size());
+        cache_.emplace(block, payload);
+      }
+      staged_.emplace(position, std::move(payload));
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+std::pair<std::int64_t, std::vector<std::uint8_t>> DataPipeline::NextBlock() {
+  const Seconds wait_start = WallSeconds();
+  std::unique_lock<std::mutex> lock(mu_);
+  SILOD_CHECK(!order_.empty()) << "StartEpoch before NextBlock";
+  SILOD_CHECK(next_to_consume_ < dataset_.num_blocks) << "epoch already fully consumed";
+  const std::int64_t position = next_to_consume_;
+  ready_cv_.wait(lock, [&] { return staged_.count(position) > 0; });
+  stats_.consumer_stall_seconds += WallSeconds() - wait_start;
+
+  auto node = staged_.extract(position);
+  ++next_to_consume_;
+  const std::int64_t block = order_[static_cast<std::size_t>(position)];
+  lock.unlock();
+  work_cv_.notify_all();  // Consuming frees prefetch-depth budget.
+  return {block, std::move(node.mapped())};
+}
+
+PipelineStats DataPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Bytes DataPipeline::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_bytes_;
+}
+
+}  // namespace silod

@@ -1,0 +1,47 @@
+#include "src/storage/fabric.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+StorageFabric::StorageFabric(FabricConfig config) : config_(config) {
+  SILOD_CHECK(config.local_disk_bw > 0) << "local disk bandwidth must be positive";
+  SILOD_CHECK(config.nic_bw > 0) << "NIC bandwidth must be positive";
+  SILOD_CHECK(config.peer_overhead >= 0 && config.peer_overhead < 1)
+      << "peer overhead must be a fraction";
+}
+
+BytesPerSec StorageFabric::PerServerCacheReadRate(int num_servers) const {
+  SILOD_CHECK(num_servers >= 1) << "need at least one server";
+  if (num_servers == 1) {
+    return config_.local_disk_bw;
+  }
+  const double n = static_cast<double>(num_servers);
+  const double peer_frac = (n - 1.0) / n;
+  // Each server's disk serves its local job (1/n of demand) plus peer requests
+  // for its shard of everyone else's data — in aggregate exactly its fair
+  // share, so the disk still bounds total service at local_disk_bw.
+  // The NIC carries incoming peer reads (peer_frac of the job's demand) and an
+  // equal volume of outgoing serves; full duplex means the larger direction
+  // binds.  Peer bytes additionally pay the software overhead.
+  const BytesPerSec disk_bound = config_.local_disk_bw;
+  const BytesPerSec nic_bound = config_.nic_bw / (peer_frac * (1.0 + config_.peer_overhead));
+  return std::min(disk_bound, nic_bound);
+}
+
+BytesPerSec StorageFabric::LocalOnlyThroughput(int num_servers,
+                                               BytesPerSec per_server_demand) const {
+  SILOD_CHECK(num_servers >= 1) << "need at least one server";
+  return std::min(per_server_demand, config_.local_disk_bw) * num_servers;
+}
+
+BytesPerSec StorageFabric::ClusterCacheThroughput(int num_servers,
+                                                  BytesPerSec per_server_demand) const {
+  SILOD_CHECK(num_servers >= 1) << "need at least one server";
+  const BytesPerSec per_server = std::min(per_server_demand, PerServerCacheReadRate(num_servers));
+  return per_server * num_servers;
+}
+
+}  // namespace silod

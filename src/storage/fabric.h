@@ -1,0 +1,53 @@
+// Storage fabric model (Fig. 3).
+//
+// Modern GPU clusters carry cache traffic on a high-speed storage fabric,
+// separate from the InfiniBand used for gradient all-reduce (§2.1, Flat
+// Datacenter Storage [54]).  With datasets spread uniformly over n servers'
+// caches, a job reads 1/n of its data from the local disk and (n-1)/n from
+// peers.  Fig. 3 shows that even at 50 servers the cluster sustains near-local
+// throughput; the limiting resources are each server's local disk bandwidth
+// and its storage-fabric NIC (which carries both its outgoing serves to peers
+// and its own incoming peer reads).
+#ifndef SILOD_SRC_STORAGE_FABRIC_H_
+#define SILOD_SRC_STORAGE_FABRIC_H_
+
+#include "src/common/units.h"
+
+namespace silod {
+
+struct FabricConfig {
+  // NVMe array read bandwidth per server.
+  BytesPerSec local_disk_bw = GBps(3.2);
+  // Storage-fabric NIC bandwidth per server (full duplex), e.g. 100 GbE.
+  BytesPerSec nic_bw = Gbps(100);
+  // Per-hop software overhead factor on peer reads (FUSE + RPC), ~4%.
+  double peer_overhead = 0.04;
+};
+
+class StorageFabric {
+ public:
+  explicit StorageFabric(FabricConfig config);
+
+  const FabricConfig& config() const { return config_; }
+
+  // Aggregate cluster cache-read throughput with `num_servers` servers each
+  // demanding `per_server_demand` of cached data, blocks uniformly spread.
+  // This is the "Local Read" + "Peer Read" experiment of Fig. 3 (jobs of
+  // 1923 MB/s per 8-A100 server).
+  BytesPerSec ClusterCacheThroughput(int num_servers, BytesPerSec per_server_demand) const;
+
+  // Throughput when every byte is served by the local disk (Fig. 3's
+  // linear-scaling reference line).
+  BytesPerSec LocalOnlyThroughput(int num_servers, BytesPerSec per_server_demand) const;
+
+  // Per-job achievable cache read rate for one server's workers given the
+  // spread above (used by the fine engine to bound cache-hit service rate).
+  BytesPerSec PerServerCacheReadRate(int num_servers) const;
+
+ private:
+  FabricConfig config_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_STORAGE_FABRIC_H_

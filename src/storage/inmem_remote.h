@@ -1,0 +1,55 @@
+// An executable stand-in for the cloud storage service.
+//
+// The paper's prototype reads Azure Blob Storage through Alluxio; we have no
+// cloud account, so this in-memory remote store synthesizes block contents
+// deterministically (no actual multi-terabyte allocation) and enforces the
+// account's egress limit with a wall-clock token bucket, exactly the
+// behaviour the rest of the system observes: bytes arrive no faster than the
+// egress cap, and every block's payload is verifiable by checksum.
+//
+// Thread-safe: many pipeline prefetch threads read concurrently.
+#ifndef SILOD_SRC_STORAGE_INMEM_REMOTE_H_
+#define SILOD_SRC_STORAGE_INMEM_REMOTE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/storage/token_bucket.h"
+#include "src/workload/dataset.h"
+
+namespace silod {
+
+class InMemRemoteStore {
+ public:
+  // `egress_limit` applies across all readers; `burst` bounds how far a reader
+  // can run ahead of the sustained rate.
+  InMemRemoteStore(BytesPerSec egress_limit, Bytes burst);
+
+  void RegisterDataset(const Dataset& dataset);
+
+  // Blocking read of one block.  Sleeps as needed to respect the egress
+  // limit, then materializes the deterministic payload.
+  std::vector<std::uint8_t> ReadBlock(DatasetId dataset, std::int64_t block);
+
+  // The checksum ReadBlock's payload will have; computable without the bytes.
+  static std::uint64_t ExpectedChecksum(DatasetId dataset, std::int64_t block, Bytes size);
+
+  static std::uint64_t Checksum(const std::vector<std::uint8_t>& data);
+
+  Bytes bytes_served() const { return bytes_served_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  TokenBucket bucket_;
+  std::map<DatasetId, Dataset> datasets_;
+  std::atomic<Bytes> bytes_served_{0};
+  const std::int64_t start_ns_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_STORAGE_INMEM_REMOTE_H_

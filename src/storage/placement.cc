@@ -1,0 +1,65 @@
+#include "src/storage/placement.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BlockPlacement::BlockPlacement(int num_servers, int virtual_nodes, std::uint64_t seed)
+    : num_servers_(num_servers) {
+  SILOD_CHECK(num_servers >= 1) << "need at least one server";
+  SILOD_CHECK(virtual_nodes >= 1) << "need at least one virtual node";
+  ring_.reserve(static_cast<std::size_t>(num_servers) * virtual_nodes);
+  for (int server = 0; server < num_servers; ++server) {
+    for (int v = 0; v < virtual_nodes; ++v) {
+      const std::uint64_t h =
+          Mix(seed ^ (static_cast<std::uint64_t>(server) << 32) ^ static_cast<std::uint64_t>(v));
+      ring_.push_back(RingPoint{h, server});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int BlockPlacement::ServerFor(DatasetId dataset, std::int64_t block) const {
+  const std::uint64_t key = Mix((static_cast<std::uint64_t>(dataset) << 40) ^
+                                static_cast<std::uint64_t>(block) * 0x9E3779B97F4A7C15ULL);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), RingPoint{key, 0});
+  if (it == ring_.end()) {
+    it = ring_.begin();  // Wrap around the ring.
+  }
+  return it->server;
+}
+
+std::vector<std::int64_t> BlockPlacement::CountPerServer(const Dataset& dataset) const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_servers_), 0);
+  for (std::int64_t block = 0; block < dataset.num_blocks; ++block) {
+    counts[static_cast<std::size_t>(ServerFor(dataset.id, block))] += 1;
+  }
+  return counts;
+}
+
+double BlockPlacement::MovedFraction(const Dataset& dataset, const BlockPlacement& other) const {
+  SILOD_CHECK(dataset.num_blocks > 0) << "empty dataset";
+  std::int64_t moved = 0;
+  for (std::int64_t block = 0; block < dataset.num_blocks; ++block) {
+    if (ServerFor(dataset.id, block) != other.ServerFor(dataset.id, block)) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(dataset.num_blocks);
+}
+
+}  // namespace silod

@@ -1,0 +1,50 @@
+// Block placement across cache servers.
+//
+// The distributed cache consolidates every server's local disk into one pool
+// (§2.1); Fig. 3's premise is that a dataset's blocks spread evenly, so each
+// job reads 1/n locally and (n-1)/n from peers at fabric speed.  We place
+// blocks with consistent hashing over a ring of virtual nodes, which gives
+// (a) even spread, (b) deterministic lookup from (dataset, block) alone, and
+// (c) minimal movement (~1/(n+1) of blocks) when a server joins — the
+// property that makes cluster resizes cheap for a cache.
+#ifndef SILOD_SRC_STORAGE_PLACEMENT_H_
+#define SILOD_SRC_STORAGE_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/dataset.h"
+
+namespace silod {
+
+class BlockPlacement {
+ public:
+  // `virtual_nodes` ring points per server smooth the load distribution.
+  explicit BlockPlacement(int num_servers, int virtual_nodes = 128,
+                          std::uint64_t seed = 0xB10C);
+
+  int num_servers() const { return num_servers_; }
+
+  // The server caching this block; deterministic.
+  int ServerFor(DatasetId dataset, std::int64_t block) const;
+
+  // How many of `dataset`'s blocks land on each server.
+  std::vector<std::int64_t> CountPerServer(const Dataset& dataset) const;
+
+  // Fraction of `dataset`'s blocks whose server differs under `other` — the
+  // data that must move on a topology change.
+  double MovedFraction(const Dataset& dataset, const BlockPlacement& other) const;
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash;
+    int server;
+    bool operator<(const RingPoint& o) const { return hash < o.hash; }
+  };
+  int num_servers_;
+  std::vector<RingPoint> ring_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_STORAGE_PLACEMENT_H_

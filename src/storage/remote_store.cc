@@ -1,0 +1,115 @@
+#include "src/storage/remote_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+std::vector<BytesPerSec> MaxMinShare(const std::vector<BytesPerSec>& demands,
+                                     const std::vector<BytesPerSec>& caps,
+                                     BytesPerSec capacity) {
+  SILOD_CHECK(demands.size() == caps.size()) << "demands/caps size mismatch";
+  const std::size_t n = demands.size();
+  std::vector<BytesPerSec> rates(n, 0.0);
+  if (n == 0) {
+    return rates;
+  }
+
+  // Effective demand of each flow; flows "freeze" when satisfied.
+  std::vector<double> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SILOD_CHECK(demands[i] >= 0 && caps[i] >= 0) << "negative demand or cap";
+    want[i] = std::min(demands[i], caps[i]);
+  }
+
+  double remaining = capacity;
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (want[i] > 0) {
+      active.push_back(i);
+    }
+  }
+  // Progressive filling: repeatedly grant the smallest unmet demand to all
+  // active flows; flows reaching their demand leave the active set.
+  std::sort(active.begin(), active.end(),
+            [&](std::size_t a, std::size_t b) { return want[a] < want[b]; });
+  std::size_t idx = 0;
+  double level = 0.0;  // Water level granted so far to every active flow.
+  while (idx < active.size() && remaining > 0) {
+    const std::size_t remaining_flows = active.size() - idx;
+    const double next = want[active[idx]];
+    const double step = next - level;
+    const double fill = remaining / static_cast<double>(remaining_flows);
+    if (std::isinf(next) || fill < step) {
+      level += fill;
+      remaining = 0;
+      break;
+    }
+    level = next;
+    remaining -= step * static_cast<double>(remaining_flows);
+    // All flows whose demand equals the new level are satisfied.
+    while (idx < active.size() && want[active[idx]] <= level) {
+      rates[active[idx]] = want[active[idx]];
+      ++idx;
+    }
+  }
+  for (std::size_t k = idx; k < active.size(); ++k) {
+    rates[active[k]] = level;
+  }
+  return rates;
+}
+
+std::vector<BytesPerSec> MaxMinShare(const std::vector<BytesPerSec>& demands,
+                                     BytesPerSec capacity) {
+  return MaxMinShare(demands, std::vector<BytesPerSec>(demands.size(), kUnlimitedRate), capacity);
+}
+
+RemoteStore::RemoteStore(BytesPerSec egress_limit) : egress_limit_(egress_limit) {
+  SILOD_CHECK(egress_limit > 0) << "egress limit must be positive";
+}
+
+void RemoteStore::SetJobThrottle(JobId job, BytesPerSec rate) {
+  SILOD_CHECK(job >= 0) << "invalid job id";
+  SILOD_CHECK(rate >= 0) << "negative throttle";
+  if (static_cast<std::size_t>(job) >= throttles_.size()) {
+    throttles_.resize(static_cast<std::size_t>(job) + 1, kUnlimitedRate);
+  }
+  throttles_[static_cast<std::size_t>(job)] = rate;
+}
+
+void RemoteStore::ClearJobThrottle(JobId job) {
+  if (job >= 0 && static_cast<std::size_t>(job) < throttles_.size()) {
+    throttles_[static_cast<std::size_t>(job)] = kUnlimitedRate;
+  }
+}
+
+std::vector<std::pair<JobId, BytesPerSec>> RemoteStore::Throttles() const {
+  std::vector<std::pair<JobId, BytesPerSec>> out;
+  for (std::size_t i = 0; i < throttles_.size(); ++i) {
+    if (!std::isinf(throttles_[i])) {
+      out.emplace_back(static_cast<JobId>(i), throttles_[i]);
+    }
+  }
+  return out;
+}
+
+BytesPerSec RemoteStore::JobThrottle(JobId job) const {
+  if (job < 0 || static_cast<std::size_t>(job) >= throttles_.size()) {
+    return kUnlimitedRate;
+  }
+  return throttles_[static_cast<std::size_t>(job)];
+}
+
+std::vector<BytesPerSec> RemoteStore::ArbitratedRates(
+    const std::vector<JobId>& jobs, const std::vector<BytesPerSec>& demands) const {
+  SILOD_CHECK(jobs.size() == demands.size()) << "jobs/demands size mismatch";
+  std::vector<BytesPerSec> caps(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    caps[i] = JobThrottle(jobs[i]);
+  }
+  return MaxMinShare(demands, caps, egress_limit_);
+}
+
+}  // namespace silod

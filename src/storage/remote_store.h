@@ -1,0 +1,64 @@
+// The remote storage service and its egress bandwidth model.
+//
+// Cloud storage accounts cap egress bandwidth (Fig. 1: 120 Gbps for the
+// largest accounts the paper measured); when the cluster's aggregate remote-IO
+// demand exceeds the cap, flows contend.  Two regimes are modelled:
+//
+//   - Provider fair share (the §7.2 "disable remote IO allocation" ablation):
+//     active flows receive a max-min fair share of the egress capacity,
+//     bounded by their demand.
+//   - SiloD throttling (§6): the scheduler assigns each job a remote-IO
+//     allocation and the data manager's FUSE clients enforce it; the provider
+//     cap still applies on top.
+//
+// MaxMinShare is the progressive-filling (water-filling) algorithm both
+// regimes use, exposed separately because the Gavel solver reuses it.
+#ifndef SILOD_SRC_STORAGE_REMOTE_STORE_H_
+#define SILOD_SRC_STORAGE_REMOTE_STORE_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+// Max-min fair allocation of `capacity` among flows with the given demands and
+// per-flow caps.  Returns per-flow rates with:
+//   rate[i] <= min(demand[i], cap[i]),  sum(rate) <= capacity,
+// and no flow can gain without an equally-or-less-served flow losing.
+// Either vector entry may be kUnlimitedRate.
+std::vector<BytesPerSec> MaxMinShare(const std::vector<BytesPerSec>& demands,
+                                     const std::vector<BytesPerSec>& caps, BytesPerSec capacity);
+
+// Convenience overload without per-flow caps.
+std::vector<BytesPerSec> MaxMinShare(const std::vector<BytesPerSec>& demands,
+                                     BytesPerSec capacity);
+
+class RemoteStore {
+ public:
+  explicit RemoteStore(BytesPerSec egress_limit);
+
+  BytesPerSec egress_limit() const { return egress_limit_; }
+
+  // Sets the per-job remote-IO allocation (Table 3 allocateRemoteIO); jobs
+  // without an allocation are uncapped up to the provider share.
+  void SetJobThrottle(JobId job, BytesPerSec rate);
+  void ClearJobThrottle(JobId job);
+  BytesPerSec JobThrottle(JobId job) const;  // kUnlimitedRate when unset.
+  // All explicitly set throttles (for snapshotting, §6 fault tolerance).
+  std::vector<std::pair<JobId, BytesPerSec>> Throttles() const;
+
+  // Rates the store grants a set of concurrently fetching jobs with the given
+  // instantaneous demands, honouring throttles and the egress cap.
+  std::vector<BytesPerSec> ArbitratedRates(const std::vector<JobId>& jobs,
+                                           const std::vector<BytesPerSec>& demands) const;
+
+ private:
+  BytesPerSec egress_limit_;
+  std::vector<BytesPerSec> throttles_;  // Indexed by JobId; grows on demand.
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_STORAGE_REMOTE_STORE_H_

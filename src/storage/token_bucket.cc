@@ -1,0 +1,73 @@
+#include "src/storage/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+TokenBucket::TokenBucket(BytesPerSec rate, Bytes burst)
+    : rate_(rate), burst_(static_cast<double>(burst)), tokens_(static_cast<double>(burst)) {
+  SILOD_CHECK(rate > 0) << "token bucket rate must be positive";
+  SILOD_CHECK(burst > 0) << "token bucket burst must be positive";
+}
+
+void TokenBucket::AdvanceTo(Seconds now) {
+  SILOD_CHECK(now >= last_update_) << "token bucket clock went backwards";
+  if (std::isinf(rate_)) {
+    tokens_ = burst_;
+  } else {
+    tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_update_));
+  }
+  last_update_ = now;
+}
+
+void TokenBucket::SetRate(BytesPerSec rate, Seconds now) {
+  SILOD_CHECK(rate > 0) << "token bucket rate must be positive";
+  // A concurrent reservation (Consume at a future admit time) may have moved
+  // the bucket clock past `now`; the rate change then applies from that point.
+  AdvanceTo(std::max(now, last_update_));
+  rate_ = rate;
+}
+
+Seconds TokenBucket::TimeToAdmit(Bytes bytes, Seconds now) const {
+  SILOD_CHECK(bytes >= 0) << "cannot admit negative bytes";
+  const Seconds base = std::max(now, last_update_);
+  double tokens = tokens_;
+  if (!std::isinf(rate_)) {
+    tokens = std::min(burst_, tokens + rate_ * (base - last_update_));
+  } else {
+    tokens = burst_;
+  }
+  const double need = static_cast<double>(bytes) - tokens;
+  if (need <= 0) {
+    return base;
+  }
+  if (std::isinf(rate_)) {
+    return base;
+  }
+  return base + need / rate_;
+}
+
+void TokenBucket::Consume(Bytes bytes, Seconds t) {
+  AdvanceTo(t);
+  tokens_ -= static_cast<double>(bytes);
+  // TimeToAdmit already delayed the caller until the transfer fits (for
+  // transfers up to the burst) or until the bucket refilled the deficit (for
+  // oversize transfers), so any residual debt is the oversize case: the
+  // deficit was paid in waiting time and the bucket simply ends empty.
+  if (tokens_ < 0) {
+    tokens_ = 0;
+  }
+}
+
+double TokenBucket::TokensAt(Seconds now) const {
+  if (std::isinf(rate_)) {
+    return burst_;
+  }
+  const Seconds base = std::max(now, last_update_);
+  return std::min(burst_, tokens_ + rate_ * (base - last_update_));
+}
+
+}  // namespace silod

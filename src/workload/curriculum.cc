@@ -1,0 +1,49 @@
+#include "src/workload/curriculum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+ExponentialPacing::ExponentialPacing(CurriculumParams params, std::int64_t num_items)
+    : params_(params), num_items_(num_items) {
+  SILOD_CHECK(num_items > 0) << "pacing needs a nonempty dataset";
+  SILOD_CHECK(params.starting_percent > 0 && params.starting_percent <= 1.0)
+      << "starting_percent must be in (0, 1]";
+  SILOD_CHECK(params.alpha > 1.0) << "alpha must exceed 1 for the prefix to grow";
+  SILOD_CHECK(params.step > 0) << "step must be positive";
+}
+
+double ExponentialPacing::AvailableFraction(std::int64_t iteration) const {
+  SILOD_CHECK(iteration >= 0) << "iteration must be nonnegative";
+  const double exponent = static_cast<double>(iteration / params_.step);
+  const double frac = params_.starting_percent * std::pow(params_.alpha, exponent);
+  return std::min(frac, 1.0);
+}
+
+std::int64_t ExponentialPacing::AvailableItems(std::int64_t iteration) const {
+  const double frac = AvailableFraction(iteration);
+  const auto items = static_cast<std::int64_t>(frac * static_cast<double>(num_items_));
+  return std::clamp<std::int64_t>(items, 1, num_items_);
+}
+
+std::int64_t ExponentialPacing::FullDataIteration() const {
+  if (params_.starting_percent >= 1.0) {
+    return -1;
+  }
+  // Smallest k with starting_percent * alpha^k >= 1.
+  const double k = std::ceil(-std::log(params_.starting_percent) / std::log(params_.alpha));
+  return static_cast<std::int64_t>(k) * params_.step;
+}
+
+CurriculumSampler::CurriculumSampler(ExponentialPacing pacing, Rng rng)
+    : pacing_(pacing), rng_(rng) {}
+
+std::int64_t CurriculumSampler::Sample(std::int64_t iteration) {
+  const std::int64_t available = pacing_.AvailableItems(iteration);
+  return static_cast<std::int64_t>(rng_.NextBelow(static_cast<std::uint64_t>(available)));
+}
+
+}  // namespace silod

@@ -1,0 +1,66 @@
+// Curriculum learning support (§7.4).
+//
+// Curriculum learning sorts data items by "difficulty" and exposes a growing
+// prefix to the trainer.  The exponential pacing function of Eq. 10 determines
+// the prefix size at iteration i:
+//
+//   g(i) = min(starting_percent * alpha^floor(i / step), 1) * N
+//
+// Each batch then samples uniformly from the first g(i) items; there is no
+// epoch structure and easy items repeat far more often than hard ones, which
+// breaks SiloD's exactly-once-per-epoch assumption.  §7.4 observes that under
+// this pattern LRU no longer thrashes and matches uniform caching; the
+// bench and tests reproduce that.
+#ifndef SILOD_SRC_WORKLOAD_CURRICULUM_H_
+#define SILOD_SRC_WORKLOAD_CURRICULUM_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+class ExponentialPacing {
+ public:
+  // `num_items` is N, the dataset size in items (blocks for our simulator).
+  ExponentialPacing(CurriculumParams params, std::int64_t num_items);
+
+  // Number of items available at iteration i (the value of g(i)); in [1, N].
+  std::int64_t AvailableItems(std::int64_t iteration) const;
+
+  // Fraction of the dataset available at iteration i, in (0, 1].
+  double AvailableFraction(std::int64_t iteration) const;
+
+  // First iteration at which the full dataset is available, or -1 if
+  // starting_percent >= 1 (available from the start).
+  std::int64_t FullDataIteration() const;
+
+  std::int64_t num_items() const { return num_items_; }
+
+ private:
+  CurriculumParams params_;
+  std::int64_t num_items_;
+};
+
+// Draws the item accessed by each training iteration under curriculum
+// learning: uniform over the currently available prefix.
+class CurriculumSampler {
+ public:
+  CurriculumSampler(ExponentialPacing pacing, Rng rng);
+
+  // Item index (in difficulty order) accessed at iteration i.  Iterations must
+  // be requested in nondecreasing order only by convention; the sampler is
+  // stateless w.r.t. i apart from the RNG stream.
+  std::int64_t Sample(std::int64_t iteration);
+
+  const ExponentialPacing& pacing() const { return pacing_; }
+
+ private:
+  ExponentialPacing pacing_;
+  Rng rng_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_WORKLOAD_CURRICULUM_H_

@@ -1,0 +1,40 @@
+#include "src/workload/dataset.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+Bytes Dataset::BlockBytes(std::int64_t block) const {
+  SILOD_CHECK(block >= 0 && block < num_blocks) << "block " << block << " of " << num_blocks;
+  if (block < num_blocks - 1) {
+    return block_size;
+  }
+  const Bytes remainder = size - (num_blocks - 1) * block_size;
+  return remainder > 0 ? remainder : block_size;
+}
+
+Dataset MakeDataset(DatasetId id, std::string name, Bytes size, Bytes block_size) {
+  SILOD_CHECK(size > 0) << "dataset size must be positive";
+  SILOD_CHECK(block_size > 0) << "block size must be positive";
+  Dataset d;
+  d.id = id;
+  d.name = std::move(name);
+  d.size = size;
+  d.block_size = block_size;
+  d.num_blocks = (size + block_size - 1) / block_size;
+  return d;
+}
+
+DatasetId DatasetCatalog::Add(std::string name, Bytes size, Bytes block_size) {
+  const DatasetId id = static_cast<DatasetId>(datasets_.size());
+  datasets_.push_back(MakeDataset(id, std::move(name), size, block_size));
+  return id;
+}
+
+const Dataset& DatasetCatalog::Get(DatasetId id) const {
+  SILOD_CHECK(id >= 0 && static_cast<std::size_t>(id) < datasets_.size())
+      << "unknown dataset id " << id;
+  return datasets_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace silod

@@ -1,0 +1,58 @@
+// Datasets as seen by the cache subsystem.
+//
+// SiloD manages cache at dataset granularity (§6): cache is allocated to
+// datasets, multiple jobs can share a dataset's cached items, and uniform
+// caching assumes every item of a dataset is accessed exactly once per epoch.
+// For simulation we treat a dataset as `num_blocks` equally sized blocks; a
+// "block" stands for a shard of training items (e.g. a TFRecord/tar shard),
+// which is also how real DL storage layers batch small files (DIESEL, AIStore).
+#ifndef SILOD_SRC_WORKLOAD_DATASET_H_
+#define SILOD_SRC_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace silod {
+
+using DatasetId = std::int32_t;
+inline constexpr DatasetId kInvalidDataset = -1;
+
+struct Dataset {
+  DatasetId id = kInvalidDataset;
+  std::string name;
+  Bytes size = 0;
+  Bytes block_size = 0;
+  std::int64_t num_blocks = 0;
+
+  // Actual bytes of the final (possibly short) block.
+  Bytes BlockBytes(std::int64_t block) const;
+};
+
+// Builds a dataset of `size` bytes divided into blocks of at most `block_size`.
+Dataset MakeDataset(DatasetId id, std::string name, Bytes size, Bytes block_size);
+
+// Registry assigning dense DatasetIds; owned by the workload/trace layer.
+class DatasetCatalog {
+ public:
+  // Adds a dataset and returns its id.  Names need not be unique (synthetic
+  // per-job datasets reuse the base name).
+  DatasetId Add(std::string name, Bytes size, Bytes block_size);
+
+  const Dataset& Get(DatasetId id) const;
+  std::size_t size() const { return datasets_.size(); }
+  const std::vector<Dataset>& all() const { return datasets_; }
+
+ private:
+  std::vector<Dataset> datasets_;
+};
+
+// Default shard size used across simulations.  64 MB keeps even a 20.9 TB web
+// search corpus at ~327k blocks, small enough for item-level simulation.
+inline constexpr Bytes kDefaultBlockSize = MB(64);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_WORKLOAD_DATASET_H_

@@ -1,0 +1,39 @@
+#include "src/workload/job.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+JobSpec MakeJob(JobId id, const ModelZoo& zoo, const std::string& model, int num_gpus,
+                DatasetId dataset, Seconds ideal_duration, Seconds submit_time,
+                double gpu_speed_scale) {
+  SILOD_CHECK(ideal_duration > 0) << "ideal_duration must be positive";
+  const ModelProfile& profile = zoo.GetModel(model);
+  JobSpec job;
+  job.id = id;
+  job.name = model + "-job" + std::to_string(id);
+  job.model = model;
+  job.num_gpus = num_gpus;
+  job.dataset = dataset;
+  job.ideal_io = ModelZoo::ScaledIdealIo(profile, num_gpus, gpu_speed_scale);
+  job.total_bytes = static_cast<Bytes>(job.ideal_io * ideal_duration);
+  job.step_data_size = profile.step_data_size * num_gpus;
+  job.submit_time = submit_time;
+  return job;
+}
+
+BytesPerSec RemoteIoLimitForCluster(int num_gpus) {
+  // Table 5: 8 V100 -> 1.6 Gbps; 96 -> 8 Gbps; 400 -> 32 Gbps; ~1900 -> 120 Gbps.
+  if (num_gpus <= 8) {
+    return Gbps(1.6);
+  }
+  if (num_gpus <= 96) {
+    return Gbps(8);
+  }
+  if (num_gpus <= 400) {
+    return Gbps(32);
+  }
+  return Gbps(120);
+}
+
+}  // namespace silod

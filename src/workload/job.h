@@ -1,0 +1,75 @@
+// Job specifications.
+//
+// A JobSpec is everything the scheduler knows about a training job when it is
+// submitted: its GPU demand, its ideal IO demand f* (from offline profiling,
+// §5.3), its dataset, and its total amount of work.  Runtime state (progress,
+// cache residency) lives in the simulation engines.
+#ifndef SILOD_SRC_WORKLOAD_JOB_H_
+#define SILOD_SRC_WORKLOAD_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/dataset.h"
+#include "src/workload/model_zoo.h"
+
+namespace silod {
+
+using JobId = std::int32_t;
+inline constexpr JobId kInvalidJob = -1;
+
+struct CurriculumParams {
+  // Exponential pacing function (Eq. 10): g(i) = min(start * alpha^(i/step), 1) * N.
+  double starting_percent = 0.04;
+  double alpha = 1.9;
+  std::int64_t step = 50000;
+};
+
+struct JobSpec {
+  JobId id = kInvalidJob;
+  std::string name;
+  std::string model;
+  int num_gpus = 1;
+  DatasetId dataset = kInvalidDataset;
+
+  // f*: computation throughput in bytes/s of training data consumed when IO is
+  // not the bottleneck (per Algorithm 1 this is `perf` of the base scheduler).
+  BytesPerSec ideal_io = 0;
+
+  // Total training data the job consumes over its lifetime
+  // (numSteps x stepDataSize in Eq. 6); ideal duration = total_bytes / ideal_io.
+  Bytes total_bytes = 0;
+
+  // Data consumed per training step across all of the job's GPUs; the fine
+  // engine pipelines IO and compute at this granularity (Fig. 5).
+  Bytes step_data_size = 0;
+
+  Seconds submit_time = 0;
+
+  // Jobs violating SiloD's assumptions fall into the irregular partition (§6).
+  bool regular = true;
+
+  bool curriculum = false;
+  CurriculumParams curriculum_params;
+
+  Seconds IdealDuration() const { return static_cast<double>(total_bytes) / ideal_io; }
+  double NumEpochs(const Dataset& d) const {
+    return static_cast<double>(total_bytes) / static_cast<double>(d.size);
+  }
+};
+
+// Convenience factory: builds a JobSpec for `model` running on `num_gpus` GPUs
+// against `dataset`, training for `ideal_duration` at the profiled speed.
+JobSpec MakeJob(JobId id, const ModelZoo& zoo, const std::string& model, int num_gpus,
+                DatasetId dataset, Seconds ideal_duration, Seconds submit_time,
+                double gpu_speed_scale = 1.0);
+
+// Remote IO limits used across the paper's experiments (Table 5), scaled down
+// from the ~1900-V100 production cluster's 120 Gbps by cluster size.
+BytesPerSec RemoteIoLimitForCluster(int num_gpus);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_WORKLOAD_JOB_H_

@@ -1,0 +1,72 @@
+#include "src/workload/model_zoo.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+ModelZoo::ModelZoo() {
+  // step_data_size is batch_size x mean item size; image models use a batch of
+  // 32 items of ~112 KB (ImageNet-1k: 143 GB / 1.28 M images), VLAD uses video
+  // frames, BERT streams large text shards per step.
+  models_ = {
+      {"ResNet-50", MBps(114), MB(3.6), /*profiled_in_paper=*/true},
+      {"ResNet-152", MBps(43), MB(3.6), /*profiled_in_paper=*/true},
+      {"EfficientNetB1", MBps(69), MB(3.6), /*profiled_in_paper=*/true},
+      {"VLAD", MBps(10), MB(8.0), /*profiled_in_paper=*/true},
+      {"BERT", MBps(2), MB(1.0), /*profiled_in_paper=*/true},
+      {"AlexNet", MBps(380), MB(3.6), /*profiled_in_paper=*/false},
+      {"EfficientNetB0", MBps(95), MB(3.6), /*profiled_in_paper=*/false},
+      {"InceptionV3", MBps(85), MB(3.6), /*profiled_in_paper=*/false},
+  };
+  // Table 4 of the paper.
+  datasets_ = {
+      {"ImageNet-22k", TB(1.36)}, {"OpenImages", GB(660)},   {"ImageNet-1k", GB(143)},
+      {"Youtube-8M", TB(1.46)},   {"WebSearch", TB(20.9)},
+  };
+}
+
+const ModelProfile& ModelZoo::GetModel(const std::string& name) const {
+  auto it = std::find_if(models_.begin(), models_.end(),
+                         [&](const ModelProfile& m) { return m.model == name; });
+  SILOD_CHECK(it != models_.end()) << "unknown model: " << name;
+  return *it;
+}
+
+const NamedDataset& ModelZoo::GetDataset(const std::string& name) const {
+  auto it = std::find_if(datasets_.begin(), datasets_.end(),
+                         [&](const NamedDataset& d) { return d.name == name; });
+  SILOD_CHECK(it != datasets_.end()) << "unknown dataset: " << name;
+  return *it;
+}
+
+std::vector<WorkloadEntry> ModelZoo::Figure6Jobs() const {
+  // Fig. 6 lists 11 (model, dataset) pairs with cache efficiency f*/d from
+  // 0.8 MB/s/GB (ResNet-50 / ImageNet-1k) down to 9.5e-5 (BERT / WebSearch).
+  const char* pairs[][2] = {
+      {"ResNet-50", "ImageNet-1k"},      {"EfficientNetB1", "ImageNet-1k"},
+      {"ResNet-152", "ImageNet-1k"},     {"ResNet-50", "OpenImages"},
+      {"EfficientNetB1", "OpenImages"},  {"ResNet-50", "ImageNet-22k"},
+      {"ResNet-152", "OpenImages"},      {"EfficientNetB1", "ImageNet-22k"},
+      {"ResNet-152", "ImageNet-22k"},    {"VLAD", "Youtube-8M"},
+      {"BERT", "WebSearch"},
+  };
+  std::vector<WorkloadEntry> jobs;
+  for (const auto& p : pairs) {
+    jobs.push_back({GetModel(p[0]), GetDataset(p[1])});
+  }
+  return jobs;
+}
+
+BytesPerSec ModelZoo::ScaledIdealIo(const ModelProfile& model, int num_gpus,
+                                    double gpu_speed_scale) {
+  SILOD_CHECK(num_gpus >= 1) << "num_gpus must be >= 1";
+  SILOD_CHECK(gpu_speed_scale > 0) << "gpu_speed_scale must be positive";
+  // Per-GPU efficiency drops ~0.37% per additional worker (all-reduce cost);
+  // 8 GPUs -> 97.4% efficiency -> 7.79x, matching Table 2's 888/114 ratio.
+  const double efficiency = std::max(0.85, 1.0 - 0.0037 * (num_gpus - 1));
+  return model.ideal_io_per_gpu * num_gpus * efficiency * gpu_speed_scale;
+}
+
+}  // namespace silod

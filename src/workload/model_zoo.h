@@ -1,0 +1,72 @@
+// The model zoo: profiled throughput and IO demand of the workloads evaluated
+// in the paper (Table 2, Table 4, Fig. 6).
+//
+// The key quantity per model is f*, the "ideal IO demand": the data-loading
+// throughput required to keep one V100 busy when IO is not the bottleneck
+// (§4).  The paper publishes f* for five models (Fig. 6 caption):
+//   ResNet-50 114 MB/s, ResNet-152 43 MB/s, EfficientNetB1 69 MB/s,
+//   VLAD 10 MB/s, BERT 2 MB/s.
+// AlexNet, EfficientNetB0, and InceptionV3 appear in Table 4 without a
+// published f*; we estimate them from their relative single-GPU speeds
+// (AlexNet is far faster than ResNet-50; B0 faster than B1; InceptionV3
+// between the two ResNets) and mark them estimated.
+#ifndef SILOD_SRC_WORKLOAD_MODEL_ZOO_H_
+#define SILOD_SRC_WORKLOAD_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/dataset.h"
+
+namespace silod {
+
+struct ModelProfile {
+  std::string model;
+  // f* on a single V100 at 1x GPU speed.
+  BytesPerSec ideal_io_per_gpu = 0;
+  // Data consumed per training step (mini-batch) on one GPU; sets the
+  // granularity of the pipeline in Fig. 5.
+  Bytes step_data_size = 0;
+  bool profiled_in_paper = true;
+};
+
+struct NamedDataset {
+  std::string name;
+  Bytes size = 0;
+};
+
+// One of the 11 (model, dataset) combinations of Fig. 6 — or any combination
+// a trace chooses to run.
+struct WorkloadEntry {
+  ModelProfile model;
+  NamedDataset dataset;
+};
+
+class ModelZoo {
+ public:
+  ModelZoo();
+
+  const ModelProfile& GetModel(const std::string& name) const;
+  const NamedDataset& GetDataset(const std::string& name) const;
+
+  const std::vector<ModelProfile>& models() const { return models_; }
+  const std::vector<NamedDataset>& datasets() const { return datasets_; }
+
+  // The 11 jobs of Fig. 6, in the paper's order of decreasing cache efficiency.
+  std::vector<WorkloadEntry> Figure6Jobs() const;
+
+  // Multi-GPU ideal IO demand.  Data-parallel scaling is slightly sublinear;
+  // Table 2 gives 888 MB/s for 8xV100 ResNet-50 = 7.79x of one GPU, which the
+  // linear-efficiency model below matches within 0.1%.
+  static BytesPerSec ScaledIdealIo(const ModelProfile& model, int num_gpus,
+                                   double gpu_speed_scale = 1.0);
+
+ private:
+  std::vector<ModelProfile> models_;
+  std::vector<NamedDataset> datasets_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_WORKLOAD_MODEL_ZOO_H_

@@ -1,0 +1,145 @@
+#include "src/workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace silod {
+namespace {
+
+constexpr const char* kHeader =
+    "id,name,model,gpus,dataset,dataset_bytes,block_bytes,ideal_io_bps,total_bytes,"
+    "submit_seconds,regular,curriculum,pacing_start,pacing_alpha,pacing_step";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+std::string TraceToCsv(const Trace& trace) {
+  std::string out = std::string(kHeader) + "\n";
+  char buf[512];
+  for (const JobSpec& job : trace.jobs) {
+    const Dataset& d = trace.catalog.Get(job.dataset);
+    std::snprintf(buf, sizeof(buf),
+                  "%d,%s,%s,%d,%s,%" PRId64 ",%" PRId64 ",%.6f,%" PRId64
+                  ",%.6f,%d,%d,%.6f,%.6f,%" PRId64 "\n",
+                  job.id, job.name.c_str(), job.model.c_str(), job.num_gpus, d.name.c_str(),
+                  d.size, d.block_size, job.ideal_io, job.total_bytes, job.submit_time,
+                  job.regular ? 1 : 0, job.curriculum ? 1 : 0,
+                  job.curriculum_params.starting_percent, job.curriculum_params.alpha,
+                  job.curriculum_params.step);
+    out += buf;
+  }
+  return out;
+}
+
+Result<Trace> TraceFromCsv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty trace file");
+  }
+  // Tolerate a trailing \r from Windows editors.
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.pop_back();
+  }
+  if (line != kHeader) {
+    return Status::InvalidArgument("unexpected trace header: " + line);
+  }
+
+  Trace trace;
+  std::map<std::string, DatasetId> datasets;
+  int row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() != 15) {
+      return Status::InvalidArgument("row " + std::to_string(row) + ": expected 15 fields, got " +
+                                     std::to_string(f.size()));
+    }
+    const std::string& dataset_name = f[4];
+    const Bytes dataset_bytes = std::strtoll(f[5].c_str(), nullptr, 10);
+    const Bytes block_bytes = std::strtoll(f[6].c_str(), nullptr, 10);
+    if (dataset_bytes <= 0 || block_bytes <= 0) {
+      return Status::InvalidArgument("row " + std::to_string(row) + ": bad dataset sizes");
+    }
+    DatasetId dataset_id;
+    auto it = datasets.find(dataset_name);
+    if (it == datasets.end()) {
+      dataset_id = trace.catalog.Add(dataset_name, dataset_bytes, block_bytes);
+      datasets.emplace(dataset_name, dataset_id);
+    } else {
+      dataset_id = it->second;
+      const Dataset& existing = trace.catalog.Get(dataset_id);
+      if (existing.size != dataset_bytes || existing.block_size != block_bytes) {
+        return Status::InvalidArgument("row " + std::to_string(row) + ": dataset '" +
+                                       dataset_name + "' redefined with different sizes");
+      }
+    }
+
+    JobSpec job;
+    job.id = static_cast<JobId>(trace.jobs.size());
+    job.name = f[1];
+    job.model = f[2];
+    job.num_gpus = static_cast<int>(std::strtol(f[3].c_str(), nullptr, 10));
+    job.dataset = dataset_id;
+    job.ideal_io = std::strtod(f[7].c_str(), nullptr);
+    job.total_bytes = std::strtoll(f[8].c_str(), nullptr, 10);
+    job.submit_time = std::strtod(f[9].c_str(), nullptr);
+    job.regular = f[10] == "1";
+    job.curriculum = f[11] == "1";
+    job.curriculum_params.starting_percent = std::strtod(f[12].c_str(), nullptr);
+    job.curriculum_params.alpha = std::strtod(f[13].c_str(), nullptr);
+    job.curriculum_params.step = std::strtoll(f[14].c_str(), nullptr, 10);
+    job.step_data_size = MB(4) * std::max(1, job.num_gpus);
+    if (job.num_gpus <= 0 || job.ideal_io <= 0 || job.total_bytes <= 0) {
+      return Status::InvalidArgument("row " + std::to_string(row) + ": bad job parameters");
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  if (trace.jobs.empty()) {
+    return Status::InvalidArgument("trace has no jobs");
+  }
+  return trace;
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << TraceToCsv(trace);
+  return out.good() ? Status::Ok() : Status::Internal("write to " + path + " failed");
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceFromCsv(buffer.str());
+}
+
+}  // namespace silod

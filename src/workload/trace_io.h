@@ -1,0 +1,33 @@
+// Trace serialization: a line-oriented CSV format so workloads can be saved,
+// edited, versioned and replayed (and so external trace generators can feed
+// the simulator).  One row per job; datasets are identified by name and
+// deduplicated on import, so sharing round-trips.
+//
+// Columns:
+//   id,name,model,gpus,dataset,dataset_bytes,block_bytes,ideal_io_bps,
+//   total_bytes,submit_seconds,regular,curriculum,pacing_start,pacing_alpha,
+//   pacing_step
+#ifndef SILOD_SRC_WORKLOAD_TRACE_IO_H_
+#define SILOD_SRC_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workload/trace_gen.h"
+
+namespace silod {
+
+// Serializes the trace (header + one row per job).
+std::string TraceToCsv(const Trace& trace);
+
+// Parses a trace; jobs get dense ids in row order.  Rows referring to the
+// same dataset name share one catalog entry (its size/block size must agree).
+Result<Trace> TraceFromCsv(const std::string& csv);
+
+// File convenience wrappers.
+Status WriteTraceFile(const Trace& trace, const std::string& path);
+Result<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,333 @@
+// Unit tests for src/common: units, RNG, status, stats, bitset, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/bitset.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace silod {
+namespace {
+
+// ------------------------------------------------------------------ Units --
+
+TEST(Units, DecimalConstructors) {
+  EXPECT_EQ(MB(1), 1'000'000);
+  EXPECT_EQ(GB(143), 143'000'000'000LL);
+  EXPECT_EQ(TB(1.36), 1'360'000'000'000LL);
+  EXPECT_DOUBLE_EQ(ToGB(GB(660)), 660.0);
+  EXPECT_DOUBLE_EQ(ToMBps(MBps(114)), 114.0);
+}
+
+TEST(Units, GbpsIsBits) {
+  // 1.6 Gbps = 200 MB/s (Table 5's micro-benchmark limit).
+  EXPECT_DOUBLE_EQ(ToMBps(Gbps(1.6)), 200.0);
+  EXPECT_DOUBLE_EQ(ToGbps(Gbps(120)), 120.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(Minutes(10), 600.0);
+  EXPECT_DOUBLE_EQ(Hours(2), 7200.0);
+  EXPECT_DOUBLE_EQ(Days(1), 86400.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(Minutes(37.5)), 37.5);
+}
+
+// -------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowIsUniformish) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBelow(10)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Exponential(0.5);
+  }
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) {
+    stat.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(15);
+  SampleSet set;
+  for (int i = 0; i < 100000; ++i) {
+    set.Add(rng.LogNormal(std::log(30.0), 1.6));
+  }
+  EXPECT_NEAR(set.Median(), 30.0, 1.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  rng.Shuffle(v);
+  int fixed = 0;
+  for (int i = 0; i < 100; ++i) {
+    fixed += v[static_cast<std::size_t>(i)] == i ? 1 : 0;
+  }
+  EXPECT_LT(fixed, 10);  // Expected ~1 fixed point.
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(21);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+// ----------------------------------------------------------------- Status --
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::NotFound("dataset 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: dataset 7");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------ Stats --
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSet, CdfMonotone) {
+  SampleSet s;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(rng.NextDouble());
+  }
+  const auto cdf = s.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(TimeSeries, ValueAtPiecewiseConstant) {
+  TimeSeries ts;
+  ts.Record(0, 1.0);
+  ts.Record(10, 3.0);
+  ts.Record(20, 2.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(-1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(9.99), 1.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(10), 3.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(100), 2.0);
+}
+
+TEST(TimeSeries, TimeAverage) {
+  TimeSeries ts;
+  ts.Record(0, 1.0);
+  ts.Record(10, 3.0);
+  // [0,10): 1.0, [10,20): 3.0 -> average 2.0 over [0,20).
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(0, 20), 2.0);
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(10, 20), 3.0);
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(5, 15), 2.0);
+}
+
+TEST(TimeSeries, RecordSameTimeOverwrites) {
+  TimeSeries ts;
+  ts.Record(5, 1.0);
+  ts.Record(5, 2.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(5), 2.0);
+}
+
+TEST(TimeSeries, Downsample) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) {
+    ts.Record(i, i);
+  }
+  const auto points = ts.Downsample(10);
+  ASSERT_EQ(points.size(), 10u);
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 999.0);
+}
+
+// ----------------------------------------------------------------- Bitset --
+
+TEST(DynamicBitset, SetResetCount) {
+  DynamicBitset bits(200);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.Set(0));
+  EXPECT_TRUE(bits.Set(63));
+  EXPECT_TRUE(bits.Set(64));
+  EXPECT_TRUE(bits.Set(199));
+  EXPECT_FALSE(bits.Set(0));  // Already set.
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_FALSE(bits.Test(62));
+  EXPECT_TRUE(bits.Reset(63));
+  EXPECT_FALSE(bits.Reset(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitset, IncrementalCountMatchesPopcount) {
+  DynamicBitset bits(5000);
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(rng.NextBelow(5000));
+    if (rng.NextDouble() < 0.6) {
+      bits.Set(idx);
+    } else {
+      bits.Reset(idx);
+    }
+  }
+  EXPECT_EQ(bits.Count(), bits.RecountSlow());
+}
+
+TEST(DynamicBitset, ClearAll) {
+  DynamicBitset bits(100);
+  for (std::size_t i = 0; i < 100; i += 3) {
+    bits.Set(i);
+  }
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_EQ(bits.RecountSlow(), 0u);
+}
+
+
+// ---------------------------------------------------------------- Logging --
+
+TEST(Logging, CheckFailureAborts) {
+  EXPECT_DEATH({ SILOD_CHECK(1 == 2) << "impossible arithmetic"; }, "Check failed");
+}
+
+TEST(Logging, LevelsFilter) {
+  const LogLevel saved = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SILOD_LOG(Info) << "suppressed";  // Must not crash; output filtered.
+  SetMinLogLevel(saved);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "I");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "F");
+}
+
+// ------------------------------------------------------------------ Table --
+
+TEST(Table, FmtFormats) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(42.0, 0), "42");
+  EXPECT_EQ(FmtSci(0.000095, 1), "9.5e-05");
+}
+
+}  // namespace
+}  // namespace silod

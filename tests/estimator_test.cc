@@ -1,0 +1,172 @@
+// Unit and property tests for src/estimator: the IOPerf closed form (Eq. 2-5),
+// the SiloD-enhanced estimator (Algorithm 1), and the profiling models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/estimator/ioperf.h"
+#include "src/estimator/perf_model.h"
+#include "src/estimator/profiler.h"
+#include "src/workload/model_zoo.h"
+
+namespace silod {
+namespace {
+
+// ----------------------------------------------------------------- IOPerf --
+
+TEST(IoPerf, Eq2RemoteDemand) {
+  // b = f (1 - c/d): 114 MB/s with half the dataset cached needs 57 MB/s.
+  EXPECT_DOUBLE_EQ(RemoteIoDemand(MBps(114), GB(71.5), GB(143)), MBps(57));
+  EXPECT_DOUBLE_EQ(RemoteIoDemand(MBps(114), 0, GB(143)), MBps(114));
+  EXPECT_DOUBLE_EQ(RemoteIoDemand(MBps(114), GB(143), GB(143)), 0);
+  EXPECT_DOUBLE_EQ(RemoteIoDemand(MBps(114), GB(200), GB(143)), 0);  // Over-cached.
+}
+
+TEST(IoPerf, Eq3IoThroughput) {
+  // f = b / (1 - c/d).
+  EXPECT_DOUBLE_EQ(IoThroughput(MBps(57), GB(71.5), GB(143)), MBps(114));
+  EXPECT_DOUBLE_EQ(IoThroughput(MBps(57), 0, GB(143)), MBps(57));
+  EXPECT_TRUE(std::isinf(IoThroughput(MBps(1), GB(143), GB(143))));
+}
+
+TEST(IoPerf, Eq4EndToEnd) {
+  // min(f*, b/(1-c/d)).
+  EXPECT_DOUBLE_EQ(SiloDPerfThroughput(MBps(114), MBps(57), GB(71.5), GB(143)), MBps(114));
+  EXPECT_DOUBLE_EQ(SiloDPerfThroughput(MBps(114), MBps(30), GB(71.5), GB(143)), MBps(60));
+  EXPECT_DOUBLE_EQ(SiloDPerfThroughput(MBps(114), 0, GB(143), GB(143)), MBps(114));
+  EXPECT_DOUBLE_EQ(SiloDPerfThroughput(MBps(114), 0, 0, GB(143)), 0);
+}
+
+TEST(IoPerf, Eq3Eq2AreInverses) {
+  for (double cache_gb : {0.0, 10.0, 50.0, 100.0}) {
+    const Bytes c = GB(cache_gb);
+    const BytesPerSec f = MBps(80);
+    const BytesPerSec b = RemoteIoDemand(f, c, GB(143));
+    EXPECT_NEAR(IoThroughput(b, c, GB(143)), f, 1e-6);
+  }
+}
+
+TEST(IoPerf, Eq5CacheEfficiency) {
+  // ResNet-50 / ImageNet-1k: 114/143 ~ 0.8 MB/s/GB (the Fig. 6 headline).
+  EXPECT_NEAR(CacheEfficiencyMBpsPerGB(MBps(114), GB(143)), 0.797, 0.001);
+  // BERT / WebSearch: 2 MB/s over 20.9 TB ~ 9.5e-5.
+  EXPECT_NEAR(CacheEfficiencyMBpsPerGB(MBps(2), TB(20.9)), 9.5e-5, 2e-6);
+}
+
+TEST(IoPerf, CacheEfficiencyIsDerivativeOfDemand) {
+  // Eq. 5 is -db/dc at f = f*: check by finite differences.
+  const BytesPerSec f = MBps(114);
+  const Bytes d = GB(143);
+  const Bytes dc = MB(100);
+  const double numeric =
+      (RemoteIoDemand(f, GB(10), d) - RemoteIoDemand(f, GB(10) + dc, d)) /
+      static_cast<double>(dc);
+  EXPECT_NEAR(numeric, CacheEfficiency(f, d), 1e-12);
+}
+
+TEST(IoPerf, RequiredRemoteIoInvertsThroughput) {
+  const BytesPerSec target = MBps(90);
+  const Bytes c = GB(40);
+  const Bytes d = GB(143);
+  const BytesPerSec b = RequiredRemoteIo(target, c, d);
+  EXPECT_NEAR(SiloDPerfThroughput(MBps(114), b, c, d), target, 1e-6);
+}
+
+TEST(IoPerf, MonotoneInCacheAndIo) {
+  // SiloDPerf is nondecreasing in both storage dimensions.
+  const BytesPerSec f = MBps(114);
+  const Bytes d = GB(143);
+  double prev = -1;
+  for (int g = 0; g <= 143; g += 13) {
+    const double v = SiloDPerfThroughput(f, MBps(20), GB(g), d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  prev = -1;
+  for (int io = 0; io <= 120; io += 10) {
+    const double v = SiloDPerfThroughput(f, MBps(io), GB(40), d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+// ------------------------------------------------------------- PerfModel --
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModelTest() {
+    dataset_ = catalog_.Add("ImageNet-1k", GB(143), MB(64));
+    job_ = MakeJob(0, zoo_, "ResNet-50", 1, dataset_, Hours(10), 0);
+  }
+  ModelZoo zoo_;
+  DatasetCatalog catalog_;
+  DatasetId dataset_;
+  JobSpec job_;
+};
+
+TEST_F(PerfModelTest, ComputeEstimatorIgnoresStorage) {
+  ComputeEstimator estimator;
+  ResourceVector starved{1, 0, 0};
+  ResourceVector rich{1, GB(143), MBps(114)};
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, starved), job_.ideal_io);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, rich), job_.ideal_io);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, ResourceVector{0, 0, 0}), 0);
+}
+
+TEST_F(PerfModelTest, SiloDEstimatorCapsByIoPerf) {
+  auto base = std::make_shared<ComputeEstimator>();
+  SiloDEstimator estimator(base, &catalog_);
+  // No storage at all: IO bound at 0.
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, ResourceVector{1, 0, 0}), 0);
+  // 30 MB/s remote, no cache: IO bound at 30.
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, ResourceVector{1, 0, MBps(30)}), MBps(30));
+  // Full cache: compute bound at f*.
+  EXPECT_DOUBLE_EQ(estimator.Estimate(job_, ResourceVector{1, GB(143), 0}), job_.ideal_io);
+  // Algorithm 1's min() never exceeds the base estimator.
+  for (double io : {0.0, 20.0, 60.0, 200.0}) {
+    for (double cache : {0.0, 50.0, 143.0}) {
+      const ResourceVector r{1, GB(cache), MBps(io)};
+      EXPECT_LE(estimator.Estimate(job_, r), base->Estimate(job_, r) + 1e-9);
+    }
+  }
+}
+
+TEST_F(PerfModelTest, SiloDEstimatorNameComposes) {
+  SiloDEstimator estimator(std::make_shared<ComputeEstimator>(), &catalog_);
+  EXPECT_EQ(estimator.name(), "silod(compute-only)");
+}
+
+// -------------------------------------------------------------- Profilers --
+
+TEST(OfflineProfiler, StablePerJob) {
+  ModelZoo zoo;
+  DatasetCatalog catalog;
+  const DatasetId d = catalog.Add("x", GB(143), MB(64));
+  const JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, Hours(1), 0);
+  OfflineProfiler profiler(0.02, 5);
+  const BytesPerSec first = profiler.ProfiledIdealIo(job);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(profiler.ProfiledIdealIo(job), first);  // Offline: fixed.
+  }
+  EXPECT_NEAR(first, job.ideal_io, 0.02 * job.ideal_io);
+}
+
+TEST(OnlineBenefitProfiler, NoisyPerMeasurement) {
+  OnlineBenefitProfiler profiler(0.25, 5);
+  double lo = 1e18;
+  double hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double m = profiler.MeasureBenefit(1.0);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+    EXPECT_GE(m, 0.75 - 1e-9);
+    EXPECT_LE(m, 1.25 + 1e-9);
+  }
+  EXPECT_LT(lo, 0.80);  // Noise actually spans the band.
+  EXPECT_GT(hi, 1.20);
+}
+
+}  // namespace
+}  // namespace silod

@@ -1,0 +1,140 @@
+// Tests for the real-time mini-cluster (src/rt): real threads, wall-clock
+// sleeps, token-bucket throttling.  Assertions are timing-tolerant (scheduler
+// jitter, thread wakeups) but pin the structural facts: exactly-once
+// accounting, cold first epochs, uniform-caching hit ratios, egress
+// enforcement, and the SiloD-vs-baseline ordering.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/core/silod_scheduler.h"
+#include "src/rt/rt_cluster.h"
+
+namespace silod {
+namespace {
+
+Trace TinyTrace(int num_jobs, Bytes dataset_size, double epochs, const char* model = "ResNet-50") {
+  const ModelZoo zoo;
+  Trace trace;
+  for (int i = 0; i < num_jobs; ++i) {
+    const DatasetId d =
+        trace.catalog.Add("d" + std::to_string(i), dataset_size, KB(250));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo, model, 1, d, 1.0, 0);
+    job.total_bytes = static_cast<Bytes>(epochs * static_cast<double>(dataset_size));
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+ClusterResources TinyCluster(Bytes cache, BytesPerSec egress, int gpus = 8) {
+  ClusterResources resources;
+  resources.total_gpus = gpus;
+  resources.total_cache = cache;
+  resources.remote_io = egress;
+  resources.num_servers = 1;
+  return resources;
+}
+
+TEST(RtCluster, SingleJobAccounting) {
+  const Trace trace = TinyTrace(1, MB(8), 3.0);  // 32 blocks x 3 epochs.
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(200)));
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const RtJobResult& j = result.jobs[0];
+  EXPECT_EQ(j.cache_hits + j.cache_misses, 96);
+  // Full cache: epoch 1 all misses, epochs 2-3 all hits.
+  EXPECT_EQ(j.cache_misses, 32);
+  EXPECT_EQ(j.cache_hits, 64);
+  EXPECT_GT(j.Runtime(), 0);
+}
+
+TEST(RtCluster, RuntimeTracksIdealWhenUnconstrained) {
+  const Trace trace = TinyTrace(1, MB(8), 2.0);
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(500)));
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  const double ideal = trace.jobs[0].IdealDuration();  // 16 MB / 114 MB/s ~ 0.14 s.
+  EXPECT_GE(result.jobs[0].Runtime(), 0.8 * ideal);
+  EXPECT_LE(result.jobs[0].Runtime(), 3.0 * ideal + 0.5);  // Generous for CI jitter.
+}
+
+TEST(RtCluster, EgressLimitSlowsColdEpoch) {
+  // No cache, 10 MB/s egress: 16 MB must take >= ~1.4 s (ideal would be 0.14).
+  const Trace trace = TinyTrace(1, MB(8), 2.0);
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(/*cache=*/0, MBps(10)));
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  // The token bucket's 8 MB burst forgives half the first epoch; the rest
+  // pays full price: >= (16 MB - 8 MB) / 10 MB/s.
+  EXPECT_GE(result.jobs[0].Runtime(), 0.7);
+}
+
+TEST(RtCluster, PartialCacheHitsMatchUniformRatio) {
+  const Trace trace = TinyTrace(1, MB(8), 4.0);
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(4), MBps(200)));
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  const RtJobResult& j = result.jobs[0];
+  // Steady epochs hit at c/d = 50%: 3 warm epochs x 32 blocks x 0.5 = 48.
+  EXPECT_NEAR(static_cast<double>(j.cache_hits), 48.0, 4.0);
+}
+
+TEST(RtCluster, TwoJobsShareEgress) {
+  const Trace trace = TinyTrace(2, MB(8), 1.0);
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(/*cache=*/0, MBps(20)));
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  // 16 MB total at 20 MB/s shared (minus the 8 MB burst): both finish around
+  // the same time and neither can beat the shared-egress bound.
+  for (const RtJobResult& j : result.jobs) {
+    EXPECT_GE(j.Runtime(), 0.3);
+  }
+}
+
+TEST(RtCluster, SiloDNotWorseThanQuiverOnMicroShape) {
+  // Two ResNet datasets, pool fits 1.5 of them: SiloD partially caches the
+  // second, Quiver cannot.
+  const ModelZoo zoo;
+  Trace trace;
+  for (int i = 0; i < 2; ++i) {
+    const DatasetId d = trace.catalog.Add("img" + std::to_string(i), MB(16), KB(256));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 3 * MB(16);
+    trace.jobs.push_back(job);
+  }
+  const ClusterResources resources = TinyCluster(MB(24), MBps(60), 2);
+
+  RtCluster silod(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD), resources);
+  const RtResult silod_result = silod.Run();
+  RtCluster quiver(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kQuiver), resources);
+  const RtResult quiver_result = quiver.Run();
+  ASSERT_FALSE(silod_result.timed_out);
+  ASSERT_FALSE(quiver_result.timed_out);
+
+  std::int64_t silod_hits = 0;
+  std::int64_t quiver_hits = 0;
+  for (int i = 0; i < 2; ++i) {
+    silod_hits += silod_result.jobs[static_cast<std::size_t>(i)].cache_hits;
+    quiver_hits += quiver_result.jobs[static_cast<std::size_t>(i)].cache_hits;
+  }
+  EXPECT_GT(silod_hits, quiver_hits);  // Partial caching pays.
+  EXPECT_LE(silod_result.makespan, quiver_result.makespan * 1.15);  // Timing tolerance.
+}
+
+TEST(RtCluster, TimeoutSurfacesInsteadOfHanging) {
+  const Trace trace = TinyTrace(1, MB(8), 4.0);
+  RtOptions options;
+  options.max_wall_seconds = 0.05;  // Far too short to finish.
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(0, MBps(10)), options);
+  const RtResult result = cluster.Run();
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace silod

@@ -1,0 +1,359 @@
+// Tests for src/sim: event queue, metrics, and both engines — including the
+// engine-vs-closed-form and engine-vs-engine fidelity checks that mirror the
+// paper's own simulator validation (§7.1.1/§7.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/core/silod_scheduler.h"
+#include "src/core/system.h"
+#include "src/sched/fifo.h"
+#include "src/sched/greedy.h"
+#include "src/sched/storage_policies.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/fine_engine.h"
+#include "src/sim/flow_engine.h"
+#include "src/sim/metrics.h"
+
+namespace silod {
+namespace {
+
+// ------------------------------------------------------------- EventQueue --
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(3.0, [&](Seconds) { fired.push_back(3); });
+  queue.Schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  queue.Schedule(2.0, [&](Seconds) { fired.push_back(2); });
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForSimultaneousEvents) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(1.0, [&, i](Seconds) { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue queue;
+  std::vector<int> fired;
+  const auto id = queue.Schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  queue.Schedule(2.0, [&](Seconds) { fired.push_back(2); });
+  queue.Cancel(id);
+  EXPECT_DOUBLE_EQ(queue.PeekTime(), 2.0);
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void(Seconds)> tick = [&](Seconds t) {
+    if (++count < 5) {
+      queue.Schedule(t + 1.0, tick);
+    }
+  };
+  queue.Schedule(0.0, tick);
+  Seconds last = 0;
+  while (!queue.empty()) {
+    last = queue.RunNext();
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(last, 4.0);
+}
+
+// ---------------------------------------------------------------- Metrics --
+
+TEST(Metrics, JctAndMakespan) {
+  MetricsCollector collector;
+  JobSpec a;
+  a.id = 0;
+  a.submit_time = 0;
+  JobSpec b;
+  b.id = 1;
+  b.submit_time = 100;
+  collector.OnSubmit(a);
+  collector.OnSubmit(b);
+  collector.OnStart(0, 10);
+  collector.OnFinish(0, 110);
+  EXPECT_FALSE(collector.AllFinished());
+  collector.OnStart(1, 120);
+  collector.OnFinish(1, 400);
+  EXPECT_TRUE(collector.AllFinished());
+  const SimResult result = collector.Finalize();
+  EXPECT_DOUBLE_EQ(result.jobs[0].Jct(), 110);
+  EXPECT_DOUBLE_EQ(result.jobs[1].Jct(), 300);
+  EXPECT_DOUBLE_EQ(result.AvgJctSeconds(), 205);
+  EXPECT_DOUBLE_EQ(result.makespan, 400);
+}
+
+// -------------------------------------------------- Engine test scaffolding --
+
+// A small single-job trace: `epochs` passes over a 10 GB dataset at
+// f* = 114 MB/s.
+Trace SingleJobTrace(double epochs, Bytes dataset_size = GB(10)) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d = trace.catalog.Add("data", dataset_size, MB(16));
+  JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, 1.0, 0);
+  job.total_bytes = static_cast<Bytes>(epochs * static_cast<double>(dataset_size));
+  trace.jobs.push_back(job);
+  return trace;
+}
+
+SimConfig SmallCluster(Bytes cache, BytesPerSec egress) {
+  SimConfig config;
+  config.resources.total_gpus = 8;
+  config.resources.total_cache = cache;
+  config.resources.remote_io = egress;
+  config.resources.num_servers = 2;
+  config.reschedule_period = Minutes(5);
+  return config;
+}
+
+double RunJct(const Trace& trace, EngineKind engine, CacheSystem cache, SimConfig sim,
+              SchedulerKind scheduler = SchedulerKind::kFifo) {
+  ExperimentConfig config;
+  config.scheduler = scheduler;
+  config.cache = cache;
+  config.sim = sim;
+  config.engine = engine;
+  const SimResult result = RunExperiment(trace, config);
+  return result.AvgJctSeconds();
+}
+
+// ------------------------------------------------------------- FlowEngine --
+
+TEST(FlowEngine, ComputeBoundJobRunsAtIdealSpeed) {
+  const Trace trace = SingleJobTrace(2.0);
+  // Egress far above f*: never IO bound.
+  const double jct =
+      RunJct(trace, EngineKind::kFlow, CacheSystem::kSiloD, SmallCluster(0, GBps(10)));
+  EXPECT_NEAR(jct, trace.jobs[0].IdealDuration(), 1.0);
+}
+
+TEST(FlowEngine, IoBoundJobRunsAtEgressSpeed) {
+  const Trace trace = SingleJobTrace(2.0);
+  // No cache, 20 MB/s egress: the whole job runs at 20 MB/s.
+  const double jct =
+      RunJct(trace, EngineKind::kFlow, CacheSystem::kSiloD, SmallCluster(0, MBps(20)));
+  EXPECT_NEAR(jct, static_cast<double>(trace.jobs[0].total_bytes) / MBps(20), 2.0);
+}
+
+TEST(FlowEngine, CacheKicksInAfterFirstEpoch) {
+  const Trace trace = SingleJobTrace(3.0);
+  // Full cache allocation, 20 MB/s egress: epoch 1 at 20 MB/s (cold, §6
+  // delayed effectiveness), epochs 2-3 at f* = 114 MB/s.
+  const double jct =
+      RunJct(trace, EngineKind::kFlow, CacheSystem::kSiloD, SmallCluster(GB(10), MBps(20)));
+  const double expected = 1e10 / MBps(20) + 2e10 / MBps(114);
+  EXPECT_NEAR(jct, expected, 0.02 * expected);
+}
+
+TEST(FlowEngine, PartialCachePartialSpeedup) {
+  const Trace trace = SingleJobTrace(5.0);
+  // Half the dataset cached: steady state f = b/(1-c/d) = 20/0.5 = 40 MB/s.
+  const double jct =
+      RunJct(trace, EngineKind::kFlow, CacheSystem::kSiloD, SmallCluster(GB(5), MBps(20)));
+  const double expected = 1e10 / MBps(20)            // Cold epoch 1.
+                          + 4e10 / MBps(40);         // Steady epochs.
+  EXPECT_NEAR(jct, expected, 0.05 * expected);
+}
+
+TEST(FlowEngine, RemoteIoUsageNeverExceedsEgress) {
+  TraceOptions options;
+  options.num_jobs = 30;
+  options.median_duration = Minutes(20);
+  options.mean_interarrival = Minutes(2);
+  options.seed = 4;
+  const Trace trace = TraceGenerator(options).Generate();
+  ExperimentConfig config;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(TB(2), MBps(300));
+  config.sim.resources.total_gpus = 16;
+  const SimResult result = RunExperiment(trace, config);
+  for (const auto& [t, io] : result.remote_io_usage.points()) {
+    EXPECT_LE(io, MBps(300) * 1.001) << "at t=" << t;
+  }
+}
+
+TEST(FlowEngine, AllCacheSystemsCompleteAllJobs) {
+  TraceOptions options;
+  options.num_jobs = 20;
+  options.median_duration = Minutes(15);
+  options.seed = 8;
+  const Trace trace = TraceGenerator(options).Generate();
+  for (const CacheSystem cache : {CacheSystem::kSiloD, CacheSystem::kAlluxio,
+                                  CacheSystem::kCoorDl, CacheSystem::kQuiver}) {
+    ExperimentConfig config;
+    config.cache = cache;
+    config.sim = SmallCluster(TB(1), MBps(200));
+    config.sim.resources.total_gpus = 16;
+    const SimResult result = RunExperiment(trace, config);
+    EXPECT_EQ(result.jobs.size(), trace.jobs.size()) << CacheSystemName(cache);
+    for (const JobResult& j : result.jobs) {
+      EXPECT_GE(j.finish_time, 0) << CacheSystemName(cache);
+      EXPECT_GE(j.Jct(), 0) << CacheSystemName(cache);
+    }
+  }
+}
+
+TEST(FlowEngine, SchedulersRespectArrivalCausality) {
+  TraceOptions options;
+  options.num_jobs = 15;
+  options.seed = 12;
+  const Trace trace = TraceGenerator(options).Generate();
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kSjf, SchedulerKind::kGavel}) {
+    ExperimentConfig config;
+    config.scheduler = kind;
+    config.cache = CacheSystem::kSiloD;
+    config.sim = SmallCluster(TB(1), MBps(200));
+    config.sim.resources.total_gpus = 16;
+    const SimResult result = RunExperiment(trace, config);
+    for (const JobResult& j : result.jobs) {
+      EXPECT_GE(j.first_start_time, j.submit_time - 1e-6) << SchedulerKindName(kind);
+      EXPECT_GE(j.finish_time, j.first_start_time) << SchedulerKindName(kind);
+    }
+  }
+}
+
+TEST(FlowEngine, EffectiveCacheRampsUp) {
+  const Trace trace = SingleJobTrace(4.0);
+  ExperimentConfig config;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(GB(10), MBps(50));
+  const SimResult result = RunExperiment(trace, config);
+  // Cold at the start, fully effective near the end (Fig. 8's ramp).
+  const double early = result.effective_cache_ratio.ValueAt(1.0);
+  const double late = result.effective_cache_ratio.ValueAt(result.makespan * 0.9);
+  EXPECT_LT(early, 0.1);
+  EXPECT_GT(late, 0.95);
+}
+
+// ------------------------------------------------------------- FineEngine --
+
+TEST(FineEngine, ComputeBoundJobMatchesClosedForm) {
+  const Trace trace = SingleJobTrace(2.0);
+  const double jct =
+      RunJct(trace, EngineKind::kFine, CacheSystem::kSiloD, SmallCluster(0, GBps(10)));
+  EXPECT_NEAR(jct, trace.jobs[0].IdealDuration(), 0.02 * trace.jobs[0].IdealDuration());
+}
+
+TEST(FineEngine, IoBoundJobMatchesClosedForm) {
+  const Trace trace = SingleJobTrace(2.0);
+  const double jct =
+      RunJct(trace, EngineKind::kFine, CacheSystem::kSiloD, SmallCluster(0, MBps(20)));
+  const double expected = static_cast<double>(trace.jobs[0].total_bytes) / MBps(20);
+  EXPECT_NEAR(jct, expected, 0.02 * expected);
+}
+
+TEST(FineEngine, UniformCacheHitRatioMatchesClosedForm) {
+  // Steady-state throughput with half the dataset cached must match Eq. 4.
+  const Trace trace = SingleJobTrace(6.0);
+  const double jct =
+      RunJct(trace, EngineKind::kFine, CacheSystem::kSiloD, SmallCluster(GB(5), MBps(20)));
+  const double expected = 1e10 / MBps(20) + 5e10 / MBps(40);
+  EXPECT_NEAR(jct, expected, 0.06 * expected);
+}
+
+TEST(FineEngine, SharedLruThrashesBelowUniform) {
+  // Same scenario, Alluxio's LRU vs SiloD's uniform caching: LRU's scan
+  // thrashing yields a clearly longer JCT (§7.1.1).
+  const Trace trace = SingleJobTrace(6.0);
+  const SimConfig sim = SmallCluster(GB(5), MBps(20));
+  const double uniform = RunJct(trace, EngineKind::kFine, CacheSystem::kSiloD, sim);
+  const double lru = RunJct(trace, EngineKind::kFine, CacheSystem::kAlluxio, sim);
+  EXPECT_GT(lru, 1.15 * uniform);
+}
+
+TEST(FineEngine, LruStillBeatsNoCache) {
+  const Trace trace = SingleJobTrace(6.0);
+  const double lru = RunJct(trace, EngineKind::kFine, CacheSystem::kAlluxio,
+                            SmallCluster(GB(5), MBps(20)));
+  const double none = RunJct(trace, EngineKind::kFine, CacheSystem::kAlluxio,
+                             SmallCluster(MB(16), MBps(20)));
+  EXPECT_LT(lru, none);
+}
+
+TEST(FineEngine, TwoJobsShareEgressFairly) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d0 = trace.catalog.Add("a", GB(10), MB(16));
+  const DatasetId d1 = trace.catalog.Add("b", GB(10), MB(16));
+  JobSpec j0 = MakeJob(0, zoo, "ResNet-50", 1, d0, 1.0, 0);
+  j0.total_bytes = GB(10);
+  JobSpec j1 = MakeJob(1, zoo, "ResNet-50", 1, d1, 1.0, 0);
+  j1.total_bytes = GB(10);
+  trace.jobs = {j0, j1};
+  // No cache, 40 MB/s egress: each runs at ~20 MB/s, both finish together.
+  ExperimentConfig config;
+  config.cache = CacheSystem::kAlluxio;
+  config.sim = SmallCluster(0, MBps(40));
+  config.engine = EngineKind::kFine;
+  const SimResult result = RunExperiment(trace, config);
+  const double expected = 1e10 / MBps(20);
+  EXPECT_NEAR(result.jobs[0].Jct(), expected, 0.05 * expected);
+  EXPECT_NEAR(result.jobs[1].Jct(), expected, 0.05 * expected);
+}
+
+// --------------------------------------------------------------- Fidelity --
+
+// The §7.2-style cross-validation: both engines run the same multi-job trace
+// and must agree on average JCT and makespan within a few percent (the paper
+// reports simulator errors of up to 5.7% / 8.5%).
+class EngineFidelityTest : public ::testing::TestWithParam<CacheSystem> {};
+
+TEST_P(EngineFidelityTest, FlowMatchesFine) {
+  const ModelZoo zoo;
+  Trace trace;
+  // A scaled-down micro-benchmark: 4 image jobs + 1 BERT-like job.
+  for (int i = 0; i < 4; ++i) {
+    const DatasetId d = trace.catalog.Add("img" + std::to_string(i), GB(13), MB(16));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo, i < 2 ? "ResNet-50" : "EfficientNetB1", 1,
+                          d, 1.0, 0);
+    job.total_bytes = GB(13) * (i < 2 ? 5 : 4);
+    trace.jobs.push_back(job);
+  }
+  const DatasetId web = trace.catalog.Add("web", GB(209), MB(16));
+  JobSpec bert = MakeJob(4, zoo, "BERT", 4, web, 1.0, 0);
+  bert.total_bytes = GB(15);
+  trace.jobs.push_back(bert);
+
+  const SimConfig sim = SmallCluster(GB(20), MBps(20));
+  ExperimentConfig config;
+  config.cache = GetParam();
+  config.sim = sim;
+
+  config.engine = EngineKind::kFine;
+  const SimResult fine = RunExperiment(trace, config);
+  config.engine = EngineKind::kFlow;
+  const SimResult flow = RunExperiment(trace, config);
+
+  EXPECT_NEAR(flow.AvgJctSeconds(), fine.AvgJctSeconds(), 0.08 * fine.AvgJctSeconds())
+      << CacheSystemName(GetParam());
+  EXPECT_NEAR(flow.makespan, fine.makespan, 0.10 * fine.makespan)
+      << CacheSystemName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSystems, EngineFidelityTest,
+                         ::testing::Values(CacheSystem::kSiloD, CacheSystem::kCoorDl,
+                                           CacheSystem::kQuiver),
+                         [](const auto& info) { return CacheSystemName(info.param); });
+
+}  // namespace
+}  // namespace silod

@@ -1,0 +1,323 @@
+// Unit tests for src/storage: token bucket, max-min sharing / remote store,
+// storage fabric (Fig. 3), in-memory remote store and the threaded pipeline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/storage/data_pipeline.h"
+#include "src/storage/fabric.h"
+#include "src/storage/inmem_remote.h"
+#include "src/storage/remote_store.h"
+#include "src/storage/token_bucket.h"
+
+namespace silod {
+namespace {
+
+// ------------------------------------------------------------ TokenBucket --
+
+TEST(TokenBucket, BurstAdmitsImmediately) {
+  TokenBucket bucket(MBps(10), MB(5));
+  EXPECT_DOUBLE_EQ(bucket.TimeToAdmit(MB(5), 0.0), 0.0);
+}
+
+TEST(TokenBucket, RefillDelaysOversizeRequests) {
+  TokenBucket bucket(MBps(10), MB(5));
+  bucket.Consume(MB(5), 0.0);  // Drain the burst.
+  // 2 MB needs 0.2 s of refill at 10 MB/s.
+  EXPECT_NEAR(bucket.TimeToAdmit(MB(2), 0.0), 0.2, 1e-9);
+}
+
+TEST(TokenBucket, SustainedRateConverges) {
+  TokenBucket bucket(MBps(10), MB(1));
+  Seconds t = 0;
+  const int kTransfers = 100;
+  for (int i = 0; i < kTransfers; ++i) {
+    t = bucket.TimeToAdmit(MB(1), t);
+    bucket.Consume(MB(1), t);
+  }
+  // 100 MB at 10 MB/s ~ 10 s (minus the initial burst).
+  EXPECT_NEAR(t, (kTransfers - 1) * 0.1, 0.2);
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucket bucket(MBps(10), MB(1));
+  bucket.Consume(MB(1), 0.0);
+  bucket.SetRate(MBps(100), 0.0);
+  EXPECT_NEAR(bucket.TimeToAdmit(MB(1), 0.0), 0.01, 1e-9);
+}
+
+TEST(TokenBucket, TokensNeverExceedBurst) {
+  TokenBucket bucket(MBps(10), MB(2));
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(100.0), static_cast<double>(MB(2)));
+}
+
+TEST(TokenBucket, UnlimitedRateAlwaysAdmits) {
+  TokenBucket bucket(kUnlimitedRate, MB(1));
+  bucket.Consume(MB(100), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.TimeToAdmit(MB(100), 0.0), 0.0);
+}
+
+// ------------------------------------------------------------ MaxMinShare --
+
+TEST(MaxMinShare, UnderloadedGrantsDemands) {
+  const auto rates = MaxMinShare({MBps(10), MBps(20)}, MBps(100));
+  EXPECT_DOUBLE_EQ(rates[0], MBps(10));
+  EXPECT_DOUBLE_EQ(rates[1], MBps(20));
+}
+
+TEST(MaxMinShare, OverloadedSplitsEvenly) {
+  const auto rates = MaxMinShare({MBps(100), MBps(100)}, MBps(100));
+  EXPECT_DOUBLE_EQ(rates[0], MBps(50));
+  EXPECT_DOUBLE_EQ(rates[1], MBps(50));
+}
+
+TEST(MaxMinShare, SmallFlowsProtected) {
+  // Classic max-min: {2, 8, 10} into 12 -> {2, 5, 5}.
+  const auto rates = MaxMinShare({2, 8, 10}, 12);
+  EXPECT_DOUBLE_EQ(rates[0], 2);
+  EXPECT_DOUBLE_EQ(rates[1], 5);
+  EXPECT_DOUBLE_EQ(rates[2], 5);
+}
+
+TEST(MaxMinShare, CapsBind) {
+  const auto rates = MaxMinShare({100, 100}, {30, kUnlimitedRate}, 100);
+  EXPECT_DOUBLE_EQ(rates[0], 30);
+  EXPECT_DOUBLE_EQ(rates[1], 70);
+}
+
+TEST(MaxMinShare, InfiniteDemandsShareEqually) {
+  const auto rates =
+      MaxMinShare({kUnlimitedRate, kUnlimitedRate, kUnlimitedRate}, 90);
+  for (double r : rates) {
+    EXPECT_DOUBLE_EQ(r, 30);
+  }
+}
+
+TEST(MaxMinShare, ZeroDemandGetsZero) {
+  const auto rates = MaxMinShare({0, 50}, 100);
+  EXPECT_DOUBLE_EQ(rates[0], 0);
+  EXPECT_DOUBLE_EQ(rates[1], 50);
+}
+
+TEST(MaxMinShare, ConservationProperty) {
+  // Property sweep: never exceed capacity; never exceed demand or cap.
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.NextBelow(10);
+    std::vector<BytesPerSec> demands(n);
+    std::vector<BytesPerSec> caps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands[i] = rng.Uniform(0, 100);
+      caps[i] = rng.NextDouble() < 0.3 ? kUnlimitedRate : rng.Uniform(0, 50);
+    }
+    const double capacity = rng.Uniform(1, 200);
+    const auto rates = MaxMinShare(demands, caps, capacity);
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(rates[i], demands[i] + 1e-9);
+      EXPECT_LE(rates[i], caps[i] + 1e-9);
+      total += rates[i];
+    }
+    EXPECT_LE(total, capacity + 1e-6);
+    // Work conservation: if any flow is unsatisfied, capacity is exhausted.
+    bool unsatisfied = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates[i] + 1e-9 < std::min(demands[i], caps[i])) {
+        unsatisfied = true;
+      }
+    }
+    if (unsatisfied) {
+      EXPECT_NEAR(total, capacity, 1e-6);
+    }
+  }
+}
+
+// ------------------------------------------------------------ RemoteStore --
+
+TEST(RemoteStore, ThrottlesApply) {
+  RemoteStore store(MBps(100));
+  store.SetJobThrottle(0, MBps(10));
+  const auto rates = store.ArbitratedRates({0, 1}, {MBps(50), MBps(50)});
+  EXPECT_DOUBLE_EQ(rates[0], MBps(10));
+  EXPECT_DOUBLE_EQ(rates[1], MBps(50));
+}
+
+TEST(RemoteStore, ClearThrottleRestoresUnlimited) {
+  RemoteStore store(MBps(100));
+  store.SetJobThrottle(3, MBps(1));
+  store.ClearJobThrottle(3);
+  EXPECT_TRUE(std::isinf(store.JobThrottle(3)));
+}
+
+TEST(RemoteStore, EgressBindsOverall) {
+  RemoteStore store(MBps(60));
+  const auto rates = store.ArbitratedRates({0, 1, 2}, {MBps(50), MBps(50), MBps(50)});
+  EXPECT_NEAR(rates[0] + rates[1] + rates[2], MBps(60), 1.0);
+}
+
+// ---------------------------------------------------------- StorageFabric --
+
+TEST(StorageFabric, SingleServerIsDiskBound) {
+  StorageFabric fabric(FabricConfig{});
+  EXPECT_DOUBLE_EQ(fabric.PerServerCacheReadRate(1), GBps(3.2));
+}
+
+TEST(StorageFabric, Fig3NearLinearScaling) {
+  // Fig. 3: 8-A100 jobs demand 1923 MB/s per server; with 50 servers the
+  // cluster still serves within ~10% of the linear-scaling reference.
+  StorageFabric fabric(FabricConfig{});
+  const BytesPerSec demand = MBps(1923);
+  for (int n : {1, 10, 20, 30, 40, 50}) {
+    const BytesPerSec cluster = fabric.ClusterCacheThroughput(n, demand);
+    const BytesPerSec linear = fabric.LocalOnlyThroughput(n, demand);
+    EXPECT_GE(cluster, 0.9 * linear) << n << " servers";
+    EXPECT_LE(cluster, linear + 1.0);
+  }
+}
+
+TEST(StorageFabric, PeerRateNeverAboveLocal) {
+  StorageFabric fabric(FabricConfig{});
+  EXPECT_LE(fabric.PerServerCacheReadRate(50), fabric.PerServerCacheReadRate(1));
+}
+
+TEST(StorageFabric, SlowNicBindsPeerReads) {
+  // With a 10 GbE storage fabric the NIC, not the disk, bounds peer reads.
+  FabricConfig config;
+  config.nic_bw = Gbps(10);
+  StorageFabric fabric(config);
+  EXPECT_LT(fabric.PerServerCacheReadRate(50), fabric.PerServerCacheReadRate(1));
+  EXPECT_NEAR(fabric.PerServerCacheReadRate(50),
+              Gbps(10) / ((49.0 / 50.0) * 1.04), 1.0);
+}
+
+// --------------------------------------------------------- InMemRemoteStore --
+
+TEST(InMemRemote, PayloadChecksumsMatch) {
+  InMemRemoteStore store(GBps(10), MB(64));
+  const Dataset d = MakeDataset(0, "x", MB(2), KB(512));
+  store.RegisterDataset(d);
+  for (std::int64_t b = 0; b < d.num_blocks; ++b) {
+    const auto data = store.ReadBlock(0, b);
+    EXPECT_EQ(data.size(), static_cast<std::size_t>(d.BlockBytes(b)));
+    EXPECT_EQ(InMemRemoteStore::Checksum(data),
+              InMemRemoteStore::ExpectedChecksum(0, b, d.BlockBytes(b)));
+  }
+  EXPECT_EQ(store.bytes_served(), d.size);
+}
+
+TEST(InMemRemote, DistinctBlocksDistinctPayloads) {
+  InMemRemoteStore store(GBps(10), MB(64));
+  const Dataset d = MakeDataset(1, "x", MB(1), KB(256));
+  store.RegisterDataset(d);
+  EXPECT_NE(InMemRemoteStore::Checksum(store.ReadBlock(1, 0)),
+            InMemRemoteStore::Checksum(store.ReadBlock(1, 1)));
+}
+
+TEST(InMemRemote, EgressThrottleSlowsReads) {
+  // 4 MB at 8 MB/s with a 1 MB burst -> at least ~0.3 s.
+  InMemRemoteStore store(MBps(8), MB(1));
+  const Dataset d = MakeDataset(0, "x", MB(4), MB(1));
+  store.RegisterDataset(d);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t b = 0; b < d.num_blocks; ++b) {
+    store.ReadBlock(0, b);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.3);
+}
+
+// ------------------------------------------------------------ DataPipeline --
+
+TEST(DataPipeline, DeliversEveryBlockOncePerEpoch) {
+  InMemRemoteStore remote(GBps(1), MB(8));
+  const Dataset d = MakeDataset(0, "x", MB(4), KB(256));
+  PipelineOptions options;
+  options.cache_capacity = 0;
+  DataPipeline pipeline(&remote, d, options);
+  pipeline.StartEpoch();
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+    const auto [block, payload] = pipeline.NextBlock();
+    EXPECT_TRUE(seen.insert(block).second) << "block delivered twice";
+    EXPECT_EQ(InMemRemoteStore::Checksum(payload),
+              InMemRemoteStore::ExpectedChecksum(0, block, d.BlockBytes(block)));
+  }
+  EXPECT_TRUE(pipeline.EpochDone());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(d.num_blocks));
+}
+
+TEST(DataPipeline, UniformCacheHitsMatchAllocation) {
+  InMemRemoteStore remote(GBps(1), MB(8));
+  const Dataset d = MakeDataset(0, "x", MB(8), KB(256));  // 32 blocks.
+  PipelineOptions options;
+  options.cache_capacity = MB(4);  // Half the dataset.
+  DataPipeline pipeline(&remote, d, options);
+
+  pipeline.StartEpoch();
+  for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+    pipeline.NextBlock();
+  }
+  const PipelineStats first = pipeline.stats();
+  EXPECT_EQ(first.cache_hits, 0);  // Cold first epoch.
+  // Admission fills the allocation to within one block.
+  EXPECT_LE(pipeline.cached_bytes(), MB(4));
+  EXPECT_GE(pipeline.cached_bytes(), MB(4) - KB(256));
+
+  pipeline.StartEpoch();
+  for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+    pipeline.NextBlock();
+  }
+  const PipelineStats second = pipeline.stats();
+  // Second epoch: exactly the cached half hits (uniform caching, c/d = 0.5).
+  EXPECT_EQ(second.cache_hits - first.cache_hits, d.num_blocks / 2);
+}
+
+TEST(DataPipeline, ShuffledOrderDiffersAcrossEpochs) {
+  InMemRemoteStore remote(GBps(10), MB(8));
+  const Dataset d = MakeDataset(0, "x", MB(4), KB(128));
+  PipelineOptions options;
+  options.cache_capacity = d.size;  // Cache everything for speed.
+  DataPipeline pipeline(&remote, d, options);
+
+  std::vector<std::int64_t> first;
+  pipeline.StartEpoch();
+  for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+    first.push_back(pipeline.NextBlock().first);
+  }
+  std::vector<std::int64_t> second;
+  pipeline.StartEpoch();
+  for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+    second.push_back(pipeline.NextBlock().first);
+  }
+  EXPECT_NE(first, second);
+}
+
+TEST(DataPipeline, MultipleWorkersStillExactlyOnce) {
+  InMemRemoteStore remote(GBps(1), MB(8));
+  const Dataset d = MakeDataset(0, "x", MB(8), KB(128));
+  PipelineOptions options;
+  options.prefetch_threads = 4;
+  options.prefetch_depth = 8;
+  options.cache_capacity = MB(2);
+  DataPipeline pipeline(&remote, d, options);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    pipeline.StartEpoch();
+    std::set<std::int64_t> seen;
+    for (std::int64_t i = 0; i < d.num_blocks; ++i) {
+      seen.insert(pipeline.NextBlock().first);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(d.num_blocks));
+  }
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 3 * d.num_blocks);
+}
+
+}  // namespace
+}  // namespace silod

@@ -1,0 +1,63 @@
+// silod_estimate: the closed-form calculator (Eq. 2-5) as a CLI.
+//
+//   silod_estimate --fstar-mbps=114 --dataset-gb=143 --cache-gb=70 --io-mbps=50
+//
+// Prints the job's predicted end-to-end throughput, remote demand, cache
+// efficiency and the minimum remote IO needed to stay compute bound — the
+// numbers an operator needs to size cache and egress for a workload.
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/estimator/ioperf.h"
+
+using namespace silod;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("fstar-mbps", "114", "ideal (compute-bound) throughput f*, MB/s");
+  flags.Define("dataset-gb", "143", "dataset size d, GB");
+  flags.Define("cache-gb", "0", "cache allocation c, GB");
+  flags.Define("io-mbps", "50", "remote IO allocation b, MB/s");
+  flags.Define("sweep", "false", "print SiloDPerf over a cache sweep 0..d");
+  flags.Define("help", "false", "show this help");
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+
+  const BytesPerSec fstar = MBps(flags.GetDouble("fstar-mbps"));
+  const Bytes dataset = GB(flags.GetDouble("dataset-gb"));
+  const Bytes cache = GB(flags.GetDouble("cache-gb"));
+  const BytesPerSec io = MBps(flags.GetDouble("io-mbps"));
+  if (fstar <= 0 || dataset <= 0 || cache < 0 || io < 0) {
+    std::fprintf(stderr, "arguments must be nonnegative (f*, d positive)\n");
+    return 2;
+  }
+
+  Table table({"quantity", "value"});
+  const BytesPerSec perf = SiloDPerfThroughput(fstar, io, cache, dataset);
+  table.AddRow({"SiloDPerf (Eq. 4)", Fmt(ToMBps(perf)) + " MB/s"});
+  table.AddRow({"bottleneck", perf >= fstar ? "compute (f*)" : "remote IO"});
+  table.AddRow({"remote demand at f* (Eq. 2)",
+                Fmt(ToMBps(RemoteIoDemand(fstar, cache, dataset))) + " MB/s"});
+  table.AddRow({"cache efficiency (Eq. 5)",
+                Fmt(CacheEfficiencyMBpsPerGB(fstar, dataset), 4) + " MB/s per GB"});
+  table.AddRow({"min IO to stay compute-bound",
+                Fmt(ToMBps(RequiredRemoteIo(fstar, cache, dataset))) + " MB/s"});
+  table.Print();
+
+  if (flags.GetBool("sweep")) {
+    std::printf("\ncache (GB) -> SiloDPerf (MB/s) at b = %.0f MB/s\n", ToMBps(io));
+    for (int i = 0; i <= 10; ++i) {
+      const Bytes c = dataset * i / 10;
+      std::printf("  %7.1f -> %7.1f\n", ToGB(c),
+                  ToMBps(SiloDPerfThroughput(fstar, io, c, dataset)));
+    }
+  }
+  return 0;
+}

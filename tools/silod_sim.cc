@@ -1,0 +1,174 @@
+// silod_sim: command-line cluster simulator.
+//
+//   silod_sim --gpus=96 --cache-tb=7.2 --egress-gbps=8 --scheduler=gavel
+//             --cache-system=silod --jobs=300
+//
+// Runs one (scheduler, cache system) configuration over a generated or
+// imported trace and prints the paper's metrics; optionally dumps the trace
+// and the per-job results as CSV for external analysis.
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/core/system.h"
+#include "src/workload/trace_io.h"
+
+using namespace silod;
+
+namespace {
+
+Result<SchedulerKind> ParseScheduler(const std::string& name) {
+  if (name == "fifo") {
+    return SchedulerKind::kFifo;
+  }
+  if (name == "sjf") {
+    return SchedulerKind::kSjf;
+  }
+  if (name == "gavel") {
+    return SchedulerKind::kGavel;
+  }
+  return Status::InvalidArgument("unknown scheduler: " + name + " (fifo|sjf|gavel)");
+}
+
+Result<CacheSystem> ParseCacheSystem(const std::string& name) {
+  if (name == "silod") {
+    return CacheSystem::kSiloD;
+  }
+  if (name == "alluxio") {
+    return CacheSystem::kAlluxio;
+  }
+  if (name == "coordl") {
+    return CacheSystem::kCoorDl;
+  }
+  if (name == "quiver") {
+    return CacheSystem::kQuiver;
+  }
+  return Status::InvalidArgument("unknown cache system: " + name +
+                                 " (silod|alluxio|coordl|quiver)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("gpus", "96", "cluster GPU count");
+  flags.Define("cache-tb", "7.2", "cluster cache pool (TB)");
+  flags.Define("egress-gbps", "8", "remote storage egress limit (Gbps)");
+  flags.Define("per-job-cap-mbps", "0", "per-job provider cap in MB/s (0 = none)");
+  flags.Define("servers", "24", "number of cache servers");
+  flags.Define("scheduler", "fifo", "fifo | sjf | gavel");
+  flags.Define("cache-system", "silod", "silod | alluxio | coordl | quiver");
+  flags.Define("engine", "flow", "flow | fine");
+  flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
+  flags.Define("jobs", "300", "jobs to generate (ignored with --trace)");
+  flags.Define("interarrival-min", "4", "mean job inter-arrival (minutes)");
+  flags.Define("median-duration-min", "180", "median ideal job duration (minutes)");
+  flags.Define("max-duration-days", "2", "duration cap (days)");
+  flags.Define("share", "0", "fraction of jobs sharing canonical datasets");
+  flags.Define("gpu-speed", "1", "GPU speed scale (Fig. 14b)");
+  flags.Define("seed", "3", "trace RNG seed");
+  flags.Define("trace", "", "read the workload from this CSV instead of generating");
+  flags.Define("dump-trace", "", "write the workload as CSV to this path");
+  flags.Define("dump-jobs", "", "write per-job results as CSV to this path");
+  flags.Define("series", "false", "print throughput/fairness time series");
+  flags.Define("help", "false", "show this help");
+
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", flags.Help(argv[0]).c_str());
+    return 0;
+  }
+
+  // Workload.
+  Trace trace;
+  if (!flags.GetString("trace").empty()) {
+    Result<Trace> loaded = ReadTraceFile(flags.GetString("trace"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+  } else {
+    TraceOptions options;
+    options.num_jobs = static_cast<int>(flags.GetInt("jobs"));
+    options.mean_interarrival = Minutes(flags.GetDouble("interarrival-min"));
+    options.median_duration = Minutes(flags.GetDouble("median-duration-min"));
+    options.max_duration = Days(flags.GetDouble("max-duration-days"));
+    options.share_fraction = flags.GetDouble("share");
+    options.gpu_speed_scale = flags.GetDouble("gpu-speed");
+    options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    trace = TraceGenerator(options).Generate();
+  }
+  if (!flags.GetString("dump-trace").empty()) {
+    if (const Status st = WriteTraceFile(trace, flags.GetString("dump-trace")); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Configuration.
+  const Result<SchedulerKind> scheduler = ParseScheduler(flags.GetString("scheduler"));
+  const Result<CacheSystem> cache = ParseCacheSystem(flags.GetString("cache-system"));
+  if (!scheduler.ok() || !cache.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!scheduler.ok() ? scheduler.status() : cache.status()).ToString().c_str());
+    return 2;
+  }
+  ExperimentConfig config;
+  config.scheduler = *scheduler;
+  config.cache = *cache;
+  config.scheduler_options.manage_remote_io = flags.GetBool("manage-remote-io");
+  config.sim.resources.total_gpus = static_cast<int>(flags.GetInt("gpus"));
+  config.sim.resources.total_cache = TB(flags.GetDouble("cache-tb"));
+  config.sim.resources.remote_io = Gbps(flags.GetDouble("egress-gbps"));
+  if (flags.GetDouble("per-job-cap-mbps") > 0) {
+    config.sim.resources.per_job_remote_cap = MBps(flags.GetDouble("per-job-cap-mbps"));
+  }
+  config.sim.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
+  config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
+
+  std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
+              "engine)\n",
+              config.Name().c_str(), trace.jobs.size(), config.sim.resources.total_gpus,
+              ToTB(config.sim.resources.total_cache), ToGbps(config.sim.resources.remote_io),
+              flags.GetString("engine").c_str());
+  const SimResult result = RunExperiment(trace, config);
+
+  Table summary({"metric", "value"});
+  const SampleSet jct = result.JctSamplesMinutes();
+  summary.AddRow({"avg JCT (min)", Fmt(result.AvgJctMinutes())});
+  summary.AddRow({"median JCT (min)", Fmt(jct.Median())});
+  summary.AddRow({"p90 JCT (min)", Fmt(jct.Percentile(90))});
+  summary.AddRow({"makespan (min)", Fmt(result.MakespanMinutes())});
+  summary.AddRow({"avg fairness ratio", Fmt(result.AvgFairness(), 3)});
+  summary.AddRow({"avg remote IO (MB/s)",
+                  Fmt(ToMBps(result.remote_io_usage.TimeAverage(0, result.makespan)))});
+  summary.Print();
+
+  if (flags.GetBool("series")) {
+    auto print = [](const char* label, const TimeSeries& s, double scale) {
+      std::printf("%s:", label);
+      for (const auto& [t, v] : s.Downsample(16)) {
+        std::printf(" %.1f", v * scale);
+      }
+      std::printf("\n");
+    };
+    print("throughput MB/s", result.total_throughput, 1e-6);
+    print("remote IO MB/s", result.remote_io_usage, 1e-6);
+    print("fairness", result.fairness_ratio, 1.0);
+  }
+
+  if (!flags.GetString("dump-jobs").empty()) {
+    std::ofstream out(flags.GetString("dump-jobs"));
+    out << "id,submit_seconds,start_seconds,finish_seconds,jct_seconds\n";
+    for (const JobResult& j : result.jobs) {
+      out << j.id << "," << j.submit_time << "," << j.first_start_time << "," << j.finish_time
+          << "," << j.Jct() << "\n";
+    }
+  }
+  return 0;
+}
