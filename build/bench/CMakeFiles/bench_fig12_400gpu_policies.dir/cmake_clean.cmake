@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_400gpu_policies.dir/bench_fig12_400gpu_policies.cc.o"
+  "CMakeFiles/bench_fig12_400gpu_policies.dir/bench_fig12_400gpu_policies.cc.o.d"
+  "bench_fig12_400gpu_policies"
+  "bench_fig12_400gpu_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_400gpu_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

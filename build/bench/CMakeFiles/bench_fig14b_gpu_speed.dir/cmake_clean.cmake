@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_gpu_speed.dir/bench_fig14b_gpu_speed.cc.o"
+  "CMakeFiles/bench_fig14b_gpu_speed.dir/bench_fig14b_gpu_speed.cc.o.d"
+  "bench_fig14b_gpu_speed"
+  "bench_fig14b_gpu_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_gpu_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

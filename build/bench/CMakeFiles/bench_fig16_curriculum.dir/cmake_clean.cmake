@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_curriculum.dir/bench_fig16_curriculum.cc.o"
+  "CMakeFiles/bench_fig16_curriculum.dir/bench_fig16_curriculum.cc.o.d"
+  "bench_fig16_curriculum"
+  "bench_fig16_curriculum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_curriculum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

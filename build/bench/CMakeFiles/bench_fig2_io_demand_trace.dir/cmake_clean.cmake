@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_io_demand_trace.dir/bench_fig2_io_demand_trace.cc.o"
+  "CMakeFiles/bench_fig2_io_demand_trace.dir/bench_fig2_io_demand_trace.cc.o.d"
+  "bench_fig2_io_demand_trace"
+  "bench_fig2_io_demand_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_io_demand_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_peer_read_scaling.dir/bench_fig3_peer_read_scaling.cc.o"
+  "CMakeFiles/bench_fig3_peer_read_scaling.dir/bench_fig3_peer_read_scaling.cc.o.d"
+  "bench_fig3_peer_read_scaling"
+  "bench_fig3_peer_read_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_peer_read_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_microbenchmark.dir/bench_table6_microbenchmark.cc.o"
+  "CMakeFiles/bench_table6_microbenchmark.dir/bench_table6_microbenchmark.cc.o.d"
+  "bench_table6_microbenchmark"
+  "bench_table6_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

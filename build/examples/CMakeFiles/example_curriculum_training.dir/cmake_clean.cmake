@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_curriculum_training.dir/curriculum_training.cpp.o"
+  "CMakeFiles/example_curriculum_training.dir/curriculum_training.cpp.o.d"
+  "curriculum_training"
+  "curriculum_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_curriculum_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

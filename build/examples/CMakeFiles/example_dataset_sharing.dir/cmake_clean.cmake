@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dataset_sharing.dir/dataset_sharing.cpp.o"
+  "CMakeFiles/example_dataset_sharing.dir/dataset_sharing.cpp.o.d"
+  "dataset_sharing"
+  "dataset_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dataset_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_realtime_cluster.dir/realtime_cluster.cpp.o"
+  "CMakeFiles/example_realtime_cluster.dir/realtime_cluster.cpp.o.d"
+  "realtime_cluster"
+  "realtime_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_realtime_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/analytic.cc" "src/CMakeFiles/silod.dir/cache/analytic.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/analytic.cc.o.d"
+  "/root/repo/src/cache/cache_manager.cc" "src/CMakeFiles/silod.dir/cache/cache_manager.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/cache_manager.cc.o.d"
+  "/root/repo/src/cache/coordl.cc" "src/CMakeFiles/silod.dir/cache/coordl.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/coordl.cc.o.d"
+  "/root/repo/src/cache/distributed_cache.cc" "src/CMakeFiles/silod.dir/cache/distributed_cache.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/distributed_cache.cc.o.d"
+  "/root/repo/src/cache/item_cache.cc" "src/CMakeFiles/silod.dir/cache/item_cache.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/item_cache.cc.o.d"
+  "/root/repo/src/cache/quiver.cc" "src/CMakeFiles/silod.dir/cache/quiver.cc.o" "gcc" "src/CMakeFiles/silod.dir/cache/quiver.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/silod.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/silod.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/silod.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/silod.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/silod.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/silod.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/silod.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/silod.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/silod.dir/common/status.cc.o" "gcc" "src/CMakeFiles/silod.dir/common/status.cc.o.d"
+  "/root/repo/src/core/data_manager.cc" "src/CMakeFiles/silod.dir/core/data_manager.cc.o" "gcc" "src/CMakeFiles/silod.dir/core/data_manager.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/silod.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/silod.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/CMakeFiles/silod.dir/core/recovery.cc.o" "gcc" "src/CMakeFiles/silod.dir/core/recovery.cc.o.d"
+  "/root/repo/src/core/silod_scheduler.cc" "src/CMakeFiles/silod.dir/core/silod_scheduler.cc.o" "gcc" "src/CMakeFiles/silod.dir/core/silod_scheduler.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/silod.dir/core/system.cc.o" "gcc" "src/CMakeFiles/silod.dir/core/system.cc.o.d"
+  "/root/repo/src/estimator/ioperf.cc" "src/CMakeFiles/silod.dir/estimator/ioperf.cc.o" "gcc" "src/CMakeFiles/silod.dir/estimator/ioperf.cc.o.d"
+  "/root/repo/src/estimator/perf_model.cc" "src/CMakeFiles/silod.dir/estimator/perf_model.cc.o" "gcc" "src/CMakeFiles/silod.dir/estimator/perf_model.cc.o.d"
+  "/root/repo/src/estimator/profiler.cc" "src/CMakeFiles/silod.dir/estimator/profiler.cc.o" "gcc" "src/CMakeFiles/silod.dir/estimator/profiler.cc.o.d"
+  "/root/repo/src/rt/rt_cluster.cc" "src/CMakeFiles/silod.dir/rt/rt_cluster.cc.o" "gcc" "src/CMakeFiles/silod.dir/rt/rt_cluster.cc.o.d"
+  "/root/repo/src/sched/allocation.cc" "src/CMakeFiles/silod.dir/sched/allocation.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/allocation.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/CMakeFiles/silod.dir/sched/fifo.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/fifo.cc.o.d"
+  "/root/repo/src/sched/gavel.cc" "src/CMakeFiles/silod.dir/sched/gavel.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/gavel.cc.o.d"
+  "/root/repo/src/sched/greedy.cc" "src/CMakeFiles/silod.dir/sched/greedy.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/greedy.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/CMakeFiles/silod.dir/sched/policy.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/policy.cc.o.d"
+  "/root/repo/src/sched/sjf.cc" "src/CMakeFiles/silod.dir/sched/sjf.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/sjf.cc.o.d"
+  "/root/repo/src/sched/storage_policies.cc" "src/CMakeFiles/silod.dir/sched/storage_policies.cc.o" "gcc" "src/CMakeFiles/silod.dir/sched/storage_policies.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/CMakeFiles/silod.dir/sim/cluster.cc.o" "gcc" "src/CMakeFiles/silod.dir/sim/cluster.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/silod.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/silod.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/fine_engine.cc" "src/CMakeFiles/silod.dir/sim/fine_engine.cc.o" "gcc" "src/CMakeFiles/silod.dir/sim/fine_engine.cc.o.d"
+  "/root/repo/src/sim/flow_engine.cc" "src/CMakeFiles/silod.dir/sim/flow_engine.cc.o" "gcc" "src/CMakeFiles/silod.dir/sim/flow_engine.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/silod.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/silod.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/storage/data_pipeline.cc" "src/CMakeFiles/silod.dir/storage/data_pipeline.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/data_pipeline.cc.o.d"
+  "/root/repo/src/storage/fabric.cc" "src/CMakeFiles/silod.dir/storage/fabric.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/fabric.cc.o.d"
+  "/root/repo/src/storage/inmem_remote.cc" "src/CMakeFiles/silod.dir/storage/inmem_remote.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/inmem_remote.cc.o.d"
+  "/root/repo/src/storage/placement.cc" "src/CMakeFiles/silod.dir/storage/placement.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/placement.cc.o.d"
+  "/root/repo/src/storage/remote_store.cc" "src/CMakeFiles/silod.dir/storage/remote_store.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/remote_store.cc.o.d"
+  "/root/repo/src/storage/token_bucket.cc" "src/CMakeFiles/silod.dir/storage/token_bucket.cc.o" "gcc" "src/CMakeFiles/silod.dir/storage/token_bucket.cc.o.d"
+  "/root/repo/src/workload/curriculum.cc" "src/CMakeFiles/silod.dir/workload/curriculum.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/curriculum.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/silod.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/CMakeFiles/silod.dir/workload/job.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/job.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/CMakeFiles/silod.dir/workload/model_zoo.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/model_zoo.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/CMakeFiles/silod.dir/workload/trace_gen.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/trace_gen.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/silod.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/silod.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

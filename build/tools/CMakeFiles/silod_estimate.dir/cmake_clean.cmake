@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silod_estimate.dir/silod_estimate.cc.o"
+  "CMakeFiles/silod_estimate.dir/silod_estimate.cc.o.d"
+  "silod_estimate"
+  "silod_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silod_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silod_sim.dir/silod_sim.cc.o"
+  "CMakeFiles/silod_sim.dir/silod_sim.cc.o.d"
+  "silod_sim"
+  "silod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
