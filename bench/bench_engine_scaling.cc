@@ -1,0 +1,129 @@
+// Engine-scaling harness: events/sec of the fine engine's two stepping paths.
+//
+// Runs 64/256/1024-job synthetic traces through the indexed event-calendar
+// path and the O(jobs)-scan escape hatch (FineEngineOptions::use_linear_scan),
+// checks the results are bit-identical, and reports events/sec for each.  The
+// calendar turns the three per-event full-job scans into O(log n) heap work,
+// which is what lets the big benchmarks (Fig. 10/12 scales) grow with cluster
+// size.  Emits BENCH_engine_scaling.json for regression tracking.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+namespace {
+
+// A saturating mix: every job runs concurrently (GPUs = jobs) over its own
+// partially cacheable dataset, so the miss set stays large and every event
+// exercises the stepping machinery at full cluster width.
+Trace ScalingTrace(int num_jobs, std::uint64_t seed) {
+  const ModelZoo zoo;
+  Rng rng(seed);
+  Trace trace;
+  for (int i = 0; i < num_jobs; ++i) {
+    const Bytes dataset_size = GB(1.0 + 3.0 * rng.NextDouble());
+    const DatasetId d =
+        trace.catalog.Add("d" + std::to_string(i), dataset_size, MB(32));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo,
+                          i % 3 == 0 ? "EfficientNetB1" : "ResNet-50", 1, d, 1.0,
+                          /*submit_time=*/Minutes(0.5) * i);
+    job.total_bytes = static_cast<Bytes>((2.0 + 2.0 * rng.NextDouble()) *
+                                         static_cast<double>(dataset_size));
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+SimConfig ScalingCluster(int num_jobs) {
+  SimConfig config;
+  config.resources.total_gpus = num_jobs;
+  config.resources.total_cache = GB(1.2) * num_jobs;  // Partial coverage.
+  config.resources.remote_io = MBps(40) * num_jobs;   // Miss fetches stay fluid.
+  config.resources.num_servers = std::max(1, num_jobs / 4);
+  config.reschedule_period = Minutes(10);
+  return config;
+}
+
+struct PathStats {
+  double wall_s = 0;
+  std::uint64_t steps = 0;
+  double events_per_s = 0;
+};
+
+PathStats TimeRun(const Trace& trace, const SimConfig& sim, bool linear,
+                  SimResult* out) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kFifo;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = sim;
+  config.engine = EngineKind::kFine;
+  config.fine.use_linear_scan = linear;
+  const auto start = std::chrono::steady_clock::now();
+  *out = RunExperiment(trace, config);
+  const auto end = std::chrono::steady_clock::now();
+  PathStats stats;
+  stats.wall_s = std::chrono::duration<double>(end - start).count();
+  stats.steps = out->steps.steps;
+  stats.events_per_s =
+      stats.wall_s > 0 ? static_cast<double>(stats.steps) / stats.wall_s : 0;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_engine_scaling.json";
+  const std::vector<int> sizes = {64, 256, 1024};
+
+  Table table({"jobs", "linear ev/s", "calendar ev/s", "speedup", "identical"});
+  std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n  \"configs\": [\n";
+  bool all_identical = true;
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const int n = sizes[i];
+    const Trace trace = ScalingTrace(n, /*seed=*/17);
+    const SimConfig sim = ScalingCluster(n);
+
+    SimResult linear_result;
+    SimResult calendar_result;
+    const PathStats linear = TimeRun(trace, sim, /*linear=*/true, &linear_result);
+    const PathStats calendar =
+        TimeRun(trace, sim, /*linear=*/false, &calendar_result);
+    const bool identical = PhysicallyIdentical(linear_result, calendar_result);
+    all_identical = all_identical && identical;
+    const double speedup =
+        calendar.wall_s > 0 ? linear.wall_s / calendar.wall_s : 0;
+
+    table.AddRow({std::to_string(n), Fmt(linear.events_per_s), Fmt(calendar.events_per_s),
+                  Fmt(speedup, 2), identical ? "yes" : "NO"});
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"jobs\": %d, \"events\": %llu,\n"
+        "     \"linear\": {\"wall_s\": %.4f, \"events_per_s\": %.0f},\n"
+        "     \"calendar\": {\"wall_s\": %.4f, \"events_per_s\": %.0f},\n"
+        "     \"speedup\": %.3f, \"identical\": %s}%s\n",
+        n, static_cast<unsigned long long>(calendar.steps), linear.wall_s,
+        linear.events_per_s, calendar.wall_s, calendar.events_per_s, speedup,
+        identical ? "true" : "false", i + 1 < sizes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  table.Print();
+  std::ofstream(out_path) << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: stepping paths diverged\n");
+    return 1;
+  }
+  return 0;
+}

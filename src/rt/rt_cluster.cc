@@ -116,23 +116,28 @@ void RtCluster::TrainerLoop(RtJob& job) {
   const double block_compute =
       static_cast<double>(dataset.block_size) / job.spec->ideal_io;
   job.start = WallNow();
-  for (std::int64_t done = 0; done < job.blocks_total && !stopping_.load(); ++done) {
+  for (std::int64_t done = 0; done < job.blocks_total; ++done) {
     {
       std::unique_lock<std::mutex> lock(job.mu);
       job.cv.wait(lock, [&] { return stopping_.load() || job.staged > 0; });
-      if (stopping_.load() && job.staged == 0) {
-        return;
+      if (stopping_.load()) {
+        return;  // Aborted: leave the job uncompleted, staged blocks unconsumed.
       }
       --job.staged;
       ++job.consumed;
     }
     job.cv.notify_all();
     // The paper's GPU-acceleration sleep: compute replaced by its profiled
-    // duration.
+    // duration.  Shutting down must not pay it once per staged block — with a
+    // deep pipeline that stretches teardown by pipeline_depth x block_compute.
+    if (stopping_.load()) {
+      return;
+    }
     SleepSeconds(block_compute);
     job.blocks_done.fetch_add(1);
   }
   job.finish = WallNow();
+  job.completed.store(true);
   unfinished_.fetch_sub(1);
 }
 
@@ -217,10 +222,15 @@ RtResult RtCluster::Run() {
     r.id = job->spec->id;
     r.start = job->start;
     r.finish = job->finish;
+    r.completed = job->completed.load();
     r.cache_hits = job->hits.load();
     r.cache_misses = job->misses.load();
+    if (r.completed) {
+      result.makespan = std::max(result.makespan, r.finish);
+    } else {
+      ++result.unfinished_jobs;
+    }
     result.jobs.push_back(r);
-    result.makespan = std::max(result.makespan, r.finish);
   }
   std::sort(result.jobs.begin(), result.jobs.end(),
             [](const RtJobResult& a, const RtJobResult& b) { return a.id < b.id; });

@@ -49,7 +49,10 @@ struct RtOptions {
 struct RtJobResult {
   JobId id = kInvalidJob;
   Seconds start = 0;   // Wall seconds from Run() begin.
-  Seconds finish = 0;
+  Seconds finish = 0;  // Valid only when completed.
+  // False when Run() timed out before the job consumed all its blocks; start,
+  // finish and Runtime() are meaningless then (the job was aborted mid-run).
+  bool completed = false;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
 
@@ -58,7 +61,9 @@ struct RtJobResult {
 
 struct RtResult {
   std::vector<RtJobResult> jobs;
+  // Over completed jobs only; 0 if nothing completed.
   Seconds makespan = 0;
+  int unfinished_jobs = 0;
   bool timed_out = false;
 };
 
@@ -85,6 +90,7 @@ class RtCluster {
     std::mutex mu;
     std::atomic<std::int64_t> blocks_done{0};
     std::int64_t blocks_total = 0;
+    std::atomic<bool> completed{false};
     std::atomic<std::int64_t> hits{0};
     std::atomic<std::int64_t> misses{0};
     Seconds start = 0;

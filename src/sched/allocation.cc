@@ -61,7 +61,11 @@ Status AllocationPlan::Validate(const ClusterResources& resources) const {
     }
     cache += alloc.private_cache;
   }
-  if (cache > resources.total_cache) {
+  // Tolerate rounding: allocators derive byte quotas from floating-point
+  // shares, so handing out exactly total_cache can overshoot by a few ulps'
+  // worth of bytes.  Same epsilon as the remote-IO check below.
+  if (static_cast<double>(cache) >
+      static_cast<double>(resources.total_cache) * (1.0 + 1e-9) + 1.0) {
     return Status::ResourceExhausted("cache over-commit");
   }
   if (manages_remote_io) {

@@ -13,7 +13,6 @@ namespace silod {
 namespace {
 
 constexpr double kTimeEps = 1e-9;
-constexpr double kByteEps = 1.0;  // Sub-byte residue counts as complete.
 
 }  // namespace
 
@@ -41,6 +40,40 @@ FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
     s.rng = Rng(config_.seed ^ (0x9E37ULL * static_cast<std::uint64_t>(spec.id) + 1));
     metrics_.OnSubmit(spec);
   }
+  calendar_.Reset(jobs_.size());
+}
+
+void FineEngine::SetJobEvent(JobState& s, Seconds t) {
+  s.event_time = t;
+  if (options_.use_linear_scan) {
+    return;
+  }
+  ++counters_.calendar_updates;
+  if (std::isfinite(t)) {
+    calendar_.Update(s.spec->id, t);
+  } else {
+    calendar_.Remove(s.spec->id);
+  }
+}
+
+void FineEngine::EnterMissSet(JobState& s, Seconds now) {
+  SILOD_CHECK(s.miss_index < 0) << "job already in the miss set";
+  s.miss_index = static_cast<std::int32_t>(miss_jobs_.size());
+  miss_jobs_.push_back(s.spec->id);
+  s.flow_rate = 0;
+  s.settle_time = now;
+  flows_dirty_ = true;
+}
+
+void FineEngine::LeaveMissSet(JobState& s) {
+  SILOD_CHECK(s.miss_index >= 0) << "job not in the miss set";
+  const std::int32_t last = miss_jobs_.back();
+  miss_jobs_[static_cast<std::size_t>(s.miss_index)] = last;
+  jobs_[static_cast<std::size_t>(last)].miss_index = s.miss_index;
+  miss_jobs_.pop_back();
+  s.miss_index = -1;
+  s.flow_rate = 0;
+  flows_dirty_ = true;
 }
 
 Snapshot FineEngine::BuildSnapshot(Seconds now) {
@@ -70,11 +103,26 @@ Bytes FineEngine::EffectiveBytesFor(const JobState& s) {
   switch (plan_.cache_model) {
     case CacheModelKind::kDatasetQuota:
       return cache_manager_.EffectiveBytes(s.spec->id);
-    case CacheModelKind::kPerJobStatic:
+    case CacheModelKind::kPerJobStatic: {
       // Private cache contents are effective from the next epoch; the epoch
       // boundary is where callers re-read this, so current occupancy is the
-      // right proxy once an epoch completed.
-      return s.epochs_done > 0 && s.private_cache ? s.private_cache->used_bytes() : 0;
+      // right proxy once an epoch completed.  Curriculum jobs have no epoch
+      // structure (§7.4) and never increment epochs_done, so gate them on a
+      // warm-up they can actually reach: the private cache can admit nothing
+      // further, or a dataset's worth of blocks has been fetched.
+      if (!s.private_cache) {
+        return 0;
+      }
+      bool warm;
+      if (s.spec->curriculum) {
+        const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+        warm = s.private_cache->used_bytes() + d.block_size > s.private_cache->capacity() ||
+               s.blocks_fetched >= d.num_blocks;
+      } else {
+        warm = s.epochs_done > 0;
+      }
+      return warm ? s.private_cache->used_bytes() : 0;
+    }
     case CacheModelKind::kSharedLru:
     case CacheModelKind::kSharedLfu:
       return 0;  // No per-job attribution in a shared pool.
@@ -208,6 +256,7 @@ void FineEngine::StartNextFetch(JobState& s, Seconds now) {
   SILOD_CHECK(s.running && !s.finished) << "fetch for inactive job";
   if (s.blocks_fetched >= s.blocks_total) {
     s.phase = Phase::kDraining;
+    SetJobEvent(s, s.compute_finish);
     return;
   }
   const Dataset& d = trace_->catalog.Get(s.spec->dataset);
@@ -221,7 +270,7 @@ void FineEngine::StartNextFetch(JobState& s, Seconds now) {
   const double window = options_.prefetch_window * block_compute;
   if (buffer_ahead > window + 1e-6) {
     s.phase = Phase::kBlocked;
-    s.unblock_time = std::max(now, s.compute_finish - window);
+    SetJobEvent(s, std::max(now, s.compute_finish - window));
     return;
   }
 
@@ -230,10 +279,14 @@ void FineEngine::StartNextFetch(JobState& s, Seconds now) {
   const Bytes bytes = d.BlockBytes(block);
   if (CacheAccess(s, block)) {
     s.phase = Phase::kHitFetch;
-    s.hit_finish = now + static_cast<double>(bytes) / fabric_rate_;
+    SetJobEvent(s, now + static_cast<double>(bytes) / fabric_rate_);
   } else {
     s.phase = Phase::kMissFetch;
     s.fetch_remaining = static_cast<double>(bytes);
+    EnterMissSet(s, now);
+    // No completion projection until RecomputeFlows assigns a rate (which
+    // happens before the next next-event query; see Run()).
+    SetJobEvent(s, kInfiniteTime);
   }
 }
 
@@ -242,6 +295,7 @@ void FineEngine::OnFetchComplete(JobState& s, Seconds now) {
   const Bytes bytes = d.BlockBytes(s.current_block);
   if (s.phase == Phase::kMissFetch) {
     CacheAdmit(s, s.current_block);
+    LeaveMissSet(s);
   }
   s.compute_finish = std::max(s.compute_finish, now) + static_cast<double>(bytes) / s.spec->ideal_io;
   ++s.blocks_fetched;
@@ -257,22 +311,36 @@ void FineEngine::CacheAdmit(JobState& s, std::int64_t block) {
   (void)block;
 }
 
+// Recomputes the max-min fluid rates over the miss set, then settles and
+// re-projects only the jobs whose rates actually changed.  MaxMinShare's
+// output per flow depends only on the multiset of caps (satisfied flows get
+// their cap, the rest the common water level), so the iteration order of
+// miss_jobs_ cannot perturb the result — both stepping paths agree
+// bit-for-bit.
 void FineEngine::RecomputeFlows(Seconds now) {
-  (void)now;
-  std::vector<JobState*> flows;
-  std::vector<BytesPerSec> demands;
+  ++counters_.flow_recomputes;
+  std::vector<BytesPerSec> demands(miss_jobs_.size(), kUnlimitedRate);
   std::vector<BytesPerSec> caps;
-  for (JobState& s : jobs_) {
-    if (s.running && !s.finished && s.phase == Phase::kMissFetch) {
-      flows.push_back(&s);
-      demands.push_back(kUnlimitedRate);
-      caps.push_back(std::min(s.throttle, config_.resources.per_job_remote_cap));
-    }
+  caps.reserve(miss_jobs_.size());
+  for (const std::int32_t id : miss_jobs_) {
+    caps.push_back(std::min(jobs_[static_cast<std::size_t>(id)].throttle,
+                            config_.resources.per_job_remote_cap));
   }
   const std::vector<BytesPerSec> rates =
       MaxMinShare(demands, caps, config_.resources.remote_io);
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    flows[i]->flow_rate = rates[i];
+  for (std::size_t i = 0; i < miss_jobs_.size(); ++i) {
+    JobState& s = jobs_[static_cast<std::size_t>(miss_jobs_[i])];
+    if (rates[i] == s.flow_rate) {
+      continue;  // Unchanged rate: the projected completion stays exact.
+    }
+    ++counters_.flow_rate_changes;
+    // Settle the fluid at the old rate up to `now`, then re-project.
+    s.fetch_remaining =
+        std::max(0.0, s.fetch_remaining - s.flow_rate * (now - s.settle_time));
+    s.settle_time = now;
+    s.flow_rate = rates[i];
+    SetJobEvent(s, s.flow_rate > 0 ? now + s.fetch_remaining / s.flow_rate
+                                   : kInfiniteTime);
   }
 }
 
@@ -321,6 +389,45 @@ void FineEngine::RecordMetrics(Seconds now) {
   metrics_.OnRates(now, total, ideal, io, fairness, eff_den > 0 ? eff_num / eff_den : 1.0);
 }
 
+// Fires the event the job is currently waiting on.  Cross-job effects (flow
+// rates) are deferred through flows_dirty_, so the order in which several
+// simultaneous jobs fire cannot change any of their outcomes — but it is
+// still pinned to ascending job id on both stepping paths for bit-identical
+// RNG and cache interleaving.
+void FineEngine::FireJobEvent(JobState& s, Seconds now) {
+  switch (s.phase) {
+    case Phase::kMissFetch:
+      ++counters_.miss_completions;
+      s.fetch_remaining = 0;
+      s.settle_time = now;
+      OnFetchComplete(s, now);
+      break;
+    case Phase::kHitFetch:
+      ++counters_.hit_completions;
+      OnFetchComplete(s, now);
+      break;
+    case Phase::kBlocked:
+      ++counters_.unblocks;
+      // Re-enter the fetch path with the drained buffer.
+      s.phase = Phase::kIdle;
+      StartNextFetch(s, now);
+      break;
+    case Phase::kDraining:
+      ++counters_.drains;
+      s.finished = true;
+      s.running = false;
+      s.phase = Phase::kIdle;
+      SetJobEvent(s, kInfiniteTime);
+      metrics_.OnFinish(s.spec->id, now);
+      if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+        cache_manager_.UnregisterJob(s.spec->id);
+      }
+      break;
+    case Phase::kIdle:
+      break;
+  }
+}
+
 SimResult FineEngine::Run() {
   std::vector<JobId> arrivals;
   for (const JobSpec& spec : trace_->jobs) {
@@ -336,10 +443,9 @@ SimResult FineEngine::Run() {
   Seconds next_tick = t + config_.reschedule_period;
   Seconds next_sample = t;
   bool need_resched = true;
-  std::uint64_t steps = 0;
 
   while (!metrics_.AllFinished()) {
-    SILOD_CHECK(++steps < 2'000'000'000ULL) << "fine engine step limit exceeded";
+    SILOD_CHECK(++counters_.steps < 2'000'000'000ULL) << "fine engine step limit exceeded";
     SILOD_CHECK(t <= config_.max_time) << "simulation exceeded max_time at t=" << t;
 
     while (next_arrival < arrivals.size()) {
@@ -352,105 +458,70 @@ SimResult FineEngine::Run() {
       need_resched = true;
     }
     if (need_resched) {
+      ++counters_.reschedules;
       Reschedule(t);
       need_resched = false;
+      flows_dirty_ = true;  // Throttles may have moved.
     }
-    RecomputeFlows(t);
+    if (flows_dirty_) {
+      RecomputeFlows(t);
+      flows_dirty_ = false;
+    }
     if (t + kTimeEps >= next_sample) {
       RecordMetrics(t);
       next_sample = t + options_.sample_period;
     }
 
-    // Next event time.
-    Seconds dt = kInfiniteTime;
+    // Next event: the earliest of the next arrival, the reschedule tick, the
+    // metrics sample, and the per-job calendar.  Absolute times throughout so
+    // both stepping paths jump to exactly the same instants.
+    Seconds next_event = std::min(next_tick, next_sample);
     if (next_arrival < arrivals.size()) {
-      dt = std::min(dt, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])]
-                                .submit_time -
-                            t);
+      next_event = std::min(
+          next_event, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])].submit_time);
     }
-    dt = std::min(dt, next_tick - t);
-    dt = std::min(dt, next_sample - t);
-    for (const JobState& s : jobs_) {
-      if (!s.running || s.finished) {
-        continue;
+    if (options_.use_linear_scan) {
+      for (const JobState& s : jobs_) {
+        if (s.running && !s.finished) {
+          next_event = std::min(next_event, s.event_time);
+        }
       }
-      switch (s.phase) {
-        case Phase::kMissFetch:
-          if (s.flow_rate > 0) {
-            dt = std::min(dt, s.fetch_remaining / s.flow_rate);
-          }
-          break;
-        case Phase::kHitFetch:
-          dt = std::min(dt, s.hit_finish - t);
-          break;
-        case Phase::kBlocked:
-          dt = std::min(dt, s.unblock_time - t);
-          break;
-        case Phase::kDraining:
-          dt = std::min(dt, s.compute_finish - t);
-          break;
-        case Phase::kIdle:
-          break;
-      }
+    } else {
+      next_event = std::min(next_event, calendar_.PeekTime());
     }
-    SILOD_CHECK(std::isfinite(dt)) << "fine engine stalled at t=" << t;
-    dt = std::max(dt, 0.0);
-
-    // Advance fluid flows.
-    for (JobState& s : jobs_) {
-      if (s.running && !s.finished && s.phase == Phase::kMissFetch) {
-        s.fetch_remaining = std::max(0.0, s.fetch_remaining - s.flow_rate * dt);
-      }
-    }
-    t += dt;
+    SILOD_CHECK(std::isfinite(next_event)) << "fine engine stalled at t=" << t;
+    t = std::max(t, next_event);
 
     if (t + kTimeEps >= next_tick) {
       next_tick += config_.reschedule_period;
       need_resched = true;
     }
 
-    // Fire matured per-job events.
-    for (JobState& s : jobs_) {
-      if (!s.running || s.finished) {
-        continue;
+    // Fire matured per-job events in ascending job id.  Events scheduled
+    // during this pass (e.g. an instantaneous unblock) fire on the next
+    // iteration, on both paths.
+    if (options_.use_linear_scan) {
+      for (JobState& s : jobs_) {
+        if (s.running && !s.finished && t + kTimeEps >= s.event_time) {
+          FireJobEvent(s, t);
+        }
       }
-      switch (s.phase) {
-        case Phase::kMissFetch:
-          if (s.fetch_remaining <= kByteEps) {
-            OnFetchComplete(s, t);
-          }
-          break;
-        case Phase::kHitFetch:
-          if (t + kTimeEps >= s.hit_finish) {
-            OnFetchComplete(s, t);
-          }
-          break;
-        case Phase::kBlocked:
-          if (t + kTimeEps >= s.unblock_time) {
-            // Re-enter the fetch path with the drained buffer.
-            s.phase = Phase::kIdle;
-            StartNextFetch(s, t);
-          }
-          break;
-        case Phase::kDraining:
-          if (t + kTimeEps >= s.compute_finish) {
-            s.finished = true;
-            s.running = false;
-            s.phase = Phase::kIdle;
-            metrics_.OnFinish(s.spec->id, t);
-            if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
-              cache_manager_.UnregisterJob(s.spec->id);
-            }
-            need_resched = true;
-          }
-          break;
-        case Phase::kIdle:
-          break;
+    } else {
+      due_.clear();
+      calendar_.PopDue(t + kTimeEps, due_);
+      std::sort(due_.begin(), due_.end());
+      for (const std::int32_t id : due_) {
+        JobState& s = jobs_[static_cast<std::size_t>(id)];
+        if (s.running && !s.finished) {
+          FireJobEvent(s, t);
+        }
       }
     }
   }
   RecordMetrics(t);
-  return metrics_.Finalize();
+  SimResult result = metrics_.Finalize();
+  result.steps = counters_;
+  return result;
 }
 
 }  // namespace silod

@@ -26,6 +26,7 @@
 #include "src/common/rng.h"
 #include "src/sched/policy.h"
 #include "src/sim/cluster.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/workload/curriculum.h"
 #include "src/workload/trace_gen.h"
@@ -40,6 +41,10 @@ struct FineEngineOptions {
   int prefetch_window = 256;
   // Metrics sampling period on top of event-driven samples.
   Seconds sample_period = Minutes(5);
+  // Escape hatch (one release): find next/due events by an O(jobs) scan
+  // instead of the indexed event calendar.  Both paths share the fluid
+  // arithmetic and must produce bit-identical results; see docs/MODEL.md §6.
+  bool use_linear_scan = false;
 };
 
 class FineEngine {
@@ -75,12 +80,22 @@ class FineEngine {
     std::int64_t iteration = 0;
 
     double compute_finish = 0;        // Virtual time compute drains the buffer.
-    double fetch_remaining = 0;       // Bytes left of the in-flight fetch (miss).
     std::int64_t current_block = -1;
-    double hit_finish = 0;            // Completion time of a hit fetch.
-    double unblock_time = 0;          // When kBlocked lifts.
+
+    // Fluid miss-fetch accounting, settled lazily: `fetch_remaining` is the
+    // bytes left as of `settle_time`; while the rate is constant the
+    // projected completion (event_time) is exact, so the residue is only
+    // re-settled when the rate changes or the fetch completes.
+    double fetch_remaining = 0;
+    Seconds settle_time = 0;
     BytesPerSec flow_rate = 0;        // Current fluid rate (miss fetch).
     BytesPerSec throttle = kUnlimitedRate;
+
+    // The job's next event (phase completion) in virtual time; kInfiniteTime
+    // for a rate-starved miss fetch.  Mirrored into the event calendar unless
+    // the linear-scan path is active.
+    Seconds event_time = kInfiniteTime;
+    std::int32_t miss_index = -1;     // Position in miss_jobs_; -1 if absent.
 
     std::unique_ptr<UniformItemCache> private_cache;  // CoorDL model.
     Rng rng{1};
@@ -98,6 +113,12 @@ class FineEngine {
   void RecordMetrics(Seconds now);
   Bytes EffectiveBytesFor(const JobState& s);
 
+  // Event-calendar plumbing (no-ops on the calendar under use_linear_scan).
+  void SetJobEvent(JobState& s, Seconds t);
+  void EnterMissSet(JobState& s, Seconds now);
+  void LeaveMissSet(JobState& s);
+  void FireJobEvent(JobState& s, Seconds now);
+
   const Trace* trace_;
   std::shared_ptr<Scheduler> scheduler_;
   SimConfig config_;
@@ -110,6 +131,12 @@ class FineEngine {
   BytesPerSec fabric_rate_ = 0;
   MetricsCollector metrics_;
   Rng rng_;
+
+  JobCalendar calendar_;                     // Next event per running job.
+  std::vector<std::int32_t> miss_jobs_;      // Jobs in Phase::kMissFetch.
+  std::vector<std::int32_t> due_;            // Scratch: keys due this step.
+  bool flows_dirty_ = true;                  // Miss set or throttles changed.
+  EngineStepCounters counters_;
 };
 
 }  // namespace silod

@@ -24,6 +24,42 @@ SampleSet SimResult::JctSamplesMinutes() const {
   return set;
 }
 
+namespace {
+
+bool SeriesIdentical(const TimeSeries& a, const TimeSeries& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.points()[i].first != b.points()[i].first ||
+        a.points()[i].second != b.points()[i].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PhysicallyIdentical(const SimResult& a, const SimResult& b) {
+  if (a.jobs.size() != b.jobs.size() || a.makespan != b.makespan) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobResult& x = a.jobs[i];
+    const JobResult& y = b.jobs[i];
+    if (x.id != y.id || x.submit_time != y.submit_time ||
+        x.first_start_time != y.first_start_time || x.finish_time != y.finish_time) {
+      return false;
+    }
+  }
+  return SeriesIdentical(a.total_throughput, b.total_throughput) &&
+         SeriesIdentical(a.ideal_throughput, b.ideal_throughput) &&
+         SeriesIdentical(a.remote_io_usage, b.remote_io_usage) &&
+         SeriesIdentical(a.fairness_ratio, b.fairness_ratio) &&
+         SeriesIdentical(a.effective_cache_ratio, b.effective_cache_ratio);
+}
+
 double SimResult::AvgFairness() const {
   if (fairness_ratio.empty() || makespan <= 0) {
     return 0;

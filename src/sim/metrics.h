@@ -25,6 +25,23 @@ struct JobResult {
   Seconds Jct() const { return finish_time - submit_time; }
 };
 
+// Per-phase event counters from the fine engine's stepping loop.  These make
+// performance regressions observable: `steps` bounds wall time, the per-phase
+// completion counts are invariant across stepping strategies (the same events
+// must fire either way), and `calendar_updates` measures indexing work (zero
+// on the linear-scan path).
+struct EngineStepCounters {
+  std::uint64_t steps = 0;             // Main-loop iterations.
+  std::uint64_t miss_completions = 0;  // Remote fetches finished.
+  std::uint64_t hit_completions = 0;   // Cache-hit fetches finished.
+  std::uint64_t unblocks = 0;          // Prefetch-window gates lifted.
+  std::uint64_t drains = 0;            // Jobs whose final compute drained.
+  std::uint64_t reschedules = 0;       // Scheduler invocations.
+  std::uint64_t flow_recomputes = 0;   // Max-min share recomputations.
+  std::uint64_t flow_rate_changes = 0; // Jobs whose fluid rate actually changed.
+  std::uint64_t calendar_updates = 0;  // Heap refreshes (event-calendar path).
+};
+
 struct SimResult {
   std::vector<JobResult> jobs;
   Seconds makespan = 0;
@@ -35,6 +52,8 @@ struct SimResult {
   TimeSeries fairness_ratio;         // min_j actual / equal-share (Eq. 8 value).
   TimeSeries effective_cache_ratio;  // Effective / allocated cache (Fig. 8).
 
+  EngineStepCounters steps;          // Fine engine only; zeros otherwise.
+
   double AvgJctSeconds() const;
   double AvgJctMinutes() const { return AvgJctSeconds() / 60.0; }
   double MakespanMinutes() const { return makespan / 60.0; }
@@ -42,6 +61,12 @@ struct SimResult {
   // Time-averaged fairness ratio over the whole run.
   double AvgFairness() const;
 };
+
+// True when two results agree bit-for-bit on every physical quantity: per-job
+// submit/start/finish times, makespan, and all time series.  Step counters are
+// deliberately excluded — the two fine-engine stepping paths count indexing
+// work differently while producing identical physics.
+bool PhysicallyIdentical(const SimResult& a, const SimResult& b);
 
 // Incremental collector driven by the engines.
 class MetricsCollector {

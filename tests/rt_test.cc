@@ -5,6 +5,8 @@
 // enforcement, and the SiloD-vs-baseline ordering.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "src/common/units.h"
 #include "src/core/silod_scheduler.h"
 #include "src/rt/rt_cluster.h"
@@ -134,6 +136,49 @@ TEST(RtCluster, TimeoutSurfacesInsteadOfHanging) {
                     TinyCluster(0, MBps(10)), options);
   const RtResult result = cluster.Run();
   EXPECT_TRUE(result.timed_out);
+}
+
+// Regression: an aborted job must not leak its zero-initialized finish time
+// into the makespan or masquerade as a completed run.
+TEST(RtCluster, TimeoutMarksJobsUnfinished) {
+  const Trace trace = TinyTrace(1, MB(8), 4.0);
+  RtOptions options;
+  options.max_wall_seconds = 0.05;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(0, MBps(10)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_TRUE(result.timed_out);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].completed);
+  EXPECT_EQ(result.unfinished_jobs, 1);
+  EXPECT_EQ(result.makespan, 0);  // No completed job contributes.
+}
+
+// Regression: with a deep pipeline of staged blocks, shutdown must not pay
+// one profiled compute sleep per staged block — the trainer checks stopping_
+// before each sleep, so teardown is bounded by a single block_compute.
+TEST(RtCluster, ShutdownDoesNotDrainStagedPipeline) {
+  const ModelZoo zoo;
+  Trace trace;
+  // 32 MB blocks at ResNet-50's f* ~ 114 MB/s: block_compute ~ 0.28 s.  The
+  // loader stages far faster than that, so the pipeline fills to depth.
+  const DatasetId d = trace.catalog.Add("big", MB(256), MB(32));
+  JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, 1.0, 0);
+  job.total_bytes = 4 * MB(256);  // ~9 s of compute; nowhere near finishing.
+  trace.jobs.push_back(job);
+
+  RtOptions options;
+  options.pipeline_depth = 8;  // Pre-fix drain: 8 x 0.28 s ~ 2.2 s extra.
+  options.max_wall_seconds = 0.3;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(256), GBps(10)), options);
+  const auto start = std::chrono::steady_clock::now();
+  const RtResult result = cluster.Run();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(result.timed_out);
+  // Timeout (0.3 s) + at most one in-flight compute sleep (0.28 s) + joins.
+  EXPECT_LT(elapsed, 1.5);
 }
 
 }  // namespace

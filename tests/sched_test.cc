@@ -344,6 +344,30 @@ TEST_F(SchedTest, ValidateCatchesCacheOverCommit) {
   EXPECT_FALSE(plan.Validate(snapshot().resources).ok());
 }
 
+// Regression: allocators derive byte quotas from floating-point shares, so a
+// plan handing out exactly total_cache can overshoot by a rounding residue.
+// Validate must tolerate that (same epsilon as the remote-IO check) while
+// still rejecting real over-commit.
+TEST_F(SchedTest, ValidateToleratesCacheRoundingResidue) {
+  AllocationPlan plan;
+  plan.dataset_cache[0] = snapshot().resources.total_cache + 1;  // One byte of residue.
+  EXPECT_TRUE(plan.Validate(snapshot().resources).ok());
+
+  plan.dataset_cache[0] = snapshot().resources.total_cache + MB(1);  // Genuine over-commit.
+  EXPECT_FALSE(plan.Validate(snapshot().resources).ok());
+
+  // Private (per-job-static) shares count against the same pool.
+  AllocationPlan coordl;
+  coordl.cache_model = CacheModelKind::kPerJobStatic;
+  coordl.jobs[0] = JobAllocation{true, 1, snapshot().resources.total_cache / 2 + 1,
+                                 kUnlimitedRate};
+  coordl.jobs[1] = JobAllocation{true, 1, snapshot().resources.total_cache / 2 + 1,
+                                 kUnlimitedRate};
+  EXPECT_TRUE(coordl.Validate(snapshot().resources).ok());  // 2 bytes of residue.
+  coordl.jobs[1] = JobAllocation{true, 1, snapshot().resources.total_cache, kUnlimitedRate};
+  EXPECT_FALSE(coordl.Validate(snapshot().resources).ok());
+}
+
 TEST_F(SchedTest, ValidateCatchesAllocationsToIdleJobs) {
   AllocationPlan plan;
   plan.jobs[0] = JobAllocation{false, 2, 0, kUnlimitedRate};

@@ -311,6 +311,107 @@ TEST(FineEngine, TwoJobsShareEgressFairly) {
   EXPECT_NEAR(result.jobs[1].Jct(), expected, 0.05 * expected);
 }
 
+// ---------------------------------------------------------- Event calendar --
+
+// Seeded multi-job trace with mixed dataset sizes, shared datasets, staggered
+// arrivals and a few curriculum jobs — enough variety to exercise every phase
+// transition of the stepping loop.
+Trace SeededMixTrace(int num_jobs, std::uint64_t seed) {
+  const ModelZoo zoo;
+  Rng rng(seed);
+  Trace trace;
+  for (int i = 0; i < num_jobs; ++i) {
+    const Bytes dataset_size = GB(0.5 + 2.0 * rng.NextDouble());
+    const DatasetId d =
+        trace.catalog.Add("mix" + std::to_string(i), dataset_size, MB(16));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo,
+                          i % 3 == 0 ? "EfficientNetB1" : "ResNet-50", 1, d, 1.0,
+                          /*submit_time=*/Minutes(1) * i);
+    job.total_bytes = static_cast<Bytes>((1.5 + 2.0 * rng.NextDouble()) *
+                                         static_cast<double>(dataset_size));
+    if (i % 16 == 7) {
+      job.curriculum = true;
+      job.regular = false;
+      job.curriculum_params.step = 100;
+    }
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+// The event-calendar and linear-scan stepping paths share all fluid
+// arithmetic; any divergence in event indexing shows up as a bit-level
+// difference in job times or sampled series.
+TEST(FineEngine, CalendarStepBitIdenticalToLinearScan) {
+  const Trace trace = SeededMixTrace(/*num_jobs=*/64, /*seed=*/21);
+  SimConfig sim = SmallCluster(GB(40), MBps(400));
+  sim.resources.total_gpus = 64;
+  for (const CacheSystem cache :
+       {CacheSystem::kSiloD, CacheSystem::kAlluxio, CacheSystem::kCoorDl}) {
+    ExperimentConfig config;
+    config.cache = cache;
+    config.sim = sim;
+    config.engine = EngineKind::kFine;
+
+    config.fine.use_linear_scan = false;
+    const SimResult calendar = RunExperiment(trace, config);
+    config.fine.use_linear_scan = true;
+    const SimResult linear = RunExperiment(trace, config);
+
+    EXPECT_TRUE(PhysicallyIdentical(calendar, linear)) << CacheSystemName(cache);
+    // The same events must fire on both paths; only indexing work may differ.
+    EXPECT_EQ(calendar.steps.steps, linear.steps.steps) << CacheSystemName(cache);
+    EXPECT_EQ(calendar.steps.miss_completions, linear.steps.miss_completions)
+        << CacheSystemName(cache);
+    EXPECT_EQ(calendar.steps.hit_completions, linear.steps.hit_completions)
+        << CacheSystemName(cache);
+    EXPECT_EQ(calendar.steps.unblocks, linear.steps.unblocks) << CacheSystemName(cache);
+    EXPECT_EQ(calendar.steps.drains, linear.steps.drains) << CacheSystemName(cache);
+    EXPECT_EQ(calendar.steps.flow_recomputes, linear.steps.flow_recomputes)
+        << CacheSystemName(cache);
+    EXPECT_GT(calendar.steps.calendar_updates, 0u) << CacheSystemName(cache);
+    EXPECT_EQ(linear.steps.calendar_updates, 0u) << CacheSystemName(cache);
+  }
+}
+
+TEST(FineEngine, StepCountersAccountForEveryBlock) {
+  const Trace trace = SingleJobTrace(3.0);
+  ExperimentConfig config;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(GB(10), MBps(50));
+  config.engine = EngineKind::kFine;
+  const SimResult result = RunExperiment(trace, config);
+  // 10 GB / 16 MB = 625 blocks per epoch, 3 epochs; every block completes as
+  // exactly one miss or hit.
+  EXPECT_EQ(result.steps.miss_completions + result.steps.hit_completions, 1875u);
+  EXPECT_EQ(result.steps.drains, 1u);
+  EXPECT_GT(result.steps.steps, 0u);
+}
+
+// Regression: curriculum jobs never cross an epoch boundary, so the
+// per-job-static (CoorDL) model must not gate their effective cache on
+// epochs_done — before the fix they permanently reported zero.
+TEST(FineEngine, CurriculumJobReportsEffectiveCacheUnderCoorDl) {
+  const ModelZoo zoo;
+  Trace trace;
+  const Bytes dataset_size = GB(2);
+  const DatasetId d = trace.catalog.Add("sorted", dataset_size, MB(16));
+  JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, 1.0, 0);
+  job.total_bytes = 3 * dataset_size;
+  job.curriculum = true;
+  job.regular = false;
+  job.curriculum_params.step = 50;  // Coverage expands quickly.
+  trace.jobs.push_back(job);
+
+  ExperimentConfig config;
+  config.cache = CacheSystem::kCoorDl;
+  config.sim = SmallCluster(GB(1), MBps(50));
+  config.engine = EngineKind::kFine;
+  config.fine.sample_period = 2.0;  // The run lasts ~1 min of sim time.
+  const SimResult result = RunExperiment(trace, config);
+  EXPECT_GT(result.effective_cache_ratio.ValueAt(result.makespan * 0.9), 0.5);
+}
+
 // --------------------------------------------------------------- Fidelity --
 
 // The §7.2-style cross-validation: both engines run the same multi-job trace

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   flags.Define("scheduler", "fifo", "fifo | sjf | gavel");
   flags.Define("cache-system", "silod", "silod | alluxio | coordl | quiver");
   flags.Define("engine", "flow", "flow | fine");
+  flags.Define("fine-linear-scan", "false",
+               "fine engine: step by O(jobs) scans instead of the event calendar");
   flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
   flags.Define("jobs", "300", "jobs to generate (ignored with --trace)");
   flags.Define("interarrival-min", "4", "mean job inter-arrival (minutes)");
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
   }
   config.sim.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
   config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
+  config.fine.use_linear_scan = flags.GetBool("fine-linear-scan");
 
   std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
               "engine)\n",
@@ -147,6 +150,14 @@ int main(int argc, char** argv) {
   summary.AddRow({"avg fairness ratio", Fmt(result.AvgFairness(), 3)});
   summary.AddRow({"avg remote IO (MB/s)",
                   Fmt(ToMBps(result.remote_io_usage.TimeAverage(0, result.makespan)))});
+  if (config.engine == EngineKind::kFine) {
+    summary.AddRow({"engine steps", std::to_string(result.steps.steps)});
+    summary.AddRow({"engine events (miss/hit/unblock/drain)",
+                    std::to_string(result.steps.miss_completions) + "/" +
+                        std::to_string(result.steps.hit_completions) + "/" +
+                        std::to_string(result.steps.unblocks) + "/" +
+                        std::to_string(result.steps.drains)});
+  }
   summary.Print();
 
   if (flags.GetBool("series")) {
