@@ -124,7 +124,11 @@ void RtCluster::TrainerLoop(RtJob& job) {
         return;  // Aborted: leave the job uncompleted, staged blocks unconsumed.
       }
       --job.staged;
-      ++job.consumed;
+      ++job.consumed;  // On abort below, this last block stays out of
+                       // blocks_done: consumed counts dequeues, blocks_done
+                       // counts finished compute, and the abandoned compute
+                       // never ran.  Aborted jobs are flagged incomplete, so
+                       // the one-off divergence is cosmetic.
     }
     job.cv.notify_all();
     // The paper's GPU-acceleration sleep: compute replaced by its profiled

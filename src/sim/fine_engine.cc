@@ -109,7 +109,11 @@ Bytes FineEngine::EffectiveBytesFor(const JobState& s) {
       // right proxy once an epoch completed.  Curriculum jobs have no epoch
       // structure (§7.4) and never increment epochs_done, so gate them on a
       // warm-up they can actually reach: the private cache can admit nothing
-      // further, or a dataset's worth of blocks has been fetched.
+      // further, or a dataset's worth of blocks has been fetched.  The
+      // fullness check uses the nominal block_size as a deliberately
+      // conservative proxy — only the dataset's tail block can be smaller
+      // (Dataset::BlockBytes), so at worst warm-up is declared one
+      // sub-nominal block early.
       if (!s.private_cache) {
         return 0;
       }
@@ -393,8 +397,10 @@ void FineEngine::RecordMetrics(Seconds now) {
 // rates) are deferred through flows_dirty_, so the order in which several
 // simultaneous jobs fire cannot change any of their outcomes — but it is
 // still pinned to ascending job id on both stepping paths for bit-identical
-// RNG and cache interleaving.
-void FineEngine::FireJobEvent(JobState& s, Seconds now) {
+// RNG and cache interleaving.  Returns true when the job finished, so the
+// caller can reschedule the freed GPUs/cache/throttles immediately instead
+// of leaving them idle until the next periodic tick.
+bool FineEngine::FireJobEvent(JobState& s, Seconds now) {
   switch (s.phase) {
     case Phase::kMissFetch:
       ++counters_.miss_completions;
@@ -422,10 +428,11 @@ void FineEngine::FireJobEvent(JobState& s, Seconds now) {
       if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
         cache_manager_.UnregisterJob(s.spec->id);
       }
-      break;
+      return true;
     case Phase::kIdle:
       break;
   }
+  return false;
 }
 
 SimResult FineEngine::Run() {
@@ -499,11 +506,13 @@ SimResult FineEngine::Run() {
 
     // Fire matured per-job events in ascending job id.  Events scheduled
     // during this pass (e.g. an instantaneous unblock) fire on the next
-    // iteration, on both paths.
+    // iteration, on both paths.  A finished job frees resources, so it
+    // triggers a reschedule at the top of the next iteration rather than
+    // waiting out the periodic tick.
     if (options_.use_linear_scan) {
       for (JobState& s : jobs_) {
         if (s.running && !s.finished && t + kTimeEps >= s.event_time) {
-          FireJobEvent(s, t);
+          need_resched = FireJobEvent(s, t) || need_resched;
         }
       }
     } else {
@@ -513,7 +522,7 @@ SimResult FineEngine::Run() {
       for (const std::int32_t id : due_) {
         JobState& s = jobs_[static_cast<std::size_t>(id)];
         if (s.running && !s.finished) {
-          FireJobEvent(s, t);
+          need_resched = FireJobEvent(s, t) || need_resched;
         }
       }
     }

@@ -117,7 +117,7 @@ class FineEngine {
   void SetJobEvent(JobState& s, Seconds t);
   void EnterMissSet(JobState& s, Seconds now);
   void LeaveMissSet(JobState& s);
-  void FireJobEvent(JobState& s, Seconds now);
+  bool FireJobEvent(JobState& s, Seconds now);  // True if the job finished.
 
   const Trace* trace_;
   std::shared_ptr<Scheduler> scheduler_;

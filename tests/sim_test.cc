@@ -412,6 +412,38 @@ TEST(FineEngine, CurriculumJobReportsEffectiveCacheUnderCoorDl) {
   EXPECT_GT(result.effective_cache_ratio.ValueAt(result.makespan * 0.9), 0.5);
 }
 
+// Regression: a job draining its last blocks frees its GPUs at the finish
+// instant, and that must trigger an immediate reschedule — a queued job
+// starts right there, not at the next periodic tick (which could be up to
+// reschedule_period later).  Both stepping paths once shared this omission,
+// so the bit-identity test alone cannot catch it; assert the absolute start
+// time on each path.
+TEST(FineEngine, QueuedJobStartsAtPredecessorFinishNotNextTick) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d = trace.catalog.Add("serial", GB(5), MB(16));
+  for (int i = 0; i < 2; ++i) {
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = GB(5);
+    trace.jobs.push_back(job);
+  }
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kFifo;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(GB(5), GBps(10));
+  config.sim.resources.total_gpus = 1;  // The jobs must run back to back.
+  config.engine = EngineKind::kFine;
+  for (const bool linear : {false, true}) {
+    config.fine.use_linear_scan = linear;
+    const SimResult result = RunExperiment(trace, config);
+    const double finish0 = result.jobs[0].finish_time;
+    // Job 0 is compute bound and finishes well inside the first 5-minute
+    // reschedule period; job 1 must not idle until that tick.
+    ASSERT_LT(finish0, Minutes(5)) << "linear=" << linear;
+    EXPECT_NEAR(result.jobs[1].first_start_time, finish0, 1e-6) << "linear=" << linear;
+  }
+}
+
 // --------------------------------------------------------------- Fidelity --
 
 // The §7.2-style cross-validation: both engines run the same multi-job trace
