@@ -1,0 +1,142 @@
+// Fault-churn harness: how gracefully does each cache system degrade when the
+// cluster misbehaves?
+//
+// Sweeps a seeded churn plan (cache-server crashes + job-worker crashes, §6)
+// over increasing crash rates and reports makespan / avg JCT per (system,
+// rate) cell on the flow engine.  The paper's fault-tolerance claim is that
+// failures cost performance, never correctness — so every cell also asserts
+// that all jobs complete.  SiloD's cache-aware allocation should degrade no
+// worse than CoorDL's static split, because lost cache is re-allocated on the
+// next control-loop tick instead of staying pinned to a dead server's share.
+//
+// Emits BENCH_fault_churn.json.  `--smoke` shrinks the sweep for CI (<30 s).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/fault/fault_plan.h"
+
+using namespace silod;
+using namespace silod::bench;
+
+namespace {
+
+Trace ChurnTrace(int num_jobs, std::uint64_t seed) {
+  TraceOptions options;
+  options.num_jobs = num_jobs;
+  options.mean_interarrival = Minutes(2);
+  options.median_duration = Minutes(45);
+  options.max_duration = Hours(4);
+  options.seed = seed;
+  return TraceGenerator(options).Generate();
+}
+
+struct Cell {
+  std::string system;
+  double crashes_per_hour = 0;
+  double makespan_min = 0;
+  double avg_jct_min = 0;
+  int server_crashes = 0;
+  int worker_crashes = 0;
+  std::int64_t blocks_lost = 0;
+  bool all_completed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_fault_churn.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int num_jobs = smoke ? 16 : 40;
+  const std::vector<double> rates = smoke ? std::vector<double>{0, 4}
+                                          : std::vector<double>{0, 1, 2, 4};
+  const std::vector<CacheSystem> systems = {CacheSystem::kSiloD, CacheSystem::kCoorDl};
+  const Trace trace = ChurnTrace(num_jobs, /*seed=*/11);
+
+  std::vector<Cell> cells;
+  bool ok = true;
+  for (const CacheSystem system : systems) {
+    for (const double rate : rates) {
+      SimConfig sim = MicroClusterConfig();
+      sim.reschedule_period = Minutes(5);
+      // Scarce cache relative to the working set: the regime where losing
+      // cached blocks (and re-allocating after the loss) actually matters.
+      sim.resources.total_cache = GB(150);
+      FaultChurnOptions churn;
+      churn.horizon = Hours(48);
+      churn.server_crashes_per_hour = rate;
+      churn.worker_crashes_per_hour = rate;
+      churn.num_servers = sim.resources.num_servers;
+      churn.num_jobs = num_jobs;
+      churn.seed = 29;  // Same plan for every system: an apples-to-apples sweep.
+      sim.faults = GenerateFaultPlan(churn);
+
+      const SimResult result =
+          Run(trace, SchedulerKind::kFifo, system, sim, EngineKind::kFlow);
+
+      Cell cell;
+      cell.system = CacheSystemName(system);
+      cell.crashes_per_hour = rate;
+      cell.makespan_min = result.MakespanMinutes();
+      cell.avg_jct_min = result.AvgJctMinutes();
+      cell.server_crashes = result.faults.server_crashes;
+      cell.worker_crashes = result.faults.worker_crashes;
+      cell.blocks_lost = result.faults.blocks_lost;
+      cell.all_completed = static_cast<int>(result.jobs.size()) == num_jobs;
+      for (const JobResult& j : result.jobs) {
+        cell.all_completed = cell.all_completed && j.finish_time > 0;
+      }
+      ok = ok && cell.all_completed && cell.makespan_min > 0;
+      cells.push_back(cell);
+    }
+  }
+
+  Table table({"system", "crashes/hr", "makespan (min)", "avg JCT (min)", "srv/wrk crashes",
+               "blocks lost", "completed"});
+  for (const Cell& c : cells) {
+    table.AddRow({c.system, Fmt(c.crashes_per_hour, 1), Fmt(c.makespan_min), Fmt(c.avg_jct_min),
+                  std::to_string(c.server_crashes) + "/" + std::to_string(c.worker_crashes),
+                  std::to_string(c.blocks_lost), c.all_completed ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::string json = "{\n  \"benchmark\": \"fault_churn\",\n  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"system\": \"%s\", \"crashes_per_hour\": %.1f, "
+                  "\"makespan_min\": %.2f, \"avg_jct_min\": %.2f, "
+                  "\"server_crashes\": %d, \"worker_crashes\": %d, "
+                  "\"blocks_lost\": %lld, \"all_completed\": %s}%s\n",
+                  c.system.c_str(), c.crashes_per_hour, c.makespan_min, c.avg_jct_min,
+                  c.server_crashes, c.worker_crashes,
+                  static_cast<long long>(c.blocks_lost),
+                  c.all_completed ? "true" : "false",
+                  i + 1 < cells.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  std::ofstream(out_path) << json;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: a churn cell lost a job or produced a degenerate run\n");
+    return 1;
+  }
+  return 0;
+}

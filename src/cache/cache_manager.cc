@@ -36,7 +36,11 @@ Status CacheManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size)
   }
   DatasetState& state = GetOrCreate(dataset);
   const Bytes delta = cache_size - state.quota;
-  if (total_allocated_ + delta > total_capacity_) {
+  // Shrinks are always legal: after a cache-server crash the pool capacity
+  // drops below the allocated total, and it is exactly the shrinks of the
+  // next plan that drain the over-commit — rejecting them would wedge the
+  // pool over capacity for good.
+  if (delta > 0 && total_allocated_ + delta > total_capacity_) {
     return Status::ResourceExhausted("cache pool over-committed");
   }
   total_allocated_ += delta;
@@ -112,6 +116,45 @@ Status CacheManager::AdmitBlock(const Dataset& dataset, std::int64_t block) {
   }
   state.blocks.emplace(block, ++generation_);
   state.used += bytes;
+  return Status::Ok();
+}
+
+void CacheManager::SetTotalCapacity(Bytes capacity) {
+  SILOD_CHECK(capacity >= 0) << "negative cache capacity";
+  total_capacity_ = capacity;
+}
+
+std::int64_t CacheManager::EvictRandomFraction(double fraction) {
+  SILOD_CHECK(fraction >= 0 && fraction <= 1) << "fraction out of [0, 1]";
+  std::int64_t evicted = 0;
+  for (auto& [id, state] : datasets_) {
+    std::vector<std::int64_t> resident;
+    resident.reserve(state.blocks.size());
+    for (const auto& [block, gen] : state.blocks) {
+      resident.push_back(block);
+    }
+    // Sorted before the shuffle so the outcome is independent of the
+    // unordered_map's iteration order (bit-identical across platforms).
+    std::sort(resident.begin(), resident.end());
+    rng_.Shuffle(resident);
+    const auto count = static_cast<std::size_t>(
+        static_cast<double>(resident.size()) * fraction + 0.5);
+    for (std::size_t i = 0; i < count; ++i) {
+      state.used -= state.dataset.BlockBytes(resident[i]);
+      state.blocks.erase(resident[i]);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+Status CacheManager::EvictBlock(DatasetId dataset, std::int64_t block) {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end() || it->second.blocks.count(block) == 0) {
+    return Status::NotFound("block not cached");
+  }
+  it->second.used -= it->second.dataset.BlockBytes(block);
+  it->second.blocks.erase(block);
   return Status::Ok();
 }
 

@@ -57,6 +57,20 @@ class CacheManager {
   bool WouldAdmit(const Dataset& dataset, std::int64_t block) const;
   Status AdmitBlock(const Dataset& dataset, std::int64_t block);
 
+  // --- Fault injection (§6) --------------------------------------------------
+  // Resizes the pool (a cache-server crash or recovery) without touching
+  // quotas.  Shrinking may leave total_allocated() above the new capacity
+  // transiently; the scheduler's next plan fits the reduced pool, and the
+  // shrink-before-grow quota application restores the invariant.
+  void SetTotalCapacity(Bytes capacity);
+  // Evicts each dataset's resident blocks uniformly at random so that about
+  // `fraction` of the resident bytes are lost — a crashed server's share
+  // under uniform block placement.  Returns the number of blocks evicted.
+  std::int64_t EvictRandomFraction(double fraction);
+  // Evicts one specific block (callers that know placement, e.g. the
+  // distributed cache dropping a crashed server's residents).
+  Status EvictBlock(DatasetId dataset, std::int64_t block);
+
   // --- Crash recovery (§6) --------------------------------------------------
   // The resident blocks of a dataset (sorted), for snapshotting.
   std::vector<std::int64_t> CachedBlocks(DatasetId dataset) const;

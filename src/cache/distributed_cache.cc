@@ -11,7 +11,9 @@ DistributedCache::DistributedCache(int num_servers, Bytes per_server_capacity,
     : aggregate_(per_server_capacity * num_servers, seed),
       placement_(num_servers, /*virtual_nodes=*/128, seed ^ 0xD15C),
       per_server_capacity_(per_server_capacity),
-      server_used_(static_cast<std::size_t>(num_servers), 0) {
+      server_used_(static_cast<std::size_t>(num_servers), 0),
+      alive_(static_cast<std::size_t>(num_servers), true),
+      alive_count_(num_servers) {
   SILOD_CHECK(num_servers >= 1) << "need at least one server";
   SILOD_CHECK(per_server_capacity >= 0) << "negative server capacity";
 }
@@ -53,7 +55,8 @@ bool DistributedCache::AccessBlock(const Dataset& dataset, std::int64_t block) {
   ++admissions_;
   const int server = placement_.ServerFor(dataset.id, block);
   const Bytes bytes = dataset.BlockBytes(block);
-  if (server_used_[static_cast<std::size_t>(server)] + bytes > per_server_capacity_) {
+  if (!alive_[static_cast<std::size_t>(server)] ||
+      server_used_[static_cast<std::size_t>(server)] + bytes > per_server_capacity_) {
     ++server_rejections_;
     return false;
   }
@@ -68,6 +71,52 @@ bool DistributedCache::AccessBlock(const Dataset& dataset, std::int64_t block) {
   }
   it->second[static_cast<std::size_t>(server)] += bytes;
   return false;
+}
+
+Result<std::int64_t> DistributedCache::CrashServer(int server) {
+  if (server < 0 || server >= num_servers()) {
+    return Status::InvalidArgument("no such cache server");
+  }
+  const auto s = static_cast<std::size_t>(server);
+  if (!alive_[s]) {
+    return Status::FailedPrecondition("cache server already down");
+  }
+  alive_[s] = false;
+  --alive_count_;
+  // Drop every resident block placed on this server; its disk content is
+  // unreachable and treated as lost (best-effort cache content, §6).
+  std::int64_t lost = 0;
+  for (auto& [dataset, footprint] : per_dataset_server_bytes_) {
+    if (footprint[s] == 0) {
+      continue;
+    }
+    for (const std::int64_t block : aggregate_.CachedBlocks(dataset)) {
+      if (placement_.ServerFor(dataset, block) != server) {
+        continue;
+      }
+      const Status st = aggregate_.EvictBlock(dataset, block);
+      SILOD_CHECK(st.ok()) << "evicting resident block failed: " << st.ToString();
+      ++lost;
+    }
+    footprint[s] = 0;
+  }
+  server_used_[s] = 0;
+  return lost;
+}
+
+Status DistributedCache::RecoverServer(int server) {
+  if (server < 0 || server >= num_servers()) {
+    return Status::InvalidArgument("no such cache server");
+  }
+  const auto s = static_cast<std::size_t>(server);
+  if (alive_[s]) {
+    return Status::FailedPrecondition("cache server already up");
+  }
+  alive_[s] = true;
+  ++alive_count_;
+  // The server rejoins empty; blocks refill as misses admit.
+  SILOD_CHECK(server_used_[s] == 0) << "dead server held bytes";
+  return Status::Ok();
 }
 
 double DistributedCache::ServerRejectRate() const {

@@ -53,6 +53,22 @@ class DistributedCache {
   // dataset quota still had room — the imbalance overhead.
   double ServerRejectRate() const;
 
+  // --- Fault injection (§6) -------------------------------------------------
+  // Marks a server dead: every block that hashes to it is evicted (cache
+  // content is best-effort, §6) and further admissions to it are rejected.
+  // Returns the number of blocks lost.
+  Result<std::int64_t> CrashServer(int server);
+  // Rejoins a crashed server, empty (its disk content is not trusted).
+  Status RecoverServer(int server);
+  bool server_alive(int server) const {
+    return alive_[static_cast<std::size_t>(server)];
+  }
+  int alive_servers() const { return alive_count_; }
+  // Capacity of the currently-alive servers.
+  Bytes alive_capacity() const {
+    return per_server_capacity_ * static_cast<Bytes>(alive_count_);
+  }
+
  private:
   CacheManager aggregate_;
   BlockPlacement placement_;
@@ -61,6 +77,8 @@ class DistributedCache {
   // Each dataset's footprint per server; lets a quota shrink rebuild the
   // per-server usage without touching other datasets.
   std::map<DatasetId, std::vector<Bytes>> per_dataset_server_bytes_;
+  std::vector<bool> alive_;
+  int alive_count_;
   std::int64_t admissions_ = 0;
   std::int64_t server_rejections_ = 0;
 };

@@ -6,18 +6,65 @@
 
 namespace silod {
 
-DataManagerSnapshot CaptureSnapshot(const DataManager& manager, const DatasetCatalog& catalog) {
+namespace {
+
+Status CheckDatasetKnown(DatasetId dataset_id, const DatasetCatalog& catalog) {
+  if (dataset_id < 0 || static_cast<std::size_t>(dataset_id) >= catalog.size()) {
+    return Status::InvalidArgument("snapshot references unknown dataset " +
+                                   std::to_string(dataset_id));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+DataManagerSnapshot CaptureCacheSnapshot(const CacheManager& cache,
+                                         const DatasetCatalog& catalog) {
   DataManagerSnapshot snapshot;
   for (const Dataset& dataset : catalog.all()) {
-    const Bytes quota = manager.cache().Allocation(dataset.id);
+    const Bytes quota = cache.Allocation(dataset.id);
     if (quota > 0) {
       snapshot.cache_allocations[dataset.id] = quota;
     }
-    std::vector<std::int64_t> blocks = manager.cache().CachedBlocks(dataset.id);
+    std::vector<std::int64_t> blocks = cache.CachedBlocks(dataset.id);
     if (!blocks.empty()) {
       snapshot.cached_blocks[dataset.id] = std::move(blocks);
     }
   }
+  return snapshot;
+}
+
+Status RestoreCacheManager(const DataManagerSnapshot& snapshot, const DatasetCatalog& catalog,
+                           CacheManager* cache) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("null cache manager");
+  }
+  // Allocations first (the pod annotations), then disk contents under them.
+  for (const auto& [dataset_id, quota] : snapshot.cache_allocations) {
+    Status st = CheckDatasetKnown(dataset_id, catalog);
+    if (!st.ok()) {
+      return st;
+    }
+    st = cache->AllocateCacheSize(catalog.Get(dataset_id), quota);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  for (const auto& [dataset_id, blocks] : snapshot.cached_blocks) {
+    Status st = CheckDatasetKnown(dataset_id, catalog);
+    if (!st.ok()) {
+      return st;
+    }
+    st = cache->RestoreCachedBlocks(catalog.Get(dataset_id), blocks);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+DataManagerSnapshot CaptureSnapshot(const DataManager& manager, const DatasetCatalog& catalog) {
+  DataManagerSnapshot snapshot = CaptureCacheSnapshot(manager.cache(), catalog);
   for (const auto& [job, rate] : manager.remote().Throttles()) {
     snapshot.io_allocations[job] = rate;
   }
@@ -29,9 +76,12 @@ Status RestoreDataManager(const DataManagerSnapshot& snapshot, const DatasetCata
   if (manager == nullptr) {
     return Status::InvalidArgument("null manager");
   }
-  // Allocations first (the pod annotations), then disk contents under them.
   for (const auto& [dataset_id, quota] : snapshot.cache_allocations) {
-    const Status st = manager->AllocateCacheSize(catalog.Get(dataset_id), quota);
+    Status st = CheckDatasetKnown(dataset_id, catalog);
+    if (!st.ok()) {
+      return st;
+    }
+    st = manager->AllocateCacheSize(catalog.Get(dataset_id), quota);
     if (!st.ok()) {
       return st;
     }
@@ -74,7 +124,19 @@ std::string SnapshotToText(const DataManagerSnapshot& snapshot) {
   return out;
 }
 
-Result<DataManagerSnapshot> SnapshotFromText(const std::string& text) {
+namespace {
+
+// True when the stream has unread non-whitespace (a malformed or extra token).
+bool HasTrailingGarbage(std::istringstream& fields) {
+  fields.clear();
+  std::string extra;
+  return static_cast<bool>(fields >> extra);
+}
+
+}  // namespace
+
+Result<DataManagerSnapshot> SnapshotFromText(const std::string& text,
+                                             const DatasetCatalog* catalog) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != "silod-snapshot-v1") {
@@ -92,28 +154,76 @@ Result<DataManagerSnapshot> SnapshotFromText(const std::string& text) {
       DatasetId dataset;
       Bytes quota;
       if (!(fields >> dataset >> quota)) {
-        return Status::InvalidArgument("bad cache line: " + line);
+        return Status::InvalidArgument("truncated cache line: " + line);
       }
-      snapshot.cache_allocations[dataset] = quota;
+      if (HasTrailingGarbage(fields)) {
+        return Status::InvalidArgument("trailing garbage on cache line: " + line);
+      }
+      if (quota < 0) {
+        return Status::InvalidArgument("negative cache quota: " + line);
+      }
+      if (!snapshot.cache_allocations.emplace(dataset, quota).second) {
+        return Status::InvalidArgument("duplicate cache record for dataset " +
+                                       std::to_string(dataset));
+      }
     } else if (kind == "io") {
       JobId job;
       BytesPerSec rate;
       if (!(fields >> job >> rate)) {
-        return Status::InvalidArgument("bad io line: " + line);
+        return Status::InvalidArgument("truncated io line: " + line);
       }
-      snapshot.io_allocations[job] = rate;
+      if (HasTrailingGarbage(fields)) {
+        return Status::InvalidArgument("trailing garbage on io line: " + line);
+      }
+      if (rate < 0) {
+        return Status::InvalidArgument("negative io rate: " + line);
+      }
+      if (!snapshot.io_allocations.emplace(job, rate).second) {
+        return Status::InvalidArgument("duplicate io record for job " + std::to_string(job));
+      }
     } else if (kind == "blocks") {
       DatasetId dataset;
       if (!(fields >> dataset)) {
-        return Status::InvalidArgument("bad blocks line: " + line);
+        return Status::InvalidArgument("truncated blocks line: " + line);
       }
-      std::vector<std::int64_t>& blocks = snapshot.cached_blocks[dataset];
+      std::vector<std::int64_t> blocks;
       std::int64_t block;
       while (fields >> block) {
         blocks.push_back(block);
       }
+      if (HasTrailingGarbage(fields)) {
+        return Status::InvalidArgument("non-numeric block id: " + line);
+      }
+      if (blocks.empty()) {
+        return Status::InvalidArgument("blocks record lists no blocks: " + line);
+      }
+      if (!snapshot.cached_blocks.emplace(dataset, std::move(blocks)).second) {
+        return Status::InvalidArgument("duplicate blocks record for dataset " +
+                                       std::to_string(dataset));
+      }
     } else {
       return Status::InvalidArgument("unknown snapshot record: " + kind);
+    }
+  }
+  if (catalog != nullptr) {
+    for (const auto& [dataset_id, quota] : snapshot.cache_allocations) {
+      const Status st = CheckDatasetKnown(dataset_id, *catalog);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    for (const auto& [dataset_id, blocks] : snapshot.cached_blocks) {
+      const Status st = CheckDatasetKnown(dataset_id, *catalog);
+      if (!st.ok()) {
+        return st;
+      }
+      const Dataset& dataset = catalog->Get(dataset_id);
+      for (const std::int64_t block : blocks) {
+        if (block < 0 || block >= dataset.num_blocks) {
+          return Status::InvalidArgument("block out of range for dataset " +
+                                         std::to_string(dataset_id));
+        }
+      }
     }
   }
   return snapshot;

@@ -41,9 +41,20 @@ DataManagerSnapshot CaptureSnapshot(const DataManager& manager, const DatasetCat
 Status RestoreDataManager(const DataManagerSnapshot& snapshot, const DatasetCatalog& catalog,
                           DataManager* manager);
 
-// Durable serialization.
+// Cache-only halves, for engines that own a bare CacheManager rather than a
+// full Data Manager (the fine engine's Data-Manager-restart fault path).
+// io_allocations is left empty / ignored.
+DataManagerSnapshot CaptureCacheSnapshot(const CacheManager& cache, const DatasetCatalog& catalog);
+Status RestoreCacheManager(const DataManagerSnapshot& snapshot, const DatasetCatalog& catalog,
+                           CacheManager* cache);
+
+// Durable serialization.  Parsing validates structure strictly — truncated
+// records, duplicate records for one dataset/job, negative quotas or rates,
+// and trailing garbage are all InvalidArgument.  When `catalog` is given,
+// dataset ids and block ranges are checked against it too.
 std::string SnapshotToText(const DataManagerSnapshot& snapshot);
-Result<DataManagerSnapshot> SnapshotFromText(const std::string& text);
+Result<DataManagerSnapshot> SnapshotFromText(const std::string& text,
+                                             const DatasetCatalog* catalog = nullptr);
 
 }  // namespace silod
 

@@ -1,0 +1,280 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace silod {
+namespace {
+
+std::string FmtTime(Seconds t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", t);
+  return buf;
+}
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+struct EventSpec {
+  Seconds t = -1;
+  int server = -1;
+  int job = -1;
+  double factor = 1.0;
+  double err = 0.0;
+  Seconds down = 0;     // server-crash outage length.
+  Seconds dur = 0;      // degrade window length ("for=").
+  Seconds restart = 60; // worker-crash restart delay.
+};
+
+Status ParseKeyValue(const std::string& token, EventSpec* spec) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("fault event token is not key=value: " + token);
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string raw = token.substr(eq + 1);
+  double value = 0;
+  std::istringstream in(raw);
+  if (!(in >> value) || !in.eof()) {
+    return Status::InvalidArgument("bad fault value: " + token);
+  }
+  if (key == "t") {
+    spec->t = value;
+  } else if (key == "server") {
+    spec->server = static_cast<int>(value);
+  } else if (key == "job") {
+    spec->job = static_cast<int>(value);
+  } else if (key == "factor") {
+    spec->factor = value;
+  } else if (key == "err") {
+    spec->err = value;
+  } else if (key == "down") {
+    spec->down = value;
+  } else if (key == "for") {
+    spec->dur = value;
+  } else if (key == "restart") {
+    spec->restart = value;
+  } else {
+    return Status::InvalidArgument("unknown fault key: " + key);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCacheServerCrash:
+      return "server-crash";
+    case FaultKind::kCacheServerRecover:
+      return "server-recover";
+    case FaultKind::kRemoteDegrade:
+      return "degrade";
+    case FaultKind::kWorkerCrash:
+      return "worker-crash";
+    case FaultKind::kWorkerRestart:
+      return "worker-restart";
+    case FaultKind::kDataManagerRestart:
+      return "dm-restart";
+  }
+  return "unknown";
+}
+
+void FaultPlan::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += FaultKindName(e.kind);
+    out += " t=" + FmtTime(e.time);
+    switch (e.kind) {
+      case FaultKind::kCacheServerCrash:
+      case FaultKind::kCacheServerRecover:
+        out += " server=" + std::to_string(e.target);
+        break;
+      case FaultKind::kWorkerCrash:
+        // Expanded plans carry restarts as explicit events; suppress the
+        // default re-expansion or Parse(ToSpec()) would grow a phantom one.
+        out += " job=" + std::to_string(e.target) + " restart=0";
+        break;
+      case FaultKind::kWorkerRestart:
+        out += " job=" + std::to_string(e.target);
+        break;
+      case FaultKind::kRemoteDegrade:
+        out += " factor=" + FmtDouble(e.severity) + " err=" + FmtDouble(e.error_rate);
+        break;
+      case FaultKind::kDataManagerRestart:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream events_in(spec);
+  std::string event_text;
+  while (std::getline(events_in, event_text, ';')) {
+    std::istringstream fields(event_text);
+    std::string kind_name;
+    if (!(fields >> kind_name)) {
+      continue;  // Empty segment (trailing semicolon).
+    }
+    EventSpec s;
+    // worker-crash expands with a paired restart by default; explicit
+    // restart=0 keeps the worker down for good.
+    std::string token;
+    while (fields >> token) {
+      if (const Status st = ParseKeyValue(token, &s); !st.ok()) {
+        return st;
+      }
+    }
+    if (s.t < 0) {
+      return Status::InvalidArgument("fault event missing t=: " + event_text);
+    }
+
+    FaultEvent e;
+    e.time = s.t;
+    if (kind_name == "server-crash" || kind_name == "server-recover") {
+      if (s.server < 0) {
+        return Status::InvalidArgument("server event missing server=: " + event_text);
+      }
+      e.kind = kind_name == "server-crash" ? FaultKind::kCacheServerCrash
+                                           : FaultKind::kCacheServerRecover;
+      e.target = s.server;
+      plan.events.push_back(e);
+      if (e.kind == FaultKind::kCacheServerCrash && s.down > 0) {
+        FaultEvent recover = e;
+        recover.kind = FaultKind::kCacheServerRecover;
+        recover.time = s.t + s.down;
+        plan.events.push_back(recover);
+      }
+    } else if (kind_name == "degrade") {
+      if (s.factor <= 0 || s.factor > 1) {
+        return Status::InvalidArgument("degrade factor must be in (0, 1]: " + event_text);
+      }
+      if (s.err < 0 || s.err >= 1) {
+        return Status::InvalidArgument("degrade err must be in [0, 1): " + event_text);
+      }
+      e.kind = FaultKind::kRemoteDegrade;
+      e.severity = s.factor;
+      e.error_rate = s.err;
+      plan.events.push_back(e);
+      if (s.dur > 0) {
+        FaultEvent restore;
+        restore.kind = FaultKind::kRemoteDegrade;
+        restore.time = s.t + s.dur;
+        plan.events.push_back(restore);  // factor=1, err=0 defaults.
+      }
+    } else if (kind_name == "worker-crash" || kind_name == "worker-restart") {
+      if (s.job < 0) {
+        return Status::InvalidArgument("worker event missing job=: " + event_text);
+      }
+      e.kind = kind_name == "worker-crash" ? FaultKind::kWorkerCrash
+                                           : FaultKind::kWorkerRestart;
+      e.target = s.job;
+      plan.events.push_back(e);
+      if (e.kind == FaultKind::kWorkerCrash && s.restart > 0) {
+        FaultEvent restart = e;
+        restart.kind = FaultKind::kWorkerRestart;
+        restart.time = s.t + s.restart;
+        plan.events.push_back(restart);
+      }
+    } else if (kind_name == "dm-restart") {
+      e.kind = FaultKind::kDataManagerRestart;
+      plan.events.push_back(e);
+    } else {
+      return Status::InvalidArgument("unknown fault kind: " + kind_name);
+    }
+  }
+  plan.Sort();
+  return plan;
+}
+
+FaultPlan GenerateFaultPlan(const FaultChurnOptions& options) {
+  FaultPlan plan;
+  Rng rng(options.seed ^ 0xFA171ULL);
+
+  // Poisson arrivals per category: exponential interarrivals at the given
+  // hourly rate until the horizon.  Each category forks its own stream so
+  // raising one rate does not perturb the others' event times.
+  auto arrivals = [&](double per_hour, Rng stream) {
+    std::vector<Seconds> times;
+    if (per_hour <= 0) {
+      return times;
+    }
+    const double rate_per_sec = per_hour / 3600.0;
+    Seconds t = stream.Exponential(rate_per_sec);
+    while (t < options.horizon) {
+      times.push_back(t);
+      t += stream.Exponential(rate_per_sec);
+    }
+    return times;
+  };
+
+  Rng server_stream = rng.Fork();
+  Rng worker_stream = rng.Fork();
+  Rng degrade_stream = rng.Fork();
+  Rng dm_stream = rng.Fork();
+
+  for (const Seconds t : arrivals(options.server_crashes_per_hour, server_stream.Fork())) {
+    FaultEvent crash;
+    crash.time = t;
+    crash.kind = FaultKind::kCacheServerCrash;
+    crash.target =
+        static_cast<int>(server_stream.NextBelow(static_cast<std::uint64_t>(
+            std::max(1, options.num_servers))));
+    plan.events.push_back(crash);
+    FaultEvent recover = crash;
+    recover.kind = FaultKind::kCacheServerRecover;
+    recover.time = t + std::max<Seconds>(1.0, options.mean_server_downtime);
+    plan.events.push_back(recover);
+  }
+  for (const Seconds t : arrivals(options.worker_crashes_per_hour, worker_stream.Fork())) {
+    FaultEvent crash;
+    crash.time = t;
+    crash.kind = FaultKind::kWorkerCrash;
+    crash.target = static_cast<int>(
+        worker_stream.NextBelow(static_cast<std::uint64_t>(std::max(1, options.num_jobs))));
+    plan.events.push_back(crash);
+    FaultEvent restart = crash;
+    restart.kind = FaultKind::kWorkerRestart;
+    restart.time = t + std::max<Seconds>(1.0, options.worker_restart_delay);
+    plan.events.push_back(restart);
+  }
+  for (const Seconds t : arrivals(options.degrade_windows_per_hour, degrade_stream.Fork())) {
+    FaultEvent degrade;
+    degrade.time = t;
+    degrade.kind = FaultKind::kRemoteDegrade;
+    degrade.severity = options.degrade_factor;
+    degrade.error_rate = options.degrade_error_rate;
+    plan.events.push_back(degrade);
+    FaultEvent restore;
+    restore.time = t + std::max<Seconds>(1.0, options.degrade_duration);
+    restore.kind = FaultKind::kRemoteDegrade;
+    plan.events.push_back(restore);
+  }
+  for (const Seconds t : arrivals(options.dm_restarts_per_hour, dm_stream.Fork())) {
+    FaultEvent restart;
+    restart.time = t;
+    restart.kind = FaultKind::kDataManagerRestart;
+    plan.events.push_back(restart);
+  }
+
+  plan.Sort();
+  return plan;
+}
+
+}  // namespace silod

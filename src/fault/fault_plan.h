@@ -1,0 +1,131 @@
+// Deterministic fault injection for SiloD (§6, "Fault tolerance").
+//
+// The paper argues that SiloD's failure handling costs only performance,
+// never correctness: allocation decisions live in durable pod annotations,
+// cache content is best-effort, and every component recovers by rebuilding
+// in-memory state from the durable pieces.  A FaultPlan makes that claim
+// testable — it is a seedable, sorted schedule of adversarial events that
+// both simulation engines and the real-thread runtime consume:
+//
+//   - cache-server crashes: the crashed server's resident blocks are lost and
+//     the pool shrinks until the server recovers (empty);
+//   - remote-store degradation windows: the account egress rate drops by a
+//     factor and reads fail transiently with some probability;
+//   - job-worker crashes: the job loses its GPUs, its in-flight fetch and its
+//     private cache, and is re-admitted by the scheduler after a restart
+//     delay (training progress is checkpointed, so no fetched-and-consumed
+//     work is repeated);
+//   - Data-Manager restarts: the in-memory allocation/cache state is
+//     discarded and rebuilt through the recovery path (core/recovery.h).
+//
+// Plans are plain data (no clock, no RNG at consumption time), so the same
+// plan replays bit-identically in virtual and wall-clock time.
+#ifndef SILOD_SRC_FAULT_FAULT_PLAN_H_
+#define SILOD_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace silod {
+
+enum class FaultKind {
+  kCacheServerCrash,    // target = server index; its blocks are lost.
+  kCacheServerRecover,  // target = server index; rejoins empty.
+  kRemoteDegrade,       // severity = rate factor (0,1]; error_rate = P[read fails].
+                        // severity 1 / error_rate 0 ends the window.
+  kWorkerCrash,         // target = job id.
+  kWorkerRestart,       // target = job id; the scheduler may re-admit it.
+  kDataManagerRestart,  // rebuild through CaptureSnapshot/RestoreDataManager.
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  Seconds time = 0;
+  FaultKind kind = FaultKind::kRemoteDegrade;
+  int target = -1;          // Server or job id; unused for global events.
+  double severity = 1.0;    // kRemoteDegrade: egress rate factor in (0, 1].
+  double error_rate = 0.0;  // kRemoteDegrade: transient read-error probability.
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+// A sorted schedule of fault events.  Durations in the spec language expand
+// to explicit paired events (crash+recover, degrade+restore, crash+restart),
+// so consumers never track timers of their own.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // Stable sort by time; equal-time events keep spec order.
+  void Sort();
+
+  // Canonical one-line spec: events joined by "; ".  Parse(ToSpec()) is the
+  // identity on sorted plans.
+  std::string ToSpec() const;
+
+  // Parses a semicolon-separated spec.  Each event is a kind name followed by
+  // key=value tokens:
+  //   server-crash   t=<sec> server=<id> [down=<sec>]     (down>0 adds recover)
+  //   server-recover t=<sec> server=<id>
+  //   degrade        t=<sec> [factor=<f>] [err=<p>] [for=<sec>]
+  //   worker-crash   t=<sec> job=<id> [restart=<sec>]     (default restart=60)
+  //   worker-restart t=<sec> job=<id>
+  //   dm-restart     t=<sec>
+  // Returns the sorted, duration-expanded plan.
+  static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+// Seeded churn-plan generator: Poisson arrivals per fault category over the
+// horizon, uniform targets.  Deterministic in (options, seed).
+struct FaultChurnOptions {
+  Seconds horizon = Hours(24);
+  double server_crashes_per_hour = 0;
+  double worker_crashes_per_hour = 0;
+  double degrade_windows_per_hour = 0;
+  double dm_restarts_per_hour = 0;
+  Seconds mean_server_downtime = Minutes(15);
+  Seconds worker_restart_delay = Minutes(2);
+  Seconds degrade_duration = Minutes(10);
+  double degrade_factor = 0.25;    // Egress rate factor inside a window.
+  double degrade_error_rate = 0;   // Transient-error probability inside it.
+  int num_servers = 1;             // Crash targets drawn uniformly.
+  int num_jobs = 1;
+  std::uint64_t seed = 1;
+};
+
+FaultPlan GenerateFaultPlan(const FaultChurnOptions& options);
+
+// What a consumer did with a plan; reported in SimResult (engines) so churn
+// sweeps can attribute throughput loss to specific outage windows.
+struct FaultStats {
+  int server_crashes = 0;
+  int server_recoveries = 0;
+  int worker_crashes = 0;
+  int worker_restarts = 0;
+  int degrade_windows = 0;
+  int dm_restarts = 0;
+  // Events the consumer cannot model (e.g. server crashes on the single-node
+  // real-time cluster); counted rather than silently dropped.
+  int ignored_events = 0;
+  // Blocks evicted because their server crashed.
+  std::int64_t blocks_lost = 0;
+
+  // Per-window degraded throughput: the time-average of the run's total
+  // throughput over each outage window (Fig. 9-style attribution).
+  struct Window {
+    std::string label;
+    Seconds start = 0;
+    Seconds end = 0;
+    double avg_throughput = 0;  // Bytes/s while the window was open.
+  };
+  std::vector<Window> windows;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_FAULT_FAULT_PLAN_H_

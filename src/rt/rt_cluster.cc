@@ -22,7 +22,8 @@ RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
                      ClusterResources resources, RtOptions options)
     : trace_(trace), scheduler_(std::move(scheduler)), resources_(resources), options_(options),
       remote_(resources.remote_io, /*burst=*/MB(8)),
-      manager_(resources.total_cache, resources.remote_io) {
+      manager_(resources.total_cache, resources.remote_io),
+      injector_(options.faults) {
   SILOD_CHECK(trace_ != nullptr) << "trace required";
   SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
   SILOD_CHECK(!trace_->jobs.empty()) << "empty trace";
@@ -100,7 +101,20 @@ void RtCluster::LoaderLoop(RtJob& job) {
         wait = admit - now;
       }
       SleepSeconds(wait);
-      remote_.ReadBlock(dataset.id, block);
+      // Bounded exponential backoff against injected transient errors: a
+      // failed read spent no egress tokens, so retrying costs only latency.
+      Seconds backoff = options_.retry_backoff_base;
+      for (;;) {
+        if (stopping_.load()) {
+          return;
+        }
+        if (remote_.TryReadBlock(dataset.id, block).ok()) {
+          break;
+        }
+        job.remote_retries.fetch_add(1);
+        SleepSeconds(backoff);
+        backoff = std::min(options_.retry_backoff_cap, backoff * 2);
+      }
     }
 
     {
@@ -124,11 +138,6 @@ void RtCluster::TrainerLoop(RtJob& job) {
         return;  // Aborted: leave the job uncompleted, staged blocks unconsumed.
       }
       --job.staged;
-      ++job.consumed;  // On abort below, this last block stays out of
-                       // blocks_done: consumed counts dequeues, blocks_done
-                       // counts finished compute, and the abandoned compute
-                       // never ran.  Aborted jobs are flagged incomplete, so
-                       // the one-off divergence is cosmetic.
     }
     job.cv.notify_all();
     // The paper's GPU-acceleration sleep: compute replaced by its profiled
@@ -139,57 +148,131 @@ void RtCluster::TrainerLoop(RtJob& job) {
     }
     SleepSeconds(block_compute);
     job.blocks_done.fetch_add(1);
+    {
+      // A block counts as consumed only once its compute actually ran, so
+      // consumed == blocks_done even when Run() aborts a job mid-pipeline.
+      std::lock_guard<std::mutex> lock(job.mu);
+      ++job.consumed;
+    }
   }
   job.finish = WallNow();
   job.completed.store(true);
   unfinished_.fetch_sub(1);
 }
 
+void RtCluster::ApplyFault(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kRemoteDegrade:
+      remote_.SetFault(event.severity, event.error_rate);
+      if (event.severity < 1.0 || event.error_rate > 0) {
+        ++degrade_windows_;
+      }
+      return;
+    case FaultKind::kDataManagerRestart: {
+      // The in-memory Data Manager dies and a fresh one rebuilds from the
+      // durable state (§6).  Loaders keep running throughout: they serialize
+      // on manager_mu_, so each read lands either on the old manager or the
+      // restored one — a restore from a stale snapshot only turns some hits
+      // into misses, never corrupts accounting.
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      const DataManagerSnapshot snapshot =
+          have_snapshot_ ? last_snapshot_ : CaptureSnapshot(manager_, trace_->catalog);
+      manager_ = DataManager(resources_.total_cache, resources_.remote_io);
+      const Status st = RestoreDataManager(snapshot, trace_->catalog, &manager_);
+      SILOD_CHECK(st.ok()) << "Data Manager restore failed: " << st.ToString();
+      ++dm_restarts_;
+      return;
+    }
+    case FaultKind::kCacheServerCrash:
+    case FaultKind::kCacheServerRecover:
+    case FaultKind::kWorkerCrash:
+    case FaultKind::kWorkerRestart:
+      // One process, one implicit server, threads instead of pods: nothing
+      // to kill.  Counted rather than silently dropped.
+      ++ignored_faults_;
+      return;
+  }
+  ++ignored_faults_;  // Unreachable with a valid enum.
+}
+
+void RtCluster::ScheduleOnce() {
+  // Snapshot progress.
+  Snapshot snap;
+  snap.now = WallNow();
+  snap.resources = resources_;
+  snap.catalog = &trace_->catalog;
+  for (const auto& job : jobs_) {
+    if (job->blocks_done.load() >= job->blocks_total) {
+      continue;
+    }
+    JobView view;
+    view.spec = job->spec;
+    const Dataset& d = trace_->catalog.Get(job->spec->dataset);
+    view.remaining_bytes = (job->blocks_total - job->blocks_done.load()) * d.block_size;
+    view.running = true;
+    {
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      view.effective_cache = manager_.cache().CachedBytes(d.id);
+    }
+    snap.jobs.push_back(view);
+  }
+  if (snap.jobs.empty()) {
+    return;
+  }
+  const AllocationPlan plan = scheduler_->Schedule(snap);
+  if (plan.cache_model == CacheModelKind::kDatasetQuota) {
+    std::lock_guard<std::mutex> lock(manager_mu_);
+    const Status st = manager_.ApplyPlan(plan, trace_->catalog);
+    SILOD_CHECK(st.ok()) << "plan enforcement failed: " << st.ToString();
+  }
+  for (const auto& job : jobs_) {
+    const JobAllocation& alloc = plan.Get(job->spec->id);
+    const BytesPerSec rate =
+        plan.manages_remote_io && alloc.running && alloc.remote_io > 0 ? alloc.remote_io
+                                                                       : kUnlimitedRate;
+    std::lock_guard<std::mutex> lock(job->throttle_mu);
+    job->throttle->SetRate(rate, std::max(WallNow(), 0.0));
+  }
+}
+
 void RtCluster::SchedulerLoop() {
   while (!stopping_.load() && unfinished_.load() > 0) {
-    // Snapshot progress.
-    Snapshot snap;
-    snap.now = WallNow();
-    snap.resources = resources_;
-    snap.catalog = &trace_->catalog;
-    for (const auto& job : jobs_) {
-      if (job->blocks_done.load() >= job->blocks_total) {
-        continue;
-      }
-      JobView view;
-      view.spec = job->spec;
-      const Dataset& d = trace_->catalog.Get(job->spec->dataset);
-      view.remaining_bytes = (job->blocks_total - job->blocks_done.load()) * d.block_size;
-      view.running = true;
-      {
-        std::lock_guard<std::mutex> lock(manager_mu_);
-        view.effective_cache = manager_.cache().CachedBytes(d.id);
-      }
-      snap.jobs.push_back(view);
+    const Seconds loop_now = WallNow();
+    // Periodic durable snapshot (pod annotations + disk contents).
+    if (options_.snapshot_period > 0 && loop_now >= next_snapshot_) {
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      last_snapshot_ = CaptureSnapshot(manager_, trace_->catalog);
+      have_snapshot_ = true;
+      next_snapshot_ = loop_now + options_.snapshot_period;
     }
-    if (!snap.jobs.empty()) {
-      const AllocationPlan plan = scheduler_->Schedule(snap);
-      if (plan.cache_model == CacheModelKind::kDatasetQuota) {
-        std::lock_guard<std::mutex> lock(manager_mu_);
-        const Status st = manager_.ApplyPlan(plan, trace_->catalog);
-        SILOD_CHECK(st.ok()) << "plan enforcement failed: " << st.ToString();
-      }
-      for (const auto& job : jobs_) {
-        const JobAllocation& alloc = plan.Get(job->spec->id);
-        const BytesPerSec rate =
-            plan.manages_remote_io && alloc.running && alloc.remote_io > 0 ? alloc.remote_io
-                                                                           : kUnlimitedRate;
-        std::lock_guard<std::mutex> lock(job->throttle_mu);
-        job->throttle->SetRate(rate, std::max(WallNow(), 0.0));
+    // Faults are polled at the control loop's granularity.
+    if (injector_.NextTime() <= loop_now) {
+      due_faults_.clear();
+      injector_.PopDue(loop_now, &due_faults_);
+      for (const FaultEvent& event : due_faults_) {
+        ApplyFault(event);
       }
     }
+
+    ScheduleOnce();
     SleepSeconds(options_.reschedule_period);
+  }
+  if (!injector_.exhausted()) {
+    due_faults_.clear();
+    injector_.PopDue(kInfiniteTime, &due_faults_);
+    ignored_faults_ += static_cast<int>(due_faults_.size());
   }
 }
 
 RtResult RtCluster::Run() {
   wall_start_ = std::chrono::steady_clock::now();
   unfinished_.store(static_cast<int>(jobs_.size()));
+
+  // Allocations are durable annotations set at admission (§6): apply the
+  // first plan before any loader runs, or early misses land while the
+  // dataset quota is still zero and are never admitted — a startup race
+  // that costs an extra miss per affected block on the next epoch.
+  ScheduleOnce();
 
   std::thread scheduler_thread([this] { SchedulerLoop(); });
   for (auto& job : jobs_) {
@@ -221,6 +304,9 @@ RtResult RtCluster::Run() {
     scheduler_thread.join();
   }
 
+  result.dm_restarts = dm_restarts_;
+  result.degrade_windows = degrade_windows_;
+  result.ignored_faults = ignored_faults_;
   for (const auto& job : jobs_) {
     RtJobResult r;
     r.id = job->spec->id;
@@ -229,6 +315,10 @@ RtResult RtCluster::Run() {
     r.completed = job->completed.load();
     r.cache_hits = job->hits.load();
     r.cache_misses = job->misses.load();
+    r.blocks_done = job->blocks_done.load();
+    r.blocks_consumed = job->consumed;
+    r.remote_retries = job->remote_retries.load();
+    result.remote_retries += r.remote_retries;
     if (r.completed) {
       result.makespan = std::max(result.makespan, r.finish);
     } else {

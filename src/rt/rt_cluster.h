@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "src/core/data_manager.h"
+#include "src/core/recovery.h"
+#include "src/fault/fault_injector.h"
 #include "src/sched/policy.h"
 #include "src/storage/inmem_remote.h"
 #include "src/storage/token_bucket.h"
@@ -44,6 +46,20 @@ struct RtOptions {
   BytesPerSec fabric_rate = GBps(3.2);
   // Safety timeout: Run() aborts (returns error results) past this.
   Seconds max_wall_seconds = 120;
+
+  // Fault schedule, consumed by the scheduler thread at its polling
+  // granularity (reschedule_period).  Remote degradation and Data-Manager
+  // restarts are modelled; server/worker events are counted as ignored (this
+  // runtime is one process — there is no separate server to kill).
+  FaultPlan faults;
+  // Loader retry policy for transient remote-read errors: exponential
+  // backoff from `base`, capped at `cap`.
+  Seconds retry_backoff_base = 0.002;
+  Seconds retry_backoff_cap = 0.1;
+  // When > 0, the scheduler thread captures a Data-Manager snapshot (§6,
+  // durable pod annotations + disk contents) every period; a Data-Manager
+  // restart restores from the latest one instead of capture-at-crash.
+  Seconds snapshot_period = 0;
 };
 
 struct RtJobResult {
@@ -55,6 +71,9 @@ struct RtJobResult {
   bool completed = false;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  std::int64_t blocks_done = 0;      // Blocks whose compute finished.
+  std::int64_t blocks_consumed = 0;  // Blocks dequeued by the trainer.
+  std::int64_t remote_retries = 0;   // Transient remote errors retried.
 
   Seconds Runtime() const { return finish - start; }
 };
@@ -65,6 +84,12 @@ struct RtResult {
   Seconds makespan = 0;
   int unfinished_jobs = 0;
   bool timed_out = false;
+
+  // Fault accounting (RtOptions::faults).
+  int dm_restarts = 0;
+  int degrade_windows = 0;
+  int ignored_faults = 0;
+  std::int64_t remote_retries = 0;
 };
 
 class RtCluster {
@@ -93,6 +118,7 @@ class RtCluster {
     std::atomic<bool> completed{false};
     std::atomic<std::int64_t> hits{0};
     std::atomic<std::int64_t> misses{0};
+    std::atomic<std::int64_t> remote_retries{0};
     Seconds start = 0;
     Seconds finish = 0;
     std::thread loader;
@@ -107,6 +133,8 @@ class RtCluster {
   void LoaderLoop(RtJob& job);
   void TrainerLoop(RtJob& job);
   void SchedulerLoop();
+  void ScheduleOnce();
+  void ApplyFault(const FaultEvent& event);
   Seconds WallNow() const;
 
   const Trace* trace_;
@@ -122,6 +150,17 @@ class RtCluster {
   std::atomic<bool> stopping_{false};
   std::atomic<int> unfinished_{0};
   std::chrono::steady_clock::time_point wall_start_;
+
+  // Fault state: owned by the scheduler thread; the counters are read by
+  // Run() only after it joins that thread.
+  FaultInjector injector_;
+  std::vector<FaultEvent> due_faults_;
+  DataManagerSnapshot last_snapshot_;
+  bool have_snapshot_ = false;
+  Seconds next_snapshot_ = 0;
+  int dm_restarts_ = 0;
+  int degrade_windows_ = 0;
+  int ignored_faults_ = 0;
 };
 
 }  // namespace silod

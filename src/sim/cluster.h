@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/common/units.h"
+#include "src/fault/fault_plan.h"
 #include "src/sched/allocation.h"
 #include "src/storage/fabric.h"
 
@@ -29,6 +30,9 @@ struct SimConfig {
   std::uint64_t seed = 42;
   // Hard stop for runaway simulations (fails loudly rather than hanging).
   Seconds max_time = Days(365);
+  // Adversarial cluster conditions: both engines consume the plan from their
+  // event loops and reschedule immediately on every failure/recovery (§6).
+  FaultPlan faults;
 };
 
 // The paper's evaluated cluster scales (Table 5): GPUs, per-scale remote IO

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/core/recovery.h"
 #include "src/sched/gavel.h"
 #include "src/storage/remote_store.h"
 
@@ -20,7 +21,9 @@ FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
                        SimConfig config, FineEngineOptions options)
     : trace_(trace), scheduler_(std::move(scheduler)), config_(config), options_(options),
       cache_manager_(config.resources.total_cache, config.seed ^ 0xCACE),
-      rng_(config.seed) {
+      rng_(config.seed), injector_(config.faults), base_resources_(config.resources),
+      server_alive_(static_cast<std::size_t>(config.resources.num_servers), true),
+      alive_servers_(config.resources.num_servers) {
   SILOD_CHECK(trace_ != nullptr) << "trace required";
   SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
   SILOD_CHECK(options_.prefetch_window >= 1) << "prefetch window must be >= 1";
@@ -82,8 +85,8 @@ Snapshot FineEngine::BuildSnapshot(Seconds now) {
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
   for (JobState& s : jobs_) {
-    if (!s.arrived || s.finished) {
-      continue;
+    if (!s.arrived || s.finished || s.crashed) {
+      continue;  // A crashed worker holds no resources until it restarts.
     }
     JobView view;
     view.spec = s.spec;
@@ -172,7 +175,7 @@ void FineEngine::Reschedule(Seconds now) {
   }
 
   for (JobState& s : jobs_) {
-    if (!s.arrived || s.finished) {
+    if (!s.arrived || s.finished || s.crashed) {
       continue;
     }
     const JobAllocation& alloc = plan_.Get(s.spec->id);
@@ -194,7 +197,10 @@ void FineEngine::Reschedule(Seconds now) {
                           s.rng.Fork());
       }
       BeginEpoch(s);
-      s.compute_finish = now;
+      // A restarted worker re-stages its checkpointed backlog (zero on the
+      // first start) instead of losing the fetched-but-unconsumed compute.
+      s.compute_finish = now + s.compute_backlog;
+      s.compute_backlog = 0;
       StartNextFetch(s, now);
     }
   }
@@ -393,6 +399,166 @@ void FineEngine::RecordMetrics(Seconds now) {
   metrics_.OnRates(now, total, ideal, io, fairness, eff_den > 0 ? eff_num / eff_den : 1.0);
 }
 
+void FineEngine::ResizeCachePool(double evict_fraction) {
+  config_.resources.total_cache = base_resources_.total_cache *
+                                  static_cast<Bytes>(alive_servers_) /
+                                  static_cast<Bytes>(base_resources_.num_servers);
+  config_.resources.num_servers = std::max(1, alive_servers_);
+  const StorageFabric fabric{config_.fabric};
+  fabric_rate_ = fabric.PerServerCacheReadRate(config_.resources.num_servers);
+  if (evict_fraction > 0) {
+    fault_stats_.blocks_lost += cache_manager_.EvictRandomFraction(evict_fraction);
+    // Shared and per-job private caches live on the same servers: shed the
+    // crashed share by shrinking to the surviving bytes and restoring the
+    // policy capacity (uniform caches evict at random, LRU/LFU per policy).
+    const auto shed = [&](ItemCache* item_cache) {
+      if (item_cache == nullptr || item_cache->used_bytes() == 0) {
+        return;
+      }
+      const std::size_t before = item_cache->item_count();
+      const Bytes policy_capacity = item_cache->capacity();
+      const Bytes surviving = static_cast<Bytes>(
+          static_cast<double>(item_cache->used_bytes()) * (1.0 - evict_fraction));
+      item_cache->SetCapacity(surviving, &rng_);
+      item_cache->SetCapacity(policy_capacity, &rng_);
+      fault_stats_.blocks_lost +=
+          static_cast<std::int64_t>(before - item_cache->item_count());
+    };
+    shed(shared_pool_.get());
+    for (JobState& s : jobs_) {
+      shed(s.private_cache.get());
+    }
+  }
+  // Quotas may transiently exceed the shrunken pool; the reschedule this
+  // fault triggers re-plans within it (shrinks apply before grows).
+  cache_manager_.SetTotalCapacity(config_.resources.total_cache);
+  if (shared_pool_ != nullptr) {
+    shared_pool_->SetCapacity(config_.resources.total_cache, &rng_);
+  }
+}
+
+void FineEngine::CloseDegradeWindow(Seconds end) {
+  FaultStats::Window window;
+  window.label = "degrade";
+  window.start = degrade_start_;
+  window.end = end;
+  // avg_throughput is filled in after Finalize, when the series is complete.
+  fault_stats_.windows.push_back(std::move(window));
+  degrade_start_ = -1;
+}
+
+void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
+  switch (event.kind) {
+    case FaultKind::kCacheServerCrash: {
+      if (event.target < 0 || event.target >= base_resources_.num_servers ||
+          !server_alive_[static_cast<std::size_t>(event.target)]) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      const int prev_alive = alive_servers_;
+      server_alive_[static_cast<std::size_t>(event.target)] = false;
+      --alive_servers_;
+      ++fault_stats_.server_crashes;
+      // Uniform placement: each alive server held ~1/prev_alive of the pool.
+      ResizeCachePool(1.0 / prev_alive);
+      return;
+    }
+    case FaultKind::kCacheServerRecover: {
+      if (event.target < 0 || event.target >= base_resources_.num_servers ||
+          server_alive_[static_cast<std::size_t>(event.target)]) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      server_alive_[static_cast<std::size_t>(event.target)] = true;
+      ++alive_servers_;
+      ++fault_stats_.server_recoveries;
+      ResizeCachePool(0.0);  // Rejoins empty; refills through misses.
+      return;
+    }
+    case FaultKind::kRemoteDegrade: {
+      // Virtual-time reads retry instantly, so transient errors show up as
+      // egress attempts that transferred nothing: fold them into the rate.
+      config_.resources.remote_io =
+          base_resources_.remote_io * event.severity * (1.0 - event.error_rate);
+      if (degrade_start_ >= 0) {
+        CloseDegradeWindow(now);
+      }
+      if (event.severity < 1.0 || event.error_rate > 0) {
+        degrade_start_ = now;
+        ++fault_stats_.degrade_windows;
+      }
+      return;
+    }
+    case FaultKind::kWorkerCrash: {
+      if (event.target < 0 || static_cast<std::size_t>(event.target) >= jobs_.size()) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      JobState& s = jobs_[static_cast<std::size_t>(event.target)];
+      if (!s.arrived || s.finished || s.crashed || !s.running) {
+        ++fault_stats_.ignored_events;  // Queued jobs have no worker to crash.
+        return;
+      }
+      ++fault_stats_.worker_crashes;
+      s.compute_backlog = std::max(0.0, s.compute_finish - now);
+      if (s.phase == Phase::kMissFetch) {
+        LeaveMissSet(s);
+      }
+      s.phase = Phase::kIdle;
+      s.current_block = -1;
+      s.fetch_remaining = 0;
+      s.running = false;
+      s.crashed = true;
+      SetJobEvent(s, kInfiniteTime);
+      if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+        cache_manager_.UnregisterJob(s.spec->id);
+      }
+      s.private_cache.reset();  // CoorDL's cache lives on the crashed worker.
+      return;
+    }
+    case FaultKind::kWorkerRestart: {
+      if (event.target < 0 || static_cast<std::size_t>(event.target) >= jobs_.size() ||
+          !jobs_[static_cast<std::size_t>(event.target)].crashed) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      jobs_[static_cast<std::size_t>(event.target)].crashed = false;
+      ++fault_stats_.worker_restarts;
+      return;  // The reschedule this triggers re-admits it via the start path.
+    }
+    case FaultKind::kDataManagerRestart: {
+      ++fault_stats_.dm_restarts;
+      if (plan_.cache_model != CacheModelKind::kDatasetQuota) {
+        return;  // Shared/private caches have no Data Manager state to lose.
+      }
+      // Rebuild from the durable pieces (§6): allocations + disk contents.
+      // Booted with enough headroom to re-admit everything, then clamped back.
+      const DataManagerSnapshot snapshot =
+          CaptureCacheSnapshot(cache_manager_, trace_->catalog);
+      const Bytes capacity = cache_manager_.total_capacity();
+      const Bytes boot_capacity = std::max(capacity, cache_manager_.total_allocated());
+      CacheManager fresh(boot_capacity,
+                         config_.seed ^ 0xCACE ^
+                             (0x9E3779B97F4A7C15ULL *
+                              static_cast<std::uint64_t>(fault_stats_.dm_restarts)));
+      const Status st = RestoreCacheManager(snapshot, trace_->catalog, &fresh);
+      SILOD_CHECK(st.ok()) << "Data Manager restore failed: " << st.ToString();
+      fresh.SetTotalCapacity(capacity);
+      cache_manager_ = std::move(fresh);
+      // Re-register the live jobs; their epoch bitsets restart empty and the
+      // restored blocks are immediately effective (inserted before the new
+      // epoch generation).
+      for (JobState& s : jobs_) {
+        if (s.arrived && !s.finished && !s.crashed && s.running) {
+          cache_manager_.RegisterJob(s.spec->id, trace_->catalog.Get(s.spec->dataset));
+        }
+      }
+      return;
+    }
+  }
+  ++fault_stats_.ignored_events;  // Unreachable with a valid enum.
+}
+
 // Fires the event the job is currently waiting on.  Cross-job effects (flow
 // rates) are deferred through flows_dirty_, so the order in which several
 // simultaneous jobs fire cannot change any of their outcomes — but it is
@@ -480,9 +646,10 @@ SimResult FineEngine::Run() {
     }
 
     // Next event: the earliest of the next arrival, the reschedule tick, the
-    // metrics sample, and the per-job calendar.  Absolute times throughout so
-    // both stepping paths jump to exactly the same instants.
-    Seconds next_event = std::min(next_tick, next_sample);
+    // metrics sample, the next injected fault, and the per-job calendar.
+    // Absolute times throughout so both stepping paths jump to exactly the
+    // same instants.
+    Seconds next_event = std::min({next_tick, next_sample, injector_.NextTime()});
     if (next_arrival < arrivals.size()) {
       next_event = std::min(
           next_event, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])].submit_time);
@@ -502,6 +669,19 @@ SimResult FineEngine::Run() {
     if (t + kTimeEps >= next_tick) {
       next_tick += config_.reschedule_period;
       need_resched = true;
+    }
+
+    // Inject faults before firing job events so a crash at the same instant
+    // as a fetch completion takes effect first on both stepping paths.  Every
+    // fault is a scheduling event: the plan is recomputed immediately.
+    if (injector_.NextTime() <= t + kTimeEps) {
+      due_faults_.clear();
+      injector_.PopDue(t + kTimeEps, &due_faults_);
+      for (const FaultEvent& event : due_faults_) {
+        ApplyFault(event, t);
+      }
+      need_resched = true;
+      flows_dirty_ = true;
     }
 
     // Fire matured per-job events in ascending job id.  Events scheduled
@@ -528,8 +708,20 @@ SimResult FineEngine::Run() {
     }
   }
   RecordMetrics(t);
+  if (degrade_start_ >= 0) {
+    CloseDegradeWindow(t);
+  }
+  if (!injector_.exhausted()) {
+    due_faults_.clear();
+    injector_.PopDue(kInfiniteTime, &due_faults_);
+    fault_stats_.ignored_events += static_cast<int>(due_faults_.size());
+  }
   SimResult result = metrics_.Finalize();
   result.steps = counters_;
+  for (FaultStats::Window& window : fault_stats_.windows) {
+    window.avg_throughput = result.total_throughput.TimeAverage(window.start, window.end);
+  }
+  result.faults = fault_stats_;
   return result;
 }
 

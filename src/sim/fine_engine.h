@@ -24,6 +24,7 @@
 #include "src/cache/cache_manager.h"
 #include "src/cache/item_cache.h"
 #include "src/common/rng.h"
+#include "src/fault/fault_injector.h"
 #include "src/sched/policy.h"
 #include "src/sim/cluster.h"
 #include "src/sim/event_queue.h"
@@ -69,6 +70,12 @@ class FineEngine {
     bool arrived = false;
     bool running = false;
     bool finished = false;
+    // Worker crashed (kWorkerCrash) and not yet restarted: invisible to the
+    // scheduler, holds no resources.  Fetched-but-unconsumed compute is kept
+    // in compute_backlog (training progress is checkpointed, §6) and re-staged
+    // when the scheduler re-admits the job after kWorkerRestart.
+    bool crashed = false;
+    double compute_backlog = 0;
 
     std::int64_t blocks_total = 0;    // Blocks to fetch over the job's life.
     std::int64_t blocks_fetched = 0;
@@ -113,6 +120,15 @@ class FineEngine {
   void RecordMetrics(Seconds now);
   Bytes EffectiveBytesFor(const JobState& s);
 
+  // Fault plumbing (SimConfig::faults): events fire from the main event loop
+  // and each one triggers an immediate reschedule.
+  void ApplyFault(const FaultEvent& event, Seconds now);
+  // Re-derives pool capacity, server count and fabric rate from the alive-server
+  // set; evict_fraction > 0 additionally drops that share of resident blocks
+  // (the crashed server's contents).
+  void ResizeCachePool(double evict_fraction);
+  void CloseDegradeWindow(Seconds end);
+
   // Event-calendar plumbing (no-ops on the calendar under use_linear_scan).
   void SetJobEvent(JobState& s, Seconds t);
   void EnterMissSet(JobState& s, Seconds now);
@@ -137,6 +153,14 @@ class FineEngine {
   std::vector<std::int32_t> due_;            // Scratch: keys due this step.
   bool flows_dirty_ = true;                  // Miss set or throttles changed.
   EngineStepCounters counters_;
+
+  FaultInjector injector_;                   // Cursor over SimConfig::faults.
+  ClusterResources base_resources_;          // Nominal (no-fault) resources.
+  std::vector<bool> server_alive_;
+  int alive_servers_ = 0;
+  Seconds degrade_start_ = -1;               // Open degrade window, -1 if none.
+  FaultStats fault_stats_;
+  std::vector<FaultEvent> due_faults_;       // Scratch.
 };
 
 }  // namespace silod

@@ -21,7 +21,10 @@ constexpr int kSharedLruIterations = 8;
 
 FlowEngine::FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
                        SimConfig config)
-    : trace_(trace), scheduler_(std::move(scheduler)), config_(config) {
+    : trace_(trace), scheduler_(std::move(scheduler)), config_(config),
+      injector_(config.faults), base_resources_(config.resources),
+      server_alive_(static_cast<std::size_t>(config.resources.num_servers), true),
+      alive_servers_(config.resources.num_servers) {
   SILOD_CHECK(trace_ != nullptr) << "trace required";
   SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
   SILOD_CHECK(!trace_->jobs.empty()) << "empty trace";
@@ -46,8 +49,8 @@ Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
   for (const JobState& s : jobs_) {
-    if (!s.arrived || s.finished) {
-      continue;
+    if (!s.arrived || s.finished || s.crashed) {
+      continue;  // A crashed worker holds no resources until it restarts.
     }
     JobView view;
     view.spec = s.spec;
@@ -127,7 +130,7 @@ void FlowEngine::Reschedule(Seconds now) {
   }
 
   for (JobState& s : jobs_) {
-    if (!s.arrived || s.finished) {
+    if (!s.arrived || s.finished || s.crashed) {
       continue;
     }
     const JobAllocation& alloc = plan_.Get(s.spec->id);
@@ -318,6 +321,140 @@ void FlowEngine::ComputeRates(Seconds now) {
   }
 }
 
+void FlowEngine::CloseDegradeWindow(Seconds end) {
+  FaultStats::Window window;
+  window.label = "degrade";
+  window.start = degrade_start_;
+  window.end = end;
+  // avg_throughput is filled in after Finalize, when the series is complete.
+  fault_stats_.windows.push_back(std::move(window));
+  degrade_start_ = -1;
+}
+
+void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
+  switch (event.kind) {
+    case FaultKind::kCacheServerCrash: {
+      if (event.target < 0 || event.target >= base_resources_.num_servers ||
+          !server_alive_[static_cast<std::size_t>(event.target)]) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      const int prev_alive = alive_servers_;
+      server_alive_[static_cast<std::size_t>(event.target)] = false;
+      --alive_servers_;
+      ++fault_stats_.server_crashes;
+      config_.resources.total_cache = base_resources_.total_cache *
+                                      static_cast<Bytes>(alive_servers_) /
+                                      static_cast<Bytes>(base_resources_.num_servers);
+      config_.resources.num_servers = std::max(1, alive_servers_);
+      // Uniform placement: the crashed server held ~1/prev_alive of every
+      // dataset's cached fluid; effectiveness drops in proportion.
+      const double keep = 1.0 - 1.0 / prev_alive;
+      for (std::size_t d = 0; d < datasets_.size(); ++d) {
+        DatasetState& ds = datasets_[d];
+        if (ds.cached <= 0) {
+          continue;
+        }
+        const double lost = ds.cached * (1.0 - keep);
+        ds.cached -= lost;
+        fault_stats_.blocks_lost += static_cast<std::int64_t>(
+            lost / static_cast<double>(trace_->catalog.Get(static_cast<DatasetId>(d)).block_size));
+        for (JobState& s : jobs_) {
+          if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
+            s.effective *= keep;
+          }
+        }
+      }
+      // Per-job partitions (CoorDL-style) are striped across the same
+      // servers: each job loses its share of the crashed one too.
+      if (plan_.cache_model == CacheModelKind::kPerJobStatic) {
+        for (JobState& s : jobs_) {
+          if (!s.arrived || s.finished || s.private_cached <= 0) {
+            continue;
+          }
+          const double lost = s.private_cached * (1.0 - keep);
+          s.private_cached -= lost;
+          s.effective *= keep;
+          fault_stats_.blocks_lost += static_cast<std::int64_t>(
+              lost /
+              static_cast<double>(trace_->catalog.Get(s.spec->dataset).block_size));
+        }
+      }
+      return;
+    }
+    case FaultKind::kCacheServerRecover: {
+      if (event.target < 0 || event.target >= base_resources_.num_servers ||
+          server_alive_[static_cast<std::size_t>(event.target)]) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      server_alive_[static_cast<std::size_t>(event.target)] = true;
+      ++alive_servers_;
+      ++fault_stats_.server_recoveries;
+      config_.resources.total_cache = base_resources_.total_cache *
+                                      static_cast<Bytes>(alive_servers_) /
+                                      static_cast<Bytes>(base_resources_.num_servers);
+      config_.resources.num_servers = std::max(1, alive_servers_);
+      return;  // Rejoins empty; the fill dynamics re-warm it.
+    }
+    case FaultKind::kRemoteDegrade: {
+      // Failed reads transfer nothing but consume attempts: fold the error
+      // probability into the sustained rate alongside the rate cut.
+      config_.resources.remote_io =
+          base_resources_.remote_io * event.severity * (1.0 - event.error_rate);
+      if (degrade_start_ >= 0) {
+        CloseDegradeWindow(now);
+      }
+      if (event.severity < 1.0 || event.error_rate > 0) {
+        degrade_start_ = now;
+        ++fault_stats_.degrade_windows;
+      }
+      return;
+    }
+    case FaultKind::kWorkerCrash: {
+      if (event.target < 0 || static_cast<std::size_t>(event.target) >= jobs_.size()) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      JobState& s = jobs_[static_cast<std::size_t>(event.target)];
+      if (!s.arrived || s.finished || s.crashed || !s.running) {
+        ++fault_stats_.ignored_events;  // Queued jobs have no worker to crash.
+        return;
+      }
+      ++fault_stats_.worker_crashes;
+      s.running = false;
+      s.rate = 0;
+      s.io_rate = 0;
+      s.crashed = true;
+      if (plan_.cache_model == CacheModelKind::kPerJobStatic) {
+        // CoorDL's private cache lives on the crashed worker.
+        s.private_cached = 0;
+        s.effective = 0;
+      }
+      return;
+    }
+    case FaultKind::kWorkerRestart: {
+      if (event.target < 0 || static_cast<std::size_t>(event.target) >= jobs_.size() ||
+          !jobs_[static_cast<std::size_t>(event.target)].crashed) {
+        ++fault_stats_.ignored_events;
+        return;
+      }
+      jobs_[static_cast<std::size_t>(event.target)].crashed = false;
+      ++fault_stats_.worker_restarts;
+      return;  // Re-admitted via the resume path (restore penalty applies).
+    }
+    case FaultKind::kDataManagerRestart: {
+      // In the fluid model the Data Manager's durable state (allocations +
+      // disk contents) restores exactly, so a restart is performance-neutral
+      // here; the fine engine and the real-thread runtime exercise the actual
+      // snapshot/restore machinery.
+      ++fault_stats_.dm_restarts;
+      return;
+    }
+  }
+  ++fault_stats_.ignored_events;  // Unreachable with a valid enum.
+}
+
 void FlowEngine::RecordMetrics(Seconds now) {
   BytesPerSec total = 0;
   BytesPerSec ideal = 0;
@@ -420,6 +557,9 @@ SimResult FlowEngine::Run() {
                             t);
     }
     dt = std::min(dt, next_tick - t);
+    if (!injector_.exhausted()) {
+      dt = std::min(dt, injector_.NextTime() - t);
+    }
     for (const JobState& s : jobs_) {
       if (!s.running || s.finished || s.rate <= 0) {
         continue;
@@ -459,6 +599,18 @@ SimResult FlowEngine::Run() {
 
     if (t + kTimeEps >= next_tick) {
       next_tick += config_.reschedule_period;
+      need_resched = true;
+    }
+
+    // Inject faults before the completion scan so a crash at the same instant
+    // as a completion takes effect first (mirrors the fine engine).  Every
+    // fault triggers an immediate reschedule.
+    if (injector_.NextTime() <= t + kTimeEps) {
+      due_faults_.clear();
+      injector_.PopDue(t + kTimeEps, &due_faults_);
+      for (const FaultEvent& event : due_faults_) {
+        ApplyFault(event, t);
+      }
       need_resched = true;
     }
 
@@ -504,7 +656,20 @@ SimResult FlowEngine::Run() {
       }
     }
   }
-  return metrics_.Finalize();
+  if (degrade_start_ >= 0) {
+    CloseDegradeWindow(t);
+  }
+  if (!injector_.exhausted()) {
+    due_faults_.clear();
+    injector_.PopDue(kInfiniteTime, &due_faults_);
+    fault_stats_.ignored_events += static_cast<int>(due_faults_.size());
+  }
+  SimResult result = metrics_.Finalize();
+  for (FaultStats::Window& window : fault_stats_.windows) {
+    window.avg_throughput = result.total_throughput.TimeAverage(window.start, window.end);
+  }
+  result.faults = fault_stats_;
+  return result;
 }
 
 }  // namespace silod

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/sched/policy.h"
 #include "src/sim/cluster.h"
 #include "src/sim/metrics.h"
@@ -42,6 +43,10 @@ class FlowEngine {
     bool running = false;
     bool started = false;  // Ever held GPUs (distinguishes start from resume).
     bool finished = false;
+    // Worker crashed and not yet restarted.  `started` stays true, so the
+    // scheduler's re-admission goes through the resume path and pays the
+    // checkpoint-restore penalty.
+    bool crashed = false;
     bool warm = false;           // Completed at least one epoch.
     BytesPerSec rate = 0;        // Current end-to-end throughput.
     BytesPerSec io_rate = 0;     // Current egress consumption.
@@ -57,6 +62,8 @@ class FlowEngine {
   void Reschedule(Seconds now);
   void ComputeRates(Seconds now);
   void RecordMetrics(Seconds now);
+  void ApplyFault(const FaultEvent& event, Seconds now);
+  void CloseDegradeWindow(Seconds end);
 
   const Trace* trace_;
   std::shared_ptr<Scheduler> scheduler_;
@@ -67,6 +74,14 @@ class FlowEngine {
   std::vector<DatasetState> datasets_;  // Indexed by DatasetId.
   AllocationPlan plan_;
   MetricsCollector metrics_;
+
+  FaultInjector injector_;              // Cursor over SimConfig::faults.
+  ClusterResources base_resources_;     // Nominal (no-fault) resources.
+  std::vector<bool> server_alive_;
+  int alive_servers_ = 0;
+  Seconds degrade_start_ = -1;          // Open degrade window, -1 if none.
+  FaultStats fault_stats_;
+  std::vector<FaultEvent> due_faults_;  // Scratch.
 };
 
 }  // namespace silod

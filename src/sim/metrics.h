@@ -12,6 +12,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/fault/fault_plan.h"
 #include "src/workload/job.h"
 
 namespace silod {
@@ -53,6 +54,7 @@ struct SimResult {
   TimeSeries effective_cache_ratio;  // Effective / allocated cache (Fig. 8).
 
   EngineStepCounters steps;          // Fine engine only; zeros otherwise.
+  FaultStats faults;                 // What the engine injected from SimConfig::faults.
 
   double AvgJctSeconds() const;
   double AvgJctMinutes() const { return AvgJctSeconds() / 60.0; }

@@ -26,7 +26,18 @@ std::int64_t NowNs() {
 }  // namespace
 
 InMemRemoteStore::InMemRemoteStore(BytesPerSec egress_limit, Bytes burst)
-    : bucket_(egress_limit, burst), start_ns_(NowNs()) {}
+    : bucket_(egress_limit, burst), egress_limit_(egress_limit), start_ns_(NowNs()) {}
+
+void InMemRemoteStore::SetFault(double rate_factor, double error_rate) {
+  SILOD_CHECK(rate_factor > 0 && rate_factor <= 1) << "rate factor out of (0, 1]";
+  SILOD_CHECK(error_rate >= 0 && error_rate < 1) << "error rate out of [0, 1)";
+  std::lock_guard<std::mutex> lock(mu_);
+  const Seconds now = static_cast<double>(NowNs() - start_ns_) * 1e-9;
+  // SetRate settles any in-flight reservation first, so degrading mid-read
+  // never double-credits tokens.
+  bucket_.SetRate(egress_limit_ * rate_factor, now);
+  error_rate_ = error_rate;
+}
 
 void InMemRemoteStore::RegisterDataset(const Dataset& dataset) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -34,12 +45,29 @@ void InMemRemoteStore::RegisterDataset(const Dataset& dataset) {
 }
 
 std::vector<std::uint8_t> InMemRemoteStore::ReadBlock(DatasetId dataset, std::int64_t block) {
+  for (;;) {
+    Result<std::vector<std::uint8_t>> result = TryReadBlock(dataset, block);
+    if (result.ok()) {
+      return std::move(result).value();
+    }
+  }
+}
+
+Result<std::vector<std::uint8_t>> InMemRemoteStore::TryReadBlock(DatasetId dataset,
+                                                                 std::int64_t block) {
   Bytes size = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = datasets_.find(dataset);
     SILOD_CHECK(it != datasets_.end()) << "dataset " << dataset << " not registered";
     size = it->second.BlockBytes(block);
+
+    // An injected transient failure aborts before booking tokens: a failed
+    // request transfers no bytes.
+    if (error_rate_ > 0 && rng_.NextDouble() < error_rate_) {
+      transient_errors_.fetch_add(1);
+      return Status::Internal("transient remote read error (injected)");
+    }
 
     const Seconds now = static_cast<double>(NowNs() - start_ns_) * 1e-9;
     const Seconds admit = bucket_.TimeToAdmit(size, now);

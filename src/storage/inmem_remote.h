@@ -17,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/storage/token_bucket.h"
 #include "src/workload/dataset.h"
@@ -32,8 +34,21 @@ class InMemRemoteStore {
   void RegisterDataset(const Dataset& dataset);
 
   // Blocking read of one block.  Sleeps as needed to respect the egress
-  // limit, then materializes the deterministic payload.
+  // limit, then materializes the deterministic payload.  Retries transient
+  // errors internally (callers that want to back off use TryReadBlock).
   std::vector<std::uint8_t> ReadBlock(DatasetId dataset, std::int64_t block);
+
+  // Like ReadBlock, but surfaces an injected transient failure as
+  // Status::Internal instead of retrying.  A failed read spends no tokens.
+  Result<std::vector<std::uint8_t>> TryReadBlock(DatasetId dataset, std::int64_t block);
+
+  // --- Fault injection (§6) -------------------------------------------------
+  // Degrades the store: sustained egress drops to rate_factor * nominal and
+  // each read fails with probability error_rate.  rate_factor in (0, 1],
+  // error_rate in [0, 1).
+  void SetFault(double rate_factor, double error_rate);
+  void ClearFault() { SetFault(1.0, 0.0); }
+  std::int64_t transient_errors() const { return transient_errors_.load(); }
 
   // The checksum ReadBlock's payload will have; computable without the bytes.
   static std::uint64_t ExpectedChecksum(DatasetId dataset, std::int64_t block, Bytes size);
@@ -47,6 +62,10 @@ class InMemRemoteStore {
   TokenBucket bucket_;
   std::map<DatasetId, Dataset> datasets_;
   std::atomic<Bytes> bytes_served_{0};
+  std::atomic<std::int64_t> transient_errors_{0};
+  const BytesPerSec egress_limit_;
+  double error_rate_ = 0;  // Guarded by mu_.
+  Rng rng_{0xFA117};       // Guarded by mu_.
   const std::int64_t start_ns_;
 };
 

@@ -177,6 +177,60 @@ TEST_F(RecoveryTest, TextRejectsGarbage) {
   EXPECT_FALSE(SnapshotFromText("silod-snapshot-v1\ncache x\n").ok());
 }
 
+// Hostile-input table: a restart must never rebuild from a corrupt durable
+// snapshot — every malformed record is a distinct InvalidArgument, not a
+// silently skipped line or a garbage DataManager.
+TEST_F(RecoveryTest, TextRejectsEveryMalformedRecordShape) {
+  const struct {
+    const char* text;
+    const char* why;
+  } kBad[] = {
+      {"silod-snapshot-v2\n", "wrong version header"},
+      {"silod-snapshot-v1\ncache 0\n", "truncated cache line"},
+      {"silod-snapshot-v1\ncache 0 100 extra\n", "trailing garbage on cache line"},
+      {"silod-snapshot-v1\ncache 0 ten\n", "non-numeric quota"},
+      {"silod-snapshot-v1\ncache 0 -5\n", "negative quota"},
+      {"silod-snapshot-v1\ncache 0 100\ncache 0 200\n", "duplicate cache record"},
+      {"silod-snapshot-v1\nio 3\n", "truncated io line"},
+      {"silod-snapshot-v1\nio 3 100 extra\n", "trailing garbage on io line"},
+      {"silod-snapshot-v1\nio 3 -1\n", "negative io rate"},
+      {"silod-snapshot-v1\nio 3 10\nio 3 20\n", "duplicate io record"},
+      {"silod-snapshot-v1\nblocks\n", "truncated blocks line"},
+      {"silod-snapshot-v1\nblocks 0\n", "blocks record lists no blocks"},
+      {"silod-snapshot-v1\nblocks 0 1 two 3\n", "non-numeric block id"},
+      {"silod-snapshot-v1\nblocks 0 1 2\nblocks 0 3\n", "duplicate blocks record"},
+  };
+  for (const auto& c : kBad) {
+    const Result<DataManagerSnapshot> parsed = SnapshotFromText(c.text);
+    EXPECT_FALSE(parsed.ok()) << c.why;
+  }
+  // The same shapes in one well-formed snapshot parse cleanly.
+  const Result<DataManagerSnapshot> good =
+      SnapshotFromText("silod-snapshot-v1\ncache 0 100\nio 3 10\nblocks 0 1 2\n");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->cache_allocations.at(0), 100);
+  EXPECT_EQ(good->cached_blocks.at(0), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST_F(RecoveryTest, TextValidatesAgainstCatalogWhenGiven) {
+  // dataset ids 0 and 1 exist (a: 4 GB in 100 MB blocks = 40 blocks).
+  const std::string unknown_cache = "silod-snapshot-v1\ncache 9 100\n";
+  const std::string unknown_blocks = "silod-snapshot-v1\nblocks 9 1\n";
+  const std::string negative_block = "silod-snapshot-v1\nblocks 0 -1\n";
+  const std::string out_of_range = "silod-snapshot-v1\nblocks 0 40\n";
+  const std::string in_range = "silod-snapshot-v1\nblocks 0 39\n";
+
+  // Without a catalog, structurally valid text parses (ids are opaque).
+  EXPECT_TRUE(SnapshotFromText(unknown_cache).ok());
+  EXPECT_TRUE(SnapshotFromText(unknown_blocks).ok());
+  // With the catalog, unknown ids and out-of-range blocks are rejected.
+  EXPECT_FALSE(SnapshotFromText(unknown_cache, &catalog_).ok());
+  EXPECT_FALSE(SnapshotFromText(unknown_blocks, &catalog_).ok());
+  EXPECT_FALSE(SnapshotFromText(negative_block, &catalog_).ok());
+  EXPECT_FALSE(SnapshotFromText(out_of_range, &catalog_).ok());
+  EXPECT_TRUE(SnapshotFromText(in_range, &catalog_).ok());
+}
+
 TEST_F(RecoveryTest, RestoreDropsSurplusDiskContent) {
   // Disk holds more blocks than the (shrunken) restored quota admits.
   DataManagerSnapshot snapshot;

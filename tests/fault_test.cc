@@ -1,0 +1,556 @@
+// Tests for the fault-injection subsystem (src/fault) and its consumers:
+// plan parsing/generation, the injector cursor, the cache/storage fault
+// mechanics, recovery fixpoints, and the paper's §6 claim that failures under
+// both simulation engines cost performance but never correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_manager.h"
+#include "src/cache/distributed_cache.h"
+#include "src/common/units.h"
+#include "src/core/recovery.h"
+#include "src/core/system.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/storage/inmem_remote.h"
+
+namespace silod {
+namespace {
+
+// ------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlan, ParseExpandsDurationsIntoPairedEvents) {
+  const Result<FaultPlan> plan = FaultPlan::Parse(
+      "server-crash t=600 server=2 down=900; "
+      "degrade t=100 factor=0.25 err=0.1 for=50; "
+      "worker-crash t=10 job=3; "
+      "dm-restart t=40");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 7u);  // Each duration adds its closing event.
+
+  // Sorted by time: worker-crash(10), dm(40), worker-restart(70, default 60s
+  // delay), degrade(100), degrade-end(150), crash(600), recover(1500).
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kWorkerCrash);
+  EXPECT_EQ(plan->events[0].target, 3);
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kDataManagerRestart);
+  EXPECT_EQ(plan->events[2].kind, FaultKind::kWorkerRestart);
+  EXPECT_DOUBLE_EQ(plan->events[2].time, 70.0);
+  EXPECT_EQ(plan->events[3].kind, FaultKind::kRemoteDegrade);
+  EXPECT_DOUBLE_EQ(plan->events[3].severity, 0.25);
+  EXPECT_DOUBLE_EQ(plan->events[3].error_rate, 0.1);
+  EXPECT_EQ(plan->events[4].kind, FaultKind::kRemoteDegrade);
+  EXPECT_DOUBLE_EQ(plan->events[4].severity, 1.0);  // Window closes.
+  EXPECT_DOUBLE_EQ(plan->events[4].error_rate, 0.0);
+  EXPECT_EQ(plan->events[5].kind, FaultKind::kCacheServerCrash);
+  EXPECT_EQ(plan->events[5].target, 2);
+  EXPECT_EQ(plan->events[6].kind, FaultKind::kCacheServerRecover);
+  EXPECT_DOUBLE_EQ(plan->events[6].time, 1500.0);
+}
+
+TEST(FaultPlan, SpecRoundTripIsIdentity) {
+  const Result<FaultPlan> plan = FaultPlan::Parse(
+      "worker-crash t=5 job=1 restart=0; degrade t=20 factor=0.5; "
+      "server-recover t=30 server=0; dm-restart t=45");
+  ASSERT_TRUE(plan.ok());
+  const Result<FaultPlan> reparsed = FaultPlan::Parse(plan->ToSpec());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->events, plan->events);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  const struct {
+    const char* spec;
+    const char* why;
+  } kBad[] = {
+      {"explode t=5", "unknown kind"},
+      {"degrade factor=0.5", "missing t"},
+      {"server-crash t=5", "missing server"},
+      {"worker-crash t=5", "missing job"},
+      {"degrade t=5 factor=0", "factor below (0,1]"},
+      {"degrade t=5 factor=1.5", "factor above (0,1]"},
+      {"degrade t=5 err=1", "err outside [0,1)"},
+      {"degrade t=5 err=-0.1", "negative err"},
+      {"dm-restart t=abc", "non-numeric value"},
+      {"dm-restart time=5", "unknown key"},
+      {"dm-restart t", "token without ="},
+  };
+  for (const auto& c : kBad) {
+    EXPECT_FALSE(FaultPlan::Parse(c.spec).ok()) << c.why << ": " << c.spec;
+  }
+  // Empty and whitespace-only specs are valid empty plans.
+  EXPECT_TRUE(FaultPlan::Parse("").ok());
+  EXPECT_TRUE(FaultPlan::Parse(" ; ; ").ok());
+}
+
+TEST(FaultPlan, GeneratedChurnIsDeterministicInSeed) {
+  FaultChurnOptions options;
+  options.horizon = Hours(6);
+  options.server_crashes_per_hour = 2;
+  options.worker_crashes_per_hour = 3;
+  options.degrade_windows_per_hour = 1;
+  options.dm_restarts_per_hour = 0.5;
+  options.num_servers = 4;
+  options.num_jobs = 10;
+  options.seed = 42;
+
+  const FaultPlan a = GenerateFaultPlan(options);
+  const FaultPlan b = GenerateFaultPlan(options);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_FALSE(a.empty());
+
+  options.seed = 43;
+  const FaultPlan c = GenerateFaultPlan(options);
+  EXPECT_NE(a.events, c.events);
+
+  // Events are sorted, targets in range, every crash has its paired closer.
+  int opens = 0;
+  int closes = 0;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(a.events[i - 1].time, a.events[i].time);
+    }
+    const FaultEvent& e = a.events[i];
+    switch (e.kind) {
+      case FaultKind::kCacheServerCrash:
+        EXPECT_GE(e.target, 0);
+        EXPECT_LT(e.target, options.num_servers);
+        ++opens;
+        break;
+      case FaultKind::kWorkerCrash:
+        EXPECT_GE(e.target, 0);
+        EXPECT_LT(e.target, options.num_jobs);
+        ++opens;
+        break;
+      case FaultKind::kCacheServerRecover:
+      case FaultKind::kWorkerRestart:
+        ++closes;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(opens, closes);
+}
+
+TEST(FaultPlan, RaisingOneRateDoesNotPerturbOtherStreams) {
+  FaultChurnOptions options;
+  options.horizon = Hours(6);
+  options.server_crashes_per_hour = 2;
+  options.seed = 7;
+  const FaultPlan base = GenerateFaultPlan(options);
+
+  options.dm_restarts_per_hour = 3;
+  const FaultPlan with_dm = GenerateFaultPlan(options);
+
+  auto server_times = [](const FaultPlan& plan) {
+    std::vector<Seconds> times;
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind == FaultKind::kCacheServerCrash) {
+        times.push_back(e.time);
+      }
+    }
+    return times;
+  };
+  EXPECT_EQ(server_times(base), server_times(with_dm));
+}
+
+// --------------------------------------------------------- FaultInjector --
+
+TEST(FaultInjector, CursorDrainsInTimeOrder) {
+  const Result<FaultPlan> plan =
+      FaultPlan::Parse("dm-restart t=10; dm-restart t=20; dm-restart t=30");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan);
+
+  EXPECT_FALSE(injector.exhausted());
+  EXPECT_DOUBLE_EQ(injector.NextTime(), 10.0);
+
+  std::vector<FaultEvent> due;
+  injector.PopDue(5.0, &due);
+  EXPECT_TRUE(due.empty());
+
+  injector.PopDue(20.0, &due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_DOUBLE_EQ(due[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(due[1].time, 20.0);
+  EXPECT_EQ(injector.injected(), 2);
+  EXPECT_DOUBLE_EQ(injector.NextTime(), 30.0);
+
+  due.clear();
+  injector.PopDue(kInfiniteTime, &due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(injector.NextTime(), kInfiniteTime);
+}
+
+TEST(FaultInjector, EmptyPlanIsExhaustedFromBirth) {
+  FaultInjector injector(FaultPlan{});
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(injector.NextTime(), kInfiniteTime);
+}
+
+// ---------------------------------------------- CacheManager fault hooks --
+
+TEST(CacheManagerFaults, EvictRandomFractionDropsAboutThatShare) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(100), MB(1));  // 100 blocks.
+  const Dataset& d = catalog.Get(id);
+  CacheManager cache(MB(100));
+  ASSERT_TRUE(cache.AllocateCacheSize(d, MB(100)).ok());
+  for (std::int64_t b = 0; b < 100; ++b) {
+    cache.AccessBlock(d, b);
+  }
+  ASSERT_EQ(cache.CachedBytes(id), MB(100));
+
+  const std::int64_t evicted = cache.EvictRandomFraction(0.25);
+  EXPECT_EQ(evicted, 25);
+  EXPECT_EQ(cache.CachedBytes(id), MB(75));
+  EXPECT_EQ(cache.CachedBlocks(id).size(), 75u);
+
+  EXPECT_EQ(cache.EvictRandomFraction(0.0), 0);
+  EXPECT_EQ(cache.EvictRandomFraction(1.0), 75);
+  EXPECT_EQ(cache.CachedBytes(id), 0);
+}
+
+TEST(CacheManagerFaults, SetTotalCapacityAllowsTransientOverCommit) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(100), MB(1));
+  const Dataset& d = catalog.Get(id);
+  CacheManager cache(MB(100));
+  ASSERT_TRUE(cache.AllocateCacheSize(d, MB(80)).ok());
+
+  cache.SetTotalCapacity(MB(50));  // Pool shrinks under the live allocation.
+  EXPECT_EQ(cache.total_capacity(), MB(50));
+  EXPECT_EQ(cache.total_allocated(), MB(80));  // Transiently over-committed.
+
+  // New allocations must fit the reduced pool once the old one shrinks.
+  EXPECT_TRUE(cache.AllocateCacheSize(d, MB(30)).ok());
+  EXPECT_FALSE(cache.AllocateCacheSize(d, MB(60)).ok());
+}
+
+// Regression: with the pool over-committed after a crash, a shrink that does
+// not yet reach the new capacity must still be accepted — the next plan's
+// shrinks are what drain the over-commit, so rejecting them wedges the pool
+// over capacity forever (seen as a fatal "cache pool over-committed" in the
+// fine engine when a crash hit a full multi-dataset pool).
+TEST(CacheManagerFaults, ShrinkIsLegalWhileOverCommitted) {
+  DatasetCatalog catalog;
+  const DatasetId a = catalog.Add("a", MB(100), MB(1));
+  const DatasetId b = catalog.Add("b", MB(100), MB(1));
+  CacheManager cache(MB(160));
+  ASSERT_TRUE(cache.AllocateCacheSize(catalog.Get(a), MB(80)).ok());
+  ASSERT_TRUE(cache.AllocateCacheSize(catalog.Get(b), MB(80)).ok());
+
+  cache.SetTotalCapacity(MB(120));  // A crash takes a quarter of the pool.
+
+  // 80 -> 70 still leaves 150 > 120 allocated, but it must succeed.
+  EXPECT_TRUE(cache.AllocateCacheSize(catalog.Get(a), MB(70)).ok());
+  EXPECT_TRUE(cache.AllocateCacheSize(catalog.Get(b), MB(50)).ok());
+  EXPECT_EQ(cache.total_allocated(), MB(120));
+  // Grows are still gated on the shrunken capacity.
+  EXPECT_FALSE(cache.AllocateCacheSize(catalog.Get(a), MB(80)).ok());
+}
+
+TEST(CacheManagerFaults, EvictBlockRemovesOneResident) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(10), MB(1));
+  const Dataset& d = catalog.Get(id);
+  CacheManager cache(MB(10));
+  ASSERT_TRUE(cache.AllocateCacheSize(d, MB(10)).ok());
+  cache.AccessBlock(d, 3);
+
+  EXPECT_TRUE(cache.EvictBlock(id, 3).ok());
+  EXPECT_FALSE(cache.IsCached(id, 3));
+  EXPECT_FALSE(cache.EvictBlock(id, 3).ok());  // Already gone: NotFound.
+  EXPECT_FALSE(cache.EvictBlock(id, 7).ok());  // Never cached.
+}
+
+// ------------------------------------------- DistributedCache crash path --
+
+TEST(DistributedCacheFaults, CrashLosesOnlyThatServersBlocks) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(200), MB(1));
+  const Dataset& d = catalog.Get(id);
+  DistributedCache cache(4, MB(100));
+  ASSERT_TRUE(cache.AllocateCacheSize(d, MB(200)).ok());
+  for (std::int64_t b = 0; b < 200; ++b) {
+    cache.AccessBlock(d, b);
+  }
+  const Bytes cached_before = cache.CachedBytes(id);
+  const Bytes on_server0 = cache.server_used(0);
+  ASSERT_GT(on_server0, 0);
+
+  const Result<std::int64_t> lost = cache.CrashServer(0);
+  ASSERT_TRUE(lost.ok()) << lost.status().ToString();
+  EXPECT_EQ(*lost * MB(1), on_server0);
+  EXPECT_EQ(cache.CachedBytes(id), cached_before - on_server0);
+  EXPECT_EQ(cache.server_used(0), 0);
+  EXPECT_FALSE(cache.server_alive(0));
+  EXPECT_EQ(cache.alive_servers(), 3);
+  EXPECT_EQ(cache.alive_capacity(), MB(300));
+
+  // Double crash and bad indices are rejected.
+  EXPECT_FALSE(cache.CrashServer(0).ok());
+  EXPECT_FALSE(cache.CrashServer(-1).ok());
+  EXPECT_FALSE(cache.CrashServer(4).ok());
+
+  // Blocks placed on the dead server are not re-admitted while it is down.
+  const Bytes cached_after_crash = cache.CachedBytes(id);
+  for (std::int64_t b = 0; b < 200; ++b) {
+    cache.AccessBlock(d, b);
+  }
+  EXPECT_EQ(cache.CachedBytes(id), cached_after_crash);
+
+  // Recovery rejoins empty; refills restore the original footprint.
+  ASSERT_TRUE(cache.RecoverServer(0).ok());
+  EXPECT_TRUE(cache.server_alive(0));
+  EXPECT_EQ(cache.server_used(0), 0);
+  EXPECT_FALSE(cache.RecoverServer(0).ok());  // Already alive.
+  for (std::int64_t b = 0; b < 200; ++b) {
+    cache.AccessBlock(d, b);
+  }
+  EXPECT_EQ(cache.CachedBytes(id), cached_before);
+  EXPECT_EQ(cache.server_used(0), on_server0);  // Placement is deterministic.
+}
+
+// ----------------------------------------------- InMemRemoteStore faults --
+
+TEST(RemoteStoreFaults, TransientErrorsSurfaceThroughTryReadBlock) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(4), KB(64));
+  InMemRemoteStore store(GBps(100), MB(64));  // Fast enough to never sleep.
+  store.RegisterDataset(catalog.Get(id));
+
+  store.SetFault(/*rate_factor=*/1.0, /*error_rate=*/0.5);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto result = store.TryReadBlock(id, i % 8);
+    if (!result.ok()) {
+      ++failures;
+    } else {
+      EXPECT_EQ(InMemRemoteStore::Checksum(*result),
+                InMemRemoteStore::ExpectedChecksum(id, i % 8, KB(64)));
+    }
+  }
+  EXPECT_GT(failures, 50);  // ~100 expected; 50 is > 12 sigma slack.
+  EXPECT_LT(failures, 150);
+  EXPECT_EQ(store.transient_errors(), failures);
+
+  store.ClearFault();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(store.TryReadBlock(id, i % 8).ok());
+  }
+  EXPECT_EQ(store.transient_errors(), failures);  // No new errors.
+
+  // The blocking path retries through errors and still delivers the payload.
+  store.SetFault(1.0, 0.5);
+  const std::vector<std::uint8_t> data = store.ReadBlock(id, 0);
+  EXPECT_EQ(InMemRemoteStore::Checksum(data),
+            InMemRemoteStore::ExpectedChecksum(id, 0, KB(64)));
+}
+
+// -------------------------------------------------- Recovery under churn --
+
+TEST(RecoveryFaults, CacheSnapshotRestoreIsAFixpoint) {
+  DatasetCatalog catalog;
+  const DatasetId a = catalog.Add("a", MB(64), MB(1));
+  const DatasetId b = catalog.Add("b", MB(64), MB(1));
+  CacheManager cache(MB(96));
+  ASSERT_TRUE(cache.AllocateCacheSize(catalog.Get(a), MB(48)).ok());
+  ASSERT_TRUE(cache.AllocateCacheSize(catalog.Get(b), MB(32)).ok());
+  for (std::int64_t blk = 0; blk < 40; ++blk) {
+    cache.AccessBlock(catalog.Get(a), blk);
+    cache.AccessBlock(catalog.Get(b), blk);
+  }
+
+  const DataManagerSnapshot snapshot = CaptureCacheSnapshot(cache, catalog);
+  CacheManager restored(MB(96));
+  ASSERT_TRUE(RestoreCacheManager(snapshot, catalog, &restored).ok());
+  EXPECT_EQ(restored.Allocation(a), MB(48));
+  EXPECT_EQ(restored.Allocation(b), MB(32));
+  EXPECT_EQ(restored.CachedBlocks(a), cache.CachedBlocks(a));
+  EXPECT_EQ(restored.CachedBlocks(b), cache.CachedBlocks(b));
+  // The restored manager snapshots identically, including via text.
+  EXPECT_EQ(CaptureCacheSnapshot(restored, catalog), snapshot);
+  const Result<DataManagerSnapshot> parsed =
+      SnapshotFromText(SnapshotToText(snapshot), &catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, snapshot);
+}
+
+// --------------------------------------------------- Engines under churn --
+
+Trace ChurnTrace(int num_jobs) {
+  TraceOptions options;
+  options.num_jobs = num_jobs;
+  options.mean_interarrival = Minutes(3);
+  options.median_duration = Minutes(20);
+  options.max_duration = Hours(2);
+  options.seed = 91;
+  options.block_size = MB(256);  // Keeps the fine engine fast.
+  return TraceGenerator(options).Generate();
+}
+
+SimConfig ChurnCluster() {
+  SimConfig config;
+  config.resources.total_gpus = 16;
+  config.resources.total_cache = GB(400);
+  config.resources.remote_io = MBps(300);
+  config.resources.num_servers = 4;
+  config.reschedule_period = Minutes(5);
+  return config;
+}
+
+FaultPlan HeavyChurn(int num_jobs) {
+  FaultChurnOptions options;
+  options.horizon = Hours(12);
+  options.server_crashes_per_hour = 4;
+  options.worker_crashes_per_hour = 4;
+  options.degrade_windows_per_hour = 2;
+  options.dm_restarts_per_hour = 1;
+  options.mean_server_downtime = Minutes(10);
+  options.worker_restart_delay = Minutes(3);
+  options.degrade_factor = 0.3;
+  options.degrade_error_rate = 0.2;
+  options.num_servers = 4;
+  options.num_jobs = num_jobs;
+  options.seed = 5;
+  return GenerateFaultPlan(options);
+}
+
+// §6's headline: under an adversarial seeded schedule of every fault kind,
+// every job still completes on both engines, and the fine engine's per-block
+// accounting stays exact (each consumed block is exactly one hit or miss).
+TEST(EngineFaults, EveryJobCompletesUnderHeavyChurnOnBothEngines) {
+  const int kJobs = 12;
+  const Trace trace = ChurnTrace(kJobs);
+  std::int64_t total_blocks = 0;
+  for (const JobSpec& spec : trace.jobs) {
+    const Dataset& d = trace.catalog.Get(spec.dataset);
+    total_blocks +=
+        std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
+  }
+
+  for (const EngineKind engine : {EngineKind::kFine, EngineKind::kFlow}) {
+    for (const CacheSystem cache : {CacheSystem::kSiloD, CacheSystem::kCoorDl}) {
+      ExperimentConfig config;
+      config.scheduler = SchedulerKind::kFifo;
+      config.cache = cache;
+      config.sim = ChurnCluster();
+      config.sim.faults = HeavyChurn(kJobs);
+      config.engine = engine;
+      const SimResult result = RunExperiment(trace, config);
+
+      ASSERT_EQ(result.jobs.size(), trace.jobs.size());
+      for (const JobResult& j : result.jobs) {
+        EXPECT_GE(j.first_start_time, 0) << "job " << j.id;
+        EXPECT_GT(j.finish_time, j.first_start_time) << "job " << j.id;
+      }
+      EXPECT_GT(result.faults.server_crashes, 0);
+      EXPECT_GT(result.faults.worker_crashes, 0);
+      EXPECT_GT(result.faults.degrade_windows, 0);
+      EXPECT_GT(result.faults.dm_restarts, 0);
+      if (engine == EngineKind::kFine) {
+        EXPECT_EQ(result.steps.miss_completions + result.steps.hit_completions,
+                  static_cast<std::uint64_t>(total_blocks))
+            << CacheSystemName(cache);
+        EXPECT_GT(result.faults.blocks_lost, 0);
+      }
+      for (const FaultStats::Window& w : result.faults.windows) {
+        EXPECT_GT(w.end, w.start);
+        EXPECT_GE(w.avg_throughput, 0);
+      }
+    }
+  }
+}
+
+TEST(EngineFaults, ChurnRunsAreDeterministic) {
+  const Trace trace = ChurnTrace(8);
+  ExperimentConfig config;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = ChurnCluster();
+  config.sim.faults = HeavyChurn(8);
+  config.engine = EngineKind::kFine;
+  const SimResult a = RunExperiment(trace, config);
+  const SimResult b = RunExperiment(trace, config);
+  EXPECT_TRUE(PhysicallyIdentical(a, b));
+}
+
+// A single remote-bound job: a degrade window must slow it down, and the
+// effect must be visible on both engines.
+TEST(EngineFaults, DegradeWindowSlowsRemoteBoundJob) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d = trace.catalog.Add("d", GB(4), MB(256));
+  JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, 1.0, 0);
+  job.total_bytes = 2 * GB(4);
+  trace.jobs.push_back(job);
+
+  SimConfig sim;
+  sim.resources.total_gpus = 4;
+  sim.resources.total_cache = 0;  // Every read is remote.
+  sim.resources.remote_io = MBps(100);
+  sim.resources.num_servers = 1;
+
+  for (const EngineKind engine : {EngineKind::kFine, EngineKind::kFlow}) {
+    ExperimentConfig config;
+    config.cache = CacheSystem::kSiloD;
+    config.sim = sim;
+    config.engine = engine;
+    const SimResult baseline = RunExperiment(trace, config);
+
+    const Result<FaultPlan> plan = FaultPlan::Parse("degrade t=5 factor=0.25 for=40");
+    ASSERT_TRUE(plan.ok());
+    config.sim.faults = *plan;
+    const SimResult degraded = RunExperiment(trace, config);
+
+    // 40 s at quarter rate costs ~30 s of transfer time; allow engine slack.
+    EXPECT_GT(degraded.jobs[0].finish_time, baseline.jobs[0].finish_time + 15)
+        << (engine == EngineKind::kFine ? "fine" : "flow");
+    ASSERT_EQ(degraded.faults.windows.size(), 1u);
+    EXPECT_LT(degraded.faults.windows[0].avg_throughput,
+              baseline.total_throughput.TimeAverage(5, 45) + 1.0);
+  }
+}
+
+TEST(EngineFaults, WorkerCrashDelaysThatJobOnly) {
+  const ModelZoo zoo;
+  Trace trace;
+  for (int i = 0; i < 2; ++i) {
+    const DatasetId d = trace.catalog.Add("d" + std::to_string(i), GB(2), MB(256));
+    JobSpec job = MakeJob(static_cast<JobId>(i), zoo, "ResNet-50", 1, d, 1.0, 0);
+    job.total_bytes = 2 * GB(2);
+    trace.jobs.push_back(job);
+  }
+  SimConfig sim;
+  sim.resources.total_gpus = 4;
+  sim.resources.total_cache = GB(8);
+  sim.resources.remote_io = MBps(400);
+  sim.resources.num_servers = 1;
+  sim.reschedule_period = 10;
+
+  ExperimentConfig config;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = sim;
+  config.engine = EngineKind::kFine;
+  const SimResult baseline = RunExperiment(trace, config);
+
+  const Result<FaultPlan> plan = FaultPlan::Parse("worker-crash t=10 job=0 restart=120");
+  ASSERT_TRUE(plan.ok());
+  config.sim.faults = *plan;
+  const SimResult faulted = RunExperiment(trace, config);
+
+  EXPECT_EQ(faulted.faults.worker_crashes, 1);
+  EXPECT_EQ(faulted.faults.worker_restarts, 1);
+  // The crashed job pays roughly the outage; its peer is unaffected (same
+  // dataset sizes but disjoint datasets and ample egress).
+  EXPECT_GT(faulted.jobs[0].finish_time, baseline.jobs[0].finish_time + 60);
+  EXPECT_NEAR(faulted.jobs[1].finish_time, baseline.jobs[1].finish_time,
+              0.25 * baseline.jobs[1].finish_time + 30);
+}
+
+}  // namespace
+}  // namespace silod

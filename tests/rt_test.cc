@@ -181,5 +181,68 @@ TEST(RtCluster, ShutdownDoesNotDrainStagedPipeline) {
   EXPECT_LT(elapsed, 1.5);
 }
 
+// --------------------------------------------------- Fault injection (§6) --
+
+// A degrade window with transient errors: the loader's bounded backoff
+// retries through them, the run completes, and the per-block accounting stays
+// exact (every block is exactly one hit or one miss, retries notwithstanding).
+TEST(RtClusterFaults, TransientRemoteErrorsAreRetriedToCompletion) {
+  const Trace trace = TinyTrace(1, MB(8), 3.0);
+  RtOptions options;
+  Result<FaultPlan> plan = FaultPlan::Parse("degrade t=0 factor=1 err=0.5 for=120");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(200)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  const RtJobResult& j = result.jobs[0];
+  EXPECT_EQ(j.cache_hits + j.cache_misses, 96);
+  EXPECT_EQ(j.cache_misses, 32);
+  EXPECT_GT(result.remote_retries, 0);  // 32 misses at 50% error: ~32 retries.
+  EXPECT_EQ(result.degrade_windows, 1);
+}
+
+// A Data-Manager restart mid-run: the runtime rebuilds from the periodic
+// durable snapshot and every job still completes with exact accounting.
+TEST(RtClusterFaults, DataManagerRestartIsSurvivable) {
+  const Trace trace = TinyTrace(2, MB(8), 6.0);
+  RtOptions options;
+  options.snapshot_period = 0.03;
+  options.reschedule_period = 0.02;  // Poll faults faster than the run ends.
+  Result<FaultPlan> plan =
+      FaultPlan::Parse("dm-restart t=0.1; dm-restart t=0.2; server-crash t=0.15 server=0");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(16), MBps(100)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_GE(result.dm_restarts, 1);  // Late events may land after the last job.
+  for (const RtJobResult& j : result.jobs) {
+    EXPECT_TRUE(j.completed);
+    EXPECT_EQ(j.cache_hits + j.cache_misses, 192) << "job " << j.id;
+    EXPECT_EQ(j.blocks_consumed, j.blocks_done) << "job " << j.id;
+  }
+  // The single-process runtime has no server to kill: counted, not dropped.
+  EXPECT_GE(result.ignored_faults, 1);
+}
+
+// Regression: a job aborted mid-pipeline must never report more blocks
+// consumed than blocks whose compute actually finished (the trainer used to
+// count the dequeue, not the completed compute).
+TEST(RtClusterFaults, AbortedJobsReportConsumedEqualToDone) {
+  const Trace trace = TinyTrace(2, MB(8), 4.0);
+  RtOptions options;
+  options.max_wall_seconds = 0.08;  // Abort mid-run with blocks in flight.
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(0, MBps(20)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_TRUE(result.timed_out);
+  for (const RtJobResult& j : result.jobs) {
+    EXPECT_EQ(j.blocks_consumed, j.blocks_done) << "job " << j.id;
+  }
+}
+
 }  // namespace
 }  // namespace silod

@@ -63,6 +63,32 @@ TEST(TokenBucket, UnlimitedRateAlwaysAdmits) {
   EXPECT_DOUBLE_EQ(bucket.TimeToAdmit(MB(100), 0.0), 0.0);
 }
 
+// A scheduler tick re-rates the bucket while a loader holds a reservation at
+// a future admit time (the RtCluster pattern: Consume at TimeToAdmit moves
+// the bucket clock ahead of the wall clock).  The rate change must apply from
+// the reservation point — crediting the in-flight interval at the new rate
+// would mint tokens the old rate never granted.
+TEST(TokenBucket, SetRateDuringInFlightReservation) {
+  TokenBucket bucket(MBps(10), MB(1));
+  const Seconds admit = bucket.TimeToAdmit(MB(2), 0.0);
+  EXPECT_NEAR(admit, 0.1, 1e-9);  // 1 MB burst + 1 MB refill at 10 MB/s.
+  bucket.Consume(MB(2), admit);   // Bucket clock now at 0.1, zero tokens.
+
+  bucket.SetRate(MBps(20), /*now=*/0.05);  // Tick happened mid-reservation.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(0.1), 0.0);  // No retroactive credit.
+  // Accrual resumes from the reservation point at the new rate.
+  EXPECT_NEAR(bucket.TimeToAdmit(MB(1), 0.1), 0.15, 1e-9);
+}
+
+TEST(TokenBucket, SetRateAccruesElapsedTimeAtOldRate) {
+  TokenBucket bucket(MBps(10), MB(1));
+  bucket.Consume(MB(1), 0.0);  // Drain; no reservation beyond t=0.
+  bucket.SetRate(MBps(20), 0.05);
+  // [0, 0.05) accrued at 10 MB/s = 0.5 MB; then 20 MB/s going forward.
+  EXPECT_NEAR(bucket.TokensAt(0.05), static_cast<double>(MB(1)) / 2, 1.0);
+  EXPECT_NEAR(bucket.TokensAt(0.06), 0.7 * static_cast<double>(MB(1)), 1.0);
+}
+
 // ------------------------------------------------------------ MaxMinShare --
 
 TEST(MaxMinShare, UnderloadedGrantsDemands) {

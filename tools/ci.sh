@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 CI: strict-warnings build + tests, then an ASan/UBSan build + tests.
+# Tier-1 CI: strict-warnings build + tests, an ASan/UBSan build + tests, a
+# TSan build of the real-thread runtime tests, and a fault-churn benchmark
+# smoke run.
 #
-#   tools/ci.sh            # both stages
+#   tools/ci.sh            # all stages
 #   tools/ci.sh strict     # warnings stage only
-#   tools/ci.sh asan       # sanitizer stage only
+#   tools/ci.sh asan       # ASan/UBSan stage only
+#   tools/ci.sh tsan       # TSan rt_test stage only
+#   tools/ci.sh smoke      # fault-churn benchmark smoke only
 #
-# Build trees live in build-ci-strict/ and build-ci-asan/ next to the normal
-# build/ so CI never clobbers a developer tree.
+# Build trees live in build-ci-*/ next to the normal build/ so CI never
+# clobbers a developer tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +41,32 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+fi
+
+if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
+  # The real-thread runtime (loaders, trainers, scheduler, fault injection)
+  # is the only genuinely concurrent code; build and run just its tests
+  # under ThreadSanitizer.
+  echo "=== [tsan] configure ==="
+  cmake -B build-ci-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  echo "=== [tsan] build ==="
+  cmake --build build-ci-tsan -j "$jobs" --target rt_test
+  echo "=== [tsan] test ==="
+  ctest --test-dir build-ci-tsan -R '^rt_test$' --output-on-failure
+fi
+
+if [[ "$stage" == "all" || "$stage" == "smoke" ]]; then
+  # Fault-churn sweep in smoke mode: both engines survive a seeded crash
+  # schedule with every job completing; fails on any lost job.
+  echo "=== [smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target bench_fault_churn
+  echo "=== [smoke] run ==="
+  ./build-ci-smoke/bench/bench_fault_churn --smoke build-ci-smoke/BENCH_fault_churn.json
 fi
 
 echo "CI OK"

@@ -12,6 +12,7 @@
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/system.h"
+#include "src/fault/fault_plan.h"
 #include "src/workload/trace_io.h"
 
 using namespace silod;
@@ -70,6 +71,15 @@ int main(int argc, char** argv) {
   flags.Define("share", "0", "fraction of jobs sharing canonical datasets");
   flags.Define("gpu-speed", "1", "GPU speed scale (Fig. 14b)");
   flags.Define("seed", "3", "trace RNG seed");
+  flags.Define("fault-plan", "",
+               "explicit fault schedule, e.g. "
+               "\"server-crash t=600 server=0 down=900; degrade t=1200 factor=0.25 for=600\"");
+  flags.Define("fault-server-crashes-per-hour", "0", "generated churn: cache-server crash rate");
+  flags.Define("fault-worker-crashes-per-hour", "0", "generated churn: job-worker crash rate");
+  flags.Define("fault-degrade-windows-per-hour", "0", "generated churn: remote degrade rate");
+  flags.Define("fault-dm-restarts-per-hour", "0", "generated churn: Data-Manager restart rate");
+  flags.Define("fault-horizon-hours", "24", "generated churn horizon (hours)");
+  flags.Define("fault-seed", "1", "generated churn RNG seed");
   flags.Define("trace", "", "read the workload from this CSV instead of generating");
   flags.Define("dump-trace", "", "write the workload as CSV to this path");
   flags.Define("dump-jobs", "", "write per-job results as CSV to this path");
@@ -134,6 +144,34 @@ int main(int argc, char** argv) {
   config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
   config.fine.use_linear_scan = flags.GetBool("fine-linear-scan");
 
+  // Faults: an explicit plan and generated churn compose (events merge).
+  if (!flags.GetString("fault-plan").empty()) {
+    Result<FaultPlan> parsed = FaultPlan::Parse(flags.GetString("fault-plan"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--fault-plan: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    config.sim.faults = std::move(parsed).value();
+  }
+  if (flags.GetDouble("fault-server-crashes-per-hour") > 0 ||
+      flags.GetDouble("fault-worker-crashes-per-hour") > 0 ||
+      flags.GetDouble("fault-degrade-windows-per-hour") > 0 ||
+      flags.GetDouble("fault-dm-restarts-per-hour") > 0) {
+    FaultChurnOptions churn;
+    churn.horizon = Hours(flags.GetDouble("fault-horizon-hours"));
+    churn.server_crashes_per_hour = flags.GetDouble("fault-server-crashes-per-hour");
+    churn.worker_crashes_per_hour = flags.GetDouble("fault-worker-crashes-per-hour");
+    churn.degrade_windows_per_hour = flags.GetDouble("fault-degrade-windows-per-hour");
+    churn.dm_restarts_per_hour = flags.GetDouble("fault-dm-restarts-per-hour");
+    churn.num_servers = config.sim.resources.num_servers;
+    churn.num_jobs = static_cast<int>(trace.jobs.size());
+    churn.seed = static_cast<std::uint64_t>(flags.GetInt("fault-seed"));
+    FaultPlan generated = GenerateFaultPlan(churn);
+    config.sim.faults.events.insert(config.sim.faults.events.end(), generated.events.begin(),
+                                    generated.events.end());
+    config.sim.faults.Sort();
+  }
+
   std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
               "engine)\n",
               config.Name().c_str(), trace.jobs.size(), config.sim.resources.total_gpus,
@@ -158,7 +196,22 @@ int main(int argc, char** argv) {
                         std::to_string(result.steps.unblocks) + "/" +
                         std::to_string(result.steps.drains)});
   }
+  if (!config.sim.faults.empty()) {
+    const FaultStats& f = result.faults;
+    summary.AddRow({"faults (srv crash/recover, wrk crash/restart)",
+                    std::to_string(f.server_crashes) + "/" + std::to_string(f.server_recoveries) +
+                        ", " + std::to_string(f.worker_crashes) + "/" +
+                        std::to_string(f.worker_restarts)});
+    summary.AddRow({"faults (degrade windows, dm restarts, ignored)",
+                    std::to_string(f.degrade_windows) + ", " + std::to_string(f.dm_restarts) +
+                        ", " + std::to_string(f.ignored_events)});
+    summary.AddRow({"blocks lost to server crashes", std::to_string(f.blocks_lost)});
+  }
   summary.Print();
+  for (const FaultStats::Window& w : result.faults.windows) {
+    std::printf("fault window [%s] %.0fs-%.0fs: avg throughput %.1f MB/s\n", w.label.c_str(),
+                w.start, w.end, ToMBps(w.avg_throughput));
+  }
 
   if (flags.GetBool("series")) {
     auto print = [](const char* label, const TimeSeries& s, double scale) {
