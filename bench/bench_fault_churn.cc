@@ -3,11 +3,17 @@
 //
 // Sweeps a seeded churn plan (cache-server crashes + job-worker crashes, §6)
 // over increasing crash rates and reports makespan / avg JCT per (system,
-// rate) cell on the flow engine.  The paper's fault-tolerance claim is that
-// failures cost performance, never correctness — so every cell also asserts
-// that all jobs complete.  SiloD's cache-aware allocation should degrade no
-// worse than CoorDL's static split, because lost cache is re-allocated on the
-// next control-loop tick instead of staying pinned to a dead server's share.
+// mode, rate) cell on the flow engine.  Two failure shapes are compared at
+// equal aggregate server-crash event rates:
+//   - independent: every crash is its own Poisson draw with a uniform target;
+//   - correlated:  crashes arrive on a per-zone stream and take a whole
+//     4-server zone down at one timestamp (recoveries staggered), i.e. the
+//     same number of server-crash events bunched into rack-sized bursts.
+// The paper's fault-tolerance claim is that failures cost performance, never
+// correctness — so every cell also asserts that all jobs complete.  SiloD's
+// cache-aware allocation should degrade no worse than CoorDL's static split,
+// because lost cache is re-allocated on the next control-loop tick instead of
+// staying pinned to a dead server's share.
 //
 // Emits BENCH_fault_churn.json.  `--smoke` shrinks the sweep for CI (<30 s).
 #include <cstdio>
@@ -25,6 +31,8 @@ using namespace silod::bench;
 
 namespace {
 
+constexpr int kZoneSize = 4;
+
 Trace ChurnTrace(int num_jobs, std::uint64_t seed) {
   TraceOptions options;
   options.num_jobs = num_jobs;
@@ -37,7 +45,8 @@ Trace ChurnTrace(int num_jobs, std::uint64_t seed) {
 
 struct Cell {
   std::string system;
-  double crashes_per_hour = 0;
+  std::string mode;  // "independent" | "correlated"
+  double crashes_per_hour = 0;  // Aggregate server-crash events per hour.
   double makespan_min = 0;
   double avg_jct_min = 0;
   int server_crashes = 0;
@@ -63,50 +72,70 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = smoke ? std::vector<double>{0, 4}
                                           : std::vector<double>{0, 1, 2, 4};
   const std::vector<CacheSystem> systems = {CacheSystem::kSiloD, CacheSystem::kCoorDl};
+  const std::vector<std::string> modes = {"independent", "correlated"};
   const Trace trace = ChurnTrace(num_jobs, /*seed=*/11);
 
   std::vector<Cell> cells;
   bool ok = true;
   for (const CacheSystem system : systems) {
-    for (const double rate : rates) {
-      SimConfig sim = MicroClusterConfig();
-      sim.reschedule_period = Minutes(5);
-      // Scarce cache relative to the working set: the regime where losing
-      // cached blocks (and re-allocating after the loss) actually matters.
-      sim.resources.total_cache = GB(150);
-      FaultChurnOptions churn;
-      churn.horizon = Hours(48);
-      churn.server_crashes_per_hour = rate;
-      churn.worker_crashes_per_hour = rate;
-      churn.num_servers = sim.resources.num_servers;
-      churn.num_jobs = num_jobs;
-      churn.seed = 29;  // Same plan for every system: an apples-to-apples sweep.
-      sim.faults = GenerateFaultPlan(churn);
+    for (const std::string& mode : modes) {
+      for (const double rate : rates) {
+        if (mode == "correlated" && rate == 0) {
+          continue;  // Identical to the independent zero-rate baseline.
+        }
+        SimConfig sim = MicroClusterConfig();
+        sim.reschedule_period = Minutes(5);
+        // Scarce cache relative to the working set: the regime where losing
+        // cached blocks (and re-allocating after the loss) actually matters.
+        sim.resources.total_cache = GB(150);
+        // Enough servers for a rack-sized failure domain.
+        sim.resources.num_servers = 2 * kZoneSize;
+        FaultChurnOptions churn;
+        churn.horizon = Hours(48);
+        churn.worker_crashes_per_hour = rate;
+        if (mode == "independent") {
+          churn.server_crashes_per_hour = rate;
+        } else if (rate > 0) {
+          // Equal aggregate event rate: each zone crash emits kZoneSize
+          // server-crash events, so the zone draws at rate / kZoneSize.
+          ZoneChurn zone;
+          zone.zone = FaultZone{"rack0", 0, kZoneSize - 1};
+          zone.crashes_per_hour = rate / kZoneSize;
+          zone.recovery_stagger = 60;
+          churn.zones.push_back(zone);
+        }
+        churn.num_servers = sim.resources.num_servers;
+        churn.num_jobs = num_jobs;
+        churn.seed = 29;  // Same plan for every system: an apples-to-apples sweep.
+        sim.faults = GenerateFaultPlan(churn);
 
-      const SimResult result =
-          Run(trace, SchedulerKind::kFifo, system, sim, EngineKind::kFlow);
+        const SimResult result =
+            Run(trace, SchedulerKind::kFifo, system, sim, EngineKind::kFlow);
 
-      Cell cell;
-      cell.system = CacheSystemName(system);
-      cell.crashes_per_hour = rate;
-      cell.makespan_min = result.MakespanMinutes();
-      cell.avg_jct_min = result.AvgJctMinutes();
-      cell.server_crashes = result.faults.server_crashes;
-      cell.worker_crashes = result.faults.worker_crashes;
-      cell.blocks_lost = result.faults.blocks_lost;
-      cell.all_completed = static_cast<int>(result.jobs.size()) == num_jobs;
-      for (const JobResult& j : result.jobs) {
-        cell.all_completed = cell.all_completed && j.finish_time > 0;
+        Cell cell;
+        cell.system = CacheSystemName(system);
+        cell.mode = mode;
+        cell.crashes_per_hour = rate;
+        cell.makespan_min = result.MakespanMinutes();
+        cell.avg_jct_min = result.AvgJctMinutes();
+        cell.server_crashes = result.faults.server_crashes;
+        cell.worker_crashes = result.faults.worker_crashes;
+        cell.blocks_lost = result.faults.blocks_lost;
+        cell.all_completed = static_cast<int>(result.jobs.size()) == num_jobs;
+        for (const JobResult& j : result.jobs) {
+          cell.all_completed = cell.all_completed && j.finish_time > 0;
+        }
+        ok = ok && cell.all_completed && cell.makespan_min > 0;
+        cells.push_back(cell);
       }
-      ok = ok && cell.all_completed && cell.makespan_min > 0;
-      cells.push_back(cell);
     }
   }
 
-  Table table({"system", "crashes/hr", "makespan (min)", "avg JCT (min)", "srv/wrk crashes",
-               "blocks lost", "completed"});
+  Table table({"system", "mode", "crashes/hr", "makespan (min)", "avg JCT (min)",
+               "srv/wrk crashes", "blocks lost", "completed"});
   for (const Cell& c : cells) {
-    table.AddRow({c.system, Fmt(c.crashes_per_hour, 1), Fmt(c.makespan_min), Fmt(c.avg_jct_min),
+    table.AddRow({c.system, c.mode, Fmt(c.crashes_per_hour, 1), Fmt(c.makespan_min),
+                  Fmt(c.avg_jct_min),
                   std::to_string(c.server_crashes) + "/" + std::to_string(c.worker_crashes),
                   std::to_string(c.blocks_lost), c.all_completed ? "yes" : "NO"});
   }
@@ -117,14 +146,14 @@ int main(int argc, char** argv) {
   json += ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    char buf[384];
+    char buf[448];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"system\": \"%s\", \"crashes_per_hour\": %.1f, "
+                  "    {\"system\": \"%s\", \"mode\": \"%s\", \"crashes_per_hour\": %.1f, "
                   "\"makespan_min\": %.2f, \"avg_jct_min\": %.2f, "
                   "\"server_crashes\": %d, \"worker_crashes\": %d, "
                   "\"blocks_lost\": %lld, \"all_completed\": %s}%s\n",
-                  c.system.c_str(), c.crashes_per_hour, c.makespan_min, c.avg_jct_min,
-                  c.server_crashes, c.worker_crashes,
+                  c.system.c_str(), c.mode.c_str(), c.crashes_per_hour, c.makespan_min,
+                  c.avg_jct_min, c.server_crashes, c.worker_crashes,
                   static_cast<long long>(c.blocks_lost),
                   c.all_completed ? "true" : "false",
                   i + 1 < cells.size() ? "," : "");

@@ -1,16 +1,44 @@
 #include "src/core/data_manager.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/logging.h"
 
 namespace silod {
 
-DataManager::DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed)
-    : cache_(cache_capacity, seed), remote_(egress_limit) {}
+DataManager::DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed,
+                         int num_shards)
+    : placement_(std::max(1, num_shards)), remote_(egress_limit) {
+  const int shards = std::max(1, num_shards);
+  // Equal shards with floored shares: a few bytes of pool may go unused, but
+  // every shard's (capacity, quota) state stays symmetric, so quota
+  // feasibility is identical across shards.
+  const Bytes per_shard = cache_capacity / shards;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.emplace_back(per_shard, seed + static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+  }
+  alive_.assign(static_cast<std::size_t>(shards), true);
+}
+
+int DataManager::ShardFor(DatasetId dataset, std::int64_t block) const {
+  return shards_.size() == 1 ? 0 : placement_.ServerFor(dataset, block);
+}
 
 Status DataManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
-  return cache_.AllocateCacheSize(dataset, cache_size);
+  if (cache_size < 0) {
+    return Status::InvalidArgument("negative cache allocation");
+  }
+  // Symmetric shares: every shard sees the same quota state, so either all
+  // shards accept the allocation or the first one rejects it.
+  const Bytes share = cache_size / static_cast<Bytes>(shards_.size());
+  for (CacheManager& shard : shards_) {
+    if (const Status st = shard.AllocateCacheSize(dataset, share); !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
 }
 
 Status DataManager::AllocateRemoteIo(JobId job, BytesPerSec io_speed) {
@@ -33,11 +61,11 @@ Status DataManager::ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& 
     for (const auto& dataset : catalog.all()) {
       const auto it = plan.dataset_cache.find(dataset.id);
       const Bytes quota = it == plan.dataset_cache.end() ? 0 : it->second;
-      const Bytes current = cache_.Allocation(dataset.id);
+      const Bytes current = Allocation(dataset.id);
       if (quota == current || (quota < current) != shrink_pass) {
         continue;
       }
-      const Status st = cache_.AllocateCacheSize(dataset, quota);
+      const Status st = AllocateCacheSize(dataset, quota);
       if (!st.ok()) {
         return st;
       }
@@ -59,7 +87,7 @@ Status DataManager::ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& 
 DataManager::ReadResult DataManager::ReadBlock(JobId job, const Dataset& dataset,
                                                std::int64_t block) {
   ReadResult result;
-  result.hit = cache_.AccessBlock(dataset, block);
+  result.hit = AccessBlock(dataset, block);
   if (!result.hit) {
     const BytesPerSec throttle = remote_.JobThrottle(job);
     const BytesPerSec rate = std::isinf(throttle)
@@ -69,6 +97,100 @@ DataManager::ReadResult DataManager::ReadBlock(JobId job, const Dataset& dataset
     result.remote_seconds = static_cast<double>(dataset.BlockBytes(block)) / rate;
   }
   return result;
+}
+
+bool DataManager::AccessBlock(const Dataset& dataset, std::int64_t block) {
+  const int shard = ShardFor(dataset.id, block);
+  if (!alive_[static_cast<std::size_t>(shard)]) {
+    return false;  // A dead shard misses and admits nothing.
+  }
+  return shards_[static_cast<std::size_t>(shard)].AccessBlock(dataset, block);
+}
+
+bool DataManager::IsCached(const Dataset& dataset, std::int64_t block) const {
+  const int shard = ShardFor(dataset.id, block);
+  return alive_[static_cast<std::size_t>(shard)] &&
+         shards_[static_cast<std::size_t>(shard)].IsCached(dataset.id, block);
+}
+
+Bytes DataManager::CachedBytes(DatasetId dataset) const {
+  Bytes total = 0;
+  for (const CacheManager& shard : shards_) {
+    total += shard.CachedBytes(dataset);
+  }
+  return total;
+}
+
+Bytes DataManager::Allocation(DatasetId dataset) const {
+  Bytes total = 0;
+  for (const CacheManager& shard : shards_) {
+    total += shard.Allocation(dataset);
+  }
+  return total;
+}
+
+std::vector<std::int64_t> DataManager::CachedBlocks(DatasetId dataset) const {
+  std::vector<std::int64_t> blocks;
+  for (const CacheManager& shard : shards_) {
+    const std::vector<std::int64_t> resident = shard.CachedBlocks(dataset);
+    blocks.insert(blocks.end(), resident.begin(), resident.end());
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+Status DataManager::RestoreCachedBlocks(const Dataset& dataset,
+                                        const std::vector<std::int64_t>& blocks) {
+  std::vector<std::vector<std::int64_t>> per_shard(shards_.size());
+  for (const std::int64_t block : blocks) {
+    const int shard = ShardFor(dataset.id, block);
+    if (!alive_[static_cast<std::size_t>(shard)]) {
+      continue;  // That server's disk is gone with it.
+    }
+    per_shard[static_cast<std::size_t>(shard)].push_back(block);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (per_shard[i].empty()) {
+      continue;
+    }
+    if (const Status st = shards_[i].RestoreCachedBlocks(dataset, per_shard[i]); !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+std::int64_t DataManager::CrashShard(int shard) {
+  if (shard < 0 || shard >= num_shards() || !alive_[static_cast<std::size_t>(shard)]) {
+    return 0;
+  }
+  alive_[static_cast<std::size_t>(shard)] = false;
+  // Everything resident on the crashed server is lost; its quota shares stay
+  // (the pod annotations are durable) but cannot be used until recovery.
+  return shards_[static_cast<std::size_t>(shard)].EvictRandomFraction(1.0);
+}
+
+void DataManager::RecoverShard(int shard) {
+  if (shard < 0 || shard >= num_shards()) {
+    return;
+  }
+  alive_[static_cast<std::size_t>(shard)] = true;
+}
+
+bool DataManager::shard_alive(int shard) const {
+  return shard >= 0 && shard < num_shards() && alive_[static_cast<std::size_t>(shard)];
+}
+
+CacheManager& DataManager::cache() {
+  SILOD_CHECK(shards_.size() == 1) << "cache() is only valid for a single-shard Data Manager; "
+                                      "use the routed APIs";
+  return shards_[0];
+}
+
+const CacheManager& DataManager::cache() const {
+  SILOD_CHECK(shards_.size() == 1) << "cache() is only valid for a single-shard Data Manager; "
+                                      "use the routed APIs";
+  return shards_[0];
 }
 
 }  // namespace silod

@@ -4,20 +4,31 @@
 // throttles through RemoteStore.  The simulation engines drive the same
 // machinery internally; this facade is the public, programmable surface the
 // examples use, and the unit under test for the allocation-API contract.
+//
+// Sharding: the cache side may be split into per-server shards (consistent
+// block placement, equal capacity and quota shares), so that a cache-server
+// crash is actionable: CrashShard drops that server's resident blocks and
+// stops admissions there, RecoverShard rejoins it empty and it refills
+// through the normal miss path.  With the default num_shards = 1 the facade
+// behaves exactly as the historical single-cache manager, and cache() stays
+// available for direct access.
 #ifndef SILOD_SRC_CORE_DATA_MANAGER_H_
 #define SILOD_SRC_CORE_DATA_MANAGER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/cache/cache_manager.h"
 #include "src/sched/allocation.h"
+#include "src/storage/placement.h"
 #include "src/storage/remote_store.h"
 
 namespace silod {
 
 class DataManager {
  public:
-  DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed = 7);
+  DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed = 7,
+              int num_shards = 1);
 
   // --- Table 3 allocation APIs --------------------------------------------
   // void allocateCacheSize(dataset_uri, cache_size)
@@ -39,13 +50,43 @@ class DataManager {
   // One block read by `job`; enforces uniform caching and the job's throttle.
   ReadResult ReadBlock(JobId job, const Dataset& dataset, std::int64_t block);
 
-  CacheManager& cache() { return cache_; }
-  const CacheManager& cache() const { return cache_; }
+  // --- Routed cache APIs (shard-aware) -------------------------------------
+  // Records a read of `block` on its shard; true on hit.  A dead shard
+  // always misses and admits nothing, so its contents refill only after
+  // recovery.
+  bool AccessBlock(const Dataset& dataset, std::int64_t block);
+  bool IsCached(const Dataset& dataset, std::int64_t block) const;
+  Bytes CachedBytes(DatasetId dataset) const;
+  Bytes Allocation(DatasetId dataset) const;
+  // Resident blocks across all shards (sorted), for snapshotting.
+  std::vector<std::int64_t> CachedBlocks(DatasetId dataset) const;
+  // Re-admits surviving blocks on their shards; blocks routed to a dead
+  // shard are dropped (that server's disk is gone with it).
+  Status RestoreCachedBlocks(const Dataset& dataset, const std::vector<std::int64_t>& blocks);
+
+  // --- Shard fault path (§6) ------------------------------------------------
+  // Drops the shard's resident blocks and stops admissions there until
+  // recovery; quota shares stay allocated (pod annotations are durable).
+  // Returns the number of blocks lost.  No-op (0) if already dead.
+  std::int64_t CrashShard(int shard);
+  // The shard rejoins empty and refills through the normal miss path.
+  void RecoverShard(int shard);
+  bool shard_alive(int shard) const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Direct access to the single cache; only valid for num_shards == 1
+  // (checked), where it preserves the historical facade.
+  CacheManager& cache();
+  const CacheManager& cache() const;
   RemoteStore& remote() { return remote_; }
   const RemoteStore& remote() const { return remote_; }
 
  private:
-  CacheManager cache_;
+  int ShardFor(DatasetId dataset, std::int64_t block) const;
+
+  std::vector<CacheManager> shards_;
+  std::vector<bool> alive_;
+  BlockPlacement placement_;
   RemoteStore remote_;
 };
 

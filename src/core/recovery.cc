@@ -64,7 +64,19 @@ Status RestoreCacheManager(const DataManagerSnapshot& snapshot, const DatasetCat
 }
 
 DataManagerSnapshot CaptureSnapshot(const DataManager& manager, const DatasetCatalog& catalog) {
-  DataManagerSnapshot snapshot = CaptureCacheSnapshot(manager.cache(), catalog);
+  // Routed (shard-aware) reads: allocations and residents aggregate across
+  // shards, so the snapshot format is shard-count independent.
+  DataManagerSnapshot snapshot;
+  for (const Dataset& dataset : catalog.all()) {
+    const Bytes quota = manager.Allocation(dataset.id);
+    if (quota > 0) {
+      snapshot.cache_allocations[dataset.id] = quota;
+    }
+    std::vector<std::int64_t> blocks = manager.CachedBlocks(dataset.id);
+    if (!blocks.empty()) {
+      snapshot.cached_blocks[dataset.id] = std::move(blocks);
+    }
+  }
   for (const auto& [job, rate] : manager.remote().Throttles()) {
     snapshot.io_allocations[job] = rate;
   }
@@ -93,7 +105,11 @@ Status RestoreDataManager(const DataManagerSnapshot& snapshot, const DatasetCata
     }
   }
   for (const auto& [dataset_id, blocks] : snapshot.cached_blocks) {
-    const Status st = manager->cache().RestoreCachedBlocks(catalog.Get(dataset_id), blocks);
+    Status st = CheckDatasetKnown(dataset_id, catalog);
+    if (!st.ok()) {
+      return st;
+    }
+    st = manager->RestoreCachedBlocks(catalog.Get(dataset_id), blocks);
     if (!st.ok()) {
       return st;
     }

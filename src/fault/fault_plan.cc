@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "src/common/rng.h"
@@ -27,10 +28,33 @@ struct EventSpec {
   int job = -1;
   double factor = 1.0;
   double err = 0.0;
-  Seconds down = 0;     // server-crash outage length.
+  Seconds down = 0;     // server-crash / zone-crash outage length.
   Seconds dur = 0;      // degrade window length ("for=").
   Seconds restart = 60; // worker-crash restart delay.
+  Seconds stagger = 0;  // zone-crash per-member recovery stagger.
+  std::string name;     // zone declaration name.
+  std::string zone;     // zone-crash target zone.
+  std::string anchor;   // degrade anchored to a zone's recovery instant.
+  int servers_lo = -1;  // zone declaration range, inclusive.
+  int servers_hi = -1;
 };
+
+// Parses "a-b" (inclusive integer range) into lo/hi.
+Status ParseServerRange(const std::string& raw, int* lo, int* hi) {
+  const std::size_t dash = raw.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= raw.size()) {
+    return Status::InvalidArgument("zone servers= wants a range a-b, got: " + raw);
+  }
+  std::istringstream lo_in(raw.substr(0, dash));
+  std::istringstream hi_in(raw.substr(dash + 1));
+  if (!(lo_in >> *lo) || !lo_in.eof() || !(hi_in >> *hi) || !hi_in.eof()) {
+    return Status::InvalidArgument("zone servers= wants a range a-b, got: " + raw);
+  }
+  if (*lo < 0 || *hi < *lo) {
+    return Status::InvalidArgument("zone servers= range is empty or negative: " + raw);
+  }
+  return Status::Ok();
+}
 
 Status ParseKeyValue(const std::string& token, EventSpec* spec) {
   const std::size_t eq = token.find('=');
@@ -39,6 +63,22 @@ Status ParseKeyValue(const std::string& token, EventSpec* spec) {
   }
   const std::string key = token.substr(0, eq);
   const std::string raw = token.substr(eq + 1);
+  // String-valued keys first; everything else is numeric.
+  if (key == "name") {
+    spec->name = raw;
+    return Status::Ok();
+  }
+  if (key == "zone") {
+    spec->zone = raw;
+    return Status::Ok();
+  }
+  if (key == "anchor") {
+    spec->anchor = raw;
+    return Status::Ok();
+  }
+  if (key == "servers") {
+    return ParseServerRange(raw, &spec->servers_lo, &spec->servers_hi);
+  }
   double value = 0;
   std::istringstream in(raw);
   if (!(in >> value) || !in.eof()) {
@@ -60,6 +100,8 @@ Status ParseKeyValue(const std::string& token, EventSpec* spec) {
     spec->dur = value;
   } else if (key == "restart") {
     spec->restart = value;
+  } else if (key == "stagger") {
+    spec->stagger = value;
   } else {
     return Status::InvalidArgument("unknown fault key: " + key);
   }
@@ -124,6 +166,10 @@ std::string FaultPlan::ToSpec() const {
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
   FaultPlan plan;
+  // Zones declared earlier in the spec, and the first recovery instant of
+  // each zone's most recent zone-crash (for anchored degrades).
+  std::map<std::string, FaultZone> zones;
+  std::map<std::string, Seconds> recovery_base;
   std::istringstream events_in(spec);
   std::string event_text;
   while (std::getline(events_in, event_text, ';')) {
@@ -140,6 +186,57 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
       if (const Status st = ParseKeyValue(token, &s); !st.ok()) {
         return st;
       }
+    }
+
+    if (kind_name == "zone") {
+      // Declaration, not an event: no t=.
+      if (s.name.empty() || s.servers_lo < 0) {
+        return Status::InvalidArgument("zone wants name= and servers=a-b: " + event_text);
+      }
+      if (zones.count(s.name)) {
+        return Status::InvalidArgument("zone declared twice: " + s.name);
+      }
+      zones[s.name] = FaultZone{s.name, s.servers_lo, s.servers_hi};
+      continue;
+    }
+    if (kind_name == "zone-crash") {
+      if (s.t < 0) {
+        return Status::InvalidArgument("fault event missing t=: " + event_text);
+      }
+      const auto it = zones.find(s.zone);
+      if (it == zones.end()) {
+        return Status::InvalidArgument("zone-crash names undeclared zone: " + event_text);
+      }
+      const FaultZone& zone = it->second;
+      for (int i = 0; i < zone.size(); ++i) {
+        FaultEvent crash;
+        crash.time = s.t;  // The whole domain goes down at one timestamp.
+        crash.kind = FaultKind::kCacheServerCrash;
+        crash.target = zone.first_server + i;
+        plan.events.push_back(crash);
+        if (s.down > 0) {
+          FaultEvent recover = crash;
+          recover.kind = FaultKind::kCacheServerRecover;
+          recover.time = s.t + s.down + i * s.stagger;
+          plan.events.push_back(recover);
+        }
+      }
+      if (s.down > 0) {
+        recovery_base[zone.name] = s.t + s.down;
+      }
+      continue;
+    }
+    const bool anchored = kind_name == "degrade" && !s.anchor.empty();
+    if (anchored) {
+      const auto it = recovery_base.find(s.anchor);
+      if (it == recovery_base.end()) {
+        return Status::InvalidArgument(
+            "degrade anchor= wants a prior zone-crash with down>0 for zone '" + s.anchor +
+            "': " + event_text);
+      }
+      // t= is an offset from the anchor zone's first recovery instant
+      // (default 0): refill traffic lands inside the degraded window.
+      s.t = it->second + std::max<Seconds>(0, s.t);
     }
     if (s.t < 0) {
       return Status::InvalidArgument("fault event missing t=: " + event_text);
@@ -273,8 +370,128 @@ FaultPlan GenerateFaultPlan(const FaultChurnOptions& options) {
     plan.events.push_back(restart);
   }
 
+  // Correlation mode: each zone draws from its own stream forked off a zone
+  // master (itself forked after the four independent categories, so adding
+  // zones never perturbs the independent streams).  Forks happen for every
+  // zone up front, in declaration order, so changing one zone's rate leaves
+  // every other zone's event times untouched.
+  Rng zone_master = rng.Fork();
+  std::vector<Rng> zone_streams;
+  zone_streams.reserve(options.zones.size());
+  for (std::size_t i = 0; i < options.zones.size(); ++i) {
+    zone_streams.push_back(zone_master.Fork());
+  }
+  for (std::size_t z = 0; z < options.zones.size(); ++z) {
+    const ZoneChurn& churn = options.zones[z];
+    for (const Seconds t : arrivals(churn.crashes_per_hour, zone_streams[z].Fork())) {
+      const Seconds down = std::max<Seconds>(1.0, churn.downtime);
+      for (int i = 0; i < churn.zone.size(); ++i) {
+        FaultEvent crash;
+        crash.time = t;
+        crash.kind = FaultKind::kCacheServerCrash;
+        crash.target = churn.zone.first_server + i;
+        plan.events.push_back(crash);
+        FaultEvent recover = crash;
+        recover.kind = FaultKind::kCacheServerRecover;
+        recover.time = t + down + i * std::max<Seconds>(0, churn.recovery_stagger);
+        plan.events.push_back(recover);
+      }
+      if (churn.recovery_degrade_factor < 1.0) {
+        // Anchored degrade: refill traffic after recovery meets a degraded
+        // remote store.
+        FaultEvent open;
+        open.time = t + down;
+        open.kind = FaultKind::kRemoteDegrade;
+        open.severity = churn.recovery_degrade_factor;
+        open.error_rate = churn.recovery_degrade_error_rate;
+        plan.events.push_back(open);
+        FaultEvent close;
+        close.time = open.time + std::max<Seconds>(1.0, churn.recovery_degrade_duration);
+        close.kind = FaultKind::kRemoteDegrade;
+        plan.events.push_back(close);
+      }
+    }
+  }
+
   plan.Sort();
   return plan;
+}
+
+Result<std::vector<ZoneChurn>> ParseZoneChurnSpec(const std::string& spec) {
+  std::vector<ZoneChurn> zones;
+  std::istringstream zones_in(spec);
+  std::string zone_text;
+  while (std::getline(zones_in, zone_text, ';')) {
+    if (zone_text.find_first_not_of(" \t") == std::string::npos) {
+      continue;  // Empty segment (trailing semicolon).
+    }
+    ZoneChurn churn;
+    bool has_name = false;
+    bool has_range = false;
+    std::istringstream fields_in(zone_text);
+    std::string field;
+    while (std::getline(fields_in, field, ':')) {
+      // Trim surrounding spaces.
+      const std::size_t begin = field.find_first_not_of(" \t");
+      const std::size_t end = field.find_last_not_of(" \t");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      field = field.substr(begin, end - begin + 1);
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("zone field is not key=value: " + field);
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string raw = field.substr(eq + 1);
+      if (key == "zone") {
+        churn.zone.name = raw;
+        has_name = true;
+        continue;
+      }
+      if (key == "servers") {
+        if (const Status st =
+                ParseServerRange(raw, &churn.zone.first_server, &churn.zone.last_server);
+            !st.ok()) {
+          return st;
+        }
+        has_range = true;
+        continue;
+      }
+      double value = 0;
+      std::istringstream in(raw);
+      if (!(in >> value) || !in.eof()) {
+        return Status::InvalidArgument("bad zone value: " + field);
+      }
+      if (key == "crashes-per-hour") {
+        churn.crashes_per_hour = value;
+      } else if (key == "down") {
+        churn.downtime = value;
+      } else if (key == "stagger") {
+        churn.recovery_stagger = value;
+      } else if (key == "degrade-factor") {
+        if (value <= 0 || value > 1) {
+          return Status::InvalidArgument("degrade-factor must be in (0, 1]: " + field);
+        }
+        churn.recovery_degrade_factor = value;
+      } else if (key == "degrade-err") {
+        if (value < 0 || value >= 1) {
+          return Status::InvalidArgument("degrade-err must be in [0, 1): " + field);
+        }
+        churn.recovery_degrade_error_rate = value;
+      } else if (key == "degrade-for") {
+        churn.recovery_degrade_duration = value;
+      } else {
+        return Status::InvalidArgument("unknown zone key: " + key);
+      }
+    }
+    if (!has_name || !has_range) {
+      return Status::InvalidArgument("zone spec wants zone=<name> and servers=<a>-<b>: " +
+                                     zone_text);
+    }
+    zones.push_back(std::move(churn));
+  }
+  return zones;
 }
 
 }  // namespace silod

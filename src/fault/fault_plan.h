@@ -20,6 +20,14 @@
 //
 // Plans are plain data (no clock, no RNG at consumption time), so the same
 // plan replays bit-identically in virtual and wall-clock time.
+//
+// Failure domains: the spec language additionally understands *zones* —
+// named, contiguous server ranges (`zone name=rack0 servers=0-3`).  A
+// `zone-crash` takes the whole domain down at one timestamp and recovers its
+// members on a per-server stagger, and a `degrade` may be anchored to the
+// zone's recovery instant so refill traffic lands inside the degraded
+// window.  Zones are parse-time sugar: expanded plans contain only the
+// primitive events above, so Parse(ToSpec()) stays the identity.
 #ifndef SILOD_SRC_FAULT_FAULT_PLAN_H_
 #define SILOD_SRC_FAULT_FAULT_PLAN_H_
 
@@ -76,8 +84,42 @@ struct FaultPlan {
   //   worker-crash   t=<sec> job=<id> [restart=<sec>]     (default restart=60)
   //   worker-restart t=<sec> job=<id>
   //   dm-restart     t=<sec>
+  // Failure-domain sugar (expanded to the primitives above):
+  //   zone           name=<id> servers=<a>-<b>            (declaration, no event)
+  //   zone-crash     t=<sec> zone=<id> [down=<sec>] [stagger=<sec>]
+  //       every member server crashes at t; member i recovers at
+  //       t + down + i*stagger (down=0 means no recovery)
+  //   degrade        anchor=<zone> [t=<offset>] [factor=<f>] [err=<p>] [for=<sec>]
+  //       the window opens at <offset> seconds after the first recovery
+  //       instant (t + down) of the zone's most recent zone-crash
   // Returns the sorted, duration-expanded plan.
   static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+// A contiguous range of cache servers that fails as one unit (a rack, a
+// power domain).
+struct FaultZone {
+  std::string name;
+  int first_server = 0;
+  int last_server = 0;  // Inclusive.
+
+  int size() const { return last_server - first_server + 1; }
+  bool operator==(const FaultZone&) const = default;
+};
+
+// Correlated churn for one zone: zone-crash arrivals are Poisson on the
+// zone's own forked stream, so changing one zone's rate (or downtime) leaves
+// every other zone's event times untouched.
+struct ZoneChurn {
+  FaultZone zone;
+  double crashes_per_hour = 0;
+  Seconds downtime = Minutes(15);        // First member recovers after this.
+  Seconds recovery_stagger = 30;         // Member i recovers i*stagger later.
+  // A recovery-anchored degrade window (factor < 1 enables it): opens at the
+  // first recovery instant, so refill traffic lands inside the window.
+  double recovery_degrade_factor = 1.0;
+  double recovery_degrade_error_rate = 0;
+  Seconds recovery_degrade_duration = Minutes(10);
 };
 
 // Seeded churn-plan generator: Poisson arrivals per fault category over the
@@ -96,9 +138,18 @@ struct FaultChurnOptions {
   int num_servers = 1;             // Crash targets drawn uniformly.
   int num_jobs = 1;
   std::uint64_t seed = 1;
+  // Correlation mode: whole-zone crashes on per-zone forked streams, in
+  // addition to (not instead of) the independent categories above.
+  std::vector<ZoneChurn> zones;
 };
 
 FaultPlan GenerateFaultPlan(const FaultChurnOptions& options);
+
+// Parses the --fault-zone flag: ";"-separated zone specs, each a ":"-joined
+// list of key=value fields:
+//   zone=<name>:servers=<a>-<b>[:crashes-per-hour=<r>][:down=<sec>]
+//     [:stagger=<sec>][:degrade-factor=<f>][:degrade-err=<p>][:degrade-for=<sec>]
+Result<std::vector<ZoneChurn>> ParseZoneChurnSpec(const std::string& spec);
 
 // What a consumer did with a plan; reported in SimResult (engines) so churn
 // sweeps can attribute throughput loss to specific outage windows.
@@ -109,11 +160,16 @@ struct FaultStats {
   int worker_restarts = 0;
   int degrade_windows = 0;
   int dm_restarts = 0;
-  // Events the consumer cannot model (e.g. server crashes on the single-node
-  // real-time cluster); counted rather than silently dropped.
+  // Events the consumer cannot model; counted rather than silently dropped.
   int ignored_events = 0;
   // Blocks evicted because their server crashed.
   std::int64_t blocks_lost = 0;
+  // RestartCost accounting: blocks (fine engine) / bytes (flow engine)
+  // re-read because a worker crash discarded un-checkpointed progress, and
+  // the staged compute-seconds that were discarded with them.
+  std::int64_t blocks_refetched = 0;
+  double bytes_refetched = 0;
+  double compute_lost = 0;
 
   // Per-window degraded throughput: the time-average of the run's total
   // throughput over each outage window (Fig. 9-style attribution).

@@ -1,0 +1,45 @@
+#include "src/fault/restart_cost.h"
+
+#include <sstream>
+
+namespace silod {
+
+std::string RestartCost::ToSpec() const {
+  switch (policy) {
+    case RestartCostPolicy::kCheckpointEverything:
+      return "checkpoint-everything";
+    case RestartCostPolicy::kLosePartialEpoch:
+      return "lose-partial-epoch";
+    case RestartCostPolicy::kCheckpointInterval:
+      return "checkpoint-interval:" + std::to_string(interval_blocks);
+  }
+  return "checkpoint-everything";
+}
+
+Result<RestartCost> RestartCost::Parse(const std::string& spec) {
+  RestartCost cost;
+  if (spec.empty() || spec == "checkpoint-everything") {
+    cost.policy = RestartCostPolicy::kCheckpointEverything;
+    return cost;
+  }
+  if (spec == "lose-partial-epoch") {
+    cost.policy = RestartCostPolicy::kLosePartialEpoch;
+    return cost;
+  }
+  const std::string prefix = "checkpoint-interval:";
+  if (spec.rfind(prefix, 0) == 0) {
+    std::int64_t blocks = 0;
+    std::istringstream in(spec.substr(prefix.size()));
+    if (!(in >> blocks) || !in.eof() || blocks <= 0) {
+      return Status::InvalidArgument("checkpoint-interval wants a positive block count: " + spec);
+    }
+    cost.policy = RestartCostPolicy::kCheckpointInterval;
+    cost.interval_blocks = blocks;
+    return cost;
+  }
+  return Status::InvalidArgument(
+      "unknown restart-cost policy: " + spec +
+      " (checkpoint-everything | lose-partial-epoch | checkpoint-interval:N)");
+}
+
+}  // namespace silod

@@ -1,0 +1,49 @@
+// RestartCost: what a worker crash discards (§6, "Fault tolerance").
+//
+// The paper checkpoints training state, so SiloD's baseline crash cost is
+// pure scheduling delay: staged compute is frozen and resumed verbatim.
+// Real jobs checkpoint less often than every block.  RestartCost makes the
+// discard granularity a policy:
+//
+//   checkpoint-everything   today's behaviour (default): nothing is re-read,
+//                           staged compute resumes where it left off;
+//   lose-partial-epoch      the partial epoch in flight is discarded — its
+//                           blocks are re-fetched and its staged compute is
+//                           re-enqueued from the last epoch boundary;
+//   checkpoint-interval:N   progress is durable every N blocks; the blocks
+//                           past the last checkpoint are re-read.
+//
+// Policies cost only performance, never correctness: engines account every
+// re-read in FaultStats so miss+hit completions always equal blocks read
+// plus policy-mandated re-reads.
+#ifndef SILOD_SRC_FAULT_RESTART_COST_H_
+#define SILOD_SRC_FAULT_RESTART_COST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace silod {
+
+enum class RestartCostPolicy {
+  kCheckpointEverything,
+  kLosePartialEpoch,
+  kCheckpointInterval,
+};
+
+struct RestartCost {
+  RestartCostPolicy policy = RestartCostPolicy::kCheckpointEverything;
+  std::int64_t interval_blocks = 64;  // kCheckpointInterval only.
+
+  // Canonical spec: "checkpoint-everything" | "lose-partial-epoch" |
+  // "checkpoint-interval:N".  Parse(ToSpec()) is the identity.
+  std::string ToSpec() const;
+  static Result<RestartCost> Parse(const std::string& spec);
+
+  bool operator==(const RestartCost&) const = default;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_FAULT_RESTART_COST_H_

@@ -22,7 +22,8 @@ RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
                      ClusterResources resources, RtOptions options)
     : trace_(trace), scheduler_(std::move(scheduler)), resources_(resources), options_(options),
       remote_(resources.remote_io, /*burst=*/MB(8)),
-      manager_(resources.total_cache, resources.remote_io),
+      manager_(resources.total_cache, resources.remote_io, /*seed=*/7,
+               std::max(1, resources.num_servers)),
       injector_(options.faults) {
   SILOD_CHECK(trace_ != nullptr) << "trace required";
   SILOD_CHECK(scheduler_ != nullptr) << "scheduler required";
@@ -82,7 +83,7 @@ void RtCluster::LoaderLoop(RtJob& job) {
     bool hit = false;
     {
       std::lock_guard<std::mutex> lock(manager_mu_);
-      hit = manager_.cache().AccessBlock(dataset, block);
+      hit = manager_.AccessBlock(dataset, block);
     }
     const Bytes bytes = dataset.BlockBytes(block);
     if (hit) {
@@ -177,22 +178,59 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
       std::lock_guard<std::mutex> lock(manager_mu_);
       const DataManagerSnapshot snapshot =
           have_snapshot_ ? last_snapshot_ : CaptureSnapshot(manager_, trace_->catalog);
-      manager_ = DataManager(resources_.total_cache, resources_.remote_io);
+      std::vector<int> dead_shards;
+      for (int s = 0; s < manager_.num_shards(); ++s) {
+        if (!manager_.shard_alive(s)) {
+          dead_shards.push_back(s);
+        }
+      }
+      manager_ = DataManager(resources_.total_cache, resources_.remote_io, /*seed=*/7,
+                             std::max(1, resources_.num_servers));
+      // Servers that were down stay down across the restart; the restore
+      // drops any snapshot blocks routed to them.
+      for (const int s : dead_shards) {
+        manager_.CrashShard(s);
+      }
       const Status st = RestoreDataManager(snapshot, trace_->catalog, &manager_);
       SILOD_CHECK(st.ok()) << "Data Manager restore failed: " << st.ToString();
       ++dm_restarts_;
       return;
     }
-    case FaultKind::kCacheServerCrash:
-    case FaultKind::kCacheServerRecover:
+    case FaultKind::kCacheServerCrash: {
+      // Sharded Data Manager: the crashed server's shard drops its resident
+      // blocks and stops admitting until recovery.
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      if (event.target < 0 || event.target >= manager_.num_shards() ||
+          !manager_.shard_alive(event.target)) {
+        ++ignored_by_kind_[event.kind];
+        return;
+      }
+      blocks_lost_ += manager_.CrashShard(event.target);
+      ++server_crashes_;
+      return;
+    }
+    case FaultKind::kCacheServerRecover: {
+      std::lock_guard<std::mutex> lock(manager_mu_);
+      if (event.target < 0 || event.target >= manager_.num_shards() ||
+          manager_.shard_alive(event.target)) {
+        ++ignored_by_kind_[event.kind];
+        return;
+      }
+      manager_.RecoverShard(event.target);  // Rejoins empty, refills on misses.
+      ++server_recoveries_;
+      return;
+    }
     case FaultKind::kWorkerCrash:
     case FaultKind::kWorkerRestart:
-      // One process, one implicit server, threads instead of pods: nothing
-      // to kill.  Counted rather than silently dropped.
-      ++ignored_faults_;
+      // Jobs are threads, not pods: there is no worker to kill.  Counted
+      // rather than silently dropped.
+      ++ignored_by_kind_[event.kind];
       return;
   }
-  ++ignored_faults_;  // Unreachable with a valid enum.
+  // A FaultEvent with an out-of-enum kind is an invariant violation (memory
+  // corruption or an unhandled new kind), not an "ignored" fault.
+  SILOD_LOG(Error) << "fault event with invalid kind " << static_cast<int>(event.kind)
+                   << " dropped";
 }
 
 void RtCluster::ScheduleOnce() {
@@ -212,7 +250,7 @@ void RtCluster::ScheduleOnce() {
     view.running = true;
     {
       std::lock_guard<std::mutex> lock(manager_mu_);
-      view.effective_cache = manager_.cache().CachedBytes(d.id);
+      view.effective_cache = manager_.CachedBytes(d.id);
     }
     snap.jobs.push_back(view);
   }
@@ -258,9 +296,12 @@ void RtCluster::SchedulerLoop() {
     SleepSeconds(options_.reschedule_period);
   }
   if (!injector_.exhausted()) {
+    // Events scheduled past the end of the run: nothing left to act on.
     due_faults_.clear();
     injector_.PopDue(kInfiniteTime, &due_faults_);
-    ignored_faults_ += static_cast<int>(due_faults_.size());
+    for (const FaultEvent& event : due_faults_) {
+      ++ignored_by_kind_[event.kind];
+    }
   }
 }
 
@@ -306,7 +347,13 @@ RtResult RtCluster::Run() {
 
   result.dm_restarts = dm_restarts_;
   result.degrade_windows = degrade_windows_;
-  result.ignored_faults = ignored_faults_;
+  result.server_crashes = server_crashes_;
+  result.server_recoveries = server_recoveries_;
+  result.blocks_lost = blocks_lost_;
+  result.ignored_by_kind = ignored_by_kind_;
+  for (const auto& [kind, count] : ignored_by_kind_) {
+    result.ignored_faults += count;
+  }
   for (const auto& job : jobs_) {
     RtJobResult r;
     r.id = job->spec->id;

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -48,9 +49,11 @@ struct RtOptions {
   Seconds max_wall_seconds = 120;
 
   // Fault schedule, consumed by the scheduler thread at its polling
-  // granularity (reschedule_period).  Remote degradation and Data-Manager
-  // restarts are modelled; server/worker events are counted as ignored (this
-  // runtime is one process — there is no separate server to kill).
+  // granularity (reschedule_period).  Remote degradation, Data-Manager
+  // restarts and cache-server crash/recover events (against the sharded
+  // Data Manager, one shard per ClusterResources::num_servers) are all
+  // modelled; worker events are counted as ignored (jobs are threads, not
+  // pods — there is no worker to kill).
   FaultPlan faults;
   // Loader retry policy for transient remote-read errors: exponential
   // backoff from `base`, capped at `cap`.
@@ -88,6 +91,12 @@ struct RtResult {
   // Fault accounting (RtOptions::faults).
   int dm_restarts = 0;
   int degrade_windows = 0;
+  int server_crashes = 0;
+  int server_recoveries = 0;
+  std::int64_t blocks_lost = 0;  // Resident blocks dropped by shard crashes.
+  // Events this runtime could not act on, by kind (worker events, or targets
+  // that are out of range / in the wrong state).  ignored_faults is the sum.
+  std::map<FaultKind, int> ignored_by_kind;
   int ignored_faults = 0;
   std::int64_t remote_retries = 0;
 };
@@ -160,7 +169,10 @@ class RtCluster {
   Seconds next_snapshot_ = 0;
   int dm_restarts_ = 0;
   int degrade_windows_ = 0;
-  int ignored_faults_ = 0;
+  int server_crashes_ = 0;
+  int server_recoveries_ = 0;
+  std::int64_t blocks_lost_ = 0;
+  std::map<FaultKind, int> ignored_by_kind_;
 };
 
 }  // namespace silod

@@ -6,6 +6,7 @@
 
 #include "src/common/units.h"
 #include "src/fault/fault_plan.h"
+#include "src/fault/restart_cost.h"
 #include "src/sched/allocation.h"
 #include "src/storage/fabric.h"
 
@@ -33,6 +34,10 @@ struct SimConfig {
   // Adversarial cluster conditions: both engines consume the plan from their
   // event loops and reschedule immediately on every failure/recovery (§6).
   FaultPlan faults;
+  // What a worker crash discards (fault/restart_cost.h): the default keeps
+  // today's freeze-and-resume behaviour; the other policies re-enqueue lost
+  // compute and re-fetch lost blocks, accounted in FaultStats.
+  RestartCost restart_cost;
 };
 
 // The paper's evaluated cluster scales (Table 5): GPUs, per-scale remote IO

@@ -207,6 +207,7 @@ void FineEngine::Reschedule(Seconds now) {
 }
 
 void FineEngine::BeginEpoch(JobState& s) {
+  s.epoch_fetched = 0;
   if (s.spec->curriculum) {
     return;  // Curriculum jobs have no epoch structure (§7.4).
   }
@@ -309,6 +310,7 @@ void FineEngine::OnFetchComplete(JobState& s, Seconds now) {
   }
   s.compute_finish = std::max(s.compute_finish, now) + static_cast<double>(bytes) / s.spec->ideal_io;
   ++s.blocks_fetched;
+  ++s.epoch_fetched;
   s.current_block = -1;
   StartNextFetch(s, now);
 }
@@ -500,7 +502,37 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
         return;
       }
       ++fault_stats_.worker_crashes;
-      s.compute_backlog = std::max(0.0, s.compute_finish - now);
+      const double staged = std::max(0.0, s.compute_finish - now);
+      // What the crash discards is the RestartCost policy's call: by default
+      // everything is checkpointed and the staged compute freezes; otherwise
+      // the un-checkpointed fetch suffix is re-read (its compute re-enqueues
+      // through the normal refetch path) and the staged compute it covers is
+      // discarded.
+      std::int64_t lost = 0;
+      switch (config_.restart_cost.policy) {
+        case RestartCostPolicy::kCheckpointEverything:
+          break;
+        case RestartCostPolicy::kLosePartialEpoch:
+          // Curriculum jobs have no epoch structure; nothing to roll back to.
+          lost = s.spec->curriculum ? 0 : s.epoch_fetched;
+          break;
+        case RestartCostPolicy::kCheckpointInterval:
+          lost = s.blocks_fetched % std::max<std::int64_t>(1, config_.restart_cost.interval_blocks);
+          break;
+      }
+      lost = std::min(lost, s.blocks_fetched);
+      if (lost > 0 || config_.restart_cost.policy != RestartCostPolicy::kCheckpointEverything) {
+        const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+        const double lost_compute = std::min(
+            staged, static_cast<double>(lost) * static_cast<double>(d.block_size) / s.spec->ideal_io);
+        s.blocks_fetched -= lost;
+        fault_stats_.blocks_refetched += lost;
+        fault_stats_.compute_lost += lost_compute;
+        s.compute_backlog = staged - lost_compute;
+      } else {
+        s.compute_backlog = staged;
+      }
+      s.epoch_fetched = 0;
       if (s.phase == Phase::kMissFetch) {
         LeaveMissSet(s);
       }
@@ -556,7 +588,10 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       return;
     }
   }
-  ++fault_stats_.ignored_events;  // Unreachable with a valid enum.
+  // A FaultEvent with an out-of-enum kind is an invariant violation, not an
+  // "ignored" fault; log it rather than inflating the counter.
+  SILOD_LOG(Error) << "fault event with invalid kind " << static_cast<int>(event.kind)
+                   << " dropped";
 }
 
 // Fires the event the job is currently waiting on.  Cross-job effects (flow

@@ -79,6 +79,7 @@ class FineEngine {
 
     std::int64_t blocks_total = 0;    // Blocks to fetch over the job's life.
     std::int64_t blocks_fetched = 0;
+    std::int64_t epoch_fetched = 0;   // Completed fetches in the current epoch.
     std::vector<std::int64_t> order;  // Current epoch's permutation.
     std::int64_t epoch_index = 0;     // Position within `order`.
     std::int64_t epochs_done = 0;

@@ -422,6 +422,33 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
         return;
       }
       ++fault_stats_.worker_crashes;
+      // RestartCost in the fluid model: the un-checkpointed progress suffix
+      // is re-trained, charged as extra bytes (re-read through the normal
+      // rate model once the job resumes).
+      const Dataset& d = trace_->catalog.Get(s.spec->dataset);
+      double lost_bytes = 0;
+      const double done =
+          std::max(0.0, static_cast<double>(s.spec->total_bytes) - s.remaining);
+      switch (config_.restart_cost.policy) {
+        case RestartCostPolicy::kCheckpointEverything:
+          break;
+        case RestartCostPolicy::kLosePartialEpoch:
+          lost_bytes = std::min(s.epoch_pos, done);
+          break;
+        case RestartCostPolicy::kCheckpointInterval: {
+          const double interval =
+              static_cast<double>(std::max<std::int64_t>(1, config_.restart_cost.interval_blocks)) *
+              static_cast<double>(d.block_size);
+          lost_bytes = std::fmod(done, interval);
+          break;
+        }
+      }
+      if (lost_bytes > 0) {
+        s.remaining += lost_bytes;
+        s.epoch_pos = std::max(0.0, s.epoch_pos - lost_bytes);
+        fault_stats_.bytes_refetched += lost_bytes;
+        fault_stats_.compute_lost += lost_bytes / s.spec->ideal_io;
+      }
       s.running = false;
       s.rate = 0;
       s.io_rate = 0;
@@ -452,7 +479,10 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       return;
     }
   }
-  ++fault_stats_.ignored_events;  // Unreachable with a valid enum.
+  // A FaultEvent with an out-of-enum kind is an invariant violation, not an
+  // "ignored" fault; log it rather than inflating the counter.
+  SILOD_LOG(Error) << "fault event with invalid kind " << static_cast<int>(event.kind)
+                   << " dropped";
 }
 
 void FlowEngine::RecordMetrics(Seconds now) {

@@ -13,8 +13,10 @@
 #include "src/common/units.h"
 #include "src/core/recovery.h"
 #include "src/core/system.h"
+#include "src/core/data_manager.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/fault/restart_cost.h"
 #include "src/storage/inmem_remote.h"
 
 namespace silod {
@@ -155,6 +157,186 @@ TEST(FaultPlan, RaisingOneRateDoesNotPerturbOtherStreams) {
     return times;
   };
   EXPECT_EQ(server_times(base), server_times(with_dm));
+}
+
+// --------------------------------------------------- Failure domains (§6) --
+
+TEST(FaultPlan, ZoneCrashExpandsToStaggeredPrimitives) {
+  const Result<FaultPlan> plan = FaultPlan::Parse(
+      "zone name=rackA servers=2-4; "
+      "zone-crash t=100 zone=rackA down=60 stagger=10; "
+      "degrade anchor=rackA t=5 factor=0.5 for=30");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 8u);
+
+  // The whole domain goes down at one timestamp.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan->events[i].kind, FaultKind::kCacheServerCrash);
+    EXPECT_DOUBLE_EQ(plan->events[i].time, 100.0);
+    EXPECT_EQ(plan->events[i].target, 2 + i);
+  }
+  // Recoveries stagger per member: 160, 170, 180; the anchored degrade opens
+  // at first-recovery + 5 = 165 and closes 30 s later.
+  EXPECT_EQ(plan->events[3].kind, FaultKind::kCacheServerRecover);
+  EXPECT_DOUBLE_EQ(plan->events[3].time, 160.0);
+  EXPECT_EQ(plan->events[3].target, 2);
+  EXPECT_EQ(plan->events[4].kind, FaultKind::kRemoteDegrade);
+  EXPECT_DOUBLE_EQ(plan->events[4].time, 165.0);
+  EXPECT_DOUBLE_EQ(plan->events[4].severity, 0.5);
+  EXPECT_EQ(plan->events[5].kind, FaultKind::kCacheServerRecover);
+  EXPECT_DOUBLE_EQ(plan->events[5].time, 170.0);
+  EXPECT_EQ(plan->events[6].kind, FaultKind::kCacheServerRecover);
+  EXPECT_DOUBLE_EQ(plan->events[6].time, 180.0);
+  EXPECT_EQ(plan->events[7].kind, FaultKind::kRemoteDegrade);
+  EXPECT_DOUBLE_EQ(plan->events[7].time, 195.0);
+  EXPECT_DOUBLE_EQ(plan->events[7].severity, 1.0);
+
+  // Zones are parse-time sugar: the expanded plan contains only primitive
+  // events, so the spec round-trip stays the identity.
+  const Result<FaultPlan> reparsed = FaultPlan::Parse(plan->ToSpec());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->events, plan->events);
+}
+
+TEST(FaultPlan, ZonalParseRejectsMalformedSpecs) {
+  const struct {
+    const char* spec;
+    const char* why;
+  } kBad[] = {
+      {"zone-crash t=5 zone=x", "undeclared zone"},
+      {"zone name=a", "zone missing servers"},
+      {"zone servers=0-1", "zone missing name"},
+      {"zone name=a servers=0-1; zone name=a servers=2-3", "duplicate zone"},
+      {"zone name=a servers=3-1", "inverted range"},
+      {"zone name=a servers=0", "not a range"},
+      {"zone name=a servers=0-1; zone-crash zone=a", "zone-crash missing t"},
+      {"zone name=a servers=0-1; degrade anchor=a factor=0.5",
+       "anchor without a prior zone-crash"},
+      {"zone name=a servers=0-1; zone-crash t=5 zone=a; degrade anchor=a factor=0.5",
+       "anchor without down> 0 (no recovery instant)"},
+  };
+  for (const auto& c : kBad) {
+    EXPECT_FALSE(FaultPlan::Parse(c.spec).ok()) << c.why << ": " << c.spec;
+  }
+  // A bare zone declaration is a valid (empty) plan.
+  EXPECT_TRUE(FaultPlan::Parse("zone name=a servers=0-1").ok());
+}
+
+TEST(FaultPlan, ZoneChurnStreamsAreIsolated) {
+  FaultChurnOptions options;
+  options.horizon = Hours(12);
+  options.num_servers = 8;
+  options.seed = 3;
+  ZoneChurn a;
+  a.zone = FaultZone{"a", 0, 1};
+  a.crashes_per_hour = 2;
+  ZoneChurn b;
+  b.zone = FaultZone{"b", 2, 3};
+  b.crashes_per_hour = 2;
+  options.zones = {a, b};
+  const FaultPlan base = GenerateFaultPlan(options);
+  EXPECT_FALSE(base.empty());
+
+  auto crash_times = [](const FaultPlan& plan, int lo, int hi) {
+    std::vector<Seconds> times;
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind == FaultKind::kCacheServerCrash && e.target >= lo && e.target <= hi) {
+        times.push_back(e.time);
+      }
+    }
+    return times;
+  };
+
+  // Zone crashes are correlated: both members go down at the same instant.
+  const std::vector<Seconds> a_times = crash_times(base, 0, 1);
+  ASSERT_FALSE(a_times.empty());
+  ASSERT_EQ(a_times.size() % 2, 0u);
+  for (std::size_t i = 0; i < a_times.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(a_times[i], a_times[i + 1]);
+  }
+
+  // Raising zone b's rate leaves zone a's event times untouched.
+  options.zones[1].crashes_per_hour = 6;
+  const FaultPlan more_b = GenerateFaultPlan(options);
+  EXPECT_EQ(crash_times(base, 0, 1), crash_times(more_b, 0, 1));
+  EXPECT_NE(crash_times(base, 2, 3), crash_times(more_b, 2, 3));
+
+  // Replays are bit-deterministic.
+  const FaultPlan replay = GenerateFaultPlan(options);
+  EXPECT_EQ(more_b.events, replay.events);
+}
+
+TEST(FaultPlan, AddingZonesDoesNotPerturbIndependentStreams) {
+  FaultChurnOptions options;
+  options.horizon = Hours(12);
+  options.server_crashes_per_hour = 2;
+  options.worker_crashes_per_hour = 2;
+  options.num_servers = 4;
+  options.num_jobs = 8;
+  options.seed = 7;
+  const FaultPlan base = GenerateFaultPlan(options);
+
+  // Zone targets live outside the independent stream's 0..3 range, so the
+  // two sources are distinguishable by target.
+  ZoneChurn zone;
+  zone.zone = FaultZone{"annex", 10, 11};
+  zone.crashes_per_hour = 4;
+  options.zones.push_back(zone);
+  const FaultPlan with_zone = GenerateFaultPlan(options);
+
+  auto independent_crashes = [](const FaultPlan& plan) {
+    std::vector<std::pair<Seconds, int>> events;
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind == FaultKind::kCacheServerCrash && e.target < 4) {
+        events.emplace_back(e.time, e.target);
+      }
+    }
+    return events;
+  };
+  EXPECT_EQ(independent_crashes(base), independent_crashes(with_zone));
+  EXPECT_GT(with_zone.events.size(), base.events.size());
+}
+
+TEST(FaultPlan, ParseZoneChurnSpecReadsFieldsAndDefaults) {
+  const Result<std::vector<ZoneChurn>> zones = ParseZoneChurnSpec(
+      "zone=rack0:servers=0-3:crashes-per-hour=1.5:down=120:stagger=15:"
+      "degrade-factor=0.5:degrade-err=0.05:degrade-for=300; zone=rack1:servers=4-7");
+  ASSERT_TRUE(zones.ok()) << zones.status().ToString();
+  ASSERT_EQ(zones->size(), 2u);
+  EXPECT_EQ((*zones)[0].zone, (FaultZone{"rack0", 0, 3}));
+  EXPECT_DOUBLE_EQ((*zones)[0].crashes_per_hour, 1.5);
+  EXPECT_DOUBLE_EQ((*zones)[0].downtime, 120.0);
+  EXPECT_DOUBLE_EQ((*zones)[0].recovery_stagger, 15.0);
+  EXPECT_DOUBLE_EQ((*zones)[0].recovery_degrade_factor, 0.5);
+  EXPECT_DOUBLE_EQ((*zones)[0].recovery_degrade_error_rate, 0.05);
+  EXPECT_DOUBLE_EQ((*zones)[0].recovery_degrade_duration, 300.0);
+  EXPECT_EQ((*zones)[1].zone, (FaultZone{"rack1", 4, 7}));
+  EXPECT_DOUBLE_EQ((*zones)[1].crashes_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ((*zones)[1].recovery_degrade_factor, 1.0);
+
+  EXPECT_TRUE(ParseZoneChurnSpec("")->empty());
+  EXPECT_FALSE(ParseZoneChurnSpec("servers=0-3").ok());
+  EXPECT_FALSE(ParseZoneChurnSpec("zone=a:servers=0-3:bogus=1").ok());
+  EXPECT_FALSE(ParseZoneChurnSpec("zone=a:servers=3-1").ok());
+  EXPECT_FALSE(ParseZoneChurnSpec("zone=a:servers=0-3:degrade-factor=2").ok());
+}
+
+// ------------------------------------------------------------ RestartCost --
+
+TEST(RestartCostSpec, ParseToSpecRoundTrip) {
+  for (const char* spec :
+       {"checkpoint-everything", "lose-partial-epoch", "checkpoint-interval:12"}) {
+    const Result<RestartCost> cost = RestartCost::Parse(spec);
+    ASSERT_TRUE(cost.ok()) << spec;
+    EXPECT_EQ(cost->ToSpec(), spec);
+    EXPECT_EQ(*RestartCost::Parse(cost->ToSpec()), *cost);
+  }
+  EXPECT_EQ(RestartCost::Parse("")->policy, RestartCostPolicy::kCheckpointEverything);
+  EXPECT_EQ(RestartCost::Parse("checkpoint-interval:12")->interval_blocks, 12);
+  EXPECT_FALSE(RestartCost::Parse("lose-everything").ok());
+  EXPECT_FALSE(RestartCost::Parse("checkpoint-interval:0").ok());
+  EXPECT_FALSE(RestartCost::Parse("checkpoint-interval:-3").ok());
+  EXPECT_FALSE(RestartCost::Parse("checkpoint-interval:abc").ok());
 }
 
 // --------------------------------------------------------- FaultInjector --
@@ -550,6 +732,238 @@ TEST(EngineFaults, WorkerCrashDelaysThatJobOnly) {
   EXPECT_GT(faulted.jobs[0].finish_time, baseline.jobs[0].finish_time + 60);
   EXPECT_NEAR(faulted.jobs[1].finish_time, baseline.jobs[1].finish_time,
               0.25 * baseline.jobs[1].finish_time + 30);
+}
+
+// ----------------------------------------- RestartCost accounting (§6) --
+
+// Fine engine: under every policy, per-block accounting stays exact — each
+// consumed block is exactly one hit or miss, and policy-mandated re-reads are
+// charged to FaultStats::blocks_refetched, never silently absorbed.
+TEST(EngineFaults, FineEngineBlockAccountingIsExactUnderEveryRestartPolicy) {
+  const int kJobs = 10;
+  const Trace trace = ChurnTrace(kJobs);
+  std::int64_t total_blocks = 0;
+  for (const JobSpec& spec : trace.jobs) {
+    const Dataset& d = trace.catalog.Get(spec.dataset);
+    total_blocks +=
+        std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
+  }
+
+  FaultChurnOptions churn;
+  churn.horizon = Hours(12);
+  churn.worker_crashes_per_hour = 6;
+  churn.worker_restart_delay = Minutes(2);
+  churn.num_jobs = kJobs;
+  churn.seed = 5;
+
+  for (const char* spec :
+       {"checkpoint-everything", "lose-partial-epoch", "checkpoint-interval:7"}) {
+    ExperimentConfig config;
+    config.cache = CacheSystem::kSiloD;
+    config.sim = ChurnCluster();
+    config.sim.faults = GenerateFaultPlan(churn);
+    config.sim.restart_cost = *RestartCost::Parse(spec);
+    config.engine = EngineKind::kFine;
+    const SimResult result = RunExperiment(trace, config);
+
+    ASSERT_EQ(result.jobs.size(), trace.jobs.size()) << spec;
+    for (const JobResult& j : result.jobs) {
+      EXPECT_GT(j.finish_time, 0) << spec << " job " << j.id;
+    }
+    EXPECT_GT(result.faults.worker_crashes, 0) << spec;
+    EXPECT_EQ(result.steps.miss_completions + result.steps.hit_completions,
+              static_cast<std::uint64_t>(total_blocks + result.faults.blocks_refetched))
+        << spec;
+    if (config.sim.restart_cost.policy == RestartCostPolicy::kCheckpointEverything) {
+      EXPECT_EQ(result.faults.blocks_refetched, 0) << spec;
+      EXPECT_DOUBLE_EQ(result.faults.compute_lost, 0) << spec;
+    } else {
+      EXPECT_GT(result.faults.blocks_refetched, 0) << spec;
+    }
+  }
+}
+
+// Flow engine: a remote-bound job re-fetches exactly the bytes its policy
+// discards, so the finish-time delta against the checkpoint-everything run is
+// bytes_refetched / link rate (resume penalty zeroed to keep the identity
+// byte-exact).
+TEST(EngineFaults, FlowEngineChargesExactlyTheRefetchedBytes) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d = trace.catalog.Add("d", GB(4), MB(256));
+  JobSpec job = MakeJob(0, zoo, "ResNet-50", 1, d, 1.0, 0);
+  job.total_bytes = 2 * GB(4);
+  trace.jobs.push_back(job);
+
+  SimConfig sim;
+  sim.resources.total_gpus = 4;
+  sim.resources.total_cache = 0;  // Every read is remote: rate is the link rate.
+  sim.resources.remote_io = MBps(100);
+  sim.resources.num_servers = 1;
+  sim.preempt_resume_penalty = 0;
+  const Result<FaultPlan> plan = FaultPlan::Parse("worker-crash t=50 job=0 restart=40");
+  ASSERT_TRUE(plan.ok());
+  sim.faults = *plan;
+
+  auto run = [&](const char* spec) {
+    ExperimentConfig config;
+    config.cache = CacheSystem::kSiloD;
+    config.sim = sim;
+    config.sim.restart_cost = *RestartCost::Parse(spec);
+    config.engine = EngineKind::kFlow;
+    return RunExperiment(trace, config);
+  };
+
+  const SimResult checkpointed = run("checkpoint-everything");
+  EXPECT_DOUBLE_EQ(checkpointed.faults.bytes_refetched, 0);
+  ASSERT_GT(checkpointed.jobs[0].finish_time, 0);
+
+  // At the crash the job has read ~50 s * 100 MB/s ≈ 4.88 GB: past the first
+  // 4 GB epoch boundary, and not on a 1 GB (4-block) checkpoint boundary.
+  for (const char* spec : {"lose-partial-epoch", "checkpoint-interval:4"}) {
+    const SimResult lossy = run(spec);
+    EXPECT_EQ(lossy.faults.worker_crashes, 1) << spec;
+    EXPECT_GT(lossy.faults.bytes_refetched, 0) << spec;
+    EXPECT_GT(lossy.faults.compute_lost, 0) << spec;
+    EXPECT_NEAR(lossy.jobs[0].finish_time - checkpointed.jobs[0].finish_time,
+                lossy.faults.bytes_refetched / MBps(100), 0.5)
+        << spec;
+  }
+}
+
+// A zonal plan replays bit-identically on both engines, and the correlated
+// crash costs performance, never correctness.
+TEST(EngineFaults, ZonalChurnIsDeterministicOnBothEngines) {
+  const Trace trace = ChurnTrace(8);
+  FaultChurnOptions churn;
+  churn.horizon = Hours(12);
+  churn.num_jobs = 8;
+  churn.seed = 17;
+  ZoneChurn zone;
+  zone.zone = FaultZone{"rack0", 0, 1};
+  zone.crashes_per_hour = 2;
+  zone.downtime = Minutes(10);
+  zone.recovery_stagger = 30;
+  zone.recovery_degrade_factor = 0.5;
+  zone.recovery_degrade_duration = Minutes(5);
+  churn.zones.push_back(zone);
+
+  for (const EngineKind engine : {EngineKind::kFine, EngineKind::kFlow}) {
+    ExperimentConfig config;
+    config.cache = CacheSystem::kSiloD;
+    config.sim = ChurnCluster();
+    config.sim.faults = GenerateFaultPlan(churn);
+    config.engine = engine;
+    const SimResult a = RunExperiment(trace, config);
+    const SimResult b = RunExperiment(trace, config);
+    EXPECT_TRUE(PhysicallyIdentical(a, b))
+        << (engine == EngineKind::kFine ? "fine" : "flow");
+    ASSERT_EQ(a.jobs.size(), trace.jobs.size());
+    for (const JobResult& j : a.jobs) {
+      EXPECT_GT(j.finish_time, 0) << "job " << j.id;
+    }
+    EXPECT_GT(a.faults.server_crashes, 0);
+    // Recovery-anchored degrade windows are in the plan (the engines only
+    // observe the ones that open before the last job drains).
+    int anchored_degrades = 0;
+    for (const FaultEvent& e : config.sim.faults.events) {
+      anchored_degrades += e.kind == FaultKind::kRemoteDegrade && e.severity < 1.0;
+    }
+    EXPECT_GT(anchored_degrades, 0);
+  }
+}
+
+// ------------------------------------------- Sharded DataManager faults --
+
+TEST(DataManagerShards, CrashDropsOnlyThatShardAndRecoveryRefills) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(200), MB(1));  // 200 blocks.
+  const Dataset& d = catalog.Get(id);
+  DataManager manager(MB(400), MBps(100), /*seed=*/7, /*num_shards=*/4);
+  ASSERT_EQ(manager.num_shards(), 4);
+  // Every shard gets an equal MB(100) quota share: ample for all 200 blocks.
+  ASSERT_TRUE(manager.AllocateCacheSize(d, MB(400)).ok());
+  for (std::int64_t b = 0; b < 200; ++b) {
+    manager.AccessBlock(d, b);
+  }
+  ASSERT_EQ(manager.CachedBytes(id), MB(200));
+  EXPECT_EQ(manager.CachedBlocks(id).size(), 200u);
+
+  const std::int64_t lost = manager.CrashShard(1);
+  ASSERT_GT(lost, 0);
+  ASSERT_LT(lost, 200);
+  EXPECT_FALSE(manager.shard_alive(1));
+  EXPECT_TRUE(manager.shard_alive(0));
+  EXPECT_EQ(manager.CachedBytes(id), MB(200) - lost * MB(1));
+
+  // A dead shard misses and admits nothing; survivors keep their residents.
+  for (std::int64_t b = 0; b < 200; ++b) {
+    manager.AccessBlock(d, b);
+  }
+  EXPECT_EQ(manager.CachedBytes(id), MB(200) - lost * MB(1));
+
+  // Crashing again, or out-of-range shards, is a counted no-op.
+  EXPECT_EQ(manager.CrashShard(1), 0);
+  EXPECT_EQ(manager.CrashShard(-1), 0);
+  EXPECT_EQ(manager.CrashShard(4), 0);
+  EXPECT_FALSE(manager.shard_alive(-1));
+  EXPECT_FALSE(manager.shard_alive(4));
+
+  // Recovery rejoins empty; the normal miss path restores the footprint.
+  manager.RecoverShard(1);
+  EXPECT_TRUE(manager.shard_alive(1));
+  EXPECT_EQ(manager.CachedBytes(id), MB(200) - lost * MB(1));
+  for (std::int64_t b = 0; b < 200; ++b) {
+    manager.AccessBlock(d, b);
+  }
+  EXPECT_EQ(manager.CachedBytes(id), MB(200));
+}
+
+TEST(DataManagerShards, RestoreDropsBlocksRoutedToDeadShards) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(200), MB(1));
+  const Dataset& d = catalog.Get(id);
+  DataManager filled(MB(400), MBps(100), /*seed=*/7, /*num_shards=*/4);
+  ASSERT_TRUE(filled.AllocateCacheSize(d, MB(400)).ok());
+  for (std::int64_t b = 0; b < 200; ++b) {
+    filled.AccessBlock(d, b);
+  }
+  const std::vector<std::int64_t> all = filled.CachedBlocks(id);
+  ASSERT_EQ(all.size(), 200u);
+  // Placement is deterministic in the seed, so this count is what a fresh
+  // manager must drop when the same shard is dead at restore time.
+  const std::int64_t on_shard2 = filled.CrashShard(2);
+  ASSERT_GT(on_shard2, 0);
+
+  DataManager fresh(MB(400), MBps(100), /*seed=*/7, /*num_shards=*/4);
+  ASSERT_TRUE(fresh.AllocateCacheSize(d, MB(400)).ok());
+  fresh.CrashShard(2);
+  ASSERT_TRUE(fresh.RestoreCachedBlocks(d, all).ok());
+  EXPECT_EQ(static_cast<std::int64_t>(fresh.CachedBlocks(id).size()),
+            200 - on_shard2);
+  for (const std::int64_t b : fresh.CachedBlocks(id)) {
+    EXPECT_TRUE(fresh.IsCached(d, b));
+  }
+
+  // After recovery the dropped blocks refill through the miss path.
+  fresh.RecoverShard(2);
+  for (std::int64_t b = 0; b < 200; ++b) {
+    fresh.AccessBlock(d, b);
+  }
+  EXPECT_EQ(fresh.CachedBlocks(id), all);
+}
+
+TEST(DataManagerShards, SingleShardKeepsTheHistoricalFacade) {
+  DatasetCatalog catalog;
+  const DatasetId id = catalog.Add("d", MB(10), MB(1));
+  const Dataset& d = catalog.Get(id);
+  DataManager manager(MB(10), MBps(100));
+  EXPECT_EQ(manager.num_shards(), 1);
+  ASSERT_TRUE(manager.AllocateCacheSize(d, MB(10)).ok());
+  manager.AccessBlock(d, 3);
+  // cache() stays valid with one shard and sees the routed admissions.
+  EXPECT_TRUE(manager.cache().IsCached(id, 3));
+  EXPECT_EQ(manager.cache().CachedBytes(id), manager.CachedBytes(id));
 }
 
 }  // namespace

@@ -224,8 +224,41 @@ TEST(RtClusterFaults, DataManagerRestartIsSurvivable) {
     EXPECT_EQ(j.cache_hits + j.cache_misses, 192) << "job " << j.id;
     EXPECT_EQ(j.blocks_consumed, j.blocks_done) << "job " << j.id;
   }
-  // The single-process runtime has no server to kill: counted, not dropped.
-  EXPECT_GE(result.ignored_faults, 1);
+  // The sharded Data Manager makes the server crash actionable: it is acted
+  // on (shard 0 drops its residents), not counted as ignored.
+  EXPECT_EQ(result.server_crashes, 1);
+  EXPECT_EQ(result.ignored_by_kind.count(FaultKind::kCacheServerCrash), 0u);
+  EXPECT_EQ(result.ignored_faults, 0);
+}
+
+// A sharded server crash mid-run (4 shards, one crashes and recovers): the
+// crashed shard drops its residents and rejoins empty, every job still
+// completes with exact accounting, and no server event is ignored.
+TEST(RtClusterFaults, ShardedServerCrashIsActionable) {
+  const Trace trace = TinyTrace(2, MB(8), 6.0);
+  RtOptions options;
+  options.reschedule_period = 0.02;  // Poll faults faster than the run ends.
+  Result<FaultPlan> plan = FaultPlan::Parse("server-crash t=0.05 server=2 down=0.2");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  ClusterResources resources = TinyCluster(MB(16), MBps(100));
+  resources.num_servers = 4;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    resources, options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_EQ(result.server_crashes, 1);
+  EXPECT_EQ(result.server_recoveries, 1);
+  EXPECT_EQ(result.ignored_by_kind.count(FaultKind::kCacheServerCrash), 0u);
+  EXPECT_EQ(result.ignored_by_kind.count(FaultKind::kCacheServerRecover), 0u);
+  EXPECT_EQ(result.ignored_faults, 0);
+  for (const RtJobResult& j : result.jobs) {
+    EXPECT_TRUE(j.completed) << "job " << j.id;
+    // Exact accounting survives the crash: every block is exactly one hit or
+    // one miss, and nothing consumed was left uncounted.
+    EXPECT_EQ(j.cache_hits + j.cache_misses, 192) << "job " << j.id;
+    EXPECT_EQ(j.blocks_consumed, j.blocks_done) << "job " << j.id;
+  }
 }
 
 // Regression: a job aborted mid-pipeline must never report more blocks

@@ -46,7 +46,9 @@ fi
 if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   # The real-thread runtime (loaders, trainers, scheduler, fault injection)
   # is the only genuinely concurrent code; build and run just its tests
-  # under ThreadSanitizer.
+  # under ThreadSanitizer.  Measured cost of this stage: ~90 s wall on a
+  # 16-core container (~80 s build + ~10 s for rt_test under TSan), cheap
+  # enough to keep in the default `all` pipeline.
   echo "=== [tsan] configure ==="
   cmake -B build-ci-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

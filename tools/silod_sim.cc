@@ -73,13 +73,29 @@ int main(int argc, char** argv) {
   flags.Define("seed", "3", "trace RNG seed");
   flags.Define("fault-plan", "",
                "explicit fault schedule, e.g. "
-               "\"server-crash t=600 server=0 down=900; degrade t=1200 factor=0.25 for=600\"");
-  flags.Define("fault-server-crashes-per-hour", "0", "generated churn: cache-server crash rate");
-  flags.Define("fault-worker-crashes-per-hour", "0", "generated churn: job-worker crash rate");
-  flags.Define("fault-degrade-windows-per-hour", "0", "generated churn: remote degrade rate");
-  flags.Define("fault-dm-restarts-per-hour", "0", "generated churn: Data-Manager restart rate");
+               "\"server-crash t=600 server=0 down=900; degrade t=1200 factor=0.25 for=600\" "
+               "(zones: \"zone name=rack0 servers=0-3; zone-crash t=600 zone=rack0 down=900 "
+               "stagger=30\"); composes with --fault-*-per-hour and --fault-zone: explicit "
+               "plan events and generated churn are merged into one time-sorted schedule");
+  flags.Define("fault-server-crashes-per-hour", "0",
+               "generated churn: cache-server crash rate (merged time-sorted with --fault-plan)");
+  flags.Define("fault-worker-crashes-per-hour", "0",
+               "generated churn: job-worker crash rate (merged time-sorted with --fault-plan)");
+  flags.Define("fault-degrade-windows-per-hour", "0",
+               "generated churn: remote degrade rate (merged time-sorted with --fault-plan)");
+  flags.Define("fault-dm-restarts-per-hour", "0",
+               "generated churn: Data-Manager restart rate (merged time-sorted with "
+               "--fault-plan)");
+  flags.Define("fault-zone", "",
+               "correlated churn zones, e.g. \"zone=rack0:servers=0-3:crashes-per-hour=0.5:"
+               "down=900:stagger=30:degrade-factor=0.5:degrade-for=600\"; ';'-separated, each "
+               "zone crashes as one unit on its own RNG stream (merged time-sorted with "
+               "--fault-plan)");
   flags.Define("fault-horizon-hours", "24", "generated churn horizon (hours)");
   flags.Define("fault-seed", "1", "generated churn RNG seed");
+  flags.Define("restart-cost", "checkpoint-everything",
+               "what a worker crash discards: checkpoint-everything | lose-partial-epoch | "
+               "checkpoint-interval:N (N blocks)");
   flags.Define("trace", "", "read the workload from this CSV instead of generating");
   flags.Define("dump-trace", "", "write the workload as CSV to this path");
   flags.Define("dump-jobs", "", "write per-job results as CSV to this path");
@@ -144,7 +160,9 @@ int main(int argc, char** argv) {
   config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
   config.fine.use_linear_scan = flags.GetBool("fine-linear-scan");
 
-  // Faults: an explicit plan and generated churn compose (events merge).
+  // Faults: the explicit plan's events and the generated churn (independent
+  // per-hour rates plus correlated zones) are merged into one schedule and
+  // time-sorted; neither source takes precedence.
   if (!flags.GetString("fault-plan").empty()) {
     Result<FaultPlan> parsed = FaultPlan::Parse(flags.GetString("fault-plan"));
     if (!parsed.ok()) {
@@ -153,7 +171,16 @@ int main(int argc, char** argv) {
     }
     config.sim.faults = std::move(parsed).value();
   }
-  if (flags.GetDouble("fault-server-crashes-per-hour") > 0 ||
+  std::vector<ZoneChurn> zones;
+  if (!flags.GetString("fault-zone").empty()) {
+    Result<std::vector<ZoneChurn>> parsed = ParseZoneChurnSpec(flags.GetString("fault-zone"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--fault-zone: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    zones = std::move(parsed).value();
+  }
+  if (!zones.empty() || flags.GetDouble("fault-server-crashes-per-hour") > 0 ||
       flags.GetDouble("fault-worker-crashes-per-hour") > 0 ||
       flags.GetDouble("fault-degrade-windows-per-hour") > 0 ||
       flags.GetDouble("fault-dm-restarts-per-hour") > 0) {
@@ -166,10 +193,19 @@ int main(int argc, char** argv) {
     churn.num_servers = config.sim.resources.num_servers;
     churn.num_jobs = static_cast<int>(trace.jobs.size());
     churn.seed = static_cast<std::uint64_t>(flags.GetInt("fault-seed"));
+    churn.zones = std::move(zones);
     FaultPlan generated = GenerateFaultPlan(churn);
     config.sim.faults.events.insert(config.sim.faults.events.end(), generated.events.begin(),
                                     generated.events.end());
     config.sim.faults.Sort();
+  }
+  {
+    Result<RestartCost> parsed = RestartCost::Parse(flags.GetString("restart-cost"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--restart-cost: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    config.sim.restart_cost = *parsed;
   }
 
   std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
@@ -206,6 +242,12 @@ int main(int argc, char** argv) {
                     std::to_string(f.degrade_windows) + ", " + std::to_string(f.dm_restarts) +
                         ", " + std::to_string(f.ignored_events)});
     summary.AddRow({"blocks lost to server crashes", std::to_string(f.blocks_lost)});
+    if (config.sim.restart_cost.policy != RestartCostPolicy::kCheckpointEverything) {
+      summary.AddRow({"restart cost (" + config.sim.restart_cost.ToSpec() +
+                          "): re-reads blk/MB, compute s",
+                      std::to_string(f.blocks_refetched) + "/" + Fmt(f.bytes_refetched / 1e6) +
+                          ", " + Fmt(f.compute_lost)});
+    }
   }
   summary.Print();
   for (const FaultStats::Window& w : result.faults.windows) {
