@@ -5,11 +5,13 @@
 // checks the results are bit-identical, and reports events/sec for each.  The
 // calendar turns the three per-event full-job scans into O(log n) heap work,
 // which is what lets the big benchmarks (Fig. 10/12 scales) grow with cluster
-// size.  Emits BENCH_engine_scaling.json for regression tracking.
+// size.  Emits BENCH_engine_scaling.json (RunReport schema, sim/metrics.h)
+// for regression tracking.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes = {64, 256, 1024};
 
   Table table({"jobs", "linear ev/s", "calendar ev/s", "speedup", "identical"});
-  std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n  \"configs\": [\n";
+  std::vector<RunReport> runs;
   bool all_identical = true;
 
   for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -104,22 +106,20 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(n), Fmt(linear.events_per_s), Fmt(calendar.events_per_s),
                   Fmt(speedup, 2), identical ? "yes" : "NO"});
 
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "    {\"jobs\": %d, \"events\": %llu,\n"
-        "     \"linear\": {\"wall_s\": %.4f, \"events_per_s\": %.0f},\n"
-        "     \"calendar\": {\"wall_s\": %.4f, \"events_per_s\": %.0f},\n"
-        "     \"speedup\": %.3f, \"identical\": %s}%s\n",
-        n, static_cast<unsigned long long>(calendar.steps), linear.wall_s,
-        linear.events_per_s, calendar.wall_s, calendar.events_per_s, speedup,
-        identical ? "true" : "false", i + 1 < sizes.size() ? "," : "");
-    json += buf;
+    RunReport report =
+        MakeRunReport("calendar/" + std::to_string(n) + "-jobs", "fine", calendar_result);
+    report.AddExtra("events", static_cast<double>(calendar.steps));
+    report.AddExtra("linear_wall_s", linear.wall_s);
+    report.AddExtra("linear_events_per_s", linear.events_per_s);
+    report.AddExtra("calendar_wall_s", calendar.wall_s);
+    report.AddExtra("calendar_events_per_s", calendar.events_per_s);
+    report.AddExtra("speedup", speedup);
+    report.AddExtra("identical", identical);
+    runs.push_back(std::move(report));
   }
-  json += "  ]\n}\n";
 
   table.Print();
-  std::ofstream(out_path) << json;
+  std::ofstream(out_path) << ReportsToJson("engine_scaling", {}, runs);
   std::printf("wrote %s\n", out_path.c_str());
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: stepping paths diverged\n");

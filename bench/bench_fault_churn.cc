@@ -15,7 +15,18 @@
 // because lost cache is re-allocated on the next control-loop tick instead of
 // staying pinned to a dead server's share.
 //
-// Emits BENCH_fault_churn.json.  `--smoke` shrinks the sweep for CI (<30 s).
+// A second sweep pits zone-aware placement against zone-oblivious placement
+// under the *same* correlated churn plan (identical crash schedule, equal
+// cache totals).  Zone-aware runs declare the rack as a failure domain with a
+// 0.25 loss bound, so the storage policy keeps at most a quarter of each
+// dataset's quota inside the rack; a rack crash then costs the bounded share
+// instead of the rack's capacity-proportional half.  The sweep runs with
+// quotas below pool capacity (cache not fully scarce) — the regime where the
+// bound genuinely moves bytes at zero total-cache cost — and asserts the
+// zone-aware run loses strictly fewer cached bytes with no-worse avg JCT.
+//
+// Emits BENCH_fault_churn.json (RunReport schema, sim/metrics.h).  `--smoke`
+// shrinks the sweep for CI (<30 s).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +34,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/logging.h"
 #include "src/common/table.h"
+#include "src/common/topology.h"
 #include "src/fault/fault_plan.h"
 
 using namespace silod;
@@ -32,6 +45,7 @@ using namespace silod::bench;
 namespace {
 
 constexpr int kZoneSize = 4;
+constexpr double kZoneLossBound = 0.25;
 
 Trace ChurnTrace(int num_jobs, std::uint64_t seed) {
   TraceOptions options;
@@ -43,17 +57,36 @@ Trace ChurnTrace(int num_jobs, std::uint64_t seed) {
   return TraceGenerator(options).Generate();
 }
 
-struct Cell {
-  std::string system;
-  std::string mode;  // "independent" | "correlated"
-  double crashes_per_hour = 0;  // Aggregate server-crash events per hour.
-  double makespan_min = 0;
-  double avg_jct_min = 0;
-  int server_crashes = 0;
-  int worker_crashes = 0;
-  std::int64_t blocks_lost = 0;
-  bool all_completed = false;
-};
+// The shared churn schedule: worker crashes plus either independent server
+// crashes or whole-zone bursts at the same aggregate event rate.
+FaultPlan ChurnPlan(const std::string& mode, double rate, int num_servers, int num_jobs) {
+  FaultChurnOptions churn;
+  churn.horizon = Hours(48);
+  churn.worker_crashes_per_hour = rate;
+  if (mode == "independent") {
+    churn.server_crashes_per_hour = rate;
+  } else if (rate > 0) {
+    // Equal aggregate event rate: each zone crash emits kZoneSize
+    // server-crash events, so the zone draws at rate / kZoneSize.
+    ZoneChurn zone;
+    zone.zone = FaultZone{"rack0", 0, kZoneSize - 1};
+    zone.crashes_per_hour = rate / kZoneSize;
+    zone.recovery_stagger = 60;
+    churn.zones.push_back(zone);
+  }
+  churn.num_servers = num_servers;
+  churn.num_jobs = num_jobs;
+  churn.seed = 29;  // Same plan for every system: an apples-to-apples sweep.
+  return GenerateFaultPlan(churn);
+}
+
+bool AllCompleted(const SimResult& result, int num_jobs) {
+  bool completed = static_cast<int>(result.jobs.size()) == num_jobs;
+  for (const JobResult& j : result.jobs) {
+    completed = completed && j.finish_time > 0;
+  }
+  return completed;
+}
 
 }  // namespace
 
@@ -75,8 +108,10 @@ int main(int argc, char** argv) {
   const std::vector<std::string> modes = {"independent", "correlated"};
   const Trace trace = ChurnTrace(num_jobs, /*seed=*/11);
 
-  std::vector<Cell> cells;
+  std::vector<RunReport> runs;
   bool ok = true;
+
+  // --- Sweep 1: cache system x failure shape x crash rate -------------------
   for (const CacheSystem system : systems) {
     for (const std::string& mode : modes) {
       for (const double rate : rates) {
@@ -90,81 +125,114 @@ int main(int argc, char** argv) {
         sim.resources.total_cache = GB(150);
         // Enough servers for a rack-sized failure domain.
         sim.resources.num_servers = 2 * kZoneSize;
-        FaultChurnOptions churn;
-        churn.horizon = Hours(48);
-        churn.worker_crashes_per_hour = rate;
-        if (mode == "independent") {
-          churn.server_crashes_per_hour = rate;
-        } else if (rate > 0) {
-          // Equal aggregate event rate: each zone crash emits kZoneSize
-          // server-crash events, so the zone draws at rate / kZoneSize.
-          ZoneChurn zone;
-          zone.zone = FaultZone{"rack0", 0, kZoneSize - 1};
-          zone.crashes_per_hour = rate / kZoneSize;
-          zone.recovery_stagger = 60;
-          churn.zones.push_back(zone);
-        }
-        churn.num_servers = sim.resources.num_servers;
-        churn.num_jobs = num_jobs;
-        churn.seed = 29;  // Same plan for every system: an apples-to-apples sweep.
-        sim.faults = GenerateFaultPlan(churn);
+        sim.faults = ChurnPlan(mode, rate, sim.resources.num_servers, num_jobs);
 
         const SimResult result =
             Run(trace, SchedulerKind::kFifo, system, sim, EngineKind::kFlow);
 
-        Cell cell;
-        cell.system = CacheSystemName(system);
-        cell.mode = mode;
-        cell.crashes_per_hour = rate;
-        cell.makespan_min = result.MakespanMinutes();
-        cell.avg_jct_min = result.AvgJctMinutes();
-        cell.server_crashes = result.faults.server_crashes;
-        cell.worker_crashes = result.faults.worker_crashes;
-        cell.blocks_lost = result.faults.blocks_lost;
-        cell.all_completed = static_cast<int>(result.jobs.size()) == num_jobs;
-        for (const JobResult& j : result.jobs) {
-          cell.all_completed = cell.all_completed && j.finish_time > 0;
-        }
-        ok = ok && cell.all_completed && cell.makespan_min > 0;
-        cells.push_back(cell);
+        RunReport report = MakeRunReport(
+            std::string(CacheSystemName(system)) + "/" + mode, "flow", result);
+        report.AddExtra("system", std::string(CacheSystemName(system)));
+        report.AddExtra("mode", mode);
+        report.AddExtra("crashes_per_hour", rate);
+        report.AddExtra("placement", std::string("oblivious"));
+        const bool completed = AllCompleted(result, num_jobs);
+        report.AddExtra("all_completed", completed);
+        ok = ok && completed && report.makespan_min > 0;
+        runs.push_back(std::move(report));
       }
     }
   }
 
-  Table table({"system", "mode", "crashes/hr", "makespan (min)", "avg JCT (min)",
-               "srv/wrk crashes", "blocks lost", "completed"});
-  for (const Cell& c : cells) {
-    table.AddRow({c.system, c.mode, Fmt(c.crashes_per_hour, 1), Fmt(c.makespan_min),
-                  Fmt(c.avg_jct_min),
-                  std::to_string(c.server_crashes) + "/" + std::to_string(c.worker_crashes),
-                  std::to_string(c.blocks_lost), c.all_completed ? "yes" : "NO"});
+  // --- Sweep 2: zone-aware vs zone-oblivious placement ----------------------
+  // Same correlated churn plan and equal cache totals; only the placement
+  // differs.  Cache is sized so dataset quotas fit under the pool: the loss
+  // bound can then move bytes out of the rack without shrinking any quota.
+  struct PlacementPair {
+    double rate = 0;
+    double oblivious_bytes = 0;
+    double aware_bytes = 0;
+    double oblivious_jct = 0;
+    double aware_jct = 0;
+  };
+  std::vector<PlacementPair> pairs;
+  const std::vector<double> zone_rates = smoke ? std::vector<double>{4}
+                                               : std::vector<double>{2, 4};
+  for (const double rate : zone_rates) {
+    PlacementPair pair;
+    pair.rate = rate;
+    for (const bool zone_aware : {false, true}) {
+      SimConfig sim = MicroClusterConfig();
+      sim.reschedule_period = Minutes(5);
+      sim.resources.total_cache = GB(600);  // Quotas fit: loss bound binds.
+      sim.resources.num_servers = 2 * kZoneSize;
+      sim.faults = ChurnPlan("correlated", rate, sim.resources.num_servers, num_jobs);
+      if (zone_aware) {
+        Result<ClusterTopology> topology =
+            ClusterTopology::FromZones({FaultZone{"rack0", 0, kZoneSize - 1}}, kZoneLossBound);
+        SILOD_CHECK(topology.ok()) << topology.status().ToString();
+        sim.topology = *topology;
+      }
+
+      const SimResult result =
+          Run(trace, SchedulerKind::kFifo, CacheSystem::kSiloD, sim, EngineKind::kFlow);
+
+      const std::string placement = zone_aware ? "zone-aware" : "oblivious";
+      RunReport report = MakeRunReport("SiloD/placement-" + placement, "flow", result);
+      report.AddExtra("system", std::string(CacheSystemName(CacheSystem::kSiloD)));
+      report.AddExtra("mode", std::string("correlated"));
+      report.AddExtra("crashes_per_hour", rate);
+      report.AddExtra("placement", placement);
+      const bool completed = AllCompleted(result, num_jobs);
+      report.AddExtra("all_completed", completed);
+      ok = ok && completed && report.makespan_min > 0;
+      if (zone_aware) {
+        pair.aware_bytes = result.faults.bytes_lost;
+        pair.aware_jct = result.AvgJctMinutes();
+      } else {
+        pair.oblivious_bytes = result.faults.bytes_lost;
+        pair.oblivious_jct = result.AvgJctMinutes();
+      }
+      runs.push_back(std::move(report));
+    }
+    pairs.push_back(pair);
+  }
+
+  Table table({"label", "crashes/hr", "makespan (min)", "avg JCT (min)", "srv crashes",
+               "blocks lost", "bytes lost (MB)", "completed"});
+  for (const RunReport& r : runs) {
+    table.AddRow({r.label, r.extra[2].second, Fmt(r.makespan_min), Fmt(r.avg_jct_min),
+                  std::to_string(r.faults.server_crashes), std::to_string(r.faults.blocks_lost),
+                  Fmt(r.faults.bytes_lost / 1e6), r.unfinished_jobs == 0 ? "yes" : "NO"});
   }
   table.Print();
 
-  std::string json = "{\n  \"benchmark\": \"fault_churn\",\n  \"smoke\": ";
-  json += smoke ? "true" : "false";
-  json += ",\n  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    char buf[448];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"system\": \"%s\", \"mode\": \"%s\", \"crashes_per_hour\": %.1f, "
-                  "\"makespan_min\": %.2f, \"avg_jct_min\": %.2f, "
-                  "\"server_crashes\": %d, \"worker_crashes\": %d, "
-                  "\"blocks_lost\": %lld, \"all_completed\": %s}%s\n",
-                  c.system.c_str(), c.mode.c_str(), c.crashes_per_hour, c.makespan_min,
-                  c.avg_jct_min, c.server_crashes, c.worker_crashes,
-                  static_cast<long long>(c.blocks_lost),
-                  c.all_completed ? "true" : "false",
-                  i + 1 < cells.size() ? "," : "");
-    json += buf;
+  // The tentpole claim: at equal cache totals and equal crash schedules,
+  // zone-aware placement loses strictly fewer cached bytes and is no worse
+  // on avg JCT.
+  for (const PlacementPair& pair : pairs) {
+    std::printf("placement @%.1f crashes/hr: oblivious lost %.1f MB (JCT %.1f min), "
+                "zone-aware lost %.1f MB (JCT %.1f min)\n",
+                pair.rate, pair.oblivious_bytes / 1e6, pair.oblivious_jct,
+                pair.aware_bytes / 1e6, pair.aware_jct);
+    if (!(pair.aware_bytes < pair.oblivious_bytes)) {
+      std::fprintf(stderr, "FAIL: zone-aware placement did not lose strictly fewer bytes\n");
+      ok = false;
+    }
+    if (pair.aware_jct > pair.oblivious_jct * 1.001) {
+      std::fprintf(stderr, "FAIL: zone-aware placement worsened avg JCT\n");
+      ok = false;
+    }
   }
-  json += "  ]\n}\n";
-  std::ofstream(out_path) << json;
+
+  std::vector<std::pair<std::string, std::string>> header;
+  header.emplace_back("smoke", smoke ? "true" : "false");
+  std::ofstream(out_path) << ReportsToJson("fault_churn", header, runs);
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!ok) {
-    std::fprintf(stderr, "FAIL: a churn cell lost a job or produced a degenerate run\n");
+    std::fprintf(stderr, "FAIL: a churn cell lost a job, degenerated, or zone-aware placement "
+                         "failed to beat oblivious\n");
     return 1;
   }
   return 0;

@@ -124,26 +124,43 @@ void CacheManager::SetTotalCapacity(Bytes capacity) {
   total_capacity_ = capacity;
 }
 
-std::int64_t CacheManager::EvictRandomFraction(double fraction) {
+std::int64_t CacheManager::EvictRandomFraction(double fraction, Bytes* bytes_evicted) {
   SILOD_CHECK(fraction >= 0 && fraction <= 1) << "fraction out of [0, 1]";
   std::int64_t evicted = 0;
   for (auto& [id, state] : datasets_) {
-    std::vector<std::int64_t> resident;
-    resident.reserve(state.blocks.size());
-    for (const auto& [block, gen] : state.blocks) {
-      resident.push_back(block);
+    evicted += EvictDatasetFraction(id, fraction, bytes_evicted);
+  }
+  return evicted;
+}
+
+std::int64_t CacheManager::EvictDatasetFraction(DatasetId dataset, double fraction,
+                                                Bytes* bytes_evicted) {
+  SILOD_CHECK(fraction >= 0 && fraction <= 1) << "fraction out of [0, 1]";
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return 0;
+  }
+  DatasetState& state = it->second;
+  std::vector<std::int64_t> resident;
+  resident.reserve(state.blocks.size());
+  for (const auto& [block, gen] : state.blocks) {
+    resident.push_back(block);
+  }
+  // Sorted before the shuffle so the outcome is independent of the
+  // unordered_map's iteration order (bit-identical across platforms).
+  std::sort(resident.begin(), resident.end());
+  rng_.Shuffle(resident);
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(resident.size()) * fraction + 0.5);
+  std::int64_t evicted = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes bytes = state.dataset.BlockBytes(resident[i]);
+    state.used -= bytes;
+    state.blocks.erase(resident[i]);
+    if (bytes_evicted != nullptr) {
+      *bytes_evicted += bytes;
     }
-    // Sorted before the shuffle so the outcome is independent of the
-    // unordered_map's iteration order (bit-identical across platforms).
-    std::sort(resident.begin(), resident.end());
-    rng_.Shuffle(resident);
-    const auto count = static_cast<std::size_t>(
-        static_cast<double>(resident.size()) * fraction + 0.5);
-    for (std::size_t i = 0; i < count; ++i) {
-      state.used -= state.dataset.BlockBytes(resident[i]);
-      state.blocks.erase(resident[i]);
-      ++evicted;
-    }
+    ++evicted;
   }
   return evicted;
 }

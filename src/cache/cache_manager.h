@@ -65,8 +65,15 @@ class CacheManager {
   void SetTotalCapacity(Bytes capacity);
   // Evicts each dataset's resident blocks uniformly at random so that about
   // `fraction` of the resident bytes are lost — a crashed server's share
-  // under uniform block placement.  Returns the number of blocks evicted.
-  std::int64_t EvictRandomFraction(double fraction);
+  // under uniform block placement.  Returns the number of blocks evicted and
+  // adds the evicted bytes to *bytes_evicted when non-null.
+  std::int64_t EvictRandomFraction(double fraction, Bytes* bytes_evicted = nullptr);
+  // Per-dataset variant: evicts about `fraction` of one dataset's resident
+  // blocks uniformly at random.  Zone-aware crash handling charges each
+  // dataset the crashed server's slice of its per-zone share instead of the
+  // pool-uniform fraction.
+  std::int64_t EvictDatasetFraction(DatasetId dataset, double fraction,
+                                    Bytes* bytes_evicted = nullptr);
   // Evicts one specific block (callers that know placement, e.g. the
   // distributed cache dropping a crashed server's residents).
   Status EvictBlock(DatasetId dataset, std::int64_t block);

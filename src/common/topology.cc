@@ -1,0 +1,138 @@
+#include "src/common/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace silod {
+
+namespace {
+
+// Splits on `sep`, dropping empty pieces (tolerates trailing separators).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::stringstream stream(text);
+  std::string piece;
+  while (std::getline(stream, piece, sep)) {
+    const std::size_t begin = piece.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = piece.find_last_not_of(" \t");
+    pieces.push_back(piece.substr(begin, end - begin + 1));
+  }
+  return pieces;
+}
+
+}  // namespace
+
+Result<ClusterTopology> ClusterTopology::Parse(const std::string& spec) {
+  std::vector<TopologyZone> zones;
+  double loss_bound = kDefaultLossBound;
+  for (const std::string& entry : Split(spec, ';')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("topology entry missing '=': " + entry);
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "loss-bound") {
+      char* rest = nullptr;
+      loss_bound = std::strtod(value.c_str(), &rest);
+      if (rest == value.c_str() || loss_bound <= 0 || loss_bound > 1) {
+        return Status::InvalidArgument("topology loss-bound must be in (0, 1]: " + value);
+      }
+      continue;
+    }
+    int first = 0;
+    int last = 0;
+    if (std::sscanf(value.c_str(), "%d-%d", &first, &last) != 2) {
+      return Status::InvalidArgument("topology zone '" + key +
+                                     "' needs a server range <a>-<b>, got: " + value);
+    }
+    zones.push_back(TopologyZone{key, first, last});
+  }
+  return FromZones(std::move(zones), loss_bound);
+}
+
+Result<ClusterTopology> ClusterTopology::FromZones(std::vector<TopologyZone> zones,
+                                                   double loss_bound) {
+  if (loss_bound <= 0 || loss_bound > 1) {
+    return Status::InvalidArgument("topology loss bound must be in (0, 1]");
+  }
+  std::sort(zones.begin(), zones.end(), [](const TopologyZone& a, const TopologyZone& b) {
+    return a.first_server < b.first_server;
+  });
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    const TopologyZone& z = zones[i];
+    if (z.first_server < 0 || z.last_server < z.first_server) {
+      return Status::InvalidArgument("topology zone '" + z.name + "' has an invalid range");
+    }
+    if (i > 0 && z.first_server <= zones[i - 1].last_server) {
+      return Status::InvalidArgument("topology zones '" + zones[i - 1].name + "' and '" + z.name +
+                                     "' overlap");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (zones[j].name == z.name) {
+        return Status::InvalidArgument("duplicate topology zone name: " + z.name);
+      }
+    }
+  }
+  ClusterTopology topology;
+  topology.zones_ = std::move(zones);
+  topology.loss_bound_ = loss_bound;
+  return topology;
+}
+
+int ClusterTopology::ZoneOf(int server) const {
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (server >= zones_[i].first_server && server <= zones_[i].last_server) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool ClusterTopology::Covers(int num_servers) const {
+  for (int s = 0; s < num_servers; ++s) {
+    if (ZoneOf(s) < 0) return false;
+  }
+  return true;
+}
+
+ClusterTopology ClusterTopology::Cover(int num_servers) const {
+  std::vector<TopologyZone> zones = zones_;
+  for (int s = 0; s < num_servers; ++s) {
+    if (ZoneOf(s) < 0) {
+      zones.push_back(TopologyZone{"srv" + std::to_string(s), s, s});
+    }
+  }
+  Result<ClusterTopology> covered = FromZones(std::move(zones), loss_bound_);
+  return covered.ok() ? *covered : *this;  // Existing zones already validated.
+}
+
+Status ClusterTopology::Validate(int num_servers) const {
+  for (const TopologyZone& z : zones_) {
+    if (z.last_server >= num_servers) {
+      return Status::OutOfRange("topology zone '" + z.name + "' ends at server " +
+                                std::to_string(z.last_server) + " but the cluster has " +
+                                std::to_string(num_servers) + " servers");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ClusterTopology::ToSpec() const {
+  std::string spec;
+  for (const TopologyZone& z : zones_) {
+    if (!spec.empty()) spec += ";";
+    spec += z.name + "=" + std::to_string(z.first_server) + "-" + std::to_string(z.last_server);
+  }
+  if (loss_bound_ != kDefaultLossBound) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ";loss-bound=%g", loss_bound_);
+    spec += buf;
+  }
+  return spec;
+}
+
+}  // namespace silod

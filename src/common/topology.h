@@ -1,0 +1,91 @@
+// Cluster topology: which cache servers share a failure domain.
+//
+// PR 3 taught fault plans about *zones* (named contiguous server ranges that
+// crash as one unit); this header promotes the zone list to a first-class
+// ClusterTopology that the schedulers and the Data Manager consume, so
+// storage policies can *place against* the failure domains instead of merely
+// suffering them.  The placement contract is the per-zone loss bound: a
+// zone-aware plan never puts more than `loss_bound` of a dataset's cache
+// quota inside one declared domain (capacity permitting), so a zone-crash
+// costs at most that share of the dataset instead of the zone's full
+// capacity-proportional slice.
+//
+// Servers not covered by any declared zone fail independently; Cover() makes
+// that explicit by appending a singleton zone per uncovered server, which is
+// how the engines and the spread rule consume a topology (a partition of
+// [0, num_servers) into failure domains).
+//
+// A topology is plain data: Parse(ToSpec()) is the identity, and an empty
+// topology means "zone-oblivious" everywhere — every consumer must behave
+// bit-identically to the pre-topology code in that case.
+#ifndef SILOD_SRC_COMMON_TOPOLOGY_H_
+#define SILOD_SRC_COMMON_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace silod {
+
+// A contiguous range of cache servers that fails as one unit (a rack, a
+// power domain).  Also used by the fault-plan spec language as FaultZone.
+struct TopologyZone {
+  std::string name;
+  int first_server = 0;
+  int last_server = 0;  // Inclusive.
+
+  int size() const { return last_server - first_server + 1; }
+  bool operator==(const TopologyZone&) const = default;
+};
+
+class ClusterTopology {
+ public:
+  // Any single zone may hold at most this fraction of a dataset's quota
+  // unless capacity forces more (see sched/zone_spread.h).
+  static constexpr double kDefaultLossBound = 0.5;
+
+  ClusterTopology() = default;
+
+  // Parses ";"-separated entries of the form `name=<a>-<b>` plus an optional
+  // `loss-bound=<f>` entry, e.g. "rack0=0-3;rack1=4-7;loss-bound=0.25".
+  static Result<ClusterTopology> Parse(const std::string& spec);
+
+  // Validates (in-range, disjoint, unique names) and sorts by first server.
+  static Result<ClusterTopology> FromZones(std::vector<TopologyZone> zones,
+                                           double loss_bound = kDefaultLossBound);
+
+  bool empty() const { return zones_.empty(); }
+  int num_zones() const { return static_cast<int>(zones_.size()); }
+  const std::vector<TopologyZone>& zones() const { return zones_; }
+
+  // Zone index owning `server`, or -1 when no declared zone covers it.
+  int ZoneOf(int server) const;
+
+  // True when every server in [0, num_servers) belongs to a zone.
+  bool Covers(int num_servers) const;
+
+  // Returns a copy where every uncovered server in [0, num_servers) is added
+  // as its own singleton zone (named "srv<i>"): uncorrelated servers are
+  // independent failure domains.  Identity when already covering.
+  ClusterTopology Cover(int num_servers) const;
+
+  // All zones within [0, num_servers); does not require full cover.
+  Status Validate(int num_servers) const;
+
+  // Canonical spec; Parse(ToSpec()) is the identity.
+  std::string ToSpec() const;
+
+  double loss_bound() const { return loss_bound_; }
+  void set_loss_bound(double bound) { loss_bound_ = bound; }
+
+  bool operator==(const ClusterTopology&) const = default;
+
+ private:
+  std::vector<TopologyZone> zones_;  // Sorted by first_server, disjoint.
+  double loss_bound_ = kDefaultLossBound;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_TOPOLOGY_H_

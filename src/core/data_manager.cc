@@ -23,7 +23,32 @@ DataManager::DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::ui
 }
 
 int DataManager::ShardFor(DatasetId dataset, std::int64_t block) const {
-  return shards_.size() == 1 ? 0 : placement_.ServerFor(dataset, block);
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  if (zone_placement_ != nullptr) {
+    const auto it = zone_shares_.find(dataset);
+    if (it != zone_shares_.end()) {
+      return zone_placement_->ServerFor(dataset, block, it->second);
+    }
+  }
+  return placement_.ServerFor(dataset, block);
+}
+
+Status DataManager::SetTopology(const ClusterTopology& topology) {
+  if (topology.empty()) {
+    topology_ = ClusterTopology{};
+    zone_placement_.reset();
+    zone_shares_.clear();
+    return Status::Ok();
+  }
+  if (const Status st = topology.Validate(num_shards()); !st.ok()) {
+    return st;
+  }
+  topology_ = topology.Cover(num_shards());
+  zone_placement_ = std::make_unique<ZonePlacement>(topology_);
+  zone_shares_.clear();
+  return Status::Ok();
 }
 
 Status DataManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
@@ -38,7 +63,61 @@ Status DataManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) 
       return st;
     }
   }
+  zone_shares_.erase(dataset.id);  // Uniform allocation ends any zone spread.
   return Status::Ok();
+}
+
+Status DataManager::AllocateCacheSizeZoned(const Dataset& dataset,
+                                           const std::vector<Bytes>& zone_shares) {
+  if (zone_placement_ == nullptr) {
+    return Status::FailedPrecondition("no topology declared; call SetTopology first");
+  }
+  if (zone_shares.size() != static_cast<std::size_t>(topology_.num_zones())) {
+    return Status::InvalidArgument("zone share count does not match the topology");
+  }
+  Bytes quota = 0;
+  for (const Bytes share : zone_shares) {
+    if (share < 0) {
+      return Status::InvalidArgument("negative zone cache share");
+    }
+    quota += share;
+  }
+  const std::vector<Bytes> targets = PerShardTargets(quota, &zone_shares);
+  // Shrinks before grows so moving a share between shards never transiently
+  // over-commits the growing shard.
+  for (const bool shrink_pass : {true, false}) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Bytes current = shards_[s].Allocation(dataset.id);
+      if (targets[s] == current || (targets[s] < current) != shrink_pass) {
+        continue;
+      }
+      if (const Status st = shards_[s].AllocateCacheSize(dataset, targets[s]); !st.ok()) {
+        return st;
+      }
+    }
+  }
+  zone_shares_[dataset.id] = zone_shares;
+  return Status::Ok();
+}
+
+std::vector<Bytes> DataManager::PerShardTargets(Bytes quota,
+                                                const std::vector<Bytes>* zone_shares) const {
+  std::vector<Bytes> targets(shards_.size(), 0);
+  if (zone_shares != nullptr) {
+    for (int z = 0; z < topology_.num_zones(); ++z) {
+      const TopologyZone& zone = topology_.zones()[static_cast<std::size_t>(z)];
+      const Bytes share = (*zone_shares)[static_cast<std::size_t>(z)] / zone.size();
+      for (int s = zone.first_server; s <= zone.last_server; ++s) {
+        targets[static_cast<std::size_t>(s)] = share;
+      }
+    }
+  } else {
+    const Bytes share = quota / static_cast<Bytes>(shards_.size());
+    for (Bytes& target : targets) {
+      target = share;
+    }
+  }
+  return targets;
 }
 
 Status DataManager::AllocateRemoteIo(JobId job, BytesPerSec io_speed) {
@@ -56,18 +135,41 @@ Status DataManager::ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& 
   if (plan.cache_model != CacheModelKind::kDatasetQuota) {
     return Status::FailedPrecondition("DataManager enforces dataset-quota plans only");
   }
-  // Shrinks first so reshuffled allocations never transiently over-commit.
-  for (const bool shrink_pass : {true, false}) {
-    for (const auto& dataset : catalog.all()) {
-      const auto it = plan.dataset_cache.find(dataset.id);
-      const Bytes quota = it == plan.dataset_cache.end() ? 0 : it->second;
-      const Bytes current = Allocation(dataset.id);
-      if (quota == current || (quota < current) != shrink_pass) {
-        continue;
+  // Per-shard targets up front: a zone-spread dataset splits each zone share
+  // equally among the zone's shards, anything else splits its quota equally.
+  std::vector<std::vector<Bytes>> targets;
+  targets.reserve(catalog.all().size());
+  for (const auto& dataset : catalog.all()) {
+    const auto it = plan.dataset_cache.find(dataset.id);
+    const Bytes quota = it == plan.dataset_cache.end() ? 0 : it->second;
+    const std::vector<Bytes>* zone_shares = nullptr;
+    if (zone_placement_ != nullptr) {
+      const auto zit = plan.dataset_zone_cache.find(dataset.id);
+      if (zit != plan.dataset_zone_cache.end() &&
+          zit->second.size() == static_cast<std::size_t>(topology_.num_zones())) {
+        zone_shares = &zit->second;
+        zone_shares_[dataset.id] = zit->second;
       }
-      const Status st = AllocateCacheSize(dataset, quota);
-      if (!st.ok()) {
-        return st;
+    }
+    if (zone_shares == nullptr) {
+      zone_shares_.erase(dataset.id);
+    }
+    targets.push_back(PerShardTargets(quota, zone_shares));
+  }
+  // Shrinks first so reshuffled allocations never transiently over-commit any
+  // shard (per-shard, because zone spreads make shares asymmetric).
+  for (const bool shrink_pass : {true, false}) {
+    for (std::size_t d = 0; d < catalog.all().size(); ++d) {
+      const Dataset& dataset = catalog.all()[d];
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Bytes current = shards_[s].Allocation(dataset.id);
+        const Bytes target = targets[d][s];
+        if (target == current || (target < current) != shrink_pass) {
+          continue;
+        }
+        if (const Status st = shards_[s].AllocateCacheSize(dataset, target); !st.ok()) {
+          return st;
+        }
       }
     }
   }

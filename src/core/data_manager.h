@@ -16,6 +16,8 @@
 #define SILOD_SRC_CORE_DATA_MANAGER_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "src/cache/cache_manager.h"
@@ -30,9 +32,22 @@ class DataManager {
   DataManager(Bytes cache_capacity, BytesPerSec egress_limit, std::uint64_t seed = 7,
               int num_shards = 1);
 
+  // --- Failure domains ------------------------------------------------------
+  // Declares the shards' failure domains (common/topology.h); must cover
+  // [0, num_shards).  Afterwards plans carrying dataset_zone_cache spreads
+  // route blocks zone-proportionally (ZonePlacement) and size each shard's
+  // quota from its zone's share.  Without a topology (or for datasets with no
+  // spread) placement and quotas stay exactly as before.
+  Status SetTopology(const ClusterTopology& topology);
+  const ClusterTopology& topology() const { return topology_; }
+
   // --- Table 3 allocation APIs --------------------------------------------
   // void allocateCacheSize(dataset_uri, cache_size)
   Status AllocateCacheSize(const Dataset& dataset, Bytes cache_size);
+  // Zone-aware variant: `zone_shares` is indexed like topology().zones() and
+  // sums to the dataset's quota; each shard gets its zone's share split
+  // equally among the zone's members, and reads route zone-proportionally.
+  Status AllocateCacheSizeZoned(const Dataset& dataset, const std::vector<Bytes>& zone_shares);
   // void allocateRemoteIO(job_id, io_speed)
   Status AllocateRemoteIo(JobId job, BytesPerSec io_speed);
 
@@ -83,10 +98,18 @@ class DataManager {
 
  private:
   int ShardFor(DatasetId dataset, std::int64_t block) const;
+  // Each shard's quota for a dataset: its zone's share split equally among
+  // the zone's members when spread, else an equal split of the total quota.
+  std::vector<Bytes> PerShardTargets(Bytes quota, const std::vector<Bytes>* zone_shares) const;
 
   std::vector<CacheManager> shards_;
   std::vector<bool> alive_;
   BlockPlacement placement_;
+  ClusterTopology topology_;
+  std::unique_ptr<ZonePlacement> zone_placement_;
+  // Datasets currently spread across zones; routing falls back to the global
+  // ring for datasets without an entry.
+  std::map<DatasetId, std::vector<Bytes>> zone_shares_;
   RemoteStore remote_;
 };
 

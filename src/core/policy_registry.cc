@@ -1,0 +1,168 @@
+#include "src/core/policy_registry.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gavel.h"
+#include "src/sched/greedy.h"
+#include "src/sched/sjf.h"
+#include "src/sched/storage_policies.h"
+
+namespace silod {
+namespace {
+
+constexpr SchedulerKind kSchedulers[] = {SchedulerKind::kFifo, SchedulerKind::kSjf,
+                                         SchedulerKind::kGavel};
+constexpr CacheSystem kCacheSystems[] = {CacheSystem::kSiloD, CacheSystem::kAlluxio,
+                                         CacheSystem::kAlluxioLfu, CacheSystem::kCoorDl,
+                                         CacheSystem::kQuiver};
+
+const char* SchedulerToken(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "fifo";
+    case SchedulerKind::kSjf:
+      return "sjf";
+    case SchedulerKind::kGavel:
+      return "gavel";
+  }
+  return "unknown";
+}
+
+const char* CacheToken(CacheSystem system) {
+  switch (system) {
+    case CacheSystem::kSiloD:
+      return "silod";
+    case CacheSystem::kAlluxio:
+      return "alluxio";
+    case CacheSystem::kAlluxioLfu:
+      return "alluxio-lfu";
+    case CacheSystem::kCoorDl:
+      return "coordl";
+    case CacheSystem::kQuiver:
+      return "quiver";
+  }
+  return "unknown";
+}
+
+// Algorithm 1's composition, moved verbatim from the old enum factory: the
+// registry's built-in entries and the enum wrapper both resolve here.
+std::shared_ptr<Scheduler> BuildScheduler(SchedulerKind kind, CacheSystem system,
+                                          const SchedulerOptions& options) {
+  std::shared_ptr<StoragePolicy> storage;
+  switch (system) {
+    case CacheSystem::kSiloD:
+      storage = std::make_shared<SiloDGreedyStorage>(options.manage_remote_io);
+      break;
+    case CacheSystem::kAlluxio:
+      storage = std::make_shared<AlluxioStorage>();
+      break;
+    case CacheSystem::kAlluxioLfu:
+      storage = std::make_shared<AlluxioStorage>(AlluxioStorage::Eviction::kLfu);
+      break;
+    case CacheSystem::kCoorDl:
+      storage = std::make_shared<CoorDlStorage>();
+      break;
+    case CacheSystem::kQuiver:
+      storage =
+          std::make_shared<QuiverStorage>(options.quiver_profiling_noise, options.seed);
+      break;
+  }
+
+  const bool silod = system == CacheSystem::kSiloD;
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_shared<FifoScheduler>(storage);
+    case SchedulerKind::kSjf:
+      return std::make_shared<SjfScheduler>(
+          storage, silod ? SjfScoreMode::kSiloD : SjfScoreMode::kComputeOnly,
+          options.preemptive_sjf);
+    case SchedulerKind::kGavel:
+      if (silod) {
+        return std::make_shared<GavelScheduler>(nullptr, /*silod_aware=*/true,
+                                                options.manage_remote_io,
+                                                options.gavel_objective);
+      }
+      return std::make_shared<GavelScheduler>(storage, /*silod_aware=*/false);
+  }
+  SILOD_CHECK(false) << "unreachable scheduler kind";
+  return nullptr;
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    for (const SchedulerKind kind : kSchedulers) {
+      for (const CacheSystem system : kCacheSystems) {
+        const std::string description = std::string(SchedulerKindName(kind)) +
+                                        " scheduling on the " + CacheSystemName(system) +
+                                        " cache system";
+        const Status st = r->Register(
+            PolicyName(kind, system), description,
+            [kind, system](const SchedulerOptions& options) {
+              return BuildScheduler(kind, system, options);
+            });
+        SILOD_CHECK(st.ok()) << "built-in policy registration collided: " << st.ToString();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status PolicyRegistry::Register(const std::string& name, const std::string& description,
+                                PolicyFactory factory) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArgument("policy registration wants a name and a factory");
+  }
+  const auto [it, inserted] =
+      policies_.emplace(name, std::make_pair(description, std::move(factory)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("policy already registered: " + name);
+  }
+  return Status::Ok();
+}
+
+bool PolicyRegistry::Contains(const std::string& name) const { return policies_.count(name) > 0; }
+
+Result<std::shared_ptr<Scheduler>> PolicyRegistry::Make(const std::string& name,
+                                                        const SchedulerOptions& options) const {
+  const auto it = policies_.find(name);
+  if (it == policies_.end()) {
+    return Status::NotFound("unknown policy '" + name + "'; known: " + KnownNames());
+  }
+  return it->second.second(options);
+}
+
+std::vector<PolicyInfo> PolicyRegistry::List() const {
+  std::vector<PolicyInfo> out;
+  out.reserve(policies_.size());
+  for (const auto& [name, entry] : policies_) {
+    out.push_back(PolicyInfo{name, entry.first});
+  }
+  return out;  // std::map iterates sorted by name.
+}
+
+std::string PolicyRegistry::KnownNames() const {
+  std::string out;
+  for (const auto& [name, entry] : policies_) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+Result<std::shared_ptr<Scheduler>> MakeSchedulerByName(const std::string& name,
+                                                       const SchedulerOptions& options) {
+  return PolicyRegistry::Global().Make(name, options);
+}
+
+std::string PolicyName(SchedulerKind kind, CacheSystem system) {
+  return std::string(SchedulerToken(kind)) + "+" + CacheToken(system);
+}
+
+}  // namespace silod

@@ -1,11 +1,7 @@
 #include "src/core/silod_scheduler.h"
 
 #include "src/common/logging.h"
-#include "src/sched/fifo.h"
-#include "src/sched/gavel.h"
-#include "src/sched/greedy.h"
-#include "src/sched/sjf.h"
-#include "src/sched/storage_policies.h"
+#include "src/core/policy_registry.h"
 
 namespace silod {
 
@@ -39,44 +35,13 @@ const char* CacheSystemName(CacheSystem system) {
 
 std::shared_ptr<Scheduler> MakeScheduler(SchedulerKind kind, CacheSystem system,
                                          const SchedulerOptions& options) {
-  std::shared_ptr<StoragePolicy> storage;
-  switch (system) {
-    case CacheSystem::kSiloD:
-      storage = std::make_shared<SiloDGreedyStorage>(options.manage_remote_io);
-      break;
-    case CacheSystem::kAlluxio:
-      storage = std::make_shared<AlluxioStorage>();
-      break;
-    case CacheSystem::kAlluxioLfu:
-      storage = std::make_shared<AlluxioStorage>(AlluxioStorage::Eviction::kLfu);
-      break;
-    case CacheSystem::kCoorDl:
-      storage = std::make_shared<CoorDlStorage>();
-      break;
-    case CacheSystem::kQuiver:
-      storage =
-          std::make_shared<QuiverStorage>(options.quiver_profiling_noise, options.seed);
-      break;
-  }
-
-  const bool silod = system == CacheSystem::kSiloD;
-  switch (kind) {
-    case SchedulerKind::kFifo:
-      return std::make_shared<FifoScheduler>(storage);
-    case SchedulerKind::kSjf:
-      return std::make_shared<SjfScheduler>(
-          storage, silod ? SjfScoreMode::kSiloD : SjfScoreMode::kComputeOnly,
-          options.preemptive_sjf);
-    case SchedulerKind::kGavel:
-      if (silod) {
-        return std::make_shared<GavelScheduler>(nullptr, /*silod_aware=*/true,
-                                                options.manage_remote_io,
-                                                options.gavel_objective);
-      }
-      return std::make_shared<GavelScheduler>(storage, /*silod_aware=*/false);
-  }
-  SILOD_CHECK(false) << "unreachable scheduler kind";
-  return nullptr;
+  // Thin wrapper over the string-keyed registry (deprecated in favour of
+  // MakeSchedulerByName; kept for one release).
+  Result<std::shared_ptr<Scheduler>> scheduler =
+      MakeSchedulerByName(PolicyName(kind, system), options);
+  SILOD_CHECK(scheduler.ok()) << "built-in pair missing from the policy registry: "
+                              << scheduler.status().ToString();
+  return *scheduler;
 }
 
 }  // namespace silod

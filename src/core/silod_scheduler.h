@@ -40,6 +40,10 @@ struct SchedulerOptions {
   std::uint64_t seed = 11;
 };
 
+// Thin wrapper over the string-keyed policy registry (core/policy_registry.h)
+// that resolves the pair as "<scheduler>+<cache>" (e.g. "sjf+silod").
+// Deprecated: new call sites should use MakeSchedulerByName; the enum
+// overload is kept for one release.
 std::shared_ptr<Scheduler> MakeScheduler(SchedulerKind kind, CacheSystem system,
                                          const SchedulerOptions& options = {});
 

@@ -26,6 +26,9 @@ enum class EngineKind {
 struct ExperimentConfig {
   SchedulerKind scheduler = SchedulerKind::kFifo;
   CacheSystem cache = CacheSystem::kSiloD;
+  // Registry policy name (core/policy_registry.h), e.g. "gavel+coordl".
+  // When non-empty it overrides the enum pair above.
+  std::string policy;
   SchedulerOptions scheduler_options;
   SimConfig sim;
   EngineKind engine = EngineKind::kFlow;

@@ -164,8 +164,12 @@ std::string FaultPlan::ToSpec() const {
   return out;
 }
 
-Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec,
+                                   std::vector<TopologyZone>* zones_out) {
   FaultPlan plan;
+  if (zones_out != nullptr) {
+    zones_out->clear();
+  }
   // Zones declared earlier in the spec, and the first recovery instant of
   // each zone's most recent zone-crash (for anchored degrades).
   std::map<std::string, FaultZone> zones;
@@ -197,6 +201,9 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
         return Status::InvalidArgument("zone declared twice: " + s.name);
       }
       zones[s.name] = FaultZone{s.name, s.servers_lo, s.servers_hi};
+      if (zones_out != nullptr) {
+        zones_out->push_back(zones[s.name]);
+      }
       continue;
     }
     if (kind_name == "zone-crash") {

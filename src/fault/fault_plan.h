@@ -32,10 +32,12 @@
 #define SILOD_SRC_FAULT_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/topology.h"
 #include "src/common/units.h"
 
 namespace silod {
@@ -92,20 +94,18 @@ struct FaultPlan {
   //   degrade        anchor=<zone> [t=<offset>] [factor=<f>] [err=<p>] [for=<sec>]
   //       the window opens at <offset> seconds after the first recovery
   //       instant (t + down) of the zone's most recent zone-crash
-  // Returns the sorted, duration-expanded plan.
-  static Result<FaultPlan> Parse(const std::string& spec);
+  // Returns the sorted, duration-expanded plan.  When `zones` is non-null it
+  // receives the spec's zone declarations (in declaration order) so callers
+  // can derive a ClusterTopology from the same failure domains the plan
+  // crashes — expanded plans still contain only primitive events.
+  static Result<FaultPlan> Parse(const std::string& spec,
+                                 std::vector<TopologyZone>* zones = nullptr);
 };
 
-// A contiguous range of cache servers that fails as one unit (a rack, a
-// power domain).
-struct FaultZone {
-  std::string name;
-  int first_server = 0;
-  int last_server = 0;  // Inclusive.
-
-  int size() const { return last_server - first_server + 1; }
-  bool operator==(const FaultZone&) const = default;
-};
+// The fault-plan spec language and common/topology.h share one zone type: a
+// failure domain declared for crashing is the same failure domain the
+// placement spreads against.
+using FaultZone = TopologyZone;
 
 // Correlated churn for one zone: zone-crash arrivals are Poisson on the
 // zone's own forked stream, so changing one zone's rate (or downtime) leaves
@@ -164,6 +164,11 @@ struct FaultStats {
   int ignored_events = 0;
   // Blocks evicted because their server crashed.
   std::int64_t blocks_lost = 0;
+  // Same loss in bytes (fluid engines lose fractional blocks), and its
+  // attribution to topology zones when the run is zone-aware.  Oblivious
+  // runs leave the map empty.
+  double bytes_lost = 0;
+  std::map<std::string, std::int64_t> blocks_lost_by_zone;
   // RestartCost accounting: blocks (fine engine) / bytes (flow engine)
   // re-read because a worker crash discarded un-checkpointed progress, and
   // the staged compute-seconds that were discarded with them.

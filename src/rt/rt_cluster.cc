@@ -18,6 +18,40 @@ void SleepSeconds(double s) {
 
 }  // namespace
 
+RunReport MakeRtRunReport(std::string label, const RtResult& result) {
+  RunReport report;
+  report.label = std::move(label);
+  report.engine = "rt";
+  report.jobs = static_cast<int>(result.jobs.size());
+  report.unfinished_jobs = result.unfinished_jobs;
+  SampleSet jct;
+  double sum = 0;
+  int finished = 0;
+  for (const RtJobResult& j : result.jobs) {
+    if (!j.completed) {
+      continue;
+    }
+    jct.Add(j.Runtime() / 60.0);
+    sum += j.Runtime() / 60.0;
+    ++finished;
+  }
+  report.avg_jct_min = finished > 0 ? sum / finished : 0;
+  report.median_jct_min = finished > 0 ? jct.Median() : 0;
+  report.p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+  report.makespan_min = result.makespan / 60.0;
+  report.faults.server_crashes = result.server_crashes;
+  report.faults.server_recoveries = result.server_recoveries;
+  report.faults.degrade_windows = result.degrade_windows;
+  report.faults.dm_restarts = result.dm_restarts;
+  report.faults.ignored_events = result.ignored_faults;
+  report.faults.blocks_lost = result.blocks_lost;
+  report.faults.bytes_lost = static_cast<double>(result.bytes_lost);
+  report.faults.blocks_lost_by_zone = result.blocks_lost_by_zone;
+  report.AddExtra("timed_out", result.timed_out);
+  report.AddExtra("remote_retries", static_cast<double>(result.remote_retries));
+  return report;
+}
+
 RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
                      ClusterResources resources, RtOptions options)
     : trace_(trace), scheduler_(std::move(scheduler)), resources_(resources), options_(options),
@@ -35,6 +69,11 @@ RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
   SILOD_CHECK(gpu_demand <= resources.total_gpus)
       << "RtCluster runs all jobs concurrently; GPU demand " << gpu_demand << " exceeds "
       << resources.total_gpus;
+  if (!options_.topology.empty()) {
+    const Status st = manager_.SetTopology(options_.topology);
+    SILOD_CHECK(st.ok()) << "bad topology: " << st.ToString();
+    topology_ = manager_.topology();  // Cover()ed over the shards.
+  }
   for (const Dataset& dataset : trace_->catalog.all()) {
     remote_.RegisterDataset(dataset);
   }
@@ -186,6 +225,11 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
       }
       manager_ = DataManager(resources_.total_cache, resources_.remote_io, /*seed=*/7,
                              std::max(1, resources_.num_servers));
+      if (!topology_.empty()) {
+        // Failure domains are part of the durable config, not the dead state.
+        const Status topo_st = manager_.SetTopology(topology_);
+        SILOD_CHECK(topo_st.ok()) << topo_st.ToString();
+      }
       // Servers that were down stay down across the restart; the restore
       // drops any snapshot blocks routed to them.
       for (const int s : dead_shards) {
@@ -205,7 +249,23 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
         ++ignored_by_kind_[event.kind];
         return;
       }
-      blocks_lost_ += manager_.CrashShard(event.target);
+      Bytes before = 0;
+      for (const Dataset& dataset : trace_->catalog.all()) {
+        before += manager_.CachedBytes(dataset.id);
+      }
+      const std::int64_t lost = manager_.CrashShard(event.target);
+      Bytes after = 0;
+      for (const Dataset& dataset : trace_->catalog.all()) {
+        after += manager_.CachedBytes(dataset.id);
+      }
+      blocks_lost_ += lost;
+      bytes_lost_ += before - after;
+      if (!topology_.empty() && lost > 0) {
+        const int zone = topology_.ZoneOf(event.target);
+        if (zone >= 0) {
+          blocks_lost_by_zone_[topology_.zones()[static_cast<std::size_t>(zone)].name] += lost;
+        }
+      }
       ++server_crashes_;
       return;
     }
@@ -239,6 +299,9 @@ void RtCluster::ScheduleOnce() {
   snap.now = WallNow();
   snap.resources = resources_;
   snap.catalog = &trace_->catalog;
+  if (!topology_.empty()) {
+    snap.topology = &topology_;
+  }
   for (const auto& job : jobs_) {
     if (job->blocks_done.load() >= job->blocks_total) {
       continue;
@@ -350,6 +413,8 @@ RtResult RtCluster::Run() {
   result.server_crashes = server_crashes_;
   result.server_recoveries = server_recoveries_;
   result.blocks_lost = blocks_lost_;
+  result.bytes_lost = bytes_lost_;
+  result.blocks_lost_by_zone = blocks_lost_by_zone_;
   result.ignored_by_kind = ignored_by_kind_;
   for (const auto& [kind, count] : ignored_by_kind_) {
     result.ignored_faults += count;

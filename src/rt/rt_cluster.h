@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "src/core/recovery.h"
 #include "src/fault/fault_injector.h"
 #include "src/sched/policy.h"
+#include "src/sim/metrics.h"
 #include "src/storage/inmem_remote.h"
 #include "src/storage/token_bucket.h"
 #include "src/workload/trace_gen.h"
@@ -63,6 +65,11 @@ struct RtOptions {
   // durable pod annotations + disk contents) every period; a Data-Manager
   // restart restores from the latest one instead of capture-at-crash.
   Seconds snapshot_period = 0;
+  // Failure domains of the cache shards (common/topology.h).  Empty =
+  // zone-oblivious.  When set it is threaded into the scheduler's Snapshot,
+  // the Data Manager routes spread datasets zone-proportionally, and shard
+  // crashes are attributed per zone in RtResult::blocks_lost_by_zone.
+  ClusterTopology topology;
 };
 
 struct RtJobResult {
@@ -94,12 +101,19 @@ struct RtResult {
   int server_crashes = 0;
   int server_recoveries = 0;
   std::int64_t blocks_lost = 0;  // Resident blocks dropped by shard crashes.
+  Bytes bytes_lost = 0;          // Resident bytes dropped by shard crashes.
+  // Blocks lost per failure domain (RtOptions::topology); empty without one.
+  std::map<std::string, std::int64_t> blocks_lost_by_zone;
   // Events this runtime could not act on, by kind (worker events, or targets
   // that are out of range / in the wrong state).  ignored_faults is the sum.
   std::map<FaultKind, int> ignored_by_kind;
   int ignored_faults = 0;
   std::int64_t remote_retries = 0;
 };
+
+// Folds an RtResult into the shared RunReport schema (sim/metrics.h), so the
+// runtime serializes exactly like the simulation engines ("engine": "rt").
+RunReport MakeRtRunReport(std::string label, const RtResult& result);
 
 class RtCluster {
  public:
@@ -172,6 +186,9 @@ class RtCluster {
   int server_crashes_ = 0;
   int server_recoveries_ = 0;
   std::int64_t blocks_lost_ = 0;
+  Bytes bytes_lost_ = 0;
+  std::map<std::string, std::int64_t> blocks_lost_by_zone_;
+  ClusterTopology topology_;  // Cover()ed copy of RtOptions::topology.
   std::map<FaultKind, int> ignored_by_kind_;
 };
 

@@ -68,6 +68,22 @@ Status AllocationPlan::Validate(const ClusterResources& resources) const {
       static_cast<double>(resources.total_cache) * (1.0 + 1e-9) + 1.0) {
     return Status::ResourceExhausted("cache over-commit");
   }
+  for (const auto& [id, zone_shares] : dataset_zone_cache) {
+    const auto it = dataset_cache.find(id);
+    const Bytes quota = it == dataset_cache.end() ? 0 : it->second;
+    Bytes spread = 0;
+    for (const Bytes share : zone_shares) {
+      if (share < 0) {
+        return Status::FailedPrecondition("negative zone share for dataset " + std::to_string(id));
+      }
+      spread += share;
+    }
+    if (spread != quota) {
+      return Status::FailedPrecondition(
+          "zone shares for dataset " + std::to_string(id) + " sum to " + std::to_string(spread) +
+          " but its quota is " + std::to_string(quota));
+    }
+  }
   if (manages_remote_io) {
     BytesPerSec io = 0;
     for (const auto& [id, alloc] : jobs) {

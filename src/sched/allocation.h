@@ -12,6 +12,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -67,6 +68,13 @@ struct AllocationPlan {
 
   std::map<JobId, JobAllocation> jobs;
   std::map<DatasetId, Bytes> dataset_cache;
+  // Zone-aware placement (common/topology.h): how each dataset's quota is
+  // spread across the snapshot topology's zones, indexed like
+  // topology.zones().  Present only when the policy placed against a
+  // topology; each entry sums to the dataset's dataset_cache quota, and the
+  // data manager / engines charge a zone-crash only the crashed zone's
+  // share.  Empty map = zone-oblivious plan (pre-topology behaviour).
+  std::map<DatasetId, std::vector<Bytes>> dataset_zone_cache;
 
   int GpusUsed() const;
   Bytes DatasetCacheTotal() const;

@@ -7,6 +7,7 @@
 #include "src/cache/analytic.h"
 #include "src/common/logging.h"
 #include "src/estimator/ioperf.h"
+#include "src/sched/zone_spread.h"
 #include "src/storage/remote_store.h"
 
 namespace silod {
@@ -262,7 +263,10 @@ void GavelScheduler::AllocateFairShare(const Snapshot& snapshot, AllocationPlan&
     const Dataset& d = snapshot.catalog->Get(view.spec->dataset);
     ids.push_back(view.spec->id);
     base.push_back(FairnessBase(objective_, *view.spec, snapshot, std::max(1, n_running)));
-    effective.push_back(view.effective_cache);
+    // Zone-aware runs feed the estimator the post-crash surviving share, so
+    // the throttles granted now still cover the jobs after a worst-case
+    // single-zone crash (identity when the snapshot has no topology).
+    effective.push_back(SurvivingCacheShare(snapshot, view.effective_cache));
     dsize.push_back(d.size);
     ideal.push_back(view.spec->ideal_io);
   }
@@ -422,6 +426,7 @@ AllocationPlan GavelScheduler::Schedule(const Snapshot& snapshot) {
       AllocateGreedyObjective(snapshot, plan);
       break;
   }
+  SpreadPlanAcrossZones(snapshot, &plan);
   return plan;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/estimator/ioperf.h"
+#include "src/sched/zone_spread.h"
 #include "src/storage/remote_store.h"
 
 namespace silod {
@@ -48,6 +49,7 @@ std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
                                               const AllocationPlan& plan) {
   std::vector<JobId> ids;
   std::vector<BytesPerSec> demands;
+  std::vector<BytesPerSec> headroom;
   for (const JobView& view : snapshot.jobs) {
     if (!plan.IsRunning(view.spec->id)) {
       continue;
@@ -59,10 +61,38 @@ std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
     // steady-state b = f* (1 - c/d).
     ids.push_back(view.spec->id);
     demands.push_back(RemoteIoDemand(view.spec->ideal_io, view.effective_cache, dataset.size));
+    // Zone-aware runs also compute the demand at the post-crash surviving
+    // share: the extra covers the job between a worst-case single-zone loss
+    // and the next control-loop tick.  Identity when there is no topology.
+    headroom.push_back(RemoteIoDemand(view.spec->ideal_io,
+                                      SurvivingCacheShare(snapshot, view.effective_cache),
+                                      dataset.size));
   }
   const std::vector<BytesPerSec> caps(demands.size(), snapshot.resources.per_job_remote_cap);
-  const std::vector<BytesPerSec> rates =
-      MaxMinShare(demands, caps, snapshot.resources.remote_io);
+  std::vector<BytesPerSec> rates = MaxMinShare(demands, caps, snapshot.resources.remote_io);
+  if (snapshot.topology != nullptr && !snapshot.topology->empty()) {
+    // Grant the post-crash headroom from slack only: the first round already
+    // satisfied every job's exact effective-cache demand (the same water-fill
+    // a zone-oblivious run gets), so topping up toward the surviving-share
+    // demand can never starve a cache-poor job of genuinely needed egress.
+    BytesPerSec used = 0;
+    for (const BytesPerSec rate : rates) {
+      used += rate;
+    }
+    const BytesPerSec leftover = snapshot.resources.remote_io - used;
+    if (leftover > 0) {
+      std::vector<BytesPerSec> extra_demand(ids.size());
+      std::vector<BytesPerSec> extra_cap(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        extra_demand[i] = std::max(0.0, headroom[i] - rates[i]);
+        extra_cap[i] = std::max(0.0, caps[i] - rates[i]);
+      }
+      const std::vector<BytesPerSec> extra = MaxMinShare(extra_demand, extra_cap, leftover);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        rates[i] += extra[i];
+      }
+    }
+  }
   std::map<JobId, BytesPerSec> out;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     out[ids[i]] = rates[i];
@@ -81,6 +111,7 @@ void SiloDGreedyStorage::AllocateStorage(const Snapshot& snapshot, AllocationPla
   SILOD_CHECK(plan != nullptr) << "plan required";
   plan->cache_model = CacheModelKind::kDatasetQuota;
   plan->dataset_cache = GreedyCacheAllocation(snapshot, *plan);
+  SpreadPlanAcrossZones(snapshot, plan);
   plan->manages_remote_io = manage_remote_io_;
   if (manage_remote_io_) {
     const auto io = AllocateRemoteIo(snapshot, *plan);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/topology.h"
 #include "src/common/units.h"
 #include "src/sched/allocation.h"
 #include "src/workload/dataset.h"
@@ -37,6 +38,10 @@ struct Snapshot {
   std::vector<JobView> jobs;
   ClusterResources resources;
   const DatasetCatalog* catalog = nullptr;
+  // Failure domains of the cache servers; null or empty means zone-oblivious
+  // (co-designed policies then emit no dataset_zone_cache spread).  Must
+  // cover [0, resources.num_servers) when present (ClusterTopology::Cover).
+  const ClusterTopology* topology = nullptr;
 };
 
 class StoragePolicy {

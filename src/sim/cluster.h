@@ -38,6 +38,12 @@ struct SimConfig {
   // today's freeze-and-resume behaviour; the other policies re-enqueue lost
   // compute and re-fetch lost blocks, accounted in FaultStats.
   RestartCost restart_cost;
+  // Failure domains of the cache servers (common/topology.h).  Empty =
+  // zone-oblivious (bit-identical to pre-topology behaviour).  When set it
+  // must cover [0, resources.num_servers) — ClusterTopology::Cover adds the
+  // implicit singleton domains; the engines thread it into every Snapshot
+  // and charge crashes the crashed zone's share of each spread dataset.
+  ClusterTopology topology;
 };
 
 // The paper's evaluated cluster scales (Table 5): GPUs, per-scale remote IO

@@ -31,6 +31,17 @@ FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
   const StorageFabric fabric{config_.fabric};
   fabric_rate_ = fabric.PerServerCacheReadRate(config_.resources.num_servers);
 
+  if (!config_.topology.empty()) {
+    const Status in_range = config_.topology.Validate(config_.resources.num_servers);
+    SILOD_CHECK(in_range.ok()) << in_range.ToString();
+    // Uncovered servers are independent singleton failure domains.
+    config_.topology = config_.topology.Cover(config_.resources.num_servers);
+    zone_alive_.reserve(config_.topology.zones().size());
+    for (const TopologyZone& zone : config_.topology.zones()) {
+      zone_alive_.push_back(zone.size());
+    }
+  }
+
   jobs_.resize(trace_->jobs.size());
   for (const JobSpec& spec : trace_->jobs) {
     SILOD_CHECK(spec.id >= 0 && static_cast<std::size_t>(spec.id) < jobs_.size())
@@ -84,6 +95,9 @@ Snapshot FineEngine::BuildSnapshot(Seconds now) {
   snap.now = now;
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
+  if (!config_.topology.empty()) {
+    snap.topology = &config_.topology;
+  }
   for (JobState& s : jobs_) {
     if (!s.arrived || s.finished || s.crashed) {
       continue;  // A crashed worker holds no resources until it restarts.
@@ -401,7 +415,7 @@ void FineEngine::RecordMetrics(Seconds now) {
   metrics_.OnRates(now, total, ideal, io, fairness, eff_den > 0 ? eff_num / eff_den : 1.0);
 }
 
-void FineEngine::ResizeCachePool(double evict_fraction) {
+void FineEngine::ResizeCachePool(double evict_fraction, bool evict_quota_caches) {
   config_.resources.total_cache = base_resources_.total_cache *
                                   static_cast<Bytes>(alive_servers_) /
                                   static_cast<Bytes>(base_resources_.num_servers);
@@ -409,7 +423,12 @@ void FineEngine::ResizeCachePool(double evict_fraction) {
   const StorageFabric fabric{config_.fabric};
   fabric_rate_ = fabric.PerServerCacheReadRate(config_.resources.num_servers);
   if (evict_fraction > 0) {
-    fault_stats_.blocks_lost += cache_manager_.EvictRandomFraction(evict_fraction);
+    if (evict_quota_caches) {
+      Bytes quota_bytes = 0;
+      fault_stats_.blocks_lost +=
+          cache_manager_.EvictRandomFraction(evict_fraction, &quota_bytes);
+      fault_stats_.bytes_lost += static_cast<double>(quota_bytes);
+    }
     // Shared and per-job private caches live on the same servers: shed the
     // crashed share by shrinking to the surviving bytes and restoring the
     // policy capacity (uniform caches evict at random, LRU/LFU per policy).
@@ -418,6 +437,7 @@ void FineEngine::ResizeCachePool(double evict_fraction) {
         return;
       }
       const std::size_t before = item_cache->item_count();
+      const Bytes used_before = item_cache->used_bytes();
       const Bytes policy_capacity = item_cache->capacity();
       const Bytes surviving = static_cast<Bytes>(
           static_cast<double>(item_cache->used_bytes()) * (1.0 - evict_fraction));
@@ -425,6 +445,7 @@ void FineEngine::ResizeCachePool(double evict_fraction) {
       item_cache->SetCapacity(policy_capacity, &rng_);
       fault_stats_.blocks_lost +=
           static_cast<std::int64_t>(before - item_cache->item_count());
+      fault_stats_.bytes_lost += static_cast<double>(used_before - item_cache->used_bytes());
     };
     shed(shared_pool_.get());
     for (JobState& s : jobs_) {
@@ -461,8 +482,54 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       server_alive_[static_cast<std::size_t>(event.target)] = false;
       --alive_servers_;
       ++fault_stats_.server_crashes;
+      int zone = -1;
+      int prev_zone_alive = 0;
+      if (!config_.topology.empty()) {
+        zone = config_.topology.ZoneOf(event.target);
+        if (zone >= 0 && zone_alive_[static_cast<std::size_t>(zone)] > 0) {
+          prev_zone_alive = zone_alive_[static_cast<std::size_t>(zone)];
+          --zone_alive_[static_cast<std::size_t>(zone)];
+        }
+      }
+      const std::int64_t blocks_before = fault_stats_.blocks_lost;
+      const bool spread = prev_zone_alive > 0 && !plan_.dataset_zone_cache.empty() &&
+                          plan_.cache_model == CacheModelKind::kDatasetQuota;
+      if (spread) {
+        // Zone-aware placement: a dataset loses the crashed member's slice of
+        // its share in this zone — (share_z / quota) / alive_in_z of its
+        // residents — instead of the pool-uniform 1/prev_alive share.
+        for (const Dataset& dataset : trace_->catalog.all()) {
+          double fraction = 1.0 / prev_alive;
+          auto it = plan_.dataset_zone_cache.find(dataset.id);
+          if (it != plan_.dataset_zone_cache.end() &&
+              static_cast<std::size_t>(zone) < it->second.size()) {
+            Bytes quota_total = 0;
+            for (Bytes share : it->second) {
+              quota_total += share;
+            }
+            fraction = quota_total > 0
+                           ? static_cast<double>(it->second[static_cast<std::size_t>(zone)]) /
+                                 static_cast<double>(quota_total) / prev_zone_alive
+                           : 0.0;
+          }
+          if (fraction <= 0) {
+            continue;
+          }
+          Bytes bytes = 0;
+          fault_stats_.blocks_lost += cache_manager_.EvictDatasetFraction(
+              dataset.id, std::min(1.0, fraction), &bytes);
+          fault_stats_.bytes_lost += static_cast<double>(bytes);
+        }
+      }
       // Uniform placement: each alive server held ~1/prev_alive of the pool.
-      ResizeCachePool(1.0 / prev_alive);
+      ResizeCachePool(1.0 / prev_alive, /*evict_quota_caches=*/!spread);
+      if (zone >= 0) {
+        const std::int64_t zone_blocks = fault_stats_.blocks_lost - blocks_before;
+        if (zone_blocks > 0) {
+          fault_stats_.blocks_lost_by_zone
+              [config_.topology.zones()[static_cast<std::size_t>(zone)].name] += zone_blocks;
+        }
+      }
       return;
     }
     case FaultKind::kCacheServerRecover: {
@@ -473,6 +540,12 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       }
       server_alive_[static_cast<std::size_t>(event.target)] = true;
       ++alive_servers_;
+      if (!config_.topology.empty()) {
+        const int zone = config_.topology.ZoneOf(event.target);
+        if (zone >= 0) {
+          ++zone_alive_[static_cast<std::size_t>(zone)];
+        }
+      }
       ++fault_stats_.server_recoveries;
       ResizeCachePool(0.0);  // Rejoins empty; refills through misses.
       return;

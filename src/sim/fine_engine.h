@@ -126,8 +126,10 @@ class FineEngine {
   void ApplyFault(const FaultEvent& event, Seconds now);
   // Re-derives pool capacity, server count and fabric rate from the alive-server
   // set; evict_fraction > 0 additionally drops that share of resident blocks
-  // (the crashed server's contents).
-  void ResizeCachePool(double evict_fraction);
+  // (the crashed server's contents).  When a zone-aware crash already charged
+  // the dataset-quota caches per zone share, evict_quota_caches=false skips
+  // the uniform pass over them (shared/private pools still shed uniformly).
+  void ResizeCachePool(double evict_fraction, bool evict_quota_caches = true);
   void CloseDegradeWindow(Seconds end);
 
   // Event-calendar plumbing (no-ops on the calendar under use_linear_scan).
@@ -159,6 +161,7 @@ class FineEngine {
   ClusterResources base_resources_;          // Nominal (no-fault) resources.
   std::vector<bool> server_alive_;
   int alive_servers_ = 0;
+  std::vector<int> zone_alive_;              // Alive members per topology zone.
   Seconds degrade_start_ = -1;               // Open degrade window, -1 if none.
   FaultStats fault_stats_;
   std::vector<FaultEvent> due_faults_;       // Scratch.

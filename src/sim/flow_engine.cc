@@ -41,6 +41,22 @@ FlowEngine::FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
         << "job " << spec.id << " demands more GPUs than the cluster has";
   }
   datasets_.resize(trace_->catalog.size());
+
+  if (!config_.topology.empty()) {
+    const Status in_range = config_.topology.Validate(config_.resources.num_servers);
+    SILOD_CHECK(in_range.ok()) << in_range.ToString();
+    // Uncovered servers are independent singleton failure domains.
+    config_.topology = config_.topology.Cover(config_.resources.num_servers);
+    zone_alive_.reserve(config_.topology.zones().size());
+    for (const TopologyZone& zone : config_.topology.zones()) {
+      zone_alive_.push_back(zone.size());
+    }
+  }
+}
+
+double FlowEngine::ZoneAliveFraction(int zone) const {
+  const TopologyZone& z = config_.topology.zones()[static_cast<std::size_t>(zone)];
+  return static_cast<double>(zone_alive_[static_cast<std::size_t>(zone)]) / z.size();
 }
 
 Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
@@ -48,6 +64,9 @@ Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
   snap.now = now;
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
+  if (!config_.topology.empty()) {
+    snap.topology = &config_.topology;
+  }
   for (const JobState& s : jobs_) {
     if (!s.arrived || s.finished || s.crashed) {
       continue;  // A crashed worker holds no resources until it restarts.
@@ -95,10 +114,21 @@ void FlowEngine::Reschedule(Seconds now) {
     const auto it = plan_.dataset_cache.find(static_cast<DatasetId>(d));
     const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
     DatasetState& ds = datasets_[d];
-    if (!(config_.prefetch_waiting && quota == 0)) {
-      shrink_to(d, static_cast<double>(quota));
+    const auto zone_it = plan_.dataset_zone_cache.find(static_cast<DatasetId>(d));
+    if (zone_it != plan_.dataset_zone_cache.end() && !config_.topology.empty()) {
+      ApplyZoneQuota(d, quota, zone_it->second);
+    } else {
+      if (!ds.zone_cached.empty()) {
+        // The plan stopped spreading this dataset: its fluid is oblivious
+        // again (uniform loss on the next crash).
+        ds.zone_cached.clear();
+        ds.zone_limit.clear();
+      }
+      if (!(config_.prefetch_waiting && quota == 0)) {
+        shrink_to(d, static_cast<double>(quota));
+      }
+      ds.quota = quota;
     }
-    ds.quota = quota;
     total_quota += quota;
   }
   if (config_.prefetch_waiting) {
@@ -179,6 +209,116 @@ void FlowEngine::Reschedule(Seconds now) {
       }
     }
   }
+}
+
+void FlowEngine::ApplyZoneQuota(std::size_t d, Bytes quota, const std::vector<Bytes>& shares) {
+  DatasetState& ds = datasets_[d];
+  const int num_zones = config_.topology.num_zones();
+  if (static_cast<int>(ds.zone_cached.size()) != num_zones) {
+    // First zone-aware plan for this dataset: attribute any existing fluid
+    // proportional to the incoming shares (the rule that placed it).
+    const double before = ds.cached;
+    ds.zone_cached.assign(static_cast<std::size_t>(num_zones), 0.0);
+    double total_share = 0;
+    for (const Bytes share : shares) {
+      total_share += static_cast<double>(share);
+    }
+    if (before > 0 && total_share > 0) {
+      for (int z = 0; z < num_zones; ++z) {
+        ds.zone_cached[static_cast<std::size_t>(z)] =
+            before * static_cast<double>(shares[static_cast<std::size_t>(z)]) / total_share;
+      }
+    }
+  }
+  ds.zone_limit.assign(shares.begin(), shares.end());
+
+  // Rebalance against the alive-aware caps: fluid above a zone's cap first
+  // migrates into other zones' headroom (quota that moved between zones, or
+  // a recovering zone reclaiming its share, travels over the intra-cluster
+  // fabric, not the remote link) and only the remainder is evicted.
+  const std::vector<double> caps = ZoneFillCaps(ds);
+  const double before = ds.cached;
+  double spill = 0;
+  double total_headroom = 0;
+  std::vector<double> headroom(static_cast<std::size_t>(num_zones), 0.0);
+  for (int z = 0; z < num_zones; ++z) {
+    double& zc = ds.zone_cached[static_cast<std::size_t>(z)];
+    if (zc > caps[static_cast<std::size_t>(z)]) {
+      spill += zc - caps[static_cast<std::size_t>(z)];
+      zc = caps[static_cast<std::size_t>(z)];
+    }
+    headroom[static_cast<std::size_t>(z)] = caps[static_cast<std::size_t>(z)] - zc;
+    total_headroom += headroom[static_cast<std::size_t>(z)];
+  }
+  double after = 0;
+  const double moved = std::min(spill, total_headroom);
+  for (int z = 0; z < num_zones; ++z) {
+    if (moved > 0) {
+      ds.zone_cached[static_cast<std::size_t>(z)] +=
+          moved * headroom[static_cast<std::size_t>(z)] / total_headroom;
+    }
+    after += ds.zone_cached[static_cast<std::size_t>(z)];
+  }
+  if (after < before - kEps && before > 0) {
+    const double keep = after / before;
+    for (JobState& s : jobs_) {
+      if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
+        s.effective *= keep;
+      }
+    }
+  }
+  ds.cached = after;
+  ds.quota = quota;
+}
+
+std::vector<double> FlowEngine::ZoneFillCaps(const DatasetState& ds) const {
+  const int num_zones = config_.topology.num_zones();
+  std::vector<double> caps(static_cast<std::size_t>(num_zones), 0.0);
+  double alive_total = 0;
+  double dead_total = 0;
+  for (int z = 0; z < num_zones; ++z) {
+    const double limit = ds.zone_limit[static_cast<std::size_t>(z)];
+    const double alive = limit * ZoneAliveFraction(z);
+    caps[static_cast<std::size_t>(z)] = alive;
+    alive_total += alive;
+    dead_total += limit - alive;
+  }
+  if (dead_total > 0 && alive_total > 0) {
+    // Survivors absorb the dead capacity in proportion to their own alive
+    // share: the caps still sum to the full quota (the shrunken pool is
+    // enforced separately), matching the oblivious engine's refill room.
+    for (int z = 0; z < num_zones; ++z) {
+      caps[static_cast<std::size_t>(z)] +=
+          dead_total * caps[static_cast<std::size_t>(z)] / alive_total;
+    }
+  }
+  return caps;
+}
+
+void FlowEngine::FillZones(DatasetState& ds, double delta) {
+  // Never fill past the dataset-level limit (quota may exceed d.size).
+  delta = std::min(delta, ds.fill_limit - ds.cached);
+  if (delta <= 0) {
+    return;
+  }
+  const int num_zones = config_.topology.num_zones();
+  const std::vector<double> caps = ZoneFillCaps(ds);
+  std::vector<double> headroom(static_cast<std::size_t>(num_zones), 0.0);
+  double total_headroom = 0;
+  for (int z = 0; z < num_zones; ++z) {
+    headroom[static_cast<std::size_t>(z)] = std::max(
+        0.0, caps[static_cast<std::size_t>(z)] - ds.zone_cached[static_cast<std::size_t>(z)]);
+    total_headroom += headroom[static_cast<std::size_t>(z)];
+  }
+  if (total_headroom <= 0) {
+    return;
+  }
+  const double assign = std::min(delta, total_headroom);
+  for (int z = 0; z < num_zones; ++z) {
+    ds.zone_cached[static_cast<std::size_t>(z)] +=
+        assign * headroom[static_cast<std::size_t>(z)] / total_headroom;
+  }
+  ds.cached += assign;
 }
 
 void FlowEngine::ComputeRates(Seconds now) {
@@ -347,21 +487,56 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
                                       static_cast<Bytes>(alive_servers_) /
                                       static_cast<Bytes>(base_resources_.num_servers);
       config_.resources.num_servers = std::max(1, alive_servers_);
-      // Uniform placement: the crashed server held ~1/prev_alive of every
-      // dataset's cached fluid; effectiveness drops in proportion.
+      // Zone-aware datasets lose the crashed server's slice of the crashed
+      // *zone's* share; oblivious ones lose ~1/prev_alive of their fluid
+      // (uniform placement).  Effectiveness drops in proportion either way.
+      const int zone = config_.topology.empty() ? -1 : config_.topology.ZoneOf(event.target);
+      int prev_zone_alive = 0;
+      if (zone >= 0) {
+        prev_zone_alive = zone_alive_[static_cast<std::size_t>(zone)];
+        --zone_alive_[static_cast<std::size_t>(zone)];
+      }
+      const std::string* zone_name =
+          zone >= 0 ? &config_.topology.zones()[static_cast<std::size_t>(zone)].name : nullptr;
+      auto charge_loss = [&](double lost, Bytes block_size) {
+        const std::int64_t blocks =
+            static_cast<std::int64_t>(lost / static_cast<double>(block_size));
+        fault_stats_.blocks_lost += blocks;
+        fault_stats_.bytes_lost += lost;
+        if (zone_name != nullptr) {
+          fault_stats_.blocks_lost_by_zone[*zone_name] += blocks;
+        }
+      };
       const double keep = 1.0 - 1.0 / prev_alive;
       for (std::size_t d = 0; d < datasets_.size(); ++d) {
         DatasetState& ds = datasets_[d];
         if (ds.cached <= 0) {
           continue;
         }
-        const double lost = ds.cached * (1.0 - keep);
+        double lost = 0;
+        if (zone >= 0 && !ds.zone_cached.empty() && prev_zone_alive > 0) {
+          double& zc = ds.zone_cached[static_cast<std::size_t>(zone)];
+          lost = zc / prev_zone_alive;
+          zc -= lost;
+        } else {
+          lost = ds.cached * (1.0 - keep);
+          if (!ds.zone_cached.empty()) {
+            // Spread dataset crashed in an unzoned server with no topology:
+            // unreachable once Cover() ran, but keep the invariant anyway.
+            for (double& zc : ds.zone_cached) {
+              zc *= keep;
+            }
+          }
+        }
+        if (lost <= 0) {
+          continue;
+        }
+        const double dataset_keep = ds.cached > 0 ? 1.0 - lost / ds.cached : 0.0;
         ds.cached -= lost;
-        fault_stats_.blocks_lost += static_cast<std::int64_t>(
-            lost / static_cast<double>(trace_->catalog.Get(static_cast<DatasetId>(d)).block_size));
+        charge_loss(lost, trace_->catalog.Get(static_cast<DatasetId>(d)).block_size);
         for (JobState& s : jobs_) {
           if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
-            s.effective *= keep;
+            s.effective *= dataset_keep;
           }
         }
       }
@@ -375,9 +550,7 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
           const double lost = s.private_cached * (1.0 - keep);
           s.private_cached -= lost;
           s.effective *= keep;
-          fault_stats_.blocks_lost += static_cast<std::int64_t>(
-              lost /
-              static_cast<double>(trace_->catalog.Get(s.spec->dataset).block_size));
+          charge_loss(lost, trace_->catalog.Get(s.spec->dataset).block_size);
         }
       }
       return;
@@ -390,6 +563,12 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       }
       server_alive_[static_cast<std::size_t>(event.target)] = true;
       ++alive_servers_;
+      if (!config_.topology.empty()) {
+        const int zone = config_.topology.ZoneOf(event.target);
+        if (zone >= 0) {
+          ++zone_alive_[static_cast<std::size_t>(zone)];
+        }
+      }
       ++fault_stats_.server_recoveries;
       config_.resources.total_cache = base_resources_.total_cache *
                                       static_cast<Bytes>(alive_servers_) /
@@ -622,7 +801,11 @@ SimResult FlowEngine::Run() {
     }
     for (DatasetState& ds : datasets_) {
       if (ds.fill_rate > 0 && ds.cached < ds.fill_limit) {
-        ds.cached = std::min(ds.fill_limit, ds.cached + ds.fill_rate * dt);
+        if (ds.zone_limit.empty()) {
+          ds.cached = std::min(ds.fill_limit, ds.cached + ds.fill_rate * dt);
+        } else {
+          FillZones(ds, ds.fill_rate * dt);
+        }
       }
     }
     t += dt;

@@ -56,6 +56,11 @@ class FlowEngine {
     double cached = 0;      // Filled bytes (may exceed quota only transiently).
     double fill_rate = 0;
     double fill_limit = 0;  // Cap `cached` may fill to during this step.
+    // Zone-aware placement: per-zone resident fluid and the plan's per-zone
+    // share limits (indexed like the topology's zones).  Empty for
+    // zone-oblivious datasets; when present, zone_cached sums to `cached`.
+    std::vector<double> zone_cached;
+    std::vector<double> zone_limit;
   };
 
   Snapshot BuildSnapshot(Seconds now) const;
@@ -64,6 +69,21 @@ class FlowEngine {
   void RecordMetrics(Seconds now);
   void ApplyFault(const FaultEvent& event, Seconds now);
   void CloseDegradeWindow(Seconds end);
+  // Applies a zone-aware quota: adopts the plan's per-zone shares as limits,
+  // migrates over-cap fluid into zones with headroom (shares that moved — or
+  // a zone that died — rebalance over the intra-cluster fabric), and only
+  // evicts fluid with nowhere left to go, scaling job effectiveness like a
+  // uniform shrink.
+  void ApplyZoneQuota(std::size_t d, Bytes quota, const std::vector<Bytes>& shares);
+  // Distributes `delta` fill bytes across zones proportional to their
+  // headroom under ZoneFillCaps.
+  void FillZones(DatasetState& ds, double delta);
+  // Per-zone holding caps: the alive-scaled share, plus each alive zone's
+  // proportional slice of dead zones' capacity (a dead server's blocks
+  // rehash to the survivors, so an outage never strands quota).  Equals
+  // zone_limit exactly when every member is alive.
+  std::vector<double> ZoneFillCaps(const DatasetState& ds) const;
+  double ZoneAliveFraction(int zone) const;
 
   const Trace* trace_;
   std::shared_ptr<Scheduler> scheduler_;
@@ -79,6 +99,7 @@ class FlowEngine {
   ClusterResources base_resources_;     // Nominal (no-fault) resources.
   std::vector<bool> server_alive_;
   int alive_servers_ = 0;
+  std::vector<int> zone_alive_;         // Alive members per topology zone.
   Seconds degrade_start_ = -1;          // Open degrade window, -1 if none.
   FaultStats fault_stats_;
   std::vector<FaultEvent> due_faults_;  // Scratch.

@@ -1,5 +1,7 @@
 #include "src/sim/metrics.h"
 
+#include <cstdio>
+
 #include "src/common/logging.h"
 
 namespace silod {
@@ -65,6 +67,131 @@ double SimResult::AvgFairness() const {
     return 0;
   }
   return fairness_ratio.TimeAverage(0, makespan);
+}
+
+namespace {
+
+std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FaultsToJson(const FaultStats& f, const std::string& margin) {
+  std::string json = "{\n";
+  const auto field = [&](const char* key, const std::string& value, bool last = false) {
+    json += margin + "  \"" + key + "\": " + value + (last ? "\n" : ",\n");
+  };
+  field("server_crashes", std::to_string(f.server_crashes));
+  field("server_recoveries", std::to_string(f.server_recoveries));
+  field("worker_crashes", std::to_string(f.worker_crashes));
+  field("worker_restarts", std::to_string(f.worker_restarts));
+  field("degrade_windows", std::to_string(f.degrade_windows));
+  field("dm_restarts", std::to_string(f.dm_restarts));
+  field("ignored_events", std::to_string(f.ignored_events));
+  field("blocks_lost", std::to_string(f.blocks_lost));
+  field("bytes_lost", JsonNumber(f.bytes_lost));
+  std::string by_zone = "{";
+  bool first = true;
+  for (const auto& [zone, blocks] : f.blocks_lost_by_zone) {
+    by_zone += std::string(first ? "" : ", ") + JsonString(zone) + ": " + std::to_string(blocks);
+    first = false;
+  }
+  by_zone += "}";
+  field("blocks_lost_by_zone", by_zone, /*last=*/true);
+  json += margin + "}";
+  return json;
+}
+
+}  // namespace
+
+void RunReport::AddExtra(const std::string& key, double value) {
+  extra.emplace_back(key, JsonNumber(value));
+}
+
+void RunReport::AddExtra(const std::string& key, const std::string& value) {
+  extra.emplace_back(key, JsonString(value));
+}
+
+void RunReport::AddExtra(const std::string& key, bool value) {
+  extra.emplace_back(key, value ? "true" : "false");
+}
+
+std::string RunReport::ToJson(int indent) const {
+  const std::string margin(static_cast<std::size_t>(indent), ' ');
+  std::string json = margin + "{\n";
+  const auto field = [&](const char* key, const std::string& value, bool last = false) {
+    json += margin + "  \"" + key + "\": " + value + (last ? "\n" : ",\n");
+  };
+  field("label", JsonString(label));
+  field("engine", JsonString(engine));
+  field("jobs", std::to_string(jobs));
+  field("unfinished_jobs", std::to_string(unfinished_jobs));
+  field("avg_jct_min", JsonNumber(avg_jct_min));
+  field("median_jct_min", JsonNumber(median_jct_min));
+  field("p90_jct_min", JsonNumber(p90_jct_min));
+  field("makespan_min", JsonNumber(makespan_min));
+  field("avg_fairness", JsonNumber(avg_fairness));
+  field("faults", FaultsToJson(faults, margin + "  "), extra.empty());
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    field(extra[i].first.c_str(), extra[i].second, i + 1 == extra.size());
+  }
+  json += margin + "}";
+  return json;
+}
+
+RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result) {
+  RunReport report;
+  report.label = std::move(label);
+  report.engine = std::move(engine);
+  report.jobs = static_cast<int>(result.jobs.size());
+  SampleSet jct;
+  double sum = 0;
+  int finished = 0;
+  for (const JobResult& j : result.jobs) {
+    if (j.finish_time < 0) {
+      ++report.unfinished_jobs;
+      continue;
+    }
+    jct.Add(j.Jct() / 60.0);
+    sum += j.Jct() / 60.0;
+    ++finished;
+  }
+  report.avg_jct_min = finished > 0 ? sum / finished : 0;
+  report.median_jct_min = finished > 0 ? jct.Median() : 0;
+  report.p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+  report.makespan_min = result.MakespanMinutes();
+  report.avg_fairness = result.AvgFairness();
+  report.faults = result.faults;
+  return report;
+}
+
+std::string ReportsToJson(const std::string& benchmark,
+                          const std::vector<std::pair<std::string, std::string>>& header,
+                          const std::vector<RunReport>& runs) {
+  std::string json = "{\n  \"benchmark\": " + JsonString(benchmark) + ",\n";
+  for (const auto& [key, value] : header) {
+    json += "  \"" + key + "\": " + value + ",\n";
+  }
+  json += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    json += runs[i].ToJson(4);
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
 }
 
 void MetricsCollector::OnSubmit(const JobSpec& job) {

@@ -8,6 +8,8 @@
 #ifndef SILOD_SRC_SIM_METRICS_H_
 #define SILOD_SRC_SIM_METRICS_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -63,6 +65,42 @@ struct SimResult {
   // Time-averaged fairness ratio over the whole run.
   double AvgFairness() const;
 };
+
+// One run's report: the shared summary every front end serializes the same
+// way.  silod_sim and the bench harnesses build one from a SimResult with
+// MakeRunReport; RtCluster runs go through rt/rt_cluster.h's MakeRtRunReport.
+// This replaces the per-tool snprintf JSON emitters: one schema, one
+// serializer.
+struct RunReport {
+  std::string label;   // Registry policy name or a free-form cell label.
+  std::string engine;  // "flow" | "fine" | "rt".
+  int jobs = 0;
+  int unfinished_jobs = 0;  // Jobs with no finish time when the run ended.
+  double avg_jct_min = 0;
+  double median_jct_min = 0;
+  double p90_jct_min = 0;
+  double makespan_min = 0;
+  double avg_fairness = 0;
+  FaultStats faults;
+
+  // Extra scalar fields appended verbatim, in insertion order.  Values are
+  // pre-rendered JSON (AddExtra quotes strings and formats numbers).
+  std::vector<std::pair<std::string, std::string>> extra;
+  void AddExtra(const std::string& key, double value);
+  void AddExtra(const std::string& key, const std::string& value);
+  void AddExtra(const std::string& key, bool value);
+
+  // A JSON object; `indent` spaces of left margin on every line.
+  std::string ToJson(int indent = 0) const;
+};
+
+RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result);
+
+// One benchmark document: {"benchmark": <name>, <header k:v>, "runs": [...]}.
+// Header values are pre-rendered JSON, like RunReport::extra.
+std::string ReportsToJson(const std::string& benchmark,
+                          const std::vector<std::pair<std::string, std::string>>& header,
+                          const std::vector<RunReport>& runs);
 
 // True when two results agree bit-for-bit on every physical quantity: per-job
 // submit/start/finish times, makespan, and all time series.  Step counters are

@@ -1,6 +1,8 @@
 #include "src/storage/placement.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -60,6 +62,60 @@ double BlockPlacement::MovedFraction(const Dataset& dataset, const BlockPlacemen
     }
   }
   return static_cast<double>(moved) / static_cast<double>(dataset.num_blocks);
+}
+
+ZonePlacement::ZonePlacement(const ClusterTopology& topology, int virtual_nodes,
+                             std::uint64_t seed)
+    : topology_(topology) {
+  SILOD_CHECK(!topology_.empty()) << "zone placement needs a topology";
+  zone_rings_.reserve(topology_.zones().size());
+  for (std::size_t z = 0; z < topology_.zones().size(); ++z) {
+    zone_rings_.emplace_back(topology_.zones()[z].size(), virtual_nodes,
+                             Mix(seed ^ (0x5A5AULL + z)));
+  }
+}
+
+int ZonePlacement::ZoneFor(DatasetId dataset, std::int64_t block,
+                           const std::vector<Bytes>& zone_weights) const {
+  const std::size_t n = topology_.zones().size();
+  bool weighted = zone_weights.size() == n;
+  if (weighted) {
+    Bytes total = 0;
+    for (const Bytes w : zone_weights) {
+      total += w;
+    }
+    weighted = total > 0;
+  }
+  // Weighted rendezvous: each zone draws an exponential clock with rate equal
+  // to its weight from the (dataset, block, zone) hash; the smallest clock
+  // wins, so zone z is chosen with probability w_z / sum(w), and changing one
+  // weight only moves blocks into or out of that zone.
+  int best = -1;
+  double best_key = std::numeric_limits<double>::infinity();
+  for (std::size_t z = 0; z < n; ++z) {
+    const double w = weighted ? static_cast<double>(zone_weights[z]) : 1.0;
+    if (w <= 0) {
+      continue;
+    }
+    const std::uint64_t h = Mix((static_cast<std::uint64_t>(dataset) << 40) ^
+                                static_cast<std::uint64_t>(block) * 0x9E3779B97F4A7C15ULL ^
+                                Mix(0xC0FEULL + z));
+    const double u = (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+    const double key = -std::log(u) / w;
+    if (key < best_key) {
+      best_key = key;
+      best = static_cast<int>(z);
+    }
+  }
+  SILOD_CHECK(best >= 0) << "no zone with positive weight";
+  return best;
+}
+
+int ZonePlacement::ServerFor(DatasetId dataset, std::int64_t block,
+                             const std::vector<Bytes>& zone_weights) const {
+  const int zone = ZoneFor(dataset, block, zone_weights);
+  const TopologyZone& z = topology_.zones()[static_cast<std::size_t>(zone)];
+  return z.first_server + zone_rings_[static_cast<std::size_t>(zone)].ServerFor(dataset, block);
 }
 
 }  // namespace silod

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/topology.h"
 #include "src/workload/dataset.h"
 
 namespace silod {
@@ -43,6 +44,37 @@ class BlockPlacement {
   };
   int num_servers_;
   std::vector<RingPoint> ring_;
+};
+
+// Zone-aware placement: routes each block to a zone with probability
+// proportional to the dataset's per-zone cache share (weighted rendezvous
+// hashing — deterministic from (dataset, block) alone, and minimal movement
+// when shares change: only blocks whose winning zone changes move), then to a
+// server within the zone by consistent hashing on a per-zone ring.  This is
+// how the Data Manager realises the scheduler's AllocationPlan
+// dataset_zone_cache spread at block granularity.
+class ZonePlacement {
+ public:
+  // `topology` must be non-empty; callers normally pass a Cover()ed topology
+  // so every server belongs to some zone.
+  explicit ZonePlacement(const ClusterTopology& topology, int virtual_nodes = 128,
+                         std::uint64_t seed = 0xB10C);
+
+  const ClusterTopology& topology() const { return topology_; }
+
+  // The server caching this block under per-zone weights indexed like
+  // topology().zones() — typically the dataset's per-zone cache shares.
+  // All-zero or size-mismatched weights fall back to uniform zones.
+  int ServerFor(DatasetId dataset, std::int64_t block,
+                const std::vector<Bytes>& zone_weights) const;
+
+  // The zone the block lands in (exposed for tests and accounting).
+  int ZoneFor(DatasetId dataset, std::int64_t block,
+              const std::vector<Bytes>& zone_weights) const;
+
+ private:
+  ClusterTopology topology_;
+  std::vector<BlockPlacement> zone_rings_;
 };
 
 }  // namespace silod

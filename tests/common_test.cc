@@ -10,6 +10,7 @@
 #include "src/common/table.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/topology.h"
 #include "src/common/units.h"
 
 namespace silod {
@@ -327,6 +328,53 @@ TEST(Table, FmtFormats) {
   EXPECT_EQ(Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(Fmt(42.0, 0), "42");
   EXPECT_EQ(FmtSci(0.000095, 1), "9.5e-05");
+}
+
+// --------------------------------------------------------------- Topology --
+
+TEST(Topology, ParseToSpecRoundTrip) {
+  const Result<ClusterTopology> parsed =
+      ClusterTopology::Parse("rack0=0-3;rack1=4-7;loss-bound=0.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_zones(), 2);
+  EXPECT_EQ(parsed->zones()[0].name, "rack0");
+  EXPECT_EQ(parsed->zones()[1].first_server, 4);
+  EXPECT_DOUBLE_EQ(parsed->loss_bound(), 0.25);
+
+  const Result<ClusterTopology> again = ClusterTopology::Parse(parsed->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, *parsed);
+}
+
+TEST(Topology, ParseRejectsOverlapAndBadBound) {
+  EXPECT_FALSE(ClusterTopology::Parse("a=0-3;b=2-5").ok());
+  EXPECT_FALSE(ClusterTopology::Parse("a=3-1").ok());
+  EXPECT_FALSE(ClusterTopology::Parse("a=0-3;loss-bound=1.5").ok());
+  EXPECT_FALSE(ClusterTopology::Parse("a=0-3;a=4-7").ok());
+}
+
+TEST(Topology, CoverAddsSingletonZonesForUncoveredServers) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Covers(6));
+  EXPECT_EQ(parsed->ZoneOf(5), -1);
+
+  const ClusterTopology covered = parsed->Cover(6);
+  EXPECT_TRUE(covered.Covers(6));
+  ASSERT_EQ(covered.num_zones(), 3);
+  EXPECT_EQ(covered.zones()[1].name, "srv4");
+  EXPECT_EQ(covered.zones()[2].size(), 1);
+  EXPECT_EQ(covered.ZoneOf(2), 0);
+  EXPECT_EQ(covered.ZoneOf(5), 2);
+  // Identity when already covering.
+  EXPECT_EQ(covered.Cover(6), covered);
+}
+
+TEST(Topology, ValidateRejectsOutOfRangeZones) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3;rack1=4-7");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Validate(8).ok());
+  EXPECT_FALSE(parsed->Validate(6).ok());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "src/common/units.h"
 #include "src/core/data_manager.h"
 #include "src/core/partition.h"
+#include "src/core/policy_registry.h"
 #include "src/core/silod_scheduler.h"
 #include "src/core/system.h"
 #include "src/sched/fifo.h"
@@ -227,6 +228,61 @@ TEST(RunExperiment, NamesAndBothEngines) {
   const SimResult fine = RunExperiment(trace, config);
   EXPECT_GT(flow.AvgJctSeconds(), 0);
   EXPECT_NEAR(flow.AvgJctSeconds(), fine.AvgJctSeconds(), 0.08 * fine.AvgJctSeconds());
+}
+
+// --------------------------------------------------------- PolicyRegistry --
+
+TEST(PolicyRegistry, EveryEnumPairResolvesByName) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kSjf, SchedulerKind::kGavel}) {
+    for (const CacheSystem cache :
+         {CacheSystem::kSiloD, CacheSystem::kAlluxio, CacheSystem::kAlluxioLfu,
+          CacheSystem::kCoorDl, CacheSystem::kQuiver}) {
+      const std::string name = PolicyName(kind, cache);
+      EXPECT_TRUE(PolicyRegistry::Global().Contains(name)) << name;
+      const Result<std::shared_ptr<Scheduler>> by_name = MakeSchedulerByName(name);
+      ASSERT_TRUE(by_name.ok()) << name << ": " << by_name.status().ToString();
+      // The registry builds the same policy the enum factory does.
+      EXPECT_EQ((*by_name)->name(), MakeScheduler(kind, cache)->name()) << name;
+    }
+  }
+  EXPECT_GE(PolicyRegistry::Global().List().size(), 15u);
+}
+
+TEST(PolicyRegistry, UnknownNameListsKnownPolicies) {
+  EXPECT_FALSE(PolicyRegistry::Global().Contains("lifo+silod"));
+  const Result<std::shared_ptr<Scheduler>> made = MakeSchedulerByName("lifo+silod");
+  ASSERT_FALSE(made.ok());
+  EXPECT_NE(made.status().ToString().find("fifo+silod"), std::string::npos)
+      << made.status().ToString();
+}
+
+TEST(PolicyRegistry, RejectsDuplicateRegistration) {
+  const Status again = PolicyRegistry::Global().Register(
+      "fifo+silod", "dup", [](const SchedulerOptions& options) {
+        return MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD, options);
+      });
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(PolicyRegistry, NamedPolicyRunsIdenticallyToEnumPair) {
+  const ModelZoo zoo;
+  Trace trace;
+  const DatasetId d = trace.catalog.Add("x", GB(5), MB(16));
+  trace.jobs.push_back(MakeJob(0, zoo, "ResNet-50", 1, d, Hours(1), 0));
+  trace.jobs.push_back(MakeJob(1, zoo, "BERT", 2, d, Hours(1), 60));
+
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kSjf;
+  config.cache = CacheSystem::kSiloD;
+  config.sim.resources.total_gpus = 4;
+  config.sim.resources.total_cache = GB(5);
+  config.sim.resources.remote_io = MBps(200);
+  const SimResult via_enum = RunExperiment(trace, config);
+
+  config.policy = "sjf+silod";  // Overrides the enum pair.
+  const SimResult via_name = RunExperiment(trace, config);
+  EXPECT_TRUE(PhysicallyIdentical(via_enum, via_name));
 }
 
 }  // namespace

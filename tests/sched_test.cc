@@ -14,6 +14,7 @@
 #include "src/sched/greedy.h"
 #include "src/sched/sjf.h"
 #include "src/sched/storage_policies.h"
+#include "src/sched/zone_spread.h"
 #include "src/workload/model_zoo.h"
 
 namespace silod {
@@ -394,6 +395,111 @@ TEST_F(SchedTest, ValidateAcceptsAllSchedulers) {
     const AllocationPlan plan = scheduler->Schedule(snapshot());
     EXPECT_TRUE(plan.Validate(snapshot().resources).ok()) << scheduler->name();
   }
+}
+
+// --------------------------------------------------- AdmitByOrder backfill --
+
+TEST_F(SchedTest, AdmitByOrderBackfillsPastSkippedLargeJob) {
+  AddJob("ResNet-50", 6, GB(143));
+  AddJob("ResNet-50", 4, GB(143));  // Skipped: only 2 GPUs free.
+  AddJob("ResNet-50", 2, GB(143));  // Backfills behind the skipped job.
+  AllocationPlan plan;
+  AdmitByOrder(snapshot(), {0, 1, 2}, &plan);
+  EXPECT_TRUE(plan.IsRunning(0));
+  EXPECT_FALSE(plan.IsRunning(1));
+  EXPECT_TRUE(plan.IsRunning(2));
+  EXPECT_EQ(plan.GpusUsed(), 8);
+}
+
+TEST_F(SchedTest, AdmitByOrderChargesRunningJobsBeforeTheOrder) {
+  AddJob("ResNet-50", 4, GB(143));
+  AddJob("ResNet-50", 6, GB(143));  // Skipped: the running job holds 4 GPUs.
+  AddJob("ResNet-50", 4, GB(143));  // Fits exactly in the remainder.
+  snapshot().jobs[0].running = true;
+  AllocationPlan plan;
+  AdmitByOrder(snapshot(), {1, 2, 0}, &plan);  // Order puts the big job first.
+  EXPECT_TRUE(plan.IsRunning(0));
+  EXPECT_FALSE(plan.IsRunning(1));
+  EXPECT_TRUE(plan.IsRunning(2));
+  EXPECT_EQ(plan.GpusUsed(), 8);
+}
+
+TEST_F(SchedTest, AdmitByOrderPreemptiveSuspendsRunningJobOutsideAdmittedPrefix) {
+  AddJob("ResNet-50", 4, GB(143));
+  AddJob("ResNet-50", 6, GB(143));
+  AddJob("ResNet-50", 2, GB(143));
+  snapshot().jobs[0].running = true;  // Running, but last in the new order.
+  AllocationPlan plan;
+  AdmitByOrderPreemptive(snapshot(), {1, 2, 0}, &plan);
+  EXPECT_TRUE(plan.IsRunning(1));
+  EXPECT_TRUE(plan.IsRunning(2));
+  EXPECT_FALSE(plan.IsRunning(0));  // Suspended: no room after the prefix.
+  EXPECT_EQ(plan.GpusUsed(), 8);
+}
+
+// ------------------------------------------------------------ ZoneSpreader --
+
+TEST(ZoneSpread, SharesSumToQuotaAndRespectLossBound) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3;loss-bound=0.25");
+  ASSERT_TRUE(parsed.ok());
+  const ClusterTopology topology = parsed->Cover(8);  // rack0 + 4 singletons.
+  ZoneSpreader spreader(topology, GB(80), 8);
+
+  const std::vector<Bytes> shares = spreader.Spread(GB(40));
+  ASSERT_EQ(shares.size(), 5u);
+  Bytes sum = 0;
+  for (const Bytes share : shares) {
+    EXPECT_GE(share, 0);
+    sum += share;
+  }
+  EXPECT_EQ(sum, GB(40));
+  // Bound satisfiable here (5 zones x 0.25 > 1): no zone exceeds it.
+  EXPECT_LE(ZoneSpreader::WorstCaseLoss(shares), GB(10) + 1);
+}
+
+TEST(ZoneSpread, CapacityBindsAndLossBoundRelaxesGracefully) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3;loss-bound=0.25");
+  ASSERT_TRUE(parsed.ok());
+  const ClusterTopology topology = parsed->Cover(8);
+  ZoneSpreader spreader(topology, GB(80), 8);
+
+  // The whole pool: the bound cannot absorb it, capacity still must.
+  const std::vector<Bytes> shares = spreader.Spread(GB(80));
+  Bytes sum = 0;
+  for (std::size_t z = 0; z < shares.size(); ++z) {
+    const Bytes capacity = GB(80) * topology.zones()[z].size() / 8;
+    EXPECT_LE(shares[z], capacity + 1) << "zone " << topology.zones()[z].name;
+    sum += shares[z];
+  }
+  EXPECT_EQ(sum, GB(80));
+  EXPECT_GT(ZoneSpreader::WorstCaseLoss(shares), GB(20));  // Bound relaxed.
+}
+
+TEST(ZoneSpread, StatefulAcrossDatasetsNeverOverfillsAZone) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3;loss-bound=0.5");
+  ASSERT_TRUE(parsed.ok());
+  const ClusterTopology topology = parsed->Cover(8);
+  ZoneSpreader spreader(topology, GB(80), 8);
+
+  const std::vector<Bytes> first = spreader.Spread(GB(40));
+  const std::vector<Bytes> second = spreader.Spread(GB(40));
+  for (std::size_t z = 0; z < first.size(); ++z) {
+    const Bytes capacity = GB(80) * topology.zones()[z].size() / 8;
+    EXPECT_LE(first[z] + second[z], capacity + 1) << "zone " << topology.zones()[z].name;
+  }
+}
+
+TEST(ZoneSpread, WorstCaseZoneFractionTracksLargestExposure) {
+  const Result<ClusterTopology> bounded = ClusterTopology::Parse("rack0=0-3;loss-bound=0.25");
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_DOUBLE_EQ(WorstCaseZoneFraction(bounded->Cover(8), 8), 0.25);
+
+  const Result<ClusterTopology> loose = ClusterTopology::Parse("rack0=0-3;loss-bound=0.8");
+  ASSERT_TRUE(loose.ok());
+  // The rack holds half the servers: capacity caps the exposure below 0.8.
+  EXPECT_DOUBLE_EQ(WorstCaseZoneFraction(loose->Cover(8), 8), 0.5);
+
+  EXPECT_DOUBLE_EQ(WorstCaseZoneFraction(ClusterTopology(), 8), 1.0);
 }
 
 }  // namespace

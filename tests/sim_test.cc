@@ -488,5 +488,41 @@ INSTANTIATE_TEST_SUITE_P(CacheSystems, EngineFidelityTest,
                                            CacheSystem::kQuiver),
                          [](const auto& info) { return CacheSystemName(info.param); });
 
+// ----------------------------------------------------- Zone-aware placement --
+
+// A rack crash against a zone-aware plan costs at most the loss-bounded share
+// of the dataset (attributed to the rack), versus the rack's full
+// capacity-proportional slice under oblivious placement.
+TEST(FlowEngine, ZoneCrashLossBoundedAndAttributedPerZone) {
+  const Trace trace = SingleJobTrace(/*epochs=*/60, GB(40));
+
+  FaultPlan faults;
+  for (int s = 0; s < 4; ++s) {  // The whole rack, one server at a time.
+    faults.events.push_back({Hours(1) + s, FaultKind::kCacheServerCrash, s});
+    faults.events.push_back({Hours(2) + s, FaultKind::kCacheServerRecover, s});
+  }
+
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kFifo;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(GB(80), MBps(500));
+  config.sim.resources.num_servers = 8;
+  config.sim.faults = faults;
+  const SimResult oblivious = RunExperiment(trace, config);
+  EXPECT_TRUE(oblivious.faults.blocks_lost_by_zone.empty());
+
+  const Result<ClusterTopology> topology = ClusterTopology::Parse("rack0=0-3;loss-bound=0.25");
+  ASSERT_TRUE(topology.ok());
+  config.sim.topology = *topology;
+  const SimResult aware = RunExperiment(trace, config);
+
+  // The rack held half the cache servers but at most a quarter of the quota.
+  EXPECT_GT(aware.faults.bytes_lost, 0);
+  EXPECT_LT(aware.faults.bytes_lost, oblivious.faults.bytes_lost);
+  EXPECT_LE(aware.faults.bytes_lost, 0.25 * static_cast<double>(GB(40)) + MB(64));
+  ASSERT_EQ(aware.faults.blocks_lost_by_zone.size(), 1u);
+  EXPECT_EQ(aware.faults.blocks_lost_by_zone.begin()->first, "rack0");
+}
+
 }  // namespace
 }  // namespace silod

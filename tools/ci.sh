@@ -8,6 +8,7 @@
 #   tools/ci.sh asan       # ASan/UBSan stage only
 #   tools/ci.sh tsan       # TSan rt_test stage only
 #   tools/ci.sh smoke      # fault-churn benchmark smoke only
+#   tools/ci.sh zone-smoke # zone-aware vs oblivious placement smoke only
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -69,6 +70,24 @@ if [[ "$stage" == "all" || "$stage" == "smoke" ]]; then
   cmake --build build-ci-smoke -j "$jobs" --target bench_fault_churn
   echo "=== [smoke] run ==="
   ./build-ci-smoke/bench/bench_fault_churn --smoke build-ci-smoke/BENCH_fault_churn.json
+fi
+
+if [[ "$stage" == "all" || "$stage" == "zone-smoke" ]]; then
+  # Zone-aware placement smoke: a short zone-crash plan under both placements
+  # (equal cache totals, identical crash schedule).  bench_fault_churn --smoke
+  # asserts zone-aware loses strictly fewer cached bytes than zone-oblivious
+  # with no-worse avg JCT, and exits non-zero otherwise; silod_sim exercises
+  # the CLI topology path end to end (zone losses must be reported).
+  echo "=== [zone-smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [zone-smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target bench_fault_churn silod_sim
+  echo "=== [zone-smoke] run ==="
+  ./build-ci-smoke/bench/bench_fault_churn --smoke build-ci-smoke/BENCH_zone_smoke.json
+  ./build-ci-smoke/tools/silod_sim --jobs=12 --servers=8 \
+      --fault-zone="zone=rack0:servers=0-3:crashes-per-hour=2" \
+      --zone-loss-bound=0.25 --seed=7 \
+      | grep -q "rack0=" || { echo "zone-smoke: no per-zone loss reported"; exit 1; }
 fi
 
 echo "CI OK"

@@ -11,6 +11,8 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/common/topology.h"
+#include "src/core/policy_registry.h"
 #include "src/core/system.h"
 #include "src/fault/fault_plan.h"
 #include "src/workload/trace_io.h"
@@ -49,6 +51,29 @@ Result<CacheSystem> ParseCacheSystem(const std::string& name) {
                                  " (silod|alluxio|coordl|quiver)");
 }
 
+// Merges the fault plan's declared zones into one list, rejecting two
+// declarations of the same name with different server ranges.
+Status MergeFaultZones(const std::vector<TopologyZone>& incoming,
+                       std::vector<TopologyZone>* zones) {
+  for (const TopologyZone& zone : incoming) {
+    bool duplicate = false;
+    for (const TopologyZone& existing : *zones) {
+      if (existing.name == zone.name) {
+        if (!(existing == zone)) {
+          return Status::InvalidArgument("zone '" + zone.name +
+                                         "' declared twice with different server ranges");
+        }
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      zones->push_back(zone);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +85,9 @@ int main(int argc, char** argv) {
   flags.Define("servers", "24", "number of cache servers");
   flags.Define("scheduler", "fifo", "fifo | sjf | gavel");
   flags.Define("cache-system", "silod", "silod | alluxio | coordl | quiver");
+  flags.Define("policy", "",
+               "registry policy name, e.g. \"sjf+silod\" or \"gavel+coordl\" "
+               "(overrides --scheduler/--cache-system)");
   flags.Define("engine", "flow", "flow | fine");
   flags.Define("fine-linear-scan", "false",
                "fine engine: step by O(jobs) scans instead of the event calendar");
@@ -93,6 +121,14 @@ int main(int argc, char** argv) {
                "--fault-plan)");
   flags.Define("fault-horizon-hours", "24", "generated churn horizon (hours)");
   flags.Define("fault-seed", "1", "generated churn RNG seed");
+  flags.Define("topology", "auto",
+               "cache-server failure domains: \"auto\" derives them from the fault plan's "
+               "declared zones, \"none\" runs zone-oblivious (errors if zones are declared), or "
+               "an explicit spec \"rack0=0-3;rack1=4-7[;loss-bound=0.25]\" (must agree with any "
+               "declared fault zones)");
+  flags.Define("zone-loss-bound", "",
+               "cap on the fraction of any dataset's cache a single zone failure may take, in "
+               "(0,1]; overrides the topology's loss bound (default 0.5)");
   flags.Define("restart-cost", "checkpoint-everything",
                "what a worker crash discards: checkpoint-everything | lose-partial-epoch | "
                "checkpoint-interval:N (N blocks)");
@@ -100,6 +136,7 @@ int main(int argc, char** argv) {
   flags.Define("dump-trace", "", "write the workload as CSV to this path");
   flags.Define("dump-jobs", "", "write per-job results as CSV to this path");
   flags.Define("series", "false", "print throughput/fairness time series");
+  flags.Define("json", "", "write the run report (sim/metrics.h RunReport) to this path");
   flags.Define("help", "false", "show this help");
 
   if (const Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -149,6 +186,15 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.scheduler = *scheduler;
   config.cache = *cache;
+  if (!flags.GetString("policy").empty()) {
+    const std::string& name = flags.GetString("policy");
+    if (!PolicyRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "--policy: unknown policy \"%s\"; known: %s\n", name.c_str(),
+                   PolicyRegistry::Global().KnownNames().c_str());
+      return 2;
+    }
+    config.policy = name;
+  }
   config.scheduler_options.manage_remote_io = flags.GetBool("manage-remote-io");
   config.sim.resources.total_gpus = static_cast<int>(flags.GetInt("gpus"));
   config.sim.resources.total_cache = TB(flags.GetDouble("cache-tb"));
@@ -163,13 +209,19 @@ int main(int argc, char** argv) {
   // Faults: the explicit plan's events and the generated churn (independent
   // per-hour rates plus correlated zones) are merged into one schedule and
   // time-sorted; neither source takes precedence.
+  std::vector<TopologyZone> fault_zones;  // Every zone the fault plan declares.
   if (!flags.GetString("fault-plan").empty()) {
-    Result<FaultPlan> parsed = FaultPlan::Parse(flags.GetString("fault-plan"));
+    std::vector<TopologyZone> declared;
+    Result<FaultPlan> parsed = FaultPlan::Parse(flags.GetString("fault-plan"), &declared);
     if (!parsed.ok()) {
       std::fprintf(stderr, "--fault-plan: %s\n", parsed.status().ToString().c_str());
       return 2;
     }
     config.sim.faults = std::move(parsed).value();
+    if (const Status st = MergeFaultZones(declared, &fault_zones); !st.ok()) {
+      std::fprintf(stderr, "--fault-plan: %s\n", st.ToString().c_str());
+      return 2;
+    }
   }
   std::vector<ZoneChurn> zones;
   if (!flags.GetString("fault-zone").empty()) {
@@ -179,6 +231,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     zones = std::move(parsed).value();
+    std::vector<TopologyZone> declared;
+    for (const ZoneChurn& churn : zones) {
+      declared.push_back(churn.zone);
+    }
+    if (const Status st = MergeFaultZones(declared, &fault_zones); !st.ok()) {
+      std::fprintf(stderr, "--fault-zone: %s\n", st.ToString().c_str());
+      return 2;
+    }
   }
   if (!zones.empty() || flags.GetDouble("fault-server-crashes-per-hour") > 0 ||
       flags.GetDouble("fault-worker-crashes-per-hour") > 0 ||
@@ -206,6 +266,74 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.sim.restart_cost = *parsed;
+  }
+
+  // Topology: declared fault zones and the placement topology must agree —
+  // running a zone-crash plan zone-obliviously (or spreading against domains
+  // the fault plan contradicts) silently invalidates the experiment, so
+  // mismatches are errors, never fallbacks.
+  const std::string& topo_flag = flags.GetString("topology");
+  ClusterTopology topology;
+  if (topo_flag == "none") {
+    if (!fault_zones.empty()) {
+      std::fprintf(stderr,
+                   "--topology none conflicts with the fault plan's declared zone '%s': the run "
+                   "would be zone-oblivious while zone crashes fire; drop the zones or use "
+                   "--topology auto\n",
+                   fault_zones.front().name.c_str());
+      return 2;
+    }
+  } else if (topo_flag == "auto") {
+    if (!fault_zones.empty()) {
+      Result<ClusterTopology> derived = ClusterTopology::FromZones(fault_zones);
+      if (!derived.ok()) {
+        std::fprintf(stderr, "--topology auto: %s\n", derived.status().ToString().c_str());
+        return 2;
+      }
+      topology = *derived;
+    }
+  } else {
+    Result<ClusterTopology> parsed = ClusterTopology::Parse(topo_flag);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--topology: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    topology = *parsed;
+    for (const TopologyZone& fault_zone : fault_zones) {
+      bool matched = false;
+      for (const TopologyZone& zone : topology.zones()) {
+        if (zone == fault_zone) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr,
+                     "--topology: fault zone '%s' (servers %d-%d) is not a zone of \"%s\"\n",
+                     fault_zone.name.c_str(), fault_zone.first_server, fault_zone.last_server,
+                     topo_flag.c_str());
+        return 2;
+      }
+    }
+  }
+  if (!flags.GetString("zone-loss-bound").empty()) {
+    const double bound = flags.GetDouble("zone-loss-bound");
+    if (!(bound > 0 && bound <= 1)) {
+      std::fprintf(stderr, "--zone-loss-bound: %g is not in (0, 1]\n", bound);
+      return 2;
+    }
+    if (topology.empty()) {
+      std::fprintf(stderr, "--zone-loss-bound requires a topology (it had no zones)\n");
+      return 2;
+    }
+    topology.set_loss_bound(bound);
+  }
+  if (!topology.empty()) {
+    if (const Status st = topology.Validate(config.sim.resources.num_servers); !st.ok()) {
+      std::fprintf(stderr, "--topology: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    config.sim.topology = topology;
   }
 
   std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
@@ -242,6 +370,14 @@ int main(int argc, char** argv) {
                     std::to_string(f.degrade_windows) + ", " + std::to_string(f.dm_restarts) +
                         ", " + std::to_string(f.ignored_events)});
     summary.AddRow({"blocks lost to server crashes", std::to_string(f.blocks_lost)});
+    if (!f.blocks_lost_by_zone.empty()) {
+      std::string by_zone;
+      for (const auto& [zone, blocks] : f.blocks_lost_by_zone) {
+        by_zone += (by_zone.empty() ? "" : ", ") + zone + "=" + std::to_string(blocks);
+      }
+      summary.AddRow({"blocks lost by zone", by_zone});
+      summary.AddRow({"cache bytes lost (MB)", Fmt(f.bytes_lost / 1e6)});
+    }
     if (config.sim.restart_cost.policy != RestartCostPolicy::kCheckpointEverything) {
       summary.AddRow({"restart cost (" + config.sim.restart_cost.ToSpec() +
                           "): re-reads blk/MB, compute s",
@@ -275,6 +411,16 @@ int main(int argc, char** argv) {
       out << j.id << "," << j.submit_time << "," << j.first_start_time << "," << j.finish_time
           << "," << j.Jct() << "\n";
     }
+  }
+
+  if (!flags.GetString("json").empty()) {
+    RunReport report =
+        MakeRunReport(config.Name(), flags.GetString("engine"), result);
+    if (!config.sim.topology.empty()) {
+      report.AddExtra("topology", config.sim.topology.ToSpec());
+    }
+    std::ofstream(flags.GetString("json")) << report.ToJson() << "\n";
+    std::printf("wrote %s\n", flags.GetString("json").c_str());
   }
   return 0;
 }
