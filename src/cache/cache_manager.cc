@@ -14,20 +14,82 @@ CacheManager::CacheManager(Bytes total_capacity, std::uint64_t seed)
 
 Bytes CacheManager::total_cached() const {
   Bytes total = 0;
-  for (const auto& [id, state] : datasets_) {
+  for (const auto& state : datasets_) {
     total += state.used;
   }
   return total;
 }
 
 CacheManager::DatasetState& CacheManager::GetOrCreate(const Dataset& dataset) {
-  auto it = datasets_.find(dataset.id);
-  if (it == datasets_.end()) {
-    DatasetState state;
-    state.dataset = dataset;
-    it = datasets_.emplace(dataset.id, std::move(state)).first;
+  SILOD_CHECK(dataset.id >= 0) << "dataset id " << dataset.id << " not dense";
+  const auto index = static_cast<std::size_t>(dataset.id);
+  if (index >= datasets_.size()) {
+    datasets_.resize(index + 1);
   }
-  return it->second;
+  DatasetState& state = datasets_[index];
+  if (!state.present) {
+    state.present = true;
+    state.dataset = dataset;
+    state.block_gen.assign(static_cast<std::size_t>(dataset.num_blocks), 0);
+  }
+  return state;
+}
+
+CacheManager::DatasetState* CacheManager::Find(DatasetId dataset) {
+  if (dataset < 0 || static_cast<std::size_t>(dataset) >= datasets_.size() ||
+      !datasets_[static_cast<std::size_t>(dataset)].present) {
+    return nullptr;
+  }
+  return &datasets_[static_cast<std::size_t>(dataset)];
+}
+
+const CacheManager::DatasetState* CacheManager::Find(DatasetId dataset) const {
+  if (dataset < 0 || static_cast<std::size_t>(dataset) >= datasets_.size() ||
+      !datasets_[static_cast<std::size_t>(dataset)].present) {
+    return nullptr;
+  }
+  return &datasets_[static_cast<std::size_t>(dataset)];
+}
+
+CacheManager::JobState& CacheManager::JobRef(JobId job) {
+  SILOD_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size() &&
+              jobs_[static_cast<std::size_t>(job)].registered)
+      << "unknown job " << job;
+  return jobs_[static_cast<std::size_t>(job)];
+}
+
+const CacheManager::JobState& CacheManager::JobRef(JobId job) const {
+  SILOD_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size() &&
+              jobs_[static_cast<std::size_t>(job)].registered)
+      << "unknown job " << job;
+  return jobs_[static_cast<std::size_t>(job)];
+}
+
+void CacheManager::Admit(DatasetState& state, std::int64_t block) {
+  SILOD_CHECK(block >= 0 && block < state.dataset.num_blocks)
+      << "block " << block << " out of range for dataset " << state.dataset.id;
+  state.block_gen[static_cast<std::size_t>(block)] = ++generation_;
+  state.used += state.dataset.BlockBytes(block);
+  ++state.resident;
+}
+
+Bytes CacheManager::Evict(DatasetState& state, std::int64_t block) {
+  const std::uint64_t gen = state.block_gen[static_cast<std::size_t>(block)];
+  SILOD_CHECK(gen != 0) << "evicting non-resident block " << block;
+  state.block_gen[static_cast<std::size_t>(block)] = 0;
+  const Bytes bytes = state.dataset.BlockBytes(block);
+  state.used -= bytes;
+  --state.resident;
+  // The block was effective for exactly the readers whose epoch started at
+  // or after its insertion; integer subtraction keeps the incremental value
+  // equal to the defining scan regardless of reader order.
+  for (const JobId reader : state.readers) {
+    JobState& js = jobs_[static_cast<std::size_t>(reader)];
+    if (gen <= js.epoch_generation) {
+      js.effective -= bytes;
+    }
+  }
+  return bytes;
 }
 
 Status CacheManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) {
@@ -46,76 +108,88 @@ Status CacheManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size)
   total_allocated_ += delta;
   state.quota = cache_size;
   // Shrinking below occupancy evicts uniformly at random (§6).  Candidates
-  // are collected and shuffled once so large shrinks stay O(n).
+  // are collected in block order and shuffled once so large shrinks stay
+  // O(n) and the outcome is independent of any container iteration order.
   if (state.used > state.quota) {
     std::vector<std::int64_t> resident;
-    resident.reserve(state.blocks.size());
-    for (const auto& [block, gen] : state.blocks) {
-      resident.push_back(block);
+    resident.reserve(static_cast<std::size_t>(state.resident));
+    for (std::size_t b = 0; b < state.block_gen.size(); ++b) {
+      if (state.block_gen[b] != 0) {
+        resident.push_back(static_cast<std::int64_t>(b));
+      }
     }
     rng_.Shuffle(resident);
     for (std::int64_t block : resident) {
       if (state.used <= state.quota) {
         break;
       }
-      state.used -= state.dataset.BlockBytes(block);
-      state.blocks.erase(block);
+      Evict(state, block);
     }
   }
   return Status::Ok();
 }
 
 Bytes CacheManager::Allocation(DatasetId dataset) const {
-  auto it = datasets_.find(dataset);
-  return it == datasets_.end() ? 0 : it->second.quota;
+  const DatasetState* state = Find(dataset);
+  return state == nullptr ? 0 : state->quota;
 }
 
 void CacheManager::ReleaseDataset(DatasetId dataset) {
-  auto it = datasets_.find(dataset);
-  if (it == datasets_.end()) {
+  DatasetState* state = Find(dataset);
+  if (state == nullptr) {
     return;
   }
-  total_allocated_ -= it->second.quota;
-  datasets_.erase(it);
+  total_allocated_ -= state->quota;
+  // Everything resident is gone, so nothing remains effective for any
+  // registered reader; the reader list itself survives the release.
+  for (const JobId reader : state->readers) {
+    jobs_[static_cast<std::size_t>(reader)].effective = 0;
+  }
+  state->present = false;
+  state->quota = 0;
+  state->used = 0;
+  state->resident = 0;
+  state->block_gen.clear();
+  state->block_gen.shrink_to_fit();
 }
 
 bool CacheManager::AccessBlock(const Dataset& dataset, std::int64_t block) {
   DatasetState& state = GetOrCreate(dataset);
-  if (state.blocks.count(block) > 0) {
+  SILOD_CHECK(block >= 0 && block < dataset.num_blocks)
+      << "block " << block << " out of range for dataset " << dataset.id;
+  if (state.block_gen[static_cast<std::size_t>(block)] != 0) {
     return true;
   }
   // Miss: the caller fetches remotely; admit under uniform caching.
-  const Bytes bytes = state.dataset.BlockBytes(block);
-  if (state.used + bytes <= state.quota) {
-    state.blocks.emplace(block, ++generation_);
-    state.used += bytes;
+  if (state.used + state.dataset.BlockBytes(block) <= state.quota) {
+    Admit(state, block);
   }
   return false;
 }
 
 bool CacheManager::WouldAdmit(const Dataset& dataset, std::int64_t block) const {
-  auto it = datasets_.find(dataset.id);
-  if (it == datasets_.end()) {
+  const DatasetState* state = Find(dataset.id);
+  if (state == nullptr || block < 0 || block >= dataset.num_blocks) {
     return false;
   }
-  const DatasetState& state = it->second;
-  if (state.blocks.count(block) > 0) {
+  if (state->block_gen[static_cast<std::size_t>(block)] != 0) {
     return false;  // Already resident.
   }
-  return state.used + dataset.BlockBytes(block) <= state.quota;
+  return state->used + dataset.BlockBytes(block) <= state->quota;
 }
 
 Status CacheManager::AdmitBlock(const Dataset& dataset, std::int64_t block) {
   DatasetState& state = GetOrCreate(dataset);
-  if (state.blocks.count(block) > 0) {
+  if (block < 0 || block >= dataset.num_blocks) {
+    return Status::InvalidArgument("block out of range");
+  }
+  if (state.block_gen[static_cast<std::size_t>(block)] != 0) {
     return Status::AlreadyExists("block already cached");
   }
-  const Bytes bytes = state.dataset.BlockBytes(block);
-  if (state.used + bytes > state.quota) {
+  if (state.used + state.dataset.BlockBytes(block) > state.quota) {
     return Status::ResourceExhausted("dataset quota full");
   }
-  state.blocks.emplace(block, ++generation_);
-  state.used += bytes;
+  Admit(state, block);
   return Status::Ok();
 }
 
@@ -127,8 +201,10 @@ void CacheManager::SetTotalCapacity(Bytes capacity) {
 std::int64_t CacheManager::EvictRandomFraction(double fraction, Bytes* bytes_evicted) {
   SILOD_CHECK(fraction >= 0 && fraction <= 1) << "fraction out of [0, 1]";
   std::int64_t evicted = 0;
-  for (auto& [id, state] : datasets_) {
-    evicted += EvictDatasetFraction(id, fraction, bytes_evicted);
+  for (std::size_t id = 0; id < datasets_.size(); ++id) {
+    if (datasets_[id].present) {
+      evicted += EvictDatasetFraction(static_cast<DatasetId>(id), fraction, bytes_evicted);
+    }
   }
   return evicted;
 }
@@ -136,27 +212,25 @@ std::int64_t CacheManager::EvictRandomFraction(double fraction, Bytes* bytes_evi
 std::int64_t CacheManager::EvictDatasetFraction(DatasetId dataset, double fraction,
                                                 Bytes* bytes_evicted) {
   SILOD_CHECK(fraction >= 0 && fraction <= 1) << "fraction out of [0, 1]";
-  auto it = datasets_.find(dataset);
-  if (it == datasets_.end()) {
+  DatasetState* state = Find(dataset);
+  if (state == nullptr) {
     return 0;
   }
-  DatasetState& state = it->second;
+  // Candidates come out of the flat residency array already sorted by block,
+  // so the shuffle outcome is bit-identical across platforms.
   std::vector<std::int64_t> resident;
-  resident.reserve(state.blocks.size());
-  for (const auto& [block, gen] : state.blocks) {
-    resident.push_back(block);
+  resident.reserve(static_cast<std::size_t>(state->resident));
+  for (std::size_t b = 0; b < state->block_gen.size(); ++b) {
+    if (state->block_gen[b] != 0) {
+      resident.push_back(static_cast<std::int64_t>(b));
+    }
   }
-  // Sorted before the shuffle so the outcome is independent of the
-  // unordered_map's iteration order (bit-identical across platforms).
-  std::sort(resident.begin(), resident.end());
   rng_.Shuffle(resident);
   const auto count = static_cast<std::size_t>(
       static_cast<double>(resident.size()) * fraction + 0.5);
   std::int64_t evicted = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    const Bytes bytes = state.dataset.BlockBytes(resident[i]);
-    state.used -= bytes;
-    state.blocks.erase(resident[i]);
+    const Bytes bytes = Evict(*state, resident[i]);
     if (bytes_evicted != nullptr) {
       *bytes_evicted += bytes;
     }
@@ -166,37 +240,41 @@ std::int64_t CacheManager::EvictDatasetFraction(DatasetId dataset, double fracti
 }
 
 Status CacheManager::EvictBlock(DatasetId dataset, std::int64_t block) {
-  auto it = datasets_.find(dataset);
-  if (it == datasets_.end() || it->second.blocks.count(block) == 0) {
+  DatasetState* state = Find(dataset);
+  if (state == nullptr || block < 0 ||
+      static_cast<std::size_t>(block) >= state->block_gen.size() ||
+      state->block_gen[static_cast<std::size_t>(block)] == 0) {
     return Status::NotFound("block not cached");
   }
-  it->second.used -= it->second.dataset.BlockBytes(block);
-  it->second.blocks.erase(block);
+  Evict(*state, block);
   return Status::Ok();
 }
 
 Bytes CacheManager::CachedBytes(DatasetId dataset) const {
-  auto it = datasets_.find(dataset);
-  return it == datasets_.end() ? 0 : it->second.used;
+  const DatasetState* state = Find(dataset);
+  return state == nullptr ? 0 : state->used;
 }
 
 bool CacheManager::IsCached(DatasetId dataset, std::int64_t block) const {
-  auto it = datasets_.find(dataset);
-  return it != datasets_.end() && it->second.blocks.count(block) > 0;
+  const DatasetState* state = Find(dataset);
+  return state != nullptr && block >= 0 &&
+         static_cast<std::size_t>(block) < state->block_gen.size() &&
+         state->block_gen[static_cast<std::size_t>(block)] != 0;
 }
 
 std::vector<std::int64_t> CacheManager::CachedBlocks(DatasetId dataset) const {
   std::vector<std::int64_t> blocks;
-  auto it = datasets_.find(dataset);
-  if (it == datasets_.end()) {
+  const DatasetState* state = Find(dataset);
+  if (state == nullptr) {
     return blocks;
   }
-  blocks.reserve(it->second.blocks.size());
-  for (const auto& [block, gen] : it->second.blocks) {
-    blocks.push_back(block);
+  blocks.reserve(static_cast<std::size_t>(state->resident));
+  for (std::size_t b = 0; b < state->block_gen.size(); ++b) {
+    if (state->block_gen[b] != 0) {
+      blocks.push_back(static_cast<std::int64_t>(b));
+    }
   }
-  std::sort(blocks.begin(), blocks.end());
-  return blocks;
+  return blocks;  // Flat-array scan order is already sorted.
 }
 
 Status CacheManager::RestoreCachedBlocks(const Dataset& dataset,
@@ -206,65 +284,66 @@ Status CacheManager::RestoreCachedBlocks(const Dataset& dataset,
     if (block < 0 || block >= dataset.num_blocks) {
       return Status::InvalidArgument("restored block out of range");
     }
-    if (state.blocks.count(block) > 0) {
+    if (state.block_gen[static_cast<std::size_t>(block)] != 0) {
       continue;
     }
-    const Bytes bytes = dataset.BlockBytes(block);
-    if (state.used + bytes > state.quota) {
+    if (state.used + dataset.BlockBytes(block) > state.quota) {
       continue;  // Shrunken allocation: surplus disk content is not re-admitted.
     }
-    state.blocks.emplace(block, ++generation_);
-    state.used += bytes;
+    Admit(state, block);
   }
   return Status::Ok();
 }
 
 void CacheManager::RegisterJob(JobId job, const Dataset& dataset) {
-  SILOD_CHECK(jobs_.count(job) == 0) << "job " << job << " already registered";
-  GetOrCreate(dataset);
-  JobState state;
+  SILOD_CHECK(job >= 0) << "job id " << job << " not dense";
+  if (static_cast<std::size_t>(job) >= jobs_.size()) {
+    jobs_.resize(static_cast<std::size_t>(job) + 1);
+  }
+  JobState& state = jobs_[static_cast<std::size_t>(job)];
+  SILOD_CHECK(!state.registered) << "job " << job << " already registered";
+  DatasetState& ds = GetOrCreate(dataset);
+  state.registered = true;
   state.dataset = dataset.id;
   state.accessed = DynamicBitset(static_cast<std::size_t>(dataset.num_blocks));
   state.epoch_generation = generation_;
-  jobs_.emplace(job, std::move(state));
+  // Every resident block predates this epoch snapshot, so the job starts
+  // with the dataset's full occupancy effective.
+  state.effective = ds.used;
+  ds.readers.push_back(job);
 }
 
-void CacheManager::UnregisterJob(JobId job) { jobs_.erase(job); }
+void CacheManager::UnregisterJob(JobId job) {
+  if (job < 0 || static_cast<std::size_t>(job) >= jobs_.size() ||
+      !jobs_[static_cast<std::size_t>(job)].registered) {
+    return;
+  }
+  JobState& state = jobs_[static_cast<std::size_t>(job)];
+  const auto index = static_cast<std::size_t>(state.dataset);
+  if (state.dataset >= 0 && index < datasets_.size()) {
+    auto& readers = datasets_[index].readers;
+    readers.erase(std::remove(readers.begin(), readers.end(), job), readers.end());
+  }
+  state = JobState{};
+}
 
 void CacheManager::StartJobEpoch(JobId job) {
-  auto it = jobs_.find(job);
-  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
-  it->second.accessed.ClearAll();
-  it->second.epoch_generation = generation_;
+  JobState& state = JobRef(job);
+  state.accessed.ClearAll();
+  state.epoch_generation = generation_;
+  const DatasetState* ds = Find(state.dataset);
+  state.effective = ds == nullptr ? 0 : ds->used;
 }
 
 bool CacheManager::MarkJobAccess(JobId job, std::int64_t block) {
-  auto it = jobs_.find(job);
-  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
-  return it->second.accessed.Set(static_cast<std::size_t>(block));
+  return JobRef(job).accessed.Set(static_cast<std::size_t>(block));
 }
 
 std::int64_t CacheManager::RemainingBlocks(JobId job) const {
-  auto it = jobs_.find(job);
-  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
-  const auto& bits = it->second.accessed;
+  const auto& bits = JobRef(job).accessed;
   return static_cast<std::int64_t>(bits.size() - bits.Count());
 }
 
-Bytes CacheManager::EffectiveBytes(JobId job) const {
-  auto it = jobs_.find(job);
-  SILOD_CHECK(it != jobs_.end()) << "unknown job " << job;
-  auto ds = datasets_.find(it->second.dataset);
-  if (ds == datasets_.end()) {
-    return 0;
-  }
-  Bytes effective = 0;
-  for (const auto& [block, gen] : ds->second.blocks) {
-    if (gen <= it->second.epoch_generation) {
-      effective += ds->second.dataset.BlockBytes(block);
-    }
-  }
-  return effective;
-}
+Bytes CacheManager::EffectiveBytes(JobId job) const { return JobRef(job).effective; }
 
 }  // namespace silod

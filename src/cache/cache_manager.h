@@ -12,12 +12,21 @@
 //     generation at which the job's epoch started;
 //   - per-job access bitsets expose the instantaneous remote-IO demand
 //     (which blocks of the epoch remain, and how many will miss).
+//
+// Storage is arena-style: datasets and jobs live in flat vectors indexed by
+// their dense DatasetId/JobId, and each dataset's residency is a flat
+// generation-per-block array (0 = absent).  Per-job effective bytes are
+// maintained incrementally — admissions carry a fresh generation (never
+// effective for any current epoch), evictions subtract from exactly the
+// registered readers whose epoch they were effective for — so EffectiveBytes
+// is O(1) instead of a scan over every resident block.  This is what lets
+// the fine engine rebuild snapshots for 10k–100k-job traces at interactive
+// speed (docs/MODEL.md §9).
 #ifndef SILOD_SRC_CACHE_CACHE_MANAGER_H_
 #define SILOD_SRC_CACHE_CACHE_MANAGER_H_
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/bitset.h"
 #include "src/common/rng.h"
@@ -101,30 +110,50 @@ class CacheManager {
 
   // Bytes of the job's dataset that are cached AND were cached before the
   // job's current epoch began — the effective cache size of §6 / Fig. 8.
+  // O(1): maintained incrementally across admissions and evictions.
   Bytes EffectiveBytes(JobId job) const;
 
  private:
   struct DatasetState {
     Dataset dataset;
+    bool present = false;
     Bytes quota = 0;
     Bytes used = 0;
-    // block -> insertion generation.
-    std::unordered_map<std::int64_t, std::uint64_t> blocks;
+    std::int64_t resident = 0;
+    // Insertion generation per block, 0 = not resident.  Flat so residency
+    // scans walk memory in block order (which also makes eviction candidate
+    // collection deterministically sorted before the shuffle).
+    std::vector<std::uint64_t> block_gen;
+    // Jobs registered on this dataset; survives ReleaseDataset so epoch
+    // bookkeeping stays wired if the dataset is re-allocated.
+    std::vector<JobId> readers;
   };
   struct JobState {
+    bool registered = false;
     DatasetId dataset = kInvalidDataset;
     std::uint64_t epoch_generation = 0;
+    Bytes effective = 0;
     DynamicBitset accessed;
   };
 
   DatasetState& GetOrCreate(const Dataset& dataset);
+  DatasetState* Find(DatasetId dataset);
+  const DatasetState* Find(DatasetId dataset) const;
+  JobState& JobRef(JobId job);
+  const JobState& JobRef(JobId job) const;
+  // Inserts `block` with a fresh generation.  Never changes any reader's
+  // effective bytes: the new generation postdates every current epoch.
+  void Admit(DatasetState& state, std::int64_t block);
+  // Removes `block` and subtracts its bytes from each registered reader
+  // whose current epoch it was effective for.
+  Bytes Evict(DatasetState& state, std::int64_t block);
 
   Bytes total_capacity_;
   Bytes total_allocated_ = 0;
   std::uint64_t generation_ = 0;
   Rng rng_;
-  std::map<DatasetId, DatasetState> datasets_;
-  std::map<JobId, JobState> jobs_;
+  std::vector<DatasetState> datasets_;  // Indexed by DatasetId.
+  std::vector<JobState> jobs_;          // Indexed by JobId.
 };
 
 }  // namespace silod

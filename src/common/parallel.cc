@@ -1,0 +1,97 @@
+#include "src/common/parallel.h"
+
+namespace silod {
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = threads - 1;
+  workers_.reserve(extra > 0 ? static_cast<std::size_t>(extra) : 0);
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::DrainBatch(const std::function<void(std::size_t)>& fn, std::size_t tasks) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks) {
+      return;
+    }
+    fn(i);
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return shutdown_ || batch_id_ != seen_batch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_id_;
+      fn = fn_;
+      tasks = tasks_;
+      if (fn == nullptr) {
+        // Woke after the caller already drained and retired this batch; with
+        // seen_batch updated the next wait blocks until a fresh batch.
+        continue;
+      }
+      ++in_batch_;
+    }
+    DrainBatch(*fn, tasks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_batch_;
+    }
+    batch_done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) {
+    return;
+  }
+  if (workers_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++batch_id_;
+  }
+  work_ready_.notify_all();
+  DrainBatch(fn, tasks);
+  // Two conditions before the batch may retire: every index completed (a
+  // worker may still be running its last claimed one), and every worker that
+  // picked the batch up has left it (a stalled worker still holds the
+  // borrowed fn pointer and could otherwise claim the *next* batch's
+  // indices with it).
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) >= tasks_ && in_batch_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+}  // namespace silod

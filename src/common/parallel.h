@@ -1,0 +1,69 @@
+// A small persistent thread pool for deterministic data-parallel loops.
+//
+// The flow engine's per-zone cache solves are independent between rehash
+// events (each dataset's zone fluid touches only that dataset's state and
+// its own jobs), so they can run on a pool — but simulation output must stay
+// bit-identical to the sequential path.  ParallelFor guarantees that by
+// construction: every index runs the same code on the same inputs and writes
+// only its own slots, so the schedule cannot perturb any result.  Reductions
+// (sums across indices) must stay on the caller's side.
+//
+// ParallelFor blocks until every index completed.  `fn` must not throw.
+// With 0 or 1 workers (or a task count of 1) the loop runs inline on the
+// calling thread — the sequential escape hatch, like the fine engine's
+// use_linear_scan.
+#ifndef SILOD_SRC_COMMON_PARALLEL_H_
+#define SILOD_SRC_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silod {
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers (the calling thread participates in every
+  // ParallelFor, so `threads` is the total concurrency).  threads <= 1 spawns
+  // nothing and ParallelFor degenerates to an inline loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(i) for every i in [0, tasks), distributing indices dynamically
+  // across the workers and the calling thread; returns when all completed.
+  void ParallelFor(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs indices of the current batch until exhausted.
+  void DrainBatch(const std::function<void(std::size_t)>& fn, std::size_t tasks);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // Current batch.
+  std::size_t tasks_ = 0;
+  std::uint64_t batch_id_ = 0;
+  // Workers currently draining the batch (guarded by mu_).  ParallelFor only
+  // retires a batch when this is zero again: a worker that copied fn_ but
+  // stalled before claiming an index must not outlive the caller's borrowed
+  // function object or claim indices of the next batch.
+  int in_batch_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_PARALLEL_H_

@@ -49,8 +49,7 @@ double SampleSet::mean() const {
 
 void SampleSet::EnsureSorted() const {
   if (!sorted_) {
-    auto& mut = const_cast<std::vector<double>&>(samples_);
-    std::sort(mut.begin(), mut.end());
+    std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
 }

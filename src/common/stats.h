@@ -51,9 +51,15 @@ class SampleSet {
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  // Sorts the lazily maintained sample buffer in place.  Both members are
+  // `mutable` because sorting is a cache refresh, not an observable state
+  // change: every const accessor returns the same values before and after.
+  // Not thread-safe — concurrent const calls (Percentile, Cdf, samples) may
+  // race on the sort; SampleSet, like the rest of the metrics layer, is
+  // single-threaded by contract (worker pools never touch collectors).
   void EnsureSorted() const;
 
-  std::vector<double> samples_;
+  mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };
 

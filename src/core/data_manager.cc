@@ -27,12 +27,33 @@ int DataManager::ShardFor(DatasetId dataset, std::int64_t block) const {
     return 0;
   }
   if (zone_placement_ != nullptr) {
-    const auto it = zone_shares_.find(dataset);
-    if (it != zone_shares_.end()) {
-      return zone_placement_->ServerFor(dataset, block, it->second);
+    if (const std::vector<Bytes>* shares = ZoneSharesFor(dataset)) {
+      return zone_placement_->ServerFor(dataset, block, *shares);
     }
   }
   return placement_.ServerFor(dataset, block);
+}
+
+const std::vector<Bytes>* DataManager::ZoneSharesFor(DatasetId dataset) const {
+  if (dataset < 0 || static_cast<std::size_t>(dataset) >= zone_shares_.size() ||
+      zone_shares_[static_cast<std::size_t>(dataset)].empty()) {
+    return nullptr;
+  }
+  return &zone_shares_[static_cast<std::size_t>(dataset)];
+}
+
+void DataManager::SetZoneShares(DatasetId dataset, const std::vector<Bytes>& shares) {
+  SILOD_CHECK(dataset >= 0) << "dataset id " << dataset << " not dense";
+  if (static_cast<std::size_t>(dataset) >= zone_shares_.size()) {
+    zone_shares_.resize(static_cast<std::size_t>(dataset) + 1);
+  }
+  zone_shares_[static_cast<std::size_t>(dataset)] = shares;
+}
+
+void DataManager::ClearZoneShares(DatasetId dataset) {
+  if (dataset >= 0 && static_cast<std::size_t>(dataset) < zone_shares_.size()) {
+    zone_shares_[static_cast<std::size_t>(dataset)].clear();
+  }
 }
 
 Status DataManager::SetTopology(const ClusterTopology& topology) {
@@ -63,7 +84,7 @@ Status DataManager::AllocateCacheSize(const Dataset& dataset, Bytes cache_size) 
       return st;
     }
   }
-  zone_shares_.erase(dataset.id);  // Uniform allocation ends any zone spread.
+  ClearZoneShares(dataset.id);  // Uniform allocation ends any zone spread.
   return Status::Ok();
 }
 
@@ -96,7 +117,7 @@ Status DataManager::AllocateCacheSizeZoned(const Dataset& dataset,
       }
     }
   }
-  zone_shares_[dataset.id] = zone_shares;
+  SetZoneShares(dataset.id, zone_shares);
   return Status::Ok();
 }
 
@@ -148,11 +169,11 @@ Status DataManager::ApplyPlan(const AllocationPlan& plan, const DatasetCatalog& 
       if (zit != plan.dataset_zone_cache.end() &&
           zit->second.size() == static_cast<std::size_t>(topology_.num_zones())) {
         zone_shares = &zit->second;
-        zone_shares_[dataset.id] = zit->second;
+        SetZoneShares(dataset.id, zit->second);
       }
     }
     if (zone_shares == nullptr) {
-      zone_shares_.erase(dataset.id);
+      ClearZoneShares(dataset.id);
     }
     targets.push_back(PerShardTargets(quota, zone_shares));
   }

@@ -16,7 +16,6 @@
 #define SILOD_SRC_CORE_DATA_MANAGER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -101,15 +100,21 @@ class DataManager {
   // Each shard's quota for a dataset: its zone's share split equally among
   // the zone's members when spread, else an equal split of the total quota.
   std::vector<Bytes> PerShardTargets(Bytes quota, const std::vector<Bytes>* zone_shares) const;
+  // The dataset's active zone spread, or nullptr when it routes on the
+  // global ring.  O(1): flat-vector lookup on the block read path.
+  const std::vector<Bytes>* ZoneSharesFor(DatasetId dataset) const;
+  void SetZoneShares(DatasetId dataset, const std::vector<Bytes>& shares);
+  void ClearZoneShares(DatasetId dataset);
 
   std::vector<CacheManager> shards_;
   std::vector<bool> alive_;
   BlockPlacement placement_;
   ClusterTopology topology_;
   std::unique_ptr<ZonePlacement> zone_placement_;
-  // Datasets currently spread across zones; routing falls back to the global
-  // ring for datasets without an entry.
-  std::map<DatasetId, std::vector<Bytes>> zone_shares_;
+  // Per-dataset zone spreads, indexed by dense DatasetId (arena-style, like
+  // CacheManager's tables); an empty entry means no spread and routing falls
+  // back to the global ring.
+  std::vector<std::vector<Bytes>> zone_shares_;
   RemoteStore remote_;
 };
 

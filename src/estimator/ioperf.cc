@@ -51,4 +51,55 @@ BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset) {
   return target * MissRatio(cache, dataset);
 }
 
+void EstimatorBatch::Clear() {
+  ideal_.clear();
+  cache_.clear();
+  dataset_.clear();
+}
+
+void EstimatorBatch::Reserve(std::size_t n) {
+  ideal_.reserve(n);
+  cache_.reserve(n);
+  dataset_.reserve(n);
+}
+
+std::size_t EstimatorBatch::Add(BytesPerSec ideal, Bytes cache, Bytes dataset) {
+  ideal_.push_back(ideal);
+  cache_.push_back(cache);
+  dataset_.push_back(dataset);
+  return ideal_.size() - 1;
+}
+
+void EstimatorBatch::RemoteIoDemands(std::vector<BytesPerSec>* out) const {
+  out->resize(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    (*out)[i] = RemoteIoDemand(ideal_[i], cache_[i], dataset_[i]);
+  }
+}
+
+BytesPerSec EstimatorBatch::ThrottledDemand(double rho, const std::vector<BytesPerSec>& base,
+                                            BytesPerSec cap, std::size_t i) const {
+  SILOD_CHECK(base.size() == size()) << "base size mismatch";
+  const BytesPerSec target = std::min(rho * base[i], ideal_[i]);
+  return std::min(RemoteIoDemand(target, cache_[i], dataset_[i]), cap);
+}
+
+BytesPerSec EstimatorBatch::TotalThrottledDemand(double rho, const std::vector<BytesPerSec>& base,
+                                                 BytesPerSec cap) const {
+  BytesPerSec sum = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    sum += ThrottledDemand(rho, base, cap, i);
+  }
+  return sum;
+}
+
+void EstimatorBatch::Throughputs(const std::vector<BytesPerSec>& remote_io,
+                                 std::vector<BytesPerSec>* out) const {
+  SILOD_CHECK(remote_io.size() == size()) << "remote_io size mismatch";
+  out->resize(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    (*out)[i] = SiloDPerfThroughput(ideal_[i], remote_io[i], cache_[i], dataset_[i]);
+  }
+}
+
 }  // namespace silod

@@ -14,6 +14,9 @@
 #ifndef SILOD_SRC_ESTIMATOR_IOPERF_H_
 #define SILOD_SRC_ESTIMATOR_IOPERF_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "src/common/units.h"
 
 namespace silod {
@@ -39,6 +42,50 @@ double CacheEfficiencyMBpsPerGB(BytesPerSec ideal, Bytes dataset);
 // Minimum remote-IO allocation needed to sustain end-to-end throughput
 // `target` (<= ideal) with cache c over dataset d.  Inverse of Eq. 3.
 BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset);
+
+// Batched evaluation of the Eq. 2-4 closed forms over a set of jobs, stored
+// as parallel arrays (ideal rate, cache bytes, dataset size per entry).
+//
+// A reschedule over N running jobs evaluates the same formulas N times per
+// bisection step; filling one batch and sweeping it keeps the hot loop over
+// dense arrays instead of re-walking job views and catalog lookups per call.
+// Every method delegates entry-wise to the scalar functions above, in index
+// order, so results (including floating-point summation order) are
+// bit-identical to the equivalent scalar loop.
+class EstimatorBatch {
+ public:
+  void Clear();
+  void Reserve(std::size_t n);
+  // Appends one job's operating point; returns its index.
+  std::size_t Add(BytesPerSec ideal, Bytes cache, Bytes dataset);
+
+  std::size_t size() const { return ideal_.size(); }
+  bool empty() const { return ideal_.empty(); }
+  BytesPerSec ideal(std::size_t i) const { return ideal_[i]; }
+  Bytes cache(std::size_t i) const { return cache_[i]; }
+  Bytes dataset(std::size_t i) const { return dataset_[i]; }
+
+  // Eq. 2 at each entry's ideal rate (the entry's maximum useful remote IO,
+  // before any per-job cap).
+  void RemoteIoDemands(std::vector<BytesPerSec>* out) const;
+
+  // Remote IO entry i needs to run at min(rho * base[i], ideal[i]), capped at
+  // `cap` — one fairness-bisection probe.  `base` must have size() entries.
+  BytesPerSec ThrottledDemand(double rho, const std::vector<BytesPerSec>& base, BytesPerSec cap,
+                              std::size_t i) const;
+  // Sum of ThrottledDemand over all entries, accumulated in index order.
+  BytesPerSec TotalThrottledDemand(double rho, const std::vector<BytesPerSec>& base,
+                                   BytesPerSec cap) const;
+
+  // Eq. 4 at each entry's granted remote IO.
+  void Throughputs(const std::vector<BytesPerSec>& remote_io,
+                   std::vector<BytesPerSec>* out) const;
+
+ private:
+  std::vector<BytesPerSec> ideal_;
+  std::vector<Bytes> cache_;
+  std::vector<Bytes> dataset_;
+};
 
 }  // namespace silod
 

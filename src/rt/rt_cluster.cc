@@ -24,20 +24,14 @@ RunReport MakeRtRunReport(std::string label, const RtResult& result) {
   report.engine = "rt";
   report.jobs = static_cast<int>(result.jobs.size());
   report.unfinished_jobs = result.unfinished_jobs;
-  SampleSet jct;
-  double sum = 0;
-  int finished = 0;
+  std::vector<double> jct_minutes;
+  jct_minutes.reserve(result.jobs.size());
   for (const RtJobResult& j : result.jobs) {
-    if (!j.completed) {
-      continue;
+    if (j.completed) {
+      jct_minutes.push_back(j.Runtime() / 60.0);
     }
-    jct.Add(j.Runtime() / 60.0);
-    sum += j.Runtime() / 60.0;
-    ++finished;
   }
-  report.avg_jct_min = finished > 0 ? sum / finished : 0;
-  report.median_jct_min = finished > 0 ? jct.Median() : 0;
-  report.p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+  FillJctSummary(jct_minutes, &report);
   report.makespan_min = result.makespan / 60.0;
   report.faults.server_crashes = result.server_crashes;
   report.faults.server_recoveries = result.server_recoveries;

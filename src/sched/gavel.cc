@@ -88,11 +88,11 @@ bool TargetsFeasible(const Snapshot& snapshot, const std::vector<RunningJob>& jo
 // The normalizer of the fairness ratio for each objective: equal-share
 // throughput for Eq. 8/9 max-min fairness, the exclusive-cluster rate f* for
 // finish-time fairness.
-BytesPerSec FairnessBase(GavelObjective objective, const JobSpec& job, const Snapshot& snapshot,
-                         int num_sharers) {
+BytesPerSec FairnessBase(GavelObjective objective, const JobSpec& job,
+                         const DatasetCatalog& catalog, const EqualShareParams& eq) {
   BytesPerSec base = objective == GavelObjective::kFinishTimeFairness
                          ? job.ideal_io
-                         : EqualShareThroughput(job, snapshot, num_sharers);
+                         : EqualShareThroughput(job, catalog, eq);
   if (base <= 0) {
     base = job.ideal_io * 1e-9;  // Keep the ratio's denominator positive.
   }
@@ -112,8 +112,9 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
     return solution;
   }
   const int n = static_cast<int>(jobs.size());
+  const EqualShareParams eq = MakeEqualShareParams(snapshot.resources, n);
   for (RunningJob& j : jobs) {
-    j.base = FairnessBase(objective, *j.view->spec, snapshot, n);
+    j.base = FairnessBase(objective, *j.view->spec, *snapshot.catalog, eq);
   }
 
   auto targets_at = [&](double rho) {
@@ -199,13 +200,24 @@ const char* GavelObjectiveName(GavelObjective objective) {
 }
 
 BytesPerSec EqualShareThroughput(const JobSpec& job, const Snapshot& snapshot, int num_sharers) {
-  SILOD_CHECK(num_sharers >= 1) << "at least one sharer";
   SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
-  const Dataset& d = snapshot.catalog->Get(job.dataset);
-  const Bytes cache_eq = snapshot.resources.total_cache / num_sharers;
-  const BytesPerSec io_eq = std::min(snapshot.resources.remote_io / num_sharers,
-                                     snapshot.resources.per_job_remote_cap);
-  return SiloDPerfThroughput(job.ideal_io, io_eq, std::min(cache_eq, d.size), d.size);
+  return EqualShareThroughput(job, *snapshot.catalog,
+                              MakeEqualShareParams(snapshot.resources, num_sharers));
+}
+
+EqualShareParams MakeEqualShareParams(const ClusterResources& resources, int num_sharers) {
+  SILOD_CHECK(num_sharers >= 1) << "at least one sharer";
+  EqualShareParams params;
+  params.cache_eq = resources.total_cache / num_sharers;
+  params.io_eq = std::min(resources.remote_io / num_sharers, resources.per_job_remote_cap);
+  return params;
+}
+
+BytesPerSec EqualShareThroughput(const JobSpec& job, const DatasetCatalog& catalog,
+                                 const EqualShareParams& params) {
+  const Dataset& d = catalog.Get(job.dataset);
+  return SiloDPerfThroughput(job.ideal_io, params.io_eq, std::min(params.cache_eq, d.size),
+                             d.size);
 }
 
 GavelSolution SolveMaxMinFairness(const Snapshot& snapshot, const AllocationPlan& plan) {
@@ -247,66 +259,56 @@ void GavelScheduler::AllocateFairShare(const Snapshot& snapshot, AllocationPlan&
   // this converges to the steady-state solution.
   std::vector<JobId> ids;
   std::vector<BytesPerSec> base;
-  std::vector<Bytes> effective;
-  std::vector<Bytes> dsize;
-  std::vector<BytesPerSec> ideal;
+  EstimatorBatch batch;
   int n_running = 0;
   for (const JobView& view : snapshot.jobs) {
     if (plan.IsRunning(view.spec->id)) {
       ++n_running;
     }
   }
+  const EqualShareParams eq = MakeEqualShareParams(snapshot.resources, std::max(1, n_running));
   for (const JobView& view : snapshot.jobs) {
     if (!plan.IsRunning(view.spec->id)) {
       continue;
     }
     const Dataset& d = snapshot.catalog->Get(view.spec->dataset);
     ids.push_back(view.spec->id);
-    base.push_back(FairnessBase(objective_, *view.spec, snapshot, std::max(1, n_running)));
+    base.push_back(FairnessBase(objective_, *view.spec, *snapshot.catalog, eq));
     // Zone-aware runs feed the estimator the post-crash surviving share, so
     // the throttles granted now still cover the jobs after a worst-case
     // single-zone crash (identity when the snapshot has no topology).
-    effective.push_back(SurvivingCacheShare(snapshot, view.effective_cache));
-    dsize.push_back(d.size);
-    ideal.push_back(view.spec->ideal_io);
+    batch.Add(view.spec->ideal_io, SurvivingCacheShare(snapshot, view.effective_cache), d.size);
   }
+  // One bisection probe sweeps the whole batch instead of re-deriving each
+  // job's operating point from snapshot views; the arithmetic (and summation
+  // order) matches the per-job loop exactly.
   const BytesPerSec cap = snapshot.resources.per_job_remote_cap;
-  auto need_at = [&](double rho, std::size_t i) {
-    const BytesPerSec target = std::min(rho * base[i], ideal[i]);
-    return std::min(RemoteIoDemand(target, effective[i], dsize[i]), cap);
-  };
-  auto total_need = [&](double rho) {
-    BytesPerSec sum = 0;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      sum += need_at(rho, i);
-    }
-    return sum;
-  };
   double lo = 0;
   double hi = 1.0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    hi = std::max(hi, ideal[i] / base[i]);
+    hi = std::max(hi, batch.ideal(i) / base[i]);
   }
-  if (total_need(hi) <= snapshot.resources.remote_io) {
+  if (batch.TotalThrottledDemand(hi, base, cap) <= snapshot.resources.remote_io) {
     lo = hi;
   } else {
     for (int iter = 0; iter < 80; ++iter) {
       const double mid = 0.5 * (lo + hi);
-      if (total_need(mid) <= snapshot.resources.remote_io) {
+      if (batch.TotalThrottledDemand(mid, base, cap) <= snapshot.resources.remote_io) {
         lo = mid;
       } else {
         hi = mid;
       }
     }
   }
+  std::vector<BytesPerSec> max_demand;
+  batch.RemoteIoDemands(&max_demand);
   std::vector<BytesPerSec> grant(ids.size());
   std::vector<BytesPerSec> residual(ids.size());
   BytesPerSec used = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    grant[i] = need_at(lo, i);
+    grant[i] = batch.ThrottledDemand(lo, base, cap, i);
     used += grant[i];
-    const BytesPerSec max_b = std::min(RemoteIoDemand(ideal[i], effective[i], dsize[i]), cap);
-    residual[i] = std::max(0.0, max_b - grant[i]);
+    residual[i] = std::max(0.0, std::min(max_demand[i], cap) - grant[i]);
   }
   const std::vector<BytesPerSec> topup =
       MaxMinShare(residual, std::max(0.0, snapshot.resources.remote_io - used));

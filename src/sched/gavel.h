@@ -52,6 +52,18 @@ const char* GavelObjectiveName(GavelObjective objective);
 // among `num_sharers` running jobs (the denominator of Eq. 8).
 BytesPerSec EqualShareThroughput(const JobSpec& job, const Snapshot& snapshot, int num_sharers);
 
+// The job-independent part of that denominator: per-sharer cache and remote-IO
+// shares.  Hoisting it out of a loop over N running jobs (metrics recording,
+// fairness bases) turns N snapshot walks into N O(1) evaluations; results are
+// bit-identical to the Snapshot overload above.
+struct EqualShareParams {
+  Bytes cache_eq = 0;
+  BytesPerSec io_eq = 0;
+};
+EqualShareParams MakeEqualShareParams(const ClusterResources& resources, int num_sharers);
+BytesPerSec EqualShareThroughput(const JobSpec& job, const DatasetCatalog& catalog,
+                                 const EqualShareParams& params);
+
 struct GavelSolution {
   double fairness_ratio = 0;                  // The achieved min ratio rho*.
   std::map<DatasetId, Bytes> dataset_cache;   // Cache per dataset.

@@ -14,16 +14,31 @@ std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
   SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
   // Dataset-level cache efficiency: sum of f*/d over running jobs sharing the
   // dataset (§6, "the cache efficiency is defined at dataset-level").
-  std::map<DatasetId, double> efficiency;
+  // Accumulated densely by DatasetId (ids are dense catalog indices); the
+  // sentinel marks untouched datasets so only shared ones reach the sort.
+  std::vector<double> efficiency(snapshot.catalog->all().size(), -1.0);
+  std::vector<DatasetId> touched;
   for (const JobView& view : snapshot.jobs) {
     if (!plan.IsRunning(view.spec->id)) {
       continue;
     }
     const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
-    efficiency[dataset.id] += CacheEfficiency(view.spec->ideal_io, dataset.size);
+    double& slot = efficiency[dataset.id];
+    if (slot < 0) {
+      slot = 0;
+      touched.push_back(dataset.id);
+    }
+    slot += CacheEfficiency(view.spec->ideal_io, dataset.size);
   }
 
-  std::vector<std::pair<DatasetId, double>> order(efficiency.begin(), efficiency.end());
+  std::vector<std::pair<DatasetId, double>> order;
+  order.reserve(touched.size());
+  for (const DatasetId id : touched) {
+    order.emplace_back(id, efficiency[id]);
+  }
+  // The comparator totally orders entries (efficiency desc, id asc), so the
+  // result is independent of the pre-sort order — identical to the old
+  // id-sorted map input.
   std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) {
       return a.second > b.second;
@@ -45,13 +60,13 @@ std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
   return alloc;
 }
 
-std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
-                                              const AllocationPlan& plan) {
+void AllocateRemoteIo(const Snapshot& snapshot, AllocationPlan* plan) {
+  SILOD_CHECK(plan != nullptr) << "plan required";
   std::vector<JobId> ids;
-  std::vector<BytesPerSec> demands;
-  std::vector<BytesPerSec> headroom;
+  EstimatorBatch effective;   // Operating points at today's effective cache.
+  EstimatorBatch surviving;   // The same after a worst-case single-zone loss.
   for (const JobView& view : snapshot.jobs) {
-    if (!plan.IsRunning(view.spec->id)) {
+    if (!plan->IsRunning(view.spec->id)) {
       continue;
     }
     const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
@@ -60,14 +75,17 @@ std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
     // quota fills across epochs, rescheduling shrinks the throttle toward the
     // steady-state b = f* (1 - c/d).
     ids.push_back(view.spec->id);
-    demands.push_back(RemoteIoDemand(view.spec->ideal_io, view.effective_cache, dataset.size));
+    effective.Add(view.spec->ideal_io, view.effective_cache, dataset.size);
     // Zone-aware runs also compute the demand at the post-crash surviving
     // share: the extra covers the job between a worst-case single-zone loss
     // and the next control-loop tick.  Identity when there is no topology.
-    headroom.push_back(RemoteIoDemand(view.spec->ideal_io,
-                                      SurvivingCacheShare(snapshot, view.effective_cache),
-                                      dataset.size));
+    surviving.Add(view.spec->ideal_io, SurvivingCacheShare(snapshot, view.effective_cache),
+                  dataset.size);
   }
+  std::vector<BytesPerSec> demands;
+  effective.RemoteIoDemands(&demands);
+  std::vector<BytesPerSec> headroom;
+  surviving.RemoteIoDemands(&headroom);
   const std::vector<BytesPerSec> caps(demands.size(), snapshot.resources.per_job_remote_cap);
   std::vector<BytesPerSec> rates = MaxMinShare(demands, caps, snapshot.resources.remote_io);
   if (snapshot.topology != nullptr && !snapshot.topology->empty()) {
@@ -93,11 +111,9 @@ std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
       }
     }
   }
-  std::map<JobId, BytesPerSec> out;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    out[ids[i]] = rates[i];
+    plan->jobs[ids[i]].remote_io = rates[i];
   }
-  return out;
 }
 
 SiloDGreedyStorage::SiloDGreedyStorage(bool manage_remote_io)
@@ -114,10 +130,7 @@ void SiloDGreedyStorage::AllocateStorage(const Snapshot& snapshot, AllocationPla
   SpreadPlanAcrossZones(snapshot, plan);
   plan->manages_remote_io = manage_remote_io_;
   if (manage_remote_io_) {
-    const auto io = AllocateRemoteIo(snapshot, *plan);
-    for (const auto& [job, rate] : io) {
-      plan->jobs[job].remote_io = rate;
-    }
+    AllocateRemoteIo(snapshot, plan);
   }
 }
 

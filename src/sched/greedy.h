@@ -25,9 +25,10 @@ std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
                                                  const AllocationPlan& plan);
 
 // Computes every running job's instantaneous remote-IO demand (using its
-// effective cache, §6) and grants max-min shares of the egress limit.
-std::map<JobId, BytesPerSec> AllocateRemoteIo(const Snapshot& snapshot,
-                                              const AllocationPlan& plan);
+// effective cache, §6) and writes max-min shares of the egress limit into
+// `plan->jobs[...].remote_io` directly — the demands are evaluated as one
+// EstimatorBatch pass instead of per-job estimator calls.
+void AllocateRemoteIo(const Snapshot& snapshot, AllocationPlan* plan);
 
 // The composed SiloD storage policy for order-based schedulers.
 class SiloDGreedyStorage : public StoragePolicy {

@@ -9,11 +9,32 @@
 
 namespace silod {
 
-double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode) {
+namespace {
+
+// The cluster-dependent parts of Eq. 6/7, shared by every job's score.
+struct SjfWeights {
+  double w_gpu = 0;
+  double w_cache = 0;
+  double w_io = 0;
+  Bytes total_cache = 0;
+};
+
+SjfWeights MakeSjfWeights(const Snapshot& snapshot) {
+  SjfWeights w;
+  w.w_gpu = 1.0 / std::max(1, snapshot.resources.total_gpus);
+  w.w_cache = snapshot.resources.total_cache > 0
+                  ? 1.0 / static_cast<double>(snapshot.resources.total_cache)
+                  : 0.0;
+  w.w_io = snapshot.resources.remote_io > 0 ? 1.0 / snapshot.resources.remote_io : 0.0;
+  w.total_cache = snapshot.resources.total_cache;
+  return w;
+}
+
+double ScoreWith(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode,
+                 const SjfWeights& w) {
   const JobSpec& job = *view.spec;
-  const double w_gpu = 1.0 / std::max(1, snapshot.resources.total_gpus);
   const double work = static_cast<double>(view.remaining_bytes);
-  const double gpu_term = w_gpu * job.num_gpus;
+  const double gpu_term = w.w_gpu * job.num_gpus;
 
   if (mode == SjfScoreMode::kComputeOnly) {
     // Vanilla multi-resource SJF: duration predicted with f* alone.
@@ -22,25 +43,34 @@ double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode
 
   SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required for SiloD scoring";
   const Dataset& dataset = snapshot.catalog->Get(job.dataset);
-  const double w_cache =
-      snapshot.resources.total_cache > 0
-          ? 1.0 / static_cast<double>(snapshot.resources.total_cache)
-          : 0.0;
-  const double w_io = snapshot.resources.remote_io > 0 ? 1.0 / snapshot.resources.remote_io : 0.0;
 
   // For any cache choice c the job should target its ideal throughput f*
   // (raising throughput only shrinks the duration factor), which needs
   // b = f* (1 - c/d).  The resulting score is linear in c, so the optimum is
   // at an endpoint of [0, min(d, C)].
   double best = std::numeric_limits<double>::infinity();
-  const Bytes c_hi = std::min(dataset.size, snapshot.resources.total_cache);
+  const Bytes c_hi = std::min(dataset.size, w.total_cache);
   for (const Bytes c : {Bytes{0}, c_hi}) {
     const BytesPerSec b = RemoteIoDemand(job.ideal_io, c, dataset.size);
-    const double footprint = gpu_term + w_cache * static_cast<double>(c) + w_io * b;
+    const double footprint = gpu_term + w.w_cache * static_cast<double>(c) + w.w_io * b;
     const double score = footprint * work / job.ideal_io;
     best = std::min(best, score);
   }
   return best;
+}
+
+}  // namespace
+
+double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode) {
+  return ScoreWith(view, snapshot, mode, MakeSjfWeights(snapshot));
+}
+
+void SjfScores(const Snapshot& snapshot, SjfScoreMode mode, std::vector<double>* out) {
+  const SjfWeights w = MakeSjfWeights(snapshot);
+  out->resize(snapshot.jobs.size());
+  for (std::size_t i = 0; i < snapshot.jobs.size(); ++i) {
+    (*out)[i] = ScoreWith(snapshot.jobs[i], snapshot, mode, w);
+  }
 }
 
 SjfScheduler::SjfScheduler(std::shared_ptr<StoragePolicy> storage, SjfScoreMode mode,
@@ -59,10 +89,8 @@ std::string SjfScheduler::name() const {
 }
 
 AllocationPlan SjfScheduler::Schedule(const Snapshot& snapshot) {
-  std::vector<double> scores(snapshot.jobs.size());
-  for (std::size_t i = 0; i < snapshot.jobs.size(); ++i) {
-    scores[i] = SjfScore(snapshot.jobs[i], snapshot, mode_);
-  }
+  std::vector<double> scores;
+  SjfScores(snapshot, mode_, &scores);
   std::vector<std::size_t> order(snapshot.jobs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

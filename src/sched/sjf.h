@@ -14,6 +14,7 @@
 #define SILOD_SRC_SCHED_SJF_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/sched/policy.h"
 
@@ -26,6 +27,11 @@ enum class SjfScoreMode {
 
 // The Eq. 6/7 score for one job (exposed for tests and diagnostics).
 double SjfScore(const JobView& view, const Snapshot& snapshot, SjfScoreMode mode);
+
+// Scores every job in the snapshot in one pass.  The resource weights w_t
+// depend only on the cluster, so they are derived once instead of per job;
+// each entry is bit-identical to the corresponding SjfScore call.
+void SjfScores(const Snapshot& snapshot, SjfScoreMode mode, std::vector<double>* out);
 
 class SjfScheduler : public Scheduler {
  public:

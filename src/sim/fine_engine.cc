@@ -57,6 +57,18 @@ FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
   calendar_.Reset(jobs_.size());
 }
 
+void FineEngine::ActivateJob(JobId id) {
+  const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+  SILOD_CHECK(it == active_.end() || *it != id) << "job " << id << " already active";
+  active_.insert(it, id);
+}
+
+void FineEngine::DeactivateJob(JobId id) {
+  const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+  SILOD_CHECK(it != active_.end() && *it == id) << "job " << id << " not active";
+  active_.erase(it);
+}
+
 void FineEngine::SetJobEvent(JobState& s, Seconds t) {
   s.event_time = t;
   if (options_.use_linear_scan) {
@@ -98,10 +110,9 @@ Snapshot FineEngine::BuildSnapshot(Seconds now) {
   if (!config_.topology.empty()) {
     snap.topology = &config_.topology;
   }
-  for (JobState& s : jobs_) {
-    if (!s.arrived || s.finished || s.crashed) {
-      continue;  // A crashed worker holds no resources until it restarts.
-    }
+  snap.jobs.reserve(active_.size());
+  for (const JobId id : active_) {
+    JobState& s = jobs_[static_cast<std::size_t>(id)];
     JobView view;
     view.spec = s.spec;
     const Bytes block = trace_->catalog.Get(s.spec->dataset).block_size;
@@ -172,27 +183,56 @@ void FineEngine::Reschedule(Seconds now) {
 
   // Enforce dataset quotas (shrink evicts uniformly at random).  Shrinks are
   // applied before grows so reshuffled allocations never transiently
-  // over-commit the pool.
+  // over-commit the pool.  Only the union of currently-allocated and
+  // newly-planned datasets can change — both inputs are sorted by id, so the
+  // merged scan visits candidates in the same ascending order the old
+  // full-catalog loop did, and every skipped dataset is a quota==current==0
+  // no-op there.
   if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
+    quota_scratch_.clear();
+    auto planned = plan_.dataset_cache.begin();
+    std::size_t prev = 0;
+    while (prev < nonzero_quota_ids_.size() || planned != plan_.dataset_cache.end()) {
+      if (planned == plan_.dataset_cache.end() ||
+          (prev < nonzero_quota_ids_.size() && nonzero_quota_ids_[prev] < planned->first)) {
+        quota_scratch_.emplace_back(nonzero_quota_ids_[prev++], Bytes{0});
+      } else {
+        if (prev < nonzero_quota_ids_.size() && nonzero_quota_ids_[prev] == planned->first) {
+          ++prev;
+        }
+        quota_scratch_.emplace_back(planned->first, planned->second);
+        ++planned;
+      }
+    }
     for (const bool shrink_pass : {true, false}) {
-      for (const auto& dataset : trace_->catalog.all()) {
-        const auto it = plan_.dataset_cache.find(dataset.id);
-        const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
-        const Bytes current = cache_manager_.Allocation(dataset.id);
+      for (const auto& [dataset_id, quota] : quota_scratch_) {
+        const Bytes current = cache_manager_.Allocation(dataset_id);
         if (quota == current || (quota < current) != shrink_pass) {
           continue;
         }
-        const Status st = cache_manager_.AllocateCacheSize(dataset, quota);
+        const Status st = cache_manager_.AllocateCacheSize(trace_->catalog.Get(dataset_id), quota);
         SILOD_CHECK(st.ok()) << "cache allocation failed: " << st.ToString();
+      }
+    }
+    nonzero_quota_ids_.clear();
+    for (const auto& [dataset_id, quota] : quota_scratch_) {
+      if (quota != 0) {
+        nonzero_quota_ids_.push_back(dataset_id);
       }
     }
   }
 
-  for (JobState& s : jobs_) {
-    if (!s.arrived || s.finished || s.crashed) {
-      continue;
+  // Merge-join the plan's job map (sorted) with the active set (sorted):
+  // O(active + plan) id lookups instead of a map find per job.
+  auto plan_it = plan_.jobs.begin();
+  static const JobAllocation kIdleAlloc;
+  for (const JobId id : active_) {
+    JobState& s = jobs_[static_cast<std::size_t>(id)];
+    while (plan_it != plan_.jobs.end() && plan_it->first < id) {
+      ++plan_it;
     }
-    const JobAllocation& alloc = plan_.Get(s.spec->id);
+    const JobAllocation& alloc =
+        plan_it != plan_.jobs.end() && plan_it->first == id ? plan_it->second : kIdleAlloc;
     s.throttle = plan_.manages_remote_io ? alloc.remote_io : kUnlimitedRate;
     SILOD_CHECK(alloc.running || !s.running)
         << "the fine engine does not execute preemptive plans (job " << s.spec->id
@@ -378,13 +418,19 @@ void FineEngine::RecordMetrics(Seconds now) {
   double eff_num = 0;
   double eff_den = 0;
   int n_running = 0;
-  for (const JobState& s : jobs_) {
+  for (const JobId id : active_) {
+    const JobState& s = jobs_[static_cast<std::size_t>(id)];
     if (s.running && !s.finished) {
       ++n_running;
     }
   }
-  Snapshot snap = BuildSnapshot(now);
-  for (JobState& s : jobs_) {
+  // The equal-share denominator depends only on the cluster and the sharer
+  // count; hoisting it replaces a full Snapshot build plus a per-job resource
+  // walk with one O(1) evaluation per running job (bit-identical results).
+  const EqualShareParams eq_params =
+      MakeEqualShareParams(config_.resources, std::max(1, n_running));
+  for (const JobId id : active_) {
+    JobState& s = jobs_[static_cast<std::size_t>(id)];
     if (!s.running || s.finished) {
       continue;
     }
@@ -395,7 +441,7 @@ void FineEngine::RecordMetrics(Seconds now) {
     if (s.phase == Phase::kMissFetch) {
       io += s.flow_rate;
     }
-    const BytesPerSec eq = EqualShareThroughput(*s.spec, snap, std::max(1, n_running));
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, trace_->catalog, eq_params);
     if (eq > 0) {
       fairness = std::min(fairness, rate / eq);
     }
@@ -614,6 +660,7 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       s.fetch_remaining = 0;
       s.running = false;
       s.crashed = true;
+      DeactivateJob(s.spec->id);
       SetJobEvent(s, kInfiniteTime);
       if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
         cache_manager_.UnregisterJob(s.spec->id);
@@ -628,6 +675,7 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
         return;
       }
       jobs_[static_cast<std::size_t>(event.target)].crashed = false;
+      ActivateJob(static_cast<JobId>(event.target));
       ++fault_stats_.worker_restarts;
       return;  // The reschedule this triggers re-admits it via the start path.
     }
@@ -696,6 +744,7 @@ bool FineEngine::FireJobEvent(JobState& s, Seconds now) {
       ++counters_.drains;
       s.finished = true;
       s.running = false;
+      DeactivateJob(s.spec->id);
       s.phase = Phase::kIdle;
       SetJobEvent(s, kInfiniteTime);
       metrics_.OnFinish(s.spec->id, now);
@@ -735,6 +784,7 @@ SimResult FineEngine::Run() {
         break;
       }
       jobs_[static_cast<std::size_t>(spec.id)].arrived = true;
+      ActivateJob(spec.id);
       ++next_arrival;
       need_resched = true;
     }
@@ -763,7 +813,8 @@ SimResult FineEngine::Run() {
           next_event, trace_->jobs[static_cast<std::size_t>(arrivals[next_arrival])].submit_time);
     }
     if (options_.use_linear_scan) {
-      for (const JobState& s : jobs_) {
+      for (const JobId id : active_) {
+        const JobState& s = jobs_[static_cast<std::size_t>(id)];
         if (s.running && !s.finished) {
           next_event = std::min(next_event, s.event_time);
         }
@@ -798,9 +849,17 @@ SimResult FineEngine::Run() {
     // triggers a reschedule at the top of the next iteration rather than
     // waiting out the periodic tick.
     if (options_.use_linear_scan) {
-      for (JobState& s : jobs_) {
+      // FireJobEvent can erase the finishing job from active_, so index by
+      // position and re-check each step (erasures are behind the cursor or at
+      // it; firing never activates jobs).
+      for (std::size_t i = 0; i < active_.size();) {
+        const JobId id = active_[i];
+        JobState& s = jobs_[static_cast<std::size_t>(id)];
         if (s.running && !s.finished && t + kTimeEps >= s.event_time) {
           need_resched = FireJobEvent(s, t) || need_resched;
+        }
+        if (i < active_.size() && active_[i] == id) {
+          ++i;  // Not erased; advance.  Otherwise the next id slid into place.
         }
       }
     } else {

@@ -111,6 +111,11 @@ class FineEngine {
 
   Snapshot BuildSnapshot(Seconds now);
   void Reschedule(Seconds now);
+  // Membership of active_ (arrived, not finished, not crashed), kept sorted
+  // by job id so scans visit jobs in exactly the order the full-vector loops
+  // did.
+  void ActivateJob(JobId id);
+  void DeactivateJob(JobId id);
   void RecomputeFlows(Seconds now);
   void StartNextFetch(JobState& s, Seconds now);
   void OnFetchComplete(JobState& s, Seconds now);
@@ -144,6 +149,16 @@ class FineEngine {
   FineEngineOptions options_;
 
   std::vector<JobState> jobs_;
+  // Ids of jobs that are arrived && !finished && !crashed, ascending.  On a
+  // 100k-job trace only a few hundred jobs are live at once, so every
+  // per-event and per-reschedule scan walks this set instead of jobs_.
+  std::vector<JobId> active_;
+  // Superset of the datasets whose CacheManager allocation is nonzero,
+  // ascending.  Quota enforcement visits the union of this set and the plan's
+  // dataset_cache — every other dataset is a quota==current==0 no-op — so a
+  // reschedule costs O(live datasets), not O(catalog).
+  std::vector<DatasetId> nonzero_quota_ids_;
+  std::vector<std::pair<DatasetId, Bytes>> quota_scratch_;
   AllocationPlan plan_;
   CacheManager cache_manager_;               // kDatasetQuota model.
   std::unique_ptr<ItemCache> shared_pool_;   // kSharedLru / kSharedLfu models.

@@ -41,6 +41,16 @@ FlowEngine::FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
         << "job " << spec.id << " demands more GPUs than the cluster has";
   }
   datasets_.resize(trace_->catalog.size());
+  dataset_jobs_.resize(datasets_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const DatasetId d = jobs_[i].spec->dataset;
+    SILOD_CHECK(d >= 0 && static_cast<std::size_t>(d) < datasets_.size())
+        << "job " << i << " references unknown dataset " << d;
+    dataset_jobs_[static_cast<std::size_t>(d)].push_back(static_cast<JobId>(i));
+  }
+  if (config_.zone_solve_threads > 1) {
+    zone_pool_ = std::make_unique<ThreadPool>(config_.zone_solve_threads);
+  }
 
   if (!config_.topology.empty()) {
     const Status in_range = config_.topology.Validate(config_.resources.num_servers);
@@ -96,40 +106,24 @@ void FlowEngine::Reschedule(Seconds now) {
   // effective and ineffective items in proportion.  With Hoard prefetching,
   // unallocated ("opportunistic") cache contents survive as long as the pool
   // has room; they are evicted first when quotas need the space.
-  auto shrink_to = [&](std::size_t d, double limit) {
-    DatasetState& ds = datasets_[d];
-    if (ds.cached <= limit) {
-      return;
-    }
-    const double keep = ds.cached > 0 ? limit / ds.cached : 0.0;
-    for (JobState& s : jobs_) {
-      if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
-        s.effective *= keep;
-      }
-    }
-    ds.cached = limit;
-  };
+  //
+  // The per-dataset solves are independent (ApplyDatasetQuota writes only the
+  // dataset's state and its own jobs), so they fan out on zone_pool_ when
+  // configured; the reduction (total_quota) stays sequential.  Output is
+  // bit-identical either way: every dataset runs the same code on the same
+  // inputs regardless of which thread picks it up.
   Bytes total_quota = 0;
-  for (std::size_t d = 0; d < datasets_.size(); ++d) {
-    const auto it = plan_.dataset_cache.find(static_cast<DatasetId>(d));
-    const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
-    DatasetState& ds = datasets_[d];
-    const auto zone_it = plan_.dataset_zone_cache.find(static_cast<DatasetId>(d));
-    if (zone_it != plan_.dataset_zone_cache.end() && !config_.topology.empty()) {
-      ApplyZoneQuota(d, quota, zone_it->second);
-    } else {
-      if (!ds.zone_cached.empty()) {
-        // The plan stopped spreading this dataset: its fluid is oblivious
-        // again (uniform loss on the next crash).
-        ds.zone_cached.clear();
-        ds.zone_limit.clear();
-      }
-      if (!(config_.prefetch_waiting && quota == 0)) {
-        shrink_to(d, static_cast<double>(quota));
-      }
-      ds.quota = quota;
+  for (const auto& [dataset_id, quota] : plan_.dataset_cache) {
+    if (dataset_id >= 0 && static_cast<std::size_t>(dataset_id) < datasets_.size()) {
+      total_quota += quota;
     }
-    total_quota += quota;
+  }
+  if (zone_pool_ != nullptr) {
+    zone_pool_->ParallelFor(datasets_.size(), [this](std::size_t d) { ApplyDatasetQuota(d); });
+  } else {
+    for (std::size_t d = 0; d < datasets_.size(); ++d) {
+      ApplyDatasetQuota(d);
+    }
   }
   if (config_.prefetch_waiting) {
     // Evict opportunistic data (largest holdings first) until quotas plus
@@ -153,7 +147,7 @@ void FlowEngine::Reschedule(Seconds now) {
         }
         const double excess = opportunistic - budget;
         const double drop = std::min(excess, datasets_[d].cached);
-        shrink_to(d, datasets_[d].cached - drop);
+        ShrinkDataset(d, datasets_[d].cached - drop);
         opportunistic -= drop;
       }
     }
@@ -211,6 +205,42 @@ void FlowEngine::Reschedule(Seconds now) {
   }
 }
 
+void FlowEngine::ShrinkDataset(std::size_t d, double limit) {
+  DatasetState& ds = datasets_[d];
+  if (ds.cached <= limit) {
+    return;
+  }
+  const double keep = ds.cached > 0 ? limit / ds.cached : 0.0;
+  for (const JobId id : dataset_jobs_[d]) {
+    JobState& s = jobs_[static_cast<std::size_t>(id)];
+    if (s.arrived && !s.finished) {
+      s.effective *= keep;
+    }
+  }
+  ds.cached = limit;
+}
+
+void FlowEngine::ApplyDatasetQuota(std::size_t d) {
+  const auto it = plan_.dataset_cache.find(static_cast<DatasetId>(d));
+  const Bytes quota = it == plan_.dataset_cache.end() ? 0 : it->second;
+  DatasetState& ds = datasets_[d];
+  const auto zone_it = plan_.dataset_zone_cache.find(static_cast<DatasetId>(d));
+  if (zone_it != plan_.dataset_zone_cache.end() && !config_.topology.empty()) {
+    ApplyZoneQuota(d, quota, zone_it->second);
+  } else {
+    if (!ds.zone_cached.empty()) {
+      // The plan stopped spreading this dataset: its fluid is oblivious
+      // again (uniform loss on the next crash).
+      ds.zone_cached.clear();
+      ds.zone_limit.clear();
+    }
+    if (!(config_.prefetch_waiting && quota == 0)) {
+      ShrinkDataset(d, static_cast<double>(quota));
+    }
+    ds.quota = quota;
+  }
+}
+
 void FlowEngine::ApplyZoneQuota(std::size_t d, Bytes quota, const std::vector<Bytes>& shares) {
   DatasetState& ds = datasets_[d];
   const int num_zones = config_.topology.num_zones();
@@ -261,8 +291,9 @@ void FlowEngine::ApplyZoneQuota(std::size_t d, Bytes quota, const std::vector<By
   }
   if (after < before - kEps && before > 0) {
     const double keep = after / before;
-    for (JobState& s : jobs_) {
-      if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
+    for (const JobId id : dataset_jobs_[d]) {
+      JobState& s = jobs_[static_cast<std::size_t>(id)];
+      if (s.arrived && !s.finished) {
         s.effective *= keep;
       }
     }
@@ -534,8 +565,9 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
         const double dataset_keep = ds.cached > 0 ? 1.0 - lost / ds.cached : 0.0;
         ds.cached -= lost;
         charge_loss(lost, trace_->catalog.Get(static_cast<DatasetId>(d)).block_size);
-        for (JobState& s : jobs_) {
-          if (s.arrived && !s.finished && s.spec->dataset == static_cast<DatasetId>(d)) {
+        for (const JobId id : dataset_jobs_[d]) {
+          JobState& s = jobs_[static_cast<std::size_t>(id)];
+          if (s.arrived && !s.finished) {
             s.effective *= dataset_keep;
           }
         }
@@ -677,7 +709,10 @@ void FlowEngine::RecordMetrics(Seconds now) {
       ++n_running;
     }
   }
-  const Snapshot snap = BuildSnapshot(now);
+  // The equal-share denominator is job-independent: hoist it instead of
+  // rebuilding a Snapshot and re-walking the resources per running job.
+  const EqualShareParams eq_params =
+      MakeEqualShareParams(config_.resources, std::max(1, n_running));
   for (const JobState& s : jobs_) {
     if (!s.running || s.finished) {
       continue;
@@ -685,7 +720,7 @@ void FlowEngine::RecordMetrics(Seconds now) {
     total += s.rate;
     ideal += s.spec->ideal_io;
     io += s.io_rate;
-    const BytesPerSec eq = EqualShareThroughput(*s.spec, snap, std::max(1, n_running));
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, trace_->catalog, eq_params);
     if (eq > 0) {
       fairness = std::min(fairness, s.rate / eq);
     }
@@ -799,13 +834,24 @@ SimResult FlowEngine::Run() {
         s.private_cached = std::min(limit, s.private_cached + s.io_rate * dt);
       }
     }
-    for (DatasetState& ds : datasets_) {
+    // Advance the per-dataset cache fill; the zone fills partition by dataset
+    // (each FillZones call writes only its own DatasetState), so they run on
+    // the zone pool when configured, bit-identically to the inline loop.
+    const auto advance_fill = [this, dt](std::size_t d) {
+      DatasetState& ds = datasets_[d];
       if (ds.fill_rate > 0 && ds.cached < ds.fill_limit) {
         if (ds.zone_limit.empty()) {
           ds.cached = std::min(ds.fill_limit, ds.cached + ds.fill_rate * dt);
         } else {
           FillZones(ds, ds.fill_rate * dt);
         }
+      }
+    };
+    if (zone_pool_ != nullptr) {
+      zone_pool_->ParallelFor(datasets_.size(), advance_fill);
+    } else {
+      for (std::size_t d = 0; d < datasets_.size(); ++d) {
+        advance_fill(d);
       }
     }
     t += dt;

@@ -152,26 +152,35 @@ std::string RunReport::ToJson(int indent) const {
   return json;
 }
 
+void FillJctSummary(const std::vector<double>& jct_minutes, RunReport* report) {
+  SILOD_CHECK(report != nullptr) << "report required";
+  SampleSet jct;
+  double sum = 0;
+  for (const double minutes : jct_minutes) {
+    jct.Add(minutes);
+    sum += minutes;
+  }
+  const std::size_t finished = jct_minutes.size();
+  report->avg_jct_min = finished > 0 ? sum / static_cast<double>(finished) : 0;
+  report->median_jct_min = finished > 0 ? jct.Median() : 0;
+  report->p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+}
+
 RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result) {
   RunReport report;
   report.label = std::move(label);
   report.engine = std::move(engine);
   report.jobs = static_cast<int>(result.jobs.size());
-  SampleSet jct;
-  double sum = 0;
-  int finished = 0;
+  std::vector<double> jct_minutes;
+  jct_minutes.reserve(result.jobs.size());
   for (const JobResult& j : result.jobs) {
     if (j.finish_time < 0) {
       ++report.unfinished_jobs;
       continue;
     }
-    jct.Add(j.Jct() / 60.0);
-    sum += j.Jct() / 60.0;
-    ++finished;
+    jct_minutes.push_back(j.Jct() / 60.0);
   }
-  report.avg_jct_min = finished > 0 ? sum / finished : 0;
-  report.median_jct_min = finished > 0 ? jct.Median() : 0;
-  report.p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+  FillJctSummary(jct_minutes, &report);
   report.makespan_min = result.MakespanMinutes();
   report.avg_fairness = result.AvgFairness();
   report.faults = result.faults;

@@ -96,6 +96,12 @@ struct RunReport {
 
 RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result);
 
+// Fills the report's JCT summary (avg/median/p90, minutes) from the finished
+// jobs' JCTs in minutes.  The one assembly both report builders share —
+// MakeRunReport here and rt/rt_cluster.h's MakeRtRunReport — so the summary
+// statistics cannot drift between the simulated and real-thread front ends.
+void FillJctSummary(const std::vector<double>& jct_minutes, RunReport* report);
+
 // One benchmark document: {"benchmark": <name>, <header k:v>, "runs": [...]}.
 // Header values are pre-rendered JSON, like RunReport::extra.
 std::string ReportsToJson(const std::string& benchmark,

@@ -204,6 +204,63 @@ TEST(SampleSet, Percentiles) {
   EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
 }
 
+TEST(SampleSet, EmptyEdges) {
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 0.0);
+  EXPECT_TRUE(s.Cdf(10).empty());
+}
+
+TEST(SampleSet, SingleSampleAllPercentiles) {
+  SampleSet s;
+  s.Add(7.25);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.Percentile(p), 7.25);
+  }
+  const auto cdf = s.Cdf(3);
+  ASSERT_EQ(cdf.size(), 3u);
+  for (const auto& [value, frac] : cdf) {
+    EXPECT_DOUBLE_EQ(value, 7.25);
+    EXPECT_DOUBLE_EQ(frac, 1.0);
+  }
+}
+
+TEST(SampleSet, DuplicateHeavyPercentiles) {
+  // 90 copies of 5.0 plus a small tail; interpolation must stay on the
+  // plateau for every percentile that lands inside it.
+  SampleSet s;
+  for (int i = 0; i < 90; ++i) {
+    s.Add(5.0);
+  }
+  for (double x : {1.0, 2.0, 3.0, 4.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(60), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(93), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 11.0);
+  // Unsorted insertion order must not leak into the CDF: it is sorted and
+  // monotone even though the tail values straddle the plateau.
+  const auto cdf = s.Cdf(25);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(SampleSet, ExtremePercentilesAreMinMax) {
+  SampleSet s;
+  for (double x : {9.0, -3.0, 4.5, 0.0, 2.25}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 9.0);
+}
+
 TEST(SampleSet, CdfMonotone) {
   SampleSet s;
   Rng rng(23);
@@ -239,6 +296,16 @@ TEST(TimeSeries, TimeAverage) {
   EXPECT_DOUBLE_EQ(ts.TimeAverage(0, 20), 2.0);
   EXPECT_DOUBLE_EQ(ts.TimeAverage(10, 20), 3.0);
   EXPECT_DOUBLE_EQ(ts.TimeAverage(5, 15), 2.0);
+}
+
+TEST(TimeSeries, TimeAverageFromBeforeFirstPoint) {
+  // Before the first recording the series reads 0, and that span must be
+  // weighted into the average, not skipped.
+  TimeSeries ts;
+  ts.Record(10, 2.0);
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(0, 20), 1.0);   // [0,10): 0, [10,20): 2.
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(-10, 10), 0.0); // Entirely before.
+  EXPECT_DOUBLE_EQ(ts.TimeAverage(5, 25), 1.5);   // [5,10): 0, [10,25): 2.
 }
 
 TEST(TimeSeries, RecordSameTimeOverwrites) {

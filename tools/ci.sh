@@ -9,6 +9,7 @@
 #   tools/ci.sh tsan       # TSan rt_test stage only
 #   tools/ci.sh smoke      # fault-churn benchmark smoke only
 #   tools/ci.sh zone-smoke # zone-aware vs oblivious placement smoke only
+#   tools/ci.sh scaling-smoke # fine-engine throughput + bit-identity smoke only
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -45,20 +46,21 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
 fi
 
 if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
-  # The real-thread runtime (loaders, trainers, scheduler, fault injection)
-  # is the only genuinely concurrent code; build and run just its tests
-  # under ThreadSanitizer.  Measured cost of this stage: ~90 s wall on a
-  # 16-core container (~80 s build + ~10 s for rt_test under TSan), cheap
-  # enough to keep in the default `all` pipeline.
+  # The genuinely concurrent code: the real-thread runtime (loaders,
+  # trainers, scheduler, fault injection) and the flow engine's zone-solve
+  # ThreadPool (sim_test's parallel-vs-sequential bit-identity case).  Build
+  # and run just their tests under ThreadSanitizer.  Measured cost of this
+  # stage: ~90 s wall on a 16-core container (~80 s build + ~10 s of tests
+  # under TSan), cheap enough to keep in the default `all` pipeline.
   echo "=== [tsan] configure ==="
   cmake -B build-ci-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   echo "=== [tsan] build ==="
-  cmake --build build-ci-tsan -j "$jobs" --target rt_test
+  cmake --build build-ci-tsan -j "$jobs" --target rt_test sim_test
   echo "=== [tsan] test ==="
-  ctest --test-dir build-ci-tsan -R '^rt_test$' --output-on-failure
+  ctest --test-dir build-ci-tsan -R '^(rt_test|sim_test)$' --output-on-failure
 fi
 
 if [[ "$stage" == "all" || "$stage" == "smoke" ]]; then
@@ -88,6 +90,23 @@ if [[ "$stage" == "all" || "$stage" == "zone-smoke" ]]; then
       --fault-zone="zone=rack0:servers=0-3:crashes-per-hour=2" \
       --zone-loss-bound=0.25 --seed=7 \
       | grep -q "rack0=" || { echo "zone-smoke: no per-zone loss reported"; exit 1; }
+fi
+
+if [[ "$stage" == "all" || "$stage" == "scaling-smoke" ]]; then
+  # Engine-scaling smoke: a short 4k-job sweep.  bench_engine_scaling itself
+  # enforces the two bit-identity invariants (calendar vs linear-scan stepping,
+  # parallel vs sequential zone solves) and, via --baseline, fails if the
+  # calendar path's events/sec regresses more than 30% against the committed
+  # BENCH_engine_scaling.json.
+  echo "=== [scaling-smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [scaling-smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target bench_engine_scaling
+  echo "=== [scaling-smoke] run ==="
+  ./build-ci-smoke/bench/bench_engine_scaling --sizes=4096 --no-philly \
+      --baseline=BENCH_engine_scaling.json --max-regress=0.3 \
+      --out=build-ci-smoke/BENCH_engine_scaling.json
+
 fi
 
 echo "CI OK"

@@ -89,6 +89,10 @@ int main(int argc, char** argv) {
                "registry policy name, e.g. \"sjf+silod\" or \"gavel+coordl\" "
                "(overrides --scheduler/--cache-system)");
   flags.Define("engine", "flow", "flow | fine");
+  flags.Define("zone-threads", "0",
+               "worker threads for the flow engine's per-dataset zone solves "
+               "(<= 1 runs them on the simulation thread; results are "
+               "bit-identical either way)");
   flags.Define("fine-linear-scan", "false",
                "fine engine: step by O(jobs) scans instead of the event calendar");
   flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
@@ -205,6 +209,7 @@ int main(int argc, char** argv) {
   config.sim.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
   config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
   config.fine.use_linear_scan = flags.GetBool("fine-linear-scan");
+  config.sim.zone_solve_threads = static_cast<int>(flags.GetInt("zone-threads"));
 
   // Faults: the explicit plan's events and the generated churn (independent
   // per-hour rates plus correlated zones) are merged into one schedule and
