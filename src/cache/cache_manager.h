@@ -113,6 +113,13 @@ class CacheManager {
   // O(1): maintained incrementally across admissions and evictions.
   Bytes EffectiveBytes(JobId job) const;
 
+  // --- Crash forensics (fault/minidump.h) -----------------------------------
+  // The eviction shuffle stream.  Minidumps capture and restore its raw state
+  // so a replayed shrink evicts exactly the blocks the live run evicted; no
+  // other caller should touch it.
+  Rng& eviction_rng() { return rng_; }
+  const Rng& eviction_rng() const { return rng_; }
+
  private:
   struct DatasetState {
     Dataset dataset;

@@ -9,6 +9,7 @@
 #ifndef SILOD_SRC_COMMON_RNG_H_
 #define SILOD_SRC_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +42,19 @@ class Rng {
 
   // Forks an independent stream; deterministic function of this stream's state.
   Rng Fork();
+
+  // Raw xoshiro256** state, for crash forensics (fault/minidump.h): capturing
+  // and restoring a stream mid-run makes replay deterministic.  The Box-Muller
+  // spare from Normal() is NOT part of the state — streams that draw normals
+  // across a capture point are not exactly restorable (no minidump consumer
+  // draws normals).
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = s[static_cast<std::size_t>(i)];
+    }
+    have_spare_normal_ = false;
+  }
 
   // Fisher-Yates shuffle.
   template <typename T>

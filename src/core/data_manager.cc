@@ -316,4 +316,21 @@ const CacheManager& DataManager::cache() const {
   return shards_[0];
 }
 
+CacheManager& DataManager::shard_cache(int shard) {
+  SILOD_CHECK(shard >= 0 && shard < num_shards()) << "shard " << shard << " out of range";
+  return shards_[static_cast<std::size_t>(shard)];
+}
+
+const CacheManager& DataManager::shard_cache(int shard) const {
+  SILOD_CHECK(shard >= 0 && shard < num_shards()) << "shard " << shard << " out of range";
+  return shards_[static_cast<std::size_t>(shard)];
+}
+
+void DataManager::RestoreZoneShares(DatasetId dataset, const std::vector<Bytes>& shares) {
+  SILOD_CHECK(zone_placement_ != nullptr) << "RestoreZoneShares requires a topology";
+  SILOD_CHECK(shares.size() == static_cast<std::size_t>(topology_.num_zones()))
+      << "zone share count does not match the topology";
+  SetZoneShares(dataset, shares);
+}
+
 }  // namespace silod

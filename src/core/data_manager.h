@@ -92,6 +92,22 @@ class DataManager {
   // (checked), where it preserves the historical facade.
   CacheManager& cache();
   const CacheManager& cache() const;
+
+  // --- Crash forensics (fault/minidump.h) -----------------------------------
+  // Raw access to one shard's cache, bypassing liveness routing.  Minidumps
+  // capture per-shard residency/quota/RNG state and replay restores it the
+  // same way; normal callers must use the routed APIs above.
+  CacheManager& shard_cache(int shard);
+  const CacheManager& shard_cache(int shard) const;
+  // The dataset's active zone spread (indexed like topology().zones()), or
+  // nullptr when it routes on the global ring.
+  const std::vector<Bytes>* zone_shares_of(DatasetId dataset) const {
+    return ZoneSharesFor(dataset);
+  }
+  // Re-installs a captured zone spread so replayed reads route exactly like
+  // the live run's.  Requires a topology; shares must be indexed like
+  // topology().zones().
+  void RestoreZoneShares(DatasetId dataset, const std::vector<Bytes>& shares);
   RemoteStore& remote() { return remote_; }
   const RemoteStore& remote() const { return remote_; }
 

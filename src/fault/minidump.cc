@@ -1,0 +1,778 @@
+#include "src/fault/minidump.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/topology.h"
+
+namespace silod {
+namespace {
+
+// String fields are single space-free tokens: backslash, newline and space
+// are escaped, and the empty string becomes the reserved token "\e" (a
+// literal "\e" input round-trips as "\\e", so the sentinel is unambiguous).
+std::string Escape(const std::string& text);
+
+}  // namespace
+
+std::string MinidumpEscape(const std::string& text) { return Escape(text); }
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  if (text.empty()) {
+    return "\\e";
+  }
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case ' ':
+        out += "\\s";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& token) {
+  if (token == "\\e") {
+    return std::string();
+  }
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\') {
+      out += token[i];
+      continue;
+    }
+    if (i + 1 == token.size()) {
+      return Status::InvalidArgument("minidump: dangling escape in \"" + token + "\"");
+    }
+    switch (token[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 's':
+        out += ' ';
+        break;
+      default:
+        return Status::InvalidArgument("minidump: bad escape in \"" + token + "\"");
+    }
+  }
+  return out;
+}
+
+// Doubles print with max_digits10 so FromText(ToText(d)) is bit-exact.
+std::string DoubleToken(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Result<std::int64_t> ParseInt(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("minidump: bad integer \"" + token + "\"");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Result<std::uint64_t> ParseU64(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("minidump: bad u64 \"" + token + "\"");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("minidump: bad double \"" + token + "\"");
+  }
+  return v;
+}
+
+const char* EventKindName(MinidumpEvent::Kind kind) {
+  switch (kind) {
+    case MinidumpEvent::Kind::kAccess:
+      return "access";
+    case MinidumpEvent::Kind::kPlan:
+      return "plan";
+    case MinidumpEvent::Kind::kFault:
+      return "fault";
+    case MinidumpEvent::Kind::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+// Joins tokens[first..] back into the original space-separated detail (each
+// token is individually escaped; spaces inside a field were turned into \s,
+// so the join separator is unambiguous).
+Result<std::string> JoinUnescaped(const std::vector<std::string>& tokens, std::size_t first) {
+  std::string out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto piece = Unescape(tokens[i]);
+    if (!piece.ok()) {
+      return piece.status();
+    }
+    if (i > first) {
+      out += ' ';
+    }
+    out += *piece;
+  }
+  return out;
+}
+
+// Replays one kFault event against the replay manager.  `manager` is
+// reassigned wholesale on dm-restart (the live path builds a fresh manager
+// too), which is why it is a non-const reference to a value.
+Status ReplayFault(const std::string& detail, const DatasetCatalog& catalog,
+                   const Minidump& dump, const ClusterTopology& topology, DataManager& manager) {
+  const std::vector<std::string> parts = SplitTokens(detail);
+  if (parts.empty()) {
+    return Status::InvalidArgument("minidump: empty fault detail");
+  }
+  if (parts[0] == "server-crash" || parts[0] == "server-recover") {
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("minidump: fault detail \"" + detail + "\"");
+    }
+    const auto shard = ParseInt(parts[1]);
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    if (*shard < 0 || *shard >= manager.num_shards()) {
+      return Status::InvalidArgument("minidump: fault shard out of range in \"" + detail + "\"");
+    }
+    if (parts[0] == "server-crash") {
+      manager.CrashShard(static_cast<int>(*shard));
+    } else {
+      manager.RecoverShard(static_cast<int>(*shard));
+    }
+    return Status::Ok();
+  }
+  if (parts[0] == "dm-restart") {
+    if (parts.size() != 3 || parts[1].rfind("dead=", 0) != 0 || parts[2].rfind("snap=", 0) != 0) {
+      return Status::InvalidArgument("minidump: fault detail \"" + detail + "\"");
+    }
+    std::vector<int> dead;
+    const std::string dead_csv = parts[1].substr(5);
+    if (dead_csv != "-") {
+      std::istringstream is(dead_csv);
+      std::string piece;
+      while (std::getline(is, piece, ',')) {
+        const auto shard = ParseInt(piece);
+        if (!shard.ok()) {
+          return shard.status();
+        }
+        dead.push_back(static_cast<int>(*shard));
+      }
+    }
+    const auto snap_text = Unescape(parts[2].substr(5));
+    if (!snap_text.ok()) {
+      return snap_text.status();
+    }
+    const auto snapshot = SnapshotFromText(*snap_text, &catalog);
+    if (!snapshot.ok()) {
+      return snapshot.status();
+    }
+    // Mirrors the live restart: fresh manager, same topology, dead shards
+    // crashed before the restore so their routed blocks drop on the floor.
+    DataManager fresh(dump.total_cache, dump.remote_io, dump.seed, dump.num_shards);
+    if (!topology.empty()) {
+      if (const Status st = fresh.SetTopology(topology); !st.ok()) {
+        return st;
+      }
+    }
+    for (const int shard : dead) {
+      if (shard < 0 || shard >= fresh.num_shards()) {
+        return Status::InvalidArgument("minidump: dead shard out of range in \"" + detail + "\"");
+      }
+      fresh.CrashShard(shard);
+    }
+    if (const Status st = RestoreDataManager(*snapshot, catalog, &fresh); !st.ok()) {
+      return st;
+    }
+    manager = std::move(fresh);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("minidump: unknown fault kind \"" + parts[0] + "\"");
+}
+
+Status ReplayPlan(const std::string& detail, const DatasetCatalog& catalog, DataManager& manager) {
+  AllocationPlan plan;
+  plan.cache_model = CacheModelKind::kDatasetQuota;
+  if (detail != "-") {
+    for (const std::string& entry : SplitTokens(detail)) {
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("minidump: plan entry \"" + entry + "\"");
+      }
+      const auto dataset = ParseInt(entry.substr(0, eq));
+      if (!dataset.ok()) {
+        return dataset.status();
+      }
+      std::string rest = entry.substr(eq + 1);
+      const std::size_t at = rest.find('@');
+      std::vector<Bytes> zone_shares;
+      if (at != std::string::npos) {
+        std::istringstream is(rest.substr(at + 1));
+        std::string piece;
+        while (std::getline(is, piece, ',')) {
+          const auto share = ParseInt(piece);
+          if (!share.ok()) {
+            return share.status();
+          }
+          zone_shares.push_back(*share);
+        }
+        rest = rest.substr(0, at);
+      }
+      const auto quota = ParseInt(rest);
+      if (!quota.ok()) {
+        return quota.status();
+      }
+      const auto id = static_cast<DatasetId>(*dataset);
+      plan.dataset_cache[id] = *quota;
+      if (!zone_shares.empty()) {
+        plan.dataset_zone_cache[id] = std::move(zone_shares);
+      }
+    }
+  }
+  return manager.ApplyPlan(plan, catalog);
+}
+
+}  // namespace
+
+std::string MinidumpToText(const Minidump& dump) {
+  std::ostringstream os;
+  os << "silod-minidump-v1\n";
+  os << "time " << DoubleToken(dump.wall_time) << "\n";
+  os << "reason " << Escape(dump.reason) << "\n";
+  os << "config " << dump.num_shards << " " << dump.total_cache << " "
+     << DoubleToken(dump.remote_io) << " " << dump.seed << "\n";
+  os << "topology " << Escape(dump.topology_spec) << "\n";
+  for (const auto& entry : dump.catalog) {
+    os << "dataset " << entry.id << " " << Escape(entry.name) << " " << entry.size << " "
+       << entry.block_size << "\n";
+  }
+  os << "base " << dump.base_seq << "\n";
+  for (std::size_t s = 0; s < dump.shards.size(); ++s) {
+    const MinidumpShard& shard = dump.shards[s];
+    os << "shard " << s << " " << (shard.alive ? 1 : 0) << " " << shard.capacity;
+    for (const std::uint64_t word : shard.rng_state) {
+      os << " " << word;
+    }
+    os << "\n";
+    os << "shard-state " << s << " " << Escape(shard.snapshot_text) << "\n";
+  }
+  for (const auto& [dataset, shares] : dump.zone_shares) {
+    os << "zone-shares " << dataset;
+    for (const Bytes share : shares) {
+      os << " " << share;
+    }
+    os << "\n";
+  }
+  for (const MinidumpEvent& event : dump.events) {
+    os << "event " << event.seq << " " << EventKindName(event.kind);
+    if (event.kind == MinidumpEvent::Kind::kAccess) {
+      os << " " << event.job << " " << event.dataset << " " << event.block << " "
+         << (event.hit ? 1 : 0);
+    } else {
+      os << " " << Escape(event.detail);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<Minidump> MinidumpFromText(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "silod-minidump-v1") {
+    return Status::InvalidArgument("minidump: missing silod-minidump-v1 header");
+  }
+  Minidump dump;
+  bool saw_config = false;
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const auto fail = [&](const std::string& why) -> Status {
+      return Status::InvalidArgument("minidump line " + std::to_string(line_no) + ": " + why);
+    };
+    const std::string& key = tokens[0];
+    if (key == "time") {
+      if (tokens.size() != 2) {
+        return fail("time wants 1 field");
+      }
+      const auto v = ParseDouble(tokens[1]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      dump.wall_time = *v;
+    } else if (key == "reason") {
+      if (tokens.size() != 2) {
+        return fail("reason wants 1 field");
+      }
+      const auto v = Unescape(tokens[1]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      dump.reason = *v;
+    } else if (key == "config") {
+      if (tokens.size() != 5) {
+        return fail("config wants 4 fields");
+      }
+      const auto shards = ParseInt(tokens[1]);
+      const auto cache = ParseInt(tokens[2]);
+      const auto io = ParseDouble(tokens[3]);
+      const auto seed = ParseU64(tokens[4]);
+      if (!shards.ok() || !cache.ok() || !io.ok() || !seed.ok()) {
+        return fail("bad config field");
+      }
+      if (*shards < 1) {
+        return fail("num_shards must be >= 1");
+      }
+      dump.num_shards = static_cast<int>(*shards);
+      dump.total_cache = *cache;
+      dump.remote_io = *io;
+      dump.seed = *seed;
+      saw_config = true;
+    } else if (key == "topology") {
+      if (tokens.size() != 2) {
+        return fail("topology wants 1 field");
+      }
+      const auto v = Unescape(tokens[1]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      dump.topology_spec = *v;
+    } else if (key == "dataset") {
+      if (tokens.size() != 5) {
+        return fail("dataset wants 4 fields");
+      }
+      const auto id = ParseInt(tokens[1]);
+      const auto name = Unescape(tokens[2]);
+      const auto size = ParseInt(tokens[3]);
+      const auto block = ParseInt(tokens[4]);
+      if (!id.ok() || !name.ok() || !size.ok() || !block.ok()) {
+        return fail("bad dataset field");
+      }
+      dump.catalog.push_back(
+          {static_cast<DatasetId>(*id), *name, *size, *block});
+    } else if (key == "base") {
+      if (tokens.size() != 2) {
+        return fail("base wants 1 field");
+      }
+      const auto v = ParseInt(tokens[1]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      dump.base_seq = *v;
+    } else if (key == "shard") {
+      if (tokens.size() != 8) {
+        return fail("shard wants 7 fields");
+      }
+      const auto index = ParseInt(tokens[1]);
+      const auto alive = ParseInt(tokens[2]);
+      const auto capacity = ParseInt(tokens[3]);
+      if (!index.ok() || !alive.ok() || !capacity.ok()) {
+        return fail("bad shard field");
+      }
+      if (*index != static_cast<std::int64_t>(dump.shards.size())) {
+        return fail("shard records out of order");
+      }
+      MinidumpShard shard;
+      shard.alive = *alive != 0;
+      shard.capacity = *capacity;
+      for (int i = 0; i < 4; ++i) {
+        const auto word = ParseU64(tokens[4 + i]);
+        if (!word.ok()) {
+          return word.status();
+        }
+        shard.rng_state[static_cast<std::size_t>(i)] = *word;
+      }
+      dump.shards.push_back(std::move(shard));
+    } else if (key == "shard-state") {
+      if (tokens.size() != 3) {
+        return fail("shard-state wants 2 fields");
+      }
+      const auto index = ParseInt(tokens[1]);
+      const auto state = Unescape(tokens[2]);
+      if (!index.ok() || !state.ok()) {
+        return fail("bad shard-state field");
+      }
+      if (*index < 0 || *index >= static_cast<std::int64_t>(dump.shards.size())) {
+        return fail("shard-state before its shard record");
+      }
+      dump.shards[static_cast<std::size_t>(*index)].snapshot_text = *state;
+    } else if (key == "zone-shares") {
+      if (tokens.size() < 2) {
+        return fail("zone-shares wants a dataset id");
+      }
+      const auto id = ParseInt(tokens[1]);
+      if (!id.ok()) {
+        return id.status();
+      }
+      std::vector<Bytes> shares;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto share = ParseInt(tokens[i]);
+        if (!share.ok()) {
+          return share.status();
+        }
+        shares.push_back(*share);
+      }
+      dump.zone_shares.emplace_back(static_cast<DatasetId>(*id), std::move(shares));
+    } else if (key == "event") {
+      if (tokens.size() < 3) {
+        return fail("event wants a seq and a kind");
+      }
+      const auto seq = ParseInt(tokens[1]);
+      if (!seq.ok()) {
+        return seq.status();
+      }
+      MinidumpEvent event;
+      event.seq = *seq;
+      const std::string& kind = tokens[2];
+      if (kind == "access") {
+        if (tokens.size() != 7) {
+          return fail("access event wants 4 fields");
+        }
+        const auto job = ParseInt(tokens[3]);
+        const auto dataset = ParseInt(tokens[4]);
+        const auto block = ParseInt(tokens[5]);
+        const auto hit = ParseInt(tokens[6]);
+        if (!job.ok() || !dataset.ok() || !block.ok() || !hit.ok()) {
+          return fail("bad access field");
+        }
+        event.kind = MinidumpEvent::Kind::kAccess;
+        event.job = static_cast<JobId>(*job);
+        event.dataset = static_cast<DatasetId>(*dataset);
+        event.block = *block;
+        event.hit = *hit != 0;
+      } else if (kind == "plan" || kind == "fault" || kind == "note") {
+        if (tokens.size() < 4) {
+          return fail(kind + " event wants a detail");
+        }
+        event.kind = kind == "plan"    ? MinidumpEvent::Kind::kPlan
+                     : kind == "fault" ? MinidumpEvent::Kind::kFault
+                                       : MinidumpEvent::Kind::kNote;
+        const auto detail = JoinUnescaped(tokens, 3);
+        if (!detail.ok()) {
+          return detail.status();
+        }
+        event.detail = *detail;
+      } else {
+        return fail("unknown event kind \"" + kind + "\"");
+      }
+      dump.events.push_back(std::move(event));
+    } else {
+      return fail("unknown record \"" + key + "\"");
+    }
+  }
+  if (!saw_config) {
+    return Status::InvalidArgument("minidump: missing config record");
+  }
+  if (static_cast<int>(dump.shards.size()) != dump.num_shards) {
+    return Status::InvalidArgument("minidump: shard records do not match num_shards");
+  }
+  return dump;
+}
+
+Result<ReplayReport> ReplayMinidump(const Minidump& dump) {
+  // Rebuild the catalog; ids must be dense and in order, as recorded.
+  DatasetCatalog catalog;
+  for (const MinidumpCatalogEntry& entry : dump.catalog) {
+    const DatasetId id = catalog.Add(entry.name, entry.size, entry.block_size);
+    if (id != entry.id) {
+      return Status::InvalidArgument("minidump: catalog ids are not dense");
+    }
+  }
+  ClusterTopology topology;
+  if (!dump.topology_spec.empty()) {
+    auto parsed = ClusterTopology::Parse(dump.topology_spec);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    topology = *std::move(parsed);
+  }
+
+  // Base state: fresh manager, topology, per-shard quota + residency, shard
+  // liveness, then the RNG streams LAST — every restore step above may draw
+  // from a shard's stream, and the recorded states are the live streams at
+  // the window's first event, so they overwrite whatever setup consumed.
+  DataManager manager(dump.total_cache, dump.remote_io, dump.seed, dump.num_shards);
+  if (!topology.empty()) {
+    if (const Status st = manager.SetTopology(topology); !st.ok()) {
+      return st;
+    }
+  }
+  for (int s = 0; s < dump.num_shards; ++s) {
+    const MinidumpShard& shard = dump.shards[static_cast<std::size_t>(s)];
+    const auto snapshot = SnapshotFromText(shard.snapshot_text, &catalog);
+    if (!snapshot.ok()) {
+      return snapshot.status();
+    }
+    if (const Status st = RestoreCacheManager(*snapshot, catalog, &manager.shard_cache(s));
+        !st.ok()) {
+      return st;
+    }
+  }
+  for (int s = 0; s < dump.num_shards; ++s) {
+    if (!dump.shards[static_cast<std::size_t>(s)].alive) {
+      // The captured dead shard held no blocks (they were dropped at crash
+      // time), so this evicts nothing and draws nothing.
+      manager.CrashShard(s);
+    }
+  }
+  for (int s = 0; s < dump.num_shards; ++s) {
+    manager.shard_cache(s).eviction_rng().set_state(
+        dump.shards[static_cast<std::size_t>(s)].rng_state);
+  }
+  for (const auto& [dataset, shares] : dump.zone_shares) {
+    manager.RestoreZoneShares(dataset, shares);
+  }
+
+  ReplayReport report;
+  for (const MinidumpEvent& event : dump.events) {
+    ++report.events;
+    switch (event.kind) {
+      case MinidumpEvent::Kind::kAccess: {
+        if (event.dataset < 0 || static_cast<std::size_t>(event.dataset) >= catalog.size()) {
+          return Status::InvalidArgument("minidump: access to unknown dataset " +
+                                         std::to_string(event.dataset));
+        }
+        ++report.accesses;
+        const bool hit = manager.AccessBlock(catalog.Get(event.dataset), event.block);
+        if (hit != event.hit) {
+          report.ok = false;
+          report.diverged_seq = event.seq;
+          report.message = "event " + std::to_string(event.seq) + ": job " +
+                           std::to_string(event.job) + " dataset " +
+                           std::to_string(event.dataset) + " block " +
+                           std::to_string(event.block) + " replayed " +
+                           (hit ? "hit" : "miss") + ", recorded " +
+                           (event.hit ? "hit" : "miss");
+          return report;
+        }
+        break;
+      }
+      case MinidumpEvent::Kind::kPlan:
+        if (const Status st = ReplayPlan(event.detail, catalog, manager); !st.ok()) {
+          return st;
+        }
+        break;
+      case MinidumpEvent::Kind::kFault:
+        if (const Status st = ReplayFault(event.detail, catalog, dump, topology, manager);
+            !st.ok()) {
+          return st;
+        }
+        break;
+      case MinidumpEvent::Kind::kNote:
+        break;  // Forensic only.
+    }
+  }
+  report.message = "replayed " + std::to_string(report.accesses) + " accesses bit-identically";
+  return report;
+}
+
+Result<std::string> WriteMinidumpFile(const Minidump& dump, const std::string& dir,
+                                      const std::string& label, int n) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("minidump: empty output directory");
+  }
+  // Best effort: the directory may already exist, and a racing sibling
+  // creating it first is fine.
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("minidump: mkdir " + dir + ": " + std::strerror(errno));
+  }
+  const std::string path = dir + "/minidump-" + label + "-" + std::to_string(n) + ".txt";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("minidump: cannot open " + path);
+  }
+  out << MinidumpToText(dump);
+  out.flush();
+  if (!out) {
+    return Status::Internal("minidump: short write to " + path);
+  }
+  return path;
+}
+
+MinidumpRecorder::MinidumpRecorder(const DataManager& manager, const DatasetCatalog* catalog,
+                                   BytesPerSec remote_io, std::uint64_t seed, int window)
+    : catalog_(catalog),
+      window_(window),
+      num_shards_(manager.num_shards()),
+      remote_io_(remote_io),
+      seed_(seed),
+      topology_spec_(manager.topology().ToSpec()) {
+  SILOD_CHECK(catalog_ != nullptr) << "minidump recorder needs a catalog";
+  SILOD_CHECK(window_ > 0) << "minidump window must be positive";
+  total_cache_ = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    total_cache_ += manager.shard_cache(s).total_capacity();
+  }
+  catalog_entries_.reserve(catalog_->all().size());
+  for (const Dataset& dataset : catalog_->all()) {
+    catalog_entries_.push_back({dataset.id, dataset.name, dataset.size, dataset.block_size});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  CaptureBaseLocked(manager);
+}
+
+void MinidumpRecorder::CaptureBaseLocked(const DataManager& manager) {
+  base_seq_ = next_seq_;
+  events_.clear();
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    const CacheManager& cache = manager.shard_cache(s);
+    MinidumpShard shard;
+    shard.alive = manager.shard_alive(s);
+    shard.capacity = cache.total_capacity();
+    shard.rng_state = cache.eviction_rng().state();
+    shard.snapshot_text = SnapshotToText(CaptureCacheSnapshot(cache, *catalog_));
+    shards_.push_back(std::move(shard));
+  }
+  zone_shares_.clear();
+  for (const Dataset& dataset : catalog_->all()) {
+    if (const std::vector<Bytes>* shares = manager.zone_shares_of(dataset.id)) {
+      zone_shares_.emplace_back(dataset.id, *shares);
+    }
+  }
+}
+
+void MinidumpRecorder::AppendLocked(MinidumpEvent event) {
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+void MinidumpRecorder::MaybeRebase(const DataManager& manager) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(events_.size()) >= window_) {
+    CaptureBaseLocked(manager);
+  }
+}
+
+void MinidumpRecorder::RecordAccess(JobId job, DatasetId dataset, std::int64_t block, bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MinidumpEvent event;
+  event.kind = MinidumpEvent::Kind::kAccess;
+  event.job = job;
+  event.dataset = dataset;
+  event.block = block;
+  event.hit = hit;
+  AppendLocked(std::move(event));
+}
+
+void MinidumpRecorder::RecordPlan(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MinidumpEvent event;
+  event.kind = MinidumpEvent::Kind::kPlan;
+  event.detail = detail;
+  AppendLocked(std::move(event));
+}
+
+void MinidumpRecorder::RecordFault(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MinidumpEvent event;
+  event.kind = MinidumpEvent::Kind::kFault;
+  event.detail = detail;
+  AppendLocked(std::move(event));
+}
+
+void MinidumpRecorder::Note(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MinidumpEvent event;
+  event.kind = MinidumpEvent::Kind::kNote;
+  event.detail = text;
+  AppendLocked(std::move(event));
+}
+
+std::string MinidumpRecorder::PlanDetail(const AllocationPlan& plan) {
+  if (plan.dataset_cache.empty()) {
+    return "-";
+  }
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [dataset, quota] : plan.dataset_cache) {
+    if (!first) {
+      os << " ";
+    }
+    first = false;
+    os << dataset << "=" << quota;
+    const auto zit = plan.dataset_zone_cache.find(dataset);
+    if (zit != plan.dataset_zone_cache.end() && !zit->second.empty()) {
+      os << "@";
+      for (std::size_t z = 0; z < zit->second.size(); ++z) {
+        if (z > 0) {
+          os << ",";
+        }
+        os << zit->second[z];
+      }
+    }
+  }
+  return os.str();
+}
+
+Minidump MinidumpRecorder::Dump(Seconds wall_time, std::string reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Minidump dump;
+  dump.wall_time = wall_time;
+  dump.reason = std::move(reason);
+  dump.num_shards = num_shards_;
+  dump.total_cache = total_cache_;
+  dump.remote_io = remote_io_;
+  dump.seed = seed_;
+  dump.topology_spec = topology_spec_;
+  dump.catalog = catalog_entries_;
+  dump.base_seq = base_seq_;
+  dump.shards = shards_;
+  dump.zone_shares = zone_shares_;
+  dump.events = events_;
+  return dump;
+}
+
+}  // namespace silod

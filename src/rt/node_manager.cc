@@ -1,0 +1,240 @@
+#include "src/rt/node_manager.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/rt/wire.h"
+
+namespace silod {
+
+NodeManager::NodeManager(Host* host) : host_(host) {
+  SILOD_CHECK(host_ != nullptr) << "NodeManager needs a host";
+}
+
+NodeManager::~NodeManager() { Stop(0); }
+
+Status NodeManager::Spawn(const WorkerConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::FailedPrecondition("node manager is stopped");
+    }
+  }
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    return Status::Internal(std::string("socketpair: ") + std::strerror(errno));
+  }
+  // Everything the child touches between fork and exec is prepared here:
+  // only async-signal-safe calls are legal in the child of a multi-threaded
+  // parent.
+  static const char kExe[] = "/proc/self/exe";
+  static const char kFlag[] = "--silod-worker-fd=3";
+  char* const child_argv[] = {const_cast<char*>(kExe), const_cast<char*>(kFlag), nullptr};
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child.  dup2 clears CLOEXEC on the copy, so fd 3 survives the exec.
+    if (::dup2(sv[1], 3) < 0) {
+      ::_exit(126);
+    }
+    ::execv(kExe, child_argv);
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+
+  auto worker = std::make_unique<Worker>();
+  worker->config = config;
+  worker->pid = pid;
+  worker->fd = sv[0];
+  Worker* raw = worker.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.push_back(std::move(worker));
+  }
+  raw->handler = std::thread(&NodeManager::HandlerLoop, this, raw);
+  return Status::Ok();
+}
+
+bool NodeManager::Kill(JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Latest entry wins: a respawned job has several retired workers.
+  for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+    Worker* worker = it->get();
+    if (worker->config.job != job) {
+      continue;
+    }
+    if (worker->state != WorkerStateKind::kRunning) {
+      return false;
+    }
+    // Marked before the signal so the handler's exit classification (under
+    // this same mutex) always sees the kill as intentional.
+    worker->state = WorkerStateKind::kKilled;
+    ::kill(worker->pid, SIGKILL);
+    return true;
+  }
+  return false;
+}
+
+bool NodeManager::WaitIdle(JobId job, Seconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
+  return exited_cv_.wait_until(lock, deadline, [&] {
+    for (const auto& worker : workers_) {
+      if (worker->config.job == job && worker->state != WorkerStateKind::kExited) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void NodeManager::Stop(Seconds grace) {
+  std::vector<Worker*> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    for (const auto& worker : workers_) {
+      if (worker->state == WorkerStateKind::kRunning) {
+        worker->state = WorkerStateKind::kStopping;
+        live.push_back(worker.get());
+      }
+    }
+  }
+  for (Worker* worker : live) {
+    // Best effort: a dead peer just means the handler is already unwinding.
+    WriteFrame(worker->fd, WireType::kStop, {}).ok();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::duration<double>(grace);
+    exited_cv_.wait_until(lock, deadline, [&] {
+      for (const Worker* worker : live) {
+        if (worker->state != WorkerStateKind::kExited) {
+          return false;
+        }
+      }
+      return true;
+    });
+    for (Worker* worker : live) {
+      if (worker->state != WorkerStateKind::kExited) {
+        ::kill(worker->pid, SIGKILL);  // Straggler past the grace period.
+      }
+    }
+  }
+  for (const auto& worker : workers_) {
+    if (worker->handler.joinable()) {
+      worker->handler.join();
+    }
+  }
+}
+
+int NodeManager::live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const auto& worker : workers_) {
+    if (worker->state == WorkerStateKind::kRunning) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void NodeManager::HandlerLoop(Worker* worker) {
+  const JobId job = worker->config.job;
+  const std::uint64_t incarnation = worker->config.incarnation;
+
+  // First frame must be the worker's hello; then hand it its assignment.
+  bool protocol_ok = false;
+  if (auto hello = ReadFrame(worker->fd); hello.ok() && hello->type == WireType::kHello) {
+    const WorkerConfig& c = worker->config;
+    const Status st =
+        WriteFrame(worker->fd, WireType::kAssign,
+                   {static_cast<std::uint64_t>(c.job), static_cast<std::uint64_t>(c.blocks_total),
+                    static_cast<std::uint64_t>(c.resume_done),
+                    static_cast<std::uint64_t>(c.resume_fetched),
+                    static_cast<std::uint64_t>(c.num_blocks),
+                    static_cast<std::uint64_t>(c.pipeline_depth), c.rng_seed,
+                    WireMessage::FromDouble(c.block_compute),
+                    WireMessage::FromDouble(c.heartbeat_period)});
+    protocol_ok = st.ok();
+  }
+  while (protocol_ok) {
+    auto frame = ReadFrame(worker->fd);
+    if (!frame.ok()) {
+      break;  // EOF: the worker exited (or died).
+    }
+    switch (frame->type) {
+      case WireType::kFetchRequest: {
+        bool aborted = false;
+        const bool hit =
+            host_->FetchBlock(job, incarnation, static_cast<std::int64_t>(frame->words[0]),
+                              static_cast<std::int64_t>(frame->words[1]), &aborted);
+        const Status st =
+            WriteFrame(worker->fd, WireType::kFetchReply,
+                       {hit ? std::uint64_t{1} : 0, aborted ? std::uint64_t{1} : 0});
+        if (!st.ok()) {
+          protocol_ok = false;  // Worker died mid-fetch; fall through to reap.
+        }
+        break;
+      }
+      case WireType::kBlockDone:
+        host_->OnBlockDone(job, incarnation, static_cast<std::int64_t>(frame->words[0]));
+        break;
+      case WireType::kHeartbeat:
+        host_->OnHeartbeat(job, incarnation, static_cast<std::int64_t>(frame->words[0]));
+        break;
+      case WireType::kDrained: {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          worker->drained = true;
+        }
+        host_->OnDrained(job, incarnation, static_cast<std::int64_t>(frame->words[0]),
+                         static_cast<std::int64_t>(frame->words[1]));
+        break;
+      }
+      default:
+        break;  // kHello twice etc.: tolerate, the exit classification rules.
+    }
+  }
+
+  int status = 0;
+  while (::waitpid(worker->pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ::close(worker->fd);
+
+  bool expected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expected = worker->drained || worker->state == WorkerStateKind::kKilled ||
+               worker->state == WorkerStateKind::kStopping;
+  }
+  if (!expected) {
+    // Reported before the worker is retired so the host can respawn from
+    // inside the callback without racing this worker's bookkeeping.
+    host_->OnUnexpectedExit(job, incarnation, status);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker->state = WorkerStateKind::kExited;
+    exited_cv_.notify_all();
+  }
+}
+
+}  // namespace silod

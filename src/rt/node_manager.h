@@ -1,0 +1,133 @@
+// NodeManager: the per-node worker-process pool of the multi-process runtime
+// (docs/MODEL.md §10).
+//
+// One real OS process per trainer: Spawn fork/execs the host binary back on
+// itself ("/proc/self/exe --silod-worker-fd=3", see rt/worker_main.h) with an
+// AF_UNIX stream socket as the control channel, a per-worker handler thread
+// speaks the rt/wire.h protocol, and exits are reaped with waitpid and
+// classified.  The division of labor keeps the cluster state in one place:
+// workers own only their compute/pipeline loop; every cache access, throttle
+// wait and remote read happens in the parent via Host::FetchBlock while the
+// worker blocks on the reply — so an injected kWorkerCrash can SIGKILL the
+// process without any shared state to corrupt, and the restart pays its
+// refetch cost through the very same DataManager path the thread-mode
+// trainers use.
+//
+// Exit classification: a worker that dies while marked killed (injected
+// crash) or stopping (drain), or after sending kDrained, exited as expected;
+// anything else — a real crash — is surfaced through Host::OnUnexpectedExit
+// so the cluster can write a minidump and respawn.
+//
+// Incarnations: every Spawn bumps the job's incarnation, and all Host
+// callbacks carry it.  Frames can sit in a socket buffer after their worker
+// was SIGKILLed; the incarnation lets the cluster drop such stale progress
+// instead of resurrecting pre-crash counters after a rollback.
+#ifndef SILOD_SRC_RT_NODE_MANAGER_H_
+#define SILOD_SRC_RT_NODE_MANAGER_H_
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+struct WorkerConfig {
+  JobId job = kInvalidJob;
+  std::uint64_t incarnation = 0;
+  std::int64_t blocks_total = 0;
+  std::int64_t resume_done = 0;     // Checkpoint index the worker resumes from.
+  // Fetch-cursor resume index (>= resume_done); the gap is pre-staged, so a
+  // checkpoint-everything restart freezes the pipeline instead of re-reading
+  // it.
+  std::int64_t resume_fetched = 0;
+  std::int64_t num_blocks = 0;      // Blocks per epoch (shuffle geometry).
+  std::int64_t pipeline_depth = 1;
+  std::uint64_t rng_seed = 0;     // Epoch-shuffle seed (same as thread mode).
+  Seconds block_compute = 0;
+  Seconds heartbeat_period = 0.25;
+};
+
+class NodeManager {
+ public:
+  // The cluster side of the protocol.  FetchBlock runs the full fetch path
+  // (cache access under the manager lock, throttle wait, remote read with
+  // retries) on the handler thread while the worker blocks on the reply;
+  // implementations must return promptly once the run is stopping (via
+  // *aborted).  All callbacks may run concurrently from different handler
+  // threads.
+  class Host {
+   public:
+    virtual ~Host() = default;
+    virtual bool FetchBlock(JobId job, std::uint64_t incarnation, std::int64_t fetch_index,
+                            std::int64_t block, bool* aborted) = 0;
+    virtual void OnBlockDone(JobId job, std::uint64_t incarnation, std::int64_t blocks_done) = 0;
+    virtual void OnHeartbeat(JobId /*job*/, std::uint64_t /*incarnation*/,
+                             std::int64_t /*blocks_done*/) {}
+    virtual void OnDrained(JobId job, std::uint64_t incarnation, std::int64_t blocks_done,
+                           std::int64_t blocks_fetched) = 0;
+    // The worker died without being killed, stopped or drained.  Runs on the
+    // handler thread after the pid was reaped; the worker is already retired,
+    // so the implementation may Spawn a replacement from inside the callback.
+    virtual void OnUnexpectedExit(JobId job, std::uint64_t incarnation, int wait_status) = 0;
+  };
+
+  explicit NodeManager(Host* host);
+  ~NodeManager();  // Stop(0) + joins if still running.
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  // Forks one worker for `config.job` and starts its handler thread.
+  Status Spawn(const WorkerConfig& config);
+
+  // SIGKILLs the job's live worker (an injected kWorkerCrash).  False when
+  // the job has no live worker.
+  bool Kill(JobId job);
+
+  // Blocks until every worker of `job` has been reaped and its handler
+  // retired (so no stale FetchBlock is in flight), or `timeout` passes.
+  // True when the job is idle.
+  bool WaitIdle(JobId job, Seconds timeout);
+
+  // Graceful shutdown: sends kStop to every live worker, waits up to `grace`
+  // for them to drain and exit, SIGKILLs stragglers, then joins every
+  // handler thread (including long-retired ones).  Idempotent.
+  void Stop(Seconds grace);
+
+  int live_workers() const;
+
+ private:
+  enum class WorkerStateKind { kRunning, kKilled, kStopping, kExited };
+
+  struct Worker {
+    WorkerConfig config;
+    pid_t pid = -1;
+    int fd = -1;
+    WorkerStateKind state = WorkerStateKind::kRunning;
+    bool drained = false;
+    std::thread handler;
+  };
+
+  void HandlerLoop(Worker* worker);
+
+  Host* const host_;
+  mutable std::mutex mu_;
+  std::condition_variable exited_cv_;
+  bool stopped_ = false;
+  // Append-only so Worker* stays stable for handler threads; exited workers
+  // are retired in place and joined at Stop.
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_RT_NODE_MANAGER_H_

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
-#include <numeric>
 
 #include "src/common/logging.h"
-#include "src/common/rng.h"
+#include "src/rt/epoch_order.h"
 
 namespace silod {
 namespace {
+
+// Loader epoch-shuffle seed; shared with the worker processes so thread and
+// process mode walk bit-identical block orders.
+constexpr std::uint64_t kLoaderSeed = 0x10AD;
+constexpr std::uint64_t kRespawnSeed = 0xBAC0FF;
 
 void SleepSeconds(double s) {
   if (s > 0) {
@@ -37,12 +41,18 @@ RunReport MakeRtRunReport(std::string label, const RtResult& result) {
   report.faults.server_recoveries = result.server_recoveries;
   report.faults.degrade_windows = result.degrade_windows;
   report.faults.dm_restarts = result.dm_restarts;
+  report.faults.worker_crashes = result.worker_crashes;
+  report.faults.worker_restarts = result.worker_restarts;
   report.faults.ignored_events = result.ignored_faults;
   report.faults.blocks_lost = result.blocks_lost;
   report.faults.bytes_lost = static_cast<double>(result.bytes_lost);
   report.faults.blocks_lost_by_zone = result.blocks_lost_by_zone;
+  report.faults.blocks_refetched = result.blocks_refetched;
+  report.faults.compute_lost = result.compute_lost;
   report.AddExtra("timed_out", result.timed_out);
   report.AddExtra("remote_retries", static_cast<double>(result.remote_retries));
+  report.AddExtra("worker_respawns", static_cast<double>(result.worker_respawns));
+  report.AddExtra("minidumps", static_cast<double>(result.minidump_paths.size()));
   return report;
 }
 
@@ -78,7 +88,21 @@ RtCluster::RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
     job->blocks_total =
         std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
     job->throttle = std::make_unique<TokenBucket>(kUnlimitedRate, MB(8));
+    job->block_compute = static_cast<double>(d.block_size) / spec.ideal_io;
+    job->respawn_rng =
+        std::make_unique<Rng>(kRespawnSeed ^ static_cast<std::uint64_t>(spec.id));
+    BackoffOptions respawn;
+    respawn.base = options_.respawn_backoff_base;
+    respawn.cap = options_.respawn_backoff_cap;
+    respawn.jitter = options_.respawn_backoff_jitter;
+    respawn.max_attempts = options_.respawn_max_attempts;
+    job->respawn_backoff = std::make_unique<Backoff>(respawn, job->respawn_rng.get());
     jobs_.push_back(std::move(job));
+  }
+  if (!options_.minidump_dir.empty()) {
+    recorder_ = std::make_unique<MinidumpRecorder>(manager_, &trace_->catalog,
+                                                   resources_.remote_io, /*seed=*/7,
+                                                   options_.minidump_window);
   }
 }
 
@@ -86,73 +110,134 @@ Seconds RtCluster::WallNow() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
 }
 
+RtCluster::RtJob* RtCluster::FindJob(JobId id) {
+  for (const auto& job : jobs_) {
+    if (job->spec->id == id) {
+      return job.get();
+    }
+  }
+  return nullptr;
+}
+
+bool RtCluster::FetchOneBlock(RtJob& job, std::int64_t fetch_index, std::int64_t block,
+                              bool* aborted) {
+  *aborted = false;
+  if (stopping_.load()) {
+    *aborted = true;
+    return false;
+  }
+  const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(manager_mu_);
+    if (recorder_ != nullptr) {
+      recorder_->MaybeRebase(manager_);
+    }
+    hit = manager_.AccessBlock(dataset, block);
+    if (recorder_ != nullptr) {
+      recorder_->RecordAccess(job.spec->id, dataset.id, block, hit);
+    }
+  }
+  {
+    // Completion-invariant accounting: an access below the job's high-water
+    // mark is a crash-mandated re-read, so for every completed job
+    // hits + misses == blocks_total + refetched exactly.
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (fetch_index < job.high_water) {
+      ++job.refetched;
+    } else {
+      job.high_water = fetch_index + 1;
+    }
+  }
+  const Bytes bytes = dataset.BlockBytes(block);
+  if (hit) {
+    job.hits.fetch_add(1);
+    SleepSeconds(static_cast<double>(bytes) / options_.fabric_rate);
+  } else {
+    job.misses.fetch_add(1);
+    // The FUSE client's per-job throttle, then the account-level egress
+    // bucket inside the remote store (which also sleeps).
+    Seconds wait = 0;
+    {
+      std::lock_guard<std::mutex> lock(job.throttle_mu);
+      const Seconds now = WallNow();
+      const Seconds admit = job.throttle->TimeToAdmit(bytes, now);
+      job.throttle->Consume(bytes, admit);
+      wait = admit - now;
+    }
+    SleepInterruptible(wait);
+    // Bounded exponential backoff against injected transient errors: a
+    // failed read spent no egress tokens, so retrying costs only latency.
+    BackoffOptions retry;
+    retry.base = options_.retry_backoff_base;
+    retry.cap = options_.retry_backoff_cap;
+    Backoff backoff(retry);
+    for (;;) {
+      if (stopping_.load()) {
+        *aborted = true;
+        return hit;
+      }
+      if (remote_.TryReadBlock(dataset.id, block).ok()) {
+        break;
+      }
+      job.remote_retries.fetch_add(1);
+      SleepSeconds(backoff.NextDelay());
+    }
+  }
+  return hit;
+}
+
+void RtCluster::SleepInterruptible(Seconds s) {
+  constexpr Seconds kSlice = 0.02;
+  Seconds remaining = s;
+  while (remaining > 0 && !stopping_.load()) {
+    const Seconds chunk = remaining < kSlice ? remaining : kSlice;
+    SleepSeconds(chunk);
+    remaining -= chunk;
+  }
+}
+
 void RtCluster::LoaderLoop(RtJob& job) {
   const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
-  Rng rng(0x10AD ^ static_cast<std::uint64_t>(job.spec->id));
-  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.num_blocks));
-  std::iota(order.begin(), order.end(), std::int64_t{0});
-  rng.Shuffle(order);
-  std::size_t position = 0;
-
-  for (std::int64_t fetched = 0; fetched < job.blocks_total && !stopping_.load(); ++fetched) {
-    // Epoch boundary: reshuffle (exactly-once-per-epoch access, §2.2).
-    if (position == order.size()) {
-      rng.Shuffle(order);
-      position = 0;
-    }
-    const std::int64_t block = order[position++];
-
-    // Pipeline back-pressure.
+  EpochShuffler order(kLoaderSeed ^ static_cast<std::uint64_t>(job.spec->id), dataset.num_blocks);
+  std::int64_t local = 0;
+  for (;;) {
     {
       std::unique_lock<std::mutex> lock(job.mu);
-      job.cv.wait(lock, [&] {
-        return stopping_.load() || job.staged < options_.pipeline_depth;
-      });
-      if (stopping_.load()) {
-        return;
-      }
-    }
-
-    bool hit = false;
-    {
-      std::lock_guard<std::mutex> lock(manager_mu_);
-      hit = manager_.AccessBlock(dataset, block);
-    }
-    const Bytes bytes = dataset.BlockBytes(block);
-    if (hit) {
-      job.hits.fetch_add(1);
-      SleepSeconds(static_cast<double>(bytes) / options_.fabric_rate);
-    } else {
-      job.misses.fetch_add(1);
-      // The FUSE client's per-job throttle, then the account-level egress
-      // bucket inside the remote store (which also sleeps).
-      Seconds wait = 0;
-      {
-        std::lock_guard<std::mutex> lock(job.throttle_mu);
-        const Seconds now = WallNow();
-        const Seconds admit = job.throttle->TimeToAdmit(bytes, now);
-        job.throttle->Consume(bytes, admit);
-        wait = admit - now;
-      }
-      SleepSeconds(wait);
-      // Bounded exponential backoff against injected transient errors: a
-      // failed read spent no egress tokens, so retrying costs only latency.
-      Seconds backoff = options_.retry_backoff_base;
       for (;;) {
-        if (stopping_.load()) {
+        // Crash rendezvous: park until the restart event rewinds us.
+        while (job.crashed.load() && !stopping_.load()) {
+          job.loader_paused = true;
+          job.cv.notify_all();
+          job.cv.wait(lock);
+        }
+        job.loader_paused = false;
+        if (stopping_.load() || job.completed.load()) {
           return;
         }
-        if (remote_.TryReadBlock(dataset.id, block).ok()) {
+        if (job.fetched < job.blocks_total && job.staged < options_.pipeline_depth) {
           break;
         }
-        job.remote_retries.fetch_add(1);
-        SleepSeconds(backoff);
-        backoff = std::min(options_.retry_backoff_cap, backoff * 2);
+        // Pipeline full, or fully fetched and awaiting either completion or
+        // a crash rewind.
+        job.cv.wait(lock);
+      }
+      if (job.fetched != local) {
+        // A lossy restart rewound the cursor while we were parked.
+        local = job.fetched;
+        order.SeekTo(local);
       }
     }
-
+    const std::int64_t block = order.Next();
+    bool aborted = false;
+    FetchOneBlock(job, local, block, &aborted);
+    if (aborted) {
+      return;  // Only stopping_ aborts a thread-mode fetch.
+    }
+    ++local;
     {
       std::lock_guard<std::mutex> lock(job.mu);
+      job.fetched = local;
       ++job.staged;
     }
     job.cv.notify_all();
@@ -160,27 +245,48 @@ void RtCluster::LoaderLoop(RtJob& job) {
 }
 
 void RtCluster::TrainerLoop(RtJob& job) {
-  const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
-  const double block_compute =
-      static_cast<double>(dataset.block_size) / job.spec->ideal_io;
   job.start = WallNow();
-  for (std::int64_t done = 0; done < job.blocks_total; ++done) {
+  for (;;) {
+    bool finished = false;
     {
       std::unique_lock<std::mutex> lock(job.mu);
-      job.cv.wait(lock, [&] { return stopping_.load() || job.staged > 0; });
-      if (stopping_.load()) {
-        return;  // Aborted: leave the job uncompleted, staged blocks unconsumed.
+      for (;;) {
+        while (job.crashed.load() && !stopping_.load()) {
+          job.trainer_paused = true;
+          job.cv.notify_all();
+          job.cv.wait(lock);
+        }
+        job.trainer_paused = false;
+        if (stopping_.load()) {
+          return;  // Aborted: leave the job uncompleted.
+        }
+        if (job.consumed >= job.blocks_total) {
+          finished = true;
+          break;
+        }
+        if (job.staged > 0) {
+          break;
+        }
+        job.cv.wait(lock);
       }
-      --job.staged;
+      if (!finished) {
+        --job.staged;
+      }
     }
     job.cv.notify_all();
+    if (finished) {
+      break;
+    }
     // The paper's GPU-acceleration sleep: compute replaced by its profiled
     // duration.  Shutting down must not pay it once per staged block — with a
     // deep pipeline that stretches teardown by pipeline_depth x block_compute.
     if (stopping_.load()) {
       return;
     }
-    SleepSeconds(block_compute);
+    SleepSeconds(job.block_compute);
+    if (stopping_.load()) {
+      return;
+    }
     job.blocks_done.fetch_add(1);
     {
       // A block counts as consumed only once its compute actually ran, so
@@ -188,11 +294,274 @@ void RtCluster::TrainerLoop(RtJob& job) {
       std::lock_guard<std::mutex> lock(job.mu);
       ++job.consumed;
     }
+    job.cv.notify_all();
   }
-  job.finish = WallNow();
-  job.completed.store(true);
-  unfinished_.fetch_sub(1);
+  CompleteJob(job);
 }
+
+void RtCluster::CompleteJob(RtJob& job) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (!job.completed.load() && !job.abandoned.load()) {
+      job.finish = WallNow();
+      job.completed.store(true);
+      first = true;
+    }
+  }
+  if (first) {
+    job.cv.notify_all();
+    unfinished_.fetch_sub(1);
+  }
+}
+
+void RtCluster::AbandonJob(RtJob& job) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (!job.completed.load() && !job.abandoned.load()) {
+      job.abandoned.store(true);
+      first = true;
+    }
+  }
+  if (first) {
+    if (recorder_ != nullptr) {
+      recorder_->Note("abandon job=" + std::to_string(job.spec->id));
+    }
+    unfinished_.fetch_sub(1);
+  }
+}
+
+// --- NodeManager::Host (process mode) ---------------------------------------
+
+bool RtCluster::FetchBlock(JobId job_id, std::uint64_t incarnation, std::int64_t fetch_index,
+                           std::int64_t block, bool* aborted) {
+  *aborted = false;
+  RtJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    *aborted = true;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (incarnation != job->incarnation || job->crashed.load()) {
+      *aborted = true;  // Stale worker, or crashed and awaiting restart.
+      return false;
+    }
+  }
+  const bool hit = FetchOneBlock(*job, fetch_index, block, aborted);
+  if (!*aborted) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (incarnation == job->incarnation) {
+      job->fetched = std::max(job->fetched, fetch_index + 1);
+    }
+  }
+  return hit;
+}
+
+void RtCluster::OnBlockDone(JobId job_id, std::uint64_t incarnation, std::int64_t blocks_done) {
+  RtJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return;
+  }
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (incarnation != job->incarnation || job->crashed.load() || job->completed.load()) {
+      return;  // Stale frame from a killed worker's socket buffer.
+    }
+    if (blocks_done <= job->consumed) {
+      return;
+    }
+    job->consumed = blocks_done;
+    job->blocks_done.store(blocks_done);
+    complete = blocks_done >= job->blocks_total;
+  }
+  if (complete) {
+    CompleteJob(*job);
+  }
+}
+
+void RtCluster::OnDrained(JobId job_id, std::uint64_t incarnation, std::int64_t blocks_done,
+                          std::int64_t blocks_fetched) {
+  RtJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return;
+  }
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (incarnation != job->incarnation || job->crashed.load()) {
+      return;
+    }
+    job->consumed = std::max(job->consumed, blocks_done);
+    job->blocks_done.store(job->consumed);
+    job->fetched = std::max(job->fetched, blocks_fetched);
+    complete = job->consumed >= job->blocks_total;
+  }
+  if (complete) {
+    CompleteJob(*job);
+  }
+}
+
+void RtCluster::OnUnexpectedExit(JobId job_id, std::uint64_t incarnation, int wait_status) {
+  RtJob* job = FindJob(job_id);
+  if (job == nullptr || stopping_.load()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (incarnation != job->incarnation || job->completed.load() || job->abandoned.load()) {
+      return;
+    }
+  }
+  SILOD_LOG(Error) << "worker for job " << job_id << " exited unexpectedly (status " << wait_status
+                   << ")";
+  if (recorder_ != nullptr) {
+    recorder_->Note("worker-exit job=" + std::to_string(job_id) +
+                    " status=" + std::to_string(wait_status));
+  }
+  WriteDump("worker-exit-job" + std::to_string(job_id),
+            "unexpected worker exit, job " + std::to_string(job_id) + ", wait status " +
+                std::to_string(wait_status));
+  if (job->respawn_backoff->exhausted()) {
+    SILOD_LOG(Error) << "job " << job_id << " abandoned after " << job->respawn_backoff->attempts()
+                     << " respawns";
+    AbandonJob(*job);
+    return;
+  }
+  const Seconds delay = job->respawn_backoff->NextDelay();
+  worker_respawns_.fetch_add(1);
+  SleepInterruptible(delay);
+  if (stopping_.load()) {
+    return;
+  }
+  {
+    // A real crash discards un-checkpointed progress exactly like an
+    // injected one.
+    std::lock_guard<std::mutex> lock(job->mu);
+    ApplyRollbackLocked(*job);
+  }
+  if (const Status st = SpawnWorker(*job); !st.ok()) {
+    SILOD_LOG(Error) << "respawn for job " << job_id << " failed: " << st.ToString();
+    AbandonJob(*job);
+  }
+}
+
+// --- Restart-cost machinery -------------------------------------------------
+
+std::int64_t RtCluster::RollbackTarget(std::int64_t done, const RtJob& job) const {
+  switch (options_.restart_cost.policy) {
+    case RestartCostPolicy::kCheckpointEverything:
+      return done;
+    case RestartCostPolicy::kLosePartialEpoch: {
+      const Dataset& d = trace_->catalog.Get(job.spec->dataset);
+      return done - done % d.num_blocks;
+    }
+    case RestartCostPolicy::kCheckpointInterval: {
+      const std::int64_t n = std::max<std::int64_t>(1, options_.restart_cost.interval_blocks);
+      return done - done % n;
+    }
+  }
+  return done;
+}
+
+void RtCluster::ApplyRollbackLocked(RtJob& job) {
+  const std::int64_t done = job.consumed;
+  const std::int64_t resume = RollbackTarget(done, job);
+  {
+    std::lock_guard<std::mutex> lock(forensics_mu_);
+    compute_lost_ += static_cast<double>(done - resume) * job.block_compute;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Note("rollback job=" + std::to_string(job.spec->id) + " done=" +
+                    std::to_string(done) + " resume=" + std::to_string(resume));
+  }
+  if (options_.restart_cost.policy == RestartCostPolicy::kCheckpointEverything) {
+    return;  // Freeze: staged compute resumes verbatim, nothing re-read.
+  }
+  job.consumed = resume;
+  job.blocks_done.store(resume);
+  job.staged = 0;
+  job.fetched = resume;
+}
+
+void RtCluster::RestartJob(RtJob& job) {
+  if (options_.workers_processes) {
+    // The SIGKILLed worker's handler drains any in-flight fetch and retires;
+    // wait for it so the fetch cursor is final before the rollback.
+    if (!node_->WaitIdle(job.spec->id, options_.worker_stop_grace)) {
+      SILOD_LOG(Error) << "job " << job.spec->id << " worker did not retire within grace";
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      ApplyRollbackLocked(job);
+      job.crashed.store(false);
+    }
+    if (!stopping_.load()) {
+      if (const Status st = SpawnWorker(job); !st.ok()) {
+        SILOD_LOG(Error) << "restart spawn for job " << job.spec->id
+                         << " failed: " << st.ToString();
+        AbandonJob(job);
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&] {
+    return stopping_.load() || (job.loader_paused && job.trainer_paused);
+  });
+  ApplyRollbackLocked(job);
+  job.crashed.store(false);
+  lock.unlock();
+  job.cv.notify_all();
+}
+
+Status RtCluster::SpawnWorker(RtJob& job) {
+  const Dataset& dataset = trace_->catalog.Get(job.spec->dataset);
+  WorkerConfig config;
+  config.job = job.spec->id;
+  config.blocks_total = job.blocks_total;
+  config.num_blocks = dataset.num_blocks;
+  config.pipeline_depth = options_.pipeline_depth;
+  config.rng_seed = kLoaderSeed ^ static_cast<std::uint64_t>(job.spec->id);
+  config.block_compute = job.block_compute;
+  config.heartbeat_period = options_.heartbeat_period;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    config.incarnation = ++job.incarnation;
+    config.resume_done = job.consumed;
+    config.resume_fetched = job.fetched;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Note("spawn job=" + std::to_string(config.job) +
+                    " inc=" + std::to_string(config.incarnation) +
+                    " done=" + std::to_string(config.resume_done) +
+                    " fetched=" + std::to_string(config.resume_fetched));
+  }
+  return node_->Spawn(config);
+}
+
+void RtCluster::WriteDump(const std::string& label, const std::string& reason) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  const Minidump dump = recorder_->Dump(WallNow(), reason);
+  int n;
+  {
+    std::lock_guard<std::mutex> lock(forensics_mu_);
+    n = dump_counter_++;
+  }
+  const auto path = WriteMinidumpFile(dump, options_.minidump_dir, label, n);
+  if (!path.ok()) {
+    SILOD_LOG(Error) << "minidump write failed: " << path.status().ToString();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(forensics_mu_);
+  minidump_paths_.push_back(*path);
+}
+
+// --- Fault application ------------------------------------------------------
 
 void RtCluster::ApplyFault(const FaultEvent& event) {
   switch (event.kind) {
@@ -200,6 +569,10 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
       remote_.SetFault(event.severity, event.error_rate);
       if (event.severity < 1.0 || event.error_rate > 0) {
         ++degrade_windows_;
+      }
+      if (recorder_ != nullptr) {
+        recorder_->Note("degrade factor=" + std::to_string(event.severity) +
+                        " err=" + std::to_string(event.error_rate));
       }
       return;
     case FaultKind::kDataManagerRestart: {
@@ -209,6 +582,9 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
       // restored one — a restore from a stale snapshot only turns some hits
       // into misses, never corrupts accounting.
       std::lock_guard<std::mutex> lock(manager_mu_);
+      if (recorder_ != nullptr) {
+        recorder_->MaybeRebase(manager_);
+      }
       const DataManagerSnapshot snapshot =
           have_snapshot_ ? last_snapshot_ : CaptureSnapshot(manager_, trace_->catalog);
       std::vector<int> dead_shards;
@@ -232,6 +608,20 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
       const Status st = RestoreDataManager(snapshot, trace_->catalog, &manager_);
       SILOD_CHECK(st.ok()) << "Data Manager restore failed: " << st.ToString();
       ++dm_restarts_;
+      if (recorder_ != nullptr) {
+        std::string dead = "-";
+        if (!dead_shards.empty()) {
+          dead.clear();
+          for (std::size_t i = 0; i < dead_shards.size(); ++i) {
+            if (i > 0) {
+              dead += ",";
+            }
+            dead += std::to_string(dead_shards[i]);
+          }
+        }
+        recorder_->RecordFault("dm-restart dead=" + dead +
+                               " snap=" + MinidumpEscape(SnapshotToText(snapshot)));
+      }
       return;
     }
     case FaultKind::kCacheServerCrash: {
@@ -242,6 +632,9 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
           !manager_.shard_alive(event.target)) {
         ++ignored_by_kind_[event.kind];
         return;
+      }
+      if (recorder_ != nullptr) {
+        recorder_->MaybeRebase(manager_);
       }
       Bytes before = 0;
       for (const Dataset& dataset : trace_->catalog.all()) {
@@ -261,6 +654,9 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
         }
       }
       ++server_crashes_;
+      if (recorder_ != nullptr) {
+        recorder_->RecordFault("server-crash " + std::to_string(event.target));
+      }
       return;
     }
     case FaultKind::kCacheServerRecover: {
@@ -270,22 +666,59 @@ void RtCluster::ApplyFault(const FaultEvent& event) {
         ++ignored_by_kind_[event.kind];
         return;
       }
+      if (recorder_ != nullptr) {
+        recorder_->MaybeRebase(manager_);
+      }
       manager_.RecoverShard(event.target);  // Rejoins empty, refills on misses.
       ++server_recoveries_;
+      if (recorder_ != nullptr) {
+        recorder_->RecordFault("server-recover " + std::to_string(event.target));
+      }
       return;
     }
-    case FaultKind::kWorkerCrash:
-    case FaultKind::kWorkerRestart:
-      // Jobs are threads, not pods: there is no worker to kill.  Counted
-      // rather than silently dropped.
-      ++ignored_by_kind_[event.kind];
+    case FaultKind::kWorkerCrash: {
+      RtJob* job = FindJob(event.target);
+      if (job == nullptr || job->completed.load() || job->abandoned.load() ||
+          job->crashed.load()) {
+        ++ignored_by_kind_[event.kind];
+        return;
+      }
+      job->crashed.store(true);
+      worker_crashes_.fetch_add(1);
+      if (recorder_ != nullptr) {
+        recorder_->Note("worker-crash job=" + std::to_string(event.target));
+      }
+      if (options_.workers_processes) {
+        node_->Kill(job->spec->id);  // A real SIGKILL; the handler reaps it.
+      } else {
+        job->cv.notify_all();  // Park the pipeline threads.
+      }
+      WriteDump("worker-crash-job" + std::to_string(event.target),
+                "injected worker crash, job " + std::to_string(event.target));
       return;
+    }
+    case FaultKind::kWorkerRestart: {
+      RtJob* job = FindJob(event.target);
+      if (job == nullptr || job->completed.load() || job->abandoned.load() ||
+          !job->crashed.load()) {
+        ++ignored_by_kind_[event.kind];
+        return;
+      }
+      worker_restarts_.fetch_add(1);
+      if (recorder_ != nullptr) {
+        recorder_->Note("worker-restart job=" + std::to_string(event.target));
+      }
+      RestartJob(*job);
+      return;
+    }
   }
   // A FaultEvent with an out-of-enum kind is an invariant violation (memory
   // corruption or an unhandled new kind), not an "ignored" fault.
   SILOD_LOG(Error) << "fault event with invalid kind " << static_cast<int>(event.kind)
                    << " dropped";
 }
+
+// --- Control loop -----------------------------------------------------------
 
 void RtCluster::ScheduleOnce() {
   // Snapshot progress.
@@ -299,6 +732,9 @@ void RtCluster::ScheduleOnce() {
   for (const auto& job : jobs_) {
     if (job->blocks_done.load() >= job->blocks_total) {
       continue;
+    }
+    if (job->crashed.load() || job->abandoned.load()) {
+      continue;  // Deactivated until restart, like the fine engine.
     }
     JobView view;
     view.spec = job->spec;
@@ -317,8 +753,14 @@ void RtCluster::ScheduleOnce() {
   const AllocationPlan plan = scheduler_->Schedule(snap);
   if (plan.cache_model == CacheModelKind::kDatasetQuota) {
     std::lock_guard<std::mutex> lock(manager_mu_);
+    if (recorder_ != nullptr) {
+      recorder_->MaybeRebase(manager_);
+    }
     const Status st = manager_.ApplyPlan(plan, trace_->catalog);
     SILOD_CHECK(st.ok()) << "plan enforcement failed: " << st.ToString();
+    if (recorder_ != nullptr) {
+      recorder_->RecordPlan(MinidumpRecorder::PlanDetail(plan));
+    }
   }
   for (const auto& job : jobs_) {
     const JobAllocation& alloc = plan.Get(job->spec->id);
@@ -372,11 +814,21 @@ RtResult RtCluster::Run() {
   // that costs an extra miss per affected block on the next epoch.
   ScheduleOnce();
 
-  std::thread scheduler_thread([this] { SchedulerLoop(); });
-  for (auto& job : jobs_) {
-    job->loader = std::thread([this, &job] { LoaderLoop(*job); });
-    job->trainer = std::thread([this, &job] { TrainerLoop(*job); });
+  if (options_.workers_processes) {
+    // Workers exist before the scheduler thread can deliver a kWorkerCrash.
+    node_ = std::make_unique<NodeManager>(static_cast<NodeManager::Host*>(this));
+    for (auto& job : jobs_) {
+      job->start = WallNow();
+      const Status st = SpawnWorker(*job);
+      SILOD_CHECK(st.ok()) << "worker spawn failed: " << st.ToString();
+    }
+  } else {
+    for (auto& job : jobs_) {
+      job->loader = std::thread([this, &job] { LoaderLoop(*job); });
+      job->trainer = std::thread([this, &job] { TrainerLoop(*job); });
+    }
   }
+  std::thread scheduler_thread([this] { SchedulerLoop(); });
 
   RtResult result;
   while (unfinished_.load() > 0) {
@@ -389,6 +841,9 @@ RtResult RtCluster::Run() {
   stopping_.store(true);
   for (auto& job : jobs_) {
     job->cv.notify_all();
+  }
+  if (node_ != nullptr) {
+    node_->Stop(options_.worker_stop_grace);
   }
   for (auto& job : jobs_) {
     if (job->loader.joinable()) {
@@ -406,6 +861,9 @@ RtResult RtCluster::Run() {
   result.degrade_windows = degrade_windows_;
   result.server_crashes = server_crashes_;
   result.server_recoveries = server_recoveries_;
+  result.worker_crashes = worker_crashes_.load();
+  result.worker_restarts = worker_restarts_.load();
+  result.worker_respawns = worker_respawns_.load();
   result.blocks_lost = blocks_lost_;
   result.bytes_lost = bytes_lost_;
   result.blocks_lost_by_zone = blocks_lost_by_zone_;
@@ -424,13 +882,30 @@ RtResult RtCluster::Run() {
     r.blocks_done = job->blocks_done.load();
     r.blocks_consumed = job->consumed;
     r.remote_retries = job->remote_retries.load();
+    r.blocks_refetched = job->refetched;
     result.remote_retries += r.remote_retries;
+    result.blocks_refetched += r.blocks_refetched;
     if (r.completed) {
       result.makespan = std::max(result.makespan, r.finish);
+      // The completion invariant: every fetched block is a hit or a miss,
+      // and every fetch is either first-time progress or a crash-mandated
+      // re-read.  A violation is state corruption — dump it.
+      if (r.cache_hits + r.cache_misses != job->blocks_total + r.blocks_refetched) {
+        SILOD_LOG(Error) << "completion invariant violated for job " << r.id << ": " << r.cache_hits
+                         << " hits + " << r.cache_misses << " misses != " << job->blocks_total
+                         << " blocks + " << r.blocks_refetched << " refetched";
+        WriteDump("invariant-job" + std::to_string(r.id),
+                  "completion invariant violated, job " + std::to_string(r.id));
+      }
     } else {
       ++result.unfinished_jobs;
     }
     result.jobs.push_back(r);
+  }
+  {
+    std::lock_guard<std::mutex> lock(forensics_mu_);
+    result.compute_lost = compute_lost_;
+    result.minidump_paths = minidump_paths_;
   }
   std::sort(result.jobs.begin(), result.jobs.end(),
             [](const RtJobResult& a, const RtJobResult& b) { return a.id < b.id; });

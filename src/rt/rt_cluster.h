@@ -3,20 +3,27 @@
 //
 // The paper evaluates on K80 GPUs that run the full data pipeline but replace
 // the forward/backward passes with sleep(profiled V100 duration).  RtCluster
-// is that idea with the GPUs removed entirely: every job is a pair of real
-// threads —
-//   - a loader that walks shuffled epochs, reads blocks through the shared
-//     DataManager (uniform caching, §2.2) and the in-memory remote store
-//     (egress token bucket), throttled to the job's remote-IO allocation by
-//     its own wall-clock token bucket (the FUSE client of §6);
-//   - a trainer that consumes staged blocks and sleeps block_bytes / f* per
-//     block (the profiled compute time);
-// plus a scheduler thread that periodically snapshots progress and applies a
-// fresh AllocationPlan (quotas + throttles), exactly like the SiloD control
-// loop in Fig. 7.
+// is that idea with the GPUs removed entirely: every job is a loader (walks
+// shuffled epochs, reads blocks through the shared DataManager and the
+// in-memory remote store, throttled to the job's remote-IO allocation) plus a
+// trainer (consumes staged blocks and sleeps block_bytes / f* per block);
+// a scheduler thread periodically snapshots progress and applies a fresh
+// AllocationPlan (quotas + throttles), exactly like the SiloD control loop in
+// Fig. 7.
+//
+// Worker model (docs/MODEL.md §10): by default loader+trainer are in-process
+// threads (the historical runtime).  With workers_processes they are promoted
+// to one real OS process per job — NodeManager fork/execs a worker that runs
+// the same loader/trainer pipeline and calls back into the cluster for every
+// block fetch, so the cache, the throttles and the remote store stay in one
+// place while an injected kWorkerCrash SIGKILLs a real pid.  Either way the
+// crash discards progress per RtOptions::restart_cost and the restart pays
+// its re-reads through the very same DataManager path, cross-checkable
+// against the fine engine's per-kind fault accounting.
 //
 // Workloads are scaled down (tiny datasets, seconds of wall time) but every
-// mechanism is the real one: concurrency, contention, throttling, caching.
+// mechanism is the real one: concurrency, contention, throttling, caching,
+// process supervision.
 #ifndef SILOD_SRC_RT_RT_CLUSTER_H_
 #define SILOD_SRC_RT_RT_CLUSTER_H_
 
@@ -29,9 +36,14 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/backoff.h"
+#include "src/common/rng.h"
 #include "src/core/data_manager.h"
 #include "src/core/recovery.h"
 #include "src/fault/fault_injector.h"
+#include "src/fault/minidump.h"
+#include "src/fault/restart_cost.h"
+#include "src/rt/node_manager.h"
 #include "src/sched/policy.h"
 #include "src/sim/metrics.h"
 #include "src/storage/inmem_remote.h"
@@ -52,13 +64,14 @@ struct RtOptions {
 
   // Fault schedule, consumed by the scheduler thread at its polling
   // granularity (reschedule_period).  Remote degradation, Data-Manager
-  // restarts and cache-server crash/recover events (against the sharded
-  // Data Manager, one shard per ClusterResources::num_servers) are all
-  // modelled; worker events are counted as ignored (jobs are threads, not
-  // pods — there is no worker to kill).
+  // restarts, cache-server crash/recover events (against the sharded Data
+  // Manager, one shard per ClusterResources::num_servers) and worker
+  // crash/restart events are all modelled; a worker event is ignored (and
+  // counted) only when its target job does not exist, already finished, or
+  // is not in the state the event requires.
   FaultPlan faults;
   // Loader retry policy for transient remote-read errors: exponential
-  // backoff from `base`, capped at `cap`.
+  // backoff from `base`, capped at `cap` (common/backoff.h).
   Seconds retry_backoff_base = 0.002;
   Seconds retry_backoff_cap = 0.1;
   // When > 0, the scheduler thread captures a Data-Manager snapshot (§6,
@@ -70,20 +83,52 @@ struct RtOptions {
   // the Data Manager routes spread datasets zone-proportionally, and shard
   // crashes are attributed per zone in RtResult::blocks_lost_by_zone.
   ClusterTopology topology;
+
+  // What a worker crash discards (fault/restart_cost.h).  The rt runtime
+  // treats lose-partial-epoch as epoch-granular for every job (it does not
+  // model curriculum orders).
+  RestartCost restart_cost;
+
+  // Worker execution model: false = in-process loader/trainer threads (the
+  // historical runtime, bit-identical block order); true = one OS process
+  // per job supervised by NodeManager.
+  bool workers_processes = false;
+  // Process-mode knobs.
+  Seconds worker_stop_grace = 2.0;   // Drain budget at shutdown.
+  Seconds heartbeat_period = 0.25;   // Worker liveness beacon period.
+  // Respawn-after-unexpected-exit policy: bounded exponential backoff with
+  // jitter; a job whose worker dies unexpectedly more than max_attempts
+  // times is abandoned (reported unfinished).
+  int respawn_max_attempts = 3;
+  Seconds respawn_backoff_base = 0.01;
+  Seconds respawn_backoff_cap = 0.2;
+  double respawn_backoff_jitter = 0.1;
+
+  // Crash forensics (fault/minidump.h): when non-empty, every injected
+  // worker crash, unexpected worker exit and completion-invariant violation
+  // serializes a minidump here (paths in RtResult::minidump_paths), and the
+  // event recorder runs for the whole run.
+  std::string minidump_dir;
+  int minidump_window = 256;  // Events kept per dump.
 };
 
 struct RtJobResult {
   JobId id = kInvalidJob;
   Seconds start = 0;   // Wall seconds from Run() begin.
   Seconds finish = 0;  // Valid only when completed.
-  // False when Run() timed out before the job consumed all its blocks; start,
-  // finish and Runtime() are meaningless then (the job was aborted mid-run).
+  // False when Run() timed out (or abandoned the job after repeated worker
+  // deaths) before it consumed all its blocks; start, finish and Runtime()
+  // are meaningless then.
   bool completed = false;
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t blocks_done = 0;      // Blocks whose compute finished.
   std::int64_t blocks_consumed = 0;  // Blocks dequeued by the trainer.
   std::int64_t remote_retries = 0;   // Transient remote errors retried.
+  // Blocks re-read because a crash discarded un-checkpointed progress.  For
+  // a completed job, cache_hits + cache_misses == blocks fetched ==
+  // blocks_total + blocks_refetched exactly (the completion invariant).
+  std::int64_t blocks_refetched = 0;
 
   Seconds Runtime() const { return finish - start; }
 };
@@ -100,22 +145,31 @@ struct RtResult {
   int degrade_windows = 0;
   int server_crashes = 0;
   int server_recoveries = 0;
+  int worker_crashes = 0;
+  int worker_restarts = 0;
+  // Workers respawned after an unexpected exit (not injected crashes).
+  int worker_respawns = 0;
   std::int64_t blocks_lost = 0;  // Resident blocks dropped by shard crashes.
   Bytes bytes_lost = 0;          // Resident bytes dropped by shard crashes.
   // Blocks lost per failure domain (RtOptions::topology); empty without one.
   std::map<std::string, std::int64_t> blocks_lost_by_zone;
-  // Events this runtime could not act on, by kind (worker events, or targets
-  // that are out of range / in the wrong state).  ignored_faults is the sum.
+  // RestartCost accounting, summed over jobs.
+  std::int64_t blocks_refetched = 0;
+  double compute_lost = 0;  // Discarded staged compute, in seconds.
+  // Events this runtime could not act on, by kind (targets that are out of
+  // range / in the wrong state).  ignored_faults is the sum.
   std::map<FaultKind, int> ignored_by_kind;
   int ignored_faults = 0;
   std::int64_t remote_retries = 0;
+  // Minidumps written during the run (empty unless minidump_dir is set).
+  std::vector<std::string> minidump_paths;
 };
 
 // Folds an RtResult into the shared RunReport schema (sim/metrics.h), so the
 // runtime serializes exactly like the simulation engines ("engine": "rt").
 RunReport MakeRtRunReport(std::string label, const RtResult& result);
 
-class RtCluster {
+class RtCluster : private NodeManager::Host {
  public:
   // The trace's jobs all start at t = 0 (wall submit times are not modelled;
   // this runtime targets micro-benchmark-style workloads).  `scheduler` must
@@ -123,7 +177,7 @@ class RtCluster {
   RtCluster(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
             ClusterResources resources, RtOptions options = {});
 
-  // Runs every job to completion on real threads; blocking.
+  // Runs every job to completion on real threads/processes; blocking.
   RtResult Run();
 
  private:
@@ -139,26 +193,80 @@ class RtCluster {
     std::atomic<std::int64_t> blocks_done{0};
     std::int64_t blocks_total = 0;
     std::atomic<bool> completed{false};
+    // Crashed and awaiting its restart event; set by ApplyFault, cleared by
+    // RestartJob.
+    std::atomic<bool> crashed{false};
+    // Given up after respawn_max_attempts unexpected exits (process mode).
+    std::atomic<bool> abandoned{false};
     std::atomic<std::int64_t> hits{0};
     std::atomic<std::int64_t> misses{0};
     std::atomic<std::int64_t> remote_retries{0};
     Seconds start = 0;
     Seconds finish = 0;
+    Seconds block_compute = 0;
     std::thread loader;
     std::thread trainer;
 
-    // Staged-block handoff (loader -> trainer): a counting baton.
+    // Staged-block handoff (loader -> trainer) and crash/restart
+    // rendezvous; everything below is under mu.
     std::condition_variable cv;
     std::int64_t staged = 0;    // Blocks fetched but not yet consumed.
     std::int64_t consumed = 0;  // Blocks the trainer has finished.
+    // Fetch cursor: the absolute index the loader fetches next (rewound by a
+    // lossy restart), and the refetch accounting that backs the completion
+    // invariant — an access whose index is below the high-water mark is a
+    // policy-mandated re-read.
+    std::int64_t fetched = 0;
+    std::int64_t high_water = 0;
+    std::int64_t refetched = 0;
+    // Thread mode: both pipeline threads park here while crashed, so the
+    // restart can rewind their shared state safely.
+    bool loader_paused = false;
+    bool trainer_paused = false;
+    // Process mode: bumped per spawn; stale frames from a killed worker's
+    // socket buffer carry the old incarnation and are dropped.
+    std::uint64_t incarnation = 0;
+    std::unique_ptr<Rng> respawn_rng;
+    std::unique_ptr<Backoff> respawn_backoff;
   };
 
+  // Thread-mode pipeline.
   void LoaderLoop(RtJob& job);
   void TrainerLoop(RtJob& job);
+
+  // The full fetch path shared by both modes: cache access (recorded),
+  // refetch accounting, fabric/throttle waits, remote read with bounded
+  // backoff.  Returns hit; *aborted is set when the run is stopping.
+  bool FetchOneBlock(RtJob& job, std::int64_t fetch_index, std::int64_t block, bool* aborted);
+
+  // NodeManager::Host (process mode).
+  bool FetchBlock(JobId job, std::uint64_t incarnation, std::int64_t fetch_index,
+                  std::int64_t block, bool* aborted) override;
+  void OnBlockDone(JobId job, std::uint64_t incarnation, std::int64_t blocks_done) override;
+  void OnDrained(JobId job, std::uint64_t incarnation, std::int64_t blocks_done,
+                 std::int64_t blocks_fetched) override;
+  void OnUnexpectedExit(JobId job, std::uint64_t incarnation, int wait_status) override;
+
   void SchedulerLoop();
   void ScheduleOnce();
   void ApplyFault(const FaultEvent& event);
+  RtJob* FindJob(JobId id);
+  // The checkpoint index `done` rolls back to under restart_cost.
+  std::int64_t RollbackTarget(std::int64_t done, const RtJob& job) const;
+  // Applies restart_cost to the job's counters (job.mu held): freezes for
+  // checkpoint-everything, rewinds done/fetched and drops the staged
+  // pipeline otherwise.  Accounts the discarded compute.
+  void ApplyRollbackLocked(RtJob& job);
+  void RestartJob(RtJob& job);
+  Status SpawnWorker(RtJob& job);
+  void CompleteJob(RtJob& job);
+  void AbandonJob(RtJob& job);
+  // Serializes the recorder's current window to minidump_dir (no-op when
+  // forensics are off).
+  void WriteDump(const std::string& label, const std::string& reason);
   Seconds WallNow() const;
+  // Sleeps `s` in small slices, returning early once the run is stopping.
+  void SleepInterruptible(Seconds s);
 
   const Trace* trace_;
   std::shared_ptr<Scheduler> scheduler_;
@@ -173,6 +281,21 @@ class RtCluster {
   std::atomic<bool> stopping_{false};
   std::atomic<int> unfinished_{0};
   std::chrono::steady_clock::time_point wall_start_;
+
+  // Process mode; null in thread mode.
+  std::unique_ptr<NodeManager> node_;
+  // Crash forensics; null unless minidump_dir is set.
+  std::unique_ptr<MinidumpRecorder> recorder_;
+  std::mutex forensics_mu_;  // Guards minidump_paths_, dump_counter_, compute_lost_.
+  std::vector<std::string> minidump_paths_;
+  int dump_counter_ = 0;
+  double compute_lost_ = 0;
+
+  // Worker-fault counters; touched by the scheduler thread and (process
+  // mode) handler threads.
+  std::atomic<int> worker_crashes_{0};
+  std::atomic<int> worker_restarts_{0};
+  std::atomic<int> worker_respawns_{0};
 
   // Fault state: owned by the scheduler thread; the counters are read by
   // Run() only after it joins that thread.

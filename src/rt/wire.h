@@ -1,0 +1,81 @@
+// The NodeManager <-> worker wire protocol (docs/MODEL.md §10).
+//
+// One AF_UNIX stream socket per worker.  Every message is a length-prefixed
+// frame:
+//
+//   u32 LE  body length (bytes)
+//   u8      message type (WireType)
+//   u64 LE  payload words (doubles bit-cast to u64)
+//
+// Fixed-width words keep the framing trivial and platform-independent; the
+// parent validates the word count per type, so a truncated or corrupt frame
+// surfaces as an error instead of a misparse.  Reads and writes loop over
+// EINTR/short transfers; writes use MSG_NOSIGNAL so a peer that died
+// mid-conversation produces an error, not SIGPIPE.
+//
+// Conversation (parent perspective):
+//   -> kAssign       job geometry + resume index, sent once after spawn
+//   <- kHello        worker pid, first frame after exec
+//   <- kFetchRequest loader wants block `block` at absolute fetch index
+//   -> kFetchReply   after the parent paid the full fetch path (cache access,
+//                    throttle, remote read with retries): hit + aborted flags
+//   <- kBlockDone    one block's compute finished; running done count
+//   <- kHeartbeat    liveness beacon from the worker's timer thread
+//   -> kStop         drain politely; worker answers kDrained and exits 0
+//   <- kDrained      final counters, last frame before exit
+#ifndef SILOD_SRC_RT_WIRE_H_
+#define SILOD_SRC_RT_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace silod {
+
+enum class WireType : std::uint8_t {
+  kHello = 1,
+  kAssign = 2,
+  kFetchRequest = 3,
+  kFetchReply = 4,
+  kBlockDone = 5,
+  kHeartbeat = 6,
+  kDrained = 7,
+  kStop = 8,
+};
+
+const char* WireTypeName(WireType type);
+
+struct WireMessage {
+  WireType type = WireType::kHello;
+  std::vector<std::uint64_t> words;
+
+  double AsDouble(std::size_t i) const;
+  static std::uint64_t FromDouble(double d);
+};
+
+// Payload word layouts (all u64 unless noted):
+//   kHello        [pid]
+//   kAssign       [job_id, blocks_total, resume_done, resume_fetched,
+//                  num_blocks, pipeline_depth, rng_seed,
+//                  block_compute(double), heartbeat_period(double)]
+//   kFetchRequest [fetch_index, block]
+//   kFetchReply   [hit, aborted]
+//   kBlockDone    [blocks_done]
+//   kHeartbeat    [blocks_done]
+//   kDrained      [blocks_done, blocks_fetched]
+//   kStop         []
+//
+// Returns the expected word count for `type`, or -1 if any count is legal.
+int WireExpectedWords(WireType type);
+
+// Writes one frame; Internal on a closed/errored peer.
+Status WriteFrame(int fd, WireType type, const std::vector<std::uint64_t>& words);
+
+// Blocking read of one frame.  A clean EOF before any byte of a frame is
+// OutOfRange ("peer closed"); a mid-frame EOF or malformed frame is Internal.
+Result<WireMessage> ReadFrame(int fd);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_RT_WIRE_H_

@@ -103,6 +103,8 @@ std::string FaultsToJson(const FaultStats& f, const std::string& margin) {
   field("ignored_events", std::to_string(f.ignored_events));
   field("blocks_lost", std::to_string(f.blocks_lost));
   field("bytes_lost", JsonNumber(f.bytes_lost));
+  field("blocks_refetched", std::to_string(f.blocks_refetched));
+  field("compute_lost", JsonNumber(f.compute_lost));
   std::string by_zone = "{";
   bool first = true;
   for (const auto& [zone, blocks] : f.blocks_lost_by_zone) {

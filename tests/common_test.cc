@@ -1,9 +1,11 @@
-// Unit tests for src/common: units, RNG, status, stats, bitset, table.
+// Unit tests for src/common: units, RNG, status, stats, bitset, table,
+// backoff.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 
+#include "src/common/backoff.h"
 #include "src/common/bitset.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
@@ -442,6 +444,72 @@ TEST(Topology, ValidateRejectsOutOfRangeZones) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed->Validate(8).ok());
   EXPECT_FALSE(parsed->Validate(6).ok());
+}
+
+// ---------------------------------------------------------------- Backoff --
+
+TEST(Backoff, JitterlessSequenceIsExactlyBaseTimesPowersCapped) {
+  BackoffOptions options;
+  options.base = 0.002;
+  options.cap = 0.1;
+  Backoff backoff(options);
+  // base, base*2, base*4, ... capped at 0.1 — bit-identical to the
+  // historical loader retry loop (first delay == base).
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.002);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.004);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.008);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.016);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.032);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.064);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.1);  // 0.128 capped.
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.1);  // Stays at the cap.
+  EXPECT_FALSE(backoff.exhausted());           // max_attempts == 0: unbounded.
+}
+
+TEST(Backoff, MaxAttemptsExhaustsAndResetRestarts) {
+  BackoffOptions options;
+  options.base = 0.01;
+  options.cap = 1.0;
+  options.max_attempts = 3;
+  Backoff backoff(options);
+  EXPECT_FALSE(backoff.exhausted());
+  backoff.NextDelay();
+  backoff.NextDelay();
+  EXPECT_FALSE(backoff.exhausted());
+  backoff.NextDelay();
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_EQ(backoff.attempts(), 3);
+  backoff.Reset();
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 0.01);  // Back to the base.
+}
+
+TEST(Backoff, JitterScalesEachDelayWithinTheHalfWidth) {
+  BackoffOptions options;
+  options.base = 0.01;
+  options.cap = 10.0;
+  options.jitter = 0.25;
+  Rng rng(42);
+  Backoff backoff(options, &rng);
+  double expected_center = 0.01;
+  for (int i = 0; i < 8; ++i) {
+    const Seconds delay = backoff.NextDelay();
+    EXPECT_GE(delay, expected_center * 0.75) << "attempt " << i;
+    EXPECT_LE(delay, expected_center * 1.25) << "attempt " << i;
+    expected_center *= 2;
+  }
+}
+
+TEST(Backoff, JitterIsDeterministicPerRngSeed) {
+  BackoffOptions options;
+  options.jitter = 0.5;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Backoff a(options, &rng_a);
+  Backoff b(options, &rng_b);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDelay(), b.NextDelay()) << "attempt " << i;
+  }
 }
 
 }  // namespace

@@ -6,10 +6,33 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <fstream>
+#include <sstream>
 
 #include "src/common/units.h"
 #include "src/core/silod_scheduler.h"
+#include "src/core/system.h"
+#include "src/fault/minidump.h"
 #include "src/rt/rt_cluster.h"
+#include "src/rt/worker_main.h"
+
+// fork() from a threaded parent plus worker re-exec is unsupported under
+// TSan; process-mode tests skip there (thread mode still runs).
+#if defined(__SANITIZE_THREAD__)
+#define SILOD_RT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SILOD_RT_TSAN 1
+#endif
+#endif
+#ifndef SILOD_RT_TSAN
+#define SILOD_RT_TSAN 0
+#endif
+#if SILOD_RT_TSAN
+#define SILOD_SKIP_UNDER_TSAN() GTEST_SKIP() << "process-mode workers are unsupported under TSan"
+#else
+#define SILOD_SKIP_UNDER_TSAN() (void)0
+#endif
 
 namespace silod {
 namespace {
@@ -277,5 +300,213 @@ TEST(RtClusterFaults, AbortedJobsReportConsumedEqualToDone) {
   }
 }
 
+// ------------------------------ Worker crash/restart and RestartCost (§6) --
+
+// Thread mode, checkpoint-everything: the crash freezes the pipeline and the
+// restart resumes it verbatim — zero re-reads, zero discarded compute, and
+// the completion invariant holds with refetched == 0.
+TEST(RtClusterWorkers, CheckpointEverythingRefetchesNothing) {
+  const Trace trace = TinyTrace(1, MB(8), 6.0);  // 32 blocks x 6 epochs.
+  RtOptions options;
+  options.reschedule_period = 0.02;
+  Result<FaultPlan> plan = FaultPlan::Parse("worker-crash t=0.3 job=0 restart=0.2");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(100)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_EQ(result.worker_crashes, 1);
+  EXPECT_EQ(result.worker_restarts, 1);
+  EXPECT_EQ(result.blocks_refetched, 0);
+  EXPECT_DOUBLE_EQ(result.compute_lost, 0);
+  const RtJobResult& j = result.jobs[0];
+  EXPECT_TRUE(j.completed);
+  EXPECT_EQ(j.cache_hits + j.cache_misses, 192);
+  EXPECT_EQ(j.blocks_refetched, 0);
+}
+
+// Thread mode, lossy policies: the rollback re-reads at most the distance to
+// the last checkpoint plus the staged pipeline, and every re-read shows up in
+// the completion invariant — hits + misses == blocks_total + refetched.
+TEST(RtClusterWorkers, LossyRestartPoliciesBoundTheRefetch) {
+  struct Case {
+    const char* spec;
+    std::int64_t checkpoint_gap;  // Max blocks between checkpoints - 1.
+  };
+  for (const Case& c : {Case{"checkpoint-interval:4", 3}, Case{"lose-partial-epoch", 31}}) {
+    const Trace trace = TinyTrace(1, MB(8), 6.0);
+    RtOptions options;
+    options.reschedule_period = 0.02;
+    Result<FaultPlan> plan = FaultPlan::Parse("worker-crash t=0.3 job=0 restart=0.2");
+    ASSERT_TRUE(plan.ok());
+    options.faults = *plan;
+    options.restart_cost = *RestartCost::Parse(c.spec);
+    RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                      TinyCluster(MB(8), MBps(100)), options);
+    const RtResult result = cluster.Run();
+    ASSERT_FALSE(result.timed_out) << c.spec;
+    EXPECT_EQ(result.worker_crashes, 1) << c.spec;
+    EXPECT_EQ(result.worker_restarts, 1) << c.spec;
+    const RtJobResult& j = result.jobs[0];
+    ASSERT_TRUE(j.completed) << c.spec;
+    EXPECT_EQ(j.cache_hits + j.cache_misses, 192 + j.blocks_refetched) << c.spec;
+    EXPECT_LE(j.blocks_refetched, c.checkpoint_gap + options.pipeline_depth) << c.spec;
+  }
+}
+
+// Satellite: worker-kind fault events must be acted on, never ignored — a
+// churn plan whose every event targets a live job reports zero worker-kind
+// ignores (the retired ignored_by_kind entries for crash/restart).
+TEST(RtClusterWorkers, WorkerEventsAreNeverIgnoredUnderChurn) {
+  const Trace trace = TinyTrace(2, MB(8), 6.0);
+  RtOptions options;
+  options.reschedule_period = 0.02;
+  Result<FaultPlan> plan = FaultPlan::Parse(
+      "worker-crash t=0.1 job=0 restart=0.15; "
+      "worker-crash t=0.1 job=1 restart=0.15; "
+      "worker-crash t=0.5 job=0 restart=0.15");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(16), MBps(100)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_EQ(result.worker_crashes, 3);
+  EXPECT_EQ(result.worker_restarts, 3);
+  EXPECT_EQ(result.ignored_by_kind.count(FaultKind::kWorkerCrash), 0u);
+  EXPECT_EQ(result.ignored_by_kind.count(FaultKind::kWorkerRestart), 0u);
+  EXPECT_EQ(result.ignored_faults, 0);
+  for (const RtJobResult& j : result.jobs) {
+    EXPECT_TRUE(j.completed) << "job " << j.id;
+    EXPECT_EQ(j.cache_hits + j.cache_misses, 192 + j.blocks_refetched) << "job " << j.id;
+  }
+}
+
+// ------------------------------------- Multi-process workers (MODEL.md §10) --
+
+// The in-process path stays available behind the flag, and without faults the
+// two modes are bit-identical: same shuffle order, same DataManager, so the
+// same per-job hit/miss split.
+TEST(RtClusterProcesses, ThreadAndProcessModesAgreeWithoutFaults) {
+  SILOD_SKIP_UNDER_TSAN();
+  const auto run = [](bool processes) {
+    const Trace trace = TinyTrace(2, MB(4), 3.0);  // 16 blocks x 3 epochs.
+    RtOptions options;
+    options.workers_processes = processes;
+    RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                      TinyCluster(MB(16), MBps(200)), options);
+    return cluster.Run();
+  };
+  const RtResult threads = run(false);
+  const RtResult processes = run(true);
+  ASSERT_FALSE(threads.timed_out);
+  ASSERT_FALSE(processes.timed_out);
+  ASSERT_EQ(threads.jobs.size(), processes.jobs.size());
+  for (std::size_t i = 0; i < threads.jobs.size(); ++i) {
+    const RtJobResult& t = threads.jobs[i];
+    const RtJobResult& p = processes.jobs[i];
+    EXPECT_TRUE(t.completed && p.completed) << "job " << t.id;
+    EXPECT_EQ(t.cache_hits, p.cache_hits) << "job " << t.id;
+    EXPECT_EQ(t.cache_misses, p.cache_misses) << "job " << t.id;
+    EXPECT_EQ(t.blocks_done, p.blocks_done) << "job " << t.id;
+    // Ample cache + disjoint datasets: the split is exact, not just equal.
+    EXPECT_EQ(t.cache_misses, 16) << "job " << t.id;
+    EXPECT_EQ(t.cache_hits, 32) << "job " << t.id;
+  }
+  EXPECT_EQ(processes.worker_respawns, 0);
+}
+
+// Process mode: an injected kWorkerCrash SIGKILLs a real pid, the restart
+// pays its refetch through the shared DataManager, the accounting stays
+// exact, and the crash serializes a minidump whose window replays
+// bit-identically.
+TEST(RtClusterProcesses, InjectedCrashRestartsWithReplayableMinidump) {
+  SILOD_SKIP_UNDER_TSAN();
+  const Trace trace = TinyTrace(1, MB(8), 6.0);
+  RtOptions options;
+  options.workers_processes = true;
+  options.reschedule_period = 0.02;
+  options.minidump_dir = ::testing::TempDir() + "rt-dumps";
+  Result<FaultPlan> plan = FaultPlan::Parse("worker-crash t=0.3 job=0 restart=0.2");
+  ASSERT_TRUE(plan.ok());
+  options.faults = *plan;
+  options.restart_cost = *RestartCost::Parse("checkpoint-interval:4");
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(100)), options);
+  const RtResult result = cluster.Run();
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_EQ(result.worker_crashes, 1);
+  EXPECT_EQ(result.worker_restarts, 1);
+  const RtJobResult& j = result.jobs[0];
+  ASSERT_TRUE(j.completed);
+  EXPECT_EQ(j.cache_hits + j.cache_misses, 192 + j.blocks_refetched);
+  // Checkpoint distance (3) + the staged pipeline + one in-flight fetch that
+  // may land after the SIGKILL.
+  EXPECT_LE(j.blocks_refetched, 3 + options.pipeline_depth + 1);
+
+  ASSERT_FALSE(result.minidump_paths.empty());
+  std::ifstream in(result.minidump_paths.front());
+  ASSERT_TRUE(in.good()) << result.minidump_paths.front();
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto dump = MinidumpFromText(text.str());
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump->reason, "injected worker crash, job 0");
+  const auto replay = ReplayMinidump(*dump);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->ok) << replay->message;
+}
+
+// Satellite: sim-vs-runtime fault parity.  The same fault plan on the fine
+// engine and the multi-process RtCluster must agree exactly on the per-kind
+// fault counts, and on blocks_refetched within the documented tolerance of
+// crashes x (checkpoint distance + pipeline depth + 1): the engines checkpoint
+// at the same boundaries, but the runtime's crash lands at a wall-clock
+// instant, so the two runs crash up to one checkpoint window apart.
+TEST(RtClusterProcesses, FineEngineAndRtClusterAgreeOnFaultAccounting) {
+  SILOD_SKIP_UNDER_TSAN();
+  const Trace trace = TinyTrace(1, MB(8), 6.0);
+  const char* kPlan = "worker-crash t=0.3 job=0 restart=0.5";
+  const RestartCost kCost = *RestartCost::Parse("checkpoint-interval:4");
+
+  ExperimentConfig fine_config;
+  fine_config.cache = CacheSystem::kSiloD;
+  fine_config.engine = EngineKind::kFine;
+  fine_config.sim.resources = TinyCluster(MB(8), MBps(100));
+  fine_config.sim.faults = *FaultPlan::Parse(kPlan);
+  fine_config.sim.restart_cost = kCost;
+  const SimResult fine = RunExperiment(trace, fine_config);
+
+  RtOptions options;
+  options.workers_processes = true;
+  options.reschedule_period = 0.02;
+  options.faults = *FaultPlan::Parse(kPlan);
+  options.restart_cost = kCost;
+  RtCluster cluster(&trace, MakeScheduler(SchedulerKind::kFifo, CacheSystem::kSiloD),
+                    TinyCluster(MB(8), MBps(100)), options);
+  const RtResult rt = cluster.Run();
+  ASSERT_FALSE(rt.timed_out);
+
+  EXPECT_EQ(fine.faults.worker_crashes, rt.worker_crashes);
+  EXPECT_EQ(fine.faults.worker_restarts, rt.worker_restarts);
+  EXPECT_EQ(fine.faults.ignored_events, rt.ignored_faults);
+  EXPECT_EQ(rt.worker_crashes, 1);
+  const std::int64_t tolerance =
+      rt.worker_crashes * (kCost.interval_blocks + options.pipeline_depth + 1);
+  EXPECT_LE(std::abs(fine.faults.blocks_refetched - rt.blocks_refetched), tolerance)
+      << "fine=" << fine.faults.blocks_refetched << " rt=" << rt.blocks_refetched;
+}
+
 }  // namespace
 }  // namespace silod
+
+// Re-exec'd copies of this binary become rt worker processes (process-mode
+// tests); everything else is a normal gtest run.
+int main(int argc, char** argv) {
+  if (const int worker_rc = silod::MaybeRunWorkerMain(argc, argv); worker_rc >= 0) {
+    return worker_rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

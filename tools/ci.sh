@@ -10,6 +10,7 @@
 #   tools/ci.sh smoke      # fault-churn benchmark smoke only
 #   tools/ci.sh zone-smoke # zone-aware vs oblivious placement smoke only
 #   tools/ci.sh scaling-smoke # fine-engine throughput + bit-identity smoke only
+#   tools/ci.sh rt-fault-smoke # multi-process worker crash + minidump replay smoke only
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -107,6 +108,37 @@ if [[ "$stage" == "all" || "$stage" == "scaling-smoke" ]]; then
       --baseline=BENCH_engine_scaling.json --max-regress=0.3 \
       --out=build-ci-smoke/BENCH_engine_scaling.json
 
+fi
+
+if [[ "$stage" == "all" || "$stage" == "rt-fault-smoke" ]]; then
+  # Multi-process worker smoke under ASan: SIGKILL a live worker process
+  # mid-run via the fault plan, assert the run completes with correct
+  # accounting (silod_sim exits non-zero on a timeout, an unfinished job or a
+  # completion-invariant violation), a minidump was emitted, and silod_replay
+  # re-executes its window bit-identically.
+  echo "=== [rt-fault-smoke] configure ==="
+  cmake -B build-ci-rt -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  echo "=== [rt-fault-smoke] build ==="
+  cmake --build build-ci-rt -j "$jobs" --target silod_sim silod_replay
+  echo "=== [rt-fault-smoke] run ==="
+  dump_dir="build-ci-rt/rt-minidumps"
+  rm -rf "$dump_dir"
+  ./build-ci-rt/tools/silod_sim --engine=rt --workers-processes=true \
+      --rt-jobs=2 --rt-epochs=12 --gpus=8 --cache-tb=0.001 --egress-gbps=0.2 \
+      --restart-cost=checkpoint-interval:4 \
+      --fault-plan="worker-crash t=0.3 job=0 restart=0.3" \
+      --minidump-dir="$dump_dir" --rt-max-wall-seconds=30 \
+      --json=build-ci-rt/rt_smoke.json
+  grep -q '"worker_crashes": 1' build-ci-rt/rt_smoke.json \
+      || { echo "rt-fault-smoke: crash not accounted"; exit 1; }
+  grep -q '"worker_restarts": 1' build-ci-rt/rt_smoke.json \
+      || { echo "rt-fault-smoke: restart not accounted"; exit 1; }
+  dump="$(ls "$dump_dir"/minidump-*.txt 2>/dev/null | head -n1)"
+  [[ -n "$dump" ]] || { echo "rt-fault-smoke: no minidump emitted"; exit 1; }
+  ./build-ci-rt/tools/silod_replay "$dump"
 fi
 
 echo "CI OK"

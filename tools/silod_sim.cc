@@ -13,8 +13,11 @@
 #include "src/common/table.h"
 #include "src/common/topology.h"
 #include "src/core/policy_registry.h"
+#include "src/core/silod_scheduler.h"
 #include "src/core/system.h"
 #include "src/fault/fault_plan.h"
+#include "src/rt/rt_cluster.h"
+#include "src/rt/worker_main.h"
 #include "src/workload/trace_io.h"
 
 using namespace silod;
@@ -77,6 +80,11 @@ Status MergeFaultZones(const std::vector<TopologyZone>& incoming,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Re-exec'd copies of this binary become worker processes (rt engine with
+  // --workers-processes); everything below is the parent only.
+  if (const int worker_rc = MaybeRunWorkerMain(argc, argv); worker_rc >= 0) {
+    return worker_rc;
+  }
   FlagSet flags;
   flags.Define("gpus", "96", "cluster GPU count");
   flags.Define("cache-tb", "7.2", "cluster cache pool (TB)");
@@ -88,7 +96,7 @@ int main(int argc, char** argv) {
   flags.Define("policy", "",
                "registry policy name, e.g. \"sjf+silod\" or \"gavel+coordl\" "
                "(overrides --scheduler/--cache-system)");
-  flags.Define("engine", "flow", "flow | fine");
+  flags.Define("engine", "flow", "flow | fine | rt (rt runs a scaled-down wall-clock cluster)");
   flags.Define("zone-threads", "0",
                "worker threads for the flow engine's per-dataset zone solves "
                "(<= 1 runs them on the simulation thread; results are "
@@ -136,6 +144,17 @@ int main(int argc, char** argv) {
   flags.Define("restart-cost", "checkpoint-everything",
                "what a worker crash discards: checkpoint-everything | lose-partial-epoch | "
                "checkpoint-interval:N (N blocks)");
+  flags.Define("workers-processes", "false",
+               "rt engine: run each trainer as a real OS process supervised by the node "
+               "manager instead of in-process threads");
+  flags.Define("minidump-dir", "",
+               "rt engine: write replayable crash minidumps (fault/minidump.h) here on "
+               "worker crashes, unexpected exits and invariant violations");
+  flags.Define("rt-jobs", "2", "rt engine: micro-trace job count (one GPU each)");
+  flags.Define("rt-dataset-mb", "8", "rt engine: per-job dataset size (MB)");
+  flags.Define("rt-block-kb", "250", "rt engine: dataset block size (KB)");
+  flags.Define("rt-epochs", "3", "rt engine: epochs per job");
+  flags.Define("rt-max-wall-seconds", "60", "rt engine: abort the run past this wall time");
   flags.Define("trace", "", "read the workload from this CSV instead of generating");
   flags.Define("dump-trace", "", "write the workload as CSV to this path");
   flags.Define("dump-jobs", "", "write per-job results as CSV to this path");
@@ -339,6 +358,111 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.sim.topology = topology;
+  }
+
+  if (flags.GetString("engine") == "rt") {
+    // The wall-clock mini-cluster: a generated micro-trace (seconds of wall
+    // time) run on real threads or real worker processes, reported through
+    // the same RunReport schema as the simulation engines.
+    const int rt_jobs = static_cast<int>(flags.GetInt("rt-jobs"));
+    if (rt_jobs < 1 || rt_jobs > config.sim.resources.total_gpus) {
+      std::fprintf(stderr, "--rt-jobs: %d is not in [1, --gpus=%d]\n", rt_jobs,
+                   config.sim.resources.total_gpus);
+      return 2;
+    }
+    const ModelZoo zoo;
+    Trace rt_trace;
+    for (int i = 0; i < rt_jobs; ++i) {
+      const DatasetId d = rt_trace.catalog.Add("rt-d" + std::to_string(i),
+                                               MB(flags.GetDouble("rt-dataset-mb")),
+                                               KB(flags.GetDouble("rt-block-kb")));
+      JobSpec job = MakeJob(static_cast<JobId>(i), zoo, "ResNet-50", 1, d, 1.0, 0);
+      job.total_bytes = static_cast<Bytes>(flags.GetDouble("rt-epochs") *
+                                           static_cast<double>(MB(flags.GetDouble("rt-dataset-mb"))));
+      rt_trace.jobs.push_back(job);
+    }
+
+    std::shared_ptr<Scheduler> rt_scheduler;
+    if (!config.policy.empty()) {
+      Result<std::shared_ptr<Scheduler>> made =
+          MakeSchedulerByName(config.policy, config.scheduler_options);
+      if (!made.ok()) {
+        std::fprintf(stderr, "--policy: %s\n", made.status().ToString().c_str());
+        return 2;
+      }
+      rt_scheduler = *made;
+    } else {
+      rt_scheduler = MakeScheduler(config.scheduler, config.cache, config.scheduler_options);
+    }
+
+    RtOptions rt_options;
+    rt_options.faults = config.sim.faults;
+    rt_options.restart_cost = config.sim.restart_cost;
+    rt_options.topology = config.sim.topology;
+    rt_options.workers_processes = flags.GetBool("workers-processes");
+    rt_options.minidump_dir = flags.GetString("minidump-dir");
+    rt_options.max_wall_seconds = flags.GetDouble("rt-max-wall-seconds");
+
+    std::printf("Running %s over %d rt jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress "
+                "(%s workers)\n",
+                config.Name().c_str(), rt_jobs, config.sim.resources.total_gpus,
+                ToTB(config.sim.resources.total_cache), ToGbps(config.sim.resources.remote_io),
+                rt_options.workers_processes ? "process" : "thread");
+    RtCluster cluster(&rt_trace, std::move(rt_scheduler), config.sim.resources, rt_options);
+    const RtResult rt = cluster.Run();
+
+    bool invariant_ok = true;
+    Table summary({"metric", "value"});
+    summary.AddRow({"completed jobs", std::to_string(static_cast<int>(rt.jobs.size()) -
+                                                     rt.unfinished_jobs) +
+                                          "/" + std::to_string(rt.jobs.size())});
+    summary.AddRow({"makespan (s)", Fmt(rt.makespan)});
+    summary.AddRow({"faults (wrk crash/restart/respawn)",
+                    std::to_string(rt.worker_crashes) + "/" + std::to_string(rt.worker_restarts) +
+                        "/" + std::to_string(rt.worker_respawns)});
+    summary.AddRow({"faults (srv crash/recover, dm restarts, ignored)",
+                    std::to_string(rt.server_crashes) + "/" + std::to_string(rt.server_recoveries) +
+                        ", " + std::to_string(rt.dm_restarts) + ", " +
+                        std::to_string(rt.ignored_faults)});
+    summary.AddRow({"restart cost (" + rt_options.restart_cost.ToSpec() +
+                        "): re-reads blk, compute s",
+                    std::to_string(rt.blocks_refetched) + ", " + Fmt(rt.compute_lost)});
+    for (const RtJobResult& j : rt.jobs) {
+      if (!j.completed) {
+        continue;
+      }
+      const Dataset& d = rt_trace.catalog.Get(rt_trace.jobs[static_cast<std::size_t>(j.id)].dataset);
+      const std::int64_t blocks_total =
+          std::max<std::int64_t>(1, (rt_trace.jobs[static_cast<std::size_t>(j.id)].total_bytes +
+                                     d.block_size / 2) / d.block_size);
+      if (j.cache_hits + j.cache_misses != blocks_total + j.blocks_refetched) {
+        std::fprintf(stderr,
+                     "completion invariant VIOLATED for job %d: %lld hits + %lld misses != "
+                     "%lld blocks + %lld refetched\n",
+                     j.id, static_cast<long long>(j.cache_hits),
+                     static_cast<long long>(j.cache_misses), static_cast<long long>(blocks_total),
+                     static_cast<long long>(j.blocks_refetched));
+        invariant_ok = false;
+      }
+    }
+    summary.Print();
+    for (const std::string& dump : rt.minidump_paths) {
+      std::printf("minidump: %s\n", dump.c_str());
+    }
+
+    if (!flags.GetString("json").empty()) {
+      RunReport report = MakeRtRunReport(config.Name(), rt);
+      if (!config.sim.topology.empty()) {
+        report.AddExtra("topology", config.sim.topology.ToSpec());
+      }
+      std::ofstream(flags.GetString("json")) << report.ToJson() << "\n";
+      std::printf("wrote %s\n", flags.GetString("json").c_str());
+    }
+    if (rt.timed_out) {
+      std::fprintf(stderr, "rt run timed out after %.1fs\n", rt_options.max_wall_seconds);
+      return 1;
+    }
+    return invariant_ok && rt.unfinished_jobs == 0 ? 0 : 1;
   }
 
   std::printf("Running %s over %zu jobs on %d GPUs / %.1f TB cache / %.1f Gbps egress (%s "
