@@ -1,0 +1,124 @@
+#include "src/common/framing.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace silod {
+namespace {
+
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // send() instead of write(): MSG_NOSIGNAL turns a dead peer into an
+    // error return instead of a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal(std::string("wire write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly `len` bytes.  *eof_before_any is set when the peer closed
+// cleanly before the first byte.
+Status ReadAll(int fd, std::uint8_t* data, std::size_t len, bool* eof_before_any) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal(std::string("wire read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_before_any != nullptr) {
+        *eof_before_any = true;
+        return Status::OutOfRange("peer closed");
+      }
+      return Status::Internal("wire read: eof mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+void PutU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+Status WriteRawFrame(int fd, std::uint8_t type, const std::string& payload,
+                     std::uint32_t max_body) {
+  if (payload.size() + 1 > max_body) {
+    return Status::InvalidArgument("wire write: body of " + std::to_string(payload.size() + 1) +
+                                   " bytes exceeds the " + std::to_string(max_body) +
+                                   "-byte frame cap");
+  }
+  const std::uint32_t body = static_cast<std::uint32_t>(1 + payload.size());
+  std::string buf;
+  buf.resize(4 + body);
+  auto* bytes = reinterpret_cast<std::uint8_t*>(buf.data());
+  PutU32(bytes, body);
+  bytes[4] = type;
+  std::memcpy(buf.data() + 5, payload.data(), payload.size());
+  return WriteAll(fd, bytes, buf.size());
+}
+
+Result<RawFrame> ReadRawFrame(int fd, std::uint32_t max_body) {
+  std::uint8_t header[4];
+  bool eof = false;
+  if (const Status st = ReadAll(fd, header, sizeof(header), &eof); !st.ok()) {
+    return st;
+  }
+  const std::uint32_t body = GetU32(header);
+  if (body < 1 || body > max_body) {
+    return Status::Internal("wire read: malformed frame length " + std::to_string(body));
+  }
+  std::string buf;
+  buf.resize(body);
+  if (const Status st =
+          ReadAll(fd, reinterpret_cast<std::uint8_t*>(buf.data()), buf.size(), nullptr);
+      !st.ok()) {
+    return st;
+  }
+  RawFrame frame;
+  frame.type = static_cast<std::uint8_t>(buf[0]);
+  frame.payload = buf.substr(1);
+  return frame;
+}
+
+}  // namespace silod

@@ -1,0 +1,54 @@
+// Length-prefixed framing over a stream socket, shared by every wire protocol
+// in the tree (rt/wire.h's NodeManager <-> worker conversation and
+// serve/proto.h's silodd request protocol).
+//
+// Every frame is
+//
+//   u32 LE  body length (bytes)
+//   u8      message type (protocol-defined)
+//   bytes   payload (body length - 1 bytes)
+//
+// The helpers own the transport concerns once: reads and writes loop over
+// EINTR/short transfers, writes use MSG_NOSIGNAL so a peer that died
+// mid-conversation produces an error instead of SIGPIPE, a clean EOF before
+// the first byte of a frame is distinguishable (OutOfRange "peer closed")
+// from a mid-frame EOF (Internal), and bodies above the caller's cap are
+// rejected as framing bugs rather than allocated.  Payload *encoding* (u64
+// words for rt, escaped text for serve) stays with each protocol.
+#ifndef SILOD_SRC_COMMON_FRAMING_H_
+#define SILOD_SRC_COMMON_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace silod {
+
+// Frames are control-plane messages; anything larger is a framing bug, not a
+// real message.  Protocols may pass a tighter cap.
+inline constexpr std::uint32_t kDefaultMaxFrameBody = 64 * 1024;
+
+struct RawFrame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+// Writes one frame; Internal on a closed/errored peer.
+Status WriteRawFrame(int fd, std::uint8_t type, const std::string& payload,
+                     std::uint32_t max_body = kDefaultMaxFrameBody);
+
+// Blocking read of one frame.  A clean EOF before any byte of a frame is
+// OutOfRange ("peer closed"); a mid-frame EOF or an oversized body is
+// Internal.
+Result<RawFrame> ReadRawFrame(int fd, std::uint32_t max_body = kDefaultMaxFrameBody);
+
+// Little-endian fixed-width codecs for protocols that pack binary payloads.
+void PutU32(std::uint8_t* p, std::uint32_t v);
+std::uint32_t GetU32(const std::uint8_t* p);
+void PutU64(std::uint8_t* p, std::uint64_t v);
+std::uint64_t GetU64(const std::uint8_t* p);
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_COMMON_FRAMING_H_

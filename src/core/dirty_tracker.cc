@@ -1,0 +1,36 @@
+#include "src/core/dirty_tracker.h"
+
+namespace silod {
+
+void DirtyTracker::MarkJob(JobId job) {
+  jobs_.insert(job);
+  ++events_;
+  ++lifetime_marks_;
+}
+
+void DirtyTracker::MarkDataset(DatasetId dataset) {
+  datasets_.insert(dataset);
+  ++events_;
+  ++lifetime_marks_;
+}
+
+void DirtyTracker::MarkAll(const std::string& reason) {
+  all_dirty_ = true;
+  // Keep the first reason: later marks before a plan are subsumed by it.
+  if (all_dirty_reason_.empty()) {
+    all_dirty_reason_ = reason;
+  }
+  ++events_;
+  ++lifetime_marks_;
+  ++lifetime_full_invalidations_;
+}
+
+void DirtyTracker::Clear() {
+  jobs_.clear();
+  datasets_.clear();
+  all_dirty_ = false;
+  all_dirty_reason_.clear();
+  events_ = 0;
+}
+
+}  // namespace silod

@@ -1,0 +1,64 @@
+// Dirty-set tracking for incremental re-planning (docs/MODEL.md §11).
+//
+// SiloD's control loop is a pure function of the cluster snapshot, so a
+// re-plan only has to recompute what the snapshot changed: the silodd
+// planner (serve/incremental_planner.h) re-scores and re-estimates only the
+// jobs and datasets marked dirty since the last plan and falls back to a
+// full solve when something global moved (topology, policy, resources).
+//
+// The tracker is the one mutation journal between plans: every submission,
+// completion, cancellation, progress report and cache-state change funnels
+// through MarkJob/MarkDataset/MarkAll, and the planner drains it atomically
+// at each planning tick.  DataManager calls MarkDataset through its change
+// listener (core/data_manager.h) when a shard crash/recovery or a plan
+// application moves a dataset's resident bytes, so cache-side churn also
+// reaches the planner without polling.
+#ifndef SILOD_SRC_CORE_DIRTY_TRACKER_H_
+#define SILOD_SRC_CORE_DIRTY_TRACKER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/workload/dataset.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+class DirtyTracker {
+ public:
+  void MarkJob(JobId job);
+  void MarkDataset(DatasetId dataset);
+  // Global invalidation (topology/policy/resource change); `reason` is kept
+  // for the stats surface so operators can see why full solves happened.
+  void MarkAll(const std::string& reason);
+
+  bool empty() const { return !all_dirty_ && jobs_.empty() && datasets_.empty(); }
+  bool all_dirty() const { return all_dirty_; }
+  const std::string& all_dirty_reason() const { return all_dirty_reason_; }
+  // Sorted, deduplicated views (std::set iteration order).
+  std::vector<JobId> DirtyJobs() const { return {jobs_.begin(), jobs_.end()}; }
+  std::vector<DatasetId> DirtyDatasets() const { return {datasets_.begin(), datasets_.end()}; }
+
+  // Pending marks plus lifetime counters survive a Clear; `events()` counts
+  // individual marks since the last Clear (the planner's coalescing meter).
+  std::uint64_t events() const { return events_; }
+  std::uint64_t lifetime_marks() const { return lifetime_marks_; }
+  std::uint64_t lifetime_full_invalidations() const { return lifetime_full_invalidations_; }
+
+  void Clear();
+
+ private:
+  std::set<JobId> jobs_;
+  std::set<DatasetId> datasets_;
+  bool all_dirty_ = false;
+  std::string all_dirty_reason_;
+  std::uint64_t events_ = 0;
+  std::uint64_t lifetime_marks_ = 0;
+  std::uint64_t lifetime_full_invalidations_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_CORE_DIRTY_TRACKER_H_

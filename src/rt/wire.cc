@@ -1,12 +1,8 @@
 #include "src/rt/wire.h"
 
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
+#include "src/common/framing.h"
 #include "src/common/logging.h"
 
 namespace silod {
@@ -14,75 +10,6 @@ namespace {
 
 // Frames are tiny; anything larger is a framing bug, not a real message.
 constexpr std::uint32_t kMaxBody = 64 * 1024;
-
-Status WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    // send() instead of write(): MSG_NOSIGNAL turns a dead peer into an
-    // error return instead of a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::Internal(std::string("wire write: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
-// Reads exactly `len` bytes.  *eof_before_any is set when the peer closed
-// cleanly before the first byte.
-Status ReadAll(int fd, std::uint8_t* data, std::size_t len, bool* eof_before_any) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, data + got, len - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::Internal(std::string("wire read: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      if (got == 0 && eof_before_any != nullptr) {
-        *eof_before_any = true;
-        return Status::OutOfRange("peer closed");
-      }
-      return Status::Internal("wire read: eof mid-frame");
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
-void PutU32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-}
-
-std::uint32_t GetU32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  }
-  return v;
-}
-
-void PutU64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-}
-
-std::uint64_t GetU64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  }
-  return v;
-}
 
 }  // namespace
 
@@ -144,42 +71,38 @@ int WireExpectedWords(WireType type) {
 }
 
 Status WriteFrame(int fd, WireType type, const std::vector<std::uint64_t>& words) {
-  const std::uint32_t body = static_cast<std::uint32_t>(1 + 8 * words.size());
-  std::vector<std::uint8_t> buf(4 + body);
-  PutU32(buf.data(), body);
-  buf[4] = static_cast<std::uint8_t>(type);
+  // The transport loop (length prefix, EINTR, MSG_NOSIGNAL) lives in
+  // common/framing.h, shared with the silodd protocol; this layer only packs
+  // the payload words.
+  std::string payload;
+  payload.resize(8 * words.size());
   for (std::size_t i = 0; i < words.size(); ++i) {
-    PutU64(buf.data() + 5 + 8 * i, words[i]);
+    PutU64(reinterpret_cast<std::uint8_t*>(payload.data()) + 8 * i, words[i]);
   }
-  return WriteAll(fd, buf.data(), buf.size());
+  return WriteRawFrame(fd, static_cast<std::uint8_t>(type), payload, kMaxBody);
 }
 
 Result<WireMessage> ReadFrame(int fd) {
-  std::uint8_t header[4];
-  bool eof = false;
-  if (const Status st = ReadAll(fd, header, sizeof(header), &eof); !st.ok()) {
-    return st;
+  Result<RawFrame> raw = ReadRawFrame(fd, kMaxBody);
+  if (!raw.ok()) {
+    return raw.status();
   }
-  const std::uint32_t body = GetU32(header);
-  if (body < 1 || body > kMaxBody || (body - 1) % 8 != 0) {
-    return Status::Internal("wire read: malformed frame length " + std::to_string(body));
-  }
-  std::vector<std::uint8_t> buf(body);
-  if (const Status st = ReadAll(fd, buf.data(), buf.size(), nullptr); !st.ok()) {
-    return st;
+  if (raw->payload.size() % 8 != 0) {
+    return Status::Internal("wire read: malformed frame length " +
+                            std::to_string(raw->payload.size() + 1));
   }
   WireMessage msg;
-  msg.type = static_cast<WireType>(buf[0]);
-  const std::size_t count = (body - 1) / 8;
+  msg.type = static_cast<WireType>(raw->type);
+  const std::size_t count = raw->payload.size() / 8;
   msg.words.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    msg.words.push_back(GetU64(buf.data() + 1 + 8 * i));
+    msg.words.push_back(GetU64(reinterpret_cast<const std::uint8_t*>(raw->payload.data()) + 8 * i));
+  }
+  if (raw->type < static_cast<std::uint8_t>(WireType::kHello) ||
+      raw->type > static_cast<std::uint8_t>(WireType::kStop)) {
+    return Status::Internal("wire read: unknown message type " + std::to_string(raw->type));
   }
   const int expected = WireExpectedWords(msg.type);
-  if (buf[0] < static_cast<std::uint8_t>(WireType::kHello) ||
-      buf[0] > static_cast<std::uint8_t>(WireType::kStop)) {
-    return Status::Internal("wire read: unknown message type " + std::to_string(buf[0]));
-  }
   if (expected >= 0 && count != static_cast<std::size_t>(expected)) {
     return Status::Internal(std::string("wire read: ") + WireTypeName(msg.type) + " carries " +
                             std::to_string(count) + " words, want " + std::to_string(expected));

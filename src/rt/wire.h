@@ -9,9 +9,10 @@
 //
 // Fixed-width words keep the framing trivial and platform-independent; the
 // parent validates the word count per type, so a truncated or corrupt frame
-// surfaces as an error instead of a misparse.  Reads and writes loop over
-// EINTR/short transfers; writes use MSG_NOSIGNAL so a peer that died
-// mid-conversation produces an error, not SIGPIPE.
+// surfaces as an error instead of a misparse.  The transport loop (length
+// prefix, EINTR/short transfers, MSG_NOSIGNAL) is the shared one in
+// common/framing.h, also used by the silodd request protocol (serve/proto.h);
+// this header owns only the word encoding and the per-type word counts.
 //
 // Conversation (parent perspective):
 //   -> kAssign       job geometry + resume index, sent once after spawn

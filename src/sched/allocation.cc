@@ -1,6 +1,7 @@
 #include "src/sched/allocation.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/common/logging.h"
 
@@ -97,6 +98,86 @@ Status AllocationPlan::Validate(const ClusterResources& resources) const {
     }
   }
   return Status::Ok();
+}
+
+namespace {
+
+// Doubles compare and hash by bit pattern: bit-identity must distinguish
+// what arithmetic distinguishes (NaN payloads aside, which the solvers never
+// produce), and must not be confused by -0.0 == 0.0.
+std::uint64_t DoubleBits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+bool SameAllocation(const JobAllocation& a, const JobAllocation& b) {
+  return a.running == b.running && a.gpus == b.gpus && a.private_cache == b.private_cache &&
+         DoubleBits(a.remote_io) == DoubleBits(b.remote_io);
+}
+
+class Fnv1a {
+ public:
+  void Mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+bool PlansBitIdentical(const AllocationPlan& a, const AllocationPlan& b) {
+  if (a.cache_model != b.cache_model || a.manages_remote_io != b.manages_remote_io) {
+    return false;
+  }
+  if (a.jobs.size() != b.jobs.size() || a.dataset_cache.size() != b.dataset_cache.size() ||
+      a.dataset_zone_cache.size() != b.dataset_zone_cache.size()) {
+    return false;
+  }
+  for (auto it_a = a.jobs.begin(), it_b = b.jobs.begin(); it_a != a.jobs.end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first || !SameAllocation(it_a->second, it_b->second)) {
+      return false;
+    }
+  }
+  if (a.dataset_cache != b.dataset_cache) {
+    return false;
+  }
+  return a.dataset_zone_cache == b.dataset_zone_cache;
+}
+
+std::uint64_t PlanDigest(const AllocationPlan& plan) {
+  Fnv1a fnv;
+  fnv.Mix(static_cast<std::uint64_t>(plan.cache_model));
+  fnv.Mix(plan.manages_remote_io ? 1 : 0);
+  fnv.Mix(plan.jobs.size());
+  for (const auto& [id, alloc] : plan.jobs) {
+    fnv.Mix(static_cast<std::uint64_t>(id));
+    fnv.Mix(alloc.running ? 1 : 0);
+    fnv.Mix(static_cast<std::uint64_t>(alloc.gpus));
+    fnv.Mix(static_cast<std::uint64_t>(alloc.private_cache));
+    fnv.Mix(DoubleBits(alloc.remote_io));
+  }
+  fnv.Mix(plan.dataset_cache.size());
+  for (const auto& [id, bytes] : plan.dataset_cache) {
+    fnv.Mix(static_cast<std::uint64_t>(id));
+    fnv.Mix(static_cast<std::uint64_t>(bytes));
+  }
+  fnv.Mix(plan.dataset_zone_cache.size());
+  for (const auto& [id, shares] : plan.dataset_zone_cache) {
+    fnv.Mix(static_cast<std::uint64_t>(id));
+    fnv.Mix(shares.size());
+    for (const Bytes share : shares) {
+      fnv.Mix(static_cast<std::uint64_t>(share));
+    }
+  }
+  return fnv.hash();
 }
 
 }  // namespace silod

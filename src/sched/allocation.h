@@ -10,6 +10,7 @@
 #ifndef SILOD_SRC_SCHED_ALLOCATION_H_
 #define SILOD_SRC_SCHED_ALLOCATION_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -85,6 +86,18 @@ struct AllocationPlan {
   // cluster totals; no allocation to non-running jobs.
   Status Validate(const ClusterResources& resources) const;
 };
+
+// Exact (bit-level) plan equality: every field compared, doubles by their
+// bit pattern so NaN/±0/inf differences are caught.  This is the correctness
+// anchor of the incremental planner (sched/delta_fill.h): a delta solve must
+// be PlansBitIdentical to the batch solve on the same snapshot.
+bool PlansBitIdentical(const AllocationPlan& a, const AllocationPlan& b);
+
+// FNV-1a digest over a canonical serialization of the plan (maps iterate in
+// key order, doubles hash their bit pattern).  PlansBitIdentical(a, b)
+// implies PlanDigest(a) == PlanDigest(b); the daemon's `plan` verb and the
+// serve-smoke CI stage compare digests instead of shipping whole plans.
+std::uint64_t PlanDigest(const AllocationPlan& plan);
 
 }  // namespace silod
 

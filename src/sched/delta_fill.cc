@@ -1,0 +1,215 @@
+#include "src/sched/delta_fill.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/estimator/ioperf.h"
+#include "src/sched/zone_spread.h"
+#include "src/storage/remote_store.h"
+
+namespace silod {
+
+const char* DeltaOrderKindName(DeltaOrderKind kind) {
+  switch (kind) {
+    case DeltaOrderKind::kFifo:
+      return "fifo";
+    case DeltaOrderKind::kSjfCompute:
+      return "sjf";
+    case DeltaOrderKind::kSjfSiloD:
+      return "sjf-silod";
+  }
+  return "unknown";
+}
+
+DeltaWaterFill::DeltaWaterFill(DeltaOrderKind order, bool manage_remote_io)
+    : order_(order), manage_remote_io_(manage_remote_io) {}
+
+void DeltaWaterFill::Invalidate() {
+  cache_.clear();
+  have_cluster_ = false;
+}
+
+bool DeltaWaterFill::ClusterChanged(const Snapshot& snapshot) const {
+  if (!have_cluster_) {
+    return true;
+  }
+  const ClusterResources& r = snapshot.resources;
+  if (r.total_gpus != last_resources_.total_gpus ||
+      r.total_cache != last_resources_.total_cache || r.remote_io != last_resources_.remote_io ||
+      r.per_job_remote_cap != last_resources_.per_job_remote_cap ||
+      r.num_servers != last_resources_.num_servers) {
+    return true;
+  }
+  const std::string spec = snapshot.topology == nullptr ? "" : snapshot.topology->ToSpec();
+  return spec != last_topology_spec_;
+}
+
+void DeltaWaterFill::RememberCluster(const Snapshot& snapshot) {
+  last_resources_ = snapshot.resources;
+  last_topology_spec_ = snapshot.topology == nullptr ? "" : snapshot.topology->ToSpec();
+  have_cluster_ = true;
+}
+
+AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
+                                     const std::vector<JobId>& dirty_jobs) {
+  SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required";
+  if (ClusterChanged(snapshot)) {
+    // Scores and demands embed the resource weights and the surviving-share
+    // geometry; a cluster-level change invalidates all of them.
+    cache_.clear();
+    RememberCluster(snapshot);
+  }
+
+  // --- Per-job scalar stages (the delta part) -------------------------------
+  // Refresh cache entries for dirty, stale or unseen jobs; everything else is
+  // served from cache.  Values are bit-identical to a fresh computation
+  // because each stage is a deterministic scalar function of (spec, view,
+  // cluster) and the cluster part is pinned above.
+  for (const JobId id : dirty_jobs) {
+    cache_.erase(id);
+  }
+  const bool sjf = order_ != DeltaOrderKind::kFifo;
+  const SjfScoreMode mode =
+      order_ == DeltaOrderKind::kSjfSiloD ? SjfScoreMode::kSiloD : SjfScoreMode::kComputeOnly;
+  for (const JobView& view : snapshot.jobs) {
+    const JobId id = view.spec->id;
+    auto it = cache_.find(id);
+    if (it != cache_.end() && it->second.remaining_bytes == view.remaining_bytes &&
+        it->second.effective_cache == view.effective_cache) {
+      ++jobs_reused_;
+      continue;
+    }
+    ++jobs_rescored_;
+    Entry& entry = cache_[id];
+    entry.remaining_bytes = view.remaining_bytes;
+    entry.effective_cache = view.effective_cache;
+    const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+    entry.score = sjf ? SjfScore(view, snapshot, mode) : 0.0;
+    entry.efficiency = CacheEfficiency(view.spec->ideal_io, dataset.size);
+    entry.demand = RemoteIoDemand(view.spec->ideal_io, view.effective_cache, dataset.size);
+    entry.headroom = RemoteIoDemand(view.spec->ideal_io,
+                                    SurvivingCacheShare(snapshot, view.effective_cache),
+                                    dataset.size);
+  }
+  // Drop entries for jobs that left the snapshot (completed/cancelled) so the
+  // table does not grow without bound over a long-lived daemon.
+  if (cache_.size() > snapshot.jobs.size()) {
+    std::unordered_map<JobId, Entry> live;
+    live.reserve(snapshot.jobs.size());
+    for (const JobView& view : snapshot.jobs) {
+      live.emplace(view.spec->id, cache_[view.spec->id]);
+    }
+    cache_ = std::move(live);
+  }
+
+  // --- Combinatorial glue (re-run in full, exactly as the batch solver) -----
+  // Admission order: mirrors FifoScheduler::Schedule / SjfScheduler::Schedule.
+  std::vector<std::size_t> order(snapshot.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (sjf) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double sa = cache_[snapshot.jobs[a].spec->id].score;
+      const double sb = cache_[snapshot.jobs[b].spec->id].score;
+      if (sa != sb) {
+        return sa < sb;
+      }
+      return snapshot.jobs[a].spec->submit_time < snapshot.jobs[b].spec->submit_time;
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return snapshot.jobs[a].spec->submit_time < snapshot.jobs[b].spec->submit_time;
+    });
+  }
+
+  AllocationPlan plan;
+  AdmitByOrder(snapshot, order, &plan);
+
+  // Storage: mirrors SiloDGreedyStorage::AllocateStorage with the per-job
+  // scalars read from the cache.  Efficiency accumulates per dataset in
+  // snapshot.jobs order — the same slot-accumulation order (and therefore the
+  // same floating-point sum) as GreedyCacheAllocation.
+  plan.cache_model = CacheModelKind::kDatasetQuota;
+  {
+    std::vector<double> efficiency(snapshot.catalog->all().size(), -1.0);
+    std::vector<DatasetId> touched;
+    for (const JobView& view : snapshot.jobs) {
+      if (!plan.IsRunning(view.spec->id)) {
+        continue;
+      }
+      const DatasetId dataset = snapshot.catalog->Get(view.spec->dataset).id;
+      double& slot = efficiency[dataset];
+      if (slot < 0) {
+        slot = 0;
+        touched.push_back(dataset);
+      }
+      slot += cache_[view.spec->id].efficiency;
+    }
+    std::vector<std::pair<DatasetId, double>> ranked;
+    ranked.reserve(touched.size());
+    for (const DatasetId id : touched) {
+      ranked.emplace_back(id, efficiency[id]);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) {
+        return a.second > b.second;
+      }
+      return a.first < b.first;
+    });
+    Bytes remaining = snapshot.resources.total_cache;
+    for (const auto& [dataset_id, eff] : ranked) {
+      if (remaining <= 0) {
+        break;
+      }
+      const Bytes want = snapshot.catalog->Get(dataset_id).size;
+      const Bytes grant = std::min(want, remaining);
+      plan.dataset_cache[dataset_id] = grant;
+      remaining -= grant;
+    }
+  }
+  SpreadPlanAcrossZones(snapshot, &plan);
+  plan.manages_remote_io = manage_remote_io_;
+  if (manage_remote_io_) {
+    // Mirrors AllocateRemoteIo: demand vectors in running-job snapshot order,
+    // then the same two max-min water-fill rounds.
+    std::vector<JobId> ids;
+    std::vector<BytesPerSec> demands;
+    std::vector<BytesPerSec> headroom;
+    for (const JobView& view : snapshot.jobs) {
+      if (!plan.IsRunning(view.spec->id)) {
+        continue;
+      }
+      const Entry& entry = cache_[view.spec->id];
+      ids.push_back(view.spec->id);
+      demands.push_back(entry.demand);
+      headroom.push_back(entry.headroom);
+    }
+    const std::vector<BytesPerSec> caps(demands.size(), snapshot.resources.per_job_remote_cap);
+    std::vector<BytesPerSec> rates = MaxMinShare(demands, caps, snapshot.resources.remote_io);
+    if (snapshot.topology != nullptr && !snapshot.topology->empty()) {
+      BytesPerSec used = 0;
+      for (const BytesPerSec rate : rates) {
+        used += rate;
+      }
+      const BytesPerSec leftover = snapshot.resources.remote_io - used;
+      if (leftover > 0) {
+        std::vector<BytesPerSec> extra_demand(ids.size());
+        std::vector<BytesPerSec> extra_cap(ids.size());
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          extra_demand[i] = std::max(0.0, headroom[i] - rates[i]);
+          extra_cap[i] = std::max(0.0, caps[i] - rates[i]);
+        }
+        const std::vector<BytesPerSec> extra = MaxMinShare(extra_demand, extra_cap, leftover);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          rates[i] += extra[i];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      plan.jobs[ids[i]].remote_io = rates[i];
+    }
+  }
+  return plan;
+}
+
+}  // namespace silod

@@ -1,0 +1,97 @@
+// Delta water-filling: incremental re-solve of the order-based SiloD
+// pipeline (docs/MODEL.md §11).
+//
+// The batch solvers (fifo+silod, sjf+silod) are pure functions of the
+// snapshot, built from per-job scalar stages (SJF score, cache-efficiency
+// contribution, effective/surviving remote-IO demand) glued together by
+// cheap combinatorics (a stable sort, gang admission, the greedy fill, the
+// max-min water-fill).  The scalar stages are the only per-job work, and
+// each is a deterministic function of that job's view — so a long-lived
+// planner can cache them per JobId and recompute only the jobs whose inputs
+// changed since the last plan, while re-running the combinatorial glue in
+// full every tick.
+//
+// Bit-identity contract: Solve() returns exactly the plan the matching batch
+// scheduler would produce on the same snapshot — including floating-point
+// summation order (per-dataset efficiency accumulates in ascending
+// snapshot.jobs order, the same order GreedyCacheAllocation walks) — for any
+// dirty set, because cached values are verified against the view's inputs
+// and recomputed on mismatch.  The dirty set steers the fast path; it is
+// never trusted for correctness.  tests/serve_test.cc pins this with
+// PlansBitIdentical against fresh batch schedulers.
+#ifndef SILOD_SRC_SCHED_DELTA_FILL_H_
+#define SILOD_SRC_SCHED_DELTA_FILL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sched/policy.h"
+#include "src/sched/sjf.h"
+
+namespace silod {
+
+// Which admission order the mirrored batch scheduler uses.
+enum class DeltaOrderKind {
+  kFifo,        // fifo+silod: submit-time order.
+  kSjfCompute,  // sjf (compute-only score) + silod storage.
+  kSjfSiloD,    // sjf-silod: Eq. 7 score + silod storage.
+};
+
+const char* DeltaOrderKindName(DeltaOrderKind kind);
+
+class DeltaWaterFill {
+ public:
+  DeltaWaterFill(DeltaOrderKind order, bool manage_remote_io);
+
+  // Re-solves the snapshot, recomputing per-job stages only for `dirty_jobs`
+  // (plus any job whose cached inputs no longer match its view, and jobs
+  // never seen before).  `dirty_jobs` may safely over- or under-approximate.
+  AllocationPlan Solve(const Snapshot& snapshot, const std::vector<JobId>& dirty_jobs);
+
+  // Drops every cached per-job value; the next Solve recomputes all jobs.
+  // Called on policy/topology/resource changes (also detected internally).
+  void Invalidate();
+
+  DeltaOrderKind order() const { return order_; }
+  bool manages_remote_io() const { return manage_remote_io_; }
+
+  // Lifetime counters: per-job scalar stages recomputed vs served from
+  // cache, across all Solve calls (the stats surface for /stats).
+  std::uint64_t jobs_rescored() const { return jobs_rescored_; }
+  std::uint64_t jobs_reused() const { return jobs_reused_; }
+
+ private:
+  struct Entry {
+    // Input fingerprint: cached outputs are valid only while the view still
+    // carries exactly these values (spec fields are immutable per JobId).
+    Bytes remaining_bytes = 0;
+    Bytes effective_cache = 0;
+    // Cached per-job stages.
+    double score = 0;            // SjfScore in order_'s mode (0 for FIFO).
+    double efficiency = 0;       // CacheEfficiency(ideal_io, dataset size).
+    BytesPerSec demand = 0;      // Eq. 2 at the effective cache.
+    BytesPerSec headroom = 0;    // Eq. 2 at the worst-case surviving share.
+  };
+
+  // True when cluster-wide inputs (resources, topology) moved since the last
+  // Solve, which invalidates every cached score/demand.
+  bool ClusterChanged(const Snapshot& snapshot) const;
+  void RememberCluster(const Snapshot& snapshot);
+
+  DeltaOrderKind order_;
+  bool manage_remote_io_;
+
+  std::unordered_map<JobId, Entry> cache_;
+  ClusterResources last_resources_;
+  std::string last_topology_spec_;
+  bool have_cluster_ = false;
+
+  std::uint64_t jobs_rescored_ = 0;
+  std::uint64_t jobs_reused_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SCHED_DELTA_FILL_H_

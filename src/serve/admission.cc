@@ -1,0 +1,66 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+const char* AdmissionDecisionName(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admitted";
+    case AdmissionDecision::kQueue:
+      return "queued";
+    case AdmissionDecision::kReject:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options, int total_gpus)
+    : options_(options), total_gpus_(std::max(1, total_gpus)) {}
+
+double AdmissionController::LoadWith(int active_gpu_demand, int candidate_gpus) const {
+  return static_cast<double>(active_gpu_demand + candidate_gpus) /
+         static_cast<double>(total_gpus_);
+}
+
+bool AdmissionController::LoadAllows(int active_gpu_demand, int candidate_gpus) const {
+  // Integer-exact at the boundary: demand + candidate <= load * total admits
+  // (a submission landing exactly at the threshold goes through); the small
+  // epsilon absorbs threshold values like 1.5 * 8 that are not exactly
+  // representable arithmetic away from an integer.
+  return static_cast<double>(active_gpu_demand + candidate_gpus) <=
+         options_.max_gpu_load * static_cast<double>(total_gpus_) + 1e-9;
+}
+
+AdmissionDecision AdmissionController::Decide(int active_gpu_demand, int queued,
+                                              int candidate_gpus) const {
+  // FIFO fairness: while anything is queued, new arrivals queue behind it
+  // even if they would individually fit (no starvation of the queue head by
+  // a stream of small jobs).
+  if (queued == 0 && LoadAllows(active_gpu_demand, candidate_gpus)) {
+    return AdmissionDecision::kAdmit;
+  }
+  if (queued < options_.max_queue) {
+    return AdmissionDecision::kQueue;
+  }
+  return AdmissionDecision::kReject;
+}
+
+void AdmissionController::Record(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      ++admitted_;
+      break;
+    case AdmissionDecision::kQueue:
+      ++queued_count_;
+      break;
+    case AdmissionDecision::kReject:
+      ++rejected_;
+      break;
+  }
+}
+
+}  // namespace silod

@@ -1,0 +1,68 @@
+// Admission control for silodd (docs/MODEL.md §11).
+//
+// The schedulers in this repo are work-conserving over whatever job set the
+// snapshot carries, so a long-lived daemon needs a gate *in front* of them:
+// past a configured GPU-load saturation threshold, new submissions are
+// queued (FIFO) instead of joining the scheduler's waiting pool, and past a
+// queue bound they are rejected outright.  Queued jobs are invisible to the
+// scheduler — they hold no score, no cache efficiency, no demand — and are
+// promoted in submission order as completions and cancellations free load.
+//
+// Edge semantics (pinned by tests/serve_test.cc): a submission that lands
+// *exactly* at the threshold is admitted; the gate rejects only strictly
+// beyond it.
+#ifndef SILOD_SRC_SERVE_ADMISSION_H_
+#define SILOD_SRC_SERVE_ADMISSION_H_
+
+#include <cstdint>
+
+namespace silod {
+
+struct AdmissionOptions {
+  // Admit while (active GPU demand + candidate) / total_gpus <= this.  The
+  // default 1.0 admits up to (and including) a fully subscribed cluster;
+  // values > 1 allow oversubscription of the waiting pool, and a huge value
+  // disables the gate (every job goes straight to the scheduler).
+  double max_gpu_load = 1.0;
+  // Queued submissions beyond this are rejected.  0 = never queue (reject as
+  // soon as the load gate trips).
+  int max_queue = 1024;
+};
+
+enum class AdmissionDecision { kAdmit, kQueue, kReject };
+
+const char* AdmissionDecisionName(AdmissionDecision decision);
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, int total_gpus);
+
+  // Decision for a candidate of `candidate_gpus` given the current active
+  // demand and queue depth.
+  AdmissionDecision Decide(int active_gpu_demand, int queued, int candidate_gpus) const;
+
+  // True when the candidate passes the load gate alone (promotion check).
+  bool LoadAllows(int active_gpu_demand, int candidate_gpus) const;
+
+  // The load the candidate would bring the cluster to (for stats/errors).
+  double LoadWith(int active_gpu_demand, int candidate_gpus) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t queued() const { return queued_count_; }
+  std::uint64_t rejected() const { return rejected_; }
+  // Records the outcome of a Decide the caller acted on.
+  void Record(AdmissionDecision decision);
+
+ private:
+  AdmissionOptions options_;
+  int total_gpus_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t queued_count_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_ADMISSION_H_

@@ -1,0 +1,105 @@
+// The silodd planning core: dirty-set-driven, epoch-batched re-solves
+// (docs/MODEL.md §11).
+//
+// The planner owns a registry-built scheduler (core/policy_registry.h) and a
+// DirtyTracker.  Every mutating daemon event marks jobs/datasets dirty;
+// PlanFor() decides whether the current plan is still servable or a re-solve
+// is due, and picks the cheapest correct solve:
+//
+//   - dirty set empty            -> reuse the cached plan (reused_plans);
+//   - delta-capable policy,
+//     partial dirty set          -> DeltaWaterFill::Solve over the dirty
+//                                   jobs (delta_solves) — bit-identical to
+//                                   the batch scheduler by construction;
+//   - all-dirty (policy/topology
+//     /resource change) or a
+//     non-delta policy           -> full Scheduler::Schedule (full_solves).
+//
+// Epoch batching: a re-solve is due when the dirty set is non-empty AND
+// (enough marks coalesced, OR the min-replan interval elapsed since the last
+// solve, OR the caller forces it).  Between due points queries serve the
+// cached plan, so a burst of N arrivals costs one solve, not N.
+//
+// Delta capability is decided from the policy name: "<sched>+silod" with
+// sched in {fifo, sjf} and non-preemptive SJF.  Everything else (gavel's
+// LP, the stateful Quiver profiler, baseline cache models) takes the full
+// path — correct for all policies, merely slower.
+#ifndef SILOD_SRC_SERVE_INCREMENTAL_PLANNER_H_
+#define SILOD_SRC_SERVE_INCREMENTAL_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/dirty_tracker.h"
+#include "src/core/policy_registry.h"
+#include "src/sched/delta_fill.h"
+
+namespace silod {
+
+struct PlanningOptions {
+  // Coalescing window: with a fresh dirty set, wait until this much virtual
+  // time passed since the last solve (0 = re-solve on every dirty event).
+  Seconds min_replan_interval = 0;
+  // ... unless this many marks already coalesced, which forces the tick
+  // early (1 = every event plans immediately, batching disabled).
+  std::uint64_t max_coalesced_events = 1;
+};
+
+class IncrementalPlanner {
+ public:
+  // kNotFound (listing known policies) for unknown names.
+  static Result<std::unique_ptr<IncrementalPlanner>> Create(const std::string& policy,
+                                                            const SchedulerOptions& options,
+                                                            const PlanningOptions& planning);
+
+  // Swaps the scheduler (and delta solver) for `policy` without losing job
+  // state; marks everything dirty so the next plan is a full solve.
+  Status ReloadPolicy(const std::string& policy, const SchedulerOptions& options);
+
+  // The daemon's mutation journal; the service marks events here.
+  DirtyTracker& dirty() { return dirty_; }
+
+  // Returns the current plan, re-solving first when dirty and due (or
+  // `force`).  The snapshot must reflect all mutations marked so far.
+  const AllocationPlan& PlanFor(const Snapshot& snapshot, bool force);
+
+  const std::string& policy_name() const { return policy_; }
+  bool delta_capable() const { return delta_ != nullptr; }
+  Seconds last_plan_time() const { return last_plan_time_; }
+
+  std::uint64_t full_solves() const { return full_solves_; }
+  std::uint64_t delta_solves() const { return delta_solves_; }
+  std::uint64_t reused_plans() const { return reused_plans_; }
+  std::uint64_t planning_ticks() const { return planning_ticks_; }
+  const DeltaWaterFill* delta() const { return delta_.get(); }
+
+ private:
+  IncrementalPlanner(std::string policy, SchedulerOptions options, PlanningOptions planning,
+                     std::shared_ptr<Scheduler> scheduler);
+
+  bool Due(const Snapshot& snapshot) const;
+  // Builds the delta solver when the policy supports it, else null.
+  static std::unique_ptr<DeltaWaterFill> MakeDelta(const std::string& policy,
+                                                   const SchedulerOptions& options);
+
+  std::string policy_;
+  SchedulerOptions options_;
+  PlanningOptions planning_;
+  std::shared_ptr<Scheduler> scheduler_;
+  std::unique_ptr<DeltaWaterFill> delta_;
+
+  DirtyTracker dirty_;
+  AllocationPlan plan_;
+  bool have_plan_ = false;
+  Seconds last_plan_time_ = 0;
+
+  std::uint64_t full_solves_ = 0;
+  std::uint64_t delta_solves_ = 0;
+  std::uint64_t reused_plans_ = 0;
+  std::uint64_t planning_ticks_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_INCREMENTAL_PLANNER_H_

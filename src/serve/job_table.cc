@@ -1,0 +1,126 @@
+#include "src/serve/job_table.h"
+
+#include "src/common/logging.h"
+
+namespace silod {
+
+const char* ServeJobStateName(ServeJobState state) {
+  switch (state) {
+    case ServeJobState::kActive:
+      return "active";
+    case ServeJobState::kQueued:
+      return "queued";
+    case ServeJobState::kCompleted:
+      return "completed";
+    case ServeJobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Result<DatasetId> JobTable::InternDataset(const std::string& name, Bytes size,
+                                          Bytes block_size) {
+  const auto it = datasets_by_name_.find(name);
+  if (it != datasets_by_name_.end()) {
+    const Dataset& existing = catalog_.Get(it->second);
+    if (existing.size != size || existing.block_size != block_size) {
+      return Status::InvalidArgument(
+          "dataset '" + name + "' already interned with size " + std::to_string(existing.size) +
+          "/block " + std::to_string(existing.block_size) + ", submit disagrees (" +
+          std::to_string(size) + "/" + std::to_string(block_size) + ")");
+    }
+    return it->second;
+  }
+  const DatasetId id = catalog_.Add(name, size, block_size);
+  datasets_by_name_.emplace(name, id);
+  return id;
+}
+
+Result<ServeJob*> JobTable::Add(const std::string& key, JobSpec spec, Seconds submit_time) {
+  if (jobs_by_key_.count(key) > 0) {
+    return Status::AlreadyExists("job '" + key + "' already submitted");
+  }
+  auto job = std::make_unique<ServeJob>();
+  job->key = key;
+  job->spec = std::move(spec);
+  job->spec.id = static_cast<JobId>(jobs_.size());
+  job->spec.submit_time = submit_time;
+  job->submit_time = submit_time;
+  job->remaining_bytes = job->spec.total_bytes;
+  ServeJob* raw = job.get();
+  jobs_by_key_.emplace(key, raw->spec.id);
+  jobs_.push_back(std::move(job));
+  return raw;
+}
+
+Result<ServeJob*> JobTable::Find(const std::string& key) {
+  const auto it = jobs_by_key_.find(key);
+  if (it == jobs_by_key_.end()) {
+    return Status::NotFound("no job '" + key + "'");
+  }
+  return jobs_[static_cast<std::size_t>(it->second)].get();
+}
+
+ServeJob* JobTable::Get(JobId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+    return nullptr;
+  }
+  return jobs_[static_cast<std::size_t>(id)].get();
+}
+
+const ServeJob* JobTable::Get(JobId id) const {
+  return const_cast<JobTable*>(this)->Get(id);
+}
+
+Snapshot JobTable::BuildSnapshot(Seconds now, const ClusterResources& resources,
+                                 const ClusterTopology* topology) const {
+  Snapshot snapshot;
+  snapshot.now = now;
+  snapshot.resources = resources;
+  snapshot.catalog = &catalog_;
+  snapshot.topology = topology;
+  for (const auto& job : jobs_) {
+    if (job->state != ServeJobState::kActive) {
+      continue;
+    }
+    JobView view;
+    view.spec = &job->spec;
+    view.remaining_bytes = job->remaining_bytes;
+    view.effective_cache = job->effective_cache;
+    view.running = job->running;
+    snapshot.jobs.push_back(view);
+  }
+  return snapshot;
+}
+
+int JobTable::ActiveGpuDemand() const {
+  int demand = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == ServeJobState::kActive) {
+      demand += job->spec.num_gpus;
+    }
+  }
+  return demand;
+}
+
+std::vector<ServeJob*> JobTable::QueuedJobs() {
+  std::vector<ServeJob*> queued;
+  for (const auto& job : jobs_) {
+    if (job->state == ServeJobState::kQueued) {
+      queued.push_back(job.get());
+    }
+  }
+  return queued;
+}
+
+std::size_t JobTable::CountState(ServeJobState state) const {
+  std::size_t count = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == state) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace silod

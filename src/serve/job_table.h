@@ -1,0 +1,88 @@
+// The silodd job table: the daemon's durable view of every job a client
+// submitted, keyed by the client-chosen string id (docs/MODEL.md §11).
+//
+// The table owns the dataset catalog (datasets are interned by name on first
+// submit; later submits must agree on size/block-size) and assigns dense
+// JobIds in submission order — so snapshots built here walk jobs in the same
+// ascending-id order the simulation engines do, which the delta solver's
+// bit-identity contract relies on (sched/delta_fill.h).
+//
+// States: kActive jobs are visible to the scheduler; kQueued jobs were
+// admission-queued and wait outside the scheduler's view; kCompleted /
+// kCancelled are terminal and kept for the run report.
+#ifndef SILOD_SRC_SERVE_JOB_TABLE_H_
+#define SILOD_SRC_SERVE_JOB_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sched/policy.h"
+#include "src/workload/dataset.h"
+#include "src/workload/job.h"
+
+namespace silod {
+
+enum class ServeJobState { kActive, kQueued, kCompleted, kCancelled };
+
+const char* ServeJobStateName(ServeJobState state);
+
+struct ServeJob {
+  std::string key;  // Client-chosen id; unique across the daemon's lifetime.
+  JobSpec spec;     // spec.id is the dense daemon JobId.
+  ServeJobState state = ServeJobState::kActive;
+
+  Seconds submit_time = 0;       // Virtual time of the submit request.
+  Seconds admit_time = -1;       // When admission let it through (-1: never).
+  Seconds first_start_time = -1; // First plan that granted it GPUs.
+  Seconds finish_time = -1;      // Virtual time of complete/cancel.
+
+  // Scheduler-visible runtime state, updated by progress reports and plans.
+  Bytes remaining_bytes = 0;
+  Bytes effective_cache = 0;
+  bool running = false;  // Held GPUs in the last applied plan.
+};
+
+class JobTable {
+ public:
+  // Interns `name`, creating the dataset on first sight; kInvalidArgument if
+  // an existing dataset of that name disagrees on size or block size.
+  Result<DatasetId> InternDataset(const std::string& name, Bytes size, Bytes block_size);
+
+  // Adds a job under `key`; kAlreadyExists if the key was ever used.  The
+  // spec's id field is overwritten with the assigned dense JobId; the caller
+  // sets the initial state (kActive or kQueued) afterwards.
+  Result<ServeJob*> Add(const std::string& key, JobSpec spec, Seconds submit_time);
+
+  // Lookup by client key; kNotFound for unknown keys.
+  Result<ServeJob*> Find(const std::string& key);
+  ServeJob* Get(JobId id);
+  const ServeJob* Get(JobId id) const;
+
+  // Scheduler view: kActive jobs in ascending JobId order.  The snapshot
+  // borrows pointers into the table; it is valid until the next Add.
+  Snapshot BuildSnapshot(Seconds now, const ClusterResources& resources,
+                         const ClusterTopology* topology) const;
+
+  // Sum of active jobs' GPU demand (the admission controller's load input).
+  int ActiveGpuDemand() const;
+  // Queued jobs in submission (FIFO promotion) order.
+  std::vector<ServeJob*> QueuedJobs();
+
+  std::size_t size() const { return jobs_.size(); }
+  std::size_t CountState(ServeJobState state) const;
+  const std::vector<std::unique_ptr<ServeJob>>& jobs() const { return jobs_; }
+  const DatasetCatalog& catalog() const { return catalog_; }
+
+ private:
+  DatasetCatalog catalog_;
+  std::map<std::string, DatasetId> datasets_by_name_;
+  std::vector<std::unique_ptr<ServeJob>> jobs_;  // Indexed by JobId.
+  std::map<std::string, JobId> jobs_by_key_;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_JOB_TABLE_H_

@@ -1,0 +1,192 @@
+#include "src/serve/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/serve/proto.h"
+
+namespace silod {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::string(strerror(errno)));
+}
+
+// AF_UNIX path length is capped by sun_path (typically 108 bytes).
+Status FillAddress(const std::string& path, sockaddr_un* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("bad socket path '" + path + "' (empty or longer than " +
+                                   std::to_string(sizeof(addr->sun_path) - 1) + " bytes)");
+  }
+  memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+Result<int> ConnectTo(const std::string& socket_path) {
+  sockaddr_un addr;
+  if (const Status st = FillAddress(socket_path, &addr); !st.ok()) {
+    return st;
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = ErrnoStatus("connect to '" + socket_path + "'");
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace
+
+UnixServer::UnixServer(std::string socket_path, ServiceState* service)
+    : socket_path_(std::move(socket_path)), service_(service) {
+  SILOD_CHECK(service_ != nullptr) << "service required";
+}
+
+UnixServer::~UnixServer() {
+  CloseAll();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    unlink(socket_path_.c_str());
+  }
+}
+
+Status UnixServer::Start() {
+  sockaddr_un addr;
+  if (const Status st = FillAddress(socket_path_, &addr); !st.ok()) {
+    return st;
+  }
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return ErrnoStatus("socket");
+  }
+  // A stale socket file from a crashed daemon would fail the bind; remove it
+  // (a live daemon would still hold the listen, so a second instance fails
+  // at bind only if something else races the path).
+  unlink(socket_path_.c_str());
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = ErrnoStatus("bind '" + socket_path_ + "'");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    const Status st = ErrnoStatus("listen '" + socket_path_ + "'");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    unlink(socket_path_.c_str());
+    return st;
+  }
+  return Status::Ok();
+}
+
+void UnixServer::CloseClient(std::size_t index) {
+  close(clients_[index]);
+  clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void UnixServer::CloseAll() {
+  for (const int fd : clients_) {
+    close(fd);
+  }
+  clients_.clear();
+}
+
+Status UnixServer::Serve() {
+  SILOD_CHECK(listen_fd_ >= 0) << "Start() first";
+  while (!service_->shutdown_requested()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const int fd : clients_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    int ready = poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("poll");
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) {
+        clients_.push_back(client);
+      } else if (errno != EINTR && errno != ECONNABORTED) {
+        return ErrnoStatus("accept");
+      }
+    }
+    // Walk backwards so CloseClient's erase cannot skip a ready fd.
+    for (std::size_t i = fds.size(); i-- > 1;) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const std::size_t client_index = i - 1;
+      const int fd = clients_[client_index];
+      Result<ServeRequest> request = ReadRequestFrame(fd);
+      if (!request.ok()) {
+        // EOF (peer closed) or a framing error: either way the stream is no
+        // longer trustworthy, drop the connection.
+        CloseClient(client_index);
+        continue;
+      }
+      const ServeResponse response = service_->Handle(*request);
+      if (const Status st = WriteResponseFrame(fd, response); !st.ok()) {
+        CloseClient(client_index);
+        continue;
+      }
+      if (service_->shutdown_requested()) {
+        break;
+      }
+    }
+  }
+  CloseAll();
+  return Status::Ok();
+}
+
+Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request) {
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) {
+    return client.status();
+  }
+  return client->Call(request);
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  Result<int> fd = ConnectTo(socket_path);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  return ServeClient(*fd);
+}
+
+Result<ServeResponse> ServeClient::Call(const ServeRequest& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  if (const Status st = WriteRequestFrame(fd_, request); !st.ok()) {
+    return st;
+  }
+  return ReadResponseFrame(fd_);
+}
+
+}  // namespace silod

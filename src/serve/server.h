@@ -1,0 +1,74 @@
+// silodd's transport: a single-process poll() event loop on an AF_UNIX
+// stream socket (docs/MODEL.md §11).
+//
+// One frame in, one frame out, per client, per turn: the loop polls the
+// listening socket plus every connected client, reads one request frame from
+// a readable client, dispatches it to ServiceState::Handle and writes the
+// response before polling again.  Requests are therefore totally ordered —
+// the daemon's determinism contract — and no locks exist anywhere in the
+// serve path.  Frames are tiny (one text line), so the blocking per-frame
+// read after poll() says readable is the simplicity/fairness trade the rt
+// NodeManager already makes.
+#ifndef SILOD_SRC_SERVE_SERVER_H_
+#define SILOD_SRC_SERVE_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/service.h"
+
+namespace silod {
+
+class UnixServer {
+ public:
+  // Binds and listens on `socket_path`, replacing any stale socket file.
+  UnixServer(std::string socket_path, ServiceState* service);
+  ~UnixServer();
+
+  UnixServer(const UnixServer&) = delete;
+  UnixServer& operator=(const UnixServer&) = delete;
+
+  Status Start();
+
+  // Serves until a shutdown request is handled (its response is written
+  // before the loop exits) or a fatal socket error.
+  Status Serve();
+
+  const std::string& socket_path() const { return socket_path_; }
+  bool listening() const { return listen_fd_ >= 0; }
+
+ private:
+  void CloseClient(std::size_t index);
+  void CloseAll();
+
+  std::string socket_path_;
+  ServiceState* service_;
+  int listen_fd_ = -1;
+  std::vector<int> clients_;
+};
+
+// One round-trip as a client: connect to `socket_path`, send `request`,
+// return the decoded response.  The CLI and tests use this; it opens a fresh
+// connection per call (connections are cheap on AF_UNIX and the daemon holds
+// no per-connection state).
+Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request);
+
+// A persistent client connection for request sequences (trace replay).
+class ServeClient {
+ public:
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&&) = delete;
+
+  static Result<ServeClient> Connect(const std::string& socket_path);
+  Result<ServeResponse> Call(const ServeRequest& request);
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_SERVER_H_

@@ -1,0 +1,499 @@
+#include "src/serve/service.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/sched/allocation.h"
+
+namespace silod {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatU64(std::uint64_t value) { return std::to_string(value); }
+
+std::string FormatDigest(std::uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, digest);
+  return buf;
+}
+
+ServeResponse OkResponse() {
+  ServeResponse response;
+  response.code = StatusCode::kOk;
+  return response;
+}
+
+}  // namespace
+
+ServiceState::ServiceState(ServiceConfig config) : config_(std::move(config)) {}
+
+Result<std::unique_ptr<ServiceState>> ServiceState::Create(ServiceConfig config) {
+  if (config.resources.total_gpus <= 0) {
+    return Status::InvalidArgument("total_gpus must be positive");
+  }
+  auto service = std::unique_ptr<ServiceState>(new ServiceState(std::move(config)));
+  if (!service->config_.topology.empty()) {
+    const Status st = service->config_.topology.Validate(service->config_.resources.num_servers);
+    if (!st.ok()) {
+      return st;
+    }
+    service->covered_topology_ =
+        service->config_.topology.Cover(service->config_.resources.num_servers);
+  }
+  Result<std::unique_ptr<IncrementalPlanner>> planner = IncrementalPlanner::Create(
+      service->config_.policy, service->config_.scheduler, service->config_.planning);
+  if (!planner.ok()) {
+    return planner.status();
+  }
+  service->planner_ = std::move(planner).value();
+  service->admission_ = std::make_unique<AdmissionController>(
+      service->config_.admission, service->config_.resources.total_gpus);
+  return service;
+}
+
+Snapshot ServiceState::MakeSnapshot() const {
+  return table_.BuildSnapshot(now_, config_.resources,
+                              covered_topology_.empty() ? nullptr : &covered_topology_);
+}
+
+Status ServiceState::AdvanceClock(const ServeRequest& request) {
+  if (!request.Has("t")) {
+    return Status::Ok();
+  }
+  Result<double> t = request.GetDouble("t");
+  if (!t.ok()) {
+    return t.status();
+  }
+  if (*t < 0) {
+    return Status::InvalidArgument(request.verb + ": t must be >= 0");
+  }
+  if (*t > now_) {
+    now_ = *t;
+  }
+  return Status::Ok();
+}
+
+void ServiceState::Replan(bool force) {
+  const Snapshot snapshot = MakeSnapshot();
+  const AllocationPlan& plan = planner_->PlanFor(snapshot, force);
+  for (const auto& job : table_.jobs()) {
+    if (job->state != ServeJobState::kActive) {
+      continue;
+    }
+    const bool running = plan.IsRunning(job->spec.id);
+    if (running && !job->running && job->first_start_time < 0) {
+      job->first_start_time = now_;
+    }
+    job->running = running;
+  }
+}
+
+const AllocationPlan& ServiceState::PlanNow() {
+  Replan(/*force=*/true);
+  const Snapshot snapshot = MakeSnapshot();
+  return planner_->PlanFor(snapshot, /*force=*/true);
+}
+
+void ServiceState::PromoteQueued() {
+  // Strict FIFO: promote from the head while the gate allows; the first job
+  // that does not fit blocks everything behind it.
+  for (ServeJob* job : table_.QueuedJobs()) {
+    if (!admission_->LoadAllows(table_.ActiveGpuDemand(), job->spec.num_gpus)) {
+      break;
+    }
+    job->state = ServeJobState::kActive;
+    job->admit_time = now_;
+    admission_->Record(AdmissionDecision::kAdmit);
+    planner_->dirty().MarkJob(job->spec.id);
+  }
+}
+
+ServeResponse ServiceState::Handle(const ServeRequest& request) {
+  ++requests_;
+  ServeResponse response;
+  if (const Status st = AdvanceClock(request); !st.ok()) {
+    response = ServeResponse::FromStatus(st);
+  } else if (request.verb == "submit") {
+    response = Submit(request);
+  } else if (request.verb == "complete") {
+    response = Complete(request);
+  } else if (request.verb == "cancel") {
+    response = Cancel(request);
+  } else if (request.verb == "progress") {
+    response = Progress(request);
+  } else if (request.verb == "query") {
+    response = Query(request);
+  } else if (request.verb == "plan") {
+    response = Plan(request);
+  } else if (request.verb == "stats") {
+    response = Stats();
+  } else if (request.verb == "reload-policy") {
+    response = ReloadPolicy(request);
+  } else if (request.verb == "report") {
+    // The JCT summary travels both as the RunReport JSON and as %.17g scalar
+    // fields, so --serve-trace --check can compare doubles bit-for-bit
+    // without a JSON parser.
+    const RunReport report = Report();
+    response = OkResponse();
+    response.fields["json"] = report.ToJson();
+    response.fields["jobs"] = std::to_string(report.jobs);
+    response.fields["unfinished"] = std::to_string(report.unfinished_jobs);
+    response.fields["avg-jct-min"] = FormatDouble(report.avg_jct_min);
+    response.fields["median-jct-min"] = FormatDouble(report.median_jct_min);
+    response.fields["p90-jct-min"] = FormatDouble(report.p90_jct_min);
+    response.fields["makespan-min"] = FormatDouble(report.makespan_min);
+  } else if (request.verb == "shutdown") {
+    shutdown_ = true;
+    response = OkResponse();
+    response.fields["state"] = "shutting-down";
+  } else {
+    response = ServeResponse::FromStatus(Status::InvalidArgument(
+        "unknown verb '" + request.verb +
+        "' (want submit|complete|cancel|progress|query|plan|stats|reload-policy|report|"
+        "shutdown)"));
+  }
+  if (!response.ok()) {
+    ++errors_;
+  }
+  return response;
+}
+
+ServeResponse ServiceState::Submit(const ServeRequest& request) {
+  Result<std::string> key = request.GetString("key");
+  Result<std::int64_t> gpus = request.GetInt("gpus");
+  Result<double> ideal_io = request.GetDouble("ideal-io");
+  Result<std::int64_t> total_bytes = request.GetInt("total-bytes");
+  Result<std::string> dataset_name = request.GetString("dataset");
+  Result<std::int64_t> dataset_size = request.GetInt("dataset-size");
+  for (const Status* st :
+       {!key.ok() ? &key.status() : nullptr, !gpus.ok() ? &gpus.status() : nullptr,
+        !ideal_io.ok() ? &ideal_io.status() : nullptr,
+        !total_bytes.ok() ? &total_bytes.status() : nullptr,
+        !dataset_name.ok() ? &dataset_name.status() : nullptr,
+        !dataset_size.ok() ? &dataset_size.status() : nullptr}) {
+    if (st != nullptr) {
+      return ServeResponse::FromStatus(*st);
+    }
+  }
+  if (!request.Has("t")) {
+    return ServeResponse::FromStatus(Status::InvalidArgument("submit: missing required argument 't'"));
+  }
+  if (*gpus <= 0 || *ideal_io <= 0 || *total_bytes <= 0 || *dataset_size <= 0) {
+    return ServeResponse::FromStatus(Status::InvalidArgument(
+        "submit: gpus, ideal-io, total-bytes and dataset-size must be positive"));
+  }
+  if (table_.Find(*key).ok()) {
+    return ServeResponse::FromStatus(Status::AlreadyExists("job '" + *key + "' already submitted"));
+  }
+  Bytes block_size = kDefaultBlockSize;
+  if (request.Has("block-size")) {
+    Result<std::int64_t> block = request.GetInt("block-size");
+    if (!block.ok()) {
+      return ServeResponse::FromStatus(block.status());
+    }
+    if (*block <= 0) {
+      return ServeResponse::FromStatus(Status::InvalidArgument("submit: block-size must be positive"));
+    }
+    block_size = *block;
+  }
+  Result<DatasetId> dataset = table_.InternDataset(*dataset_name, *dataset_size, block_size);
+  if (!dataset.ok()) {
+    return ServeResponse::FromStatus(dataset.status());
+  }
+
+  const AdmissionDecision decision =
+      admission_->Decide(table_.ActiveGpuDemand(),
+                         static_cast<int>(table_.CountState(ServeJobState::kQueued)),
+                         static_cast<int>(*gpus));
+  admission_->Record(decision);
+  if (decision == AdmissionDecision::kReject) {
+    return ServeResponse::FromStatus(Status::ResourceExhausted(
+        "admission rejected '" + *key + "': load would reach " +
+        FormatDouble(admission_->LoadWith(table_.ActiveGpuDemand(), static_cast<int>(*gpus))) +
+        " > " + FormatDouble(admission_->options().max_gpu_load) + " and the queue is full (" +
+        std::to_string(admission_->options().max_queue) + ")"));
+  }
+
+  JobSpec spec;
+  spec.name = *key;
+  spec.model = request.Has("model") ? request.args.at("model") : "custom";
+  spec.num_gpus = static_cast<int>(*gpus);
+  spec.dataset = *dataset;
+  spec.ideal_io = *ideal_io;
+  spec.total_bytes = *total_bytes;
+  spec.step_data_size = block_size;
+  if (request.Has("step-bytes")) {
+    Result<std::int64_t> step = request.GetInt("step-bytes");
+    if (!step.ok()) {
+      return ServeResponse::FromStatus(step.status());
+    }
+    spec.step_data_size = *step;
+  }
+  Result<ServeJob*> job = table_.Add(*key, std::move(spec), now_);
+  if (!job.ok()) {
+    return ServeResponse::FromStatus(job.status());
+  }
+
+  ServeResponse response = OkResponse();
+  response.fields["decision"] = AdmissionDecisionName(decision);
+  response.fields["job"] = std::to_string((*job)->spec.id);
+  if (decision == AdmissionDecision::kAdmit) {
+    (*job)->state = ServeJobState::kActive;
+    (*job)->admit_time = now_;
+    planner_->dirty().MarkJob((*job)->spec.id);
+    Replan(/*force=*/false);
+    response.fields["running"] = (*job)->running ? "1" : "0";
+  } else {
+    (*job)->state = ServeJobState::kQueued;
+    response.fields["position"] = std::to_string(table_.CountState(ServeJobState::kQueued));
+  }
+  return response;
+}
+
+ServeResponse ServiceState::Complete(const ServeRequest& request) {
+  Result<std::string> key = request.GetString("key");
+  if (!key.ok()) {
+    return ServeResponse::FromStatus(key.status());
+  }
+  if (!request.Has("t")) {
+    return ServeResponse::FromStatus(
+        Status::InvalidArgument("complete: missing required argument 't'"));
+  }
+  Result<ServeJob*> job = table_.Find(*key);
+  if (!job.ok()) {
+    return ServeResponse::FromStatus(job.status());
+  }
+  if ((*job)->state != ServeJobState::kActive) {
+    return ServeResponse::FromStatus(Status::FailedPrecondition(
+        "job '" + *key + "' is " + ServeJobStateName((*job)->state) + ", not active"));
+  }
+  (*job)->state = ServeJobState::kCompleted;
+  (*job)->finish_time = now_;
+  (*job)->running = false;
+  (*job)->remaining_bytes = 0;
+  planner_->dirty().MarkJob((*job)->spec.id);
+  PromoteQueued();
+  Replan(/*force=*/false);
+  ServeResponse response = OkResponse();
+  response.fields["state"] = "completed";
+  response.fields["jct"] = FormatDouble((*job)->finish_time - (*job)->submit_time);
+  return response;
+}
+
+ServeResponse ServiceState::Cancel(const ServeRequest& request) {
+  Result<std::string> key = request.GetString("key");
+  if (!key.ok()) {
+    return ServeResponse::FromStatus(key.status());
+  }
+  if (!request.Has("t")) {
+    return ServeResponse::FromStatus(
+        Status::InvalidArgument("cancel: missing required argument 't'"));
+  }
+  Result<ServeJob*> job = table_.Find(*key);
+  if (!job.ok()) {
+    return ServeResponse::FromStatus(job.status());
+  }
+  const ServeJobState state = (*job)->state;
+  if (state == ServeJobState::kCompleted || state == ServeJobState::kCancelled) {
+    return ServeResponse::FromStatus(Status::FailedPrecondition(
+        "job '" + *key + "' is already " + ServeJobStateName(state)));
+  }
+  const bool was_active = state == ServeJobState::kActive;
+  (*job)->state = ServeJobState::kCancelled;
+  (*job)->finish_time = now_;
+  (*job)->running = false;
+  if (was_active) {
+    // A queued job was never in the scheduler's view; cancelling it changes
+    // nothing the planner can see, so only active cancels mark dirty.
+    planner_->dirty().MarkJob((*job)->spec.id);
+    PromoteQueued();
+    Replan(/*force=*/false);
+  }
+  ServeResponse response = OkResponse();
+  response.fields["state"] = "cancelled";
+  response.fields["was"] = ServeJobStateName(state);
+  return response;
+}
+
+ServeResponse ServiceState::Progress(const ServeRequest& request) {
+  Result<std::string> key = request.GetString("key");
+  Result<std::int64_t> remaining = request.GetInt("remaining");
+  if (!key.ok()) {
+    return ServeResponse::FromStatus(key.status());
+  }
+  if (!remaining.ok()) {
+    return ServeResponse::FromStatus(remaining.status());
+  }
+  if (!request.Has("t")) {
+    return ServeResponse::FromStatus(
+        Status::InvalidArgument("progress: missing required argument 't'"));
+  }
+  if (*remaining < 0) {
+    return ServeResponse::FromStatus(Status::InvalidArgument("progress: remaining must be >= 0"));
+  }
+  Result<ServeJob*> job = table_.Find(*key);
+  if (!job.ok()) {
+    return ServeResponse::FromStatus(job.status());
+  }
+  if ((*job)->state != ServeJobState::kActive) {
+    return ServeResponse::FromStatus(Status::FailedPrecondition(
+        "job '" + *key + "' is " + ServeJobStateName((*job)->state) + ", not active"));
+  }
+  (*job)->remaining_bytes = *remaining;
+  if (request.Has("effective")) {
+    Result<std::int64_t> effective = request.GetInt("effective");
+    if (!effective.ok()) {
+      return ServeResponse::FromStatus(effective.status());
+    }
+    if (*effective < 0) {
+      return ServeResponse::FromStatus(
+          Status::InvalidArgument("progress: effective must be >= 0"));
+    }
+    (*job)->effective_cache = *effective;
+  }
+  planner_->dirty().MarkJob((*job)->spec.id);
+  Replan(/*force=*/false);
+  ServeResponse response = OkResponse();
+  response.fields["state"] = "active";
+  response.fields["running"] = (*job)->running ? "1" : "0";
+  return response;
+}
+
+ServeResponse ServiceState::Query(const ServeRequest& request) {
+  Result<std::string> key = request.GetString("key");
+  if (!key.ok()) {
+    return ServeResponse::FromStatus(key.status());
+  }
+  Result<ServeJob*> job = table_.Find(*key);
+  if (!job.ok()) {
+    return ServeResponse::FromStatus(job.status());
+  }
+  const ServeJob& j = **job;
+  ServeResponse response = OkResponse();
+  response.fields["state"] = ServeJobStateName(j.state);
+  response.fields["job"] = std::to_string(j.spec.id);
+  response.fields["gpus"] = std::to_string(j.spec.num_gpus);
+  response.fields["running"] = j.running ? "1" : "0";
+  response.fields["dataset"] = table_.catalog().Get(j.spec.dataset).name;
+  response.fields["remaining"] = std::to_string(j.remaining_bytes);
+  response.fields["submit-t"] = FormatDouble(j.submit_time);
+  if (j.admit_time >= 0) {
+    response.fields["admit-t"] = FormatDouble(j.admit_time);
+  }
+  if (j.first_start_time >= 0) {
+    response.fields["start-t"] = FormatDouble(j.first_start_time);
+  }
+  if (j.finish_time >= 0) {
+    response.fields["finish-t"] = FormatDouble(j.finish_time);
+  }
+  return response;
+}
+
+ServeResponse ServiceState::Plan(const ServeRequest& request) {
+  (void)request;  // The clock already advanced from the optional t=.
+  const AllocationPlan& plan = PlanNow();
+  int running = 0;
+  for (const auto& [id, alloc] : plan.jobs) {
+    if (alloc.running) {
+      ++running;
+    }
+  }
+  ServeResponse response = OkResponse();
+  response.fields["digest"] = FormatDigest(PlanDigest(plan));
+  response.fields["running"] = std::to_string(running);
+  response.fields["gpus-used"] = std::to_string(plan.GpusUsed());
+  response.fields["cache-bytes"] = std::to_string(plan.DatasetCacheTotal());
+  response.fields["cache-model"] = CacheModelKindName(plan.cache_model);
+  response.fields["manages-remote-io"] = plan.manages_remote_io ? "1" : "0";
+  return response;
+}
+
+ServeResponse ServiceState::Stats() {
+  ServeResponse response = OkResponse();
+  response.fields["now"] = FormatDouble(now_);
+  response.fields["policy"] = planner_->policy_name();
+  response.fields["delta-capable"] = planner_->delta_capable() ? "1" : "0";
+  response.fields["jobs"] = std::to_string(table_.size());
+  response.fields["active"] = std::to_string(table_.CountState(ServeJobState::kActive));
+  response.fields["queued"] = std::to_string(table_.CountState(ServeJobState::kQueued));
+  response.fields["completed"] = std::to_string(table_.CountState(ServeJobState::kCompleted));
+  response.fields["cancelled"] = std::to_string(table_.CountState(ServeJobState::kCancelled));
+  response.fields["gpu-demand"] = std::to_string(table_.ActiveGpuDemand());
+  response.fields["total-gpus"] = std::to_string(config_.resources.total_gpus);
+  response.fields["admitted"] = FormatU64(admission_->admitted());
+  response.fields["adm-queued"] = FormatU64(admission_->queued());
+  response.fields["rejected"] = FormatU64(admission_->rejected());
+  response.fields["full-solves"] = FormatU64(planner_->full_solves());
+  response.fields["delta-solves"] = FormatU64(planner_->delta_solves());
+  response.fields["reused-plans"] = FormatU64(planner_->reused_plans());
+  response.fields["planning-ticks"] = FormatU64(planner_->planning_ticks());
+  if (planner_->delta() != nullptr) {
+    response.fields["jobs-rescored"] = FormatU64(planner_->delta()->jobs_rescored());
+    response.fields["jobs-reused"] = FormatU64(planner_->delta()->jobs_reused());
+  }
+  response.fields["dirty-pending"] = FormatU64(planner_->dirty().events());
+  response.fields["requests"] = FormatU64(requests_);
+  response.fields["errors"] = FormatU64(errors_);
+  return response;
+}
+
+ServeResponse ServiceState::ReloadPolicy(const ServeRequest& request) {
+  Result<std::string> policy = request.GetString("policy");
+  if (!policy.ok()) {
+    return ServeResponse::FromStatus(policy.status());
+  }
+  SchedulerOptions options = config_.scheduler;
+  if (request.Has("manage-remote-io")) {
+    Result<std::int64_t> manage = request.GetInt("manage-remote-io");
+    if (!manage.ok()) {
+      return ServeResponse::FromStatus(manage.status());
+    }
+    options.manage_remote_io = *manage != 0;
+  }
+  if (const Status st = planner_->ReloadPolicy(*policy, options); !st.ok()) {
+    return ServeResponse::FromStatus(st);
+  }
+  config_.policy = *policy;
+  config_.scheduler = options;
+  Replan(/*force=*/true);
+  ServeResponse response = OkResponse();
+  response.fields["policy"] = planner_->policy_name();
+  response.fields["delta-capable"] = planner_->delta_capable() ? "1" : "0";
+  return response;
+}
+
+RunReport ServiceState::Report() const {
+  RunReport report;
+  report.label = planner_->policy_name();
+  report.engine = "serve";
+  report.jobs = static_cast<int>(table_.size());
+  std::vector<double> jct_minutes;
+  Seconds last_finish = 0;
+  for (const auto& job : table_.jobs()) {
+    if (job->state != ServeJobState::kCompleted) {
+      ++report.unfinished_jobs;
+      continue;
+    }
+    jct_minutes.push_back((job->finish_time - job->submit_time) / 60.0);
+    if (job->finish_time > last_finish) {
+      last_finish = job->finish_time;
+    }
+  }
+  FillJctSummary(jct_minutes, &report);
+  report.makespan_min = last_finish / 60.0;
+  report.AddExtra("policy", planner_->policy_name());
+  report.AddExtra("full_solves", static_cast<double>(planner_->full_solves()));
+  report.AddExtra("delta_solves", static_cast<double>(planner_->delta_solves()));
+  report.AddExtra("reused_plans", static_cast<double>(planner_->reused_plans()));
+  report.AddExtra("admitted", static_cast<double>(admission_->admitted()));
+  report.AddExtra("rejected", static_cast<double>(admission_->rejected()));
+  return report;
+}
+
+}  // namespace silod

@@ -1,0 +1,114 @@
+// silodd request handling, socket-free (docs/MODEL.md §11).
+//
+// ServiceState is the whole daemon minus the transport: a job table, an
+// admission controller, an incremental planner and a virtual clock, driven
+// one ServeRequest at a time.  The Unix-socket server (serve/server.h), the
+// in-process replay harness (sim/serve_replay.h) and the unit tests all
+// speak to the same Handle() entry point, so every daemon behaviour is
+// testable without sockets.
+//
+// Time is virtual and carried by the requests: every mutating verb takes a
+// `t=<seconds>` argument and the clock advances to max(now, t).  That makes
+// the daemon a deterministic function of the request sequence — the property
+// the full-vs-incremental identity test and the trace cross-check build on.
+//
+// Verbs (key=value args, serve/proto.h encoding):
+//   submit   key= t= gpus= ideal-io= total-bytes= dataset= dataset-size=
+//            [block-size=] [step-bytes=] [model=]
+//              -> decision=admitted|queued [job=<id>] [position=<n>]
+//                 (resource-exhausted when admission rejects)
+//   complete key= t=                -> state=completed
+//   cancel   key= t=                -> state=cancelled
+//   progress key= t= remaining= [effective=]   -> state=active
+//   query    key=                   -> state= gpus= running= remote-io= ...
+//   plan     [t=]                   -> digest= running= gpus-used= ...
+//   stats                           -> counters (see Handle)
+//   reload-policy policy= [manage-remote-io=]  -> policy=
+//   report                          -> json=<RunReport JSON>
+//   shutdown                        -> ok (server loop exits)
+#ifndef SILOD_SRC_SERVE_SERVICE_H_
+#define SILOD_SRC_SERVE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/topology.h"
+#include "src/serve/admission.h"
+#include "src/serve/incremental_planner.h"
+#include "src/serve/job_table.h"
+#include "src/serve/proto.h"
+#include "src/sim/metrics.h"
+
+namespace silod {
+
+struct ServiceConfig {
+  std::string policy = "fifo+silod";
+  SchedulerOptions scheduler;
+  PlanningOptions planning;
+  ClusterResources resources;
+  // Empty = zone-oblivious; otherwise covered against num_servers like the
+  // engines do.
+  ClusterTopology topology;
+  AdmissionOptions admission;
+};
+
+class ServiceState {
+ public:
+  static Result<std::unique_ptr<ServiceState>> Create(ServiceConfig config);
+
+  // Dispatches one request; never throws, all failures travel as error
+  // responses.  Mutating verbs advance the virtual clock.
+  ServeResponse Handle(const ServeRequest& request);
+
+  // True once a shutdown request was handled; the server loop exits.
+  bool shutdown_requested() const { return shutdown_; }
+
+  // The run report over all jobs the daemon accepted, in JobId order; the
+  // JCT summary goes through FillJctSummary so it is comparable bit-for-bit
+  // with a batch engine run fed the same submit/complete times.
+  RunReport Report() const;
+
+  // Test/replay access: the current plan (re-solving if dirty) and the
+  // scheduler snapshot the next solve would see.
+  const AllocationPlan& PlanNow();
+  Snapshot MakeSnapshot() const;
+
+  Seconds now() const { return now_; }
+  const std::string& policy_name() const { return planner_->policy_name(); }
+  const IncrementalPlanner& planner() const { return *planner_; }
+  const AdmissionController& admission() const { return *admission_; }
+  const JobTable& jobs() const { return table_; }
+
+ private:
+  explicit ServiceState(ServiceConfig config);
+
+  ServeResponse Submit(const ServeRequest& request);
+  ServeResponse Complete(const ServeRequest& request);
+  ServeResponse Cancel(const ServeRequest& request);
+  ServeResponse Progress(const ServeRequest& request);
+  ServeResponse Query(const ServeRequest& request);
+  ServeResponse Plan(const ServeRequest& request);
+  ServeResponse Stats();
+  ServeResponse ReloadPolicy(const ServeRequest& request);
+
+  // Re-solves if due and syncs per-job running flags / first-start times
+  // with the resulting plan.
+  void Replan(bool force);
+  // Admits queued jobs (FIFO) that now pass the load gate.
+  void PromoteQueued();
+  Status AdvanceClock(const ServeRequest& request);
+
+  ServiceConfig config_;
+  ClusterTopology covered_topology_;
+  JobTable table_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<IncrementalPlanner> planner_;
+  Seconds now_ = 0;
+  bool shutdown_ = false;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_SERVICE_H_

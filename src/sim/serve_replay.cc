@@ -1,0 +1,126 @@
+#include "src/sim/serve_replay.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/policy_registry.h"
+#include "src/sim/flow_engine.h"
+
+namespace silod {
+namespace {
+
+// %.17g round-trips a double exactly through strtod, so virtual timestamps
+// survive the text protocol bit-for-bit — the whole cross-check rests on it.
+std::string FormatExact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatBytes(Bytes value) { return std::to_string(value); }
+
+}  // namespace
+
+std::vector<ReplayEvent> BuildReplaySchedule(const Trace& trace, const SimResult& result) {
+  SILOD_CHECK(result.jobs.size() == trace.jobs.size()) << "result/trace job count mismatch";
+  std::vector<ReplayEvent> events;
+  events.reserve(2 * trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    events.push_back({trace.jobs[i].submit_time, false, i});
+    const JobResult& r = result.jobs[i];
+    if (r.finish_time >= 0) {
+      events.push_back({r.finish_time, true, i});
+    }
+  }
+  // Completions before submissions at equal times, so freed GPUs are visible
+  // to the arrival's admission check; job index breaks remaining ties, which
+  // keeps daemon JobIds aligned with trace indices for monotone traces.
+  std::stable_sort(events.begin(), events.end(), [](const ReplayEvent& a, const ReplayEvent& b) {
+    if (a.t != b.t) {
+      return a.t < b.t;
+    }
+    if (a.complete != b.complete) {
+      return a.complete;
+    }
+    return a.job < b.job;
+  });
+  return events;
+}
+
+ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t) {
+  const JobSpec& spec = trace.jobs[job];
+  const Dataset& dataset = trace.catalog.Get(spec.dataset);
+  ServeRequest request;
+  request.verb = "submit";
+  request.args["key"] = "job" + std::to_string(job);
+  request.args["t"] = FormatExact(t);
+  request.args["gpus"] = std::to_string(spec.num_gpus);
+  request.args["ideal-io"] = FormatExact(spec.ideal_io);
+  request.args["total-bytes"] = FormatBytes(spec.total_bytes);
+  request.args["step-bytes"] = FormatBytes(spec.step_data_size);
+  request.args["dataset"] = dataset.name + "#" + std::to_string(dataset.id);
+  request.args["dataset-size"] = FormatBytes(dataset.size);
+  request.args["block-size"] = FormatBytes(dataset.block_size);
+  request.args["model"] = spec.model;
+  return request;
+}
+
+ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t) {
+  (void)trace;
+  ServeRequest request;
+  request.verb = "complete";
+  request.args["key"] = "job" + std::to_string(job);
+  request.args["t"] = FormatExact(t);
+  return request;
+}
+
+bool JctSummariesIdentical(const RunReport& a, const RunReport& b) {
+  return a.jobs == b.jobs && a.unfinished_jobs == b.unfinished_jobs &&
+         a.avg_jct_min == b.avg_jct_min && a.median_jct_min == b.median_jct_min &&
+         a.p90_jct_min == b.p90_jct_min && a.makespan_min == b.makespan_min;
+}
+
+Result<ReplayOutcome> ReplayTraceThroughService(const Trace& trace, const SimConfig& config,
+                                                const std::string& policy,
+                                                const SchedulerOptions& scheduler_options,
+                                                const PlanningOptions& planning) {
+  Result<std::shared_ptr<Scheduler>> scheduler = MakeSchedulerByName(policy, scheduler_options);
+  if (!scheduler.ok()) {
+    return scheduler.status();
+  }
+  FlowEngine engine(&trace, *scheduler, config);
+  const SimResult result = engine.Run();
+
+  ServiceConfig service_config;
+  service_config.policy = policy;
+  service_config.scheduler = scheduler_options;
+  service_config.planning = planning;
+  service_config.resources = config.resources;
+  service_config.topology = config.topology;
+  // Wide open: the batch engine has no admission gate, so the daemon must
+  // let every job through to the scheduler's waiting pool.
+  service_config.admission.max_gpu_load = 1e18;
+  Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(service_config);
+  if (!service.ok()) {
+    return service.status();
+  }
+
+  for (const ReplayEvent& event : BuildReplaySchedule(trace, result)) {
+    const ServeRequest request = event.complete ? CompleteRequestFor(trace, event.job, event.t)
+                                                : SubmitRequestFor(trace, event.job, event.t);
+    const ServeResponse response = (*service)->Handle(request);
+    if (!response.ok()) {
+      return Status::Internal("replay " + request.verb + " job" + std::to_string(event.job) +
+                              " failed: " + response.error);
+    }
+  }
+
+  ReplayOutcome outcome;
+  outcome.batch = MakeRunReport(policy, "flow", result);
+  outcome.serve = (*service)->Report();
+  outcome.jct_identical = JctSummariesIdentical(outcome.batch, outcome.serve);
+  return outcome;
+}
+
+}  // namespace silod

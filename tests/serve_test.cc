@@ -1,0 +1,542 @@
+// Tests for the silodd subsystem (docs/MODEL.md §11): the shared framing
+// layer, the text protocol, dirty-set tracking, the delta water-fill's
+// bit-identity contract, admission-control edges, epoch batching, policy
+// hot-reload, the trace-replay cross-check and the Unix-socket transport.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/common/framing.h"
+#include "src/common/units.h"
+#include "src/core/data_manager.h"
+#include "src/core/dirty_tracker.h"
+#include "src/core/policy_registry.h"
+#include "src/sched/delta_fill.h"
+#include "src/sched/fifo.h"
+#include "src/sched/greedy.h"
+#include "src/sched/sjf.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+#include "src/sim/serve_replay.h"
+#include "src/workload/trace_gen.h"
+
+namespace silod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing (satellite: one framing implementation for rt and serve).
+
+TEST(Framing, RoundTripsTypeAndPayload) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  ASSERT_TRUE(WriteRawFrame(fds[0], 7, "hello frame").ok());
+  Result<RawFrame> frame = ReadRawFrame(fds[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(7, frame->type);
+  EXPECT_EQ("hello frame", frame->payload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Framing, PeerCloseIsOutOfRange) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  close(fds[0]);
+  Result<RawFrame> frame = ReadRawFrame(fds[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(StatusCode::kOutOfRange, frame.status().code());
+  close(fds[1]);
+}
+
+TEST(Framing, RejectsOversizeBody) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::string big(128, 'x');
+  EXPECT_FALSE(WriteRawFrame(fds[0], 1, big, /*max_body=*/64).ok());
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(ServeProto, EscapeRoundTripsHostileBytes) {
+  const std::string hostile = "a b%c\n\t=\x01\x7f";
+  Result<std::string> back = UnescapeToken(EscapeToken(hostile));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(hostile, *back);
+}
+
+TEST(ServeProto, RequestRoundTrips) {
+  ServeRequest request;
+  request.verb = "submit";
+  request.args["key"] = "job with spaces";
+  request.args["t"] = "12.5";
+  Result<ServeRequest> back = ServeRequest::Decode(request.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ("submit", back->verb);
+  EXPECT_EQ("job with spaces", back->args.at("key"));
+  EXPECT_EQ(12.5, *back->GetDouble("t"));
+}
+
+TEST(ServeProto, ResponseCarriesErrorsAndFields) {
+  ServeResponse response = ServeResponse::FromStatus(Status::NotFound("no job 'x'"));
+  Result<ServeResponse> back = ServeResponse::Decode(response.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back->ok());
+  EXPECT_EQ(StatusCode::kNotFound, back->code);
+  EXPECT_EQ("no job 'x'", back->error);
+}
+
+TEST(ServeProto, RejectsDuplicateKeysAndBadEscapes) {
+  EXPECT_FALSE(ServeRequest::Decode("submit key=a key=b").ok());
+  EXPECT_FALSE(ServeRequest::Decode("submit key=%zz").ok());
+  EXPECT_FALSE(ServeRequest::Decode("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dirty tracking.
+
+TEST(DirtyTracker, TracksMarksAndFullInvalidations) {
+  DirtyTracker tracker;
+  EXPECT_TRUE(tracker.empty());
+  tracker.MarkJob(3);
+  tracker.MarkJob(1);
+  tracker.MarkDataset(2);
+  EXPECT_EQ((std::vector<JobId>{1, 3}), tracker.DirtyJobs());
+  EXPECT_EQ(3u, tracker.events());
+  tracker.MarkAll("topology change");
+  EXPECT_TRUE(tracker.all_dirty());
+  EXPECT_EQ("topology change", tracker.all_dirty_reason());
+  tracker.Clear();
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_EQ(0u, tracker.events());
+  EXPECT_EQ(4u, tracker.lifetime_marks());
+  EXPECT_EQ(1u, tracker.lifetime_full_invalidations());
+}
+
+TEST(DirtyTracker, DataManagerChangeListenerMarksDatasets) {
+  DataManager dm(GB(10), MBps(100), /*seed=*/7, /*num_shards=*/2);
+  DirtyTracker tracker;
+  dm.SetChangeListener([&tracker](DatasetId dataset) {
+    if (dataset == kInvalidDataset) {
+      tracker.MarkAll("cache-wide event");
+    } else {
+      tracker.MarkDataset(dataset);
+    }
+  });
+  const Dataset dataset = MakeDataset(0, "d0", GB(4), MB(64));
+  ASSERT_TRUE(dm.AllocateCacheSize(dataset, GB(2)).ok());
+  EXPECT_EQ((std::vector<DatasetId>{0}), tracker.DirtyDatasets());
+  EXPECT_FALSE(tracker.all_dirty());
+  dm.CrashShard(0);
+  EXPECT_TRUE(tracker.all_dirty());
+  tracker.Clear();
+  dm.RecoverShard(0);
+  EXPECT_TRUE(tracker.all_dirty());
+}
+
+// ---------------------------------------------------------------------------
+// Delta water-fill: the bit-identity anchor.
+
+class DeltaFillTest : public ::testing::Test {
+ protected:
+  DeltaFillTest() {
+    snapshot_.catalog = &catalog_;
+    snapshot_.resources.total_gpus = 8;
+    snapshot_.resources.total_cache = GB(900);
+    snapshot_.resources.remote_io = MBps(200);
+    snapshot_.resources.num_servers = 4;
+  }
+
+  JobId AddJob(int gpus, Bytes dataset_size, BytesPerSec ideal, Seconds submit,
+               bool running = false) {
+    const JobId id = static_cast<JobId>(specs_.size());
+    const DatasetId d = catalog_.Add("d" + std::to_string(id), dataset_size, MB(64));
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->name = "j" + std::to_string(id);
+    spec->num_gpus = gpus;
+    spec->dataset = d;
+    spec->ideal_io = ideal;
+    spec->total_bytes = static_cast<Bytes>(ideal * Hours(10));
+    spec->submit_time = submit;
+    running_.push_back(running);
+    specs_.push_back(std::move(spec));
+    return id;
+  }
+
+  Snapshot& Refresh() {
+    snapshot_.jobs.clear();
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      JobView view;
+      view.spec = specs_[i].get();
+      view.remaining_bytes = remaining_.count(specs_[i]->id) > 0
+                                 ? remaining_[specs_[i]->id]
+                                 : specs_[i]->total_bytes;
+      view.effective_cache = effective_.count(specs_[i]->id) > 0 ? effective_[specs_[i]->id] : 0;
+      view.running = running_[i];
+      snapshot_.jobs.push_back(view);
+    }
+    return snapshot_;
+  }
+
+  AllocationPlan BatchSolve(DeltaOrderKind kind) {
+    std::shared_ptr<StoragePolicy> storage = std::make_shared<SiloDGreedyStorage>(true);
+    std::shared_ptr<Scheduler> scheduler;
+    if (kind == DeltaOrderKind::kFifo) {
+      scheduler = std::make_shared<FifoScheduler>(storage);
+    } else {
+      scheduler = std::make_shared<SjfScheduler>(
+          storage, kind == DeltaOrderKind::kSjfSiloD ? SjfScoreMode::kSiloD
+                                                     : SjfScoreMode::kComputeOnly);
+    }
+    return scheduler->Schedule(snapshot_);
+  }
+
+  DatasetCatalog catalog_;
+  std::vector<std::unique_ptr<JobSpec>> specs_;
+  std::vector<bool> running_;
+  std::map<JobId, Bytes> remaining_;
+  std::map<JobId, Bytes> effective_;
+  Snapshot snapshot_;
+};
+
+TEST_F(DeltaFillTest, MatchesBatchAcrossIncrementalMutations) {
+  for (const DeltaOrderKind kind :
+       {DeltaOrderKind::kFifo, DeltaOrderKind::kSjfCompute, DeltaOrderKind::kSjfSiloD}) {
+    specs_.clear();
+    running_.clear();
+    remaining_.clear();
+    effective_.clear();
+    catalog_ = DatasetCatalog();
+    DeltaWaterFill delta(kind, /*manage_remote_io=*/true);
+
+    // Round 1: three jobs, cold solve.
+    AddJob(2, GB(400), MBps(120), 0);
+    AddJob(1, GB(800), MBps(60), 10);
+    AddJob(4, TB(1.5), MBps(200), 20);
+    Refresh();
+    EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {0, 1, 2}), BatchSolve(kind)))
+        << DeltaOrderKindName(kind) << " round 1";
+
+    // Round 2: one arrival, only it is dirty.
+    const JobId late = AddJob(1, GB(200), MBps(90), 30);
+    Refresh();
+    EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {late}), BatchSolve(kind)))
+        << DeltaOrderKindName(kind) << " round 2";
+
+    // Round 3: progress + cache effectiveness moved on job 0 (marked dirty)
+    // and sneakily on job 1 (NOT marked — the input fingerprint must catch
+    // it, the dirty set is never trusted for correctness).
+    remaining_[0] = GB(100);
+    effective_[0] = GB(50);
+    effective_[1] = GB(25);
+    Refresh();
+    EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {0}), BatchSolve(kind)))
+        << DeltaOrderKindName(kind) << " round 3";
+
+    // Round 4: a completion (job leaves the snapshot entirely).
+    specs_.erase(specs_.begin() + 1);
+    running_.erase(running_.begin() + 1);
+    Refresh();
+    EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {1}), BatchSolve(kind)))
+        << DeltaOrderKindName(kind) << " round 4";
+
+    // Round 5: cluster resources changed — all caches must self-invalidate.
+    snapshot_.resources.total_cache = GB(300);
+    Refresh();
+    EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {}), BatchSolve(kind)))
+        << DeltaOrderKindName(kind) << " round 5";
+    EXPECT_GT(delta.jobs_reused(), 0u);
+  }
+}
+
+TEST_F(DeltaFillTest, MatchesBatchUnderTopology) {
+  AddJob(2, GB(400), MBps(120), 0);
+  AddJob(1, GB(800), MBps(60), 10);
+  Result<ClusterTopology> topology = ClusterTopology::Parse("rack0=0-1;rack1=2-3");
+  ASSERT_TRUE(topology.ok());
+  snapshot_.topology = &*topology;
+  effective_[0] = GB(100);
+  Refresh();
+  DeltaWaterFill delta(DeltaOrderKind::kFifo, true);
+  EXPECT_TRUE(PlansBitIdentical(delta.Solve(snapshot_, {0, 1}),
+                                BatchSolve(DeltaOrderKind::kFifo)));
+  // Digest agrees with bit-identity.
+  EXPECT_EQ(PlanDigest(delta.Solve(snapshot_, {})),
+            PlanDigest(BatchSolve(DeltaOrderKind::kFifo)));
+}
+
+TEST(PlanDigest, DistinguishesPlans) {
+  AllocationPlan a;
+  a.jobs[0].running = true;
+  a.jobs[0].gpus = 2;
+  AllocationPlan b = a;
+  EXPECT_TRUE(PlansBitIdentical(a, b));
+  EXPECT_EQ(PlanDigest(a), PlanDigest(b));
+  b.jobs[0].gpus = 3;
+  EXPECT_FALSE(PlansBitIdentical(a, b));
+  EXPECT_NE(PlanDigest(a), PlanDigest(b));
+}
+
+// ---------------------------------------------------------------------------
+// Service: request handling, admission edges, identity after any sequence.
+
+ServiceConfig SmallCluster(const std::string& policy) {
+  ServiceConfig config;
+  config.policy = policy;
+  config.resources.total_gpus = 8;
+  config.resources.total_cache = GB(900);
+  config.resources.remote_io = MBps(200);
+  config.resources.num_servers = 4;
+  return config;
+}
+
+ServeRequest Req(const std::string& verb,
+                 std::initializer_list<std::pair<const char*, std::string>> args) {
+  ServeRequest request;
+  request.verb = verb;
+  for (const auto& [key, value] : args) {
+    request.args[key] = value;
+  }
+  return request;
+}
+
+ServeRequest SubmitReq(const std::string& key, double t, int gpus, Bytes dataset_size) {
+  return Req("submit", {{"key", key},
+                        {"t", std::to_string(t)},
+                        {"gpus", std::to_string(gpus)},
+                        {"ideal-io", "100000000"},
+                        {"total-bytes", "1000000000000"},
+                        {"dataset", "ds-" + key},
+                        {"dataset-size", std::to_string(dataset_size)}});
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void Start(ServiceConfig config) {
+    Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(std::move(config));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+  }
+
+  ServeResponse Must(const ServeRequest& request) {
+    ServeResponse response = service_->Handle(request);
+    EXPECT_TRUE(response.ok()) << request.verb << ": " << response.error;
+    return response;
+  }
+
+  // The identity anchor: the daemon's current plan must be bit-identical to
+  // a fresh batch scheduler solving the daemon's own snapshot.
+  void ExpectBatchIdentity() {
+    Result<std::shared_ptr<Scheduler>> batch =
+        MakeSchedulerByName(service_->policy_name(), SchedulerOptions{});
+    ASSERT_TRUE(batch.ok());
+    const Snapshot snapshot = service_->MakeSnapshot();
+    const AllocationPlan expected = (*batch)->Schedule(snapshot);
+    EXPECT_TRUE(PlansBitIdentical(service_->PlanNow(), expected))
+        << "daemon plan diverged from batch " << service_->policy_name();
+  }
+
+  std::unique_ptr<ServiceState> service_;
+};
+
+TEST_F(ServiceTest, IdentityHoldsAfterAnySubmitCompleteCancelSequence) {
+  for (const char* policy : {"fifo+silod", "sjf+silod", "fifo+coordl"}) {
+    Start(SmallCluster(policy));
+    Must(SubmitReq("a", 0, 2, GB(400)));
+    ExpectBatchIdentity();
+    Must(SubmitReq("b", 10, 1, GB(800)));
+    Must(SubmitReq("c", 20, 4, TB(1.5)));
+    ExpectBatchIdentity();
+    Must(Req("progress", {{"key", "a"},
+                          {"t", "100"},
+                          {"remaining", "500000000000"},
+                          {"effective", "50000000000"}}));
+    ExpectBatchIdentity();
+    Must(Req("complete", {{"key", "b"}, {"t", "200"}}));
+    ExpectBatchIdentity();
+    Must(SubmitReq("d", 250, 1, GB(200)));
+    Must(Req("cancel", {{"key", "c"}, {"t", "300"}}));
+    ExpectBatchIdentity();
+  }
+}
+
+TEST_F(ServiceTest, DeltaSolvesAreUsedAndCounted) {
+  Start(SmallCluster("sjf+silod"));
+  ASSERT_TRUE(service_->planner().delta_capable());
+  Must(SubmitReq("a", 0, 1, GB(400)));
+  Must(SubmitReq("b", 1, 1, GB(400)));
+  Must(Req("complete", {{"key", "a"}, {"t", "50"}}));
+  EXPECT_GE(service_->planner().delta_solves(), 2u);  // Arrival b + completion.
+  EXPECT_EQ(1u, service_->planner().full_solves());   // The cold initial solve.
+  ExpectBatchIdentity();
+}
+
+TEST_F(ServiceTest, AdmissionEdges) {
+  ServiceConfig config = SmallCluster("fifo+silod");
+  config.admission.max_gpu_load = 1.0;
+  config.admission.max_queue = 1;
+  Start(std::move(config));
+
+  // Exactly at the threshold (8/8) admits.
+  ServeResponse r1 = Must(SubmitReq("fills", 0, 8, GB(100)));
+  EXPECT_EQ("admitted", r1.fields.at("decision"));
+
+  // Strictly past it queues.
+  ServeResponse r2 = Must(SubmitReq("queued", 1, 1, GB(100)));
+  EXPECT_EQ("queued", r2.fields.at("decision"));
+
+  // Queue full: rejected cleanly, key not burned.
+  ServeResponse r3 = service_->Handle(SubmitReq("rejected", 2, 1, GB(100)));
+  EXPECT_FALSE(r3.ok());
+  EXPECT_EQ(StatusCode::kResourceExhausted, r3.code);
+
+  // Duplicate job id rejected cleanly without disturbing the original.
+  ServeResponse dup = service_->Handle(SubmitReq("fills", 3, 1, GB(100)));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists, dup.code);
+  EXPECT_EQ("active", Must(Req("query", {{"key", "fills"}})).fields.at("state"));
+
+  // Cancel of a queued (never-admitted) job works and leaves no trace in the
+  // scheduler; the planner was never told about it.
+  ServeResponse cancel = Must(Req("cancel", {{"key", "queued"}, {"t", "4"}}));
+  EXPECT_EQ("cancelled", cancel.fields.at("state"));
+  EXPECT_EQ("queued", cancel.fields.at("was"));
+  EXPECT_EQ(0u, service_->jobs().CountState(ServeJobState::kQueued));
+
+  // Completion frees load and promotes the next queued submission.
+  ServeResponse r4 = Must(SubmitReq("waits", 5, 2, GB(100)));
+  EXPECT_EQ("queued", r4.fields.at("decision"));
+  Must(Req("complete", {{"key", "fills"}, {"t", "6"}}));
+  EXPECT_EQ("active", Must(Req("query", {{"key", "waits"}})).fields.at("state"));
+  ExpectBatchIdentity();
+}
+
+TEST_F(ServiceTest, EpochBatchingCoalescesArrivals) {
+  ServiceConfig config = SmallCluster("fifo+silod");
+  config.planning.min_replan_interval = 1000;  // Nothing is due by time.
+  config.planning.max_coalesced_events = 3;    // ... until 3 marks coalesce.
+  Start(std::move(config));
+  Must(SubmitReq("a", 0, 1, GB(100)));  // Initial all-dirty solve happens.
+  const std::uint64_t solves_after_first =
+      service_->planner().full_solves() + service_->planner().delta_solves();
+  Must(SubmitReq("b", 1, 1, GB(100)));  // 1 pending mark: coalesced.
+  Must(SubmitReq("c", 2, 1, GB(100)));  // 2 pending marks: coalesced.
+  EXPECT_EQ(solves_after_first,
+            service_->planner().full_solves() + service_->planner().delta_solves());
+  EXPECT_GE(service_->planner().reused_plans(), 2u);
+  Must(SubmitReq("d", 3, 1, GB(100)));  // 3rd mark forces the tick.
+  EXPECT_EQ(solves_after_first + 1,
+            service_->planner().full_solves() + service_->planner().delta_solves());
+  ExpectBatchIdentity();  // A forced plan flushes the rest.
+}
+
+TEST_F(ServiceTest, ReloadPolicySwapsSchedulerAndCachePair) {
+  Start(SmallCluster("fifo+silod"));
+  Must(SubmitReq("a", 0, 1, GB(400)));
+  Must(SubmitReq("b", 1, 1, GB(800)));
+  EXPECT_EQ("fifo+silod", service_->policy_name());
+  EXPECT_TRUE(service_->planner().delta_capable());
+
+  ServeResponse reload = Must(Req("reload-policy", {{"policy", "gavel+coordl"}}));
+  EXPECT_EQ("gavel+coordl", reload.fields.at("policy"));
+  EXPECT_EQ("0", reload.fields.at("delta-capable"));
+  const AllocationPlan& plan = service_->PlanNow();
+  EXPECT_EQ(CacheModelKind::kPerJobStatic, plan.cache_model);
+
+  // Unknown policies are rejected and the old one stays live.
+  ServeResponse bad = service_->Handle(Req("reload-policy", {{"policy", "nope+silod"}}));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ("gavel+coordl", service_->policy_name());
+
+  ServeResponse back = Must(Req("reload-policy", {{"policy", "sjf+silod"}}));
+  EXPECT_EQ("1", back.fields.at("delta-capable"));
+  ExpectBatchIdentity();
+}
+
+TEST_F(ServiceTest, StatsAndQueryAndErrors) {
+  Start(SmallCluster("fifo+silod"));
+  Must(SubmitReq("a", 0, 2, GB(400)));
+  ServeResponse stats = Must(Req("stats", {}));
+  EXPECT_EQ("1", stats.fields.at("active"));
+  EXPECT_EQ("2", stats.fields.at("gpu-demand"));
+  EXPECT_EQ("fifo+silod", stats.fields.at("policy"));
+  EXPECT_FALSE(service_->Handle(Req("query", {{"key", "nope"}})).ok());
+  EXPECT_FALSE(service_->Handle(Req("frobnicate", {})).ok());
+  EXPECT_FALSE(service_->Handle(Req("complete", {{"key", "a"}})).ok());  // No t.
+  // Dataset interning: same name must agree on size.
+  ServeResponse clash = service_->Handle(Req("submit", {{"key", "x"},
+                                                        {"t", "1"},
+                                                        {"gpus", "1"},
+                                                        {"ideal-io", "1000"},
+                                                        {"total-bytes", "1000"},
+                                                        {"dataset", "ds-a"},
+                                                        {"dataset-size", "12345"}}));
+  EXPECT_FALSE(clash.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, clash.code);
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay cross-check (satellite: --serve-trace's engine).
+
+TEST(ServeReplay, DaemonReportMatchesBatchEngine) {
+  TraceOptions options;
+  options.num_jobs = 12;
+  options.mean_interarrival = Minutes(2);
+  options.median_duration = Minutes(20);
+  options.seed = 5;
+  const Trace trace = TraceGenerator(options).Generate();
+  SimConfig config;
+  config.resources.total_gpus = 8;
+  config.resources.total_cache = GB(900);
+  config.resources.remote_io = MBps(200);
+  for (const char* policy : {"fifo+silod", "sjf+silod"}) {
+    Result<ReplayOutcome> outcome = ReplayTraceThroughService(
+        trace, config, policy, SchedulerOptions{}, PlanningOptions{});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->jct_identical)
+        << policy << "\nbatch:\n"
+        << outcome->batch.ToJson() << "\nserve:\n"
+        << outcome->serve.ToJson();
+    EXPECT_EQ(0, outcome->serve.unfinished_jobs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport.
+
+TEST(UnixServer, ServesClientsUntilShutdown) {
+  ServiceConfig config = SmallCluster("fifo+silod");
+  Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(std::move(config));
+  ASSERT_TRUE(service.ok());
+  const std::string path = ::testing::TempDir() + "/silodd_test.sock";
+  UnixServer server(path, service->get());
+  ASSERT_TRUE(server.Start().ok());
+  std::thread loop([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  Result<ServeResponse> submit = CallServe(path, SubmitReq("a", 0, 1, GB(100)));
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  EXPECT_TRUE(submit->ok()) << submit->error;
+  EXPECT_EQ("admitted", submit->fields.at("decision"));
+
+  // A persistent client interleaved with one-shot clients.
+  Result<ServeClient> client = ServeClient::Connect(path);
+  ASSERT_TRUE(client.ok());
+  Result<ServeResponse> stats = client->Call(Req("stats", {}));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ("1", stats->fields.at("active"));
+
+  Result<ServeResponse> shutdown = client->Call(Req("shutdown", {}));
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_TRUE(shutdown->ok());
+  loop.join();
+}
+
+}  // namespace
+}  // namespace silod

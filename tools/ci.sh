@@ -11,6 +11,7 @@
 #   tools/ci.sh zone-smoke # zone-aware vs oblivious placement smoke only
 #   tools/ci.sh scaling-smoke # fine-engine throughput + bit-identity smoke only
 #   tools/ci.sh rt-fault-smoke # multi-process worker crash + minidump replay smoke only
+#   tools/ci.sh serve-smoke # silodd daemon lifecycle + live reload + replay cross-check only
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -139,6 +140,72 @@ if [[ "$stage" == "all" || "$stage" == "rt-fault-smoke" ]]; then
   dump="$(ls "$dump_dir"/minidump-*.txt 2>/dev/null | head -n1)"
   [[ -n "$dump" ]] || { echo "rt-fault-smoke: no minidump emitted"; exit 1; }
   ./build-ci-rt/tools/silod_replay "$dump"
+fi
+
+if [[ "$stage" == "all" || "$stage" == "serve-smoke" ]]; then
+  # silodd lifecycle smoke: start the daemon, drive it through submit /
+  # complete / stats / live reload-policy / shutdown with silod_client, then
+  # replay a generated trace over the socket and require the daemon's JCT
+  # summary to match the batch flow engine bit-for-bit (--check exits 1
+  # otherwise).  `set -e` turns any failed step into a stage failure.
+  echo "=== [serve-smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [serve-smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target silodd silod_client
+  echo "=== [serve-smoke] run ==="
+  sock="build-ci-smoke/serve-smoke.sock"
+  client="./build-ci-smoke/tools/silod_client"
+  rm -f "$sock"
+  ./build-ci-smoke/tools/silodd --socket="$sock" --policy=fifo+silod \
+      --gpus=8 --cache-tb=2 --egress-gbps=1.6 --max-gpu-load=1e18 &
+  silodd_pid=$!
+  trap 'kill "$silodd_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "serve-smoke: daemon never bound $sock"; exit 1; }
+
+  "$client" --socket="$sock" submit key=smoke1 t=0 gpus=2 ideal-io=100e6 \
+      total-bytes=1000000000000 dataset=smoke-ds dataset-size=150000000000 \
+      | grep -q "decision=admitted" \
+      || { echo "serve-smoke: submit not admitted"; exit 1; }
+  "$client" --socket="$sock" complete key=smoke1 t=600 \
+      | grep -q "state=completed" \
+      || { echo "serve-smoke: complete failed"; exit 1; }
+  "$client" --socket="$sock" --json stats \
+      | grep -q '"completed": "1"' \
+      || { echo "serve-smoke: stats did not count the completion"; exit 1; }
+
+  # Live reload: swap the scheduler x cache pair without restarting and prove
+  # the daemon is now planning with the new pair (coordl = per-job-static
+  # cache model, not silod's dataset-quota).
+  "$client" --socket="$sock" reload-policy policy=sjf+coordl \
+      | grep -q "policy=sjf+coordl" \
+      || { echo "serve-smoke: reload-policy failed"; exit 1; }
+  "$client" --socket="$sock" plan \
+      | grep -q "cache-model=per-job-static" \
+      || { echo "serve-smoke: plan still on the old cache model after reload"; exit 1; }
+  "$client" --socket="$sock" shutdown \
+      | grep -q "state=shutting-down" \
+      || { echo "serve-smoke: shutdown refused"; exit 1; }
+  wait "$silodd_pid" || { echo "serve-smoke: daemon exited non-zero"; exit 1; }
+  trap - EXIT
+  [[ ! -S "$sock" ]] || { echo "serve-smoke: socket left behind"; exit 1; }
+
+  # Replay a trace through a fresh daemon (the report covers every job the
+  # daemon ever saw, so the cross-check needs an empty table); --check
+  # verifies the daemon's JCT summary against the local batch flow engine
+  # bit-for-bit and exits 1 on any divergence.
+  ./build-ci-smoke/tools/silodd --socket="$sock" --policy=sjf+silod \
+      --gpus=8 --cache-tb=2 --egress-gbps=1.6 --max-gpu-load=1e18 &
+  silodd_pid=$!
+  trap 'kill "$silodd_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "serve-smoke: replay daemon never bound $sock"; exit 1; }
+  "$client" --socket="$sock" --serve-trace --check --jobs=25 --seed=3 \
+      --policy=sjf+silod --gpus=8 --cache-tb=2 --egress-gbps=1.6 \
+      > build-ci-smoke/serve_smoke_report.json
+  "$client" --socket="$sock" shutdown >/dev/null
+  wait "$silodd_pid" || { echo "serve-smoke: replay daemon exited non-zero"; exit 1; }
+  trap - EXIT
 fi
 
 echo "CI OK"

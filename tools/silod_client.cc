@@ -1,0 +1,227 @@
+// silod_client: CLI for the silodd daemon (docs/MODEL.md §11).
+//
+// Ad-hoc requests (args are the daemon's key=value tokens, verbatim):
+//
+//   silod_client --socket=/tmp/silod.sock stats
+//   silod_client --socket=/tmp/silod.sock submit key=j1 t=0 gpus=1
+//       ideal-io=100e6 total-bytes=10000000000 dataset=imagenet
+//       dataset-size=150000000000   # byte counts are integers, rates parse 1e6
+//   silod_client --socket=/tmp/silod.sock reload-policy policy=sjf+silod
+//
+// Trace replay (--serve-trace): runs the batch flow engine locally to learn
+// each job's finish time, feeds the daemon the same history as timed
+// submit/complete requests, and prints the daemon's RunReport JSON.  With
+// --check the daemon's JCT summary must match the local batch engine's
+// bit-for-bit (exit 1 otherwise) — the socket-transport version of
+// sim/serve_replay.h's cross-check.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/flags.h"
+#include "src/core/policy_registry.h"
+#include "src/serve/server.h"
+#include "src/sim/flow_engine.h"
+#include "src/sim/serve_replay.h"
+#include "src/workload/trace_io.h"
+
+using namespace silod;
+
+namespace {
+
+// Renders response fields as a flat JSON object (values as JSON strings;
+// numeric consumers parse them — the fields are exact decimal renderings).
+std::string FieldsToJson(const ServeResponse& response) {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [key, value] : response.fields) {
+    if (!first) {
+      json += ", ";
+    }
+    first = false;
+    std::string escaped;
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+      }
+      escaped += c;
+    }
+    json += "\"" + key + "\": \"" + escaped + "\"";
+  }
+  json += "}";
+  return json;
+}
+
+int PrintResponse(const ServeResponse& response, bool json) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.ToStatus().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", FieldsToJson(response).c_str());
+  } else {
+    for (const auto& [key, value] : response.fields) {
+      std::printf("%s=%s\n", key.c_str(), value.c_str());
+    }
+  }
+  return 0;
+}
+
+// Compares a report-response scalar field against the local batch value; the
+// daemon renders with %.17g, which round-trips doubles exactly.
+bool FieldMatches(const ServeResponse& response, const std::string& key, double expected) {
+  const auto it = response.fields.find(key);
+  if (it == response.fields.end()) {
+    return false;
+  }
+  return std::strtod(it->second.c_str(), nullptr) == expected;
+}
+
+int RunServeTrace(const FlagSet& flags) {
+  Trace trace;
+  if (!flags.GetString("trace").empty()) {
+    Result<Trace> loaded = ReadTraceFile(flags.GetString("trace"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    trace = *std::move(loaded);
+  } else {
+    TraceOptions options;
+    options.num_jobs = static_cast<int>(flags.GetInt("jobs"));
+    options.mean_interarrival = Minutes(flags.GetDouble("interarrival-min"));
+    options.median_duration = Minutes(flags.GetDouble("median-duration-min"));
+    options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    trace = TraceGenerator(options).Generate();
+  }
+
+  // The local batch run must see the same cluster the daemon was started
+  // with; these flags mirror silodd's.
+  SimConfig config;
+  config.resources.total_gpus = static_cast<int>(flags.GetInt("gpus"));
+  config.resources.total_cache = TB(flags.GetDouble("cache-tb"));
+  config.resources.remote_io = Gbps(flags.GetDouble("egress-gbps"));
+  if (flags.GetDouble("per-job-cap-mbps") > 0) {
+    config.resources.per_job_remote_cap = MBps(flags.GetDouble("per-job-cap-mbps"));
+  }
+  config.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
+  const std::string policy = flags.GetString("policy");
+  SchedulerOptions scheduler_options;
+  scheduler_options.manage_remote_io = flags.GetBool("manage-remote-io");
+  Result<std::shared_ptr<Scheduler>> scheduler = MakeSchedulerByName(policy, scheduler_options);
+  if (!scheduler.ok()) {
+    std::fprintf(stderr, "--policy: %s\n", scheduler.status().ToString().c_str());
+    return 2;
+  }
+  FlowEngine engine(&trace, *scheduler, config);
+  const SimResult result = engine.Run();
+  const RunReport batch = MakeRunReport(policy, "flow", result);
+
+  Result<ServeClient> client = ServeClient::Connect(flags.GetString("socket"));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  for (const ReplayEvent& event : BuildReplaySchedule(trace, result)) {
+    const ServeRequest request = event.complete ? CompleteRequestFor(trace, event.job, event.t)
+                                                : SubmitRequestFor(trace, event.job, event.t);
+    Result<ServeResponse> response = client->Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "replay %s: %s\n", request.verb.c_str(),
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (!response->ok()) {
+      std::fprintf(stderr, "replay %s job%zu: %s\n", request.verb.c_str(), event.job,
+                   response->error.c_str());
+      return 1;
+    }
+  }
+
+  ServeRequest report_request;
+  report_request.verb = "report";
+  Result<ServeResponse> report = client->Call(report_request);
+  if (!report.ok() || !report->ok()) {
+    std::fprintf(stderr, "report: %s\n",
+                 (report.ok() ? report->ToStatus() : report.status()).ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->fields["json"].c_str());
+
+  if (flags.GetBool("check")) {
+    const bool identical =
+        report->fields["jobs"] == std::to_string(batch.jobs) &&
+        report->fields["unfinished"] == std::to_string(batch.unfinished_jobs) &&
+        FieldMatches(*report, "avg-jct-min", batch.avg_jct_min) &&
+        FieldMatches(*report, "median-jct-min", batch.median_jct_min) &&
+        FieldMatches(*report, "p90-jct-min", batch.p90_jct_min) &&
+        FieldMatches(*report, "makespan-min", batch.makespan_min);
+    if (!identical) {
+      std::fprintf(stderr, "cross-check FAILED: daemon JCT summary differs from batch engine\n");
+      std::fprintf(stderr, "batch:\n%s\n", batch.ToJson().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cross-check OK: daemon report matches the batch engine (%d jobs)\n",
+                 batch.jobs);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("socket", "", "silodd Unix socket path (required)");
+  flags.Define("json", "false", "print responses as a JSON object");
+  flags.Define("serve-trace", "false",
+               "replay a workload trace as timed submit/complete requests and print the "
+               "daemon's RunReport JSON");
+  flags.Define("check", "false",
+               "with --serve-trace: verify the daemon's JCT summary matches the local batch "
+               "flow engine bit-for-bit (exit 1 on mismatch)");
+  flags.Define("trace", "", "replay this trace CSV instead of generating one");
+  flags.Define("jobs", "20", "jobs to generate (ignored with --trace)");
+  flags.Define("interarrival-min", "4", "mean job inter-arrival (minutes)");
+  flags.Define("median-duration-min", "30", "median ideal job duration (minutes)");
+  flags.Define("seed", "3", "trace RNG seed");
+  flags.Define("policy", "fifo+silod", "policy for the local batch cross-check run");
+  flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
+  flags.Define("gpus", "8", "cluster GPU count (must match the daemon)");
+  flags.Define("cache-tb", "2", "cluster cache pool (TB, must match the daemon)");
+  flags.Define("egress-gbps", "1.6", "egress limit (Gbps, must match the daemon)");
+  flags.Define("per-job-cap-mbps", "0", "per-job remote-IO cap (MB/s); 0 = unlimited");
+  flags.Define("servers", "1", "cache server count (must match the daemon)");
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help("silod_client").c_str());
+    return 2;
+  }
+  if (flags.GetString("socket").empty()) {
+    std::fprintf(stderr, "--socket is required\n%s", flags.Help("silod_client").c_str());
+    return 2;
+  }
+  if (flags.GetBool("serve-trace")) {
+    return RunServeTrace(flags);
+  }
+
+  const std::vector<std::string>& args = flags.positional();
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: silod_client --socket=PATH <verb> [key=value ...]\n%s",
+                 flags.Help("silod_client").c_str());
+    return 2;
+  }
+  ServeRequest request;
+  request.verb = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::size_t eq = args[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bad argument '%s' (want key=value)\n", args[i].c_str());
+      return 2;
+    }
+    request.args[args[i].substr(0, eq)] = args[i].substr(eq + 1);
+  }
+  Result<ServeResponse> response = CallServe(flags.GetString("socket"), request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  return PrintResponse(*response, flags.GetBool("json"));
+}

@@ -226,7 +226,13 @@ int main(int argc, char** argv) {
     config.sim.resources.per_job_remote_cap = MBps(flags.GetDouble("per-job-cap-mbps"));
   }
   config.sim.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
-  config.engine = flags.GetString("engine") == "fine" ? EngineKind::kFine : EngineKind::kFlow;
+  const std::string engine_name = flags.GetString("engine");
+  if (engine_name != "flow" && engine_name != "fine" && engine_name != "rt") {
+    std::fprintf(stderr, "--engine: unknown engine \"%s\"; valid engines: flow, fine, rt\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  config.engine = engine_name == "fine" ? EngineKind::kFine : EngineKind::kFlow;
   config.fine.use_linear_scan = flags.GetBool("fine-linear-scan");
   config.sim.zone_solve_threads = static_cast<int>(flags.GetInt("zone-threads"));
 

@@ -1,0 +1,96 @@
+// silodd: the long-lived SiloD cluster service (docs/MODEL.md §11).
+//
+//   silodd --socket=/tmp/silod.sock --policy=sjf+silod
+//          --gpus=8 --cache-tb=2 --egress-gbps=1.6
+//
+// A single-process event-loop daemon: clients submit/complete/cancel jobs
+// over a Unix-domain socket (serve/proto.h framing) and the daemon keeps an
+// always-current AllocationPlan via the incremental planner — dirty-set
+// tracking, delta water-filling for the order-based SiloD policies,
+// epoch-batched re-solves, and admission control in front of the scheduler.
+// Drive it with silod_client.
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/common/topology.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+
+using namespace silod;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("socket", "", "Unix socket path to listen on (required)");
+  flags.Define("policy", "fifo+silod",
+               "initial \"<scheduler>+<cache>\" policy pair (hot-swappable via reload-policy)");
+  flags.Define("gpus", "8", "cluster GPU count");
+  flags.Define("cache-tb", "2", "cluster cache pool (TB)");
+  flags.Define("egress-gbps", "1.6", "remote storage egress limit (Gbps)");
+  flags.Define("per-job-cap-mbps", "0", "per-job remote-IO cap (MB/s); 0 = unlimited");
+  flags.Define("servers", "1", "cache server count");
+  flags.Define("topology", "",
+               "cache-server failure domains, e.g. \"rack0=0-3;rack1=4-7[;loss-bound=0.25]\"; "
+               "empty runs zone-oblivious");
+  flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
+  flags.Define("max-gpu-load", "1",
+               "admission threshold: admit while (active demand + candidate) / gpus <= this "
+               "(a submission landing exactly at the threshold is admitted)");
+  flags.Define("max-queue", "1024",
+               "admission-queued submissions beyond this are rejected (0 = never queue)");
+  flags.Define("replan-interval-s", "0",
+               "epoch batching: coalesce dirty events for this much virtual time between "
+               "re-solves (0 = re-solve on every event)");
+  flags.Define("coalesce-events", "1",
+               "epoch batching: re-solve early once this many dirty marks are pending");
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help("silodd").c_str());
+    return 2;
+  }
+  if (flags.GetString("socket").empty()) {
+    std::fprintf(stderr, "--socket is required\n%s", flags.Help("silodd").c_str());
+    return 2;
+  }
+
+  ServiceConfig config;
+  config.policy = flags.GetString("policy");
+  config.scheduler.manage_remote_io = flags.GetBool("manage-remote-io");
+  config.resources.total_gpus = static_cast<int>(flags.GetInt("gpus"));
+  config.resources.total_cache = TB(flags.GetDouble("cache-tb"));
+  config.resources.remote_io = Gbps(flags.GetDouble("egress-gbps"));
+  if (flags.GetDouble("per-job-cap-mbps") > 0) {
+    config.resources.per_job_remote_cap = MBps(flags.GetDouble("per-job-cap-mbps"));
+  }
+  config.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
+  if (!flags.GetString("topology").empty()) {
+    Result<ClusterTopology> topology = ClusterTopology::Parse(flags.GetString("topology"));
+    if (!topology.ok()) {
+      std::fprintf(stderr, "--topology: %s\n", topology.status().ToString().c_str());
+      return 2;
+    }
+    config.topology = *std::move(topology);
+  }
+  config.admission.max_gpu_load = flags.GetDouble("max-gpu-load");
+  config.admission.max_queue = static_cast<int>(flags.GetInt("max-queue"));
+  config.planning.min_replan_interval = flags.GetDouble("replan-interval-s");
+  config.planning.max_coalesced_events =
+      static_cast<std::uint64_t>(flags.GetInt("coalesce-events"));
+
+  Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(std::move(config));
+  if (!service.ok()) {
+    std::fprintf(stderr, "silodd: %s\n", service.status().ToString().c_str());
+    return 2;
+  }
+  UnixServer server(flags.GetString("socket"), service->get());
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "silodd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "silodd: policy %s, listening on %s\n",
+               (*service)->policy_name().c_str(), server.socket_path().c_str());
+  if (const Status st = server.Serve(); !st.ok()) {
+    std::fprintf(stderr, "silodd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "silodd: clean shutdown\n");
+  return 0;
+}
