@@ -20,6 +20,11 @@ Status WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only reachable when the caller armed SO_SNDTIMEO (silod_client
+        // --timeout-ms): the deadline expired with the peer not draining.
+        return Status::DeadlineExceeded("wire write timed out");
+      }
       return Status::Internal(std::string("wire write: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
@@ -36,6 +41,9 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t len, bool* eof_before_any
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("wire read timed out");
       }
       return Status::Internal(std::string("wire read: ") + std::strerror(errno));
     }
@@ -79,6 +87,26 @@ std::uint64_t GetU64(const std::uint8_t* p) {
     v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   }
   return v;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::uint32_t* kTable = [] {
+    static std::uint32_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 Status WriteRawFrame(int fd, std::uint8_t type, const std::string& payload,

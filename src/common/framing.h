@@ -49,6 +49,11 @@ std::uint32_t GetU32(const std::uint8_t* p);
 void PutU64(std::uint8_t* p, std::uint64_t v);
 std::uint64_t GetU64(const std::uint8_t* p);
 
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the integrity check guarding
+// every on-disk journal record (serve/journal.h).  `seed` chains partial
+// buffers: Crc32(b, n2, Crc32(a, n1)) == Crc32(a+b, n1+n2).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
 }  // namespace silod
 
 #endif  // SILOD_SRC_COMMON_FRAMING_H_

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

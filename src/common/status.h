@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -47,6 +48,9 @@ class Status {
   }
   static Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

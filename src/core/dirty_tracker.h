@@ -49,6 +49,11 @@ class DirtyTracker {
 
   void Clear();
 
+  // Journal recovery (serve/journal.h): pins the coalescing meter to the
+  // checkpointed value after the saved marks were re-applied (each re-mark
+  // bumped it, so this must run last).
+  void RestoreEventCount(std::uint64_t events) { events_ = events; }
+
  private:
   std::set<JobId> jobs_;
   std::set<DatasetId> datasets_;

@@ -55,6 +55,14 @@ class AdmissionController {
   // Records the outcome of a Decide the caller acted on.
   void Record(AdmissionDecision decision);
 
+  // Journal recovery: restores the lifetime counters a checkpoint saved
+  // (serve/journal.h); replayed requests then re-Record their deltas.
+  void RestoreCounters(std::uint64_t admitted, std::uint64_t queued, std::uint64_t rejected) {
+    admitted_ = admitted;
+    queued_count_ = queued;
+    rejected_ = rejected;
+  }
+
  private:
   AdmissionOptions options_;
   int total_gpus_;

@@ -59,6 +59,7 @@ class IncrementalPlanner {
 
   // The daemon's mutation journal; the service marks events here.
   DirtyTracker& dirty() { return dirty_; }
+  const DirtyTracker& dirty() const { return dirty_; }
 
   // Returns the current plan, re-solving first when dirty and due (or
   // `force`).  The snapshot must reflect all mutations marked so far.
@@ -67,6 +68,10 @@ class IncrementalPlanner {
   const std::string& policy_name() const { return policy_; }
   bool delta_capable() const { return delta_ != nullptr; }
   Seconds last_plan_time() const { return last_plan_time_; }
+
+  // Journal recovery: restores the epoch-batching clock a checkpoint saved,
+  // so Due() fires at the same virtual instants as the uninterrupted run.
+  void RestorePlanningClock(Seconds last_plan_time) { last_plan_time_ = last_plan_time; }
 
   std::uint64_t full_solves() const { return full_solves_; }
   std::uint64_t delta_solves() const { return delta_solves_; }

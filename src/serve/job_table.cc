@@ -18,6 +18,16 @@ const char* ServeJobStateName(ServeJobState state) {
   return "unknown";
 }
 
+Result<ServeJobState> ServeJobStateFromName(const std::string& name) {
+  for (const ServeJobState state : {ServeJobState::kActive, ServeJobState::kQueued,
+                                    ServeJobState::kCompleted, ServeJobState::kCancelled}) {
+    if (name == ServeJobStateName(state)) {
+      return state;
+    }
+  }
+  return Status::InvalidArgument("unknown job state '" + name + "'");
+}
+
 Result<DatasetId> JobTable::InternDataset(const std::string& name, Bytes size,
                                           Bytes block_size) {
   const auto it = datasets_by_name_.find(name);

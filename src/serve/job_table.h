@@ -28,6 +28,9 @@ namespace silod {
 enum class ServeJobState { kActive, kQueued, kCompleted, kCancelled };
 
 const char* ServeJobStateName(ServeJobState state);
+// Inverse of ServeJobStateName; kInvalidArgument for unknown names (used by
+// checkpoint restore, serve/journal.h).
+Result<ServeJobState> ServeJobStateFromName(const std::string& name);
 
 struct ServeJob {
   std::string key;  // Client-chosen id; unique across the daemon's lifetime.

@@ -1,0 +1,134 @@
+// The silodd write-ahead request journal (docs/MODEL.md §12).
+//
+// The daemon is a deterministic function of its request sequence (virtual
+// clock, totally ordered frames), so durability is log-and-replay, exact
+// rather than best-effort: every mutating request frame is appended here
+// *before* ServiceState::Handle applies it, and on restart the surviving
+// records replay through the normal dispatch path to rebuild the job table,
+// admission queue and planner state bit-identically.
+//
+// On-disk format — a flat sequence of CRC-guarded, length-prefixed records:
+//
+//   u32 LE  body length N (type byte + payload; 1 <= N <= 16 MB)
+//   u32 LE  CRC-32 of the body (common/framing.h Crc32)
+//   u8      record type (kRequest | kCheckpoint)
+//   bytes   payload (N - 1 bytes)
+//
+// A kRequest payload is the deterministic ServeRequest::Encode() text; a
+// kCheckpoint payload is the ServiceState checkpoint text (service.h), which
+// compaction writes so the request tail before it can be dropped.
+//
+// Torn-tail rule: the scan on open accepts the longest valid prefix and
+// truncates the file at the first record whose header is short, whose length
+// is absurd, or whose CRC fails — a crash mid-append loses at most the
+// record being written, and the daemon NEVER refuses to start over a torn
+// tail (a CRC-valid record that fails to decode is a version/config error
+// and does fail, loudly).
+//
+// Sync policy (--journal-sync): kAlways fdatasyncs every append, kBatch
+// every N appends (and on Sync(), which graceful shutdown calls), kNone
+// leaves flushing to the OS.  A SIGKILL never loses write()n data — batching
+// only risks the tail on power loss — and lost-tail recovery is still exact
+// because clients re-send with monotone rid= tags the daemon dedupes.
+#ifndef SILOD_SRC_SERVE_JOURNAL_H_
+#define SILOD_SRC_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace silod {
+
+enum class JournalRecordType : std::uint8_t {
+  kRequest = 1,
+  kCheckpoint = 2,
+};
+
+enum class JournalSyncMode { kAlways, kBatch, kNone };
+
+const char* JournalSyncModeName(JournalSyncMode mode);
+
+// Records larger than this are treated as torn (a checkpoint of a
+// million-job table is ~100 MB of text; 256 MB leaves headroom).
+inline constexpr std::uint32_t kMaxJournalRecordBytes = 256u * 1024 * 1024;
+
+struct JournalOptions {
+  std::string path;
+  JournalSyncMode sync = JournalSyncMode::kBatch;
+  // For kBatch: fdatasync after this many unsynced appends.
+  std::uint32_t batch_frames = 64;
+  // Auto-compaction threshold: after an append pushes the file past this,
+  // the service writes a checkpoint and truncates.  0 = manual only.
+  std::uint64_t max_bytes = 0;
+};
+
+// Parses a --journal-sync spec: "always" | "batch:<N>" (N >= 1) | "none".
+Status ParseJournalSyncSpec(const std::string& spec, JournalOptions* options);
+
+// What the open-time scan recovered (everything the daemon must replay).
+struct JournalScan {
+  bool has_checkpoint = false;
+  std::string checkpoint;             // Payload of the LAST checkpoint record.
+  std::vector<std::string> requests;  // Request payloads after that checkpoint.
+  std::uint64_t records = 0;          // Surviving records (incl. checkpoints).
+  std::uint64_t dropped_bytes = 0;    // Torn tail truncated on open.
+};
+
+// Encodes one record exactly as it lands on disk (exposed for tests).
+std::string EncodeJournalRecord(JournalRecordType type, const std::string& payload);
+
+class Journal {
+ public:
+  // Opens (creating if absent) the journal at options.path, scans existing
+  // records into *scan, truncates any torn tail, and positions for append.
+  static Result<std::unique_ptr<Journal>> Open(const JournalOptions& options, JournalScan* scan);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Appends one record and applies the sync policy.  An error here means the
+  // frame is NOT durable; the service refuses to apply the request.
+  Status AppendRequest(const std::string& payload);
+
+  // Compaction: atomically replaces the journal with a single checkpoint
+  // record (write to <path>.tmp, fdatasync, rename over, fsync the
+  // directory), so a crash at any instant leaves either the old journal or
+  // the compacted one — never a mix.
+  Status Compact(const std::string& checkpoint_payload);
+
+  // fdatasyncs any unsynced appends now (graceful shutdown, tests).
+  Status Sync();
+
+  bool ShouldAutoCompact() const {
+    return options_.max_bytes > 0 && size_bytes_ > options_.max_bytes;
+  }
+
+  const std::string& path() const { return options_.path; }
+  const JournalOptions& options() const { return options_; }
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  std::uint64_t appended_records() const { return appended_records_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  Journal(JournalOptions options, int fd, std::uint64_t size);
+
+  Status Append(JournalRecordType type, const std::string& payload);
+  Status MaybeSync();
+
+  JournalOptions options_;
+  int fd_ = -1;
+  std::uint64_t size_bytes_ = 0;
+  std::uint32_t unsynced_ = 0;
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace silod
+
+#endif  // SILOD_SRC_SERVE_JOURNAL_H_

@@ -94,6 +94,8 @@ const char* CodeToken(StatusCode code) {
       return "out-of-range";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "internal";
 }
@@ -102,7 +104,8 @@ Result<StatusCode> TokenToCode(const std::string& token) {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
-        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange, StatusCode::kInternal}) {
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded}) {
     if (token == CodeToken(code)) {
       return code;
     }

@@ -1,9 +1,11 @@
 #include "src/serve/server.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -31,7 +33,7 @@ Status FillAddress(const std::string& path, sockaddr_un* addr) {
   return Status::Ok();
 }
 
-Result<int> ConnectTo(const std::string& socket_path) {
+Result<int> ConnectTo(const std::string& socket_path, const ClientOptions& options) {
   sockaddr_un addr;
   if (const Status st = FillAddress(socket_path, &addr); !st.ok()) {
     return st;
@@ -40,10 +42,61 @@ Result<int> ConnectTo(const std::string& socket_path) {
   if (fd < 0) {
     return ErrnoStatus("socket");
   }
+  // Deadline-bounded connect: go non-blocking, poll for writability, then
+  // read SO_ERROR for the real outcome.  AF_UNIX connects normally resolve
+  // immediately, but a full listen backlog can block indefinitely.
+  int flags = 0;
+  if (options.timeout_ms > 0) {
+    flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      const Status st = ErrnoStatus("fcntl O_NONBLOCK");
+      close(fd);
+      return st;
+    }
+  }
   if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status st = ErrnoStatus("connect to '" + socket_path + "'");
-    close(fd);
-    return st;
+    if (options.timeout_ms > 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+      pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, options.timeout_ms);
+      if (ready == 0) {
+        close(fd);
+        return Status::DeadlineExceeded("connect to '" + socket_path + "' timed out after " +
+                                        std::to_string(options.timeout_ms) + " ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 || getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        if (so_error != 0) {
+          errno = so_error;
+        }
+        const Status st = ErrnoStatus("connect to '" + socket_path + "'");
+        close(fd);
+        return st;
+      }
+    } else {
+      const Status st = ErrnoStatus("connect to '" + socket_path + "'");
+      close(fd);
+      return st;
+    }
+  }
+  if (options.timeout_ms > 0) {
+    // Back to blocking I/O with per-call kernel deadlines; framing.cc maps
+    // the resulting EAGAIN to kDeadlineExceeded.
+    if (fcntl(fd, F_SETFL, flags) != 0) {
+      const Status st = ErrnoStatus("fcntl restore flags");
+      close(fd);
+      return st;
+    }
+    timeval tv;
+    tv.tv_sec = options.timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options.timeout_ms % 1000) * 1000;
+    if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+      const Status st = ErrnoStatus("setsockopt timeout");
+      close(fd);
+      return st;
+    }
   }
   return fd;
 }
@@ -106,7 +159,7 @@ void UnixServer::CloseAll() {
 
 Status UnixServer::Serve() {
   SILOD_CHECK(listen_fd_ >= 0) << "Start() first";
-  while (!service_->shutdown_requested()) {
+  while (!service_->shutdown_requested() && !stopped_by_signal()) {
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const int fd : clients_) {
@@ -146,7 +199,7 @@ Status UnixServer::Serve() {
         CloseClient(client_index);
         continue;
       }
-      if (service_->shutdown_requested()) {
+      if (service_->shutdown_requested() || stopped_by_signal()) {
         break;
       }
     }
@@ -155,8 +208,9 @@ Status UnixServer::Serve() {
   return Status::Ok();
 }
 
-Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request) {
-  Result<ServeClient> client = ServeClient::Connect(socket_path);
+Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request,
+                                const ClientOptions& options) {
+  Result<ServeClient> client = ServeClient::Connect(socket_path, options);
   if (!client.ok()) {
     return client.status();
   }
@@ -171,8 +225,9 @@ ServeClient::~ServeClient() {
 
 ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
 
-Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
-  Result<int> fd = ConnectTo(socket_path);
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path,
+                                         const ClientOptions& options) {
+  Result<int> fd = ConnectTo(socket_path, options);
   if (!fd.ok()) {
     return fd.status();
   }

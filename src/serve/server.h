@@ -12,6 +12,7 @@
 #ifndef SILOD_SRC_SERVE_SERVER_H_
 #define SILOD_SRC_SERVE_SERVER_H_
 
+#include <csignal>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,17 @@ class UnixServer {
   Status Start();
 
   // Serves until a shutdown request is handled (its response is written
-  // before the loop exits) or a fatal socket error.
+  // before the loop exits), the stop flag goes nonzero, or a fatal socket
+  // error.
   Status Serve();
+
+  // Graceful signal shutdown: silodd's SIGTERM/SIGINT handler sets the flag,
+  // the handler-interrupted poll() returns EINTR, and the loop re-checks the
+  // flag before blocking again.  Responses are written synchronously inside
+  // each loop turn, so no in-flight response can be cut off.  The handlers
+  // must be installed without SA_RESTART or poll() would resume instead.
+  void set_stop_flag(const volatile std::sig_atomic_t* flag) { stop_flag_ = flag; }
+  bool stopped_by_signal() const { return stop_flag_ != nullptr && *stop_flag_ != 0; }
 
   const std::string& socket_path() const { return socket_path_; }
   bool listening() const { return listen_fd_ >= 0; }
@@ -46,13 +56,22 @@ class UnixServer {
   ServiceState* service_;
   int listen_fd_ = -1;
   std::vector<int> clients_;
+  const volatile std::sig_atomic_t* stop_flag_ = nullptr;
+};
+
+// Client-side deadlines.  0 disables: connect and reads block forever, the
+// pre-deadline behaviour.  With a timeout, a stuck daemon surfaces as
+// kDeadlineExceeded instead of a hang (silod_client maps that to exit 2).
+struct ClientOptions {
+  int timeout_ms = 0;  // Applies to connect, and to each read/write.
 };
 
 // One round-trip as a client: connect to `socket_path`, send `request`,
 // return the decoded response.  The CLI and tests use this; it opens a fresh
 // connection per call (connections are cheap on AF_UNIX and the daemon holds
 // no per-connection state).
-Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request);
+Result<ServeResponse> CallServe(const std::string& socket_path, const ServeRequest& request,
+                                const ClientOptions& options = {});
 
 // A persistent client connection for request sequences (trace replay).
 class ServeClient {
@@ -61,7 +80,8 @@ class ServeClient {
   ServeClient(ServeClient&& other) noexcept;
   ServeClient& operator=(ServeClient&&) = delete;
 
-  static Result<ServeClient> Connect(const std::string& socket_path);
+  static Result<ServeClient> Connect(const std::string& socket_path,
+                                     const ClientOptions& options = {});
   Result<ServeResponse> Call(const ServeRequest& request);
 
  private:

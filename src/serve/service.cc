@@ -2,6 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/sched/allocation.h"
@@ -29,7 +33,172 @@ ServeResponse OkResponse() {
   return response;
 }
 
+// --- StateDigest mixing (FNV-1a, 64-bit, byte-at-a-time) ------------------
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void MixByte(std::uint64_t* h, unsigned char b) {
+  *h ^= b;
+  *h *= kFnvPrime;
+}
+
+void MixU64(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    MixByte(h, static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Raw bit pattern, so the digest distinguishes -0.0/0.0 and is exact.
+void MixDouble(std::uint64_t* h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  MixU64(h, bits);
+}
+
+void MixString(std::uint64_t* h, const std::string& s) {
+  MixU64(h, s.size());
+  for (const char c : s) {
+    MixByte(h, static_cast<unsigned char>(c));
+  }
+}
+
+// --- Checkpoint text parsing (silodd-checkpoint-v1) -----------------------
+
+using CkptArgs = std::map<std::string, std::string>;
+
+// Splits "kind key=value ..." with the same percent-escaping as the wire
+// protocol, so keys/names with spaces survive the line format.
+Status ParseCheckpointLine(const std::string& line, std::string* kind, CkptArgs* args) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : line) {
+    if (c == ' ') {
+      if (!token.empty()) {
+        tokens.push_back(token);
+        token.clear();
+      }
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) {
+    tokens.push_back(token);
+  }
+  if (tokens.empty()) {
+    return Status::Internal("journal checkpoint: empty line");
+  }
+  *kind = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::Internal("journal checkpoint: malformed token '" + tokens[i] + "'");
+    }
+    Result<std::string> value = UnescapeToken(tokens[i].substr(eq + 1));
+    if (!value.ok()) {
+      return Status::Internal("journal checkpoint: " + value.status().message());
+    }
+    (*args)[tokens[i].substr(0, eq)] = *std::move(value);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> CkptString(const CkptArgs& args, const std::string& kind,
+                               const std::string& key) {
+  const auto it = args.find(key);
+  if (it == args.end()) {
+    return Status::Internal("journal checkpoint: '" + kind + "' line is missing '" + key + "'");
+  }
+  return it->second;
+}
+
+Result<double> CkptDouble(const CkptArgs& args, const std::string& kind, const std::string& key) {
+  Result<std::string> raw = CkptString(args, kind, key);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (raw->empty() || end == nullptr || *end != '\0') {
+    return Status::Internal("journal checkpoint: '" + kind + "." + key + "' is not a number: " +
+                            *raw);
+  }
+  return value;
+}
+
+Result<std::int64_t> CkptInt(const CkptArgs& args, const std::string& kind,
+                             const std::string& key) {
+  Result<std::string> raw = CkptString(args, kind, key);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(raw->c_str(), &end, 10);
+  if (raw->empty() || end == nullptr || *end != '\0') {
+    return Status::Internal("journal checkpoint: '" + kind + "." + key + "' is not an integer: " +
+                            *raw);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+Result<std::uint64_t> CkptU64(const CkptArgs& args, const std::string& kind,
+                              const std::string& key) {
+  Result<std::int64_t> value = CkptInt(args, kind, key);
+  if (!value.ok()) {
+    return value.status();
+  }
+  if (*value < 0) {
+    return Status::Internal("journal checkpoint: '" + kind + "." + key + "' is negative");
+  }
+  return static_cast<std::uint64_t>(*value);
+}
+
+// "1,7,12" -> {1, 7, 12}; the empty string is the empty list.
+Result<std::vector<std::int64_t>> ParseIdCsv(const std::string& csv, const std::string& what) {
+  std::vector<std::int64_t> ids;
+  std::string item;
+  for (std::size_t i = 0; i <= csv.size(); ++i) {
+    if (i < csv.size() && csv[i] != ',') {
+      item += csv[i];
+      continue;
+    }
+    if (item.empty()) {
+      if (csv.empty()) {
+        break;
+      }
+      return Status::Internal("journal checkpoint: empty id in '" + what + "'");
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(item.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::Internal("journal checkpoint: bad id '" + item + "' in '" + what + "'");
+    }
+    ids.push_back(static_cast<std::int64_t>(value));
+    item.clear();
+  }
+  return ids;
+}
+
+std::string IdCsv(const std::vector<std::int64_t>& ids) {
+  std::string csv;
+  for (const std::int64_t id : ids) {
+    if (!csv.empty()) {
+      csv += ',';
+    }
+    csv += std::to_string(id);
+  }
+  return csv;
+}
+
 }  // namespace
+
+bool IsMutatingVerb(const std::string& verb) {
+  // `plan` forces a solve that flips running flags and stamps first-start
+  // times, so it must replay; checkpoint/shutdown/query/stats/report leave
+  // the scheduling state untouched.
+  return verb == "submit" || verb == "complete" || verb == "cancel" || verb == "progress" ||
+         verb == "reload-policy" || verb == "plan";
+}
 
 ServiceState::ServiceState(ServiceConfig config) : config_(std::move(config)) {}
 
@@ -54,6 +223,51 @@ Result<std::unique_ptr<ServiceState>> ServiceState::Create(ServiceConfig config)
   service->planner_ = std::move(planner).value();
   service->admission_ = std::make_unique<AdmissionController>(
       service->config_.admission, service->config_.resources.total_gpus);
+  return service;
+}
+
+Result<std::unique_ptr<ServiceState>> ServiceState::CreateFromJournal(
+    ServiceConfig config, const JournalOptions& journal, RecoveryInfo* recovery) {
+  Result<std::unique_ptr<ServiceState>> service = Create(std::move(config));
+  if (!service.ok()) {
+    return service.status();
+  }
+  JournalScan scan;
+  Result<std::unique_ptr<Journal>> wal = Journal::Open(journal, &scan);
+  if (!wal.ok()) {
+    return wal.status();
+  }
+  RecoveryInfo info;
+  info.dropped_bytes = scan.dropped_bytes;
+  if (scan.has_checkpoint) {
+    if (const Status st = (*service)->RestoreFromCheckpoint(scan.checkpoint, &info); !st.ok()) {
+      return st;
+    }
+    info.from_checkpoint = true;
+  }
+  (*service)->replaying_ = true;
+  for (const std::string& payload : scan.requests) {
+    Result<ServeRequest> request = ServeRequest::Decode(payload);
+    if (!request.ok()) {
+      // A CRC-valid record that fails to decode is a version mismatch, not a
+      // torn tail; starting over it would silently drop accepted state.
+      return Status::Internal("journal replay: undecodable request record: " +
+                              request.status().message());
+    }
+    const ServeResponse response = (*service)->Handle(*request);
+    ++info.replayed_requests;
+    if (!response.ok()) {
+      // The original run journaled the request before learning it would fail,
+      // so failures replay too; they are expected, counted, and non-fatal.
+      ++info.replayed_errors;
+    }
+  }
+  (*service)->replaying_ = false;
+  (*service)->AttachJournal(std::move(wal).value());
+  (*service)->recovery_ = info;
+  if (recovery != nullptr) {
+    *recovery = info;
+  }
   return service;
 }
 
@@ -116,6 +330,65 @@ void ServiceState::PromoteQueued() {
 
 ServeResponse ServiceState::Handle(const ServeRequest& request) {
   ++requests_;
+  const bool mutating = IsMutatingVerb(request.verb);
+
+  // Idempotent retry: a mutating request may carry a monotone rid.  A rid at
+  // or below the last applied one was already applied (and journaled) by a
+  // previous delivery — acknowledge it without touching state, so clients can
+  // blindly re-send across a daemon restart.
+  std::uint64_t rid = 0;
+  if (mutating && request.Has("rid")) {
+    Result<std::int64_t> parsed = request.GetInt("rid");
+    if (!parsed.ok()) {
+      ++errors_;
+      return ServeResponse::FromStatus(parsed.status());
+    }
+    if (*parsed <= 0) {
+      ++errors_;
+      return ServeResponse::FromStatus(
+          Status::InvalidArgument(request.verb + ": rid must be positive"));
+    }
+    rid = static_cast<std::uint64_t>(*parsed);
+    if (rid <= last_rid_) {
+      ++duplicates_;
+      ServeResponse response = OkResponse();
+      response.fields["duplicate"] = "1";
+      response.fields["rid"] = FormatU64(rid);
+      response.fields["last-rid"] = FormatU64(last_rid_);
+      return response;
+    }
+  }
+
+  // Write-ahead: the frame must be durable before it can change state.  A
+  // failed append refuses the request — the client retries with the same rid.
+  if (journal_ != nullptr && mutating && !replaying_) {
+    if (const Status st = journal_->AppendRequest(request.Encode()); !st.ok()) {
+      ++errors_;
+      return ServeResponse::FromStatus(
+          Status::Internal("journal append failed, refusing to apply: " + st.message()));
+    }
+  }
+
+  ServeResponse response = Dispatch(request);
+  if (!response.ok()) {
+    ++errors_;
+  } else if (rid > 0) {
+    last_rid_ = rid;
+  }
+
+  // Auto-compaction keeps the journal bounded; failure is non-fatal (the
+  // mutation is already durable in the un-compacted journal).
+  if (journal_ != nullptr && mutating && !replaying_ && journal_->ShouldAutoCompact()) {
+    if (const Status st = journal_->Compact(CheckpointText()); st.ok()) {
+      ++checkpoints_;
+    } else {
+      SILOD_LOG(Warning) << "journal auto-compaction failed: " << st.message();
+    }
+  }
+  return response;
+}
+
+ServeResponse ServiceState::Dispatch(const ServeRequest& request) {
   ServeResponse response;
   if (const Status st = AdvanceClock(request); !st.ok()) {
     response = ServeResponse::FromStatus(st);
@@ -135,6 +408,8 @@ ServeResponse ServiceState::Handle(const ServeRequest& request) {
     response = Stats();
   } else if (request.verb == "reload-policy") {
     response = ReloadPolicy(request);
+  } else if (request.verb == "checkpoint") {
+    response = Checkpoint();
   } else if (request.verb == "report") {
     // The JCT summary travels both as the RunReport JSON and as %.17g scalar
     // fields, so --serve-trace --check can compare doubles bit-for-bit
@@ -155,11 +430,8 @@ ServeResponse ServiceState::Handle(const ServeRequest& request) {
   } else {
     response = ServeResponse::FromStatus(Status::InvalidArgument(
         "unknown verb '" + request.verb +
-        "' (want submit|complete|cancel|progress|query|plan|stats|reload-policy|report|"
-        "shutdown)"));
-  }
-  if (!response.ok()) {
-    ++errors_;
+        "' (want submit|complete|cancel|progress|query|plan|stats|reload-policy|checkpoint|"
+        "report|shutdown)"));
   }
   return response;
 }
@@ -440,6 +712,20 @@ ServeResponse ServiceState::Stats() {
   response.fields["dirty-pending"] = FormatU64(planner_->dirty().events());
   response.fields["requests"] = FormatU64(requests_);
   response.fields["errors"] = FormatU64(errors_);
+  response.fields["state-digest"] = FormatDigest(StateDigest());
+  response.fields["last-rid"] = FormatU64(last_rid_);
+  response.fields["duplicates"] = FormatU64(duplicates_);
+  if (journal_ != nullptr) {
+    response.fields["journal"] = journal_->path();
+    response.fields["journal-bytes"] = FormatU64(journal_->size_bytes());
+    response.fields["journal-sync"] = JournalSyncModeName(journal_->options().sync);
+    response.fields["journal-records"] = FormatU64(journal_->appended_records());
+    response.fields["journal-compactions"] = FormatU64(journal_->compactions());
+    response.fields["recovered-checkpoint"] = recovery_.from_checkpoint ? "1" : "0";
+    response.fields["recovered-requests"] = FormatU64(recovery_.replayed_requests);
+    response.fields["recovered-errors"] = FormatU64(recovery_.replayed_errors);
+    response.fields["recovered-dropped-bytes"] = FormatU64(recovery_.dropped_bytes);
+  }
   return response;
 }
 
@@ -466,6 +752,393 @@ ServeResponse ServiceState::ReloadPolicy(const ServeRequest& request) {
   response.fields["policy"] = planner_->policy_name();
   response.fields["delta-capable"] = planner_->delta_capable() ? "1" : "0";
   return response;
+}
+
+ServeResponse ServiceState::Checkpoint() {
+  if (journal_ == nullptr) {
+    return ServeResponse::FromStatus(Status::FailedPrecondition(
+        "no journal attached (start silodd with --journal=PATH)"));
+  }
+  const std::string text = CheckpointText();
+  if (const Status st = journal_->Compact(text); !st.ok()) {
+    return ServeResponse::FromStatus(st);
+  }
+  ++checkpoints_;
+  ServeResponse response = OkResponse();
+  response.fields["checkpoint-bytes"] = std::to_string(text.size());
+  response.fields["journal-bytes"] = FormatU64(journal_->size_bytes());
+  response.fields["compactions"] = FormatU64(journal_->compactions());
+  return response;
+}
+
+std::uint64_t ServiceState::StateDigest() const {
+  std::uint64_t h = kFnvOffset;
+  MixString(&h, planner_->policy_name());
+  MixU64(&h, config_.scheduler.manage_remote_io ? 1 : 0);
+  MixDouble(&h, now_);
+  MixU64(&h, last_rid_);
+  MixU64(&h, admission_->admitted());
+  MixU64(&h, admission_->queued());
+  MixU64(&h, admission_->rejected());
+  MixDouble(&h, planner_->last_plan_time());
+  MixU64(&h, table_.catalog().size());
+  for (const Dataset& dataset : table_.catalog().all()) {
+    MixString(&h, dataset.name);
+    MixU64(&h, static_cast<std::uint64_t>(dataset.size));
+    MixU64(&h, static_cast<std::uint64_t>(dataset.block_size));
+  }
+  MixU64(&h, table_.size());
+  for (const auto& job : table_.jobs()) {
+    MixString(&h, job->key);
+    MixString(&h, ServeJobStateName(job->state));
+    MixU64(&h, static_cast<std::uint64_t>(job->spec.num_gpus));
+    MixU64(&h, static_cast<std::uint64_t>(job->spec.dataset));
+    MixDouble(&h, job->spec.ideal_io);
+    MixU64(&h, static_cast<std::uint64_t>(job->spec.total_bytes));
+    MixU64(&h, static_cast<std::uint64_t>(job->spec.step_data_size));
+    MixString(&h, job->spec.model);
+    MixDouble(&h, job->submit_time);
+    MixDouble(&h, job->admit_time);
+    MixDouble(&h, job->first_start_time);
+    MixDouble(&h, job->finish_time);
+    MixU64(&h, static_cast<std::uint64_t>(job->remaining_bytes));
+    MixU64(&h, static_cast<std::uint64_t>(job->effective_cache));
+    MixU64(&h, job->running ? 1 : 0);
+  }
+  return h;
+}
+
+std::string ServiceState::CheckpointText() const {
+  std::string out = "silodd-checkpoint-v1\n";
+  out += "cluster gpus=" + std::to_string(config_.resources.total_gpus) +
+         " cache=" + std::to_string(config_.resources.total_cache) +
+         " egress=" + FormatDouble(config_.resources.remote_io) +
+         " servers=" + std::to_string(config_.resources.num_servers) + "\n";
+  out += "policy name=" + EscapeToken(planner_->policy_name()) +
+         " manage-remote-io=" + (config_.scheduler.manage_remote_io ? "1" : "0") + "\n";
+  out += "clock now=" + FormatDouble(now_) + " last-rid=" + FormatU64(last_rid_) +
+         " requests=" + FormatU64(requests_) + " errors=" + FormatU64(errors_) +
+         " duplicates=" + FormatU64(duplicates_) + "\n";
+  out += "admission admitted=" + FormatU64(admission_->admitted()) +
+         " queued=" + FormatU64(admission_->queued()) +
+         " rejected=" + FormatU64(admission_->rejected()) + "\n";
+  const DirtyTracker& dirty = planner_->dirty();
+  std::vector<std::int64_t> dirty_jobs;
+  for (const JobId id : dirty.DirtyJobs()) {
+    dirty_jobs.push_back(id);
+  }
+  std::vector<std::int64_t> dirty_datasets;
+  for (const DatasetId id : dirty.DirtyDatasets()) {
+    dirty_datasets.push_back(id);
+  }
+  out += "planner last-plan-t=" + FormatDouble(planner_->last_plan_time()) +
+         " dirty-all=" + (dirty.all_dirty() ? "1" : "0") +
+         " dirty-reason=" + EscapeToken(dirty.all_dirty_reason()) +
+         " dirty-events=" + FormatU64(dirty.events()) + " dirty-jobs=" + IdCsv(dirty_jobs) +
+         " dirty-datasets=" + IdCsv(dirty_datasets) + "\n";
+  for (const Dataset& dataset : table_.catalog().all()) {
+    out += "dataset id=" + std::to_string(dataset.id) + " name=" + EscapeToken(dataset.name) +
+           " size=" + std::to_string(dataset.size) +
+           " block=" + std::to_string(dataset.block_size) + "\n";
+  }
+  for (const auto& job : table_.jobs()) {
+    const ServeJob& j = *job;
+    out += "job id=" + std::to_string(j.spec.id) + " key=" + EscapeToken(j.key) +
+           " state=" + ServeJobStateName(j.state) + " gpus=" + std::to_string(j.spec.num_gpus) +
+           " dataset=" + std::to_string(j.spec.dataset) +
+           " ideal-io=" + FormatDouble(j.spec.ideal_io) +
+           " total-bytes=" + std::to_string(j.spec.total_bytes) +
+           " step-bytes=" + std::to_string(j.spec.step_data_size) +
+           " model=" + EscapeToken(j.spec.model) + " submit-t=" + FormatDouble(j.submit_time) +
+           " admit-t=" + FormatDouble(j.admit_time) +
+           " start-t=" + FormatDouble(j.first_start_time) +
+           " finish-t=" + FormatDouble(j.finish_time) +
+           " remaining=" + std::to_string(j.remaining_bytes) +
+           " effective=" + std::to_string(j.effective_cache) +
+           " running=" + (j.running ? "1" : "0") + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Status ServiceState::RestoreFromCheckpoint(const std::string& text, RecoveryInfo* recovery) {
+  if (table_.size() != 0 || now_ != 0 || last_rid_ != 0) {
+    return Status::FailedPrecondition("checkpoint restore requires a fresh service");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) {
+    lines.push_back(line);
+  }
+  if (lines.empty() || lines[0] != "silodd-checkpoint-v1") {
+    return Status::Internal("journal checkpoint: bad header (want silodd-checkpoint-v1)");
+  }
+
+  CkptArgs cluster_args, policy_args, clock_args, admission_args, planner_args;
+  std::vector<CkptArgs> dataset_lines, job_lines;
+  bool saw_end = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      continue;
+    }
+    std::string kind;
+    CkptArgs args;
+    if (const Status st = ParseCheckpointLine(lines[i], &kind, &args); !st.ok()) {
+      return st;
+    }
+    if (kind == "cluster") {
+      cluster_args = std::move(args);
+    } else if (kind == "policy") {
+      policy_args = std::move(args);
+    } else if (kind == "clock") {
+      clock_args = std::move(args);
+    } else if (kind == "admission") {
+      admission_args = std::move(args);
+    } else if (kind == "planner") {
+      planner_args = std::move(args);
+    } else if (kind == "dataset") {
+      dataset_lines.push_back(std::move(args));
+    } else if (kind == "job") {
+      job_lines.push_back(std::move(args));
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return Status::Internal("journal checkpoint: unknown line kind '" + kind + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::Internal("journal checkpoint: truncated (no 'end' line)");
+  }
+
+  // Cluster shape mismatches are warnings, not errors: the operator may have
+  // legitimately resized the cluster between restarts, and the replayed
+  // requests re-derive all scheduling decisions against the new flags.
+  if (!cluster_args.empty() && recovery != nullptr) {
+    Result<std::int64_t> gpus = CkptInt(cluster_args, "cluster", "gpus");
+    Result<std::int64_t> cache = CkptInt(cluster_args, "cluster", "cache");
+    Result<double> egress = CkptDouble(cluster_args, "cluster", "egress");
+    Result<std::int64_t> servers = CkptInt(cluster_args, "cluster", "servers");
+    if (gpus.ok() && *gpus != config_.resources.total_gpus) {
+      recovery->warnings.push_back("checkpoint cluster had " + std::to_string(*gpus) +
+                                   " GPUs, flags say " +
+                                   std::to_string(config_.resources.total_gpus));
+    }
+    if (cache.ok() && *cache != config_.resources.total_cache) {
+      recovery->warnings.push_back("checkpoint cluster had cache " + std::to_string(*cache) +
+                                   " B, flags say " +
+                                   std::to_string(config_.resources.total_cache) + " B");
+    }
+    if (egress.ok() && *egress != config_.resources.remote_io) {
+      recovery->warnings.push_back("checkpoint cluster had egress " + FormatDouble(*egress) +
+                                   " B/s, flags say " +
+                                   FormatDouble(config_.resources.remote_io) + " B/s");
+    }
+    if (servers.ok() && *servers != config_.resources.num_servers) {
+      recovery->warnings.push_back("checkpoint cluster had " + std::to_string(*servers) +
+                                   " servers, flags say " +
+                                   std::to_string(config_.resources.num_servers));
+    }
+  }
+
+  // Policy first: a reload marks everything dirty, and the planner line
+  // restored below overwrites the dirty state with the checkpointed one.
+  {
+    Result<std::string> name = CkptString(policy_args, "policy", "name");
+    Result<std::int64_t> manage = CkptInt(policy_args, "policy", "manage-remote-io");
+    if (!name.ok()) {
+      return name.status();
+    }
+    if (!manage.ok()) {
+      return manage.status();
+    }
+    SchedulerOptions options = config_.scheduler;
+    options.manage_remote_io = *manage != 0;
+    if (*name != planner_->policy_name() ||
+        options.manage_remote_io != config_.scheduler.manage_remote_io) {
+      if (const Status st = planner_->ReloadPolicy(*name, options); !st.ok()) {
+        return Status::Internal("journal checkpoint: cannot restore policy '" + *name +
+                                "': " + st.message());
+      }
+      config_.policy = *name;
+      config_.scheduler = options;
+    }
+  }
+
+  {
+    Result<double> now = CkptDouble(clock_args, "clock", "now");
+    Result<std::uint64_t> last_rid = CkptU64(clock_args, "clock", "last-rid");
+    Result<std::uint64_t> requests = CkptU64(clock_args, "clock", "requests");
+    Result<std::uint64_t> errors = CkptU64(clock_args, "clock", "errors");
+    Result<std::uint64_t> duplicates = CkptU64(clock_args, "clock", "duplicates");
+    for (const Status* st :
+         {!now.ok() ? &now.status() : nullptr, !last_rid.ok() ? &last_rid.status() : nullptr,
+          !requests.ok() ? &requests.status() : nullptr,
+          !errors.ok() ? &errors.status() : nullptr,
+          !duplicates.ok() ? &duplicates.status() : nullptr}) {
+      if (st != nullptr) {
+        return *st;
+      }
+    }
+    now_ = *now;
+    last_rid_ = *last_rid;
+    requests_ = *requests;
+    errors_ = *errors;
+    duplicates_ = *duplicates;
+  }
+
+  {
+    Result<std::uint64_t> admitted = CkptU64(admission_args, "admission", "admitted");
+    Result<std::uint64_t> queued = CkptU64(admission_args, "admission", "queued");
+    Result<std::uint64_t> rejected = CkptU64(admission_args, "admission", "rejected");
+    if (!admitted.ok() || !queued.ok() || !rejected.ok()) {
+      return !admitted.ok() ? admitted.status() : (!queued.ok() ? queued.status() : rejected.status());
+    }
+    admission_->RestoreCounters(*admitted, *queued, *rejected);
+  }
+
+  for (const CkptArgs& args : dataset_lines) {
+    Result<std::int64_t> id = CkptInt(args, "dataset", "id");
+    Result<std::string> name = CkptString(args, "dataset", "name");
+    Result<std::int64_t> size = CkptInt(args, "dataset", "size");
+    Result<std::int64_t> block = CkptInt(args, "dataset", "block");
+    if (!id.ok() || !name.ok() || !size.ok() || !block.ok()) {
+      return !id.ok() ? id.status()
+                      : (!name.ok() ? name.status() : (!size.ok() ? size.status() : block.status()));
+    }
+    Result<DatasetId> interned = table_.InternDataset(*name, *size, *block);
+    if (!interned.ok()) {
+      return Status::Internal("journal checkpoint: " + interned.status().message());
+    }
+    if (*interned != static_cast<DatasetId>(*id)) {
+      return Status::Internal("journal checkpoint: dataset '" + *name + "' restored as id " +
+                              std::to_string(*interned) + ", checkpoint says " +
+                              std::to_string(*id));
+    }
+  }
+
+  for (const CkptArgs& args : job_lines) {
+    Result<std::int64_t> id = CkptInt(args, "job", "id");
+    Result<std::string> key = CkptString(args, "job", "key");
+    Result<std::string> state_name = CkptString(args, "job", "state");
+    Result<std::int64_t> gpus = CkptInt(args, "job", "gpus");
+    Result<std::int64_t> dataset = CkptInt(args, "job", "dataset");
+    Result<double> ideal_io = CkptDouble(args, "job", "ideal-io");
+    Result<std::int64_t> total_bytes = CkptInt(args, "job", "total-bytes");
+    Result<std::int64_t> step_bytes = CkptInt(args, "job", "step-bytes");
+    Result<std::string> model = CkptString(args, "job", "model");
+    Result<double> submit_t = CkptDouble(args, "job", "submit-t");
+    Result<double> admit_t = CkptDouble(args, "job", "admit-t");
+    Result<double> start_t = CkptDouble(args, "job", "start-t");
+    Result<double> finish_t = CkptDouble(args, "job", "finish-t");
+    Result<std::int64_t> remaining = CkptInt(args, "job", "remaining");
+    Result<std::int64_t> effective = CkptInt(args, "job", "effective");
+    Result<std::int64_t> running = CkptInt(args, "job", "running");
+    for (const Status* st :
+         {!id.ok() ? &id.status() : nullptr, !key.ok() ? &key.status() : nullptr,
+          !state_name.ok() ? &state_name.status() : nullptr,
+          !gpus.ok() ? &gpus.status() : nullptr, !dataset.ok() ? &dataset.status() : nullptr,
+          !ideal_io.ok() ? &ideal_io.status() : nullptr,
+          !total_bytes.ok() ? &total_bytes.status() : nullptr,
+          !step_bytes.ok() ? &step_bytes.status() : nullptr,
+          !model.ok() ? &model.status() : nullptr, !submit_t.ok() ? &submit_t.status() : nullptr,
+          !admit_t.ok() ? &admit_t.status() : nullptr,
+          !start_t.ok() ? &start_t.status() : nullptr,
+          !finish_t.ok() ? &finish_t.status() : nullptr,
+          !remaining.ok() ? &remaining.status() : nullptr,
+          !effective.ok() ? &effective.status() : nullptr,
+          !running.ok() ? &running.status() : nullptr}) {
+      if (st != nullptr) {
+        return *st;
+      }
+    }
+    Result<ServeJobState> state = ServeJobStateFromName(*state_name);
+    if (!state.ok()) {
+      return Status::Internal("journal checkpoint: " + state.status().message());
+    }
+    JobSpec spec;
+    spec.name = *key;
+    spec.model = *model;
+    spec.num_gpus = static_cast<int>(*gpus);
+    spec.dataset = static_cast<DatasetId>(*dataset);
+    spec.ideal_io = *ideal_io;
+    spec.total_bytes = *total_bytes;
+    spec.step_data_size = *step_bytes;
+    Result<ServeJob*> job = table_.Add(*key, std::move(spec), *submit_t);
+    if (!job.ok()) {
+      return Status::Internal("journal checkpoint: " + job.status().message());
+    }
+    if ((*job)->spec.id != static_cast<JobId>(*id)) {
+      return Status::Internal("journal checkpoint: job '" + *key + "' restored as id " +
+                              std::to_string((*job)->spec.id) + ", checkpoint says " +
+                              std::to_string(*id));
+    }
+    (*job)->state = *state;
+    (*job)->admit_time = *admit_t;
+    (*job)->first_start_time = *start_t;
+    (*job)->finish_time = *finish_t;
+    (*job)->remaining_bytes = *remaining;
+    (*job)->effective_cache = *effective;
+    (*job)->running = *running != 0;
+  }
+
+  // Planner last: re-marking the checkpointed dirty set replaces whatever the
+  // construction / policy restore marked, and the event meter is pinned so
+  // epoch batching (Due) fires at the same virtual instants it would have.
+  {
+    Result<double> last_plan_t = CkptDouble(planner_args, "planner", "last-plan-t");
+    Result<std::int64_t> dirty_all = CkptInt(planner_args, "planner", "dirty-all");
+    Result<std::string> dirty_reason = CkptString(planner_args, "planner", "dirty-reason");
+    Result<std::uint64_t> dirty_events = CkptU64(planner_args, "planner", "dirty-events");
+    Result<std::string> dirty_jobs_csv = CkptString(planner_args, "planner", "dirty-jobs");
+    Result<std::string> dirty_datasets_csv = CkptString(planner_args, "planner", "dirty-datasets");
+    for (const Status* st :
+         {!last_plan_t.ok() ? &last_plan_t.status() : nullptr,
+          !dirty_all.ok() ? &dirty_all.status() : nullptr,
+          !dirty_reason.ok() ? &dirty_reason.status() : nullptr,
+          !dirty_events.ok() ? &dirty_events.status() : nullptr,
+          !dirty_jobs_csv.ok() ? &dirty_jobs_csv.status() : nullptr,
+          !dirty_datasets_csv.ok() ? &dirty_datasets_csv.status() : nullptr}) {
+      if (st != nullptr) {
+        return *st;
+      }
+    }
+    Result<std::vector<std::int64_t>> dirty_jobs = ParseIdCsv(*dirty_jobs_csv, "dirty-jobs");
+    Result<std::vector<std::int64_t>> dirty_datasets =
+        ParseIdCsv(*dirty_datasets_csv, "dirty-datasets");
+    if (!dirty_jobs.ok() || !dirty_datasets.ok()) {
+      return !dirty_jobs.ok() ? dirty_jobs.status() : dirty_datasets.status();
+    }
+    planner_->RestorePlanningClock(*last_plan_t);
+    DirtyTracker& dirty = planner_->dirty();
+    dirty.Clear();
+    if (*dirty_all != 0) {
+      dirty.MarkAll(*dirty_reason);
+    }
+    for (const std::int64_t id : *dirty_jobs) {
+      dirty.MarkJob(static_cast<JobId>(id));
+    }
+    for (const std::int64_t id : *dirty_datasets) {
+      dirty.MarkDataset(static_cast<DatasetId>(id));
+    }
+    dirty.RestoreEventCount(*dirty_events);
+  }
+  return Status::Ok();
+}
+
+Status ServiceState::SyncJournal() {
+  if (journal_ == nullptr) {
+    return Status::Ok();
+  }
+  return journal_->Sync();
 }
 
 RunReport ServiceState::Report() const {

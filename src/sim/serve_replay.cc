@@ -48,7 +48,7 @@ std::vector<ReplayEvent> BuildReplaySchedule(const Trace& trace, const SimResult
   return events;
 }
 
-ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t) {
+ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t, std::uint64_t rid) {
   const JobSpec& spec = trace.jobs[job];
   const Dataset& dataset = trace.catalog.Get(spec.dataset);
   ServeRequest request;
@@ -63,15 +63,22 @@ ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t) {
   request.args["dataset-size"] = FormatBytes(dataset.size);
   request.args["block-size"] = FormatBytes(dataset.block_size);
   request.args["model"] = spec.model;
+  if (rid > 0) {
+    request.args["rid"] = std::to_string(rid);
+  }
   return request;
 }
 
-ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t) {
+ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t,
+                                std::uint64_t rid) {
   (void)trace;
   ServeRequest request;
   request.verb = "complete";
   request.args["key"] = "job" + std::to_string(job);
   request.args["t"] = FormatExact(t);
+  if (rid > 0) {
+    request.args["rid"] = std::to_string(rid);
+  }
   return request;
 }
 

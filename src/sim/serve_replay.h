@@ -38,9 +38,15 @@ struct ReplayEvent {
 std::vector<ReplayEvent> BuildReplaySchedule(const Trace& trace, const SimResult& result);
 
 // Encodes trace job `job` as a submit request at time `t` (shared by the
-// in-process harness and silod_client --serve-trace).
-ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t);
-ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t);
+// in-process harness and silod_client --serve-trace).  A nonzero `rid` tags
+// the request for the daemon's idempotent-retry dedup (service.h); 0 omits
+// the tag.  --serve-trace passes the 1-based event index, which is monotone
+// across the schedule, so a re-replay over a recovered daemon turns the
+// already-applied prefix into duplicate=1 no-ops.
+ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t,
+                              std::uint64_t rid = 0);
+ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t,
+                                std::uint64_t rid = 0);
 
 struct ReplayOutcome {
   RunReport batch;  // The flow engine's report ("flow").

@@ -1,12 +1,20 @@
-// Tests for the silodd subsystem (docs/MODEL.md §11): the shared framing
-// layer, the text protocol, dirty-set tracking, the delta water-fill's
-// bit-identity contract, admission-control edges, epoch batching, policy
-// hot-reload, the trace-replay cross-check and the Unix-socket transport.
+// Tests for the silodd subsystem (docs/MODEL.md §11-§12): the shared framing
+// layer (including hostile/torn input), the text protocol, dirty-set
+// tracking, the delta water-fill's bit-identity contract, admission-control
+// edges, epoch batching, policy hot-reload, the trace-replay cross-check,
+// the Unix-socket transport, and the crash-safety stack — write-ahead
+// journal, torn-tail truncation, rid dedup, checkpoint compaction, and the
+// recovery bit-identity contract.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -19,8 +27,10 @@
 #include "src/sched/fifo.h"
 #include "src/sched/greedy.h"
 #include "src/sched/sjf.h"
+#include "src/serve/journal.h"
 #include "src/serve/server.h"
 #include "src/serve/service.h"
+#include "src/sim/flow_engine.h"
 #include "src/sim/serve_replay.h"
 #include "src/workload/trace_gen.h"
 
@@ -58,6 +68,73 @@ TEST(Framing, RejectsOversizeBody) {
   const std::string big(128, 'x');
   EXPECT_FALSE(WriteRawFrame(fds[0], 1, big, /*max_body=*/64).ok());
   close(fds[0]);
+  close(fds[1]);
+}
+
+// Hostile input: a peer that dies mid-length-word must read as a mid-frame
+// EOF (Internal), not as a clean close (OutOfRange) — the server logs the
+// former and silently accepts the latter.
+TEST(Framing, TornLengthWordIsMidFrameEof) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::uint8_t partial[2] = {0x05, 0x00};  // 2 of the 4 length bytes.
+  ASSERT_EQ(2, ::send(fds[0], partial, 2, 0));
+  close(fds[0]);
+  Result<RawFrame> frame = ReadRawFrame(fds[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(StatusCode::kInternal, frame.status().code());
+  close(fds[1]);
+}
+
+TEST(Framing, TornPayloadIsMidFrameEof) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  std::uint8_t header[4];
+  PutU32(header, 10);  // Declares a 10-byte body...
+  ASSERT_EQ(4, ::send(fds[0], header, 4, 0));
+  ASSERT_EQ(3, ::send(fds[0], "abc", 3, 0));  // ... delivers 3, dies.
+  close(fds[0]);
+  Result<RawFrame> frame = ReadRawFrame(fds[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(StatusCode::kInternal, frame.status().code());
+  close(fds[1]);
+}
+
+// An absurd declared length must be rejected from the 4-byte header alone —
+// before any allocation — as must a zero length (no room for the type byte).
+TEST(Framing, AbsurdAndZeroDeclaredLengthsRejected) {
+  for (const std::uint32_t length : {0xFFFFFFFFu, 0u}) {
+    int fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    std::uint8_t header[4];
+    PutU32(header, length);
+    ASSERT_EQ(4, ::send(fds[0], header, 4, 0));
+    Result<RawFrame> frame = ReadRawFrame(fds[1]);
+    ASSERT_FALSE(frame.ok()) << "length " << length;
+    EXPECT_EQ(StatusCode::kInternal, frame.status().code());
+    close(fds[0]);
+    close(fds[1]);
+  }
+}
+
+// Garbage after a valid frame corrupts only the stream from that point on:
+// the first frame still parses, the garbage (whose first 4 bytes decode as
+// an absurd length) is rejected instead of being allocated or spun on.
+TEST(Framing, GarbageMidStreamDoesNotCorruptEarlierFrames) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  ASSERT_TRUE(WriteRawFrame(fds[0], 3, "good frame").ok());
+  const std::string garbage(32, '\xEE');  // Length word decodes to ~4 GB.
+  ASSERT_EQ(static_cast<ssize_t>(garbage.size()),
+            ::send(fds[0], garbage.data(), garbage.size(), 0));
+  close(fds[0]);
+  Result<RawFrame> first = ReadRawFrame(fds[1]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(3, first->type);
+  EXPECT_EQ("good frame", first->payload);
+  Result<RawFrame> second = ReadRawFrame(fds[1]);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(StatusCode::kInternal, second.status().code());
   close(fds[1]);
 }
 
@@ -536,6 +613,492 @@ TEST(UnixServer, ServesClientsUntilShutdown) {
   ASSERT_TRUE(shutdown.ok());
   EXPECT_TRUE(shutdown->ok());
   loop.join();
+}
+
+// A connected client whose server never answers must hit the --timeout-ms
+// deadline instead of blocking forever: bind+listen without accept leaves
+// the connect queued in the backlog (so Connect succeeds) and the read arm
+// of Call trips SO_RCVTIMEO.
+TEST(UnixServer, CallDeadlineFiresAgainstUnresponsivePeer) {
+  const std::string path = ::testing::TempDir() + "/silodd_dead.sock";
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(0, ::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+  ASSERT_EQ(0, ::listen(listener, 1));
+
+  ClientOptions options;
+  options.timeout_ms = 200;
+  Result<ServeClient> client = ServeClient::Connect(path, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<ServeResponse> response = client->Call(Req("stats", {}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, response.status().code());
+
+  close(listener);
+  ::unlink(path.c_str());
+
+  // A socket that does not exist at all fails fast, not via the deadline.
+  EXPECT_FALSE(ServeClient::Connect(path, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal (docs/MODEL.md §12): on-disk format, torn tails,
+// compaction.
+
+std::uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  std::memset(&st, 0, sizeof(st));
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+}
+
+void AppendRawBytes(const std::string& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(static_cast<ssize_t>(bytes.size()), ::write(fd, bytes.data(), bytes.size()));
+  close(fd);
+}
+
+void FlipByteAt(const std::string& path, std::uint64_t offset) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  std::uint8_t byte = 0;
+  ASSERT_EQ(1, ::pread(fd, &byte, 1, static_cast<off_t>(offset)));
+  byte ^= 0xFF;
+  ASSERT_EQ(1, ::pwrite(fd, &byte, 1, static_cast<off_t>(offset)));
+  close(fd);
+}
+
+std::string FreshJournalPath(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/journal_" + tag + ".wal";
+  std::remove(path.c_str());
+  return path;
+}
+
+JournalOptions JournalOpts(const std::string& path) {
+  JournalOptions options;
+  options.path = path;
+  options.sync = JournalSyncMode::kAlways;
+  return options;
+}
+
+std::unique_ptr<Journal> MustOpen(const JournalOptions& options, JournalScan* scan) {
+  Result<std::unique_ptr<Journal>> journal = Journal::Open(options, scan);
+  EXPECT_TRUE(journal.ok()) << journal.status().ToString();
+  return journal.ok() ? std::move(journal).value() : nullptr;
+}
+
+TEST(Journal, ParseSyncSpec) {
+  JournalOptions options;
+  ASSERT_TRUE(ParseJournalSyncSpec("always", &options).ok());
+  EXPECT_EQ(JournalSyncMode::kAlways, options.sync);
+  ASSERT_TRUE(ParseJournalSyncSpec("none", &options).ok());
+  EXPECT_EQ(JournalSyncMode::kNone, options.sync);
+  ASSERT_TRUE(ParseJournalSyncSpec("batch:8", &options).ok());
+  EXPECT_EQ(JournalSyncMode::kBatch, options.sync);
+  EXPECT_EQ(8u, options.batch_frames);
+  EXPECT_FALSE(ParseJournalSyncSpec("batch:0", &options).ok());
+  EXPECT_FALSE(ParseJournalSyncSpec("batch:x", &options).ok());
+  EXPECT_FALSE(ParseJournalSyncSpec("batch:", &options).ok());
+  EXPECT_FALSE(ParseJournalSyncSpec("sometimes", &options).ok());
+  EXPECT_FALSE(ParseJournalSyncSpec("", &options).ok());
+}
+
+TEST(Journal, AppendAndReopenRoundTrip) {
+  const std::string path = FreshJournalPath("roundtrip");
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    EXPECT_EQ(0u, scan.records);
+    ASSERT_TRUE(journal->AppendRequest("submit key=a t=0").ok());
+    ASSERT_TRUE(journal->AppendRequest("submit key=b t=1").ok());
+    ASSERT_TRUE(journal->AppendRequest("complete key=a t=5").ok());
+  }
+  JournalScan scan;
+  std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+  ASSERT_NE(nullptr, journal);
+  EXPECT_FALSE(scan.has_checkpoint);
+  EXPECT_EQ(3u, scan.records);
+  EXPECT_EQ(0u, scan.dropped_bytes);
+  ASSERT_EQ(3u, scan.requests.size());
+  EXPECT_EQ("submit key=a t=0", scan.requests[0]);
+  EXPECT_EQ("complete key=a t=5", scan.requests[2]);
+}
+
+TEST(Journal, TornTailTruncatedOnOpenAndAppendsResume) {
+  const std::string path = FreshJournalPath("torn");
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    ASSERT_TRUE(journal->AppendRequest("alpha").ok());
+    ASSERT_TRUE(journal->AppendRequest("beta").ok());
+    ASSERT_TRUE(journal->AppendRequest("gamma").ok());
+  }
+  // Cut 3 bytes into gamma's record: a crash mid-append.
+  const std::uint64_t full = FileSize(path);
+  ASSERT_EQ(0, ::truncate(path.c_str(), static_cast<off_t>(full - 3)));
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    ASSERT_EQ(2u, scan.requests.size());
+    EXPECT_EQ("beta", scan.requests[1]);
+    EXPECT_GT(scan.dropped_bytes, 0u);
+    // The torn bytes are gone from disk and appends land cleanly after them.
+    ASSERT_TRUE(journal->AppendRequest("delta").ok());
+  }
+  JournalScan scan;
+  std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+  ASSERT_NE(nullptr, journal);
+  EXPECT_EQ(0u, scan.dropped_bytes);
+  ASSERT_EQ(3u, scan.requests.size());
+  EXPECT_EQ("delta", scan.requests[2]);
+}
+
+TEST(Journal, CrcCorruptionStopsTheScan) {
+  const std::string path = FreshJournalPath("crc");
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    ASSERT_TRUE(journal->AppendRequest("alpha").ok());
+    ASSERT_TRUE(journal->AppendRequest("beta").ok());
+    ASSERT_TRUE(journal->AppendRequest("gamma").ok());
+  }
+  // Flip a payload byte inside beta: its CRC fails, so beta AND everything
+  // after it are treated as torn (the scan cannot trust record boundaries
+  // past a corrupt record).
+  const std::uint64_t alpha_size =
+      EncodeJournalRecord(JournalRecordType::kRequest, "alpha").size();
+  FlipByteAt(path, alpha_size + 4 + 4 + 1 + 1);  // len + crc + type + 1 byte in.
+  JournalScan scan;
+  std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+  ASSERT_NE(nullptr, journal);
+  ASSERT_EQ(1u, scan.requests.size());
+  EXPECT_EQ("alpha", scan.requests[0]);
+  EXPECT_GT(scan.dropped_bytes, 0u);
+  EXPECT_EQ(alpha_size, FileSize(path));
+}
+
+TEST(Journal, AbsurdLengthTailTreatedAsTorn) {
+  const std::string path = FreshJournalPath("absurd");
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    ASSERT_TRUE(journal->AppendRequest("alpha").ok());
+  }
+  std::uint8_t header[8];
+  PutU32(header, 0xFFFFFFF0u);  // Way past kMaxJournalRecordBytes.
+  PutU32(header + 4, 0);
+  AppendRawBytes(path, std::string(reinterpret_cast<char*>(header), sizeof(header)));
+  JournalScan scan;
+  std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+  ASSERT_NE(nullptr, journal);
+  ASSERT_EQ(1u, scan.requests.size());
+  EXPECT_EQ(8u, scan.dropped_bytes);
+}
+
+TEST(Journal, CompactionReplacesTailWithCheckpoint) {
+  const std::string path = FreshJournalPath("compact");
+  {
+    JournalScan scan;
+    std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+    ASSERT_NE(nullptr, journal);
+    ASSERT_TRUE(journal->AppendRequest(std::string(512, 'x')).ok());
+    ASSERT_TRUE(journal->AppendRequest(std::string(512, 'y')).ok());
+    const std::uint64_t before = journal->size_bytes();
+    ASSERT_TRUE(journal->Compact("checkpoint payload").ok());
+    EXPECT_LT(journal->size_bytes(), before);
+    EXPECT_EQ(1u, journal->compactions());
+    // Appends after compaction extend the compacted file.
+    ASSERT_TRUE(journal->AppendRequest("after").ok());
+  }
+  JournalScan scan;
+  std::unique_ptr<Journal> journal = MustOpen(JournalOpts(path), &scan);
+  ASSERT_NE(nullptr, journal);
+  EXPECT_TRUE(scan.has_checkpoint);
+  EXPECT_EQ("checkpoint payload", scan.checkpoint);
+  ASSERT_EQ(1u, scan.requests.size());
+  EXPECT_EQ("after", scan.requests[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe service: recovery bit-identity, rid dedup, checkpoint verb,
+// auto-compaction (docs/MODEL.md §12).
+
+ServeRequest WithRid(ServeRequest request, std::uint64_t rid) {
+  request.args["rid"] = std::to_string(rid);
+  return request;
+}
+
+class ServiceJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = FreshJournalPath(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+
+  JournalOptions Opts() { return JournalOpts(path_); }
+
+  std::unique_ptr<ServiceState> Recover(ServiceConfig config, const JournalOptions& options,
+                                        RecoveryInfo* recovery) {
+    Result<std::unique_ptr<ServiceState>> service =
+        ServiceState::CreateFromJournal(std::move(config), options, recovery);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return service.ok() ? std::move(service).value() : nullptr;
+  }
+
+  ServeResponse Must(ServiceState* service, const ServeRequest& request) {
+    ServeResponse response = service->Handle(request);
+    EXPECT_TRUE(response.ok()) << request.verb << ": " << response.error;
+    return response;
+  }
+
+  std::string path_;
+};
+
+TEST_F(ServiceJournalTest, RecoveryRebuildsStateBitIdentically) {
+  std::uint64_t digest = 0;
+  std::uint64_t plan_digest = 0;
+  std::string report;
+  {
+    RecoveryInfo recovery;
+    std::unique_ptr<ServiceState> service = Recover(SmallCluster("sjf+silod"), Opts(), &recovery);
+    ASSERT_NE(nullptr, service);
+    EXPECT_FALSE(recovery.from_checkpoint);
+    EXPECT_EQ(0u, recovery.replayed_requests);
+    // Exercise every journaled verb class: submits, progress, a forced plan
+    // (stamps first-start times), a completion, a policy hot-swap, a cancel.
+    Must(service.get(), WithRid(SubmitReq("a", 0, 2, GB(400)), 1));
+    Must(service.get(), WithRid(SubmitReq("b", 10, 1, GB(800)), 2));
+    Must(service.get(), WithRid(Req("progress", {{"key", "a"},
+                                                 {"t", "100"},
+                                                 {"remaining", "500000000000"},
+                                                 {"effective", "50000000000"}}),
+                                3));
+    Must(service.get(), WithRid(Req("plan", {{"t", "150"}}), 4));
+    Must(service.get(), WithRid(Req("complete", {{"key", "b"}, {"t", "200"}}), 5));
+    Must(service.get(), WithRid(Req("reload-policy", {{"policy", "fifo+silod"}}), 6));
+    Must(service.get(), WithRid(SubmitReq("c", 250, 4, TB(1.5)), 7));
+    Must(service.get(), WithRid(Req("cancel", {{"key", "c"}, {"t", "300"}}), 8));
+    digest = service->StateDigest();
+    plan_digest = PlanDigest(service->PlanNow());
+    report = service->Report().ToJson();
+    // SIGKILL: the service dies here without Sync or graceful teardown; the
+    // kAlways journal already has every frame on disk.
+  }
+  RecoveryInfo recovery;
+  std::unique_ptr<ServiceState> service = Recover(SmallCluster("sjf+silod"), Opts(), &recovery);
+  ASSERT_NE(nullptr, service);
+  EXPECT_EQ(8u, recovery.replayed_requests);
+  EXPECT_EQ(0u, recovery.replayed_errors);
+  EXPECT_EQ(0u, recovery.dropped_bytes);
+  EXPECT_EQ(digest, service->StateDigest()) << "recovered state diverged";
+  EXPECT_EQ(plan_digest, PlanDigest(service->PlanNow())) << "recovered plan diverged";
+  EXPECT_EQ(report, service->Report().ToJson()) << "recovered report diverged";
+  EXPECT_EQ("fifo+silod", service->policy_name());  // The hot-swap replayed.
+}
+
+TEST_F(ServiceJournalTest, RidDedupMakesRetriesExactlyOnce) {
+  RecoveryInfo recovery;
+  std::unique_ptr<ServiceState> service = Recover(SmallCluster("fifo+silod"), Opts(), &recovery);
+  ASSERT_NE(nullptr, service);
+  const ServeRequest submit = WithRid(SubmitReq("a", 0, 2, GB(400)), 7);
+  ServeResponse first = Must(service.get(), submit);
+  EXPECT_EQ(0u, first.fields.count("duplicate"));
+  const std::uint64_t digest = service->StateDigest();
+
+  // The exact retry and a stale lower rid are both acknowledged without
+  // touching state or the journal.
+  for (const ServeRequest& retry : {submit, WithRid(Req("complete", {{"key", "a"}, {"t", "9"}}), 3)}) {
+    ServeResponse response = Must(service.get(), retry);
+    EXPECT_EQ("1", response.fields.at("duplicate"));
+    EXPECT_EQ("7", response.fields.at("last-rid"));
+  }
+  EXPECT_EQ(digest, service->StateDigest());
+  EXPECT_EQ(1u, service->journal()->appended_records());
+
+  // Non-positive rids are rejected before touching the journal.
+  EXPECT_FALSE(service->Handle(WithRid(SubmitReq("bad", 1, 1, GB(100)), 0)).ok());
+
+  ServeResponse stats = Must(service.get(), Req("stats", {}));
+  EXPECT_EQ("7", stats.fields.at("last-rid"));
+  EXPECT_EQ("2", stats.fields.at("duplicates"));
+
+  // Dedup state survives recovery: last_rid_ is rebuilt from the replayed
+  // frames, so a client resending its in-flight request after a daemon
+  // restart still gets the duplicate ack.
+  service.reset();
+  service = Recover(SmallCluster("fifo+silod"), Opts(), &recovery);
+  ASSERT_NE(nullptr, service);
+  ServeResponse after = Must(service.get(), submit);
+  EXPECT_EQ("1", after.fields.at("duplicate"));
+  EXPECT_EQ(digest, service->StateDigest());
+}
+
+TEST_F(ServiceJournalTest, CheckpointVerbCompactsAndRecoveryMatches) {
+  std::uint64_t digest = 0;
+  {
+    RecoveryInfo recovery;
+    std::unique_ptr<ServiceState> service = Recover(SmallCluster("sjf+silod"), Opts(), &recovery);
+    ASSERT_NE(nullptr, service);
+    Must(service.get(), WithRid(SubmitReq("a", 0, 2, GB(400)), 1));
+    Must(service.get(), WithRid(SubmitReq("b", 10, 1, GB(800)), 2));
+    Must(service.get(), WithRid(Req("complete", {{"key", "a"}, {"t", "50"}}), 3));
+    ServeResponse checkpoint = Must(service.get(), Req("checkpoint", {}));
+    EXPECT_EQ("1", checkpoint.fields.at("compactions"));
+    // Mutations after the checkpoint land as request records behind it.
+    Must(service.get(), WithRid(SubmitReq("c", 60, 1, GB(200)), 4));
+    digest = service->StateDigest();
+  }
+  RecoveryInfo recovery;
+  std::unique_ptr<ServiceState> service = Recover(SmallCluster("sjf+silod"), Opts(), &recovery);
+  ASSERT_NE(nullptr, service);
+  EXPECT_TRUE(recovery.from_checkpoint);
+  EXPECT_EQ(1u, recovery.replayed_requests);  // Only the post-checkpoint tail.
+  EXPECT_EQ(digest, service->StateDigest());
+  // And the recovered daemon keeps serving: rid 4 dedupes, rid 5 applies.
+  ServeResponse dup = Must(service.get(), WithRid(SubmitReq("c", 60, 1, GB(200)), 4));
+  EXPECT_EQ("1", dup.fields.at("duplicate"));
+  Must(service.get(), WithRid(Req("complete", {{"key", "c"}, {"t", "100"}}), 5));
+}
+
+TEST_F(ServiceJournalTest, CheckpointWithoutJournalIsFailedPrecondition) {
+  Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(SmallCluster("fifo+silod"));
+  ASSERT_TRUE(service.ok());
+  ServeResponse response = (*service)->Handle(Req("checkpoint", {}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, response.code);
+}
+
+TEST_F(ServiceJournalTest, AutoCompactionBoundsTheJournal) {
+  JournalOptions options = Opts();
+  options.max_bytes = 4096;  // Tiny cap: a few dozen submits overflow it.
+  std::uint64_t digest = 0;
+  {
+    RecoveryInfo recovery;
+    std::unique_ptr<ServiceState> service =
+        Recover(SmallCluster("fifo+silod"), options, &recovery);
+    ASSERT_NE(nullptr, service);
+    std::uint64_t rid = 0;
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = "job" + std::to_string(i);
+      Must(service.get(), WithRid(SubmitReq(key, i, 1, GB(100)), ++rid));
+      Must(service.get(), WithRid(Req("complete", {{"key", key}, {"t", std::to_string(i + 40)}}),
+                                  ++rid));
+    }
+    ASSERT_NE(nullptr, service->journal());
+    EXPECT_GT(service->journal()->compactions(), 0u);
+    // The file never grows unboundedly: it is at most the cap plus the tail
+    // appended since the last checkpoint (itself < cap) plus one checkpoint.
+    EXPECT_LT(service->journal()->size_bytes(), 10 * options.max_bytes);
+    digest = service->StateDigest();
+  }
+  RecoveryInfo recovery;
+  std::unique_ptr<ServiceState> service = Recover(SmallCluster("fifo+silod"), options, &recovery);
+  ASSERT_NE(nullptr, service);
+  EXPECT_TRUE(recovery.from_checkpoint);
+  EXPECT_EQ(digest, service->StateDigest());
+}
+
+TEST_F(ServiceJournalTest, TornTailRecoveryDropsOnlyTheTornFrame) {
+  {
+    RecoveryInfo recovery;
+    std::unique_ptr<ServiceState> service = Recover(SmallCluster("fifo+silod"), Opts(), &recovery);
+    ASSERT_NE(nullptr, service);
+    Must(service.get(), WithRid(SubmitReq("a", 0, 2, GB(400)), 1));
+    Must(service.get(), WithRid(SubmitReq("b", 10, 1, GB(800)), 2));
+  }
+  // Tear mid-way into b's record: the crash happened inside the append.
+  ASSERT_EQ(0, ::truncate(path_.c_str(), static_cast<off_t>(FileSize(path_) - 2)));
+  RecoveryInfo recovery;
+  std::unique_ptr<ServiceState> service = Recover(SmallCluster("fifo+silod"), Opts(), &recovery);
+  ASSERT_NE(nullptr, service);
+  EXPECT_EQ(1u, recovery.replayed_requests);
+  EXPECT_GT(recovery.dropped_bytes, 0u);
+  EXPECT_EQ(1u, service->jobs().size());
+  // The client's retry of the lost frame applies normally (rid 2 was never
+  // durable, so it is NOT a duplicate).
+  ServeResponse retry = Must(service.get(), WithRid(SubmitReq("b", 10, 1, GB(800)), 2));
+  EXPECT_EQ(0u, retry.fields.count("duplicate"));
+  EXPECT_EQ(2u, service->jobs().size());
+}
+
+// The acceptance scenario in-process: SIGKILL mid-trace, restart, re-replay
+// the whole trace with monotone rids — the final report must match the batch
+// flow engine bit-for-bit (the already-applied prefix dedupes).
+TEST(ServeReplay, CrashMidTraceRecoveryMatchesBatchEngine) {
+  TraceOptions options;
+  options.num_jobs = 10;
+  options.mean_interarrival = Minutes(2);
+  options.median_duration = Minutes(20);
+  options.seed = 11;
+  const Trace trace = TraceGenerator(options).Generate();
+  SimConfig config;
+  config.resources.total_gpus = 8;
+  config.resources.total_cache = GB(900);
+  config.resources.remote_io = MBps(200);
+  Result<std::shared_ptr<Scheduler>> scheduler =
+      MakeSchedulerByName("sjf+silod", SchedulerOptions{});
+  ASSERT_TRUE(scheduler.ok());
+  FlowEngine engine(&trace, *scheduler, config);
+  const SimResult result = engine.Run();
+  const std::vector<ReplayEvent> schedule = BuildReplaySchedule(trace, result);
+
+  ServiceConfig service_config;
+  service_config.policy = "sjf+silod";
+  service_config.resources = config.resources;
+  service_config.admission.max_gpu_load = 1e18;  // Engines have no gate.
+  JournalOptions journal_options;
+  journal_options.path = FreshJournalPath("crash_mid_trace");
+  journal_options.sync = JournalSyncMode::kBatch;  // write()n data survives SIGKILL.
+  journal_options.batch_frames = 4;
+
+  const std::size_t half = schedule.size() / 2;
+  {
+    RecoveryInfo recovery;
+    Result<std::unique_ptr<ServiceState>> service =
+        ServiceState::CreateFromJournal(service_config, journal_options, &recovery);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    for (std::size_t i = 0; i < half; ++i) {
+      const ReplayEvent& event = schedule[i];
+      const ServeRequest request =
+          event.complete ? CompleteRequestFor(trace, event.job, event.t, i + 1)
+                         : SubmitRequestFor(trace, event.job, event.t, i + 1);
+      const ServeResponse response = (*service)->Handle(request);
+      ASSERT_TRUE(response.ok()) << request.verb << ": " << response.error;
+    }
+    // SIGKILL here: no Sync, no destructor grace.
+  }
+  RecoveryInfo recovery;
+  Result<std::unique_ptr<ServiceState>> service =
+      ServiceState::CreateFromJournal(service_config, journal_options, &recovery);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(half, recovery.replayed_requests);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ReplayEvent& event = schedule[i];
+    const ServeRequest request =
+        event.complete ? CompleteRequestFor(trace, event.job, event.t, i + 1)
+                       : SubmitRequestFor(trace, event.job, event.t, i + 1);
+    const ServeResponse response = (*service)->Handle(request);
+    ASSERT_TRUE(response.ok()) << request.verb << ": " << response.error;
+    if (i < half) {
+      EXPECT_EQ("1", response.fields.at("duplicate")) << "event " << i;
+    }
+  }
+  const RunReport batch = MakeRunReport("sjf+silod", "flow", result);
+  const RunReport serve = (*service)->Report();
+  EXPECT_TRUE(JctSummariesIdentical(batch, serve))
+      << "batch:\n"
+      << batch.ToJson() << "\nserve:\n"
+      << serve.ToJson();
+  EXPECT_EQ(0, serve.unfinished_jobs);
 }
 
 }  // namespace

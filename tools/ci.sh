@@ -12,6 +12,7 @@
 #   tools/ci.sh scaling-smoke # fine-engine throughput + bit-identity smoke only
 #   tools/ci.sh rt-fault-smoke # multi-process worker crash + minidump replay smoke only
 #   tools/ci.sh serve-smoke # silodd daemon lifecycle + live reload + replay cross-check only
+#   tools/ci.sh serve-crash-smoke # silodd SIGKILL mid-trace + journal recovery + graceful SIGTERM only
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -206,6 +207,66 @@ if [[ "$stage" == "all" || "$stage" == "serve-smoke" ]]; then
   "$client" --socket="$sock" shutdown >/dev/null
   wait "$silodd_pid" || { echo "serve-smoke: replay daemon exited non-zero"; exit 1; }
   trap - EXIT
+fi
+
+if [[ "$stage" == "all" || "$stage" == "serve-crash-smoke" ]]; then
+  # Crash-injection smoke (docs/MODEL.md §12): start silodd with a write-ahead
+  # journal, replay HALF a trace over the socket (monotone rid= tags), SIGKILL
+  # the daemon mid-run, restart it over the same journal, then replay the FULL
+  # trace — the recovered daemon must dedupe the already-applied prefix and
+  # the final report must match the batch flow engine bit-for-bit (--check
+  # exits 1 on any divergence).  Finishes with a graceful-SIGTERM check: exit
+  # code 0 and the socket file unlinked.
+  echo "=== [serve-crash-smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [serve-crash-smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target silodd silod_client
+  echo "=== [serve-crash-smoke] run ==="
+  sock="build-ci-smoke/serve-crash.sock"
+  wal="build-ci-smoke/serve-crash.wal"
+  client="./build-ci-smoke/tools/silod_client"
+  daemon_flags=(--socket="$sock" --policy=sjf+silod --gpus=8 --cache-tb=2
+                --egress-gbps=1.6 --max-gpu-load=1e18
+                --journal="$wal" --journal-sync=batch:8)
+  trace_flags=(--jobs=20 --seed=3 --policy=sjf+silod --gpus=8 --cache-tb=2
+               --egress-gbps=1.6)
+  rm -f "$sock" "$wal"
+
+  ./build-ci-smoke/tools/silodd "${daemon_flags[@]}" &
+  silodd_pid=$!
+  trap 'kill -9 "$silodd_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "serve-crash-smoke: daemon never bound $sock"; exit 1; }
+
+  # Half the trace (20 jobs = 40 submit/complete events), then SIGKILL.
+  "$client" --socket="$sock" --serve-trace --max-events=20 "${trace_flags[@]}" \
+      || { echo "serve-crash-smoke: half-trace replay failed"; exit 1; }
+  kill -9 "$silodd_pid"
+  wait "$silodd_pid" 2>/dev/null || true
+  rm -f "$sock"  # SIGKILL never unlinks; the restart rebinds.
+
+  # Restart over the same journal: the banner must report the replay, and the
+  # full-trace re-replay (same rids) must dedupe the prefix and cross-check
+  # bit-for-bit against the batch engine.
+  ./build-ci-smoke/tools/silodd "${daemon_flags[@]}" \
+      2> build-ci-smoke/serve_crash_recovery.log &
+  silodd_pid=$!
+  trap 'kill -9 "$silodd_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "serve-crash-smoke: recovered daemon never bound $sock"; exit 1; }
+  grep -q "request(s) replayed" build-ci-smoke/serve_crash_recovery.log \
+      || { echo "serve-crash-smoke: no recovery banner"; exit 1; }
+  "$client" --socket="$sock" --serve-trace --check --retries=3 "${trace_flags[@]}" \
+      > build-ci-smoke/serve_crash_report.json \
+      || { echo "serve-crash-smoke: recovered daemon diverged from the batch engine"; exit 1; }
+  "$client" --socket="$sock" --json stats | grep -q '"recovered-requests": "20"' \
+      || { echo "serve-crash-smoke: expected 20 replayed requests"; exit 1; }
+
+  # Graceful SIGTERM: drain, sync the journal, unlink the socket, exit 0.
+  kill -TERM "$silodd_pid"
+  wait "$silodd_pid" || { echo "serve-crash-smoke: SIGTERM exit was non-zero"; exit 1; }
+  trap - EXIT
+  [[ ! -S "$sock" ]] || { echo "serve-crash-smoke: socket left behind after SIGTERM"; exit 1; }
 fi
 
 echo "CI OK"

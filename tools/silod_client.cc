@@ -13,10 +13,22 @@
 // submit/complete requests, and prints the daemon's RunReport JSON.  With
 // --check the daemon's JCT summary must match the local batch engine's
 // bit-for-bit (exit 1 otherwise) — the socket-transport version of
-// sim/serve_replay.h's cross-check.
+// sim/serve_replay.h's cross-check.  Every replay request carries a monotone
+// rid= (the 1-based event index), so re-running the replay against a daemon
+// that crashed and recovered mid-trace turns the already-applied prefix into
+// duplicate no-ops; --max-events=N stops after N events (the crash-injection
+// harness in tools/ci.sh uses this to kill the daemon at a known point).
+//
+// Exit codes: 0 success; 1 --check mismatch; 2 usage error, connect failure
+// or deadline exceeded; 3 transport/protocol error; 4 the daemon rejected
+// the request.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <thread>
 
+#include "src/common/backoff.h"
 #include "src/common/flags.h"
 #include "src/core/policy_registry.h"
 #include "src/serve/server.h"
@@ -27,6 +39,68 @@
 using namespace silod;
 
 namespace {
+
+constexpr int kExitCheckMismatch = 1;
+constexpr int kExitConnectOrTimeout = 2;
+constexpr int kExitProtocol = 3;
+constexpr int kExitDaemonRejected = 4;
+
+// A ServeClient wrapper with connect/read deadlines and transparent retry:
+// on a transport failure the connection is dropped, re-dialed after an
+// exponential backoff, and the same request (same rid) re-sent — safe
+// against a daemon restart because the journal's rid dedup makes redelivered
+// mutations no-ops.
+class RetryingClient {
+ public:
+  RetryingClient(std::string socket_path, ClientOptions options, int retries,
+                 double retry_base_ms)
+      : socket_path_(std::move(socket_path)), options_(options), retries_(retries) {
+    backoff_options_.base = retry_base_ms / 1000.0;
+    backoff_options_.cap = backoff_options_.base * 64;
+  }
+
+  // On failure, *exit_code holds the taxonomy code for the LAST error.
+  Result<ServeResponse> Call(const ServeRequest& request, int* exit_code) {
+    Backoff backoff(backoff_options_);
+    for (int attempt = 0;; ++attempt) {
+      Status failure = Status::Ok();
+      bool connecting = false;
+      if (!client_.has_value()) {
+        connecting = true;
+        Result<ServeClient> connected = ServeClient::Connect(socket_path_, options_);
+        if (connected.ok()) {
+          client_.emplace(std::move(connected).value());
+          connecting = false;
+        } else {
+          failure = connected.status();
+        }
+      }
+      if (failure.ok()) {
+        Result<ServeResponse> response = client_->Call(request);
+        if (response.ok()) {
+          *exit_code = 0;
+          return response;
+        }
+        failure = response.status();
+        client_.reset();  // The stream is no longer trustworthy.
+      }
+      if (attempt >= retries_) {
+        *exit_code = (connecting || failure.code() == StatusCode::kDeadlineExceeded)
+                         ? kExitConnectOrTimeout
+                         : kExitProtocol;
+        return failure;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff.NextDelay()));
+    }
+  }
+
+ private:
+  std::string socket_path_;
+  ClientOptions options_;
+  int retries_;
+  BackoffOptions backoff_options_;
+  std::optional<ServeClient> client_;
+};
 
 // Renders response fields as a flat JSON object (values as JSON strings;
 // numeric consumers parse them — the fields are exact decimal renderings).
@@ -54,7 +128,7 @@ std::string FieldsToJson(const ServeResponse& response) {
 int PrintResponse(const ServeResponse& response, bool json) {
   if (!response.ok()) {
     std::fprintf(stderr, "error: %s\n", response.ToStatus().ToString().c_str());
-    return 1;
+    return kExitDaemonRejected;
   }
   if (json) {
     std::printf("%s\n", FieldsToJson(response).c_str());
@@ -76,7 +150,7 @@ bool FieldMatches(const ServeResponse& response, const std::string& key, double 
   return std::strtod(it->second.c_str(), nullptr) == expected;
 }
 
-int RunServeTrace(const FlagSet& flags) {
+int RunServeTrace(const FlagSet& flags, RetryingClient* client) {
   Trace trace;
   if (!flags.GetString("trace").empty()) {
     Result<Trace> loaded = ReadTraceFile(flags.GetString("trace"));
@@ -116,34 +190,42 @@ int RunServeTrace(const FlagSet& flags) {
   const SimResult result = engine.Run();
   const RunReport batch = MakeRunReport(policy, "flow", result);
 
-  Result<ServeClient> client = ServeClient::Connect(flags.GetString("socket"));
-  if (!client.ok()) {
-    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
-    return 1;
-  }
+  const std::int64_t max_events = flags.GetInt("max-events");
+  std::uint64_t rid = 0;
+  int exit_code = 0;
   for (const ReplayEvent& event : BuildReplaySchedule(trace, result)) {
-    const ServeRequest request = event.complete ? CompleteRequestFor(trace, event.job, event.t)
-                                                : SubmitRequestFor(trace, event.job, event.t);
-    Result<ServeResponse> response = client->Call(request);
+    if (max_events > 0 && rid >= static_cast<std::uint64_t>(max_events)) {
+      std::fprintf(stderr, "serve-trace: stopped after %llu event(s) (--max-events)\n",
+                   static_cast<unsigned long long>(rid));
+      return 0;
+    }
+    ++rid;
+    const ServeRequest request = event.complete
+                                     ? CompleteRequestFor(trace, event.job, event.t, rid)
+                                     : SubmitRequestFor(trace, event.job, event.t, rid);
+    Result<ServeResponse> response = client->Call(request, &exit_code);
     if (!response.ok()) {
       std::fprintf(stderr, "replay %s: %s\n", request.verb.c_str(),
                    response.status().ToString().c_str());
-      return 1;
+      return exit_code;
     }
     if (!response->ok()) {
       std::fprintf(stderr, "replay %s job%zu: %s\n", request.verb.c_str(), event.job,
                    response->error.c_str());
-      return 1;
+      return kExitDaemonRejected;
     }
   }
 
   ServeRequest report_request;
   report_request.verb = "report";
-  Result<ServeResponse> report = client->Call(report_request);
-  if (!report.ok() || !report->ok()) {
-    std::fprintf(stderr, "report: %s\n",
-                 (report.ok() ? report->ToStatus() : report.status()).ToString().c_str());
-    return 1;
+  Result<ServeResponse> report = client->Call(report_request, &exit_code);
+  if (!report.ok()) {
+    std::fprintf(stderr, "report: %s\n", report.status().ToString().c_str());
+    return exit_code;
+  }
+  if (!report->ok()) {
+    std::fprintf(stderr, "report: %s\n", report->ToStatus().ToString().c_str());
+    return kExitDaemonRejected;
   }
   std::printf("%s\n", report->fields["json"].c_str());
 
@@ -158,7 +240,7 @@ int RunServeTrace(const FlagSet& flags) {
     if (!identical) {
       std::fprintf(stderr, "cross-check FAILED: daemon JCT summary differs from batch engine\n");
       std::fprintf(stderr, "batch:\n%s\n", batch.ToJson().c_str());
-      return 1;
+      return kExitCheckMismatch;
     }
     std::fprintf(stderr, "cross-check OK: daemon report matches the batch engine (%d jobs)\n",
                  batch.jobs);
@@ -172,12 +254,21 @@ int main(int argc, char** argv) {
   FlagSet flags;
   flags.Define("socket", "", "silodd Unix socket path (required)");
   flags.Define("json", "false", "print responses as a JSON object");
+  flags.Define("timeout-ms", "10000",
+               "connect/read/write deadline per request (ms); 0 = block forever");
+  flags.Define("retries", "0",
+               "re-dial and re-send this many times on connect/transport failure (replayed "
+               "mutations carry rids, so a recovered daemon dedupes them)");
+  flags.Define("retry-base-ms", "50", "initial retry backoff (doubles per attempt, capped)");
   flags.Define("serve-trace", "false",
                "replay a workload trace as timed submit/complete requests and print the "
                "daemon's RunReport JSON");
   flags.Define("check", "false",
                "with --serve-trace: verify the daemon's JCT summary matches the local batch "
                "flow engine bit-for-bit (exit 1 on mismatch)");
+  flags.Define("max-events", "0",
+               "with --serve-trace: stop (exit 0) after this many replay events, skipping the "
+               "report; 0 = replay everything");
   flags.Define("trace", "", "replay this trace CSV instead of generating one");
   flags.Define("jobs", "20", "jobs to generate (ignored with --trace)");
   flags.Define("interarrival-min", "4", "mean job inter-arrival (minutes)");
@@ -198,8 +289,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--socket is required\n%s", flags.Help("silod_client").c_str());
     return 2;
   }
+  const std::int64_t timeout_ms = flags.GetInt("timeout-ms");
+  const std::int64_t retries = flags.GetInt("retries");
+  if (timeout_ms < 0 || retries < 0 || flags.GetDouble("retry-base-ms") <= 0) {
+    std::fprintf(stderr,
+                 "--timeout-ms and --retries must be >= 0, --retry-base-ms must be > 0\n");
+    return 2;
+  }
+  ClientOptions options;
+  options.timeout_ms = static_cast<int>(timeout_ms);
+  RetryingClient client(flags.GetString("socket"), options, static_cast<int>(retries),
+                        flags.GetDouble("retry-base-ms"));
+
   if (flags.GetBool("serve-trace")) {
-    return RunServeTrace(flags);
+    return RunServeTrace(flags, &client);
   }
 
   const std::vector<std::string>& args = flags.positional();
@@ -218,10 +321,11 @@ int main(int argc, char** argv) {
     }
     request.args[args[i].substr(0, eq)] = args[i].substr(eq + 1);
   }
-  Result<ServeResponse> response = CallServe(flags.GetString("socket"), request);
+  int exit_code = 0;
+  Result<ServeResponse> response = client.Call(request, &exit_code);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
-    return 1;
+    return exit_code;
   }
   return PrintResponse(*response, flags.GetBool("json"));
 }

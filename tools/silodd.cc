@@ -2,6 +2,7 @@
 //
 //   silodd --socket=/tmp/silod.sock --policy=sjf+silod
 //          --gpus=8 --cache-tb=2 --egress-gbps=1.6
+//          --journal=/var/lib/silod/journal --journal-sync=batch:64
 //
 // A single-process event-loop daemon: clients submit/complete/cancel jobs
 // over a Unix-domain socket (serve/proto.h framing) and the daemon keeps an
@@ -9,14 +10,44 @@
 // tracking, delta water-filling for the order-based SiloD policies,
 // epoch-batched re-solves, and admission control in front of the scheduler.
 // Drive it with silod_client.
+//
+// Crash safety (docs/MODEL.md §12): with --journal, every mutating request
+// is write-ahead logged before it applies, and a restart replays the journal
+// to rebuild the exact pre-crash state.  SIGTERM/SIGINT exit the poll loop
+// cleanly: the in-flight response (if any) is already written, the journal
+// is synced, and the socket file is unlinked.
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 
 #include "src/common/flags.h"
 #include "src/common/topology.h"
+#include "src/serve/journal.h"
 #include "src/serve/server.h"
 #include "src/serve/service.h"
 
 using namespace silod;
+
+namespace {
+
+// Async-signal-safe shutdown flag: the handler only sets it; the poll loop
+// (interrupted with EINTR because the handlers install without SA_RESTART)
+// re-checks it before blocking again.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void HandleSignal(int signum) { g_signal = signum; }
+
+bool InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // No SA_RESTART: poll() must return EINTR.
+  return sigaction(SIGTERM, &action, nullptr) == 0 &&
+         sigaction(SIGINT, &action, nullptr) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags;
@@ -42,6 +73,14 @@ int main(int argc, char** argv) {
                "re-solves (0 = re-solve on every event)");
   flags.Define("coalesce-events", "1",
                "epoch batching: re-solve early once this many dirty marks are pending");
+  flags.Define("journal", "",
+               "write-ahead request journal path; on restart the surviving records replay to "
+               "rebuild the exact pre-crash state (empty = no durability)");
+  flags.Define("journal-sync", "batch:64",
+               "journal fsync policy: always | batch:<N> (fdatasync every N appends) | none");
+  flags.Define("journal-max-mb", "64",
+               "auto-compact the journal (checkpoint + truncate) once it exceeds this many MB; "
+               "0 = compact only via the checkpoint verb");
   if (const Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help("silodd").c_str());
     return 2;
@@ -75,21 +114,71 @@ int main(int argc, char** argv) {
   config.planning.max_coalesced_events =
       static_cast<std::uint64_t>(flags.GetInt("coalesce-events"));
 
-  Result<std::unique_ptr<ServiceState>> service = ServiceState::Create(std::move(config));
+  JournalOptions journal;
+  const bool use_journal = !flags.GetString("journal").empty();
+  if (use_journal) {
+    journal.path = flags.GetString("journal");
+    if (const Status st = ParseJournalSyncSpec(flags.GetString("journal-sync"), &journal);
+        !st.ok()) {
+      std::fprintf(stderr, "--journal-sync: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    const std::int64_t max_mb = flags.GetInt("journal-max-mb");
+    if (max_mb < 0) {
+      std::fprintf(stderr, "--journal-max-mb must be >= 0\n");
+      return 2;
+    }
+    journal.max_bytes = static_cast<std::uint64_t>(max_mb) * 1024 * 1024;
+  }
+  RecoveryInfo recovery;
+  Result<std::unique_ptr<ServiceState>> service =
+      use_journal ? ServiceState::CreateFromJournal(std::move(config), journal, &recovery)
+                  : ServiceState::Create(std::move(config));
   if (!service.ok()) {
     std::fprintf(stderr, "silodd: %s\n", service.status().ToString().c_str());
     return 2;
   }
+  if (use_journal) {
+    for (const std::string& warning : recovery.warnings) {
+      std::fprintf(stderr, "silodd: recovery warning: %s\n", warning.c_str());
+    }
+    std::fprintf(stderr,
+                 "silodd: journal %s: %s%llu request(s) replayed, %llu failed, %llu torn "
+                 "byte(s) dropped\n",
+                 journal.path.c_str(), recovery.from_checkpoint ? "checkpoint restored, " : "",
+                 static_cast<unsigned long long>(recovery.replayed_requests),
+                 static_cast<unsigned long long>(recovery.replayed_errors),
+                 static_cast<unsigned long long>(recovery.dropped_bytes));
+  }
+
+  if (!InstallSignalHandlers()) {
+    std::fprintf(stderr, "silodd: failed to install signal handlers\n");
+    return 1;
+  }
   UnixServer server(flags.GetString("socket"), service->get());
+  server.set_stop_flag(&g_signal);
   if (const Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "silodd: %s\n", st.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "silodd: policy %s, listening on %s\n",
                (*service)->policy_name().c_str(), server.socket_path().c_str());
-  if (const Status st = server.Serve(); !st.ok()) {
-    std::fprintf(stderr, "silodd: %s\n", st.ToString().c_str());
+  const Status served = server.Serve();
+  // All exit paths flush batched journal appends; the socket file is
+  // unlinked by the server's destructor.
+  if (const Status st = (*service)->SyncJournal(); !st.ok()) {
+    std::fprintf(stderr, "silodd: journal sync on shutdown: %s\n", st.ToString().c_str());
+  }
+  if (!served.ok()) {
+    // One-line diagnosis so an operator (or CI) can tell a socket failure
+    // from a clean exit without scraping earlier output.
+    std::fprintf(stderr, "silodd: fatal socket error: %s\n", served.ToString().c_str());
     return 1;
+  }
+  if (g_signal != 0) {
+    std::fprintf(stderr, "silodd: caught %s, clean shutdown\n",
+                 g_signal == SIGTERM ? "SIGTERM" : (g_signal == SIGINT ? "SIGINT" : "signal"));
+    return 0;
   }
   std::fprintf(stderr, "silodd: clean shutdown\n");
   return 0;
