@@ -198,10 +198,11 @@ int main(int argc, char** argv) {
     pairs.push_back(pair);
   }
 
-  Table table({"label", "crashes/hr", "makespan (min)", "avg JCT (min)", "srv crashes",
-               "blocks lost", "bytes lost (MB)", "completed"});
+  Table table({"label", "crashes/hr", "makespan (min)", "avg JCT (min)", "p95 JCT (min)",
+               "p99 JCT (min)", "srv crashes", "blocks lost", "bytes lost (MB)", "completed"});
   for (const RunReport& r : runs) {
-    table.AddRow({r.label, r.extra[2].second, Fmt(r.makespan_min), Fmt(r.avg_jct_min),
+    table.AddRow({r.label, r.extra[2].second, Fmt(r.makespan_min), Fmt(r.jct.avg_jct_min),
+                  Fmt(r.jct.p95_jct_min), Fmt(r.jct.p99_jct_min),
                   std::to_string(r.faults.server_crashes), std::to_string(r.faults.blocks_lost),
                   Fmt(r.faults.bytes_lost / 1e6), r.unfinished_jobs == 0 ? "yes" : "NO"});
   }

@@ -18,6 +18,12 @@
 // A topology is plain data: Parse(ToSpec()) is the identity, and an empty
 // topology means "zone-oblivious" everywhere — every consumer must behave
 // bit-identically to the pre-topology code in that case.
+//
+// The topology also carries the cluster's GPU-type table (`gpu-type
+// name=v100 count=64 speed=1` entries): named pools of GPUs with a relative
+// speed factor.  Declaring no types means a uniform fleet, and every
+// scheduler/engine must be bit-identical to the pre-heterogeneity code in
+// that case (speed factors default to 1.0, and x * 1.0 == x exactly).
 #ifndef SILOD_SRC_COMMON_TOPOLOGY_H_
 #define SILOD_SRC_COMMON_TOPOLOGY_H_
 
@@ -39,6 +45,18 @@ struct TopologyZone {
   bool operator==(const TopologyZone&) const = default;
 };
 
+// A named pool of identical GPUs with a relative speed factor (1.0 = the
+// baseline V100-class throughput the model zoo assumes).  A job placed on
+// this type computes at `speed * job.speed_factor(type)` times its uniform
+// ideal rate.
+struct GpuTypeSpec {
+  std::string name;
+  int count = 0;
+  double speed = 1.0;
+
+  bool operator==(const GpuTypeSpec&) const = default;
+};
+
 class ClusterTopology {
  public:
   // Any single zone may hold at most this fraction of a dataset's quota
@@ -47,17 +65,40 @@ class ClusterTopology {
 
   ClusterTopology() = default;
 
-  // Parses ";"-separated entries of the form `name=<a>-<b>` plus an optional
-  // `loss-bound=<f>` entry, e.g. "rack0=0-3;rack1=4-7;loss-bound=0.25".
+  // Parses ";"-separated entries of the form `name=<a>-<b>`, an optional
+  // `loss-bound=<f>` entry, and `gpu-type name=<n> count=<c> speed=<s>`
+  // entries (speed optional, default 1), e.g.
+  // "rack0=0-3;rack1=4-7;loss-bound=0.25;gpu-type name=v100 count=64 speed=1".
   static Result<ClusterTopology> Parse(const std::string& spec);
 
   // Validates (in-range, disjoint, unique names) and sorts by first server.
   static Result<ClusterTopology> FromZones(std::vector<TopologyZone> zones,
                                            double loss_bound = kDefaultLossBound);
 
+  // FromZones plus a GPU-type table (unique non-empty names, positive counts
+  // and speeds).  Types keep their declaration order: it is the tie-break
+  // order for placement, so it is part of the topology's identity.
+  static Result<ClusterTopology> Make(std::vector<TopologyZone> zones,
+                                      std::vector<GpuTypeSpec> gpu_types,
+                                      double loss_bound = kDefaultLossBound);
+
+  // "Empty" deliberately means "no zones declared": it gates the
+  // zone-placement machinery only.  The GPU-type table has its own gate.
   bool empty() const { return zones_.empty(); }
   int num_zones() const { return static_cast<int>(zones_.size()); }
   const std::vector<TopologyZone>& zones() const { return zones_; }
+
+  bool has_gpu_types() const { return !gpu_types_.empty(); }
+  int num_gpu_types() const { return static_cast<int>(gpu_types_.size()); }
+  const std::vector<GpuTypeSpec>& gpu_types() const { return gpu_types_; }
+
+  // Index into gpu_types() for `name`, or -1 when unknown.
+  int GpuTypeIndex(const std::string& name) const;
+
+  // Sum of declared per-type counts (0 when no types are declared).  When
+  // types are declared this must equal the cluster's total GPU count; the
+  // engines and the service validate that at construction.
+  int TotalTypedGpus() const;
 
   // Zone index owning `server`, or -1 when no declared zone covers it.
   int ZoneOf(int server) const;
@@ -83,6 +124,7 @@ class ClusterTopology {
 
  private:
   std::vector<TopologyZone> zones_;  // Sorted by first_server, disjoint.
+  std::vector<GpuTypeSpec> gpu_types_;  // Declaration order; empty = uniform.
   double loss_bound_ = kDefaultLossBound;
 };
 

@@ -51,6 +51,19 @@ BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset) {
   return target * MissRatio(cache, dataset);
 }
 
+BytesPerSec RemoteIoDemand(BytesPerSec ideal, double speed, Bytes cache, Bytes dataset) {
+  return RemoteIoDemand(EffectiveIdeal(ideal, speed), cache, dataset);
+}
+
+BytesPerSec SiloDPerfThroughput(BytesPerSec ideal, double speed, BytesPerSec remote_io,
+                                Bytes cache, Bytes dataset) {
+  return SiloDPerfThroughput(EffectiveIdeal(ideal, speed), remote_io, cache, dataset);
+}
+
+double CacheEfficiency(BytesPerSec ideal, double speed, Bytes dataset) {
+  return CacheEfficiency(EffectiveIdeal(ideal, speed), dataset);
+}
+
 void EstimatorBatch::Clear() {
   ideal_.clear();
   cache_.clear();

@@ -11,6 +11,13 @@
 // All throughputs are bytes of training data per second.  When c >= d the
 // dataset is fully cached and IO throughput is unbounded (the local fabric is
 // modelled separately); SiloDPerf then equals f*.
+//
+// Heterogeneous fleets enter the model through one substitution: a job held
+// on a GPU type with relative speed s computes at an *effective* ideal rate
+// f*·s, and every closed form above holds with f* replaced by f*·s (the
+// cache/IO terms are GPU-agnostic).  The speed-taking overloads below make
+// that substitution explicit; at s = 1 the multiply is an exact no-op
+// (IEEE-754: x * 1.0 == x), so uniform fleets stay bit-identical.
 #ifndef SILOD_SRC_ESTIMATOR_IOPERF_H_
 #define SILOD_SRC_ESTIMATOR_IOPERF_H_
 
@@ -43,6 +50,16 @@ double CacheEfficiencyMBpsPerGB(BytesPerSec ideal, Bytes dataset);
 // `target` (<= ideal) with cache c over dataset d.  Inverse of Eq. 3.
 BytesPerSec RequiredRemoteIo(BytesPerSec target, Bytes cache, Bytes dataset);
 
+// The effective ideal rate of a job with uniform ideal f* held on a GPU type
+// with relative speed `speed` — the f*·s substitution above, in one place.
+inline BytesPerSec EffectiveIdeal(BytesPerSec ideal, double speed) { return ideal * speed; }
+
+// Eq. 2 / Eq. 4 / Eq. 5 at the effective ideal rate f*·s.
+BytesPerSec RemoteIoDemand(BytesPerSec ideal, double speed, Bytes cache, Bytes dataset);
+BytesPerSec SiloDPerfThroughput(BytesPerSec ideal, double speed, BytesPerSec remote_io,
+                                Bytes cache, Bytes dataset);
+double CacheEfficiency(BytesPerSec ideal, double speed, Bytes dataset);
+
 // Batched evaluation of the Eq. 2-4 closed forms over a set of jobs, stored
 // as parallel arrays (ideal rate, cache bytes, dataset size per entry).
 //
@@ -58,6 +75,11 @@ class EstimatorBatch {
   void Reserve(std::size_t n);
   // Appends one job's operating point; returns its index.
   std::size_t Add(BytesPerSec ideal, Bytes cache, Bytes dataset);
+  // Same, at the effective ideal rate f*·s of a job held on a GPU type with
+  // relative speed `speed` (exact no-op at speed 1).
+  std::size_t Add(BytesPerSec ideal, double speed, Bytes cache, Bytes dataset) {
+    return Add(EffectiveIdeal(ideal, speed), cache, dataset);
+  }
 
   std::size_t size() const { return ideal_.size(); }
   bool empty() const { return ideal_.empty(); }

@@ -28,14 +28,18 @@ RunReport MakeRtRunReport(std::string label, const RtResult& result) {
   report.engine = "rt";
   report.jobs = static_cast<int>(result.jobs.size());
   report.unfinished_jobs = result.unfinished_jobs;
-  std::vector<double> jct_minutes;
-  jct_minutes.reserve(result.jobs.size());
+  std::vector<JctSample> samples;
+  samples.reserve(result.jobs.size());
   for (const RtJobResult& j : result.jobs) {
     if (j.completed) {
-      jct_minutes.push_back(j.Runtime() / 60.0);
+      // RT jobs start the moment Run() launches them, so the JCT is all
+      // run-time: queueing delay is zero by construction.
+      JctSample sample;
+      sample.jct_min = j.Runtime() / 60.0;
+      samples.push_back(sample);
     }
   }
-  FillJctSummary(jct_minutes, &report);
+  FillJctSummary(samples, &report.jct);
   report.makespan_min = result.makespan / 60.0;
   report.faults.server_crashes = result.server_crashes;
   report.faults.server_recoveries = result.server_recoveries;

@@ -114,7 +114,8 @@ std::uint64_t DoubleBits(double value) {
 
 bool SameAllocation(const JobAllocation& a, const JobAllocation& b) {
   return a.running == b.running && a.gpus == b.gpus && a.private_cache == b.private_cache &&
-         DoubleBits(a.remote_io) == DoubleBits(b.remote_io);
+         DoubleBits(a.remote_io) == DoubleBits(b.remote_io) && a.gpu_type == b.gpu_type &&
+         DoubleBits(a.speed) == DoubleBits(b.speed);
 }
 
 class Fnv1a {
@@ -163,6 +164,12 @@ std::uint64_t PlanDigest(const AllocationPlan& plan) {
     fnv.Mix(static_cast<std::uint64_t>(alloc.gpus));
     fnv.Mix(static_cast<std::uint64_t>(alloc.private_cache));
     fnv.Mix(DoubleBits(alloc.remote_io));
+    // Mixed only for typed placements: an untyped plan's digest must equal
+    // the digest the pre-heterogeneity code produced for the same plan.
+    if (alloc.gpu_type >= 0) {
+      fnv.Mix(static_cast<std::uint64_t>(alloc.gpu_type));
+      fnv.Mix(DoubleBits(alloc.speed));
+    }
   }
   fnv.Mix(plan.dataset_cache.size());
   for (const auto& [id, bytes] : plan.dataset_cache) {

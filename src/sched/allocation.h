@@ -59,6 +59,12 @@ struct JobAllocation {
   // Remote-IO throttle enforced by the FUSE clients; kUnlimitedRate when the
   // plan does not manage remote IO (provider fair share applies).
   BytesPerSec remote_io = kUnlimitedRate;
+  // GPU-type placement (common/topology.h gpu_types()): the pool index the
+  // gang runs in and the resulting speed multiplier on the job's ideal rate.
+  // -1 / 1.0 on uniform fleets — PlanDigest only mixes these when a type was
+  // assigned, so untyped digests match the pre-heterogeneity ones exactly.
+  int gpu_type = -1;
+  double speed = 1.0;
 };
 
 struct AllocationPlan {

@@ -76,7 +76,8 @@ AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
     const JobId id = view.spec->id;
     auto it = cache_.find(id);
     if (it != cache_.end() && it->second.remaining_bytes == view.remaining_bytes &&
-        it->second.effective_cache == view.effective_cache) {
+        it->second.effective_cache == view.effective_cache &&
+        it->second.score_speed == view.speed) {
       ++jobs_reused_;
       continue;
     }
@@ -84,13 +85,11 @@ AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
     Entry& entry = cache_[id];
     entry.remaining_bytes = view.remaining_bytes;
     entry.effective_cache = view.effective_cache;
-    const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+    entry.score_speed = view.speed;
     entry.score = sjf ? SjfScore(view, snapshot, mode) : 0.0;
-    entry.efficiency = CacheEfficiency(view.spec->ideal_io, dataset.size);
-    entry.demand = RemoteIoDemand(view.spec->ideal_io, view.effective_cache, dataset.size);
-    entry.headroom = RemoteIoDemand(view.spec->ideal_io,
-                                    SurvivingCacheShare(snapshot, view.effective_cache),
-                                    dataset.size);
+    // The storage stages use the plan's assigned GPU-type speed, known only
+    // after admission; the NaN forces RefreshStorageStages below.
+    entry.alloc_speed = std::numeric_limits<double>::quiet_NaN();
   }
   // Drop entries for jobs that left the snapshot (completed/cancelled) so the
   // table does not grow without bound over a long-lived daemon.
@@ -125,6 +124,26 @@ AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
   AllocationPlan plan;
   AdmitByOrder(snapshot, order, &plan);
 
+  // The storage stages are functions of the *plan's* assigned GPU-type speed
+  // (the batch solver reads plan.Get(id).speed after admission), so they are
+  // refreshed here rather than in the pre-admission pass.  On uniform fleets
+  // and for jobs whose placement did not move, the cached values hit.
+  const auto refresh_storage_stages = [&](const JobView& view) -> const Entry& {
+    Entry& entry = cache_[view.spec->id];
+    const double speed = plan.Get(view.spec->id).speed;
+    if (!(entry.alloc_speed == speed)) {  // NaN-safe: stale entries never match.
+      const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
+      entry.alloc_speed = speed;
+      entry.efficiency = CacheEfficiency(view.spec->ideal_io, speed, dataset.size);
+      entry.demand = RemoteIoDemand(view.spec->ideal_io, speed, view.effective_cache,
+                                    dataset.size);
+      entry.headroom = RemoteIoDemand(view.spec->ideal_io, speed,
+                                      SurvivingCacheShare(snapshot, view.effective_cache),
+                                      dataset.size);
+    }
+    return entry;
+  };
+
   // Storage: mirrors SiloDGreedyStorage::AllocateStorage with the per-job
   // scalars read from the cache.  Efficiency accumulates per dataset in
   // snapshot.jobs order — the same slot-accumulation order (and therefore the
@@ -143,7 +162,7 @@ AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
         slot = 0;
         touched.push_back(dataset);
       }
-      slot += cache_[view.spec->id].efficiency;
+      slot += refresh_storage_stages(view).efficiency;
     }
     std::vector<std::pair<DatasetId, double>> ranked;
     ranked.reserve(touched.size());
@@ -179,7 +198,7 @@ AllocationPlan DeltaWaterFill::Solve(const Snapshot& snapshot,
       if (!plan.IsRunning(view.spec->id)) {
         continue;
       }
-      const Entry& entry = cache_[view.spec->id];
+      const Entry& entry = refresh_storage_stages(view);
       ids.push_back(view.spec->id);
       demands.push_back(entry.demand);
       headroom.push_back(entry.headroom);

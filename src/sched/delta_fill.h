@@ -23,6 +23,7 @@
 #define SILOD_SRC_SCHED_DELTA_FILL_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -68,9 +69,14 @@ class DeltaWaterFill {
     // carries exactly these values (spec fields are immutable per JobId).
     Bytes remaining_bytes = 0;
     Bytes effective_cache = 0;
+    double score_speed = 1.0;    // view.speed the score was computed at.
+    // The storage stages depend on the *plan's* assigned GPU-type speed,
+    // which is only known after admission; NaN marks them stale (NaN never
+    // compares equal, so the post-admission pass always recomputes them).
+    double alloc_speed = std::numeric_limits<double>::quiet_NaN();
     // Cached per-job stages.
     double score = 0;            // SjfScore in order_'s mode (0 for FIFO).
-    double efficiency = 0;       // CacheEfficiency(ideal_io, dataset size).
+    double efficiency = 0;       // CacheEfficiency(f*·s, dataset size).
     BytesPerSec demand = 0;      // Eq. 2 at the effective cache.
     BytesPerSec headroom = 0;    // Eq. 2 at the worst-case surviving share.
   };

@@ -15,7 +15,9 @@ namespace {
 
 struct RunningJob {
   const JobView* view = nullptr;
-  BytesPerSec base = 0;  // Normalizer of the fairness ratio.
+  BytesPerSec base = 0;   // Normalizer of the fairness ratio.
+  double speed = 1.0;     // Held GPU type's speed (plan's placement).
+  BytesPerSec ideal = 0;  // Effective ideal rate f*·speed.
 };
 
 // Fractional-knapsack feasibility oracle: can every job sustain target[i]?
@@ -86,15 +88,17 @@ bool TargetsFeasible(const Snapshot& snapshot, const std::vector<RunningJob>& jo
 }
 
 // The normalizer of the fairness ratio for each objective: equal-share
-// throughput for Eq. 8/9 max-min fairness, the exclusive-cluster rate f* for
-// finish-time fairness.
-BytesPerSec FairnessBase(GavelObjective objective, const JobSpec& job,
+// throughput for Eq. 8/9 max-min fairness, the exclusive-cluster rate f*·s
+// for finish-time fairness.  `speed` is the job's held-GPU-type speed, so a
+// job on a slow generation is normalized against what that hardware can do,
+// not against the uniform-fleet f*.
+BytesPerSec FairnessBase(GavelObjective objective, const JobSpec& job, double speed,
                          const DatasetCatalog& catalog, const EqualShareParams& eq) {
   BytesPerSec base = objective == GavelObjective::kFinishTimeFairness
-                         ? job.ideal_io
-                         : EqualShareThroughput(job, catalog, eq);
+                         ? EffectiveIdeal(job.ideal_io, speed)
+                         : EqualShareThroughput(job, speed, catalog, eq);
   if (base <= 0) {
-    base = job.ideal_io * 1e-9;  // Keep the ratio's denominator positive.
+    base = EffectiveIdeal(job.ideal_io, speed) * 1e-9;  // Keep the denominator positive.
   }
   return base;
 }
@@ -105,7 +109,14 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
   std::vector<RunningJob> jobs;
   for (const JobView& view : snapshot.jobs) {
     if (plan.IsRunning(view.spec->id)) {
-      jobs.push_back(RunningJob{&view, 0});
+      RunningJob j;
+      j.view = &view;
+      // The plan's placement is authoritative post-admission: every target
+      // and demand below uses the effective ideal rate of the GPU type the
+      // gang actually landed on (speed 1.0 on uniform fleets).
+      j.speed = plan.Get(view.spec->id).speed;
+      j.ideal = EffectiveIdeal(view.spec->ideal_io, j.speed);
+      jobs.push_back(j);
     }
   }
   if (jobs.empty()) {
@@ -114,13 +125,13 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
   const int n = static_cast<int>(jobs.size());
   const EqualShareParams eq = MakeEqualShareParams(snapshot.resources, n);
   for (RunningJob& j : jobs) {
-    j.base = FairnessBase(objective, *j.view->spec, *snapshot.catalog, eq);
+    j.base = FairnessBase(objective, *j.view->spec, j.speed, *snapshot.catalog, eq);
   }
 
   auto targets_at = [&](double rho) {
     std::vector<BytesPerSec> t(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      t[i] = std::min(rho * jobs[i].base, jobs[i].view->spec->ideal_io);
+      t[i] = std::min(rho * jobs[i].base, jobs[i].ideal);
     }
     return t;
   };
@@ -131,7 +142,7 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
   // Upper bound: the ratio at which every job is compute-bound.
   double hi = 1.0;
   for (const RunningJob& j : jobs) {
-    hi = std::max(hi, j.view->spec->ideal_io / j.base);
+    hi = std::max(hi, j.ideal / j.base);
   }
   double lo = 0.0;
   if (TargetsFeasible(snapshot, jobs, targets_at(hi), &cache, &required)) {
@@ -163,8 +174,8 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
     const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
     auto it = cache.find(d.id);
     const Bytes c = it == cache.end() ? 0 : it->second;
-    const BytesPerSec max_b = std::min(RemoteIoDemand(jobs[i].view->spec->ideal_io, c, d.size),
-                                       snapshot.resources.per_job_remote_cap);
+    const BytesPerSec max_b =
+        std::min(RemoteIoDemand(jobs[i].ideal, c, d.size), snapshot.resources.per_job_remote_cap);
     extra_demand[i] = std::max(0.0, max_b - required[i]);
   }
   const std::vector<BytesPerSec> extra = MaxMinShare(extra_demand, leftover);
@@ -177,8 +188,7 @@ GavelSolution SolveFairness(const Snapshot& snapshot, const AllocationPlan& plan
     const Dataset& d = snapshot.catalog->Get(jobs[i].view->spec->dataset);
     auto it = solution.dataset_cache.find(d.id);
     const Bytes c = it == solution.dataset_cache.end() ? 0 : it->second;
-    solution.target[id] =
-        SiloDPerfThroughput(jobs[i].view->spec->ideal_io, solution.remote_io[id], c, d.size);
+    solution.target[id] = SiloDPerfThroughput(jobs[i].ideal, solution.remote_io[id], c, d.size);
   }
   return solution;
 }
@@ -217,6 +227,13 @@ BytesPerSec EqualShareThroughput(const JobSpec& job, const DatasetCatalog& catal
                                  const EqualShareParams& params) {
   const Dataset& d = catalog.Get(job.dataset);
   return SiloDPerfThroughput(job.ideal_io, params.io_eq, std::min(params.cache_eq, d.size),
+                             d.size);
+}
+
+BytesPerSec EqualShareThroughput(const JobSpec& job, double speed, const DatasetCatalog& catalog,
+                                 const EqualShareParams& params) {
+  const Dataset& d = catalog.Get(job.dataset);
+  return SiloDPerfThroughput(job.ideal_io, speed, params.io_eq, std::min(params.cache_eq, d.size),
                              d.size);
 }
 
@@ -273,11 +290,15 @@ void GavelScheduler::AllocateFairShare(const Snapshot& snapshot, AllocationPlan&
     }
     const Dataset& d = snapshot.catalog->Get(view.spec->dataset);
     ids.push_back(view.spec->id);
-    base.push_back(FairnessBase(objective_, *view.spec, *snapshot.catalog, eq));
+    const double speed = plan.Get(view.spec->id).speed;
+    base.push_back(FairnessBase(objective_, *view.spec, speed, *snapshot.catalog, eq));
     // Zone-aware runs feed the estimator the post-crash surviving share, so
     // the throttles granted now still cover the jobs after a worst-case
-    // single-zone crash (identity when the snapshot has no topology).
-    batch.Add(view.spec->ideal_io, SurvivingCacheShare(snapshot, view.effective_cache), d.size);
+    // single-zone crash (identity when the snapshot has no topology).  The
+    // batch stores the effective ideal f*·s, so every bisection probe and
+    // demand below is heterogeneity-aware with no extra work in the loop.
+    batch.Add(view.spec->ideal_io, speed, SurvivingCacheShare(snapshot, view.effective_cache),
+              d.size);
   }
   // One bisection probe sweeps the whole batch instead of re-deriving each
   // job's operating point from snapshot views; the arithmetic (and summation
@@ -320,7 +341,8 @@ void GavelScheduler::AllocateFairShare(const Snapshot& snapshot, AllocationPlan&
 void GavelScheduler::AllocateGreedyObjective(const Snapshot& snapshot, AllocationPlan& plan) {
   struct Entry {
     const JobView* view = nullptr;
-    double remaining_time = 0;  // remaining / f*.
+    double speed = 1.0;         // Held GPU type's speed (plan's placement).
+    double remaining_time = 0;  // remaining / (f*·speed).
   };
   std::vector<Entry> jobs;
   for (const JobView& view : snapshot.jobs) {
@@ -329,8 +351,9 @@ void GavelScheduler::AllocateGreedyObjective(const Snapshot& snapshot, Allocatio
     }
     Entry e;
     e.view = &view;
-    e.remaining_time =
-        std::max(1.0, static_cast<double>(view.remaining_bytes) / view.spec->ideal_io);
+    e.speed = plan.Get(view.spec->id).speed;
+    e.remaining_time = std::max(1.0, static_cast<double>(view.remaining_bytes) /
+                                         EffectiveIdeal(view.spec->ideal_io, e.speed));
     jobs.push_back(e);
   }
   if (jobs.empty()) {
@@ -344,7 +367,7 @@ void GavelScheduler::AllocateGreedyObjective(const Snapshot& snapshot, Allocatio
   std::map<DatasetId, double> weight;
   for (const Entry& e : jobs) {
     const Dataset& d = snapshot.catalog->Get(e.view->spec->dataset);
-    double w = CacheEfficiency(e.view->spec->ideal_io, d.size);
+    double w = CacheEfficiency(e.view->spec->ideal_io, e.speed, d.size);
     if (objective_ == GavelObjective::kMinTotalJct) {
       w /= e.remaining_time;
     }
@@ -390,7 +413,7 @@ void GavelScheduler::AllocateGreedyObjective(const Snapshot& snapshot, Allocatio
   for (const Entry& e : jobs) {
     const Dataset& d = snapshot.catalog->Get(e.view->spec->dataset);
     const BytesPerSec demand =
-        std::min(RemoteIoDemand(e.view->spec->ideal_io, e.view->effective_cache, d.size),
+        std::min(RemoteIoDemand(e.view->spec->ideal_io, e.speed, e.view->effective_cache, d.size),
                  snapshot.resources.per_job_remote_cap);
     const BytesPerSec grant = std::min(demand, pool);
     plan.jobs[e.view->spec->id].remote_io = grant;

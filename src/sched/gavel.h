@@ -63,6 +63,10 @@ struct EqualShareParams {
 EqualShareParams MakeEqualShareParams(const ClusterResources& resources, int num_sharers);
 BytesPerSec EqualShareThroughput(const JobSpec& job, const DatasetCatalog& catalog,
                                  const EqualShareParams& params);
+// Same, for a job held on a GPU type with relative speed `speed` (its f*
+// becomes f*·speed; exact no-op at 1.0).
+BytesPerSec EqualShareThroughput(const JobSpec& job, double speed, const DatasetCatalog& catalog,
+                                 const EqualShareParams& params);
 
 struct GavelSolution {
   double fairness_ratio = 0;                  // The achieved min ratio rho*.

@@ -28,7 +28,10 @@ std::map<DatasetId, Bytes> GreedyCacheAllocation(const Snapshot& snapshot,
       slot = 0;
       touched.push_back(dataset.id);
     }
-    slot += CacheEfficiency(view.spec->ideal_io, dataset.size);
+    // Storage allocation runs after admission, so the plan's assigned GPU
+    // type is the authoritative speed (Eq. 5 at the effective ideal f*·s);
+    // 1.0 — an exact no-op — on uniform fleets.
+    slot += CacheEfficiency(view.spec->ideal_io, plan.Get(view.spec->id).speed, dataset.size);
   }
 
   std::vector<std::pair<DatasetId, double>> order;
@@ -75,12 +78,13 @@ void AllocateRemoteIo(const Snapshot& snapshot, AllocationPlan* plan) {
     // quota fills across epochs, rescheduling shrinks the throttle toward the
     // steady-state b = f* (1 - c/d).
     ids.push_back(view.spec->id);
-    effective.Add(view.spec->ideal_io, view.effective_cache, dataset.size);
+    const double speed = plan->Get(view.spec->id).speed;
+    effective.Add(view.spec->ideal_io, speed, view.effective_cache, dataset.size);
     // Zone-aware runs also compute the demand at the post-crash surviving
     // share: the extra covers the job between a worst-case single-zone loss
     // and the next control-loop tick.  Identity when there is no topology.
-    surviving.Add(view.spec->ideal_io, SurvivingCacheShare(snapshot, view.effective_cache),
-                  dataset.size);
+    surviving.Add(view.spec->ideal_io, speed,
+                  SurvivingCacheShare(snapshot, view.effective_cache), dataset.size);
   }
   std::vector<BytesPerSec> demands;
   effective.RemoteIoDemands(&demands);

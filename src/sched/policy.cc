@@ -1,13 +1,127 @@
 #include "src/sched/policy.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace silod {
+
+namespace {
+
+// The per-type free-GPU pools for a typed admission pass, or an empty vector
+// on a uniform fleet (single-pool admission).
+const ClusterTopology* TypedTopology(const Snapshot& snapshot) {
+  if (snapshot.topology != nullptr && snapshot.topology->has_gpu_types()) {
+    return snapshot.topology;
+  }
+  return nullptr;
+}
+
+// The fastest type (for this job) with a free gang, or -1.  Ties go to the
+// lowest type index, so placement is deterministic across identical speeds.
+int BestFreeType(const JobSpec& job, const ClusterTopology& topology,
+                 const std::vector<int>& free) {
+  int best = -1;
+  double best_speed = 0;
+  for (int t = 0; t < topology.num_gpu_types(); ++t) {
+    if (free[t] < job.num_gpus) {
+      continue;
+    }
+    const double speed = JobSpeedOnType(job, topology, t);
+    if (best < 0 || speed > best_speed) {
+      best = t;
+      best_speed = speed;
+    }
+  }
+  return best;
+}
+
+void AdmitOnType(const JobSpec& job, const ClusterTopology& topology, int type,
+                 std::vector<int>* free, AllocationPlan* plan) {
+  (*free)[type] -= job.num_gpus;
+  JobAllocation& alloc = plan->jobs[job.id];
+  alloc.running = true;
+  alloc.gpus = job.num_gpus;
+  alloc.gpu_type = type;
+  alloc.speed = JobSpeedOnType(job, topology, type);
+}
+
+}  // namespace
+
+double JobSpeedOnType(const JobSpec& job, const ClusterTopology& topology, int type) {
+  SILOD_CHECK(type >= 0 && type < topology.num_gpu_types()) << "gpu type out of range";
+  const GpuTypeSpec& spec = topology.gpu_types()[type];
+  return spec.speed * job.SpeedFactor(spec.name);
+}
+
+void AnnotateSnapshotSpeeds(Snapshot* snapshot) {
+  SILOD_CHECK(snapshot != nullptr) << "snapshot required";
+  const ClusterTopology* topology = TypedTopology(*snapshot);
+  if (topology == nullptr) {
+    return;
+  }
+  for (JobView& view : snapshot->jobs) {
+    if (view.running) {
+      SILOD_CHECK(view.gpu_type >= 0 && view.gpu_type < topology->num_gpu_types())
+          << "running job " << view.spec->id << " has no held gpu type";
+      view.speed = JobSpeedOnType(*view.spec, *topology, view.gpu_type);
+      continue;
+    }
+    // Waiting jobs plan at the best speed of any type whose pool could hold
+    // their whole gang — an optimistic estimate; the authoritative speed is
+    // assigned at admission from whatever pool actually has room.
+    view.gpu_type = -1;
+    view.speed = 1.0;
+    double best = 0;
+    bool feasible = false;
+    for (int t = 0; t < topology->num_gpu_types(); ++t) {
+      if (topology->gpu_types()[t].count < view.spec->num_gpus) {
+        continue;
+      }
+      best = std::max(best, JobSpeedOnType(*view.spec, *topology, t));
+      feasible = true;
+    }
+    if (feasible) {
+      view.speed = best;
+    }
+  }
+}
 
 void AdmitByOrder(const Snapshot& snapshot, const std::vector<std::size_t>& order,
                   AllocationPlan* plan) {
   SILOD_CHECK(plan != nullptr) << "plan required";
   SILOD_CHECK(order.size() == snapshot.jobs.size()) << "order must cover every job";
+  const ClusterTopology* topology = TypedTopology(snapshot);
+
+  if (topology != nullptr) {
+    std::vector<int> free;
+    for (const GpuTypeSpec& t : topology->gpu_types()) {
+      free.push_back(t.count);
+    }
+    // Running jobs are never preempted and never migrate: their gang stays on
+    // the held type's pool.
+    for (const JobView& view : snapshot.jobs) {
+      if (view.running) {
+        SILOD_CHECK(view.gpu_type >= 0 && view.gpu_type < topology->num_gpu_types())
+            << "running job " << view.spec->id << " has no held gpu type";
+        AdmitOnType(*view.spec, *topology, view.gpu_type, &free, plan);
+        SILOD_CHECK(free[view.gpu_type] >= 0) << "running jobs exceed a gpu-type pool";
+      }
+    }
+    for (std::size_t idx : order) {
+      const JobView& view = snapshot.jobs[idx];
+      if (view.running) {
+        continue;
+      }
+      const int type = BestFreeType(*view.spec, *topology, free);
+      if (type >= 0) {
+        AdmitOnType(*view.spec, *topology, type, &free, plan);
+      }
+      // No pool fits: skipped, later smaller jobs may backfill.
+    }
+    return;
+  }
+
   int free_gpus = snapshot.resources.total_gpus;
 
   // Running jobs are never preempted: account for their GPUs first.
@@ -41,6 +155,31 @@ void AdmitByOrderPreemptive(const Snapshot& snapshot, const std::vector<std::siz
                             AllocationPlan* plan) {
   SILOD_CHECK(plan != nullptr) << "plan required";
   SILOD_CHECK(order.size() == snapshot.jobs.size()) << "order must cover every job";
+  const ClusterTopology* topology = TypedTopology(snapshot);
+
+  if (topology != nullptr) {
+    std::vector<int> free;
+    for (const GpuTypeSpec& t : topology->gpu_types()) {
+      free.push_back(t.count);
+    }
+    for (std::size_t idx : order) {
+      const JobView& view = snapshot.jobs[idx];
+      // A running job admitted again keeps its held type when that pool still
+      // has room (migration costs a restart); anything else takes the best
+      // free pool.
+      int type = -1;
+      if (view.running && view.gpu_type >= 0 && free[view.gpu_type] >= view.spec->num_gpus) {
+        type = view.gpu_type;
+      } else {
+        type = BestFreeType(*view.spec, *topology, free);
+      }
+      if (type >= 0) {
+        AdmitOnType(*view.spec, *topology, type, &free, plan);
+      }
+    }
+    return;
+  }
+
   int free_gpus = snapshot.resources.total_gpus;
   for (std::size_t idx : order) {
     const JobView& view = snapshot.jobs[idx];

@@ -31,6 +31,15 @@ struct JobView {
   // f* (1 - effective/d) instead of the steady-state one — during the first
   // epoch the cache is still filling and demand is higher.
   Bytes effective_cache = 0;
+  // GPU-type index (into topology->gpu_types()) the job currently holds, or
+  // -1 for waiting jobs and uniform fleets.  Running jobs never migrate
+  // between types (same non-preemption contract as GPUs).
+  int gpu_type = -1;
+  // Relative compute speed the scheduler should plan with: the held type's
+  // speed for running jobs, the best feasible type's speed for waiting jobs
+  // (both times the job's per-type factor), 1.0 on uniform fleets.  Policies
+  // use spec->ideal_io * speed as the effective ideal rate everywhere.
+  double speed = 1.0;
 };
 
 struct Snapshot {
@@ -65,10 +74,26 @@ class Scheduler {
   virtual std::string name() const = 0;
 };
 
+// The speed multiplier of `job` held on gpu_types()[type]: the type's speed
+// times the job's per-type factor.
+double JobSpeedOnType(const JobSpec& job, const ClusterTopology& topology, int type);
+
+// Fills each view's `speed` from the snapshot's GPU-type table: running jobs
+// plan at their held type's speed (view.gpu_type must be set by the caller),
+// waiting jobs at the best speed of any type large enough for their gang.
+// No-op when the snapshot carries no GPU types (every speed stays 1.0).
+// Engines call this after building their views; schedulers just consume.
+void AnnotateSnapshotSpeeds(Snapshot* snapshot);
+
 // Gang-admits jobs in the given preference order (indices into
 // snapshot.jobs): running jobs keep their GPUs (no preemption), waiting jobs
 // are admitted while GPUs remain; jobs that do not fit are skipped so later
 // smaller jobs may backfill.  Marks admitted jobs running in `plan`.
+//
+// On a typed fleet (snapshot.topology->has_gpu_types()) GPUs are per-type
+// pools: running jobs stay on their held type, each admitted waiting job
+// takes the fastest type (for it) with a free gang, ties to the lowest type
+// index, and the plan records the placement in alloc.gpu_type / alloc.speed.
 void AdmitByOrder(const Snapshot& snapshot, const std::vector<std::size_t>& order,
                   AllocationPlan* plan);
 

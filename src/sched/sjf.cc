@@ -35,10 +35,14 @@ double ScoreWith(const JobView& view, const Snapshot& snapshot, SjfScoreMode mod
   const JobSpec& job = *view.spec;
   const double work = static_cast<double>(view.remaining_bytes);
   const double gpu_term = w.w_gpu * job.num_gpus;
+  // Heterogeneity enters SJF through the predicted duration: the job computes
+  // at f*·s on its (held or best-feasible) GPU type, so both the duration
+  // factor and the remote-IO footprint use the effective ideal rate.
+  const BytesPerSec ideal = EffectiveIdeal(job.ideal_io, view.speed);
 
   if (mode == SjfScoreMode::kComputeOnly) {
     // Vanilla multi-resource SJF: duration predicted with f* alone.
-    return gpu_term * work / job.ideal_io;
+    return gpu_term * work / ideal;
   }
 
   SILOD_CHECK(snapshot.catalog != nullptr) << "catalog required for SiloD scoring";
@@ -51,9 +55,9 @@ double ScoreWith(const JobView& view, const Snapshot& snapshot, SjfScoreMode mod
   double best = std::numeric_limits<double>::infinity();
   const Bytes c_hi = std::min(dataset.size, w.total_cache);
   for (const Bytes c : {Bytes{0}, c_hi}) {
-    const BytesPerSec b = RemoteIoDemand(job.ideal_io, c, dataset.size);
+    const BytesPerSec b = RemoteIoDemand(ideal, c, dataset.size);
     const double footprint = gpu_term + w.w_cache * static_cast<double>(c) + w.w_io * b;
-    const double score = footprint * work / job.ideal_io;
+    const double score = footprint * work / ideal;
     best = std::min(best, score);
   }
   return best;

@@ -47,7 +47,8 @@ void QuiverStorage::AllocateStorage(const Snapshot& snapshot, AllocationPlan* pl
       continue;
     }
     const Dataset& dataset = snapshot.catalog->Get(view.spec->dataset);
-    true_benefit[dataset.id] += CacheEfficiency(view.spec->ideal_io, dataset.size);
+    true_benefit[dataset.id] +=
+        CacheEfficiency(view.spec->ideal_io, plan->Get(view.spec->id).speed, dataset.size);
   }
   std::vector<QuiverCandidate> candidates;
   for (const auto& [dataset_id, benefit] : true_benefit) {

@@ -98,8 +98,10 @@ Snapshot JobTable::BuildSnapshot(Seconds now, const ClusterResources& resources,
     view.remaining_bytes = job->remaining_bytes;
     view.effective_cache = job->effective_cache;
     view.running = job->running;
+    view.gpu_type = job->gpu_type;
     snapshot.jobs.push_back(view);
   }
+  AnnotateSnapshotSpeeds(&snapshot);
   return snapshot;
 }
 

@@ -46,6 +46,10 @@ struct ServeJob {
   Bytes remaining_bytes = 0;
   Bytes effective_cache = 0;
   bool running = false;  // Held GPUs in the last applied plan.
+  // GPU type held in the last applied plan (-1 when waiting or untyped).
+  // Sticky across plans while running: the non-preemptive serve path never
+  // migrates a running job between types.
+  int gpu_type = -1;
 };
 
 class JobTable {

@@ -214,6 +214,15 @@ Result<std::unique_ptr<ServiceState>> ServiceState::Create(ServiceConfig config)
     }
     service->covered_topology_ =
         service->config_.topology.Cover(service->config_.resources.num_servers);
+  } else if (service->config_.topology.has_gpu_types()) {
+    // gpu-type entries without zones still need to reach the scheduler.
+    service->covered_topology_ = service->config_.topology;
+  }
+  if (service->config_.topology.has_gpu_types() &&
+      service->config_.topology.TotalTypedGpus() != service->config_.resources.total_gpus) {
+    return Status::InvalidArgument(
+        "gpu-type counts sum to " + std::to_string(service->config_.topology.TotalTypedGpus()) +
+        " but the cluster has " + std::to_string(service->config_.resources.total_gpus) + " GPUs");
   }
   Result<std::unique_ptr<IncrementalPlanner>> planner = IncrementalPlanner::Create(
       service->config_.policy, service->config_.scheduler, service->config_.planning);
@@ -272,8 +281,9 @@ Result<std::unique_ptr<ServiceState>> ServiceState::CreateFromJournal(
 }
 
 Snapshot ServiceState::MakeSnapshot() const {
+  const bool have_topology = !covered_topology_.empty() || covered_topology_.has_gpu_types();
   return table_.BuildSnapshot(now_, config_.resources,
-                              covered_topology_.empty() ? nullptr : &covered_topology_);
+                              have_topology ? &covered_topology_ : nullptr);
 }
 
 Status ServiceState::AdvanceClock(const ServeRequest& request) {
@@ -305,6 +315,7 @@ void ServiceState::Replan(bool force) {
       job->first_start_time = now_;
     }
     job->running = running;
+    job->gpu_type = running ? plan.Get(job->spec.id).gpu_type : -1;
   }
 }
 
@@ -419,9 +430,14 @@ ServeResponse ServiceState::Dispatch(const ServeRequest& request) {
     response.fields["json"] = report.ToJson();
     response.fields["jobs"] = std::to_string(report.jobs);
     response.fields["unfinished"] = std::to_string(report.unfinished_jobs);
-    response.fields["avg-jct-min"] = FormatDouble(report.avg_jct_min);
-    response.fields["median-jct-min"] = FormatDouble(report.median_jct_min);
-    response.fields["p90-jct-min"] = FormatDouble(report.p90_jct_min);
+    response.fields["finished"] = std::to_string(report.jct.finished);
+    response.fields["avg-jct-min"] = FormatDouble(report.jct.avg_jct_min);
+    response.fields["p50-jct-min"] = FormatDouble(report.jct.p50_jct_min);
+    response.fields["p90-jct-min"] = FormatDouble(report.jct.p90_jct_min);
+    response.fields["p95-jct-min"] = FormatDouble(report.jct.p95_jct_min);
+    response.fields["p99-jct-min"] = FormatDouble(report.jct.p99_jct_min);
+    response.fields["avg-queue-min"] = FormatDouble(report.jct.avg_queue_min);
+    response.fields["avg-run-min"] = FormatDouble(report.jct.avg_run_min);
     response.fields["makespan-min"] = FormatDouble(report.makespan_min);
   } else if (request.verb == "shutdown") {
     shutdown_ = true;
@@ -459,6 +475,20 @@ ServeResponse ServiceState::Submit(const ServeRequest& request) {
   if (*gpus <= 0 || *ideal_io <= 0 || *total_bytes <= 0 || *dataset_size <= 0) {
     return ServeResponse::FromStatus(Status::InvalidArgument(
         "submit: gpus, ideal-io, total-bytes and dataset-size must be positive"));
+  }
+  if (covered_topology_.has_gpu_types()) {
+    // Gang scheduling never splits a job across type pools, so a gang wider
+    // than every pool could never start — reject it instead of queueing it
+    // forever.
+    int widest = 0;
+    for (const GpuTypeSpec& t : covered_topology_.gpu_types()) {
+      widest = std::max(widest, t.count);
+    }
+    if (*gpus > widest) {
+      return ServeResponse::FromStatus(Status::InvalidArgument(
+          "submit: job needs " + std::to_string(*gpus) + " GPUs but the widest gpu-type pool has " +
+          std::to_string(widest)));
+    }
   }
   if (table_.Find(*key).ok()) {
     return ServeResponse::FromStatus(Status::AlreadyExists("job '" + *key + "' already submitted"));
@@ -500,6 +530,35 @@ ServeResponse ServiceState::Submit(const ServeRequest& request) {
   spec.ideal_io = *ideal_io;
   spec.total_bytes = *total_bytes;
   spec.step_data_size = block_size;
+  if (request.Has("tenant")) {
+    spec.tenant = request.args.at("tenant");
+  }
+  if (request.Has("speeds")) {
+    // Comma-separated `type=factor` pairs scaling the job's throughput on
+    // each GPU type (unlisted types default to 1.0).
+    const std::string& speeds = request.args.at("speeds");
+    std::size_t pos = 0;
+    while (pos < speeds.size()) {
+      std::size_t comma = speeds.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = speeds.size();
+      }
+      const std::string pair = speeds.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return ServeResponse::FromStatus(
+            Status::InvalidArgument("submit: malformed speeds entry '" + pair + "'"));
+      }
+      char* end = nullptr;
+      const double factor = std::strtod(pair.c_str() + eq + 1, &end);
+      if (end == pair.c_str() + eq + 1 || *end != '\0' || !(factor > 0)) {
+        return ServeResponse::FromStatus(
+            Status::InvalidArgument("submit: speeds factor must be positive in '" + pair + "'"));
+      }
+      spec.speed_factors.emplace_back(pair.substr(0, eq), factor);
+    }
+  }
   if (request.Has("step-bytes")) {
     Result<std::int64_t> step = request.GetInt("step-bytes");
     if (!step.ok()) {
@@ -804,6 +863,18 @@ std::uint64_t ServiceState::StateDigest() const {
     MixU64(&h, static_cast<std::uint64_t>(job->remaining_bytes));
     MixU64(&h, static_cast<std::uint64_t>(job->effective_cache));
     MixU64(&h, job->running ? 1 : 0);
+    // Heterogeneity fields mix only when present so untyped/untenanted
+    // digests stay byte-identical to earlier releases.
+    if (job->gpu_type >= 0) {
+      MixU64(&h, static_cast<std::uint64_t>(job->gpu_type) + 1);
+    }
+    if (!job->spec.tenant.empty()) {
+      MixString(&h, job->spec.tenant);
+    }
+    for (const auto& [type_name, factor] : job->spec.speed_factors) {
+      MixString(&h, type_name);
+      MixDouble(&h, factor);
+    }
   }
   return h;
 }
@@ -855,7 +926,28 @@ std::string ServiceState::CheckpointText() const {
            " finish-t=" + FormatDouble(j.finish_time) +
            " remaining=" + std::to_string(j.remaining_bytes) +
            " effective=" + std::to_string(j.effective_cache) +
-           " running=" + (j.running ? "1" : "0") + "\n";
+           " running=" + (j.running ? "1" : "0");
+    // Optional heterogeneity tokens: emitted only when set, so checkpoints
+    // from untyped fleets stay byte-identical to silodd-checkpoint-v1 files
+    // written before GPU types existed (and old daemons' parsers, which
+    // reject unknown keys, only see them when the feature is in use).
+    if (j.gpu_type >= 0) {
+      out += " gpu-type=" + std::to_string(j.gpu_type);
+    }
+    if (!j.spec.tenant.empty()) {
+      out += " tenant=" + EscapeToken(j.spec.tenant);
+    }
+    if (!j.spec.speed_factors.empty()) {
+      out += " speeds=";
+      for (std::size_t i = 0; i < j.spec.speed_factors.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += EscapeToken(j.spec.speed_factors[i].first) + "=" +
+               FormatDouble(j.spec.speed_factors[i].second);
+      }
+    }
+    out += "\n";
   }
   out += "end\n";
   return out;
@@ -1072,6 +1164,32 @@ Status ServiceState::RestoreFromCheckpoint(const std::string& text, RecoveryInfo
     spec.ideal_io = *ideal_io;
     spec.total_bytes = *total_bytes;
     spec.step_data_size = *step_bytes;
+    // Optional heterogeneity tokens (absent in checkpoints from untyped runs).
+    if (args.count("tenant") != 0) {
+      spec.tenant = args.at("tenant");
+    }
+    if (args.count("speeds") != 0) {
+      const std::string& speeds = args.at("speeds");
+      std::size_t pos = 0;
+      while (pos < speeds.size()) {
+        std::size_t comma = speeds.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = speeds.size();
+        }
+        const std::string pair = speeds.substr(pos, comma - pos);
+        pos = comma + 1;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return Status::Internal("journal checkpoint: malformed job.speeds entry '" + pair + "'");
+        }
+        char* end = nullptr;
+        const double factor = std::strtod(pair.c_str() + eq + 1, &end);
+        if (end == pair.c_str() + eq + 1 || *end != '\0' || !(factor > 0)) {
+          return Status::Internal("journal checkpoint: bad job.speeds factor in '" + pair + "'");
+        }
+        spec.speed_factors.emplace_back(pair.substr(0, eq), factor);
+      }
+    }
     Result<ServeJob*> job = table_.Add(*key, std::move(spec), *submit_t);
     if (!job.ok()) {
       return Status::Internal("journal checkpoint: " + job.status().message());
@@ -1088,6 +1206,13 @@ Status ServiceState::RestoreFromCheckpoint(const std::string& text, RecoveryInfo
     (*job)->remaining_bytes = *remaining;
     (*job)->effective_cache = *effective;
     (*job)->running = *running != 0;
+    if (args.count("gpu-type") != 0) {
+      Result<std::int64_t> gpu_type = CkptInt(args, "job", "gpu-type");
+      if (!gpu_type.ok()) {
+        return gpu_type.status();
+      }
+      (*job)->gpu_type = static_cast<int>(*gpu_type);
+    }
   }
 
   // Planner last: re-marking the checkpointed dirty set replaces whatever the
@@ -1146,19 +1271,43 @@ RunReport ServiceState::Report() const {
   report.label = planner_->policy_name();
   report.engine = "serve";
   report.jobs = static_cast<int>(table_.size());
-  std::vector<double> jct_minutes;
+  // Fold the table into JobResults so the summary (and the per-tenant /
+  // per-GPU-type breakdowns) goes through the same grouping as the engines'.
+  std::vector<JobResult> results;
+  results.reserve(table_.size());
   Seconds last_finish = 0;
   for (const auto& job : table_.jobs()) {
     if (job->state != ServeJobState::kCompleted) {
       ++report.unfinished_jobs;
       continue;
     }
-    jct_minutes.push_back((job->finish_time - job->submit_time) / 60.0);
+    JobResult r;
+    r.id = job->spec.id;
+    r.submit_time = job->submit_time;
+    r.first_start_time = job->first_start_time;
+    r.finish_time = job->finish_time;
+    r.tenant = job->spec.tenant;
+    if (job->gpu_type >= 0 && job->gpu_type < covered_topology_.num_gpu_types()) {
+      r.gpu_type = covered_topology_.gpu_types()[static_cast<std::size_t>(job->gpu_type)].name;
+    }
+    results.push_back(std::move(r));
     if (job->finish_time > last_finish) {
       last_finish = job->finish_time;
     }
   }
-  FillJctSummary(jct_minutes, &report);
+  std::vector<JctSample> samples;
+  samples.reserve(results.size());
+  for (const JobResult& r : results) {
+    JctSample s;
+    s.jct_min = r.Jct() / 60.0;
+    s.queue_min = r.QueueDelay() / 60.0;
+    samples.push_back(s);
+  }
+  FillJctSummary(samples, &report.jct);
+  report.tenants = GroupJctSummaries(
+      results, +[](const JobResult& j) -> const std::string& { return j.tenant; });
+  report.gpu_types = GroupJctSummaries(
+      results, +[](const JobResult& j) -> const std::string& { return j.gpu_type; });
   report.makespan_min = last_finish / 60.0;
   report.AddExtra("policy", planner_->policy_name());
   report.AddExtra("full_solves", static_cast<double>(planner_->full_solves()));

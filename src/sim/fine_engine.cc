@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/recovery.h"
+#include "src/estimator/ioperf.h"
 #include "src/sched/gavel.h"
 #include "src/storage/remote_store.h"
 
@@ -53,6 +54,21 @@ FineEngine::FineEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
         std::max<std::int64_t>(1, (spec.total_bytes + d.block_size / 2) / d.block_size);
     s.rng = Rng(config_.seed ^ (0x9E37ULL * static_cast<std::uint64_t>(spec.id) + 1));
     metrics_.OnSubmit(spec);
+  }
+  if (config_.topology.has_gpu_types()) {
+    SILOD_CHECK(config_.topology.TotalTypedGpus() == config_.resources.total_gpus)
+        << "gpu-type counts sum to " << config_.topology.TotalTypedGpus() << " but the cluster has "
+        << config_.resources.total_gpus << " GPUs";
+    int widest = 0;
+    for (const GpuTypeSpec& t : config_.topology.gpu_types()) {
+      widest = std::max(widest, t.count);
+    }
+    // Gangs never span types: a job wider than every pool would wait forever.
+    for (const JobSpec& spec : trace_->jobs) {
+      SILOD_CHECK(spec.num_gpus <= widest)
+          << "job " << spec.id << " needs " << spec.num_gpus
+          << " GPUs but the widest gpu-type pool has " << widest;
+    }
   }
   calendar_.Reset(jobs_.size());
 }
@@ -107,7 +123,7 @@ Snapshot FineEngine::BuildSnapshot(Seconds now) {
   snap.now = now;
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
-  if (!config_.topology.empty()) {
+  if (!config_.topology.empty() || config_.topology.has_gpu_types()) {
     snap.topology = &config_.topology;
   }
   snap.jobs.reserve(active_.size());
@@ -119,8 +135,10 @@ Snapshot FineEngine::BuildSnapshot(Seconds now) {
     view.remaining_bytes = (s.blocks_total - s.blocks_fetched) * block;
     view.running = s.running;
     view.effective_cache = EffectiveBytesFor(s);
+    view.gpu_type = s.gpu_type;
     snap.jobs.push_back(view);
   }
+  AnnotateSnapshotSpeeds(&snap);
   return snap;
 }
 
@@ -239,6 +257,11 @@ void FineEngine::Reschedule(Seconds now) {
         << " was suspended); use the flow engine for SRTF";
     if (alloc.running && !s.running) {
       s.running = true;
+      s.gpu_type = alloc.gpu_type;
+      s.speed = alloc.speed;
+      if (s.gpu_type >= 0) {
+        metrics_.OnAssign(s.spec->id, config_.topology.gpu_types()[static_cast<std::size_t>(s.gpu_type)].name);
+      }
       metrics_.OnStart(s.spec->id, now);
       const Dataset& d = trace_->catalog.Get(s.spec->dataset);
       if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
@@ -325,7 +348,8 @@ void FineEngine::StartNextFetch(JobState& s, Seconds now) {
     return;
   }
   const Dataset& d = trace_->catalog.Get(s.spec->dataset);
-  const double block_compute = static_cast<double>(d.block_size) / s.spec->ideal_io;
+  const double block_compute =
+      static_cast<double>(d.block_size) / EffectiveIdeal(s.spec->ideal_io, s.speed);
 
   // Prefetch gating: the staged-but-unconsumed buffer may hold at most
   // `prefetch_window` blocks worth of compute.  The microsecond of slack
@@ -362,7 +386,8 @@ void FineEngine::OnFetchComplete(JobState& s, Seconds now) {
     CacheAdmit(s, s.current_block);
     LeaveMissSet(s);
   }
-  s.compute_finish = std::max(s.compute_finish, now) + static_cast<double>(bytes) / s.spec->ideal_io;
+  s.compute_finish = std::max(s.compute_finish, now) +
+                     static_cast<double>(bytes) / EffectiveIdeal(s.spec->ideal_io, s.speed);
   ++s.blocks_fetched;
   ++s.epoch_fetched;
   s.current_block = -1;
@@ -434,14 +459,15 @@ void FineEngine::RecordMetrics(Seconds now) {
     if (!s.running || s.finished) {
       continue;
     }
-    // Instantaneous consumption: f* while the compute pipeline has data.
-    const BytesPerSec rate = s.compute_finish > now + kTimeEps ? s.spec->ideal_io : 0;
+    // Instantaneous consumption: f*·s while the compute pipeline has data.
+    const BytesPerSec job_ideal = EffectiveIdeal(s.spec->ideal_io, s.speed);
+    const BytesPerSec rate = s.compute_finish > now + kTimeEps ? job_ideal : 0;
     total += rate;
-    ideal += s.spec->ideal_io;
+    ideal += job_ideal;
     if (s.phase == Phase::kMissFetch) {
       io += s.flow_rate;
     }
-    const BytesPerSec eq = EqualShareThroughput(*s.spec, trace_->catalog, eq_params);
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, s.speed, trace_->catalog, eq_params);
     if (eq > 0) {
       fairness = std::min(fairness, rate / eq);
     }
@@ -642,8 +668,11 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       lost = std::min(lost, s.blocks_fetched);
       if (lost > 0 || config_.restart_cost.policy != RestartCostPolicy::kCheckpointEverything) {
         const Dataset& d = trace_->catalog.Get(s.spec->dataset);
-        const double lost_compute = std::min(
-            staged, static_cast<double>(lost) * static_cast<double>(d.block_size) / s.spec->ideal_io);
+        // Lost compute-time at the crashed worker's actual rate (its held
+        // GPU type), before the placement is released below.
+        const double lost_compute =
+            std::min(staged, static_cast<double>(lost) * static_cast<double>(d.block_size) /
+                                 EffectiveIdeal(s.spec->ideal_io, s.speed));
         s.blocks_fetched -= lost;
         fault_stats_.blocks_refetched += lost;
         fault_stats_.compute_lost += lost_compute;
@@ -660,6 +689,8 @@ void FineEngine::ApplyFault(const FaultEvent& event, Seconds now) {
       s.fetch_remaining = 0;
       s.running = false;
       s.crashed = true;
+      s.gpu_type = -1;
+      s.speed = 1.0;
       DeactivateJob(s.spec->id);
       SetJobEvent(s, kInfiniteTime);
       if (plan_.cache_model == CacheModelKind::kDatasetQuota) {

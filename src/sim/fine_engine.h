@@ -105,6 +105,12 @@ class FineEngine {
     Seconds event_time = kInfiniteTime;
     std::int32_t miss_index = -1;     // Position in miss_jobs_; -1 if absent.
 
+    // GPU-type placement from the plan (-1 / 1.0 on uniform fleets): compute
+    // drains the prefetch buffer at spec->ideal_io * speed while the job
+    // holds this type's GPUs.
+    int gpu_type = -1;
+    double speed = 1.0;
+
     std::unique_ptr<UniformItemCache> private_cache;  // CoorDL model.
     Rng rng{1};
   };

@@ -62,6 +62,21 @@ FlowEngine::FlowEngine(const Trace* trace, std::shared_ptr<Scheduler> scheduler,
       zone_alive_.push_back(zone.size());
     }
   }
+  if (config_.topology.has_gpu_types()) {
+    SILOD_CHECK(config_.topology.TotalTypedGpus() == config_.resources.total_gpus)
+        << "gpu-type counts sum to " << config_.topology.TotalTypedGpus() << " but the cluster has "
+        << config_.resources.total_gpus << " GPUs";
+    int widest = 0;
+    for (const GpuTypeSpec& t : config_.topology.gpu_types()) {
+      widest = std::max(widest, t.count);
+    }
+    // Gangs never span types: a job wider than every pool would wait forever.
+    for (const JobSpec& spec : trace_->jobs) {
+      SILOD_CHECK(spec.num_gpus <= widest)
+          << "job " << spec.id << " needs " << spec.num_gpus
+          << " GPUs but the widest gpu-type pool has " << widest;
+    }
+  }
 }
 
 double FlowEngine::ZoneAliveFraction(int zone) const {
@@ -74,7 +89,7 @@ Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
   snap.now = now;
   snap.resources = config_.resources;
   snap.catalog = &trace_->catalog;
-  if (!config_.topology.empty()) {
+  if (!config_.topology.empty() || config_.topology.has_gpu_types()) {
     snap.topology = &config_.topology;
   }
   for (const JobState& s : jobs_) {
@@ -86,8 +101,10 @@ Snapshot FlowEngine::BuildSnapshot(Seconds now) const {
     view.remaining_bytes = static_cast<Bytes>(std::max(0.0, s.remaining));
     view.running = s.running;
     view.effective_cache = static_cast<Bytes>(s.effective);
+    view.gpu_type = s.gpu_type;
     snap.jobs.push_back(view);
   }
+  AnnotateSnapshotSpeeds(&snap);
   return snap;
 }
 
@@ -164,10 +181,27 @@ void FlowEngine::Reschedule(Seconds now) {
       s.running = false;
       s.rate = 0;
       s.io_rate = 0;
+      s.gpu_type = -1;
+      s.speed = 1.0;
       continue;
+    }
+    if (alloc.running && s.running && alloc.gpu_type != s.gpu_type) {
+      // Migration across GPU types (preemptive plans only): checkpoint on the
+      // old type, restore on the new one — same cost as a suspend/resume pair.
+      s.gpu_type = alloc.gpu_type;
+      s.speed = alloc.speed;
+      if (s.gpu_type >= 0) {
+        metrics_.OnAssign(s.spec->id, config_.topology.gpu_types()[static_cast<std::size_t>(s.gpu_type)].name);
+      }
+      s.remaining += config_.preempt_resume_penalty * EffectiveIdeal(s.spec->ideal_io, s.speed);
     }
     if (alloc.running && !s.running) {
       s.running = true;
+      s.gpu_type = alloc.gpu_type;
+      s.speed = alloc.speed;
+      if (s.gpu_type >= 0) {
+        metrics_.OnAssign(s.spec->id, config_.topology.gpu_types()[static_cast<std::size_t>(s.gpu_type)].name);
+      }
       metrics_.OnStart(s.spec->id, now);
       const Dataset& d = trace_->catalog.Get(s.spec->dataset);
       if (!s.started) {
@@ -189,7 +223,7 @@ void FlowEngine::Reschedule(Seconds now) {
       } else {
         // Resume after preemption: checkpoint restore and pipeline refill
         // cost work-time, charged as extra bytes at the job's ideal rate.
-        s.remaining += config_.preempt_resume_penalty * s.spec->ideal_io;
+        s.remaining += config_.preempt_resume_penalty * EffectiveIdeal(s.spec->ideal_io, s.speed);
       }
     }
     if (plan_.cache_model == CacheModelKind::kPerJobStatic && s.running) {
@@ -380,9 +414,11 @@ void FlowEngine::ComputeRates(Seconds now) {
     // degenerates to the same scan dynamics under exactly-once epochs, so the
     // two policies share the fluid model.
     std::vector<BytesPerSec> rates(n);
+    std::vector<BytesPerSec> ideals(n);
     std::vector<Bytes> sizes(n);
     for (std::size_t i = 0; i < n; ++i) {
-      rates[i] = running[i]->spec->ideal_io;
+      ideals[i] = EffectiveIdeal(running[i]->spec->ideal_io, running[i]->speed);
+      rates[i] = ideals[i];
       sizes[i] = trace_->catalog.Get(running[i]->spec->dataset).size;
     }
     std::vector<BytesPerSec> granted(n, 0);
@@ -393,15 +429,13 @@ void FlowEngine::ComputeRates(Seconds now) {
       for (std::size_t i = 0; i < n; ++i) {
         const double h = running[i]->warm ? lru.hit_ratio[i] : 0.0;
         miss[i] = 1.0 - h;
-        demand[i] = running[i]->spec->ideal_io * miss[i];
+        demand[i] = ideals[i] * miss[i];
       }
       granted = MaxMinShare(demand,
                             std::vector<BytesPerSec>(n, config_.resources.per_job_remote_cap),
                             config_.resources.remote_io);
       for (std::size_t i = 0; i < n; ++i) {
-        rates[i] = miss[i] > kEps
-                       ? std::min(running[i]->spec->ideal_io, granted[i] / miss[i])
-                       : running[i]->spec->ideal_io;
+        rates[i] = miss[i] > kEps ? std::min(ideals[i], granted[i] / miss[i]) : ideals[i];
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -425,7 +459,7 @@ void FlowEngine::ComputeRates(Seconds now) {
     const double hit =
         std::min(1.0, std::max(0.0, s.effective / static_cast<double>(d.size)));
     miss[i] = 1.0 - hit;
-    demand[i] = s.spec->ideal_io * miss[i];
+    demand[i] = EffectiveIdeal(s.spec->ideal_io, s.speed) * miss[i];
     if (plan_.manages_remote_io) {
       caps[i] = std::min(caps[i], plan_.Get(s.spec->id).remote_io);
     }
@@ -435,9 +469,9 @@ void FlowEngine::ComputeRates(Seconds now) {
 
   for (std::size_t i = 0; i < n; ++i) {
     JobState& s = *running[i];
+    const BytesPerSec ideal = EffectiveIdeal(s.spec->ideal_io, s.speed);
     s.io_rate = granted[i];
-    s.rate = miss[i] > kEps ? std::min(s.spec->ideal_io, granted[i] / miss[i])
-                            : s.spec->ideal_io;
+    s.rate = miss[i] > kEps ? std::min(ideal, granted[i] / miss[i]) : ideal;
 
     // Cache fill: missed fetches are admitted until the quota is reached.
     if (plan_.cache_model == CacheModelKind::kDatasetQuota) {
@@ -658,12 +692,16 @@ void FlowEngine::ApplyFault(const FaultEvent& event, Seconds now) {
         s.remaining += lost_bytes;
         s.epoch_pos = std::max(0.0, s.epoch_pos - lost_bytes);
         fault_stats_.bytes_refetched += lost_bytes;
-        fault_stats_.compute_lost += lost_bytes / s.spec->ideal_io;
+        // Lost compute-time at the rate the crashed worker actually ran at
+        // (its held GPU type), before the placement is released below.
+        fault_stats_.compute_lost += lost_bytes / EffectiveIdeal(s.spec->ideal_io, s.speed);
       }
       s.running = false;
       s.rate = 0;
       s.io_rate = 0;
       s.crashed = true;
+      s.gpu_type = -1;
+      s.speed = 1.0;
       if (plan_.cache_model == CacheModelKind::kPerJobStatic) {
         // CoorDL's private cache lives on the crashed worker.
         s.private_cached = 0;
@@ -718,9 +756,9 @@ void FlowEngine::RecordMetrics(Seconds now) {
       continue;
     }
     total += s.rate;
-    ideal += s.spec->ideal_io;
+    ideal += EffectiveIdeal(s.spec->ideal_io, s.speed);
     io += s.io_rate;
-    const BytesPerSec eq = EqualShareThroughput(*s.spec, trace_->catalog, eq_params);
+    const BytesPerSec eq = EqualShareThroughput(*s.spec, s.speed, trace_->catalog, eq_params);
     if (eq > 0) {
       fairness = std::min(fairness, s.rate / eq);
     }

@@ -51,6 +51,10 @@ class FlowEngine {
     bool warm = false;           // Completed at least one epoch.
     BytesPerSec rate = 0;        // Current end-to-end throughput.
     BytesPerSec io_rate = 0;     // Current egress consumption.
+    // GPU-type placement from the plan (-1 / 1.0 on uniform fleets): the job
+    // computes at spec->ideal_io * speed while holding this type's GPUs.
+    int gpu_type = -1;
+    double speed = 1.0;
   };
   struct DatasetState {
     Bytes quota = 0;

@@ -1,6 +1,8 @@
 #include "src/sim/metrics.h"
 
+#include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "src/common/logging.h"
 
@@ -131,19 +133,63 @@ void RunReport::AddExtra(const std::string& key, bool value) {
   extra.emplace_back(key, value ? "true" : "false");
 }
 
+std::string JctSummary::ToJson(int indent) const {
+  const std::string margin(static_cast<std::size_t>(indent), ' ');
+  // NaN (finished == 0) serializes as null: an empty summary reports "no
+  // samples", never zero minutes.
+  const auto stat = [](double value) {
+    return std::isnan(value) ? std::string("null") : JsonNumber(value);
+  };
+  std::string json = "{\n";
+  const auto field = [&](const char* key, const std::string& value, bool last = false) {
+    json += margin + "  \"" + key + "\": " + value + (last ? "\n" : ",\n");
+  };
+  field("finished", std::to_string(finished));
+  field("avg_jct_min", stat(avg_jct_min));
+  field("p50_jct_min", stat(p50_jct_min));
+  field("p90_jct_min", stat(p90_jct_min));
+  field("p95_jct_min", stat(p95_jct_min));
+  field("p99_jct_min", stat(p99_jct_min));
+  field("avg_queue_min", stat(avg_queue_min));
+  field("avg_run_min", stat(avg_run_min), /*last=*/true);
+  json += margin + "}";
+  return json;
+}
+
+namespace {
+
+std::string TenantSummariesToJson(const std::vector<TenantSummary>& groups,
+                                  const std::string& margin) {
+  std::string json = "{\n";
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    json += margin + "  " + JsonString(groups[i].name) + ": " +
+            groups[i].jct.ToJson(static_cast<int>(margin.size()) + 2) +
+            (i + 1 == groups.size() ? "\n" : ",\n");
+  }
+  json += margin + "}";
+  return json;
+}
+
+}  // namespace
+
 std::string RunReport::ToJson(int indent) const {
   const std::string margin(static_cast<std::size_t>(indent), ' ');
   std::string json = margin + "{\n";
   const auto field = [&](const char* key, const std::string& value, bool last = false) {
     json += margin + "  \"" + key + "\": " + value + (last ? "\n" : ",\n");
   };
+  field("report_version", "2");
   field("label", JsonString(label));
   field("engine", JsonString(engine));
   field("jobs", std::to_string(jobs));
   field("unfinished_jobs", std::to_string(unfinished_jobs));
-  field("avg_jct_min", JsonNumber(avg_jct_min));
-  field("median_jct_min", JsonNumber(median_jct_min));
-  field("p90_jct_min", JsonNumber(p90_jct_min));
+  field("jct", jct.ToJson(indent + 2));
+  if (!tenants.empty()) {
+    field("tenants", TenantSummariesToJson(tenants, margin + "  "));
+  }
+  if (!gpu_types.empty()) {
+    field("gpu_types", TenantSummariesToJson(gpu_types, margin + "  "));
+  }
   field("makespan_min", JsonNumber(makespan_min));
   field("avg_fairness", JsonNumber(avg_fairness));
   field("faults", FaultsToJson(faults, margin + "  "), extra.empty());
@@ -154,18 +200,66 @@ std::string RunReport::ToJson(int indent) const {
   return json;
 }
 
-void FillJctSummary(const std::vector<double>& jct_minutes, RunReport* report) {
-  SILOD_CHECK(report != nullptr) << "report required";
+void FillJctSummary(const std::vector<JctSample>& samples, JctSummary* summary) {
+  SILOD_CHECK(summary != nullptr) << "summary required";
+  summary->finished = static_cast<int>(samples.size());
+  if (samples.empty()) {
+    return;  // NaN defaults stand: the summary says finished=0, stats null.
+  }
   SampleSet jct;
   double sum = 0;
-  for (const double minutes : jct_minutes) {
-    jct.Add(minutes);
-    sum += minutes;
+  double queue_sum = 0;
+  for (const JctSample& s : samples) {
+    jct.Add(s.jct_min);
+    sum += s.jct_min;
+    queue_sum += s.queue_min;
   }
-  const std::size_t finished = jct_minutes.size();
-  report->avg_jct_min = finished > 0 ? sum / static_cast<double>(finished) : 0;
-  report->median_jct_min = finished > 0 ? jct.Median() : 0;
-  report->p90_jct_min = finished > 0 ? jct.Percentile(90) : 0;
+  const double n = static_cast<double>(samples.size());
+  summary->avg_jct_min = sum / n;
+  summary->p50_jct_min = jct.Percentile(50);
+  summary->p90_jct_min = jct.Percentile(90);
+  summary->p95_jct_min = jct.Percentile(95);
+  summary->p99_jct_min = jct.Percentile(99);
+  summary->avg_queue_min = queue_sum / n;
+  summary->avg_run_min = summary->avg_jct_min - summary->avg_queue_min;
+}
+
+namespace {
+
+JctSample SampleOf(const JobResult& j) {
+  JctSample s;
+  s.jct_min = j.Jct() / 60.0;
+  s.queue_min = j.QueueDelay() / 60.0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<TenantSummary> GroupJctSummaries(
+    const std::vector<JobResult>& jobs,
+    const std::string& (*key)(const JobResult&)) {
+  std::map<std::string, std::vector<JctSample>> buckets;
+  bool any_named = false;
+  for (const JobResult& j : jobs) {
+    if (j.finish_time < 0) {
+      continue;
+    }
+    const std::string& k = key(j);
+    any_named = any_named || !k.empty();
+    buckets[k.empty() ? "-" : k].push_back(SampleOf(j));
+  }
+  std::vector<TenantSummary> groups;
+  if (!any_named) {
+    return groups;  // Homogeneous population: omit the breakdown.
+  }
+  groups.reserve(buckets.size());
+  for (const auto& [name, samples] : buckets) {
+    TenantSummary group;
+    group.name = name;
+    FillJctSummary(samples, &group.jct);
+    groups.push_back(std::move(group));
+  }
+  return groups;
 }
 
 RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result) {
@@ -173,16 +267,20 @@ RunReport MakeRunReport(std::string label, std::string engine, const SimResult& 
   report.label = std::move(label);
   report.engine = std::move(engine);
   report.jobs = static_cast<int>(result.jobs.size());
-  std::vector<double> jct_minutes;
-  jct_minutes.reserve(result.jobs.size());
+  std::vector<JctSample> samples;
+  samples.reserve(result.jobs.size());
   for (const JobResult& j : result.jobs) {
     if (j.finish_time < 0) {
       ++report.unfinished_jobs;
       continue;
     }
-    jct_minutes.push_back(j.Jct() / 60.0);
+    samples.push_back(SampleOf(j));
   }
-  FillJctSummary(jct_minutes, &report);
+  FillJctSummary(samples, &report.jct);
+  report.tenants = GroupJctSummaries(
+      result.jobs, +[](const JobResult& j) -> const std::string& { return j.tenant; });
+  report.gpu_types = GroupJctSummaries(
+      result.jobs, +[](const JobResult& j) -> const std::string& { return j.gpu_type; });
   report.makespan_min = result.MakespanMinutes();
   report.avg_fairness = result.AvgFairness();
   report.faults = result.faults;
@@ -212,6 +310,7 @@ void MetricsCollector::OnSubmit(const JobSpec& job) {
   JobResult& r = jobs_[static_cast<std::size_t>(job.id)];
   r.id = job.id;
   r.submit_time = job.submit_time;
+  r.tenant = job.tenant;
 }
 
 void MetricsCollector::OnStart(JobId job, Seconds t) {
@@ -220,6 +319,11 @@ void MetricsCollector::OnStart(JobId job, Seconds t) {
   if (r.first_start_time < 0) {
     r.first_start_time = t;
   }
+}
+
+void MetricsCollector::OnAssign(JobId job, const std::string& gpu_type_name) {
+  SILOD_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size()) << "unknown job " << job;
+  jobs_[static_cast<std::size_t>(job)].gpu_type = gpu_type_name;
 }
 
 void MetricsCollector::OnFinish(JobId job, Seconds t) {

@@ -8,6 +8,7 @@
 #ifndef SILOD_SRC_SIM_METRICS_H_
 #define SILOD_SRC_SIM_METRICS_H_
 
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,8 +25,15 @@ struct JobResult {
   Seconds submit_time = 0;
   Seconds first_start_time = -1;
   Seconds finish_time = -1;
+  std::string tenant;    // From the spec; empty when the trace is untenanted.
+  std::string gpu_type;  // Last GPU type held; empty on uniform fleets.
 
   Seconds Jct() const { return finish_time - submit_time; }
+  // Queueing delay: submit to first GPU grant.  A job that finished without
+  // ever starting (cancellation) spent its whole JCT waiting.
+  Seconds QueueDelay() const {
+    return first_start_time >= 0 ? first_start_time - submit_time : Jct();
+  }
 };
 
 // Per-phase event counters from the fine engine's stepping loop.  These make
@@ -66,19 +74,56 @@ struct SimResult {
   double AvgFairness() const;
 };
 
+// One finished job's contribution to a JctSummary: total JCT and its
+// queueing-delay component, both in minutes.
+struct JctSample {
+  double jct_min = 0;
+  double queue_min = 0;
+};
+
+// The structured JCT summary (report_version 2): distribution percentiles by
+// linear interpolation (SampleSet::Percentile, so p50 equals the old median
+// bit-for-bit) plus the queueing-delay vs run-time split of the average.
+// When finished == 0 every statistic stays NaN and serializes as JSON null —
+// an empty run is reported as "no samples", never as zero minutes.
+struct JctSummary {
+  int finished = 0;
+  double avg_jct_min = std::numeric_limits<double>::quiet_NaN();
+  double p50_jct_min = std::numeric_limits<double>::quiet_NaN();
+  double p90_jct_min = std::numeric_limits<double>::quiet_NaN();
+  double p95_jct_min = std::numeric_limits<double>::quiet_NaN();
+  double p99_jct_min = std::numeric_limits<double>::quiet_NaN();
+  double avg_queue_min = std::numeric_limits<double>::quiet_NaN();
+  double avg_run_min = std::numeric_limits<double>::quiet_NaN();
+
+  // A JSON object; `indent` spaces of left margin on every line.  NaN fields
+  // (finished == 0) render as null.
+  std::string ToJson(int indent = 0) const;
+};
+
+// A named sub-population's summary (one tenant, or one GPU type).
+struct TenantSummary {
+  std::string name;
+  JctSummary jct;
+};
+
 // One run's report: the shared summary every front end serializes the same
 // way.  silod_sim and the bench harnesses build one from a SimResult with
-// MakeRunReport; RtCluster runs go through rt/rt_cluster.h's MakeRtRunReport.
-// This replaces the per-tool snprintf JSON emitters: one schema, one
-// serializer.
+// MakeRunReport; RtCluster runs go through rt/rt_cluster.h's MakeRtRunReport;
+// silodd builds one in ServiceState::Report.  This replaces the per-tool
+// snprintf JSON emitters: one schema, one serializer.
 struct RunReport {
   std::string label;   // Registry policy name or a free-form cell label.
-  std::string engine;  // "flow" | "fine" | "rt".
+  std::string engine;  // "flow" | "fine" | "rt" | "serve".
   int jobs = 0;
   int unfinished_jobs = 0;  // Jobs with no finish time when the run ended.
-  double avg_jct_min = 0;
-  double median_jct_min = 0;
-  double p90_jct_min = 0;
+  JctSummary jct;
+  // Sub-summaries, sorted by name; empty (and omitted from the JSON) when
+  // the run has no tenants / no GPU types.  Each finished job lands in
+  // exactly one group of each non-empty breakdown, so the groups' `finished`
+  // counts sum to jct.finished.
+  std::vector<TenantSummary> tenants;
+  std::vector<TenantSummary> gpu_types;
   double makespan_min = 0;
   double avg_fairness = 0;
   FaultStats faults;
@@ -90,17 +135,26 @@ struct RunReport {
   void AddExtra(const std::string& key, const std::string& value);
   void AddExtra(const std::string& key, bool value);
 
-  // A JSON object; `indent` spaces of left margin on every line.
+  // A JSON object with "report_version": 2 leading; `indent` spaces of left
+  // margin on every line.
   std::string ToJson(int indent = 0) const;
 };
 
 RunReport MakeRunReport(std::string label, std::string engine, const SimResult& result);
 
-// Fills the report's JCT summary (avg/median/p90, minutes) from the finished
-// jobs' JCTs in minutes.  The one assembly both report builders share —
-// MakeRunReport here and rt/rt_cluster.h's MakeRtRunReport — so the summary
-// statistics cannot drift between the simulated and real-thread front ends.
-void FillJctSummary(const std::vector<double>& jct_minutes, RunReport* report);
+// Fills a JCT summary from finished jobs' samples.  The one assembly every
+// report builder shares — MakeRunReport here, rt/rt_cluster.h's
+// MakeRtRunReport, and silodd's Report — so the summary statistics cannot
+// drift between front ends.  Leaves the summary's NaN defaults in place when
+// `samples` is empty.
+void FillJctSummary(const std::vector<JctSample>& samples, JctSummary* summary);
+
+// Groups finished jobs by key (empty keys fold into "-") and fills one
+// summary per distinct key, sorted by name.  Returns an empty vector — the
+// "omit the breakdown" signal — when every key is empty.
+std::vector<TenantSummary> GroupJctSummaries(
+    const std::vector<JobResult>& jobs,
+    const std::string& (*key)(const JobResult&));
 
 // One benchmark document: {"benchmark": <name>, <header k:v>, "runs": [...]}.
 // Header values are pre-rendered JSON, like RunReport::extra.
@@ -119,6 +173,10 @@ class MetricsCollector {
  public:
   void OnSubmit(const JobSpec& job);
   void OnStart(JobId job, Seconds t);
+  // Records the GPU type a plan placed the job on (per-type breakdown in the
+  // run report).  Engines call this on typed fleets only; the last held type
+  // wins when a preemptive plan migrates the job.
+  void OnAssign(JobId job, const std::string& gpu_type_name);
   void OnFinish(JobId job, Seconds t);
 
   // Rate snapshot valid from time t until the next call.

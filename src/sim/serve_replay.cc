@@ -1,6 +1,7 @@
 #include "src/sim/serve_replay.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/common/logging.h"
@@ -9,6 +10,10 @@
 
 namespace silod {
 namespace {
+
+// Bit-for-bit equality for summary statistics, except that the NaN stats of
+// two empty summaries (finished == 0) also count as identical.
+bool BitEqual(double a, double b) { return a == b || (std::isnan(a) && std::isnan(b)); }
 
 // %.17g round-trips a double exactly through strtod, so virtual timestamps
 // survive the text protocol bit-for-bit — the whole cross-check rests on it.
@@ -63,6 +68,16 @@ ServeRequest SubmitRequestFor(const Trace& trace, std::size_t job, Seconds t, st
   request.args["dataset-size"] = FormatBytes(dataset.size);
   request.args["block-size"] = FormatBytes(dataset.block_size);
   request.args["model"] = spec.model;
+  if (!spec.tenant.empty()) {
+    request.args["tenant"] = spec.tenant;
+  }
+  if (!spec.speed_factors.empty()) {
+    std::string speeds;
+    for (const auto& [type, factor] : spec.speed_factors) {
+      speeds += (speeds.empty() ? "" : ",") + type + "=" + FormatExact(factor);
+    }
+    request.args["speeds"] = speeds;
+  }
   if (rid > 0) {
     request.args["rid"] = std::to_string(rid);
   }
@@ -83,9 +98,18 @@ ServeRequest CompleteRequestFor(const Trace& trace, std::size_t job, Seconds t,
 }
 
 bool JctSummariesIdentical(const RunReport& a, const RunReport& b) {
+  // The queueing-delay split (avg_queue_min / avg_run_min) is deliberately
+  // excluded: the daemon replans only at submit/complete instants while the
+  // engines also replan on epoch ticks, so first-start times can legitimately
+  // differ even when every finish time — and therefore the whole JCT
+  // distribution — matches bit-for-bit.
+  const JctSummary& x = a.jct;
+  const JctSummary& y = b.jct;
   return a.jobs == b.jobs && a.unfinished_jobs == b.unfinished_jobs &&
-         a.avg_jct_min == b.avg_jct_min && a.median_jct_min == b.median_jct_min &&
-         a.p90_jct_min == b.p90_jct_min && a.makespan_min == b.makespan_min;
+         x.finished == y.finished && BitEqual(x.avg_jct_min, y.avg_jct_min) &&
+         BitEqual(x.p50_jct_min, y.p50_jct_min) && BitEqual(x.p90_jct_min, y.p90_jct_min) &&
+         BitEqual(x.p95_jct_min, y.p95_jct_min) && BitEqual(x.p99_jct_min, y.p99_jct_min) &&
+         a.makespan_min == b.makespan_min;
 }
 
 Result<ReplayOutcome> ReplayTraceThroughService(const Trace& trace, const SimConfig& config,

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/units.h"
@@ -48,11 +49,28 @@ struct JobSpec {
 
   Seconds submit_time = 0;
 
+  // Owning tenant for per-tenant report breakdowns; empty means untagged
+  // (single-tenant traces stay exactly as before).
+  std::string tenant;
+
+  // Per-GPU-type speed multipliers, keyed by gpu-type name.  A job placed on
+  // type T computes at `T.speed * SpeedFactor(T.name)` times ideal_io.
+  // Unlisted types default to 1.0, so a uniform fleet (no types declared, or
+  // all speeds 1) is bit-identical to the homogeneous model.
+  std::vector<std::pair<std::string, double>> speed_factors;
+
   // Jobs violating SiloD's assumptions fall into the irregular partition (§6).
   bool regular = true;
 
   bool curriculum = false;
   CurriculumParams curriculum_params;
+
+  double SpeedFactor(const std::string& gpu_type) const {
+    for (const auto& [name, factor] : speed_factors) {
+      if (name == gpu_type) return factor;
+    }
+    return 1.0;
+  }
 
   Seconds IdealDuration() const { return static_cast<double>(total_bytes) / ideal_io; }
   double NumEpochs(const Dataset& d) const {

@@ -422,6 +422,64 @@ TEST(Topology, ParseRejectsOverlapAndBadBound) {
   EXPECT_FALSE(ClusterTopology::Parse("a=0-3;a=4-7").ok());
 }
 
+TEST(Topology, GpuTypeParseAndRoundTrip) {
+  const Result<ClusterTopology> parsed = ClusterTopology::Parse(
+      "rack0=0-3;gpu-type name=v100 count=64 speed=1;gpu-type name=k80 count=32 speed=0.45");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->has_gpu_types());
+  ASSERT_EQ(parsed->gpu_types().size(), 2u);
+  EXPECT_EQ(parsed->gpu_types()[0].name, "v100");
+  EXPECT_EQ(parsed->gpu_types()[1].count, 32);
+  EXPECT_DOUBLE_EQ(parsed->gpu_types()[1].speed, 0.45);
+  EXPECT_EQ(parsed->GpuTypeIndex("k80"), 1);
+  EXPECT_EQ(parsed->GpuTypeIndex("a100"), -1);
+  EXPECT_EQ(parsed->TotalTypedGpus(), 96);
+
+  const Result<ClusterTopology> again = ClusterTopology::Parse(parsed->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, *parsed);
+}
+
+TEST(Topology, GpuTypeOnlySpecRoundTripsWithoutZones) {
+  const Result<ClusterTopology> parsed =
+      ClusterTopology::Parse("gpu-type name=a100 count=8 speed=2.5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());  // No failure zones...
+  EXPECT_TRUE(parsed->has_gpu_types());  // ...but a typed fleet.
+  const Result<ClusterTopology> again = ClusterTopology::Parse(parsed->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, *parsed);
+}
+
+TEST(Topology, GpuTypeSpeedSurvivesToSpecExactly) {
+  // 0.1 has no exact binary representation; the spec must still round-trip the
+  // speed bit-for-bit (FormatSpeed falls back to %.17g when %g is lossy).
+  ClusterTopology typed =
+      *ClusterTopology::Parse("gpu-type name=t count=4 speed=0.30000000000000004");
+  const Result<ClusterTopology> again = ClusterTopology::Parse(typed.ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->gpu_types()[0].speed, 0.1 + 0.2);
+}
+
+TEST(Topology, GpuTypeParseRejectsMalformedEntries) {
+  // {spec, why it must be rejected}
+  const char* kRejects[] = {
+      "gpu-type count=4 speed=1",                                // missing name
+      "gpu-type name=v100 speed=1",                              // missing count
+      "gpu-type name=v100 count=0 speed=1",                      // zero count
+      "gpu-type name=v100 count=-2 speed=1",                     // negative count
+      "gpu-type name=v100 count=4 speed=0",                      // zero speed
+      "gpu-type name=v100 count=4 speed=-1",                     // negative speed
+      "gpu-type name=v100 count=4 speed=fast",                   // non-numeric speed
+      "gpu-type name=v100 count=many speed=1",                   // non-numeric count
+      "gpu-type name=v100 count=4 flavor=large",                 // unknown key
+      "gpu-type name=v100 count=4;gpu-type name=v100 count=2",   // duplicate name
+  };
+  for (const char* spec : kRejects) {
+    EXPECT_FALSE(ClusterTopology::Parse(spec).ok()) << spec;
+  }
+}
+
 TEST(Topology, CoverAddsSingletonZonesForUncoveredServers) {
   const Result<ClusterTopology> parsed = ClusterTopology::Parse("rack0=0-3");
   ASSERT_TRUE(parsed.ok());

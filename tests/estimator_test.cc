@@ -92,6 +92,40 @@ TEST(IoPerf, MonotoneInCacheAndIo) {
   }
 }
 
+TEST(IoPerf, SpeedOverloadsSubstituteEffectiveIdeal) {
+  // The heterogeneous forms are Eq. 2-5 with f* -> s * f*: each speed overload
+  // must agree exactly with the uniform form at the scaled ideal, and speed 1.0
+  // must be a bit-for-bit no-op (the uniform-fleet identity the engines rely
+  // on).
+  const BytesPerSec f = MBps(114);
+  const Bytes d = GB(143);
+  for (double s : {0.25, 0.45, 1.0, 2.5}) {
+    EXPECT_EQ(EffectiveIdeal(f, s), f * s);
+    EXPECT_EQ(RemoteIoDemand(f, s, GB(40), d), RemoteIoDemand(f * s, GB(40), d));
+    EXPECT_EQ(SiloDPerfThroughput(f, s, MBps(30), GB(40), d),
+              SiloDPerfThroughput(f * s, MBps(30), GB(40), d));
+    EXPECT_EQ(CacheEfficiency(f, s, d), CacheEfficiency(f * s, d));
+  }
+  EXPECT_EQ(EffectiveIdeal(f, 1.0), f);
+  EXPECT_EQ(SiloDPerfThroughput(f, 1.0, MBps(30), GB(40), d),
+            SiloDPerfThroughput(f, MBps(30), GB(40), d));
+}
+
+TEST(IoPerf, ThroughputMonotoneInSpeed) {
+  // A faster GPU never slows a job down; once remote IO is the bottleneck the
+  // throughput saturates there instead of growing past it.
+  const BytesPerSec f = MBps(114);
+  const Bytes d = GB(143);
+  double prev = -1;
+  for (double s = 0.1; s <= 3.0; s += 0.1) {
+    const double v = SiloDPerfThroughput(f, s, MBps(30), GB(40), d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Zero cache: the ceiling is exactly the egress grant, whatever the speed.
+  EXPECT_DOUBLE_EQ(SiloDPerfThroughput(f, 100.0, MBps(30), 0, d), MBps(30));
+}
+
 // ------------------------------------------------------------- PerfModel --
 
 class PerfModelTest : public ::testing::Test {

@@ -585,6 +585,61 @@ TEST(ServeReplay, DaemonReportMatchesBatchEngine) {
   }
 }
 
+// Heterogeneous fleet replay: the daemon must agree bit-for-bit with the
+// typed batch engine — the submit verb round-trips tenants and per-type speed
+// factors, the plans assign the same GPU types, and both reports carry the
+// same per-tenant and per-GPU-type breakdowns.  A uniform (all speed 1.0)
+// table must in turn match the untyped run exactly.
+TEST(ServeReplay, TypedFleetReportMatchesBatchEngine) {
+  TraceOptions options;
+  options.num_jobs = 12;
+  options.mean_interarrival = Minutes(2);
+  options.median_duration = Minutes(20);
+  options.seed = 5;
+  Trace trace = TraceGenerator(options).Generate();
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    trace.jobs[i].tenant = i % 2 == 0 ? "ads" : "search";
+    if (i % 3 == 0) {
+      trace.jobs[i].speed_factors = {{"k80", 0.8}};
+    }
+  }
+  SimConfig config;
+  config.resources.total_gpus = 8;
+  config.resources.total_cache = GB(900);
+  config.resources.remote_io = MBps(200);
+  Result<ClusterTopology> typed = ClusterTopology::Parse(
+      "gpu-type name=v100 count=5 speed=1;gpu-type name=k80 count=3 speed=0.5");
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  config.topology = *typed;
+  Result<ReplayOutcome> outcome = ReplayTraceThroughService(
+      trace, config, "sjf+silod", SchedulerOptions{}, PlanningOptions{});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->jct_identical)
+      << "batch:\n" << outcome->batch.ToJson() << "\nserve:\n" << outcome->serve.ToJson();
+  EXPECT_EQ(0, outcome->serve.unfinished_jobs);
+  ASSERT_EQ(outcome->batch.tenants.size(), outcome->serve.tenants.size());
+  ASSERT_EQ(outcome->batch.gpu_types.size(), outcome->serve.gpu_types.size());
+  for (std::size_t i = 0; i < outcome->batch.gpu_types.size(); ++i) {
+    EXPECT_EQ(outcome->batch.gpu_types[i].name, outcome->serve.gpu_types[i].name);
+    EXPECT_EQ(outcome->batch.gpu_types[i].jct.finished,
+              outcome->serve.gpu_types[i].jct.finished);
+  }
+
+  // Uniform table: the typed run collapses to the untyped one bit-for-bit.
+  SimConfig untyped_config = config;
+  untyped_config.topology = ClusterTopology();
+  Result<ReplayOutcome> untyped = ReplayTraceThroughService(
+      trace, untyped_config, "sjf+silod", SchedulerOptions{}, PlanningOptions{});
+  ASSERT_TRUE(untyped.ok()) << untyped.status().ToString();
+  SimConfig uniform_config = config;
+  uniform_config.topology = *ClusterTopology::Parse("gpu-type name=any count=8 speed=1");
+  Result<ReplayOutcome> uniform = ReplayTraceThroughService(
+      trace, uniform_config, "sjf+silod", SchedulerOptions{}, PlanningOptions{});
+  ASSERT_TRUE(uniform.ok()) << uniform.status().ToString();
+  EXPECT_TRUE(JctSummariesIdentical(untyped->batch, uniform->batch));
+  EXPECT_TRUE(JctSummariesIdentical(untyped->serve, uniform->serve));
+}
+
 // ---------------------------------------------------------------------------
 // Socket transport.
 

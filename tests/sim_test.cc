@@ -3,6 +3,7 @@
 // paper's own simulator validation (§7.1.1/§7.2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -548,6 +549,127 @@ TEST(FlowEngine, ParallelZoneSolveBitIdenticalToSequential) {
 
   EXPECT_TRUE(PhysicallyIdentical(sequential, parallel));
   EXPECT_EQ(sequential.jobs.size(), 1000u);
+}
+
+// ---------------------------------------------------------- Heterogeneity --
+
+// Declaring a GPU-type table whose speeds are all 1.0 must be a bit-for-bit
+// no-op: the typed admission path multiplies every ideal by exactly 1.0, so
+// both engines and every scheduler must reproduce the untyped run.
+TEST(Heterogeneity, UniformTypedFleetBitIdenticalToUntyped) {
+  const Trace trace = SeededMixTrace(/*num_jobs=*/48, /*seed=*/9);
+  const Result<ClusterTopology> typed =
+      ClusterTopology::Parse("gpu-type name=v100 count=8 speed=1");
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  for (const EngineKind engine : {EngineKind::kFlow, EngineKind::kFine}) {
+    for (const SchedulerKind scheduler :
+         {SchedulerKind::kFifo, SchedulerKind::kSjf, SchedulerKind::kGavel}) {
+      ExperimentConfig config;
+      config.engine = engine;
+      config.scheduler = scheduler;
+      config.cache = CacheSystem::kSiloD;
+      config.sim = SmallCluster(GB(40), MBps(300));
+      const SimResult untyped = RunExperiment(trace, config);
+      config.sim.topology = *typed;
+      const SimResult uniform_typed = RunExperiment(trace, config);
+      EXPECT_TRUE(PhysicallyIdentical(untyped, uniform_typed))
+          << SchedulerKindName(scheduler) << " engine " << static_cast<int>(engine);
+      const RunReport a = MakeRunReport("x", "e", untyped);
+      const RunReport b = MakeRunReport("x", "e", uniform_typed);
+      EXPECT_EQ(a.jct.avg_jct_min, b.jct.avg_jct_min);
+      EXPECT_EQ(a.jct.p99_jct_min, b.jct.p99_jct_min);
+    }
+  }
+}
+
+// The per-GPU-type sub-summaries partition the finished jobs: group counts sum
+// to the overall count and every group percentile is bounded by the overall
+// max.
+TEST(Heterogeneity, PerTypeBreakdownPartitionsFinishedJobs) {
+  const Trace trace = SeededMixTrace(/*num_jobs=*/48, /*seed=*/9);
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kSjf;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(GB(40), MBps(300));
+  const Result<ClusterTopology> typed =
+      ClusterTopology::Parse("gpu-type name=v100 count=5 speed=1;gpu-type name=k80 count=3 speed=0.5");
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  config.sim.topology = *typed;
+  for (const EngineKind engine : {EngineKind::kFlow, EngineKind::kFine}) {
+    config.engine = engine;
+    const SimResult result = RunExperiment(trace, config);
+    const RunReport report = MakeRunReport("x", "e", result);
+    ASSERT_FALSE(report.gpu_types.empty());
+    int grouped = 0;
+    double worst = 0;
+    for (const TenantSummary& g : report.gpu_types) {
+      EXPECT_GT(g.jct.finished, 0) << g.name;
+      grouped += g.jct.finished;
+      worst = std::max(worst, g.jct.p99_jct_min);
+    }
+    EXPECT_EQ(grouped, report.jct.finished);
+    EXPECT_LE(report.jct.p99_jct_min, worst + 1e-9);
+  }
+}
+
+// A long job that only runs well on the slow GPU type: SJF ranks it by its
+// (long) speed-adjusted duration and keeps admitting the stream of short jobs
+// ahead of it, so its completion — the trace's p99 — blows up.  Gavel's
+// fairness objective admits in arrival order, hands it the slow GPU at t=0,
+// and the tail stays near the job's ideal duration.
+TEST(Heterogeneity, SlowBoundJobTailRegressesUnderSjfNotFairness) {
+  const ModelZoo zoo;
+  Trace trace;
+  JobId next = 0;
+  auto add_job = [&](const char* name, Bytes bytes, Seconds submit) -> JobSpec& {
+    const DatasetId d =
+        trace.catalog.Add(name + std::to_string(next), std::max(bytes, GB(1)), MB(16));
+    JobSpec job = MakeJob(next++, zoo, "ResNet-50", 1, d, 1.0, submit);
+    job.total_bytes = bytes;
+    trace.jobs.push_back(job);
+    return trace.jobs.back();
+  };
+  // Two warm-up jobs saturate both pools; the slow pool frees first.
+  add_job("warm-fast", GB(17), 0);
+  add_job("warm-slow", GB(2.85), 0);
+  // The victim: crawls on the fast type, so its speed-adjusted duration (the
+  // SJF score) is long, and it arrives before the whole short stream.
+  JobSpec& slow_bound = add_job("victim", 2 * GB(10), 10);
+  slow_bound.speed_factors = {{"fast", 0.05}};
+  const std::size_t victim = trace.jobs.size() - 1;
+  // A stream of shorts arriving faster than the two pools drain them: under
+  // SJF there is a shorter waiting job at every replan until the stream ends.
+  for (int i = 0; i < 40; ++i) {
+    add_job("short", GB(2), 20 + 10.0 * i);
+  }
+
+  ExperimentConfig config;
+  config.engine = EngineKind::kFlow;
+  config.cache = CacheSystem::kSiloD;
+  config.sim = SmallCluster(TB(1), GBps(10));  // Compute-bound throughout.
+  config.sim.resources.total_gpus = 2;
+  config.sim.reschedule_period = Minutes(1);
+  const Result<ClusterTopology> typed = ClusterTopology::Parse(
+      "gpu-type name=fast count=1 speed=1;gpu-type name=slow count=1 speed=0.25");
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  config.sim.topology = *typed;
+
+  config.scheduler = SchedulerKind::kSjf;
+  const SimResult sjf_result = RunExperiment(trace, config);
+  config.scheduler = SchedulerKind::kGavel;
+  const SimResult gavel_result = RunExperiment(trace, config);
+  const RunReport sjf = MakeRunReport("sjf", "flow", sjf_result);
+  const RunReport gavel = MakeRunReport("gavel", "flow", gavel_result);
+
+  const int total = static_cast<int>(trace.jobs.size());
+  ASSERT_EQ(sjf.jct.finished, total);
+  ASSERT_EQ(gavel.jct.finished, total);
+  // SJF starves the slow-bound job behind the short stream; Gavel's
+  // arrival-order fairness hands it the slow GPU as soon as one frees, so its
+  // JCT — and with it the trace's p99 — stays near the ideal slow-type
+  // duration.
+  EXPECT_GT(sjf_result.jobs[victim].Jct(), 1.5 * gavel_result.jobs[victim].Jct());
+  EXPECT_GT(sjf.jct.p99_jct_min, 1.3 * gavel.jct.p99_jct_min);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #   tools/ci.sh rt-fault-smoke # multi-process worker crash + minidump replay smoke only
 #   tools/ci.sh serve-smoke # silodd daemon lifecycle + live reload + replay cross-check only
 #   tools/ci.sh serve-crash-smoke # silodd SIGKILL mid-trace + journal recovery + graceful SIGTERM only
+#   tools/ci.sh hetero-smoke # mixed GPU fleet: per-type report partition, uniform-fleet baseline digest, typed silodd replay
 #
 # Build trees live in build-ci-*/ next to the normal build/ so CI never
 # clobbers a developer tree.
@@ -267,6 +268,81 @@ if [[ "$stage" == "all" || "$stage" == "serve-crash-smoke" ]]; then
   wait "$silodd_pid" || { echo "serve-crash-smoke: SIGTERM exit was non-zero"; exit 1; }
   trap - EXIT
   [[ ! -S "$sock" ]] || { echo "serve-crash-smoke: socket left behind after SIGTERM"; exit 1; }
+fi
+
+if [[ "$stage" == "all" || "$stage" == "hetero-smoke" ]]; then
+  # Heterogeneous-fleet smoke (docs/MODEL.md §13).  Three invariants:
+  #   1. a mixed fleet produces a v2 report whose per-GPU-type summaries
+  #      partition the finished jobs (counts sum to jct.finished), on both
+  #      engines;
+  #   2. declaring no GPU types leaves the canonical run's report verbatim —
+  #      its sha256 must equal the committed BASELINE_hetero_uniform.sha256 —
+  #      and declaring an all-speed-1.0 table reproduces that run's JCT
+  #      distribution bit-for-bit;
+  #   3. a typed silodd replays a trace bit-identically to the typed batch
+  #      engine (silod_client --check exits 1 on any divergence).
+  echo "=== [hetero-smoke] configure ==="
+  cmake -B build-ci-smoke -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== [hetero-smoke] build ==="
+  cmake --build build-ci-smoke -j "$jobs" --target silod_sim silodd silod_client
+  echo "=== [hetero-smoke] run ==="
+  sim="./build-ci-smoke/tools/silod_sim"
+  base_flags=(--policy=sjf+silod --jobs=40 --gpus=16 --cache-tb=1
+              --egress-gbps=2 --seed=7)
+
+  for engine in flow fine; do
+    "$sim" --engine="$engine" "${base_flags[@]}" --gpu-types=v100:8:1,k80:8:0.5 \
+        --json="build-ci-smoke/hetero_${engine}.json" >/dev/null
+    python3 - "build-ci-smoke/hetero_${engine}.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["report_version"] == 2, "not a v2 report"
+groups = r.get("gpu_types", {})
+assert set(groups) == {"v100", "k80"}, f"missing per-type groups: {sorted(groups)}"
+total = sum(g["finished"] for g in groups.values())
+assert total == r["jct"]["finished"], f"type partition broken: {total} != {r['jct']['finished']}"
+for name, g in groups.items():
+    assert g["finished"] > 0, f"empty group {name}"
+PY
+  done
+
+  "$sim" --engine=flow "${base_flags[@]}" \
+      --json=build-ci-smoke/hetero_uniform.json >/dev/null
+  sha256sum build-ci-smoke/hetero_uniform.json | awk '{print $1}' \
+      > build-ci-smoke/hetero_uniform.sha256
+  diff BASELINE_hetero_uniform.sha256 build-ci-smoke/hetero_uniform.sha256 \
+      || { echo "hetero-smoke: uniform-fleet report drifted from the committed baseline"; exit 1; }
+  "$sim" --engine=flow "${base_flags[@]}" --gpu-types=any:16:1 \
+      --json=build-ci-smoke/hetero_uniform_typed.json >/dev/null
+  python3 - build-ci-smoke/hetero_uniform.json build-ci-smoke/hetero_uniform_typed.json <<'PY'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["jct"] == b["jct"], "all-speed-1.0 fleet diverged from the untyped run"
+assert a["makespan_min"] == b["makespan_min"], "makespan diverged"
+PY
+
+  # Pools must be at least as wide as the trace's largest gang (8 GPUs) —
+  # gang scheduling never splits a job across type pools.
+  sock="build-ci-smoke/hetero-smoke.sock"
+  topo="gpu-type name=v100 count=10 speed=1;gpu-type name=k80 count=6 speed=0.5"
+  rm -f "$sock"
+  ./build-ci-smoke/tools/silodd --socket="$sock" --policy=sjf+silod \
+      --gpus=16 --cache-tb=2 --egress-gbps=1.6 --max-gpu-load=1e18 \
+      --topology="$topo" &
+  silodd_pid=$!
+  trap 'kill "$silodd_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "hetero-smoke: daemon never bound $sock"; exit 1; }
+  ./build-ci-smoke/tools/silod_client --socket="$sock" --serve-trace --check \
+      --jobs=25 --seed=3 --policy=sjf+silod --gpus=16 --cache-tb=2 \
+      --egress-gbps=1.6 --topology="$topo" \
+      > build-ci-smoke/hetero_serve_report.json \
+      || { echo "hetero-smoke: typed daemon diverged from the typed batch engine"; exit 1; }
+  grep -q '"gpu_types"' build-ci-smoke/hetero_serve_report.json \
+      || { echo "hetero-smoke: daemon report lacks the per-type breakdown"; exit 1; }
+  ./build-ci-smoke/tools/silod_client --socket="$sock" shutdown >/dev/null
+  wait "$silodd_pid" || { echo "hetero-smoke: daemon exited non-zero"; exit 1; }
+  trap - EXIT
 fi
 
 echo "CI OK"

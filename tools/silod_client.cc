@@ -23,6 +23,7 @@
 // or deadline exceeded; 3 transport/protocol error; 4 the daemon rejected
 // the request.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -30,6 +31,7 @@
 
 #include "src/common/backoff.h"
 #include "src/common/flags.h"
+#include "src/common/topology.h"
 #include "src/core/policy_registry.h"
 #include "src/serve/server.h"
 #include "src/sim/flow_engine.h"
@@ -141,13 +143,16 @@ int PrintResponse(const ServeResponse& response, bool json) {
 }
 
 // Compares a report-response scalar field against the local batch value; the
-// daemon renders with %.17g, which round-trips doubles exactly.
+// daemon renders with %.17g, which round-trips doubles exactly.  Both sides
+// being NaN (the null statistics of an empty summary, finished == 0) counts
+// as a match — NaN never compares equal to itself.
 bool FieldMatches(const ServeResponse& response, const std::string& key, double expected) {
   const auto it = response.fields.find(key);
   if (it == response.fields.end()) {
     return false;
   }
-  return std::strtod(it->second.c_str(), nullptr) == expected;
+  const double got = std::strtod(it->second.c_str(), nullptr);
+  return got == expected || (std::isnan(got) && std::isnan(expected));
 }
 
 int RunServeTrace(const FlagSet& flags, RetryingClient* client) {
@@ -178,6 +183,14 @@ int RunServeTrace(const FlagSet& flags, RetryingClient* client) {
     config.resources.per_job_remote_cap = MBps(flags.GetDouble("per-job-cap-mbps"));
   }
   config.resources.num_servers = static_cast<int>(flags.GetInt("servers"));
+  if (!flags.GetString("topology").empty()) {
+    Result<ClusterTopology> topology = ClusterTopology::Parse(flags.GetString("topology"));
+    if (!topology.ok()) {
+      std::fprintf(stderr, "--topology: %s\n", topology.status().ToString().c_str());
+      return 2;
+    }
+    config.topology = *std::move(topology);
+  }
   const std::string policy = flags.GetString("policy");
   SchedulerOptions scheduler_options;
   scheduler_options.manage_remote_io = flags.GetBool("manage-remote-io");
@@ -233,9 +246,12 @@ int RunServeTrace(const FlagSet& flags, RetryingClient* client) {
     const bool identical =
         report->fields["jobs"] == std::to_string(batch.jobs) &&
         report->fields["unfinished"] == std::to_string(batch.unfinished_jobs) &&
-        FieldMatches(*report, "avg-jct-min", batch.avg_jct_min) &&
-        FieldMatches(*report, "median-jct-min", batch.median_jct_min) &&
-        FieldMatches(*report, "p90-jct-min", batch.p90_jct_min) &&
+        report->fields["finished"] == std::to_string(batch.jct.finished) &&
+        FieldMatches(*report, "avg-jct-min", batch.jct.avg_jct_min) &&
+        FieldMatches(*report, "p50-jct-min", batch.jct.p50_jct_min) &&
+        FieldMatches(*report, "p90-jct-min", batch.jct.p90_jct_min) &&
+        FieldMatches(*report, "p95-jct-min", batch.jct.p95_jct_min) &&
+        FieldMatches(*report, "p99-jct-min", batch.jct.p99_jct_min) &&
         FieldMatches(*report, "makespan-min", batch.makespan_min);
     if (!identical) {
       std::fprintf(stderr, "cross-check FAILED: daemon JCT summary differs from batch engine\n");
@@ -281,6 +297,9 @@ int main(int argc, char** argv) {
   flags.Define("egress-gbps", "1.6", "egress limit (Gbps, must match the daemon)");
   flags.Define("per-job-cap-mbps", "0", "per-job remote-IO cap (MB/s); 0 = unlimited");
   flags.Define("servers", "1", "cache server count (must match the daemon)");
+  flags.Define("topology", "",
+               "topology spec for the local cross-check run, incl. \"gpu-type name=.. count=.. "
+               "speed=..\" entries (must match the daemon's --topology)");
   if (const Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help("silod_client").c_str());
     return 2;

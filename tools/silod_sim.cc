@@ -141,6 +141,10 @@ int main(int argc, char** argv) {
   flags.Define("zone-loss-bound", "",
                "cap on the fraction of any dataset's cache a single zone failure may take, in "
                "(0,1]; overrides the topology's loss bound (default 0.5)");
+  flags.Define("gpu-types", "",
+               "heterogeneous fleet as comma-separated name:count[:speed] entries, e.g. "
+               "\"v100:64:1,k80:32:0.45\"; counts must sum to --gpus (sugar for the topology's "
+               "\"gpu-type name=.. count=.. speed=..\" entries; empty = uniform fleet)");
   flags.Define("restart-cost", "checkpoint-everything",
                "what a worker crash discards: checkpoint-everything | lose-partial-epoch | "
                "checkpoint-interval:N (N blocks)");
@@ -358,10 +362,51 @@ int main(int argc, char** argv) {
     }
     topology.set_loss_bound(bound);
   }
-  if (!topology.empty()) {
-    if (const Status st = topology.Validate(config.sim.resources.num_servers); !st.ok()) {
-      std::fprintf(stderr, "--topology: %s\n", st.ToString().c_str());
+  if (!flags.GetString("gpu-types").empty()) {
+    // Sugar: rewrite name:count[:speed] entries into the topology's canonical
+    // `gpu-type name=.. count=.. speed=..` form and reparse, so the flag gets
+    // the same validation (duplicate names, positive counts/speeds) for free.
+    std::string spec = topology.ToSpec();
+    std::string entries = flags.GetString("gpu-types");
+    std::size_t pos = 0;
+    while (pos <= entries.size()) {
+      const std::size_t comma = std::min(entries.find(',', pos), entries.size());
+      const std::string entry = entries.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t c1 = entry.find(':');
+      const std::size_t c2 = c1 == std::string::npos ? std::string::npos : entry.find(':', c1 + 1);
+      if (c1 == std::string::npos || c1 == 0 || c1 + 1 >= entry.size()) {
+        std::fprintf(stderr, "--gpu-types: \"%s\" is not name:count[:speed]\n", entry.c_str());
+        return 2;
+      }
+      const std::string name = entry.substr(0, c1);
+      const std::string count = entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                                             : c2 - c1 - 1);
+      const std::string speed = c2 == std::string::npos ? "1" : entry.substr(c2 + 1);
+      if (!spec.empty()) {
+        spec += ";";
+      }
+      spec += "gpu-type name=" + name + " count=" + count + " speed=" + speed;
+    }
+    Result<ClusterTopology> parsed = ClusterTopology::Parse(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--gpu-types: %s\n", parsed.status().ToString().c_str());
       return 2;
+    }
+    topology = *parsed;
+  }
+  if (topology.has_gpu_types() &&
+      topology.TotalTypedGpus() != config.sim.resources.total_gpus) {
+    std::fprintf(stderr, "--gpu-types: counts sum to %d but the cluster has --gpus=%d\n",
+                 topology.TotalTypedGpus(), config.sim.resources.total_gpus);
+    return 2;
+  }
+  if (!topology.empty() || topology.has_gpu_types()) {
+    if (!topology.empty()) {
+      if (const Status st = topology.Validate(config.sim.resources.num_servers); !st.ok()) {
+        std::fprintf(stderr, "--topology: %s\n", st.ToString().c_str());
+        return 2;
+      }
     }
     config.sim.topology = topology;
   }
@@ -458,7 +503,7 @@ int main(int argc, char** argv) {
 
     if (!flags.GetString("json").empty()) {
       RunReport report = MakeRtRunReport(config.Name(), rt);
-      if (!config.sim.topology.empty()) {
+      if (!config.sim.topology.empty() || config.sim.topology.has_gpu_types()) {
         report.AddExtra("topology", config.sim.topology.ToSpec());
       }
       std::ofstream(flags.GetString("json")) << report.ToJson() << "\n";
@@ -477,14 +522,23 @@ int main(int argc, char** argv) {
               ToTB(config.sim.resources.total_cache), ToGbps(config.sim.resources.remote_io),
               flags.GetString("engine").c_str());
   const SimResult result = RunExperiment(trace, config);
+  RunReport report = MakeRunReport(config.Name(), flags.GetString("engine"), result);
 
   Table summary({"metric", "value"});
-  const SampleSet jct = result.JctSamplesMinutes();
-  summary.AddRow({"avg JCT (min)", Fmt(result.AvgJctMinutes())});
-  summary.AddRow({"median JCT (min)", Fmt(jct.Median())});
-  summary.AddRow({"p90 JCT (min)", Fmt(jct.Percentile(90))});
+  summary.AddRow({"avg JCT (min)", Fmt(report.jct.avg_jct_min)});
+  summary.AddRow({"p50 JCT (min)", Fmt(report.jct.p50_jct_min)});
+  summary.AddRow({"p90 JCT (min)", Fmt(report.jct.p90_jct_min)});
+  summary.AddRow({"p95 JCT (min)", Fmt(report.jct.p95_jct_min)});
+  summary.AddRow({"p99 JCT (min)", Fmt(report.jct.p99_jct_min)});
+  summary.AddRow({"avg queue / run (min)",
+                  Fmt(report.jct.avg_queue_min) + " / " + Fmt(report.jct.avg_run_min)});
   summary.AddRow({"makespan (min)", Fmt(result.MakespanMinutes())});
   summary.AddRow({"avg fairness ratio", Fmt(result.AvgFairness(), 3)});
+  for (const TenantSummary& g : report.gpu_types) {
+    summary.AddRow({"gpu-type " + g.name + " (jobs, avg/p99 JCT min)",
+                    std::to_string(g.jct.finished) + ", " + Fmt(g.jct.avg_jct_min) + "/" +
+                        Fmt(g.jct.p99_jct_min)});
+  }
   summary.AddRow({"avg remote IO (MB/s)",
                   Fmt(ToMBps(result.remote_io_usage.TimeAverage(0, result.makespan)))});
   if (config.engine == EngineKind::kFine) {
@@ -549,9 +603,7 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.GetString("json").empty()) {
-    RunReport report =
-        MakeRunReport(config.Name(), flags.GetString("engine"), result);
-    if (!config.sim.topology.empty()) {
+    if (!config.sim.topology.empty() || config.sim.topology.has_gpu_types()) {
       report.AddExtra("topology", config.sim.topology.ToSpec());
     }
     std::ofstream(flags.GetString("json")) << report.ToJson() << "\n";

@@ -60,8 +60,10 @@ int main(int argc, char** argv) {
   flags.Define("per-job-cap-mbps", "0", "per-job remote-IO cap (MB/s); 0 = unlimited");
   flags.Define("servers", "1", "cache server count");
   flags.Define("topology", "",
-               "cache-server failure domains, e.g. \"rack0=0-3;rack1=4-7[;loss-bound=0.25]\"; "
-               "empty runs zone-oblivious");
+               "cache-server failure domains and/or the GPU-type table, e.g. "
+               "\"rack0=0-3;rack1=4-7[;loss-bound=0.25][;gpu-type name=v100 count=6 speed=1]"
+               "[;gpu-type name=k80 count=2 speed=0.5]\"; gpu-type counts must sum to --gpus; "
+               "empty runs zone-oblivious on a uniform fleet");
   flags.Define("manage-remote-io", "true", "SiloD throttles remote IO (ablation: false)");
   flags.Define("max-gpu-load", "1",
                "admission threshold: admit while (active demand + candidate) / gpus <= this "
